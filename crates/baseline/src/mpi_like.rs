@@ -1,0 +1,119 @@
+//! A CUDA-aware-MPI-like baseline for the Sec. 2.1 comparison.
+//!
+//! The paper motivates NCCL's on-GPU control plane by showing that NCCL
+//! all-reduce throughput surpasses CUDA-aware MPI once buffers exceed 32 KB
+//! (by up to >6.7×). The dominant difference is that the MPI path stages data
+//! through the CPU-side runtime: every chunk pays an extra host round trip and
+//! a lower-bandwidth staging copy. This module models that path so the
+//! `fig_nccl_vs_mpi` harness can regenerate the comparison's shape.
+
+use std::time::Duration;
+
+use dfccl_transport::{LinkClass, LinkModel};
+
+/// Cost model of a CPU-staged (MPI-like) all-reduce.
+#[derive(Debug, Clone)]
+pub struct MpiLikeModel {
+    /// Per-message host-side latency (runtime progress engine, registration).
+    pub host_latency: Duration,
+    /// Effective staging bandwidth through host memory, bytes per second.
+    pub staging_bandwidth: f64,
+    /// The inter-GPU link model used after staging.
+    pub link_model: LinkModel,
+}
+
+impl Default for MpiLikeModel {
+    fn default() -> Self {
+        MpiLikeModel {
+            // MPI's latency path is competitive for tiny messages; its
+            // weakness is the host-staged bandwidth for large ones.
+            host_latency: Duration::from_micros(2),
+            staging_bandwidth: 1.5e9,
+            link_model: LinkModel::table2_testbed(),
+        }
+    }
+}
+
+impl MpiLikeModel {
+    /// Modelled time of a ring all-reduce of `bytes` over `n` GPUs.
+    pub fn all_reduce_time(&self, bytes: usize, n: usize, link: LinkClass) -> Duration {
+        assert!(n >= 2);
+        // Ring all-reduce moves 2*(n-1)/n of the buffer per rank; every step
+        // additionally pays the host latency and the staging copy.
+        let steps = 2 * (n - 1);
+        let per_step_bytes = bytes / n;
+        let wire = self.link_model.transfer_cost(link, per_step_bytes);
+        let staging = Duration::from_nanos(
+            (per_step_bytes as f64 / self.staging_bandwidth * 1e9) as u64,
+        );
+        (wire + staging + self.host_latency) * steps as u32
+    }
+
+    /// Modelled throughput (bytes/s) of the all-reduce.
+    pub fn all_reduce_throughput(&self, bytes: usize, n: usize, link: LinkClass) -> f64 {
+        let t = self.all_reduce_time(bytes, n, link);
+        bytes as f64 / t.as_secs_f64()
+    }
+}
+
+/// Modelled time of an NCCL-style on-GPU ring all-reduce (no host staging,
+/// but a fixed kernel-launch overhead), used as the reference side of the
+/// Sec. 2.1 comparison.
+pub fn nccl_style_all_reduce_time(
+    link_model: &LinkModel,
+    bytes: usize,
+    n: usize,
+    link: LinkClass,
+) -> Duration {
+    assert!(n >= 2);
+    let steps = 2 * (n - 1);
+    let per_step_bytes = bytes / n;
+    let launch_overhead = Duration::from_micros(20);
+    launch_overhead + link_model.transfer_cost(link, per_step_bytes) * steps as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpi_is_slower_than_nccl_for_large_buffers() {
+        let mpi = MpiLikeModel::default();
+        let nccl_model = LinkModel::table2_testbed();
+        let bytes = 4 * 1024 * 1024;
+        let t_mpi = mpi.all_reduce_time(bytes, 8, LinkClass::IntraPix);
+        let t_nccl = nccl_style_all_reduce_time(&nccl_model, bytes, 8, LinkClass::IntraPix);
+        assert!(t_mpi > t_nccl * 2, "mpi {t_mpi:?} vs nccl {t_nccl:?}");
+    }
+
+    #[test]
+    fn gap_grows_with_buffer_size_beyond_32kb() {
+        let mpi = MpiLikeModel::default();
+        let nccl_model = LinkModel::table2_testbed();
+        let ratio = |bytes: usize| {
+            let t_mpi = mpi.all_reduce_time(bytes, 8, LinkClass::IntraPix).as_secs_f64();
+            let t_nccl = nccl_style_all_reduce_time(&nccl_model, bytes, 8, LinkClass::IntraPix)
+                .as_secs_f64();
+            t_mpi / t_nccl
+        };
+        assert!(ratio(1 << 22) > ratio(1 << 15));
+        // The large-buffer advantage reaches several-fold, as in Sec. 2.1.
+        assert!(ratio(1 << 22) > 3.0);
+    }
+
+    #[test]
+    fn throughput_is_positive_and_monotonic_in_buffer_size_reporting() {
+        let mpi = MpiLikeModel::default();
+        let small = mpi.all_reduce_throughput(32 * 1024, 8, LinkClass::IntraPix);
+        let large = mpi.all_reduce_throughput(4 * 1024 * 1024, 8, LinkClass::IntraPix);
+        assert!(small > 0.0);
+        assert!(large > small, "throughput should improve with buffer size");
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_gpu_all_reduce_is_rejected() {
+        let mpi = MpiLikeModel::default();
+        let _ = mpi.all_reduce_time(1024, 1, LinkClass::Local);
+    }
+}

@@ -1,0 +1,130 @@
+//! Deadlock watchdog for the NCCL-like baseline.
+//!
+//! Real NCCL deadlocks manifest as the program hanging with GPUs pinned at
+//! 100% utilisation and no useful log output (Sec. 2.2). In a test suite that
+//! is unacceptable, so the baseline scenarios run under a watchdog: if the
+//! launched collective kernels do not all complete within a deadline, the
+//! scenario is declared deadlocked and every engine is torn down via the
+//! cooperative abort flag.
+
+use std::time::{Duration, Instant};
+
+use gpu_sim::{DeviceEngine, KernelHandle, KernelStatus};
+use std::sync::Arc;
+
+/// Result of supervising a set of collective kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeadlockOutcome {
+    /// Every kernel completed before the deadline.
+    AllCompleted,
+    /// The deadline expired with kernels still queued or running — the
+    /// scenario is deadlocked. Contains the names of the unfinished kernels.
+    Deadlock {
+        /// Kernels that had not completed when the deadline expired.
+        unfinished: Vec<String>,
+    },
+}
+
+impl DeadlockOutcome {
+    /// Whether a deadlock was detected.
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, DeadlockOutcome::Deadlock { .. })
+    }
+}
+
+/// Wait for every handle to finish within `deadline`. On timeout, abort all
+/// work on the given engines (so their kernel threads exit) and report which
+/// kernels were unfinished.
+pub fn wait_all_or_deadlock(
+    handles: &[KernelHandle],
+    engines: &[Arc<DeviceEngine>],
+    deadline: Duration,
+) -> DeadlockOutcome {
+    let end = Instant::now() + deadline;
+    loop {
+        let unfinished: Vec<String> = handles
+            .iter()
+            .filter(|h| !h.status().is_terminal())
+            .map(|h| h.name().to_string())
+            .collect();
+        if unfinished.is_empty() {
+            // Every kernel terminated; any non-Completed status still counts
+            // as "no deadlock" (e.g. an explicit failure).
+            let all_completed = handles
+                .iter()
+                .all(|h| h.status() == KernelStatus::Completed);
+            if all_completed {
+                return DeadlockOutcome::AllCompleted;
+            }
+            return DeadlockOutcome::AllCompleted;
+        }
+        if Instant::now() >= end {
+            for e in engines {
+                e.abort_all();
+            }
+            // Give the aborted kernels a moment to observe the flag.
+            for h in handles {
+                let _ = h.wait_timeout(Duration::from_secs(5));
+            }
+            return DeadlockOutcome::Deadlock { unfinished };
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{FnKernel, GpuDevice, GpuId, GpuSpec, KernelCtx, KernelOutcome, StreamId};
+    use gpu_sim::kernel::Kernel;
+
+    fn engine() -> Arc<DeviceEngine> {
+        DeviceEngine::new(GpuDevice::new(GpuId(0), GpuSpec::tiny(2)))
+    }
+
+    fn spin_forever_kernel() -> Box<dyn Kernel> {
+        Box::new(FnKernel::new("spin-forever", |ctx: &KernelCtx| {
+            while !ctx.should_abort() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            KernelOutcome::Aborted
+        }))
+    }
+
+    #[test]
+    fn completed_kernels_are_not_a_deadlock() {
+        let e = engine();
+        let h = e
+            .launch(
+                StreamId(1),
+                Box::new(FnKernel::new("quick", |_| KernelOutcome::Completed)),
+            )
+            .unwrap();
+        let outcome = wait_all_or_deadlock(&[h], &[Arc::clone(&e)], Duration::from_secs(5));
+        assert_eq!(outcome, DeadlockOutcome::AllCompleted);
+        e.shutdown();
+    }
+
+    #[test]
+    fn hung_kernel_is_reported_and_torn_down() {
+        let e = engine();
+        let h = e.launch(StreamId(1), spin_forever_kernel()).unwrap();
+        let outcome = wait_all_or_deadlock(&[h.clone()], &[Arc::clone(&e)], Duration::from_millis(100));
+        match &outcome {
+            DeadlockOutcome::Deadlock { unfinished } => {
+                assert_eq!(unfinished, &vec!["spin-forever".to_string()]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+        assert!(outcome.is_deadlock());
+        // The kernel was aborted so the engine can shut down cleanly.
+        assert_eq!(h.wait_timeout(Duration::from_secs(5)), KernelStatus::Aborted);
+        e.shutdown();
+    }
+
+    #[test]
+    fn empty_handle_set_completes_immediately() {
+        let outcome = wait_all_or_deadlock(&[], &[], Duration::from_millis(10));
+        assert_eq!(outcome, DeadlockOutcome::AllCompleted);
+    }
+}

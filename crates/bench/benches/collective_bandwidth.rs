@@ -1,0 +1,53 @@
+//! Criterion micro-benchmark backing Fig. 8: library overhead of one
+//! all-reduce on four simulated GPUs through the full DFCCL stack
+//! (SQ → daemon kernel → primitives → CQ → callback), with zero-cost links so
+//! the measurement isolates the library rather than the modelled wire time.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfccl::DfcclDomain;
+use dfccl_collectives::{DataType, DeviceBuffer, ReduceOp};
+use gpu_sim::GpuId;
+
+fn bench_all_reduce(c: &mut Criterion) {
+    let gpus = 4usize;
+    let devices: Vec<GpuId> = (0..gpus).map(GpuId).collect();
+    let mut group = c.benchmark_group("dfccl_all_reduce");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for &elems in &[1usize << 10, 1 << 14] {
+        let domain = DfcclDomain::flat_for_testing(gpus);
+        let ranks: Vec<Arc<dfccl::RankCtx>> = devices
+            .iter()
+            .map(|&g| Arc::new(domain.init_rank(g).unwrap()))
+            .collect();
+        for rank in &ranks {
+            rank.register_all_reduce(1, elems, DataType::F32, ReduceOp::Sum, devices.clone(), 0)
+                .unwrap();
+        }
+        group.throughput(Throughput::Bytes((elems * 4) as u64));
+        group.bench_with_input(BenchmarkId::new("elems", elems), &elems, |b, &elems| {
+            b.iter(|| {
+                let mut handles = Vec::with_capacity(gpus);
+                for rank in &ranks {
+                    let send = DeviceBuffer::zeroed(elems * 4);
+                    let recv = DeviceBuffer::zeroed(elems * 4);
+                    handles.push(rank.run_awaitable(1, send, recv).unwrap());
+                }
+                for h in handles {
+                    h.wait_for(1);
+                }
+            });
+        });
+        for rank in &ranks {
+            rank.destroy();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_reduce);
+criterion_main!(benches);

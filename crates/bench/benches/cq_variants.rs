@@ -1,0 +1,45 @@
+//! Criterion micro-benchmark backing Fig. 7(c): CQE-write cost of the three
+//! completion-queue designs, measured on the raw protocol (modelled
+//! host-memory costs removed) and with the modelled costs applied.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfccl::{build_cq, CqVariant, Cqe, HostMemCosts};
+
+fn bench_cq_push_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cq_push_pop");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for variant in [
+        CqVariant::VanillaRing,
+        CqVariant::OptimizedRing,
+        CqVariant::OptimizedSlot,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("protocol_only", format!("{variant:?}")),
+            &variant,
+            |b, &variant| {
+                let cq = build_cq(variant, 64, HostMemCosts::free());
+                b.iter(|| {
+                    cq.push(Cqe { coll_id: 7 });
+                    cq.pop()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("modelled_host_costs", format!("{variant:?}")),
+            &variant,
+            |b, &variant| {
+                let cq = build_cq(variant, 64, HostMemCosts::default());
+                b.iter(|| {
+                    cq.push(Cqe { coll_id: 7 });
+                    cq.pop()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cq_push_pop);
+criterion_main!(benches);

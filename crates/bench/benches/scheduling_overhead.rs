@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the daemon-kernel building blocks whose
+//! costs appear in the Sec. 4.5 performance model: SQ submission, task-queue
+//! reordering, spin-policy arithmetic and context checkout/checkin.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfccl::sq::SqCursor;
+use dfccl::{OrderingPolicy, SpinPolicy, Sqe, SubmissionQueue, TaskQueue};
+use dfccl_collectives::DeviceBuffer;
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("daemon_components");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    group.bench_function("sq_push_read", |b| {
+        let sq = SubmissionQueue::new(256, 1);
+        let mut cursor = SqCursor::default();
+        b.iter(|| {
+            sq.try_push(Sqe {
+                coll_id: 1,
+                seq: 0,
+                send: DeviceBuffer::zeroed(16),
+                recv: DeviceBuffer::zeroed(16),
+                exit: false,
+            })
+            .unwrap();
+            sq.read_next(&mut cursor).unwrap()
+        });
+    });
+
+    group.bench_function("task_queue_reorder_64", |b| {
+        let mut q = TaskQueue::new();
+        for i in 0..64u64 {
+            q.push(i, (i % 7) as i32);
+        }
+        b.iter(|| {
+            q.reorder(OrderingPolicy::PriorityBased);
+            q.reorder(OrderingPolicy::Fifo);
+            q.len()
+        });
+    });
+
+    group.bench_function("adaptive_spin_policy", |b| {
+        let policy = SpinPolicy::adaptive_default();
+        b.iter(|| {
+            let mut t = 0u64;
+            for pos in 0..32 {
+                t = t.wrapping_add(policy.on_success(policy.initial_threshold(pos)));
+            }
+            t
+        });
+    });
+
+    group.bench_function("context_checkout_checkin", |b| {
+        let store = dfccl::context::ContextStore::new(8, 0.0, 0.0);
+        store.enqueue_invocation(
+            3,
+            dfccl::context::DynamicContext::new(0, DeviceBuffer::zeroed(16), DeviceBuffer::zeroed(16)),
+        );
+        b.iter(|| {
+            let (ctx, _) = store.checkout_current(3).unwrap();
+            store.checkin_incomplete(3, ctx)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Regenerates **Fig. 10**: data-parallel ResNet-50 training throughput on
+//! eight GPUs, DFCCL vs. NCCL orchestrated by OneFlow static sorting, KungFu
+//! and Horovod, for the two per-GPU batch sizes of the paper's two servers
+//! (48 on the 3080ti-server, 96 on the 3090-server).
+//!
+//! Expected shape (Fig. 10): DFCCL ≈ OneFlow static sorting (within ~1%), both
+//! roughly 20% above KungFu and Horovod.
+//!
+//! ```text
+//! cargo run --release -p dfccl-bench --bin fig10_resnet_dp -- [--iterations 20] [--gpus 8]
+//! ```
+
+use dfccl_baseline::StrategyKind;
+use dfccl_bench::{arg_num, print_row};
+use dfccl_workloads::{data_parallel_plan, train, BackendKind, DnnModel, TrainerConfig};
+use gpu_sim::GpuId;
+
+fn main() {
+    let iterations: usize = arg_num("--iterations", 20);
+    let gpus: usize = arg_num("--gpus", 8);
+    let devices: Vec<GpuId> = (0..gpus).map(GpuId).collect();
+    let model = DnnModel::resnet50();
+
+    println!("Fig. 10 — ResNet-50 data-parallel training throughput (samples/s), {gpus} GPUs, {iterations} iterations");
+    println!("(paper, 200 iterations: 3080ti-server 442.7/447.9/372.1/366.2; 3090-server 507.7/508.4/419.1/415.6)\n");
+
+    let widths = [24, 16, 14, 14, 14, 14];
+    print_row(
+        &[
+            "server (per-GPU batch)".into(),
+            "metric".into(),
+            "OneFlow".into(),
+            "DFCCL".into(),
+            "KungFu".into(),
+            "Horovod".into(),
+        ],
+        &widths,
+    );
+
+    for (server, batch) in [("3080ti-server", 48usize), ("3090-server", 96usize)] {
+        let plan = data_parallel_plan(&model, &devices, batch);
+        let global_batch = batch * gpus;
+        let cfg = TrainerConfig {
+            iterations,
+            ..TrainerConfig::default()
+        };
+        let backends = [
+            BackendKind::NcclOrchestrated(StrategyKind::OneFlowStaticSort),
+            BackendKind::Dfccl,
+            BackendKind::NcclOrchestrated(StrategyKind::KungFu),
+            BackendKind::NcclOrchestrated(StrategyKind::Horovod),
+        ];
+        let mut throughputs = Vec::new();
+        for backend in backends {
+            let report = train(&plan, backend, &cfg, global_batch);
+            throughputs.push(report.throughput());
+        }
+        print_row(
+            &[
+                format!("{server} (batch {batch})"),
+                "samples/s".into(),
+                format!("{:.1}", throughputs[0]),
+                format!("{:.1}", throughputs[1]),
+                format!("{:.1}", throughputs[2]),
+                format!("{:.1}", throughputs[3]),
+            ],
+            &widths,
+        );
+        print_row(
+            &[
+                "".into(),
+                "vs OneFlow".into(),
+                "1.00x".into(),
+                format!("{:.2}x", throughputs[1] / throughputs[0]),
+                format!("{:.2}x", throughputs[2] / throughputs[0]),
+                format!("{:.2}x", throughputs[3] / throughputs[0]),
+            ],
+            &widths,
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Regenerates **Fig. 7** (workload-independent time overheads) and the
+//! **Sec. 6.2** memory-overhead accounting.
+//!
+//! * Fig. 7(b): mean SQE-read time, preparing overhead and CQE-write time while
+//!   running all-reduces on eight GPUs.
+//! * Fig. 7(c): CQE-write time of the three completion-queue designs.
+//! * Sec. 6.2: shared/global memory reserved by the daemon kernel.
+//!
+//! ```text
+//! cargo run --release -p dfccl-bench --bin fig7_overheads -- [--iterations 50]
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dfccl::{build_cq, CqVariant, Cqe, DfcclConfig, DfcclDomain, HostMemCosts};
+use dfccl_bench::{arg_num, fmt_us};
+use dfccl_collectives::{DataType, DeviceBuffer, ReduceOp};
+use dfccl_transport::{LinkModel, Topology};
+use gpu_sim::{GpuId, GpuSpec};
+
+const GPUS: usize = 8;
+
+fn main() {
+    let iterations: usize = arg_num("--iterations", 50);
+
+    println!("Fig. 7(b) — workload-independent time overheads (all-reduce on {GPUS} GPUs)\n");
+    let domain = DfcclDomain::new(
+        Topology::single_server(),
+        LinkModel::table2_compressed(500.0),
+        GpuSpec::rtx_3090(),
+        DfcclConfig::default(),
+    );
+    let devices: Vec<GpuId> = (0..GPUS).map(GpuId).collect();
+    let ranks: Vec<Arc<dfccl::RankCtx>> = devices
+        .iter()
+        .map(|&g| Arc::new(domain.init_rank(g).unwrap()))
+        .collect();
+    let count = 64 * 1024;
+    for rank in &ranks {
+        rank.register_all_reduce(1, count, DataType::F32, ReduceOp::Sum, devices.clone(), 0)
+            .unwrap();
+    }
+    let mut joins = Vec::new();
+    for rank in &ranks {
+        let rank = Arc::clone(rank);
+        joins.push(std::thread::spawn(move || {
+            for _ in 0..iterations {
+                let send = DeviceBuffer::from_f32(&vec![1.0; count]);
+                let recv = DeviceBuffer::zeroed(count * 4);
+                let h = rank.run_awaitable(1, send, recv).unwrap();
+                h.wait_for(1);
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let stats = ranks[0].stats();
+    println!("  measured on GPU 0 over {iterations} iterations (paper: 5.3 / 1.2 / 2.0 µs):");
+    println!(
+        "    read SQE:            {} µs",
+        stats.mean_sqe_read.map(fmt_us).unwrap_or_else(|| "-".into())
+    );
+    println!(
+        "    preparing overheads: {} µs",
+        stats.mean_preparing.map(fmt_us).unwrap_or_else(|| "-".into())
+    );
+    println!(
+        "    write CQE:           {} µs",
+        stats.mean_cqe_write.map(fmt_us).unwrap_or_else(|| "-".into())
+    );
+
+    println!("\nSec. 6.2 — workload-independent memory overheads");
+    let usage = ranks[0].memory_usage();
+    let cfg = domain.config();
+    println!(
+        "    shared memory per block (task queue + active context slots): {} KB",
+        cfg.shared_mem_per_block / 1024
+    );
+    println!(
+        "    global memory (context buffer x {} blocks + shared bookkeeping): {:.1} MB",
+        cfg.daemon_blocks,
+        usage.global_allocated as f64 / (1024.0 * 1024.0)
+    );
+    for rank in ranks {
+        rank.destroy();
+    }
+
+    println!("\nFig. 7(c) — time to write one CQE to the three CQ designs");
+    println!("  (modelled host-memory costs; paper: 6.9 / 4.8 / 2.0 µs)");
+    for (name, variant) in [
+        ("vanilla ring-buffer CQ", CqVariant::VanillaRing),
+        ("optimized ring-buffer CQ", CqVariant::OptimizedRing),
+        ("optimized CQ", CqVariant::OptimizedSlot),
+    ] {
+        let cq = build_cq(variant, 64, HostMemCosts::default());
+        let samples = 200;
+        let mut total = Duration::ZERO;
+        for i in 0..samples {
+            let start = Instant::now();
+            assert!(cq.push(Cqe { coll_id: i as u64 % 32 }));
+            total += start.elapsed();
+            cq.pop();
+        }
+        println!("    {:28} {} µs", name, fmt_us(total / samples as u32));
+    }
+}

@@ -1,0 +1,178 @@
+//! Regenerates the **Sec. 6.1** deadlock-prevention experiments.
+//!
+//! * Program 1: eight GPUs, each using a unique random launch order, invoke
+//!   the same set of eight all-reduces (256 B – 1 MB) for N iterations.
+//!   DFCCL completes every iteration (reporting preemptions per block); the
+//!   NCCL-like baseline, issuing the same disordered orders on a single stream
+//!   per GPU, deadlocks 100% of the time.
+//! * Program 2: a `cudaDeviceSynchronize()` is inserted between the disordered
+//!   all-reduces. DFCCL's daemon kernel quits voluntarily so the
+//!   synchronizations drain and the all-reduces still complete; the baseline
+//!   deadlocks.
+//!
+//! ```text
+//! cargo run --release -p dfccl-bench --bin sec61_deadlock_prevention -- [--iterations 20] [--program 0|1|2]
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dfccl::{DfcclConfig, DfcclDomain};
+use dfccl_baseline::{wait_all_or_deadlock, NcclDomain};
+use dfccl_bench::arg_num;
+use dfccl_collectives::{DataType, DeviceBuffer, ReduceOp};
+use dfccl_transport::{LinkModel, Topology};
+use gpu_sim::{GpuId, GpuSpec, StreamId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+const GPUS: usize = 8;
+/// Eight all-reduce buffer sizes from 256 B to 1 MB.
+const SIZES: [usize; 8] = [256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10, 512 << 10, 1 << 20];
+
+fn gpu_ids() -> Vec<GpuId> {
+    (0..GPUS).map(GpuId).collect()
+}
+
+fn dfccl_program(iterations: usize, with_sync: bool) {
+    let domain = DfcclDomain::new(
+        Topology::single_server(),
+        LinkModel::table2_compressed(200.0),
+        GpuSpec::rtx_3090(),
+        DfcclConfig::default(),
+    );
+    let ranks: Vec<Arc<dfccl::RankCtx>> = (0..GPUS)
+        .map(|g| Arc::new(domain.init_rank(GpuId(g)).unwrap()))
+        .collect();
+    for (coll_id, size) in SIZES.iter().enumerate() {
+        let count = size / 4;
+        for rank in &ranks {
+            rank.register_all_reduce(coll_id as u64, count, DataType::F32, ReduceOp::Sum, gpu_ids(), 0)
+                .unwrap();
+        }
+    }
+    let mut joins = Vec::new();
+    for (g, rank) in ranks.iter().enumerate() {
+        let rank = Arc::clone(rank);
+        joins.push(std::thread::spawn(move || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(g as u64 + 1);
+            for _ in 0..iterations {
+                // A unique random launch order per GPU per iteration.
+                let mut order: Vec<u64> = (0..SIZES.len() as u64).collect();
+                order.shuffle(&mut rng);
+                let mut handles = Vec::new();
+                for (k, coll_id) in order.iter().enumerate() {
+                    let count = SIZES[*coll_id as usize] / 4;
+                    let send = DeviceBuffer::from_f32(&vec![1.0; count]);
+                    let recv = DeviceBuffer::zeroed(count * 4);
+                    handles.push(rank.run_awaitable(*coll_id, send, recv).unwrap());
+                    if with_sync && k == SIZES.len() / 2 {
+                        // cudaDeviceSynchronize() between the collectives.
+                        assert!(
+                            rank.device_synchronize(Duration::from_secs(60)),
+                            "device synchronization must complete under DFCCL"
+                        );
+                    }
+                }
+                for h in handles {
+                    assert!(h.wait_for_timeout(1, Duration::from_secs(120)), "all-reduce timed out");
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    println!("  DFCCL: all {GPUS} GPUs completed {} all-reduces x {iterations} iterations, 0 deadlocks", SIZES.len());
+    let stats = ranks[0].stats();
+    println!(
+        "  GPU0: preemptions/block = {:.0}, voluntary quits = {}, daemon starts = {}, context saves = {}",
+        ranks[0].preemptions_per_block(),
+        stats.voluntary_quits,
+        stats.daemon_starts,
+        stats.context_saves,
+    );
+    for rank in ranks {
+        rank.destroy();
+    }
+}
+
+fn nccl_program(with_sync: bool) {
+    let domain = NcclDomain::new(
+        Topology::single_server(),
+        LinkModel::table2_compressed(200.0),
+        GpuSpec::rtx_3090(),
+        32 * 1024,
+    );
+    let ranks: Vec<Arc<dfccl_baseline::NcclRank>> = (0..GPUS)
+        .map(|g| Arc::new(domain.init_rank(GpuId(g)).unwrap()))
+        .collect();
+    for (coll_id, size) in SIZES.iter().enumerate() {
+        for rank in &ranks {
+            rank.register(
+                coll_id as u64,
+                dfccl_collectives::CollectiveDescriptor::all_reduce(
+                    size / 4,
+                    DataType::F32,
+                    ReduceOp::Sum,
+                    gpu_ids(),
+                ),
+            )
+            .unwrap();
+        }
+    }
+    let mut handles = Vec::new();
+    let mut joins = Vec::new();
+    for (g, rank) in ranks.iter().enumerate() {
+        let rank = Arc::clone(rank);
+        joins.push(std::thread::spawn(move || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(g as u64 + 1);
+            let mut order: Vec<u64> = (0..SIZES.len() as u64).collect();
+            order.shuffle(&mut rng);
+            let mut local = Vec::new();
+            for (k, coll_id) in order.iter().enumerate() {
+                let count = SIZES[*coll_id as usize] / 4;
+                let send = DeviceBuffer::from_f32(&vec![1.0; count]);
+                let recv = DeviceBuffer::zeroed(count * 4);
+                // Single stream per GPU (the single-queue programming model).
+                let stream = StreamId(1);
+                local.push(rank.launch_collective(*coll_id, stream, send, recv).unwrap());
+                if with_sync && k == SIZES.len() / 2 {
+                    let _ = rank.device_synchronize_timeout(Duration::from_millis(500));
+                }
+            }
+            local
+        }));
+    }
+    for j in joins {
+        handles.extend(j.join().unwrap());
+    }
+    let outcome = wait_all_or_deadlock(&handles, &domain.engines(), Duration::from_secs(5));
+    println!(
+        "  NCCL-like baseline: {}",
+        if outcome.is_deadlock() {
+            "DEADLOCK (100% of attempts, as in the paper)"
+        } else {
+            "completed (unexpected)"
+        }
+    );
+    domain.shutdown();
+}
+
+fn main() {
+    let iterations: usize = arg_num("--iterations", 20);
+    let program: usize = arg_num("--program", 0);
+
+    if program == 0 || program == 1 {
+        println!("Program 1 — disordered launch orders, no GPU synchronization");
+        dfccl_program(iterations, false);
+        nccl_program(false);
+    }
+    if program == 0 || program == 2 {
+        println!("\nProgram 2 — disordered launch orders with cudaDeviceSynchronize between collectives");
+        dfccl_program(iterations, true);
+        nccl_program(true);
+    }
+    println!("\nPaper reference: DFCCL never deadlocks (≈18,000 preemptions per block in program 1,");
+    println!("≈360 voluntary quits per 200 iterations in program 2); NCCL deadlocks 100% of the time.");
+}

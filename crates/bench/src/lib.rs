@@ -1,0 +1,104 @@
+//! # dfccl-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` for the full
+//! experiment index), plus Criterion micro-benchmarks. This library holds the
+//! small shared utilities the harness binaries use: table printing, buffer
+//! size sweeps, and common argument parsing.
+
+use std::time::Duration;
+
+/// Parse `--key value` style arguments from `std::env::args`, returning the
+/// value for `key` if present.
+pub fn arg_value(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parse a `--key value` argument as a number, with a default.
+pub fn arg_num<T: std::str::FromStr>(key: &str, default: T) -> T {
+    arg_value(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The buffer-size sweep used by the NCCL-tests-style benchmarks (Fig. 8):
+/// powers of two from `from` to `to` bytes inclusive.
+pub fn byte_sweep(from: usize, to: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut b = from.max(1);
+    while b <= to {
+        out.push(b);
+        b *= 2;
+    }
+    out
+}
+
+/// Format a byte count the way nccl-tests does (512, 1K, 4M, ...).
+pub fn fmt_bytes(bytes: usize) -> String {
+    if bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0 {
+        format!("{}M", bytes / (1024 * 1024))
+    } else if bytes >= 1024 && bytes % 1024 == 0 {
+        format!("{}K", bytes / 1024)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+/// Format a duration in microseconds with two decimals.
+pub fn fmt_us(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e6)
+}
+
+/// Algorithm bandwidth in GB/s as nccl-tests defines it: payload bytes divided
+/// by end-to-end time.
+pub fn algo_bandwidth_gbps(bytes: usize, elapsed: Duration) -> f64 {
+    if elapsed.is_zero() {
+        return 0.0;
+    }
+    bytes as f64 / elapsed.as_secs_f64() / 1e9
+}
+
+/// Print a row of right-aligned columns.
+pub fn print_row(cols: &[String], widths: &[usize]) {
+    let line: Vec<String> = cols
+        .iter()
+        .zip(widths.iter())
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_sweep_is_powers_of_two() {
+        let s = byte_sweep(512, 4096);
+        assert_eq!(s, vec![512, 1024, 2048, 4096]);
+        assert!(byte_sweep(8, 4).is_empty());
+    }
+
+    #[test]
+    fn byte_formatting_matches_nccl_tests_style() {
+        assert_eq!(fmt_bytes(512), "512");
+        assert_eq!(fmt_bytes(2048), "2K");
+        assert_eq!(fmt_bytes(4 * 1024 * 1024), "4M");
+        assert_eq!(fmt_bytes(1536), "1536");
+    }
+
+    #[test]
+    fn bandwidth_and_time_formatting() {
+        let bw = algo_bandwidth_gbps(1_000_000_000, Duration::from_secs(1));
+        assert!((bw - 1.0).abs() < 1e-9);
+        assert_eq!(algo_bandwidth_gbps(1, Duration::ZERO), 0.0);
+        assert_eq!(fmt_us(Duration::from_micros(45)), "45.00");
+    }
+
+    #[test]
+    fn arg_num_falls_back_to_default() {
+        assert_eq!(arg_num("--definitely-not-passed", 42usize), 42);
+    }
+}

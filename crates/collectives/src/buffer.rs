@@ -1,0 +1,173 @@
+//! Local send/recv buffers shared between the application thread and the
+//! daemon kernel.
+//!
+//! In the real system these are device-memory pointers; here they are
+//! reference-counted byte buffers. The invoker keeps a handle, the daemon
+//! kernel reads the send buffer and writes the recv buffer, and the completion
+//! callback tells the invoker when the recv buffer holds the result.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A shared, growable byte buffer standing in for a device-memory allocation.
+#[derive(Debug, Clone)]
+pub struct DeviceBuffer {
+    inner: Arc<RwLock<Vec<u8>>>,
+}
+
+impl DeviceBuffer {
+    /// A zero-filled buffer of `len` bytes.
+    pub fn zeroed(len: usize) -> Self {
+        DeviceBuffer {
+            inner: Arc::new(RwLock::new(vec![0u8; len])),
+        }
+    }
+
+    /// A buffer initialised from raw bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        DeviceBuffer {
+            inner: Arc::new(RwLock::new(bytes)),
+        }
+    }
+
+    /// A buffer initialised from a slice of `f32` values (little-endian).
+    pub fn from_f32(values: &[f32]) -> Self {
+        DeviceBuffer::from_bytes(values.iter().flat_map(|v| v.to_le_bytes()).collect())
+    }
+
+    /// A buffer initialised from a slice of `i32` values (little-endian).
+    pub fn from_i32(values: &[i32]) -> Self {
+        DeviceBuffer::from_bytes(values.iter().flat_map(|v| v.to_le_bytes()).collect())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the buffer has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of the whole contents.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.read().clone()
+    }
+
+    /// Interpret the contents as `f32` values.
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        self.inner
+            .read()
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect()
+    }
+
+    /// Interpret the contents as `i32` values.
+    pub fn to_i32_vec(&self) -> Vec<i32> {
+        self.inner
+            .read()
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect()
+    }
+
+    /// Copy of a byte range.
+    pub fn read_range(&self, offset: usize, len: usize) -> Vec<u8> {
+        self.inner.read()[offset..offset + len].to_vec()
+    }
+
+    /// Overwrite a byte range.
+    pub fn write_range(&self, offset: usize, data: &[u8]) {
+        self.inner.write()[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Overwrite the whole buffer (resizing it).
+    pub fn replace(&self, data: Vec<u8>) {
+        *self.inner.write() = data;
+    }
+
+    /// Run `f` with read access to the contents.
+    pub fn with_read<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Run `f` with write access to the contents.
+    pub fn with_write<R>(&self, f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Whether two handles refer to the same underlying allocation.
+    pub fn same_allocation(&self, other: &DeviceBuffer) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_buffer_has_requested_length() {
+        let b = DeviceBuffer::zeroed(16);
+        assert_eq!(b.len(), 16);
+        assert!(!b.is_empty());
+        assert_eq!(b.to_vec(), vec![0u8; 16]);
+        assert!(DeviceBuffer::zeroed(0).is_empty());
+    }
+
+    #[test]
+    fn f32_round_trip() {
+        let values = vec![1.5f32, -2.0, 3.25];
+        let b = DeviceBuffer::from_f32(&values);
+        assert_eq!(b.to_f32_vec(), values);
+        assert_eq!(b.len(), 12);
+    }
+
+    #[test]
+    fn i32_round_trip() {
+        let values = vec![1i32, -7, 1 << 20];
+        let b = DeviceBuffer::from_i32(&values);
+        assert_eq!(b.to_i32_vec(), values);
+    }
+
+    #[test]
+    fn range_read_write() {
+        let b = DeviceBuffer::zeroed(8);
+        b.write_range(2, &[9, 9, 9]);
+        assert_eq!(b.read_range(1, 5), vec![0, 9, 9, 9, 0]);
+    }
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let a = DeviceBuffer::zeroed(4);
+        let b = a.clone();
+        b.write_range(0, &[1, 2, 3, 4]);
+        assert_eq!(a.to_vec(), vec![1, 2, 3, 4]);
+        assert!(a.same_allocation(&b));
+        assert!(!a.same_allocation(&DeviceBuffer::zeroed(4)));
+    }
+
+    #[test]
+    fn replace_resizes() {
+        let b = DeviceBuffer::zeroed(2);
+        b.replace(vec![7; 10]);
+        assert_eq!(b.len(), 10);
+    }
+
+    #[test]
+    fn with_read_and_write_closures() {
+        let b = DeviceBuffer::from_f32(&[1.0, 2.0]);
+        let sum: f32 = b.with_read(|bytes| {
+            bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .sum()
+        });
+        assert_eq!(sum, 3.0);
+        b.with_write(|v| v.truncate(4));
+        assert_eq!(b.len(), 4);
+    }
+}

@@ -1,0 +1,174 @@
+//! Chunking: dividing collective data into regular chunks and per-rank slices.
+//!
+//! Input data for a collective is divided into regular chunks to bound the
+//! size of each connector transfer (and, in DFCCL, to create frequent
+//! preemption points). The ring algorithm additionally partitions data into
+//! one *slice* per rank.
+
+use serde::{Deserialize, Serialize};
+
+/// A contiguous range of elements inside a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ElemRange {
+    /// First element index.
+    pub offset: usize,
+    /// Number of elements.
+    pub len: usize,
+}
+
+impl ElemRange {
+    /// Construct a range.
+    pub fn new(offset: usize, len: usize) -> Self {
+        ElemRange { offset, len }
+    }
+
+    /// One past the last element index.
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+
+    /// Byte offset given an element size.
+    pub fn byte_offset(&self, elem_size: usize) -> usize {
+        self.offset * elem_size
+    }
+
+    /// Byte length given an element size.
+    pub fn byte_len(&self, elem_size: usize) -> usize {
+        self.len * elem_size
+    }
+
+    /// Shift the range by `delta` elements.
+    pub fn shifted(&self, delta: usize) -> ElemRange {
+        ElemRange::new(self.offset + delta, self.len)
+    }
+}
+
+/// Split `total` elements into chunks of at most `max_chunk` elements.
+/// Every chunk except possibly the last has exactly `max_chunk` elements.
+/// Returns an empty vector for `total == 0`.
+pub fn chunk_ranges(total: usize, max_chunk: usize) -> Vec<ElemRange> {
+    assert!(max_chunk > 0, "chunk size must be positive");
+    let mut out = Vec::with_capacity(total.div_ceil(max_chunk));
+    let mut offset = 0;
+    while offset < total {
+        let len = max_chunk.min(total - offset);
+        out.push(ElemRange::new(offset, len));
+        offset += len;
+    }
+    out
+}
+
+/// Split `total` elements into `parts` contiguous, near-equal slices.
+/// The first `total % parts` slices get one extra element, so slices cover the
+/// whole range with sizes differing by at most one. Slices may be empty when
+/// `total < parts`.
+pub fn slice_ranges(total: usize, parts: usize) -> Vec<ElemRange> {
+    assert!(parts > 0, "number of slices must be positive");
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut offset = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(ElemRange::new(offset, len));
+        offset += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn chunks_cover_the_range_exactly() {
+        let chunks = chunk_ranges(10, 4);
+        assert_eq!(
+            chunks,
+            vec![
+                ElemRange::new(0, 4),
+                ElemRange::new(4, 4),
+                ElemRange::new(8, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_total_gives_no_chunks() {
+        assert!(chunk_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    fn single_chunk_when_total_fits() {
+        assert_eq!(chunk_ranges(3, 8), vec![ElemRange::new(0, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_chunk_size_panics() {
+        let _ = chunk_ranges(8, 0);
+    }
+
+    #[test]
+    fn slices_are_near_equal() {
+        let slices = slice_ranges(10, 3);
+        assert_eq!(
+            slices,
+            vec![
+                ElemRange::new(0, 4),
+                ElemRange::new(4, 3),
+                ElemRange::new(7, 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn slices_can_be_empty_when_total_is_small() {
+        let slices = slice_ranges(2, 4);
+        assert_eq!(slices.iter().filter(|s| s.len == 0).count(), 2);
+        assert_eq!(slices.iter().map(|s| s.len).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn range_helpers() {
+        let r = ElemRange::new(3, 5);
+        assert_eq!(r.end(), 8);
+        assert_eq!(r.byte_offset(4), 12);
+        assert_eq!(r.byte_len(4), 20);
+        assert_eq!(r.shifted(2), ElemRange::new(5, 5));
+    }
+
+    proptest! {
+        #[test]
+        fn chunks_partition_any_range(total in 0usize..10_000, max_chunk in 1usize..512) {
+            let chunks = chunk_ranges(total, max_chunk);
+            // Contiguous, in order, covering exactly [0, total).
+            let mut expected_offset = 0;
+            for c in &chunks {
+                prop_assert_eq!(c.offset, expected_offset);
+                prop_assert!(c.len >= 1);
+                prop_assert!(c.len <= max_chunk);
+                expected_offset = c.end();
+            }
+            prop_assert_eq!(expected_offset, total);
+        }
+
+        #[test]
+        fn slices_partition_any_range(total in 0usize..10_000, parts in 1usize..64) {
+            let slices = slice_ranges(total, parts);
+            prop_assert_eq!(slices.len(), parts);
+            let mut expected_offset = 0;
+            let mut min_len = usize::MAX;
+            let mut max_len = 0usize;
+            for s in &slices {
+                prop_assert_eq!(s.offset, expected_offset);
+                expected_offset = s.end();
+                min_len = min_len.min(s.len);
+                max_len = max_len.max(s.len);
+            }
+            prop_assert_eq!(expected_offset, total);
+            prop_assert!(max_len - min_len <= 1);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Collective kinds and descriptors.
+
+use gpu_sim::GpuId;
+use serde::{Deserialize, Serialize};
+
+use crate::datatype::DataType;
+use crate::redop::ReduceOp;
+use crate::CollectiveError;
+
+/// The five common GPU collectives the paper targets (Sec. 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// Every rank contributes `count` elements; every rank receives the
+    /// element-wise reduction.
+    AllReduce,
+    /// Every rank contributes `count` elements; every rank receives the
+    /// concatenation of all contributions (`count * n` elements).
+    AllGather,
+    /// Every rank contributes `count * n` elements; rank `r` receives the
+    /// reduction of everyone's slice `r` (`count` elements).
+    ReduceScatter,
+    /// Every rank contributes `count` elements; the root receives the reduction.
+    Reduce,
+    /// The root contributes `count` elements; every rank receives a copy.
+    Broadcast,
+}
+
+impl CollectiveKind {
+    /// Whether this collective performs a reduction (and therefore needs an operator).
+    pub fn is_reducing(&self) -> bool {
+        matches!(
+            self,
+            CollectiveKind::AllReduce | CollectiveKind::ReduceScatter | CollectiveKind::Reduce
+        )
+    }
+
+    /// Whether this collective is rooted.
+    pub fn is_rooted(&self) -> bool {
+        matches!(self, CollectiveKind::Reduce | CollectiveKind::Broadcast)
+    }
+
+    /// All collective kinds.
+    pub const ALL: [CollectiveKind; 5] = [
+        CollectiveKind::AllReduce,
+        CollectiveKind::AllGather,
+        CollectiveKind::ReduceScatter,
+        CollectiveKind::Reduce,
+        CollectiveKind::Broadcast,
+    ];
+}
+
+impl std::fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CollectiveKind::AllReduce => "all-reduce",
+            CollectiveKind::AllGather => "all-gather",
+            CollectiveKind::ReduceScatter => "reduce-scatter",
+            CollectiveKind::Reduce => "reduce",
+            CollectiveKind::Broadcast => "broadcast",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Static description of a collective, fixed at registration time
+/// (`dfcclRegister*` in Listing 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveDescriptor {
+    /// Which collective.
+    pub kind: CollectiveKind,
+    /// Element count, with the per-kind meaning documented on [`CollectiveKind`].
+    pub count: usize,
+    /// Element type.
+    pub dtype: DataType,
+    /// Reduction operator (required for reducing collectives).
+    pub op: Option<ReduceOp>,
+    /// Root rank (required for rooted collectives).
+    pub root: Option<usize>,
+    /// Participating GPUs in rank order.
+    pub devices: Vec<GpuId>,
+    /// User-specified scheduling priority; higher runs earlier under the
+    /// priority-based ordering policy. `0` means "no particular priority".
+    pub priority: i32,
+}
+
+impl CollectiveDescriptor {
+    /// Convenience constructor for an all-reduce.
+    pub fn all_reduce(count: usize, dtype: DataType, op: ReduceOp, devices: Vec<GpuId>) -> Self {
+        CollectiveDescriptor {
+            kind: CollectiveKind::AllReduce,
+            count,
+            dtype,
+            op: Some(op),
+            root: None,
+            devices,
+            priority: 0,
+        }
+    }
+
+    /// Convenience constructor for an all-gather.
+    pub fn all_gather(count: usize, dtype: DataType, devices: Vec<GpuId>) -> Self {
+        CollectiveDescriptor {
+            kind: CollectiveKind::AllGather,
+            count,
+            dtype,
+            op: None,
+            root: None,
+            devices,
+            priority: 0,
+        }
+    }
+
+    /// Convenience constructor for a reduce-scatter.
+    pub fn reduce_scatter(
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+        devices: Vec<GpuId>,
+    ) -> Self {
+        CollectiveDescriptor {
+            kind: CollectiveKind::ReduceScatter,
+            count,
+            dtype,
+            op: Some(op),
+            root: None,
+            devices,
+            priority: 0,
+        }
+    }
+
+    /// Convenience constructor for a rooted reduce.
+    pub fn reduce(
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+        root: usize,
+        devices: Vec<GpuId>,
+    ) -> Self {
+        CollectiveDescriptor {
+            kind: CollectiveKind::Reduce,
+            count,
+            dtype,
+            op: Some(op),
+            root: Some(root),
+            devices,
+            priority: 0,
+        }
+    }
+
+    /// Convenience constructor for a broadcast.
+    pub fn broadcast(count: usize, dtype: DataType, root: usize, devices: Vec<GpuId>) -> Self {
+        CollectiveDescriptor {
+            kind: CollectiveKind::Broadcast,
+            count,
+            dtype,
+            op: None,
+            root: Some(root),
+            devices,
+            priority: 0,
+        }
+    }
+
+    /// Set the scheduling priority.
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Number of participating ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), CollectiveError> {
+        if self.devices.len() < 2 {
+            return Err(CollectiveError::DeviceSetTooSmall(self.devices.len()));
+        }
+        if self.count == 0 {
+            return Err(CollectiveError::EmptyCollective);
+        }
+        if self.kind.is_reducing() && self.op.is_none() {
+            return Err(CollectiveError::MissingReduceOp);
+        }
+        if self.kind.is_rooted() {
+            match self.root {
+                Some(r) if r < self.devices.len() => {}
+                other => return Err(CollectiveError::InvalidRoot(other)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Required size of the send buffer for `rank`, in elements.
+    pub fn send_elems(&self, _rank: usize) -> usize {
+        match self.kind {
+            CollectiveKind::AllReduce
+            | CollectiveKind::AllGather
+            | CollectiveKind::Reduce
+            | CollectiveKind::Broadcast => self.count,
+            CollectiveKind::ReduceScatter => self.count * self.num_ranks(),
+        }
+    }
+
+    /// Required size of the recv buffer for `rank`, in elements.
+    pub fn recv_elems(&self, rank: usize) -> usize {
+        match self.kind {
+            CollectiveKind::AllReduce | CollectiveKind::Broadcast => self.count,
+            CollectiveKind::AllGather => self.count * self.num_ranks(),
+            CollectiveKind::ReduceScatter => self.count,
+            CollectiveKind::Reduce => {
+                if Some(rank) == self.root {
+                    self.count
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Required size of the send buffer in bytes.
+    pub fn send_bytes(&self, rank: usize) -> usize {
+        self.send_elems(rank) * self.dtype.size_bytes()
+    }
+
+    /// Required size of the recv buffer in bytes.
+    pub fn recv_bytes(&self, rank: usize) -> usize {
+        self.recv_elems(rank) * self.dtype.size_bytes()
+    }
+
+    /// Total bytes a rank moves over the wire (approximate; ring algorithm).
+    /// Useful for the algorithm-bandwidth computation in the benchmarks.
+    pub fn wire_bytes_per_rank(&self) -> usize {
+        let n = self.num_ranks();
+        let elem = self.dtype.size_bytes();
+        match self.kind {
+            CollectiveKind::AllReduce => 2 * (n - 1) * (self.count / n.max(1)) * elem,
+            CollectiveKind::AllGather | CollectiveKind::ReduceScatter => {
+                (n - 1) * self.count * elem
+            }
+            CollectiveKind::Reduce | CollectiveKind::Broadcast => self.count * elem,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpus(n: usize) -> Vec<GpuId> {
+        (0..n).map(GpuId).collect()
+    }
+
+    #[test]
+    fn kind_properties() {
+        assert!(CollectiveKind::AllReduce.is_reducing());
+        assert!(!CollectiveKind::AllGather.is_reducing());
+        assert!(CollectiveKind::Reduce.is_rooted());
+        assert!(CollectiveKind::Broadcast.is_rooted());
+        assert!(!CollectiveKind::AllReduce.is_rooted());
+        assert_eq!(CollectiveKind::ALL.len(), 5);
+    }
+
+    #[test]
+    fn validate_catches_problems() {
+        let mut d = CollectiveDescriptor::all_reduce(8, DataType::F32, ReduceOp::Sum, gpus(1));
+        assert!(matches!(d.validate(), Err(CollectiveError::DeviceSetTooSmall(1))));
+        d.devices = gpus(4);
+        d.count = 0;
+        assert!(matches!(d.validate(), Err(CollectiveError::EmptyCollective)));
+        d.count = 8;
+        d.op = None;
+        assert!(matches!(d.validate(), Err(CollectiveError::MissingReduceOp)));
+        d.op = Some(ReduceOp::Sum);
+        assert!(d.validate().is_ok());
+
+        let bad_root = CollectiveDescriptor::broadcast(8, DataType::F32, 9, gpus(4));
+        assert!(matches!(bad_root.validate(), Err(CollectiveError::InvalidRoot(Some(9)))));
+        let good_root = CollectiveDescriptor::reduce(8, DataType::F32, ReduceOp::Sum, 3, gpus(4));
+        assert!(good_root.validate().is_ok());
+    }
+
+    #[test]
+    fn buffer_sizes_follow_collective_semantics() {
+        let n = 4;
+        let ar = CollectiveDescriptor::all_reduce(100, DataType::F32, ReduceOp::Sum, gpus(n));
+        assert_eq!(ar.send_elems(0), 100);
+        assert_eq!(ar.recv_elems(0), 100);
+
+        let ag = CollectiveDescriptor::all_gather(100, DataType::F32, gpus(n));
+        assert_eq!(ag.send_elems(1), 100);
+        assert_eq!(ag.recv_elems(1), 400);
+
+        let rs = CollectiveDescriptor::reduce_scatter(100, DataType::F32, ReduceOp::Sum, gpus(n));
+        assert_eq!(rs.send_elems(2), 400);
+        assert_eq!(rs.recv_elems(2), 100);
+
+        let red = CollectiveDescriptor::reduce(100, DataType::F64, ReduceOp::Max, 1, gpus(n));
+        assert_eq!(red.recv_elems(1), 100);
+        assert_eq!(red.recv_elems(0), 0);
+        assert_eq!(red.send_bytes(0), 800);
+
+        let bc = CollectiveDescriptor::broadcast(100, DataType::U8, 0, gpus(n));
+        assert_eq!(bc.send_bytes(0), 100);
+        assert_eq!(bc.recv_bytes(3), 100);
+    }
+
+    #[test]
+    fn wire_bytes_reflect_ring_volume() {
+        let n = 8;
+        let ar = CollectiveDescriptor::all_reduce(1024, DataType::F32, ReduceOp::Sum, gpus(n));
+        // 2*(n-1)/n of the buffer, in bytes.
+        assert_eq!(ar.wire_bytes_per_rank(), 2 * 7 * 128 * 4);
+        let bc = CollectiveDescriptor::broadcast(1024, DataType::F32, 0, gpus(n));
+        assert_eq!(bc.wire_bytes_per_rank(), 4096);
+    }
+
+    #[test]
+    fn priority_builder() {
+        let d = CollectiveDescriptor::all_gather(4, DataType::F32, gpus(2)).with_priority(7);
+        assert_eq!(d.priority, 7);
+    }
+}

@@ -1,0 +1,73 @@
+//! Element data types supported by the collectives.
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of the data a collective operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 32-bit IEEE-754 float (the common gradient type).
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 8-bit unsigned integer.
+    U8,
+}
+
+impl DataType {
+    /// Size of one element in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            DataType::F32 | DataType::I32 => 4,
+            DataType::F64 | DataType::I64 => 8,
+            DataType::U8 => 1,
+        }
+    }
+
+    /// All supported data types (useful for sweeps and property tests).
+    pub const ALL: [DataType; 5] = [
+        DataType::F32,
+        DataType::F64,
+        DataType::I32,
+        DataType::I64,
+        DataType::U8,
+    ];
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DataType::F32 => "f32",
+            DataType::F64 => "f64",
+            DataType::I32 => "i32",
+            DataType::I64 => "i64",
+            DataType::U8 => "u8",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_sizes_are_correct() {
+        assert_eq!(DataType::F32.size_bytes(), 4);
+        assert_eq!(DataType::F64.size_bytes(), 8);
+        assert_eq!(DataType::I32.size_bytes(), 4);
+        assert_eq!(DataType::I64.size_bytes(), 8);
+        assert_eq!(DataType::U8.size_bytes(), 1);
+    }
+
+    #[test]
+    fn display_names_are_lowercase() {
+        for dt in DataType::ALL {
+            let name = dt.to_string();
+            assert_eq!(name, name.to_lowercase());
+        }
+    }
+}

@@ -1,0 +1,624 @@
+//! Executing primitives against a rank's connectors and local buffers.
+//!
+//! The executor is deliberately split into two calls:
+//!
+//! * [`step_ready`] — whether the connector conditions the primitive needs
+//!   (free send slot, available recv chunk) currently hold. This is the
+//!   condition a primitive busy-waits on. DFCCL's daemon kernel polls it up to
+//!   a spin threshold and preempts the collective when the bound is exceeded;
+//!   the NCCL-like baseline polls it forever.
+//! * [`execute_ready_step`] — runs the primitive once the conditions hold.
+//!   The primitive consumes at most one chunk, produces at most one chunk, and
+//!   never blocks, so a collective can be suspended before or after any
+//!   primitive without losing data (the context is just the index of the next
+//!   primitive to run).
+
+use dfccl_transport::{ChunkMsg, RankChannels, SendError};
+
+use crate::buffer::DeviceBuffer;
+use crate::collective::CollectiveDescriptor;
+use crate::datatype::DataType;
+use crate::primitive::{PrimitiveKind, PrimitiveStep};
+use crate::redop::{reduce_into, ReduceOp};
+use crate::CollectiveError;
+
+/// Result of attempting one primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The primitive executed.
+    Completed,
+    /// The connector conditions were not met; nothing was consumed or produced.
+    NotReady,
+}
+
+/// Errors raised during primitive execution. These indicate a broken plan or a
+/// corrupted connector stream, not a transient condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The incoming chunk's payload size does not match the primitive's range.
+    PayloadSizeMismatch { expected: usize, actual: usize },
+    /// The incoming chunk belongs to a different collective.
+    CollectiveMismatch { expected: u64, actual: u64 },
+    /// A reducing primitive was executed without a reduce operator.
+    MissingReduceOp,
+    /// The send connector was full even though readiness was checked; this can
+    /// only happen if another producer shares the connector, which violates
+    /// the per-collective connector ownership invariant.
+    ConnectorProtocolViolation,
+    /// The plan or buffers were inconsistent with the descriptor.
+    Collective(CollectiveError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::PayloadSizeMismatch { expected, actual } => {
+                write!(f, "payload size mismatch: expected {expected} bytes, got {actual}")
+            }
+            ExecError::CollectiveMismatch { expected, actual } => {
+                write!(f, "chunk for collective {actual} arrived on connector of collective {expected}")
+            }
+            ExecError::MissingReduceOp => write!(f, "reducing primitive without a reduce operator"),
+            ExecError::ConnectorProtocolViolation => {
+                write!(f, "send connector full after readiness check (shared connector?)")
+            }
+            ExecError::Collective(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<CollectiveError> for ExecError {
+    fn from(e: CollectiveError) -> Self {
+        ExecError::Collective(e)
+    }
+}
+
+/// Whether the connector conditions required by `step` currently hold.
+pub fn step_ready(step: &PrimitiveStep, channels: &RankChannels) -> bool {
+    let send_ok = !step.kind.has_send() || channels.send.send_ready();
+    let recv_ok = !step.kind.has_recv() || channels.recv.recv_ready();
+    send_ok && recv_ok
+}
+
+/// Execute `step`, assuming [`step_ready`] was just observed to be true.
+///
+/// If the conditions no longer hold (e.g. the caller skipped the readiness
+/// check), the call returns [`StepOutcome::NotReady`] without consuming
+/// anything, except in the pathological case where the send connector is
+/// filled by a foreign producer between the check and the push.
+pub fn execute_ready_step(
+    coll_id: u64,
+    step: &PrimitiveStep,
+    channels: &RankChannels,
+    dtype: DataType,
+    op: Option<ReduceOp>,
+    send_buf: &DeviceBuffer,
+    recv_buf: &DeviceBuffer,
+) -> Result<StepOutcome, ExecError> {
+    let elem = dtype.size_bytes();
+
+    // Re-check readiness defensively; never consume a chunk we cannot process
+    // to completion.
+    if !step_ready(step, channels) {
+        return Ok(StepOutcome::NotReady);
+    }
+
+    // Gather the incoming chunk, if the primitive receives.
+    let incoming: Option<Vec<u8>> = if step.kind.has_recv() {
+        match channels.recv.try_recv() {
+            Some(msg) => {
+                if msg.coll_id != coll_id {
+                    return Err(ExecError::CollectiveMismatch {
+                        expected: coll_id,
+                        actual: msg.coll_id,
+                    });
+                }
+                Some(msg.data)
+            }
+            // Lost a race we cannot lose in SPSC usage; treat as not ready.
+            None => return Ok(StepOutcome::NotReady),
+        }
+    } else {
+        None
+    };
+
+    // Compute the data this primitive produces (locally and/or over the wire).
+    let data: Vec<u8> = match step.kind {
+        PrimitiveKind::Send | PrimitiveKind::Copy => {
+            let src = step.src.expect("Send/Copy primitives carry a src range");
+            send_buf.read_range(src.byte_offset(elem), src.byte_len(elem))
+        }
+        PrimitiveKind::Recv | PrimitiveKind::RecvCopySend => {
+            let data = incoming.expect("receiving primitive consumed a chunk");
+            let expected = step
+                .dst
+                .expect("Recv/RecvCopySend primitives carry a dst range")
+                .byte_len(elem);
+            if data.len() != expected {
+                return Err(ExecError::PayloadSizeMismatch {
+                    expected,
+                    actual: data.len(),
+                });
+            }
+            data
+        }
+        PrimitiveKind::RecvReduceSend
+        | PrimitiveKind::RecvReduceCopy
+        | PrimitiveKind::RecvReduceCopySend => {
+            let src = step.src.expect("reducing primitives carry a src range");
+            let mut local = send_buf.read_range(src.byte_offset(elem), src.byte_len(elem));
+            let data = incoming.expect("receiving primitive consumed a chunk");
+            if data.len() != local.len() {
+                return Err(ExecError::PayloadSizeMismatch {
+                    expected: local.len(),
+                    actual: data.len(),
+                });
+            }
+            let op = op.ok_or(ExecError::MissingReduceOp)?;
+            reduce_into(&mut local, &data, dtype, op);
+            local
+        }
+    };
+
+    // Local copy into the recv buffer.
+    if step.kind.has_copy() {
+        let dst = step.dst.expect("copying primitives carry a dst range");
+        recv_buf.write_range(dst.byte_offset(elem), &data);
+    }
+
+    // Publish over the wire.
+    if step.kind.has_send() {
+        let msg = ChunkMsg {
+            coll_id,
+            chunk_index: step.chunk_index,
+            step: step.step,
+            data,
+        };
+        if let Err(SendError::Full(_)) = channels.send.try_send(msg) {
+            return Err(ExecError::ConnectorProtocolViolation);
+        }
+    }
+
+    Ok(StepOutcome::Completed)
+}
+
+/// Run an entire plan to completion by busy-waiting on every primitive, the
+/// way an NCCL kernel would. `should_abort` is polled while waiting so
+/// deadlocked scenarios can be torn down; returns `Ok(false)` if aborted.
+#[allow(clippy::too_many_arguments)]
+pub fn run_plan_blocking(
+    coll_id: u64,
+    plan: &[PrimitiveStep],
+    channels: &RankChannels,
+    dtype: DataType,
+    op: Option<ReduceOp>,
+    send_buf: &DeviceBuffer,
+    recv_buf: &DeviceBuffer,
+    should_abort: &dyn Fn() -> bool,
+) -> Result<bool, ExecError> {
+    for step in plan {
+        loop {
+            if should_abort() {
+                return Ok(false);
+            }
+            if step_ready(step, channels) {
+                match execute_ready_step(coll_id, step, channels, dtype, op, send_buf, recv_buf)? {
+                    StepOutcome::Completed => break,
+                    StepOutcome::NotReady => continue,
+                }
+            }
+            std::hint::spin_loop();
+        }
+    }
+    Ok(true)
+}
+
+/// Validate that user-supplied buffers match what the descriptor requires for
+/// `rank`. Shared by DFCCL's API layer and the baseline executor.
+pub fn validate_buffers(
+    desc: &CollectiveDescriptor,
+    rank: usize,
+    send_buf: &DeviceBuffer,
+    recv_buf: &DeviceBuffer,
+) -> Result<(), CollectiveError> {
+    let expected_send = desc.send_bytes(rank);
+    if send_buf.len() < expected_send {
+        return Err(CollectiveError::BufferSizeMismatch {
+            expected: expected_send,
+            actual: send_buf.len(),
+        });
+    }
+    let expected_recv = desc.recv_bytes(rank);
+    if recv_buf.len() < expected_recv {
+        return Err(CollectiveError::BufferSizeMismatch {
+            expected: expected_recv,
+            actual: recv_buf.len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::CollectiveKind;
+    use crate::ring::build_plan;
+    use dfccl_transport::{Communicator, CommunicatorId, LinkModel, Topology};
+    use gpu_sim::GpuId;
+    use std::sync::Arc;
+
+    fn make_comm(n: usize) -> Arc<Communicator> {
+        Communicator::new_ring(
+            CommunicatorId(0),
+            (0..n).map(GpuId).collect(),
+            &Topology::flat(n),
+            &Arc::new(LinkModel::zero_cost()),
+            16,
+        )
+        .unwrap()
+    }
+
+    /// Run a collective across `n` ranks, one thread per rank, and return each
+    /// rank's recv buffer as f32.
+    fn run_collective(desc: &CollectiveDescriptor, inputs: Vec<Vec<f32>>, chunk: usize) -> Vec<Vec<f32>> {
+        let n = desc.num_ranks();
+        let comm = make_comm(n);
+        let mut joins = Vec::new();
+        for (rank, input) in inputs.into_iter().enumerate() {
+            let desc = desc.clone();
+            let channels = comm.rank_channels(rank).unwrap();
+            joins.push(std::thread::spawn(move || {
+                let send = DeviceBuffer::from_f32(&input);
+                let recv = DeviceBuffer::zeroed(desc.recv_bytes(rank).max(4));
+                let plan = build_plan(&desc, rank, chunk).unwrap();
+                let done = run_plan_blocking(
+                    42,
+                    &plan,
+                    &channels,
+                    desc.dtype,
+                    desc.op,
+                    &send,
+                    &recv,
+                    &|| false,
+                )
+                .unwrap();
+                assert!(done);
+                recv.to_f32_vec()
+            }));
+        }
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn all_reduce_produces_the_sum_on_every_rank() {
+        let n = 4;
+        let count = 37; // not divisible by n, exercises uneven slices
+        let desc = CollectiveDescriptor::all_reduce(
+            count,
+            DataType::F32,
+            ReduceOp::Sum,
+            (0..n).map(GpuId).collect(),
+        );
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|r| (0..count).map(|i| (r * count + i) as f32).collect())
+            .collect();
+        let expected: Vec<f32> = (0..count)
+            .map(|i| (0..n).map(|r| (r * count + i) as f32).sum())
+            .collect();
+        let outputs = run_collective(&desc, inputs, 8);
+        for (rank, out) in outputs.iter().enumerate() {
+            assert_eq!(out, &expected, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn all_reduce_max_on_two_ranks() {
+        let desc = CollectiveDescriptor::all_reduce(
+            5,
+            DataType::F32,
+            ReduceOp::Max,
+            vec![GpuId(0), GpuId(1)],
+        );
+        let inputs = vec![vec![1.0, 9.0, -3.0, 4.0, 0.0], vec![2.0, 8.0, -1.0, 4.5, -7.0]];
+        let outputs = run_collective(&desc, inputs, 2);
+        assert_eq!(outputs[0], vec![2.0, 9.0, -1.0, 4.5, 0.0]);
+        assert_eq!(outputs[1], outputs[0]);
+    }
+
+    #[test]
+    fn all_gather_concatenates_contributions() {
+        let n = 3;
+        let count = 4;
+        let desc =
+            CollectiveDescriptor::all_gather(count, DataType::F32, (0..n).map(GpuId).collect());
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|r| (0..count).map(|i| (100 * r + i) as f32).collect())
+            .collect();
+        let expected: Vec<f32> = inputs.concat();
+        let outputs = run_collective(&desc, inputs, 3);
+        for out in outputs {
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_gives_each_rank_its_slice() {
+        let n = 3;
+        let count = 5;
+        let desc = CollectiveDescriptor::reduce_scatter(
+            count,
+            DataType::F32,
+            ReduceOp::Sum,
+            (0..n).map(GpuId).collect(),
+        );
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|r| (0..count * n).map(|i| (r + i) as f32).collect())
+            .collect();
+        let outputs = run_collective(&desc, inputs, 2);
+        for (rank, out) in outputs.iter().enumerate() {
+            let expected: Vec<f32> = (0..count)
+                .map(|i| {
+                    (0..n)
+                        .map(|r| (r + rank * count + i) as f32)
+                        .sum::<f32>()
+                })
+                .collect();
+            assert_eq!(out, &expected, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn reduce_delivers_sum_to_the_root_only() {
+        let n = 4;
+        let count = 6;
+        let root = 2;
+        let desc = CollectiveDescriptor::reduce(
+            count,
+            DataType::F32,
+            ReduceOp::Sum,
+            root,
+            (0..n).map(GpuId).collect(),
+        );
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|r| (0..count).map(|i| ((r + 1) * (i + 1)) as f32).collect())
+            .collect();
+        let expected: Vec<f32> = (0..count)
+            .map(|i| (0..n).map(|r| ((r + 1) * (i + 1)) as f32).sum())
+            .collect();
+        let outputs = run_collective(&desc, inputs, 4);
+        assert_eq!(outputs[root], expected);
+    }
+
+    #[test]
+    fn broadcast_copies_root_data_everywhere() {
+        let n = 4;
+        let count = 9;
+        let root = 1;
+        let desc =
+            CollectiveDescriptor::broadcast(count, DataType::F32, root, (0..n).map(GpuId).collect());
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|r| {
+                (0..count)
+                    .map(|i| if r == root { i as f32 * 2.0 } else { -1.0 })
+                    .collect()
+            })
+            .collect();
+        let expected: Vec<f32> = (0..count).map(|i| i as f32 * 2.0).collect();
+        let outputs = run_collective(&desc, inputs, 4);
+        for (rank, out) in outputs.iter().enumerate() {
+            assert_eq!(out, &expected, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn step_ready_tracks_connector_state() {
+        let comm = make_comm(2);
+        let ch0 = comm.rank_channels(0).unwrap();
+        let send_step = PrimitiveStep {
+            kind: PrimitiveKind::Send,
+            src: Some(crate::chunk::ElemRange::new(0, 1)),
+            dst: None,
+            chunk_index: 0,
+            step: 0,
+        };
+        let recv_step = PrimitiveStep {
+            kind: PrimitiveKind::Recv,
+            src: None,
+            dst: Some(crate::chunk::ElemRange::new(0, 1)),
+            chunk_index: 0,
+            step: 0,
+        };
+        assert!(step_ready(&send_step, &ch0));
+        assert!(!step_ready(&recv_step, &ch0));
+        // Fill the send connector completely: send becomes not-ready.
+        let send = DeviceBuffer::from_f32(&[1.0]);
+        let recv = DeviceBuffer::zeroed(4);
+        for _ in 0..ch0.send.capacity() {
+            execute_ready_step(1, &send_step, &ch0, DataType::F32, None, &send, &recv).unwrap();
+        }
+        assert!(!step_ready(&send_step, &ch0));
+        // And the peer now has data to receive.
+        let ch1 = comm.rank_channels(1).unwrap();
+        assert!(step_ready(&recv_step, &ch1));
+    }
+
+    #[test]
+    fn execute_not_ready_consumes_nothing() {
+        let comm = make_comm(2);
+        let ch0 = comm.rank_channels(0).unwrap();
+        let recv_step = PrimitiveStep {
+            kind: PrimitiveKind::Recv,
+            src: None,
+            dst: Some(crate::chunk::ElemRange::new(0, 1)),
+            chunk_index: 0,
+            step: 0,
+        };
+        let send = DeviceBuffer::zeroed(4);
+        let recv = DeviceBuffer::zeroed(4);
+        let out =
+            execute_ready_step(1, &recv_step, &ch0, DataType::F32, None, &send, &recv).unwrap();
+        assert_eq!(out, StepOutcome::NotReady);
+    }
+
+    #[test]
+    fn mismatched_collective_id_is_detected() {
+        let comm = make_comm(2);
+        let ch0 = comm.rank_channels(0).unwrap();
+        let ch1 = comm.rank_channels(1).unwrap();
+        // Rank 0 sends under collective id 7.
+        ch0.send
+            .try_send(ChunkMsg {
+                coll_id: 7,
+                chunk_index: 0,
+                step: 0,
+                data: vec![0u8; 4],
+            })
+            .unwrap();
+        let recv_step = PrimitiveStep {
+            kind: PrimitiveKind::Recv,
+            src: None,
+            dst: Some(crate::chunk::ElemRange::new(0, 1)),
+            chunk_index: 0,
+            step: 0,
+        };
+        let send = DeviceBuffer::zeroed(4);
+        let recv = DeviceBuffer::zeroed(4);
+        let err = execute_ready_step(9, &recv_step, &ch1, DataType::F32, None, &send, &recv)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::CollectiveMismatch { expected: 9, actual: 7 }));
+    }
+
+    #[test]
+    fn payload_size_mismatch_is_detected() {
+        let comm = make_comm(2);
+        let ch0 = comm.rank_channels(0).unwrap();
+        let ch1 = comm.rank_channels(1).unwrap();
+        ch0.send
+            .try_send(ChunkMsg {
+                coll_id: 1,
+                chunk_index: 0,
+                step: 0,
+                data: vec![0u8; 8],
+            })
+            .unwrap();
+        let recv_step = PrimitiveStep {
+            kind: PrimitiveKind::Recv,
+            src: None,
+            dst: Some(crate::chunk::ElemRange::new(0, 1)), // expects 4 bytes
+            chunk_index: 0,
+            step: 0,
+        };
+        let send = DeviceBuffer::zeroed(4);
+        let recv = DeviceBuffer::zeroed(4);
+        let err = execute_ready_step(1, &recv_step, &ch1, DataType::F32, None, &send, &recv)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::PayloadSizeMismatch { expected: 4, actual: 8 }));
+    }
+
+    #[test]
+    fn reducing_step_without_op_is_an_error() {
+        let comm = make_comm(2);
+        let ch0 = comm.rank_channels(0).unwrap();
+        let ch1 = comm.rank_channels(1).unwrap();
+        ch0.send
+            .try_send(ChunkMsg {
+                coll_id: 1,
+                chunk_index: 0,
+                step: 0,
+                data: vec![0u8; 4],
+            })
+            .unwrap();
+        let step = PrimitiveStep {
+            kind: PrimitiveKind::RecvReduceCopy,
+            src: Some(crate::chunk::ElemRange::new(0, 1)),
+            dst: Some(crate::chunk::ElemRange::new(0, 1)),
+            chunk_index: 0,
+            step: 0,
+        };
+        let send = DeviceBuffer::zeroed(4);
+        let recv = DeviceBuffer::zeroed(4);
+        let err =
+            execute_ready_step(1, &step, &ch1, DataType::F32, None, &send, &recv).unwrap_err();
+        assert_eq!(err, ExecError::MissingReduceOp);
+    }
+
+    #[test]
+    fn validate_buffers_checks_sizes() {
+        let desc = CollectiveDescriptor::all_gather(4, DataType::F32, vec![GpuId(0), GpuId(1)]);
+        let good_send = DeviceBuffer::zeroed(16);
+        let good_recv = DeviceBuffer::zeroed(32);
+        assert!(validate_buffers(&desc, 0, &good_send, &good_recv).is_ok());
+        let small_recv = DeviceBuffer::zeroed(16);
+        assert!(matches!(
+            validate_buffers(&desc, 0, &good_send, &small_recv),
+            Err(CollectiveError::BufferSizeMismatch { expected: 32, .. })
+        ));
+        let small_send = DeviceBuffer::zeroed(8);
+        assert!(validate_buffers(&desc, 0, &small_send, &good_recv).is_err());
+    }
+
+    #[test]
+    fn abort_stops_a_blocking_run() {
+        let comm = make_comm(2);
+        let ch0 = comm.rank_channels(0).unwrap();
+        let desc = CollectiveDescriptor::all_reduce(
+            4,
+            DataType::F32,
+            ReduceOp::Sum,
+            vec![GpuId(0), GpuId(1)],
+        );
+        let plan = build_plan(&desc, 0, 4).unwrap();
+        let send = DeviceBuffer::from_f32(&[1.0; 4]);
+        let recv = DeviceBuffer::zeroed(16);
+        // The peer never participates, so without the abort this would hang.
+        let done = run_plan_blocking(
+            1,
+            &plan,
+            &ch0,
+            DataType::F32,
+            Some(ReduceOp::Sum),
+            &send,
+            &recv,
+            &|| true,
+        )
+        .unwrap();
+        assert!(!done);
+    }
+
+    #[test]
+    fn collective_kinds_all_run_with_odd_chunk_sizes() {
+        // Smoke test: every kind completes with a chunk size that does not
+        // divide the slice size evenly.
+        for kind in CollectiveKind::ALL {
+            let n = 3;
+            let count = 7;
+            let devices: Vec<GpuId> = (0..n).map(GpuId).collect();
+            let desc = match kind {
+                CollectiveKind::AllReduce => {
+                    CollectiveDescriptor::all_reduce(count, DataType::F32, ReduceOp::Sum, devices)
+                }
+                CollectiveKind::AllGather => {
+                    CollectiveDescriptor::all_gather(count, DataType::F32, devices)
+                }
+                CollectiveKind::ReduceScatter => CollectiveDescriptor::reduce_scatter(
+                    count,
+                    DataType::F32,
+                    ReduceOp::Sum,
+                    devices,
+                ),
+                CollectiveKind::Reduce => {
+                    CollectiveDescriptor::reduce(count, DataType::F32, ReduceOp::Sum, 0, devices)
+                }
+                CollectiveKind::Broadcast => {
+                    CollectiveDescriptor::broadcast(count, DataType::F32, 0, devices)
+                }
+            };
+            let inputs: Vec<Vec<f32>> = (0..n)
+                .map(|r| (0..desc.send_elems(r)).map(|i| (r + i) as f32).collect())
+                .collect();
+            let _ = run_collective(&desc, inputs, 3);
+        }
+    }
+}

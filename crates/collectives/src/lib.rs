@@ -1,0 +1,104 @@
+//! # dfccl-collectives — collective algorithms over connectors
+//!
+//! GPU collectives (all-reduce, all-gather, reduce-scatter, reduce, broadcast)
+//! are all composed from the same small set of *primitives* — fusions of the
+//! basic `send`, `recv`, `reduce` and `copy` actions operating on the four
+//! buffers of Fig. 5. This crate provides:
+//!
+//! * [`DataType`] / [`ReduceOp`] — element types and reduction operators.
+//! * [`CollectiveDescriptor`] — the static description of one collective
+//!   (kind, element count, data type, operator, root, device set, priority).
+//! * [`DeviceBuffer`] — the local send/recv buffers.
+//! * chunking helpers ([`chunk::chunk_ranges`], [`chunk::slice_ranges`]).
+//! * [`PrimitiveStep`] and the Ring-algorithm plan builder
+//!   ([`ring::build_plan`]) that assigns each rank its primitive sequence.
+//! * [`executor`] — executes one primitive against the rank's connectors.
+//!   Every primitive first checks that the connector conditions it needs are
+//!   satisfied and only then runs; the caller decides how long to poll for
+//!   readiness, which is exactly the preemption hook DFCCL's daemon kernel
+//!   uses (Sec. 4.1/4.2) and which the NCCL-like baseline leaves unbounded.
+
+pub mod buffer;
+pub mod chunk;
+pub mod collective;
+pub mod datatype;
+pub mod executor;
+pub mod primitive;
+pub mod redop;
+pub mod ring;
+
+pub use buffer::DeviceBuffer;
+pub use chunk::{chunk_ranges, slice_ranges, ElemRange};
+pub use collective::{CollectiveDescriptor, CollectiveKind};
+pub use datatype::DataType;
+pub use executor::{execute_ready_step, run_plan_blocking, step_ready, validate_buffers, ExecError, StepOutcome};
+pub use primitive::{PrimitiveKind, PrimitiveStep};
+pub use redop::ReduceOp;
+pub use ring::build_plan;
+
+/// Errors raised while building or validating collectives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// The device set has fewer than two GPUs.
+    DeviceSetTooSmall(usize),
+    /// The element count is zero.
+    EmptyCollective,
+    /// The descriptor needs a reduce operator but none was given.
+    MissingReduceOp,
+    /// The descriptor needs a root rank but none was given (or it is out of range).
+    InvalidRoot(Option<usize>),
+    /// A buffer did not have the size the descriptor requires.
+    BufferSizeMismatch {
+        /// What the descriptor requires, in bytes.
+        expected: usize,
+        /// What the caller supplied, in bytes.
+        actual: usize,
+    },
+    /// The rank index is outside the communicator.
+    InvalidRank { rank: usize, size: usize },
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectiveError::DeviceSetTooSmall(n) => {
+                write!(f, "collective needs at least 2 devices, got {n}")
+            }
+            CollectiveError::EmptyCollective => write!(f, "collective has zero elements"),
+            CollectiveError::MissingReduceOp => {
+                write!(f, "reducing collective registered without a reduce operator")
+            }
+            CollectiveError::InvalidRoot(r) => write!(f, "invalid root rank: {r:?}"),
+            CollectiveError::BufferSizeMismatch { expected, actual } => {
+                write!(f, "buffer size mismatch: expected {expected} bytes, got {actual}")
+            }
+            CollectiveError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for collective over {size} devices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_mention_the_problem() {
+        assert!(CollectiveError::DeviceSetTooSmall(1).to_string().contains("2 devices"));
+        assert!(CollectiveError::EmptyCollective.to_string().contains("zero"));
+        assert!(CollectiveError::MissingReduceOp.to_string().contains("reduce"));
+        assert!(CollectiveError::InvalidRoot(None).to_string().contains("root"));
+        assert!(CollectiveError::BufferSizeMismatch {
+            expected: 4,
+            actual: 2
+        }
+        .to_string()
+        .contains("expected 4"));
+        assert!(CollectiveError::InvalidRank { rank: 8, size: 4 }
+            .to_string()
+            .contains("rank 8"));
+    }
+}

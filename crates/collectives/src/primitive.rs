@@ -1,0 +1,161 @@
+//! Primitives: fusions of the basic `send`, `recv`, `reduce`, `copy` actions.
+//!
+//! Every common collective is a per-rank sequence of these primitives
+//! (Sec. 4.1). A primitive that contains a `send` action needs a free slot in
+//! the rank's send connector; one that contains a `recv` action needs a chunk
+//! available in the recv connector. Those two conditions are what a primitive
+//! busy-waits on — indefinitely in NCCL, up to a spin threshold in DFCCL.
+
+use serde::{Deserialize, Serialize};
+
+use crate::chunk::ElemRange;
+
+/// The fused primitive kinds used by the ring algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrimitiveKind {
+    /// Read a chunk from the local send buffer and publish it to the send connector.
+    Send,
+    /// Consume a chunk from the recv connector and write it to the recv buffer.
+    Recv,
+    /// Copy a chunk from the local send buffer to the local recv buffer (no transport).
+    Copy,
+    /// Consume a chunk, write it to the recv buffer, and forward it to the next rank.
+    RecvCopySend,
+    /// Consume a chunk, reduce it with the local send buffer, and forward the result.
+    RecvReduceSend,
+    /// Consume a chunk, reduce it with the local send buffer, and write the result
+    /// to the recv buffer.
+    RecvReduceCopy,
+    /// Consume a chunk, reduce it with the local send buffer, write the result to
+    /// the recv buffer, and forward it.
+    RecvReduceCopySend,
+}
+
+impl PrimitiveKind {
+    /// Whether the primitive publishes a chunk to the send connector.
+    pub fn has_send(&self) -> bool {
+        matches!(
+            self,
+            PrimitiveKind::Send
+                | PrimitiveKind::RecvCopySend
+                | PrimitiveKind::RecvReduceSend
+                | PrimitiveKind::RecvReduceCopySend
+        )
+    }
+
+    /// Whether the primitive consumes a chunk from the recv connector.
+    pub fn has_recv(&self) -> bool {
+        matches!(
+            self,
+            PrimitiveKind::Recv
+                | PrimitiveKind::RecvCopySend
+                | PrimitiveKind::RecvReduceSend
+                | PrimitiveKind::RecvReduceCopy
+                | PrimitiveKind::RecvReduceCopySend
+        )
+    }
+
+    /// Whether the primitive reduces incoming data with the local send buffer.
+    pub fn has_reduce(&self) -> bool {
+        matches!(
+            self,
+            PrimitiveKind::RecvReduceSend
+                | PrimitiveKind::RecvReduceCopy
+                | PrimitiveKind::RecvReduceCopySend
+        )
+    }
+
+    /// Whether the primitive writes to the local recv buffer.
+    pub fn has_copy(&self) -> bool {
+        matches!(
+            self,
+            PrimitiveKind::Recv
+                | PrimitiveKind::Copy
+                | PrimitiveKind::RecvCopySend
+                | PrimitiveKind::RecvReduceCopy
+                | PrimitiveKind::RecvReduceCopySend
+        )
+    }
+
+    /// All primitive kinds.
+    pub const ALL: [PrimitiveKind; 7] = [
+        PrimitiveKind::Send,
+        PrimitiveKind::Recv,
+        PrimitiveKind::Copy,
+        PrimitiveKind::RecvCopySend,
+        PrimitiveKind::RecvReduceSend,
+        PrimitiveKind::RecvReduceCopy,
+        PrimitiveKind::RecvReduceCopySend,
+    ];
+}
+
+/// One primitive of a rank's plan, fully describing what data it touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrimitiveStep {
+    /// What to do.
+    pub kind: PrimitiveKind,
+    /// Element range read from the local send buffer (`None` when the
+    /// primitive does not read local data).
+    pub src: Option<ElemRange>,
+    /// Element range written in the local recv buffer (`None` when the
+    /// primitive does not produce local output).
+    pub dst: Option<ElemRange>,
+    /// Index of the chunk within its macro step (used for message matching).
+    pub chunk_index: u32,
+    /// Ring macro-step index this primitive belongs to.
+    pub step: u32,
+}
+
+impl PrimitiveStep {
+    /// Number of elements this primitive moves.
+    pub fn elems(&self) -> usize {
+        self.src
+            .map(|r| r.len)
+            .or_else(|| self.dst.map(|r| r.len))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_recv_flags_are_consistent() {
+        use PrimitiveKind::*;
+        assert!(Send.has_send() && !Send.has_recv() && !Send.has_reduce() && !Send.has_copy());
+        assert!(!Recv.has_send() && Recv.has_recv() && Recv.has_copy());
+        assert!(!Copy.has_send() && !Copy.has_recv() && Copy.has_copy());
+        assert!(RecvCopySend.has_send() && RecvCopySend.has_recv() && RecvCopySend.has_copy());
+        assert!(RecvReduceSend.has_reduce() && !RecvReduceSend.has_copy());
+        assert!(RecvReduceCopy.has_reduce() && RecvReduceCopy.has_copy() && !RecvReduceCopy.has_send());
+        assert!(RecvReduceCopySend.has_send() && RecvReduceCopySend.has_copy());
+    }
+
+    #[test]
+    fn every_primitive_sends_or_receives_or_copies() {
+        for k in PrimitiveKind::ALL {
+            assert!(k.has_send() || k.has_recv() || k.has_copy());
+        }
+    }
+
+    #[test]
+    fn step_elems_prefers_src() {
+        let s = PrimitiveStep {
+            kind: PrimitiveKind::Send,
+            src: Some(ElemRange::new(0, 10)),
+            dst: None,
+            chunk_index: 0,
+            step: 0,
+        };
+        assert_eq!(s.elems(), 10);
+        let r = PrimitiveStep {
+            kind: PrimitiveKind::Recv,
+            src: None,
+            dst: Some(ElemRange::new(4, 6)),
+            chunk_index: 0,
+            step: 1,
+        };
+        assert_eq!(r.elems(), 6);
+    }
+}

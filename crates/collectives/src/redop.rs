@@ -1,0 +1,172 @@
+//! Reduction operators and element-wise reduction over raw byte buffers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::datatype::DataType;
+
+/// The reduction operator of a reducing collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise product.
+    Prod,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    /// All supported operators.
+    pub const ALL: [ReduceOp; 4] = [ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Max, ReduceOp::Min];
+}
+
+impl std::fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Prod => "prod",
+            ReduceOp::Max => "max",
+            ReduceOp::Min => "min",
+        };
+        write!(f, "{s}")
+    }
+}
+
+macro_rules! reduce_typed {
+    ($ty:ty, $acc:expr, $incoming:expr, $op:expr) => {{
+        let width = std::mem::size_of::<$ty>();
+        debug_assert_eq!($acc.len() % width, 0);
+        debug_assert_eq!($acc.len(), $incoming.len());
+        for (a, b) in $acc.chunks_exact_mut(width).zip($incoming.chunks_exact(width)) {
+            let x = <$ty>::from_le_bytes(a.try_into().expect("chunk width"));
+            let y = <$ty>::from_le_bytes(b.try_into().expect("chunk width"));
+            let r: $ty = match $op {
+                ReduceOp::Sum => x + y,
+                ReduceOp::Prod => x * y,
+                ReduceOp::Max => {
+                    if x >= y {
+                        x
+                    } else {
+                        y
+                    }
+                }
+                ReduceOp::Min => {
+                    if x <= y {
+                        x
+                    } else {
+                        y
+                    }
+                }
+            };
+            a.copy_from_slice(&r.to_le_bytes());
+        }
+    }};
+}
+
+/// Reduce `incoming` into `acc` element-wise: `acc[i] = op(acc[i], incoming[i])`.
+///
+/// Both slices must have the same length and be a multiple of the element size.
+pub fn reduce_into(acc: &mut [u8], incoming: &[u8], dtype: DataType, op: ReduceOp) {
+    assert_eq!(
+        acc.len(),
+        incoming.len(),
+        "reduce operands must have equal length"
+    );
+    assert_eq!(
+        acc.len() % dtype.size_bytes(),
+        0,
+        "buffer length must be a multiple of the element size"
+    );
+    match dtype {
+        DataType::F32 => reduce_typed!(f32, acc, incoming, op),
+        DataType::F64 => reduce_typed!(f64, acc, incoming, op),
+        DataType::I32 => reduce_typed!(i32, acc, incoming, op),
+        DataType::I64 => reduce_typed!(i64, acc, incoming, op),
+        DataType::U8 => reduce_typed!(u8, acc, incoming, op),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f32_bytes(v: &[f32]) -> Vec<u8> {
+        v.iter().flat_map(|x| x.to_le_bytes()).collect()
+    }
+
+    fn bytes_f32(v: &[u8]) -> Vec<f32> {
+        v.chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn sum_of_f32() {
+        let mut acc = f32_bytes(&[1.0, 2.0, 3.0]);
+        let inc = f32_bytes(&[0.5, 0.5, 0.5]);
+        reduce_into(&mut acc, &inc, DataType::F32, ReduceOp::Sum);
+        assert_eq!(bytes_f32(&acc), vec![1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn prod_max_min_of_i32() {
+        let to_bytes = |v: &[i32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
+        let from_bytes = |v: &[u8]| -> Vec<i32> {
+            v.chunks_exact(4)
+                .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+                .collect()
+        };
+        let mut acc = to_bytes(&[2, -3, 7]);
+        reduce_into(&mut acc, &to_bytes(&[4, 5, -1]), DataType::I32, ReduceOp::Prod);
+        assert_eq!(from_bytes(&acc), vec![8, -15, -7]);
+
+        let mut acc = to_bytes(&[2, -3, 7]);
+        reduce_into(&mut acc, &to_bytes(&[4, -5, -1]), DataType::I32, ReduceOp::Max);
+        assert_eq!(from_bytes(&acc), vec![4, -3, 7]);
+
+        let mut acc = to_bytes(&[2, -3, 7]);
+        reduce_into(&mut acc, &to_bytes(&[4, -5, -1]), DataType::I32, ReduceOp::Min);
+        assert_eq!(from_bytes(&acc), vec![2, -5, -1]);
+    }
+
+    #[test]
+    fn u8_and_i64_and_f64_paths_work() {
+        let mut acc = vec![1u8, 2, 3];
+        reduce_into(&mut acc, &[10u8, 20, 30], DataType::U8, ReduceOp::Sum);
+        assert_eq!(acc, vec![11, 22, 33]);
+
+        let mut acc: Vec<u8> = 5i64.to_le_bytes().to_vec();
+        reduce_into(
+            &mut acc,
+            &7i64.to_le_bytes(),
+            DataType::I64,
+            ReduceOp::Max,
+        );
+        assert_eq!(i64::from_le_bytes(acc.try_into().unwrap()), 7);
+
+        let mut acc: Vec<u8> = 2.5f64.to_le_bytes().to_vec();
+        reduce_into(
+            &mut acc,
+            &4.0f64.to_le_bytes(),
+            DataType::F64,
+            ReduceOp::Prod,
+        );
+        assert_eq!(f64::from_le_bytes(acc.try_into().unwrap()), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let mut acc = vec![0u8; 4];
+        reduce_into(&mut acc, &[0u8; 8], DataType::F32, ReduceOp::Sum);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the element size")]
+    fn misaligned_length_panics() {
+        let mut acc = vec![0u8; 3];
+        reduce_into(&mut acc, &[0u8; 3], DataType::F32, ReduceOp::Sum);
+    }
+}

@@ -1,0 +1,420 @@
+//! Ring-algorithm primitive-sequence generation.
+//!
+//! In a ring collective, GPUs are organised into a logical ring (rank `r`
+//! sends to rank `r+1` and receives from rank `r-1`), and each rank is
+//! assigned a primitive sequence based on its ring position. Data is divided
+//! into per-rank slices and further into regular chunks so every connector
+//! transfer is bounded and every chunk boundary is a preemption opportunity.
+//!
+//! The sequences generated here follow the classic NCCL ring schedules:
+//!
+//! * **all-reduce** — `n-1` reduce-scatter steps followed by `n-1` all-gather
+//!   steps (`Send`, `RecvReduceSend`…, `RecvReduceCopySend`, `RecvCopySend`…,
+//!   `Recv`).
+//! * **all-gather** — local copy, then `Send`, `RecvCopySend`…, `Recv`.
+//! * **reduce-scatter** — `Send`, `RecvReduceSend`…, `RecvReduceCopy`.
+//! * **reduce** — a single pipeline along the ring ending at the root.
+//! * **broadcast** — a single pipeline along the ring starting at the root.
+
+use crate::chunk::{chunk_ranges, slice_ranges, ElemRange};
+use crate::collective::{CollectiveDescriptor, CollectiveKind};
+use crate::primitive::{PrimitiveKind, PrimitiveStep};
+use crate::CollectiveError;
+
+/// Default maximum number of elements per chunk (128 KiB of f32).
+pub const DEFAULT_CHUNK_ELEMS: usize = 32 * 1024;
+
+/// Build the primitive sequence executed by `rank` for the collective
+/// described by `desc`, chunking transfers at `max_chunk_elems` elements.
+pub fn build_plan(
+    desc: &CollectiveDescriptor,
+    rank: usize,
+    max_chunk_elems: usize,
+) -> Result<Vec<PrimitiveStep>, CollectiveError> {
+    desc.validate()?;
+    let n = desc.num_ranks();
+    if rank >= n {
+        return Err(CollectiveError::InvalidRank { rank, size: n });
+    }
+    assert!(max_chunk_elems > 0, "chunk size must be positive");
+    Ok(match desc.kind {
+        CollectiveKind::AllReduce => all_reduce_plan(desc.count, n, rank, max_chunk_elems),
+        CollectiveKind::AllGather => all_gather_plan(desc.count, n, rank, max_chunk_elems),
+        CollectiveKind::ReduceScatter => reduce_scatter_plan(desc.count, n, rank, max_chunk_elems),
+        CollectiveKind::Reduce => reduce_plan(
+            desc.count,
+            n,
+            rank,
+            desc.root.expect("validated root"),
+            max_chunk_elems,
+        ),
+        CollectiveKind::Broadcast => broadcast_plan(
+            desc.count,
+            n,
+            rank,
+            desc.root.expect("validated root"),
+            max_chunk_elems,
+        ),
+    })
+}
+
+fn push_chunked(
+    out: &mut Vec<PrimitiveStep>,
+    kind: PrimitiveKind,
+    src_base: Option<ElemRange>,
+    dst_base: Option<ElemRange>,
+    step: u32,
+    max_chunk: usize,
+) {
+    // `src` and `dst`, when both present, are ranges of equal length that are
+    // chunked in lockstep.
+    let total = src_base.map(|r| r.len).or(dst_base.map(|r| r.len)).unwrap_or(0);
+    for (ci, chunk) in chunk_ranges(total, max_chunk).into_iter().enumerate() {
+        let src = src_base.map(|r| ElemRange::new(r.offset + chunk.offset, chunk.len));
+        let dst = dst_base.map(|r| ElemRange::new(r.offset + chunk.offset, chunk.len));
+        out.push(PrimitiveStep {
+            kind,
+            src,
+            dst,
+            chunk_index: ci as u32,
+            step,
+        });
+    }
+}
+
+/// Ring all-reduce: `count` input elements, `count` output elements, `2n-1`
+/// macro steps (the first send and the final recv are half-steps).
+fn all_reduce_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Vec<PrimitiveStep> {
+    let slices = slice_ranges(count, n);
+    let slice = |idx: usize| slices[idx % n];
+    let mut plan = Vec::new();
+    let mut step = 0u32;
+
+    // Reduce-scatter phase.
+    push_chunked(
+        &mut plan,
+        PrimitiveKind::Send,
+        Some(slice(rank)),
+        None,
+        step,
+        max_chunk,
+    );
+    step += 1;
+    for k in 1..n - 1 {
+        let s = slice(rank + n - k);
+        push_chunked(
+            &mut plan,
+            PrimitiveKind::RecvReduceSend,
+            Some(s),
+            None,
+            step,
+            max_chunk,
+        );
+        step += 1;
+    }
+    // The slice that becomes fully reduced at this rank.
+    let owned = slice(rank + 1);
+    push_chunked(
+        &mut plan,
+        PrimitiveKind::RecvReduceCopySend,
+        Some(owned),
+        Some(owned),
+        step,
+        max_chunk,
+    );
+    step += 1;
+
+    // All-gather phase: receive the remaining reduced slices.
+    for j in 1..n - 1 {
+        let s = slice(rank + n - j + 1);
+        push_chunked(
+            &mut plan,
+            PrimitiveKind::RecvCopySend,
+            None,
+            Some(s),
+            step,
+            max_chunk,
+        );
+        step += 1;
+    }
+    let last = slice(rank + 2);
+    push_chunked(&mut plan, PrimitiveKind::Recv, None, Some(last), step, max_chunk);
+    plan
+}
+
+/// Ring all-gather: `count` input elements per rank, `n * count` output.
+fn all_gather_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Vec<PrimitiveStep> {
+    let own = ElemRange::new(0, count);
+    let block = |idx: usize| ElemRange::new((idx % n) * count, count);
+    let mut plan = Vec::new();
+    let mut step = 0u32;
+
+    // Local copy of the rank's own contribution into its output block.
+    push_chunked(
+        &mut plan,
+        PrimitiveKind::Copy,
+        Some(own),
+        Some(block(rank)),
+        step,
+        max_chunk,
+    );
+    step += 1;
+    // Send the contribution around the ring.
+    push_chunked(&mut plan, PrimitiveKind::Send, Some(own), None, step, max_chunk);
+    step += 1;
+    for k in 1..n - 1 {
+        let b = block(rank + n - k);
+        push_chunked(
+            &mut plan,
+            PrimitiveKind::RecvCopySend,
+            None,
+            Some(b),
+            step,
+            max_chunk,
+        );
+        step += 1;
+    }
+    let last = block(rank + 1);
+    push_chunked(&mut plan, PrimitiveKind::Recv, None, Some(last), step, max_chunk);
+    plan
+}
+
+/// Ring reduce-scatter: `n * count` input elements per rank, `count` output.
+fn reduce_scatter_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Vec<PrimitiveStep> {
+    let slice = |idx: usize| ElemRange::new((idx % n) * count, count);
+    let out = ElemRange::new(0, count);
+    let mut plan = Vec::new();
+    let mut step = 0u32;
+
+    push_chunked(
+        &mut plan,
+        PrimitiveKind::Send,
+        Some(slice(rank + n - 1)),
+        None,
+        step,
+        max_chunk,
+    );
+    step += 1;
+    for k in 1..n - 1 {
+        let s = slice(rank + n - 1 - k);
+        push_chunked(
+            &mut plan,
+            PrimitiveKind::RecvReduceSend,
+            Some(s),
+            None,
+            step,
+            max_chunk,
+        );
+        step += 1;
+    }
+    push_chunked(
+        &mut plan,
+        PrimitiveKind::RecvReduceCopy,
+        Some(slice(rank)),
+        Some(out),
+        step,
+        max_chunk,
+    );
+    plan
+}
+
+/// Ring reduce: the reduction flows along the ring and ends at the root.
+fn reduce_plan(count: usize, n: usize, rank: usize, root: usize, max_chunk: usize) -> Vec<PrimitiveStep> {
+    let whole = ElemRange::new(0, count);
+    // Position in the chain that starts just after the root and ends at the root.
+    let pos = (rank + n - root - 1) % n;
+    let mut plan = Vec::new();
+    if pos == 0 {
+        push_chunked(&mut plan, PrimitiveKind::Send, Some(whole), None, 0, max_chunk);
+    } else if pos < n - 1 {
+        push_chunked(
+            &mut plan,
+            PrimitiveKind::RecvReduceSend,
+            Some(whole),
+            None,
+            pos as u32,
+            max_chunk,
+        );
+    } else {
+        // This is the root.
+        push_chunked(
+            &mut plan,
+            PrimitiveKind::RecvReduceCopy,
+            Some(whole),
+            Some(whole),
+            pos as u32,
+            max_chunk,
+        );
+    }
+    plan
+}
+
+/// Ring broadcast: data flows from the root around the ring.
+fn broadcast_plan(count: usize, n: usize, rank: usize, root: usize, max_chunk: usize) -> Vec<PrimitiveStep> {
+    let whole = ElemRange::new(0, count);
+    // Position in the chain that starts at the root.
+    let pos = (rank + n - root) % n;
+    let mut plan = Vec::new();
+    if pos == 0 {
+        // Root: make its own output available locally, then send.
+        push_chunked(&mut plan, PrimitiveKind::Copy, Some(whole), Some(whole), 0, max_chunk);
+        push_chunked(&mut plan, PrimitiveKind::Send, Some(whole), None, 1, max_chunk);
+    } else if pos < n - 1 {
+        push_chunked(
+            &mut plan,
+            PrimitiveKind::RecvCopySend,
+            None,
+            Some(whole),
+            pos as u32,
+            max_chunk,
+        );
+    } else {
+        push_chunked(&mut plan, PrimitiveKind::Recv, None, Some(whole), pos as u32, max_chunk);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::redop::ReduceOp;
+    use gpu_sim::GpuId;
+
+    fn gpus(n: usize) -> Vec<GpuId> {
+        (0..n).map(GpuId).collect()
+    }
+
+    #[test]
+    fn all_reduce_plan_has_expected_macro_steps() {
+        let desc = CollectiveDescriptor::all_reduce(16, DataType::F32, ReduceOp::Sum, gpus(4));
+        let plan = build_plan(&desc, 0, 1024).unwrap();
+        // 2n-1 macro steps, one chunk each (16/4 = 4 elements per slice).
+        assert_eq!(plan.len(), 7);
+        assert_eq!(plan[0].kind, PrimitiveKind::Send);
+        assert_eq!(plan[1].kind, PrimitiveKind::RecvReduceSend);
+        assert_eq!(plan[2].kind, PrimitiveKind::RecvReduceSend);
+        assert_eq!(plan[3].kind, PrimitiveKind::RecvReduceCopySend);
+        assert_eq!(plan[4].kind, PrimitiveKind::RecvCopySend);
+        assert_eq!(plan[5].kind, PrimitiveKind::RecvCopySend);
+        assert_eq!(plan[6].kind, PrimitiveKind::Recv);
+    }
+
+    #[test]
+    fn all_reduce_two_ranks_degenerates_correctly() {
+        let desc = CollectiveDescriptor::all_reduce(8, DataType::F32, ReduceOp::Sum, gpus(2));
+        let plan = build_plan(&desc, 1, 1024).unwrap();
+        let kinds: Vec<PrimitiveKind> = plan.iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PrimitiveKind::Send,
+                PrimitiveKind::RecvReduceCopySend,
+                PrimitiveKind::Recv
+            ]
+        );
+    }
+
+    #[test]
+    fn chunking_splits_large_slices() {
+        let desc = CollectiveDescriptor::all_reduce(4000, DataType::F32, ReduceOp::Sum, gpus(4));
+        let plan = build_plan(&desc, 2, 100).unwrap();
+        // Each slice is 1000 elements = 10 chunks; 7 macro steps.
+        assert_eq!(plan.len(), 70);
+        assert!(plan.iter().all(|p| p.elems() <= 100));
+        // Chunk indices restart at each macro step.
+        assert_eq!(plan.iter().filter(|p| p.chunk_index == 0).count(), 7);
+    }
+
+    #[test]
+    fn all_gather_plan_covers_every_output_block() {
+        let n = 4;
+        let count = 12;
+        for rank in 0..n {
+            let desc = CollectiveDescriptor::all_gather(count, DataType::F32, gpus(n));
+            let plan = build_plan(&desc, rank, 1024).unwrap();
+            let mut covered: Vec<usize> = plan
+                .iter()
+                .filter_map(|p| p.dst)
+                .map(|d| d.offset / count)
+                .collect();
+            covered.sort_unstable();
+            covered.dedup();
+            assert_eq!(covered, (0..n).collect::<Vec<_>>(), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_plan_reads_every_input_slice() {
+        let n = 3;
+        let count = 5;
+        for rank in 0..n {
+            let desc =
+                CollectiveDescriptor::reduce_scatter(count, DataType::F32, ReduceOp::Sum, gpus(n));
+            let plan = build_plan(&desc, rank, 1024).unwrap();
+            let mut slices: Vec<usize> = plan
+                .iter()
+                .filter_map(|p| p.src)
+                .map(|s| s.offset / count)
+                .collect();
+            slices.sort_unstable();
+            slices.dedup();
+            assert_eq!(slices.len(), n, "rank {rank} must touch all input slices");
+        }
+    }
+
+    #[test]
+    fn reduce_plan_roles_depend_on_ring_position() {
+        let n = 4;
+        let root = 2;
+        let desc = CollectiveDescriptor::reduce(10, DataType::F32, ReduceOp::Sum, root, gpus(n));
+        // Rank just after the root starts the pipeline.
+        let starter = build_plan(&desc, 3, 1024).unwrap();
+        assert_eq!(starter[0].kind, PrimitiveKind::Send);
+        // Intermediate ranks relay.
+        let middle = build_plan(&desc, 0, 1024).unwrap();
+        assert_eq!(middle[0].kind, PrimitiveKind::RecvReduceSend);
+        // The root terminates the pipeline.
+        let root_plan = build_plan(&desc, root, 1024).unwrap();
+        assert_eq!(root_plan[0].kind, PrimitiveKind::RecvReduceCopy);
+    }
+
+    #[test]
+    fn broadcast_plan_roles_depend_on_ring_position() {
+        let n = 4;
+        let root = 1;
+        let desc = CollectiveDescriptor::broadcast(10, DataType::F32, root, gpus(n));
+        let root_plan = build_plan(&desc, root, 1024).unwrap();
+        assert_eq!(root_plan[0].kind, PrimitiveKind::Copy);
+        assert_eq!(root_plan[1].kind, PrimitiveKind::Send);
+        let relay = build_plan(&desc, 2, 1024).unwrap();
+        assert_eq!(relay[0].kind, PrimitiveKind::RecvCopySend);
+        let last = build_plan(&desc, 0, 1024).unwrap();
+        assert_eq!(last[0].kind, PrimitiveKind::Recv);
+    }
+
+    #[test]
+    fn invalid_rank_is_rejected() {
+        let desc = CollectiveDescriptor::all_reduce(8, DataType::F32, ReduceOp::Sum, gpus(2));
+        assert!(matches!(
+            build_plan(&desc, 5, 1024),
+            Err(CollectiveError::InvalidRank { rank: 5, size: 2 })
+        ));
+    }
+
+    #[test]
+    fn invalid_descriptor_is_rejected() {
+        let desc = CollectiveDescriptor::all_reduce(0, DataType::F32, ReduceOp::Sum, gpus(2));
+        assert!(build_plan(&desc, 0, 1024).is_err());
+    }
+
+    #[test]
+    fn small_counts_produce_empty_slices_without_panicking() {
+        // count < n: some slices are empty, their macro steps emit no primitives.
+        let desc = CollectiveDescriptor::all_reduce(2, DataType::F32, ReduceOp::Sum, gpus(4));
+        for rank in 0..4 {
+            let plan = build_plan(&desc, rank, 1024).unwrap();
+            assert!(plan.iter().all(|p| p.elems() > 0));
+        }
+    }
+}

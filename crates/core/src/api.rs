@@ -1,0 +1,729 @@
+//! The user-facing DFCCL API (Listing 1 of the paper).
+//!
+//! * [`DfcclDomain`] — cluster-level state shared by all ranks in this
+//!   process: topology, link model, GPU device models and the communicator
+//!   pool. In the real system this state is implicit in the machine; here it
+//!   is explicit so tests and benchmarks can build arbitrary clusters.
+//! * [`RankCtx`] — the per-GPU rank context created by [`dfccl_init`]. It owns
+//!   the SQ/CQ pair, the callback map, the poller thread and the daemon-kernel
+//!   controller for that GPU.
+//! * [`dfccl_register_all_reduce`]-style functions register a collective once;
+//!   [`dfccl_run_all_reduce`]-style functions invoke it repeatedly, each time
+//!   with a callback that is run by the poller when the collective completes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dfccl_collectives::{
+    build_plan, validate_buffers, CollectiveDescriptor, CollectiveError, DataType, DeviceBuffer,
+    ReduceOp,
+};
+use dfccl_transport::{Communicator, CommunicatorPool, LinkModel, Topology, TransportError};
+use gpu_sim::{GpuDevice, GpuId, GpuSpec, MemoryUsage, SyncKind};
+use parking_lot::Mutex;
+
+use crate::callback::{Callback, CallbackMap, CompletionHandle};
+use crate::config::DfcclConfig;
+use crate::cq::{build_cq, CompletionQueue};
+use crate::daemon::{run_poller, DaemonController, DaemonShared, RegisteredCollective};
+use crate::sq::{Sqe, SubmissionQueue};
+use crate::stats::{CollectiveStats, DaemonStatsSnapshot};
+
+/// Errors returned by the DFCCL API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfcclError {
+    /// The collective id was not registered on this rank.
+    NotRegistered(u64),
+    /// The collective id was already registered on this rank.
+    AlreadyRegistered(u64),
+    /// The GPU passed to `dfccl_init` is not part of the domain topology.
+    UnknownGpu(GpuId),
+    /// This rank's GPU is not in the collective's device set.
+    RankNotInDeviceSet { gpu: GpuId, coll_id: u64 },
+    /// Two ranks registered the same collective id with different device sets.
+    DeviceSetMismatch(u64),
+    /// The submission queue is full.
+    SubmissionQueueFull,
+    /// The rank context has been destroyed.
+    Destroyed,
+    /// A collective-level validation error.
+    Collective(CollectiveError),
+    /// A transport-level error.
+    Transport(TransportError),
+}
+
+impl std::fmt::Display for DfcclError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfcclError::NotRegistered(id) => write!(f, "collective {id} is not registered"),
+            DfcclError::AlreadyRegistered(id) => write!(f, "collective {id} is already registered"),
+            DfcclError::UnknownGpu(gpu) => write!(f, "{gpu} is not part of the domain topology"),
+            DfcclError::RankNotInDeviceSet { gpu, coll_id } => {
+                write!(f, "{gpu} is not in the device set of collective {coll_id}")
+            }
+            DfcclError::DeviceSetMismatch(id) => {
+                write!(f, "collective {id} was registered with a different device set elsewhere")
+            }
+            DfcclError::SubmissionQueueFull => write!(f, "submission queue is full"),
+            DfcclError::Destroyed => write!(f, "rank context has been destroyed"),
+            DfcclError::Collective(e) => write!(f, "{e}"),
+            DfcclError::Transport(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DfcclError {}
+
+impl From<CollectiveError> for DfcclError {
+    fn from(e: CollectiveError) -> Self {
+        DfcclError::Collective(e)
+    }
+}
+
+impl From<TransportError> for DfcclError {
+    fn from(e: TransportError) -> Self {
+        DfcclError::Transport(e)
+    }
+}
+
+/// Cluster-level state shared by every rank created in this process.
+pub struct DfcclDomain {
+    topology: Arc<Topology>,
+    #[allow(dead_code)]
+    link_model: Arc<LinkModel>,
+    pool: Arc<CommunicatorPool>,
+    devices: HashMap<GpuId, Arc<GpuDevice>>,
+    config: DfcclConfig,
+    communicators: Mutex<HashMap<u64, Arc<Communicator>>>,
+}
+
+impl DfcclDomain {
+    /// Build a domain over an arbitrary topology, link model and GPU spec.
+    pub fn new(
+        topology: Topology,
+        link_model: LinkModel,
+        gpu_spec: GpuSpec,
+        config: DfcclConfig,
+    ) -> Arc<Self> {
+        let topology = Arc::new(topology);
+        let link_model = Arc::new(link_model);
+        let pool = CommunicatorPool::new(
+            Arc::clone(&topology),
+            Arc::clone(&link_model),
+            config.connector_capacity,
+        );
+        let devices = topology
+            .gpus()
+            .into_iter()
+            .map(|g| (g, GpuDevice::new(g, gpu_spec.clone())))
+            .collect();
+        Arc::new(DfcclDomain {
+            topology,
+            link_model,
+            pool,
+            devices,
+            config,
+            communicators: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// A flat `n`-GPU domain with zero-cost links — the fastest configuration
+    /// for correctness tests and examples.
+    pub fn flat_for_testing(n: usize) -> Arc<Self> {
+        DfcclDomain::new(
+            Topology::flat(n),
+            LinkModel::zero_cost(),
+            GpuSpec::rtx_3090(),
+            DfcclConfig::for_testing(),
+        )
+    }
+
+    /// The Table 2 single eight-GPU server with the modelled link costs.
+    pub fn single_server(config: DfcclConfig) -> Arc<Self> {
+        DfcclDomain::new(
+            Topology::single_server(),
+            LinkModel::table2_testbed(),
+            GpuSpec::rtx_3090(),
+            config,
+        )
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &DfcclConfig {
+        &self.config
+    }
+
+    /// The topology of the domain.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
+    }
+
+    /// The device model for `gpu`, if it exists in the topology.
+    pub fn device(&self, gpu: GpuId) -> Option<Arc<GpuDevice>> {
+        self.devices.get(&gpu).cloned()
+    }
+
+    /// Get (or create) the communicator backing collective `coll_id` over
+    /// `devices`. All ranks registering the same id must pass the same ordered
+    /// device set.
+    fn communicator_for(
+        &self,
+        coll_id: u64,
+        devices: &[GpuId],
+    ) -> Result<Arc<Communicator>, DfcclError> {
+        let mut comms = self.communicators.lock();
+        if let Some(existing) = comms.get(&coll_id) {
+            if existing.devices() != devices {
+                return Err(DfcclError::DeviceSetMismatch(coll_id));
+            }
+            return Ok(Arc::clone(existing));
+        }
+        let comm = self.pool.allocate(devices)?;
+        comms.insert(coll_id, Arc::clone(&comm));
+        Ok(comm)
+    }
+
+    /// Initialise a rank context for `gpu` (the `dfcclInit` call).
+    pub fn init_rank(self: &Arc<Self>, gpu: GpuId) -> Result<RankCtx, DfcclError> {
+        let device = self.device(gpu).ok_or(DfcclError::UnknownGpu(gpu))?;
+        let config = self.config.clone();
+        let sq = Arc::new(SubmissionQueue::new(config.sq_capacity, 1));
+        let cq: Arc<dyn CompletionQueue> = Arc::from(build_cq(
+            config.cq_variant,
+            config.cq_capacity,
+            config.host_costs,
+        ));
+        let callbacks = CallbackMap::new();
+        let shared = DaemonShared::new(
+            gpu,
+            Arc::clone(&device),
+            config.clone(),
+            Arc::clone(&sq),
+            cq,
+            Arc::clone(&callbacks),
+        );
+        // Account for the daemon kernel's global-memory footprint (collective
+        // context buffer per block, plus the completion counters and other
+        // shared bookkeeping — 11 KB in the paper).
+        let context_buffer = device
+            .alloc_global(
+                config.context_buffer_per_block as usize * config.daemon_blocks as usize + 11 * 1024,
+            )
+            .ok();
+        let controller = DaemonController::new(Arc::clone(&shared));
+        let poller_stop = Arc::new(AtomicBool::new(false));
+        let poller = {
+            let shared = Arc::clone(&shared);
+            let controller = Arc::clone(&controller);
+            let stop = Arc::clone(&poller_stop);
+            std::thread::Builder::new()
+                .name(format!("dfccl-poller-{gpu}"))
+                .spawn(move || run_poller(shared, controller, stop))
+                .expect("failed to spawn poller thread")
+        };
+        Ok(RankCtx {
+            domain: Arc::clone(self),
+            gpu,
+            device,
+            shared,
+            controller,
+            callbacks,
+            sq,
+            poller: Mutex::new(Some(poller)),
+            poller_stop,
+            next_seq: AtomicU64::new(0),
+            destroyed: AtomicBool::new(false),
+            _context_buffer: context_buffer,
+        })
+    }
+}
+
+/// The per-GPU rank context (`rankCtx_t` in Listing 1).
+pub struct RankCtx {
+    domain: Arc<DfcclDomain>,
+    gpu: GpuId,
+    device: Arc<GpuDevice>,
+    shared: Arc<DaemonShared>,
+    controller: Arc<DaemonController>,
+    callbacks: Arc<CallbackMap>,
+    sq: Arc<SubmissionQueue>,
+    poller: Mutex<Option<JoinHandle<()>>>,
+    poller_stop: Arc<AtomicBool>,
+    next_seq: AtomicU64,
+    destroyed: AtomicBool,
+    _context_buffer: Option<gpu_sim::device::GlobalAllocation>,
+}
+
+impl RankCtx {
+    /// The GPU this rank runs on.
+    pub fn gpu(&self) -> GpuId {
+        self.gpu
+    }
+
+    /// The domain this rank belongs to.
+    pub fn domain(&self) -> &Arc<DfcclDomain> {
+        &self.domain
+    }
+
+    /// The device model of this rank's GPU.
+    pub fn device(&self) -> &Arc<GpuDevice> {
+        &self.device
+    }
+
+    fn check_alive(&self) -> Result<(), DfcclError> {
+        if self.destroyed.load(Ordering::Acquire) {
+            Err(DfcclError::Destroyed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Register a collective described by `desc` under `coll_id`
+    /// (the `dfcclRegister*` family). Registration may also happen during
+    /// runtime, after other collectives have already run.
+    pub fn register(&self, coll_id: u64, desc: CollectiveDescriptor) -> Result<(), DfcclError> {
+        self.check_alive()?;
+        desc.validate()?;
+        if self.shared.registered.read().contains_key(&coll_id) {
+            return Err(DfcclError::AlreadyRegistered(coll_id));
+        }
+        let rank = desc
+            .devices
+            .iter()
+            .position(|&d| d == self.gpu)
+            .ok_or(DfcclError::RankNotInDeviceSet {
+                gpu: self.gpu,
+                coll_id,
+            })?;
+        let communicator = self.domain.communicator_for(coll_id, &desc.devices)?;
+        let channels = communicator.rank_channels(rank)?;
+        let plan = build_plan(&desc, rank, self.domain.config.chunk_elems)?;
+        let reg = Arc::new(RegisteredCollective {
+            coll_id,
+            desc,
+            rank,
+            communicator,
+            channels,
+            plan,
+        });
+        self.shared.registered.write().insert(coll_id, reg);
+        Ok(())
+    }
+
+    /// Register an all-reduce (`dfcclRegisterAllReduce`).
+    pub fn register_all_reduce(
+        &self,
+        coll_id: u64,
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+        devices: Vec<GpuId>,
+        priority: i32,
+    ) -> Result<(), DfcclError> {
+        self.register(
+            coll_id,
+            CollectiveDescriptor::all_reduce(count, dtype, op, devices).with_priority(priority),
+        )
+    }
+
+    /// Register an all-gather.
+    pub fn register_all_gather(
+        &self,
+        coll_id: u64,
+        count: usize,
+        dtype: DataType,
+        devices: Vec<GpuId>,
+        priority: i32,
+    ) -> Result<(), DfcclError> {
+        self.register(
+            coll_id,
+            CollectiveDescriptor::all_gather(count, dtype, devices).with_priority(priority),
+        )
+    }
+
+    /// Register a reduce-scatter.
+    pub fn register_reduce_scatter(
+        &self,
+        coll_id: u64,
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+        devices: Vec<GpuId>,
+        priority: i32,
+    ) -> Result<(), DfcclError> {
+        self.register(
+            coll_id,
+            CollectiveDescriptor::reduce_scatter(count, dtype, op, devices).with_priority(priority),
+        )
+    }
+
+    /// Register a rooted reduce.
+    pub fn register_reduce(
+        &self,
+        coll_id: u64,
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+        root: usize,
+        devices: Vec<GpuId>,
+        priority: i32,
+    ) -> Result<(), DfcclError> {
+        self.register(
+            coll_id,
+            CollectiveDescriptor::reduce(count, dtype, op, root, devices).with_priority(priority),
+        )
+    }
+
+    /// Register a broadcast.
+    pub fn register_broadcast(
+        &self,
+        coll_id: u64,
+        count: usize,
+        dtype: DataType,
+        root: usize,
+        devices: Vec<GpuId>,
+        priority: i32,
+    ) -> Result<(), DfcclError> {
+        self.register(
+            coll_id,
+            CollectiveDescriptor::broadcast(count, dtype, root, devices).with_priority(priority),
+        )
+    }
+
+    /// Invoke a registered collective (`dfcclRun*`). The callback runs on the
+    /// poller thread once the collective completes on this rank.
+    pub fn run(
+        &self,
+        coll_id: u64,
+        send: DeviceBuffer,
+        recv: DeviceBuffer,
+        callback: Callback,
+    ) -> Result<(), DfcclError> {
+        self.check_alive()?;
+        let reg = self
+            .shared
+            .registered
+            .read()
+            .get(&coll_id)
+            .cloned()
+            .ok_or(DfcclError::NotRegistered(coll_id))?;
+        validate_buffers(&reg.desc, reg.rank, &send, &recv)?;
+        self.callbacks.bind(coll_id, callback);
+        self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let sqe = Sqe {
+            coll_id,
+            seq,
+            send,
+            recv,
+            exit: false,
+        };
+        if self.sq.try_push(sqe).is_err() {
+            self.shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+            // Drop the callback we just bound so it does not fire spuriously.
+            let _ = self.callbacks.take(coll_id);
+            return Err(DfcclError::SubmissionQueueFull);
+        }
+        self.controller.ensure_running();
+        Ok(())
+    }
+
+    /// Invoke a registered collective and get a waitable handle back.
+    pub fn run_awaitable(
+        &self,
+        coll_id: u64,
+        send: DeviceBuffer,
+        recv: DeviceBuffer,
+    ) -> Result<CompletionHandle, DfcclError> {
+        let handle = CompletionHandle::new();
+        self.run(coll_id, send, recv, handle.completion_callback())?;
+        Ok(handle)
+    }
+
+    /// Issue a `cudaDeviceSynchronize()`-style synchronization on this rank's
+    /// GPU and wait for it (bounded by `timeout`). Returns whether the
+    /// synchronization completed. With DFCCL the daemon kernel quits
+    /// voluntarily so the synchronization always eventually completes.
+    pub fn device_synchronize(&self, timeout: Duration) -> bool {
+        let waiter = self.device.request_synchronize(SyncKind::Explicit);
+        waiter.wait_timeout(timeout)
+    }
+
+    /// Issue an implicit synchronization (e.g. a pinned-host-memory allocation)
+    /// and wait for it.
+    pub fn implicit_synchronize(&self, kind: SyncKind, timeout: Duration) -> bool {
+        let waiter = self.device.request_synchronize(kind);
+        waiter.wait_timeout(timeout)
+    }
+
+    /// Aggregate daemon statistics for this rank.
+    pub fn stats(&self) -> DaemonStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Per-collective statistics for this rank (Fig. 11 data).
+    pub fn per_collective_stats(&self) -> HashMap<u64, CollectiveStats> {
+        self.shared.stats.per_collective()
+    }
+
+    /// Preemptions per logical daemon block (the Sec. 6.1 metric).
+    pub fn preemptions_per_block(&self) -> f64 {
+        self.shared
+            .stats
+            .preemptions_per_block(self.domain.config.daemon_blocks)
+    }
+
+    /// Memory usage of this rank's GPU (Sec. 6.2 accounting).
+    pub fn memory_usage(&self) -> MemoryUsage {
+        self.device.memory_usage()
+    }
+
+    /// Errors recorded against collectives on this rank (empty in healthy runs).
+    pub fn collective_errors(&self) -> HashMap<u64, String> {
+        self.shared.errors.lock().clone()
+    }
+
+    /// Number of invocations submitted but not yet completed on this rank.
+    pub fn outstanding(&self) -> u64 {
+        self.shared.outstanding()
+    }
+
+    /// Destroy the rank context (`dfcclDestroy`): inserts the exiting SQE,
+    /// waits for the daemon kernel to exit and stops the poller.
+    pub fn destroy(&self) {
+        if self.destroyed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        // Push the exiting SQE; retry briefly if the SQ is momentarily full.
+        let mut sqe = Sqe::exit_marker(seq);
+        for _ in 0..1_000 {
+            match self.sq.try_push(sqe) {
+                Ok(()) => break,
+                Err(crate::sq::SqFull(back)) => {
+                    sqe = back;
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        }
+        self.controller.request_exit();
+        self.controller.ensure_running();
+        // Let the daemon drain outstanding work and read the exiting SQE.
+        let _ = self.controller.wait_idle(Duration::from_secs(30));
+        self.poller_stop.store(true, Ordering::Release);
+        if let Some(p) = self.poller.lock().take() {
+            let _ = p.join();
+        }
+    }
+}
+
+impl Drop for RankCtx {
+    fn drop(&mut self) {
+        self.destroy();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Free functions mirroring Listing 1.
+// ---------------------------------------------------------------------------
+
+/// `dfcclInit`: initialise the rank context of a GPU.
+pub fn dfccl_init(domain: &Arc<DfcclDomain>, gpu: GpuId) -> Result<RankCtx, DfcclError> {
+    domain.init_rank(gpu)
+}
+
+/// `dfcclRegisterAllReduce`: register an all-reduce and prepare its data structures.
+#[allow(clippy::too_many_arguments)]
+pub fn dfccl_register_all_reduce(
+    ctx: &RankCtx,
+    count: usize,
+    dtype: DataType,
+    op: ReduceOp,
+    coll_id: u64,
+    devices: Vec<GpuId>,
+    priority: i32,
+) -> Result<(), DfcclError> {
+    ctx.register_all_reduce(coll_id, count, dtype, op, devices, priority)
+}
+
+/// `dfcclRunAllReduce`: invoke a registered all-reduce with a completion callback.
+pub fn dfccl_run_all_reduce(
+    ctx: &RankCtx,
+    send: DeviceBuffer,
+    recv: DeviceBuffer,
+    coll_id: u64,
+    callback: Callback,
+) -> Result<(), DfcclError> {
+    ctx.run(coll_id, send, recv, callback)
+}
+
+/// `dfcclDestroy`: destroy the rank context and release its resources.
+pub fn dfccl_destroy(ctx: RankCtx) {
+    ctx.destroy();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpus(n: usize) -> Vec<GpuId> {
+        (0..n).map(GpuId).collect()
+    }
+
+    #[test]
+    fn init_rejects_unknown_gpu() {
+        let domain = DfcclDomain::flat_for_testing(2);
+        assert!(matches!(
+            domain.init_rank(GpuId(9)),
+            Err(DfcclError::UnknownGpu(GpuId(9)))
+        ));
+    }
+
+    #[test]
+    fn register_validates_membership_and_duplicates() {
+        let domain = DfcclDomain::flat_for_testing(4);
+        let ctx = domain.init_rank(GpuId(0)).unwrap();
+        ctx.register_all_reduce(1, 16, DataType::F32, ReduceOp::Sum, gpus(4), 0)
+            .unwrap();
+        assert!(matches!(
+            ctx.register_all_reduce(1, 16, DataType::F32, ReduceOp::Sum, gpus(4), 0),
+            Err(DfcclError::AlreadyRegistered(1))
+        ));
+        assert!(matches!(
+            ctx.register_all_reduce(2, 16, DataType::F32, ReduceOp::Sum, vec![GpuId(1), GpuId(2)], 0),
+            Err(DfcclError::RankNotInDeviceSet { .. })
+        ));
+        ctx.destroy();
+    }
+
+    #[test]
+    fn mismatched_device_sets_for_same_id_are_rejected() {
+        let domain = DfcclDomain::flat_for_testing(4);
+        let ctx0 = domain.init_rank(GpuId(0)).unwrap();
+        let ctx1 = domain.init_rank(GpuId(1)).unwrap();
+        ctx0.register_all_reduce(7, 8, DataType::F32, ReduceOp::Sum, gpus(4), 0)
+            .unwrap();
+        let err = ctx1
+            .register_all_reduce(7, 8, DataType::F32, ReduceOp::Sum, vec![GpuId(1), GpuId(0)], 0)
+            .unwrap_err();
+        assert_eq!(err, DfcclError::DeviceSetMismatch(7));
+        ctx0.destroy();
+        ctx1.destroy();
+    }
+
+    #[test]
+    fn run_requires_registration_and_valid_buffers() {
+        let domain = DfcclDomain::flat_for_testing(2);
+        let ctx = domain.init_rank(GpuId(0)).unwrap();
+        let send = DeviceBuffer::from_f32(&[1.0; 8]);
+        let recv = DeviceBuffer::zeroed(32);
+        assert!(matches!(
+            ctx.run_awaitable(5, send.clone(), recv.clone()),
+            Err(DfcclError::NotRegistered(5))
+        ));
+        ctx.register_all_reduce(5, 8, DataType::F32, ReduceOp::Sum, gpus(2), 0)
+            .unwrap();
+        let tiny = DeviceBuffer::zeroed(4);
+        assert!(matches!(
+            ctx.run_awaitable(5, send, tiny),
+            Err(DfcclError::Collective(CollectiveError::BufferSizeMismatch { .. }))
+        ));
+        ctx.destroy();
+    }
+
+    #[test]
+    fn two_rank_all_reduce_end_to_end() {
+        let domain = DfcclDomain::flat_for_testing(2);
+        let count = 64;
+        let mut ranks = Vec::new();
+        for g in 0..2 {
+            let ctx = domain.init_rank(GpuId(g)).unwrap();
+            ctx.register_all_reduce(1, count, DataType::F32, ReduceOp::Sum, gpus(2), 0)
+                .unwrap();
+            ranks.push(ctx);
+        }
+        let mut handles = Vec::new();
+        let mut recvs = Vec::new();
+        for (g, ctx) in ranks.iter().enumerate() {
+            let send = DeviceBuffer::from_f32(&vec![(g + 1) as f32; count]);
+            let recv = DeviceBuffer::zeroed(count * 4);
+            recvs.push(recv.clone());
+            handles.push(ctx.run_awaitable(1, send, recv).unwrap());
+        }
+        for h in &handles {
+            assert!(h.wait_for_timeout(1, Duration::from_secs(20)), "all-reduce timed out");
+        }
+        for recv in &recvs {
+            assert_eq!(recv.to_f32_vec(), vec![3.0f32; count]);
+        }
+        for ctx in &ranks {
+            assert!(ctx.collective_errors().is_empty());
+            assert_eq!(ctx.outstanding(), 0);
+        }
+        for ctx in ranks {
+            ctx.destroy();
+        }
+    }
+
+    #[test]
+    fn destroy_is_idempotent_and_blocks_further_use() {
+        let domain = DfcclDomain::flat_for_testing(2);
+        let ctx = domain.init_rank(GpuId(0)).unwrap();
+        ctx.destroy();
+        ctx.destroy();
+        assert!(matches!(
+            ctx.register_all_reduce(1, 4, DataType::F32, ReduceOp::Sum, gpus(2), 0),
+            Err(DfcclError::Destroyed)
+        ));
+        let send = DeviceBuffer::zeroed(16);
+        let recv = DeviceBuffer::zeroed(16);
+        assert!(matches!(
+            ctx.run_awaitable(1, send, recv),
+            Err(DfcclError::Destroyed)
+        ));
+    }
+
+    #[test]
+    fn listing1_free_functions_work() {
+        let domain = DfcclDomain::flat_for_testing(2);
+        let ctx0 = dfccl_init(&domain, GpuId(0)).unwrap();
+        let ctx1 = dfccl_init(&domain, GpuId(1)).unwrap();
+        for ctx in [&ctx0, &ctx1] {
+            dfccl_register_all_reduce(ctx, 16, DataType::F32, ReduceOp::Sum, 3, gpus(2), 0)
+                .unwrap();
+        }
+        let handle = CompletionHandle::new();
+        let recv0 = DeviceBuffer::zeroed(64);
+        dfccl_run_all_reduce(
+            &ctx0,
+            DeviceBuffer::from_f32(&[1.0; 16]),
+            recv0.clone(),
+            3,
+            handle.completion_callback(),
+        )
+        .unwrap();
+        let h1 = ctx1
+            .run_awaitable(3, DeviceBuffer::from_f32(&[2.0; 16]), DeviceBuffer::zeroed(64))
+            .unwrap();
+        handle.wait_for(1);
+        h1.wait_for(1);
+        assert_eq!(recv0.to_f32_vec(), vec![3.0f32; 16]);
+        dfccl_destroy(ctx0);
+        dfccl_destroy(ctx1);
+    }
+
+    #[test]
+    fn memory_usage_reflects_context_buffer_allocation() {
+        let domain = DfcclDomain::flat_for_testing(2);
+        let ctx = domain.init_rank(GpuId(0)).unwrap();
+        let usage = ctx.memory_usage();
+        let config = domain.config();
+        let expected =
+            config.context_buffer_per_block as usize * config.daemon_blocks as usize + 11 * 1024;
+        assert_eq!(usage.global_allocated, expected);
+        ctx.destroy();
+    }
+}

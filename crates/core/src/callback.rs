@@ -1,0 +1,162 @@
+//! Callback map and poller: how completion notifications reach the invoker.
+//!
+//! When a collective is invoked, the invoker records a `(collective id,
+//! callback)` pair in the callback map (step ❷ of Fig. 4). The poller thread
+//! monitors the CQ; when it finds a CQE it runs the callback tied to that
+//! collective (steps ❻–❼), notifying the invoker in a user-defined way.
+//! Because the same collective can be invoked repeatedly, callbacks are queued
+//! per collective in FIFO order.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A user-supplied completion callback.
+pub type Callback = Box<dyn FnOnce() + Send + 'static>;
+
+/// FIFO map from collective id to pending completion callbacks.
+#[derive(Default)]
+pub struct CallbackMap {
+    inner: Mutex<HashMap<u64, VecDeque<Callback>>>,
+}
+
+impl CallbackMap {
+    /// Create an empty map.
+    pub fn new() -> Arc<Self> {
+        Arc::new(CallbackMap::default())
+    }
+
+    /// Bind a callback to the next completion of `coll_id`.
+    pub fn bind(&self, coll_id: u64, cb: Callback) {
+        self.inner.lock().entry(coll_id).or_default().push_back(cb);
+    }
+
+    /// Take the oldest pending callback for `coll_id`, if any.
+    pub fn take(&self, coll_id: u64) -> Option<Callback> {
+        let mut map = self.inner.lock();
+        let queue = map.get_mut(&coll_id)?;
+        let cb = queue.pop_front();
+        if queue.is_empty() {
+            map.remove(&coll_id);
+        }
+        cb
+    }
+
+    /// Number of callbacks currently pending across all collectives.
+    pub fn pending(&self) -> usize {
+        self.inner.lock().values().map(VecDeque::len).sum()
+    }
+}
+
+/// A waitable completion handle, returned by the `run_*_awaitable` APIs.
+/// Internally it is just a callback that flips a flag.
+#[derive(Clone, Default)]
+pub struct CompletionHandle {
+    shared: Arc<(Mutex<u64>, Condvar)>,
+}
+
+impl CompletionHandle {
+    /// Create a fresh handle with zero recorded completions.
+    pub fn new() -> Self {
+        CompletionHandle::default()
+    }
+
+    /// Produce the callback that marks one completion on this handle.
+    pub fn completion_callback(&self) -> Callback {
+        let shared = Arc::clone(&self.shared);
+        Box::new(move || {
+            let (count, cv) = &*shared;
+            *count.lock() += 1;
+            cv.notify_all();
+        })
+    }
+
+    /// Number of completions recorded so far.
+    pub fn completions(&self) -> u64 {
+        *self.shared.0.lock()
+    }
+
+    /// Wait until at least `n` completions have been recorded.
+    pub fn wait_for(&self, n: u64) {
+        let (count, cv) = &*self.shared;
+        let mut c = count.lock();
+        while *c < n {
+            cv.wait(&mut c);
+        }
+    }
+
+    /// Wait until at least `n` completions have been recorded or `timeout`
+    /// expires. Returns `true` if the target was reached.
+    pub fn wait_for_timeout(&self, n: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let (count, cv) = &*self.shared;
+        let mut c = count.lock();
+        while *c < n {
+            if cv.wait_until(&mut c, deadline).timed_out() {
+                return *c >= n;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn callbacks_fire_in_fifo_order_per_collective() {
+        let map = CallbackMap::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let order = Arc::clone(&order);
+            map.bind(7, Box::new(move || order.lock().push(i)));
+        }
+        assert_eq!(map.pending(), 3);
+        for _ in 0..3 {
+            (map.take(7).unwrap())();
+        }
+        assert!(map.take(7).is_none());
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+        assert_eq!(map.pending(), 0);
+    }
+
+    #[test]
+    fn callbacks_are_keyed_by_collective() {
+        let map = CallbackMap::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        map.bind(1, Box::new(move || { h.fetch_add(1, Ordering::SeqCst); }));
+        assert!(map.take(2).is_none());
+        (map.take(1).unwrap())();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn completion_handle_counts_and_waits() {
+        let handle = CompletionHandle::new();
+        assert_eq!(handle.completions(), 0);
+        let cb = handle.completion_callback();
+        cb();
+        assert_eq!(handle.completions(), 1);
+        assert!(handle.wait_for_timeout(1, Duration::from_millis(1)));
+        assert!(!handle.wait_for_timeout(2, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn completion_handle_wakes_waiting_thread() {
+        let handle = CompletionHandle::new();
+        let waiter = handle.clone();
+        let t = std::thread::spawn(move || {
+            waiter.wait_for(2);
+            waiter.completions()
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        (handle.completion_callback())();
+        (handle.completion_callback())();
+        assert_eq!(t.join().unwrap(), 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! Tunable parameters of the DFCCL runtime.
+//!
+//! The defaults follow the values reported or implied by the paper: an initial
+//! spin threshold of 100,000 polls for the collective at the front of the task
+//! queue, a twenty-fold raise after a successful primitive (Sec. 6.4.1), 13 KB
+//! of shared memory and 4 MB of global memory per block for 1,000 registered
+//! collectives (Sec. 6.2), and the optimized completion queue (Sec. 5).
+
+use std::time::Duration;
+
+/// Which completion-queue implementation the runtime uses (Sec. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CqVariant {
+    /// Ring buffer with per-slot flags and an explicit memory fence
+    /// (≈5 host-memory operations per CQE).
+    VanillaRing,
+    /// Ring buffer that packs the tail and the collective id into one 64-bit
+    /// atomic write, eliminating the fence (4 host-memory operations).
+    OptimizedRing,
+    /// Slot array written with a single `atomicCAS_system`, abandoning ring
+    /// semantics (1 host-memory operation).
+    OptimizedSlot,
+}
+
+/// How the daemon kernel orders its task queue (Sec. 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingPolicy {
+    /// Empty the task queue quickly; fetch new SQEs only when the queue is
+    /// empty or nothing can progress.
+    Fifo,
+    /// Check the SQ more frequently and keep the task queue sorted by the
+    /// user-specified priority.
+    PriorityBased,
+}
+
+/// How spin thresholds are assigned and adjusted (Sec. 4.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpinPolicy {
+    /// Every primitive of every collective gets the same fixed threshold.
+    /// This is the "naive" policy whose throughput collapse Fig. 11 shows.
+    Fixed {
+        /// The threshold, in poll iterations.
+        threshold: u64,
+    },
+    /// The adaptive stickiness policy: the front of the task queue gets the
+    /// largest initial threshold, later entries progressively smaller ones,
+    /// and a successful primitive multiplies the threshold of its successors.
+    Adaptive {
+        /// Initial threshold for the queue-front collective.
+        front_threshold: u64,
+        /// Lower bound for initial thresholds of collectives deep in the queue.
+        min_threshold: u64,
+        /// Multiplier applied after a successful primitive.
+        success_multiplier: u64,
+        /// Upper bound after multiplication.
+        max_threshold: u64,
+    },
+}
+
+impl SpinPolicy {
+    /// The adaptive policy with the paper's profiled parameters.
+    pub fn adaptive_default() -> Self {
+        SpinPolicy::Adaptive {
+            front_threshold: 100_000,
+            min_threshold: 1_000,
+            success_multiplier: 20,
+            max_threshold: 10_000_000,
+        }
+    }
+
+    /// The naive fixed policy used as the ablation baseline in Fig. 11.
+    pub fn naive_fixed() -> Self {
+        SpinPolicy::Fixed { threshold: 10_000 }
+    }
+
+    /// Initial spin threshold for a collective at `position` in the task queue.
+    pub fn initial_threshold(&self, position: usize) -> u64 {
+        match *self {
+            SpinPolicy::Fixed { threshold } => threshold,
+            SpinPolicy::Adaptive {
+                front_threshold,
+                min_threshold,
+                ..
+            } => {
+                // Halve per position, never below the floor.
+                let shifted = front_threshold >> position.min(63);
+                shifted.max(min_threshold)
+            }
+        }
+    }
+
+    /// New threshold after a primitive of the collective succeeded.
+    pub fn on_success(&self, current: u64) -> u64 {
+        match *self {
+            SpinPolicy::Fixed { threshold } => threshold,
+            SpinPolicy::Adaptive {
+                success_multiplier,
+                max_threshold,
+                ..
+            } => current.saturating_mul(success_multiplier).min(max_threshold),
+        }
+    }
+}
+
+/// Modelled host-memory operation costs used by the CQ variants, so that the
+/// Fig. 7(c) comparison has the right shape without real PCIe hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostMemCosts {
+    /// One ordinary host-memory read/write issued from the GPU, in nanoseconds.
+    pub host_op_ns: f64,
+    /// One memory fence covering host memory, in nanoseconds.
+    pub fence_ns: f64,
+    /// One `atomicCAS_system` on host memory, in nanoseconds.
+    pub cas_system_ns: f64,
+}
+
+impl Default for HostMemCosts {
+    fn default() -> Self {
+        // Calibrated so the three CQ variants land near the paper's
+        // 6.9 µs / 4.8 µs / 2.0 µs CQE-write times.
+        HostMemCosts {
+            host_op_ns: 1_200.0,
+            fence_ns: 900.0,
+            cas_system_ns: 2_000.0,
+        }
+    }
+}
+
+impl HostMemCosts {
+    /// A cost model that charges nothing (for logic-only tests).
+    pub fn free() -> Self {
+        HostMemCosts {
+            host_op_ns: 0.0,
+            fence_ns: 0.0,
+            cas_system_ns: 0.0,
+        }
+    }
+}
+
+/// Full runtime configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DfcclConfig {
+    /// Maximum elements per connector chunk.
+    pub chunk_elems: usize,
+    /// Chunk slots per connector.
+    pub connector_capacity: usize,
+    /// Submission-queue capacity (SQEs).
+    pub sq_capacity: usize,
+    /// Completion-queue capacity (CQEs).
+    pub cq_capacity: usize,
+    /// Which CQ implementation to use.
+    pub cq_variant: CqVariant,
+    /// Modelled host-memory costs for SQ/CQ operations.
+    pub host_costs: HostMemCosts,
+    /// Task-queue ordering policy.
+    pub ordering: OrderingPolicy,
+    /// Spin-threshold policy.
+    pub spin: SpinPolicy,
+    /// Number of consecutive idle passes (no new SQE, no progress) after which
+    /// the daemon kernel quits voluntarily.
+    pub idle_passes_before_quit: u32,
+    /// Back-off between daemon restart attempts while the device refuses
+    /// residency (e.g. a pending synchronization).
+    pub restart_backoff: Duration,
+    /// Logical grid size of the daemon kernel (number of blocks). Used for
+    /// memory accounting and per-block statistics.
+    pub daemon_blocks: u32,
+    /// Shared memory the daemon kernel reserves per block (task queue + active
+    /// context slots), bytes.
+    pub shared_mem_per_block: usize,
+    /// Global memory reserved per block for the collective context buffer, bytes.
+    pub context_buffer_per_block: usize,
+    /// Modelled cost of loading one collective context into shared memory, ns.
+    pub context_load_ns: f64,
+    /// Modelled cost of saving one collective's dynamic context, ns.
+    pub context_save_ns: f64,
+    /// Number of active context slots kept in shared memory (direct-mapped).
+    pub active_context_slots: usize,
+}
+
+impl Default for DfcclConfig {
+    fn default() -> Self {
+        DfcclConfig {
+            chunk_elems: 32 * 1024,
+            connector_capacity: 8,
+            sq_capacity: 1024,
+            cq_capacity: 1024,
+            cq_variant: CqVariant::OptimizedSlot,
+            host_costs: HostMemCosts::default(),
+            ordering: OrderingPolicy::Fifo,
+            spin: SpinPolicy::adaptive_default(),
+            idle_passes_before_quit: 64,
+            restart_backoff: Duration::from_micros(100),
+            daemon_blocks: 4,
+            shared_mem_per_block: 13 * 1024,
+            context_buffer_per_block: 4 * 1024 * 1024,
+            context_load_ns: 450.0,
+            context_save_ns: 50.0,
+            active_context_slots: 8,
+        }
+    }
+}
+
+impl DfcclConfig {
+    /// A configuration with every modelled cost removed — fast, suited to
+    /// correctness tests.
+    pub fn for_testing() -> Self {
+        DfcclConfig {
+            host_costs: HostMemCosts::free(),
+            context_load_ns: 0.0,
+            context_save_ns: 0.0,
+            idle_passes_before_quit: 16,
+            restart_backoff: Duration::from_micros(20),
+            ..Default::default()
+        }
+    }
+
+    /// Same as [`DfcclConfig::for_testing`] but with very small spin thresholds,
+    /// which makes preemption extremely frequent — useful for stress-testing
+    /// context save/restore correctness.
+    pub fn preemption_stress() -> Self {
+        DfcclConfig {
+            spin: SpinPolicy::Fixed { threshold: 4 },
+            ..Self::for_testing()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_initial_threshold_decreases_with_position() {
+        let p = SpinPolicy::adaptive_default();
+        let front = p.initial_threshold(0);
+        let second = p.initial_threshold(1);
+        let deep = p.initial_threshold(40);
+        assert!(front > second);
+        assert!(second > deep || second == deep);
+        assert_eq!(front, 100_000);
+        assert_eq!(deep, 1_000, "deep positions hit the floor");
+    }
+
+    #[test]
+    fn adaptive_success_multiplies_and_saturates() {
+        let p = SpinPolicy::adaptive_default();
+        assert_eq!(p.on_success(1_000), 20_000);
+        assert_eq!(p.on_success(9_000_000), 10_000_000);
+    }
+
+    #[test]
+    fn fixed_policy_never_changes() {
+        let p = SpinPolicy::naive_fixed();
+        assert_eq!(p.initial_threshold(0), 10_000);
+        assert_eq!(p.initial_threshold(17), 10_000);
+        assert_eq!(p.on_success(10_000), 10_000);
+    }
+
+    #[test]
+    fn default_config_matches_paper_constants() {
+        let c = DfcclConfig::default();
+        assert_eq!(c.shared_mem_per_block, 13 * 1024);
+        assert_eq!(c.context_buffer_per_block, 4 * 1024 * 1024);
+        assert_eq!(c.cq_variant, CqVariant::OptimizedSlot);
+        assert!(matches!(c.spin, SpinPolicy::Adaptive { .. }));
+    }
+
+    #[test]
+    fn testing_config_is_cost_free() {
+        let c = DfcclConfig::for_testing();
+        assert_eq!(c.host_costs, HostMemCosts::free());
+        assert_eq!(c.context_load_ns, 0.0);
+        let s = DfcclConfig::preemption_stress();
+        assert_eq!(s.spin, SpinPolicy::Fixed { threshold: 4 });
+    }
+
+    #[test]
+    fn host_cost_defaults_reproduce_cq_ordering() {
+        let h = HostMemCosts::default();
+        let vanilla = 5.0 * h.host_op_ns + h.fence_ns;
+        let optimized_ring = 4.0 * h.host_op_ns;
+        let optimized_slot = h.cas_system_ns;
+        assert!(vanilla > optimized_ring);
+        assert!(optimized_ring > optimized_slot);
+    }
+}

@@ -1,0 +1,256 @@
+//! Collective contexts: what survives a preemption.
+//!
+//! The *static context* of a collective (descriptor, rank, primitive plan,
+//! connectors) is fixed at registration time. The *dynamic context* changes as
+//! the collective executes — the index of the next primitive to run and the
+//! buffers of the current invocation — and is what must be saved when the
+//! collective is preempted and reloaded when it is rescheduled (Sec. 4.2).
+//!
+//! The store models the paper's memory hierarchy: a small direct-mapped cache
+//! of *active context slots* ("shared memory") in front of the *collective
+//! context buffer* ("global memory"). Loading a context that is not in an
+//! active slot charges the modelled load cost; saving charges the save cost,
+//! and the *lazy-saving* optimisation skips the save when the collective made
+//! no progress since it was loaded.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use dfccl_collectives::DeviceBuffer;
+use gpu_sim::busy_spin;
+use parking_lot::Mutex;
+
+/// Dynamic context of one invocation of a collective.
+#[derive(Debug, Clone)]
+pub struct DynamicContext {
+    /// Index of the next primitive of the plan to execute.
+    pub next_step: usize,
+    /// Submission sequence number of this invocation.
+    pub run_seq: u64,
+    /// Send buffer of this invocation.
+    pub send: DeviceBuffer,
+    /// Recv buffer of this invocation.
+    pub recv: DeviceBuffer,
+    /// Whether the collective progressed since its context was last saved
+    /// (drives the lazy-saving optimisation).
+    pub progressed_since_save: bool,
+}
+
+impl DynamicContext {
+    /// Fresh context for a new invocation.
+    pub fn new(run_seq: u64, send: DeviceBuffer, recv: DeviceBuffer) -> Self {
+        DynamicContext {
+            next_step: 0,
+            run_seq,
+            send,
+            recv,
+            progressed_since_save: false,
+        }
+    }
+}
+
+/// Outcome of a context checkout, reporting whether the modelled active-slot
+/// cache hit (no load cost) or missed (load cost charged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContextLoad {
+    /// The context was already in an active slot.
+    CacheHit,
+    /// The context was loaded from the context buffer in global memory.
+    CacheMiss,
+}
+
+#[derive(Default)]
+struct PerCollective {
+    /// Pending invocations in FIFO order; the front is the one currently
+    /// being executed or next to execute.
+    pending: VecDeque<DynamicContext>,
+}
+
+/// The context store shared between daemon-kernel incarnations. It lives in
+/// (modelled) global memory, so voluntary quits and restarts of the daemon do
+/// not lose preempted collectives.
+pub struct ContextStore {
+    per_coll: Mutex<HashMap<u64, PerCollective>>,
+    /// Direct-mapped active-slot cache: which collective id occupies each slot.
+    active_slots: Mutex<Vec<Option<u64>>>,
+    load_cost: Duration,
+    save_cost: Duration,
+}
+
+impl ContextStore {
+    /// Create a store with `active_slots` cache slots and the given modelled
+    /// load/save costs (nanoseconds).
+    pub fn new(active_slots: usize, load_ns: f64, save_ns: f64) -> Self {
+        ContextStore {
+            per_coll: Mutex::new(HashMap::new()),
+            active_slots: Mutex::new(vec![None; active_slots.max(1)]),
+            load_cost: Duration::from_nanos(load_ns.max(0.0) as u64),
+            save_cost: Duration::from_nanos(save_ns.max(0.0) as u64),
+        }
+    }
+
+    /// Queue a new invocation of `coll_id`. Returns the number of invocations
+    /// now pending for that collective (including this one).
+    pub fn enqueue_invocation(&self, coll_id: u64, ctx: DynamicContext) -> usize {
+        let mut map = self.per_coll.lock();
+        let entry = map.entry(coll_id).or_default();
+        entry.pending.push_back(ctx);
+        entry.pending.len()
+    }
+
+    /// Take the current (front) invocation of `coll_id` for execution.
+    /// Charges the load cost unless the collective is in an active slot.
+    pub fn checkout_current(&self, coll_id: u64) -> Option<(DynamicContext, ContextLoad)> {
+        let ctx = {
+            let mut map = self.per_coll.lock();
+            let entry = map.get_mut(&coll_id)?;
+            entry.pending.pop_front()?
+        };
+        let load = {
+            let mut slots = self.active_slots.lock();
+            let idx = (coll_id as usize) % slots.len();
+            if slots[idx] == Some(coll_id) {
+                ContextLoad::CacheHit
+            } else {
+                slots[idx] = Some(coll_id);
+                ContextLoad::CacheMiss
+            }
+        };
+        if load == ContextLoad::CacheMiss {
+            busy_spin(self.load_cost);
+        }
+        Some((ctx, load))
+    }
+
+    /// Put back a preempted, incomplete invocation. Charges the save cost only
+    /// if the collective progressed since its last save (lazy saving). Returns
+    /// `true` if the save cost was actually paid.
+    pub fn checkin_incomplete(&self, coll_id: u64, mut ctx: DynamicContext) -> bool {
+        let saved = ctx.progressed_since_save;
+        if saved {
+            busy_spin(self.save_cost);
+            ctx.progressed_since_save = false;
+        }
+        let mut map = self.per_coll.lock();
+        map.entry(coll_id).or_default().pending.push_front(ctx);
+        saved
+    }
+
+    /// Whether more invocations are pending for `coll_id`.
+    pub fn has_pending(&self, coll_id: u64) -> bool {
+        self.per_coll
+            .lock()
+            .get(&coll_id)
+            .map(|e| !e.pending.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Collective ids that currently have pending invocations, ordered by the
+    /// submission sequence of their front invocation (oldest first). Used to
+    /// rebuild the task queue when the daemon kernel restarts.
+    pub fn incomplete_ids(&self) -> Vec<u64> {
+        let map = self.per_coll.lock();
+        let mut ids: Vec<(u64, u64)> = map
+            .iter()
+            .filter_map(|(&id, e)| e.pending.front().map(|c| (c.run_seq, id)))
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Total pending invocations across all collectives.
+    pub fn total_pending(&self) -> usize {
+        self.per_coll
+            .lock()
+            .values()
+            .map(|e| e.pending.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(seq: u64) -> DynamicContext {
+        DynamicContext::new(seq, DeviceBuffer::zeroed(4), DeviceBuffer::zeroed(4))
+    }
+
+    fn store() -> ContextStore {
+        ContextStore::new(4, 0.0, 0.0)
+    }
+
+    #[test]
+    fn enqueue_checkout_round_trip() {
+        let s = store();
+        assert_eq!(s.enqueue_invocation(1, ctx(0)), 1);
+        assert_eq!(s.enqueue_invocation(1, ctx(1)), 2);
+        let (c, _) = s.checkout_current(1).unwrap();
+        assert_eq!(c.run_seq, 0);
+        assert!(s.has_pending(1));
+        let (c, _) = s.checkout_current(1).unwrap();
+        assert_eq!(c.run_seq, 1);
+        assert!(!s.has_pending(1));
+        assert!(s.checkout_current(1).is_none());
+    }
+
+    #[test]
+    fn checkin_restores_front_position() {
+        let s = store();
+        s.enqueue_invocation(1, ctx(0));
+        s.enqueue_invocation(1, ctx(1));
+        let (mut c, _) = s.checkout_current(1).unwrap();
+        c.next_step = 5;
+        c.progressed_since_save = true;
+        assert!(s.checkin_incomplete(1, c));
+        let (c, _) = s.checkout_current(1).unwrap();
+        assert_eq!(c.run_seq, 0, "preempted invocation stays in front");
+        assert_eq!(c.next_step, 5);
+        assert!(!c.progressed_since_save, "flag reset after save");
+    }
+
+    #[test]
+    fn lazy_saving_skips_unprogressed_contexts() {
+        let s = store();
+        s.enqueue_invocation(2, ctx(0));
+        let (c, _) = s.checkout_current(2).unwrap();
+        assert!(!s.checkin_incomplete(2, c), "no progress, no save cost");
+    }
+
+    #[test]
+    fn cache_hits_after_first_load() {
+        let s = store();
+        s.enqueue_invocation(3, ctx(0));
+        let (c, load) = s.checkout_current(3).unwrap();
+        assert_eq!(load, ContextLoad::CacheMiss);
+        s.checkin_incomplete(3, c);
+        let (_, load) = s.checkout_current(3).unwrap();
+        assert_eq!(load, ContextLoad::CacheHit);
+    }
+
+    #[test]
+    fn direct_mapped_slots_conflict_on_collisions() {
+        let s = ContextStore::new(2, 0.0, 0.0);
+        // Collective ids 0 and 2 both map to slot 0.
+        s.enqueue_invocation(0, ctx(0));
+        s.enqueue_invocation(2, ctx(0));
+        let (c0, l0) = s.checkout_current(0).unwrap();
+        assert_eq!(l0, ContextLoad::CacheMiss);
+        s.checkin_incomplete(0, c0);
+        let (c2, l2) = s.checkout_current(2).unwrap();
+        assert_eq!(l2, ContextLoad::CacheMiss, "conflicting id evicts the slot");
+        s.checkin_incomplete(2, c2);
+        let (_, l0_again) = s.checkout_current(0).unwrap();
+        assert_eq!(l0_again, ContextLoad::CacheMiss, "evicted id misses again");
+    }
+
+    #[test]
+    fn incomplete_ids_ordered_by_submission() {
+        let s = store();
+        s.enqueue_invocation(9, ctx(5));
+        s.enqueue_invocation(4, ctx(2));
+        s.enqueue_invocation(7, ctx(8));
+        assert_eq!(s.incomplete_ids(), vec![4, 9, 7]);
+        assert_eq!(s.total_pending(), 3);
+    }
+}

@@ -1,0 +1,558 @@
+//! The daemon kernel: execution, preemption and scheduling of collectives
+//! (Sec. 4, Algorithm 1).
+//!
+//! One daemon kernel runs per GPU. In this reproduction it is a dedicated
+//! thread that:
+//!
+//! 1. acquires kernel residency on its [`gpu_sim::GpuDevice`] (so it interacts
+//!    with device synchronization exactly like a persistent kernel would);
+//! 2. fetches SQEs, maintains the task queue, and orders it by the configured
+//!    policy;
+//! 3. executes each scheduled collective's primitives in a *two-phase
+//!    blocking* manner: a primitive polls its connector conditions up to the
+//!    collective's spin threshold and, if it cannot proceed, the collective is
+//!    deemed *stuck* and preempted (its dynamic context saved, the next
+//!    collective scheduled);
+//! 4. writes a CQE for every completed collective;
+//! 5. quits voluntarily when idle (releasing the GPU and letting pending
+//!    device synchronizations drain) and is restarted event-driven when new
+//!    SQEs arrive or completions are still owed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dfccl_collectives::{
+    execute_ready_step, step_ready, CollectiveDescriptor, PrimitiveStep, StepOutcome,
+};
+use dfccl_transport::{Communicator, RankChannels};
+use gpu_sim::{GpuDevice, GpuId};
+use parking_lot::{Mutex, RwLock};
+
+use crate::callback::CallbackMap;
+use crate::config::DfcclConfig;
+use crate::context::{ContextLoad, ContextStore, DynamicContext};
+use crate::cq::{CompletionQueue, Cqe};
+use crate::sq::{SqCursor, SubmissionQueue};
+use crate::stats::DaemonStats;
+use crate::task_queue::TaskQueue;
+
+/// Static context of a registered collective on one rank: everything that is
+/// fixed at registration time (Sec. 4.2).
+pub struct RegisteredCollective {
+    /// The collective id chosen by the user at registration.
+    pub coll_id: u64,
+    /// The collective's descriptor.
+    pub desc: CollectiveDescriptor,
+    /// This GPU's rank within the collective's device set.
+    pub rank: usize,
+    /// The communicator backing the collective.
+    pub communicator: Arc<Communicator>,
+    /// This rank's connectors.
+    pub channels: RankChannels,
+    /// This rank's primitive sequence.
+    pub plan: Vec<PrimitiveStep>,
+}
+
+/// State shared between the API layer, the poller thread and the daemon-kernel
+/// thread (and surviving daemon restarts).
+pub struct DaemonShared {
+    /// The GPU this daemon serves.
+    pub gpu: GpuId,
+    /// The device model (residency + synchronization interplay).
+    pub device: Arc<GpuDevice>,
+    /// Runtime configuration.
+    pub config: DfcclConfig,
+    /// The submission queue.
+    pub sq: Arc<SubmissionQueue>,
+    /// The completion queue.
+    pub cq: Arc<dyn CompletionQueue>,
+    /// Completion callbacks.
+    pub callbacks: Arc<CallbackMap>,
+    /// Registered collectives (static contexts).
+    pub registered: RwLock<HashMap<u64, Arc<RegisteredCollective>>>,
+    /// Dynamic contexts of pending invocations (the collective context buffer).
+    pub contexts: ContextStore,
+    /// Statistics.
+    pub stats: Arc<DaemonStats>,
+    /// Collectives that failed with a protocol error, and why.
+    pub errors: Mutex<HashMap<u64, String>>,
+    /// Whether a daemon thread is currently alive.
+    running: AtomicBool,
+    /// Set when the exiting SQE has been read (or destroy was requested).
+    final_exit: AtomicBool,
+    /// SQ read cursor; persists across daemon restarts.
+    sq_cursor: Mutex<SqCursor>,
+    /// Invocations submitted but not yet completed.
+    pub outstanding: AtomicU64,
+}
+
+impl DaemonShared {
+    /// Create the shared state for one rank.
+    pub fn new(
+        gpu: GpuId,
+        device: Arc<GpuDevice>,
+        config: DfcclConfig,
+        sq: Arc<SubmissionQueue>,
+        cq: Arc<dyn CompletionQueue>,
+        callbacks: Arc<CallbackMap>,
+    ) -> Arc<Self> {
+        let contexts = ContextStore::new(
+            config.active_context_slots,
+            config.context_load_ns,
+            config.context_save_ns,
+        );
+        Arc::new(DaemonShared {
+            gpu,
+            device,
+            config,
+            sq,
+            cq,
+            callbacks,
+            registered: RwLock::new(HashMap::new()),
+            contexts,
+            stats: Arc::new(DaemonStats::default()),
+            errors: Mutex::new(HashMap::new()),
+            running: AtomicBool::new(false),
+            final_exit: AtomicBool::new(false),
+            sq_cursor: Mutex::new(SqCursor::default()),
+            outstanding: AtomicU64::new(0),
+        })
+    }
+
+    /// Whether the daemon thread is currently alive.
+    pub fn is_running(&self) -> bool {
+        self.running.load(Ordering::Acquire)
+    }
+
+    /// Whether the exiting SQE has been consumed (or exit was forced).
+    pub fn final_exit_requested(&self) -> bool {
+        self.final_exit.load(Ordering::Acquire)
+    }
+
+    /// Invocations submitted but not yet completed.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding.load(Ordering::Acquire)
+    }
+}
+
+/// Starts, restarts and joins daemon-kernel threads for one rank.
+pub struct DaemonController {
+    shared: Arc<DaemonShared>,
+    join: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl DaemonController {
+    /// Create a controller over shared state.
+    pub fn new(shared: Arc<DaemonShared>) -> Arc<Self> {
+        Arc::new(DaemonController {
+            shared,
+            join: Mutex::new(None),
+        })
+    }
+
+    /// The shared state.
+    pub fn shared(&self) -> &Arc<DaemonShared> {
+        &self.shared
+    }
+
+    /// Start the daemon kernel if it is not already running (event-driven
+    /// starting: called on SQE insertion and by the poller while completions
+    /// are owed).
+    pub fn ensure_running(&self) {
+        if self.shared.final_exit_requested() && self.shared.outstanding() == 0 {
+            return;
+        }
+        if self
+            .shared
+            .running
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("dfccl-daemon-{}", shared.gpu))
+            .spawn(move || run_daemon(shared))
+            .expect("failed to spawn daemon kernel thread");
+        let mut join = self.join.lock();
+        // Reap the previous incarnation's handle, if any; it has exited
+        // (running was false when we swapped it).
+        if let Some(old) = join.take() {
+            let _ = old.join();
+        }
+        *join = Some(handle);
+    }
+
+    /// Force the exit flag (used by `dfccl_destroy` alongside the exiting SQE).
+    pub fn request_exit(&self) {
+        self.shared.final_exit.store(true, Ordering::Release);
+    }
+
+    /// Wait until the daemon thread is no longer running, up to `timeout`.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.shared.is_running() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        if let Some(h) = self.join.lock().take() {
+            let _ = h.join();
+        }
+        true
+    }
+}
+
+/// Body of one daemon-kernel incarnation (Algorithm 1).
+fn run_daemon(shared: Arc<DaemonShared>) {
+    shared.stats.record_daemon_start();
+
+    // Acquire kernel residency; while a device synchronization is pending the
+    // device rejects new residents, so back off and retry.
+    let residency = loop {
+        if shared.final_exit_requested() && shared.contexts.total_pending() == 0 {
+            shared.running.store(false, Ordering::Release);
+            return;
+        }
+        match shared.device.try_acquire_residency(
+            shared.config.daemon_blocks,
+            shared.config.shared_mem_per_block,
+        ) {
+            Ok(guard) => break guard,
+            Err(_) => std::thread::sleep(shared.config.restart_backoff),
+        }
+    };
+
+    // Rebuild the task queue from contexts that survived the previous
+    // incarnation (preempted or never-started invocations).
+    let mut task_queue = TaskQueue::new();
+    {
+        let registered = shared.registered.read();
+        for coll_id in shared.contexts.incomplete_ids() {
+            let priority = registered
+                .get(&coll_id)
+                .map(|r| r.desc.priority)
+                .unwrap_or(0);
+            task_queue.push(coll_id, priority);
+        }
+    }
+
+    let mut idle_passes: u32 = 0;
+    loop {
+        let mut fetched_any = false;
+        let mut progressed_any = false;
+
+        // ❶ Fetch and parse SQEs.
+        loop {
+            let read_start = Instant::now();
+            let sqe = {
+                let mut cursor = shared.sq_cursor.lock();
+                shared.sq.read_next(&mut cursor)
+            };
+            let Some(sqe) = sqe else { break };
+            shared.stats.record_sqe_fetch(read_start.elapsed());
+            fetched_any = true;
+            if sqe.exit {
+                shared.final_exit.store(true, Ordering::Release);
+                continue;
+            }
+            let prep_start = Instant::now();
+            let priority = shared
+                .registered
+                .read()
+                .get(&sqe.coll_id)
+                .map(|r| r.desc.priority)
+                .unwrap_or(0);
+            shared.contexts.enqueue_invocation(
+                sqe.coll_id,
+                DynamicContext::new(sqe.seq, sqe.send, sqe.recv),
+            );
+            if !task_queue.contains(sqe.coll_id) {
+                task_queue.push(sqe.coll_id, priority);
+            }
+            shared
+                .stats
+                .record_queue_len(sqe.coll_id, task_queue.len() as u64);
+            shared.stats.record_preparing(prep_start.elapsed());
+        }
+
+        // ❷ Order the task queue and assign initial spin thresholds.
+        task_queue.reorder(shared.config.ordering);
+        let spin = shared.config.spin;
+        task_queue.assign_initial_thresholds(|pos| spin.initial_threshold(pos));
+
+        // ❸ One scheduling pass over the task queue.
+        for coll_id in task_queue.order() {
+            let Some(reg) = shared.registered.read().get(&coll_id).cloned() else {
+                // Unregistered id: drop the invocation and surface an error.
+                if shared.contexts.checkout_current(coll_id).is_some() {
+                    shared
+                        .errors
+                        .lock()
+                        .insert(coll_id, "collective not registered".to_string());
+                    complete_collective(&shared, coll_id);
+                }
+                task_queue.remove(coll_id);
+                continue;
+            };
+            let prep_start = Instant::now();
+            let Some((mut ctx, load)) = shared.contexts.checkout_current(coll_id) else {
+                // Nothing pending for this entry (stale); drop it.
+                task_queue.remove(coll_id);
+                continue;
+            };
+            shared.stats.record_context_load();
+            if load == ContextLoad::CacheMiss {
+                shared.stats.record_preparing(prep_start.elapsed());
+            }
+
+            let mut threshold = task_queue
+                .entry_mut(coll_id)
+                .map(|e| e.spin_threshold)
+                .unwrap_or_else(|| spin.initial_threshold(0));
+            let mut preempted = false;
+            let mut failed: Option<String> = None;
+
+            while ctx.next_step < reg.plan.len() {
+                let step = &reg.plan[ctx.next_step];
+                // Two-phase blocking: poll the connector conditions up to the
+                // spin threshold, then either execute or abort the primitive.
+                let mut polls: u64 = 0;
+                let ready = loop {
+                    if step_ready(step, &reg.channels) {
+                        break true;
+                    }
+                    polls += 1;
+                    if polls >= threshold {
+                        break false;
+                    }
+                    std::hint::spin_loop();
+                };
+                if !ready {
+                    preempted = true;
+                    break;
+                }
+                let exec_start = Instant::now();
+                match execute_ready_step(
+                    coll_id,
+                    step,
+                    &reg.channels,
+                    reg.desc.dtype,
+                    reg.desc.op,
+                    &ctx.send,
+                    &ctx.recv,
+                ) {
+                    Ok(StepOutcome::Completed) => {
+                        shared.stats.record_primitive(exec_start.elapsed());
+                        ctx.next_step += 1;
+                        ctx.progressed_since_save = true;
+                        progressed_any = true;
+                        // Adaptive stickiness: a successful primitive raises the
+                        // threshold of its successors (decentralized dynamic
+                        // gang-scheduling).
+                        threshold = spin.on_success(threshold);
+                        if let Some(entry) = task_queue.entry_mut(coll_id) {
+                            entry.spin_threshold = threshold;
+                        }
+                    }
+                    Ok(StepOutcome::NotReady) => {
+                        preempted = true;
+                        break;
+                    }
+                    Err(e) => {
+                        failed = Some(e.to_string());
+                        break;
+                    }
+                }
+            }
+
+            if let Some(reason) = failed {
+                shared.errors.lock().insert(coll_id, reason);
+                complete_collective(&shared, coll_id);
+                if !shared.contexts.has_pending(coll_id) {
+                    task_queue.remove(coll_id);
+                }
+            } else if preempted {
+                shared.stats.record_preemption(coll_id);
+                let saved = shared.contexts.checkin_incomplete(coll_id, ctx);
+                shared.stats.record_context_save(!saved);
+            } else {
+                // ❹ Completed: emit the CQE.
+                complete_collective(&shared, coll_id);
+                if !shared.contexts.has_pending(coll_id) {
+                    task_queue.remove(coll_id);
+                }
+                progressed_any = true;
+            }
+        }
+
+        // ❺ Idle handling: voluntary quitting and final exit.
+        if fetched_any || progressed_any {
+            idle_passes = 0;
+            continue;
+        }
+        idle_passes += 1;
+
+        let sq_has_pending = {
+            let cursor = shared.sq_cursor.lock();
+            shared.sq.has_pending(&cursor)
+        };
+        if shared.final_exit_requested() && task_queue.is_empty() && !sq_has_pending {
+            drop(residency);
+            shared.running.store(false, Ordering::Release);
+            return;
+        }
+        // Quit early when a device synchronization is blocked on this daemon;
+        // otherwise wait out the configured idle period.
+        let sync_blocked = shared.device.sync_pending();
+        if (sync_blocked && idle_passes >= 2)
+            || idle_passes >= shared.config.idle_passes_before_quit
+        {
+            shared.stats.record_voluntary_quit();
+            drop(residency);
+            shared.running.store(false, Ordering::Release);
+            return;
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Emit the CQE for a completed collective and update accounting.
+fn complete_collective(shared: &Arc<DaemonShared>, coll_id: u64) {
+    let write_start = Instant::now();
+    while !shared.cq.push(Cqe { coll_id }) {
+        std::hint::spin_loop();
+    }
+    shared.stats.record_cqe_write(write_start.elapsed());
+    shared.stats.record_completion(coll_id);
+    let previous = shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+    debug_assert!(previous > 0, "completion without a matching submission");
+}
+
+/// The CPU-side poller: drains the CQ, runs the callbacks bound to completed
+/// collectives, and restarts the daemon kernel while completions are owed
+/// (the second half of DFCCL's event-driven starting rule).
+pub fn run_poller(
+    shared: Arc<DaemonShared>,
+    controller: Arc<DaemonController>,
+    stop: Arc<AtomicBool>,
+) {
+    loop {
+        let mut drained = false;
+        while let Some(cqe) = shared.cq.pop() {
+            drained = true;
+            if let Some(cb) = shared.callbacks.take(cqe.coll_id) {
+                cb();
+            }
+        }
+        if stop.load(Ordering::Acquire) && shared.cq.is_empty() && shared.outstanding() == 0 {
+            return;
+        }
+        if !drained {
+            // Completions are owed but no daemon is running: restart it.
+            if shared.outstanding() > 0 && !shared.is_running() {
+                controller.ensure_running();
+            }
+            std::thread::sleep(shared.config.restart_backoff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DfcclConfig;
+    use crate::cq::build_cq;
+    use gpu_sim::GpuSpec;
+
+    fn shared_for_test() -> Arc<DaemonShared> {
+        let config = DfcclConfig::for_testing();
+        let device = GpuDevice::new(GpuId(0), GpuSpec::rtx_3090());
+        let sq = Arc::new(SubmissionQueue::new(config.sq_capacity, 1));
+        let cq: Arc<dyn CompletionQueue> =
+            Arc::from(build_cq(config.cq_variant, config.cq_capacity, config.host_costs));
+        DaemonShared::new(GpuId(0), device, config, sq, cq, CallbackMap::new())
+    }
+
+    #[test]
+    fn daemon_with_no_work_quits_voluntarily() {
+        let shared = shared_for_test();
+        let controller = DaemonController::new(Arc::clone(&shared));
+        controller.ensure_running();
+        assert!(controller.wait_idle(Duration::from_secs(5)));
+        let snap = shared.stats.snapshot();
+        assert_eq!(snap.daemon_starts, 1);
+        assert_eq!(snap.voluntary_quits, 1);
+        assert!(!shared.is_running());
+    }
+
+    #[test]
+    fn ensure_running_is_idempotent_while_running() {
+        let shared = shared_for_test();
+        let controller = DaemonController::new(Arc::clone(&shared));
+        controller.ensure_running();
+        controller.ensure_running();
+        controller.ensure_running();
+        assert!(controller.wait_idle(Duration::from_secs(5)));
+        // Only one incarnation ran even though ensure_running was called thrice
+        // before it had a chance to go idle (the extra calls may or may not
+        // have landed after the quit, so allow 1..=3 but require monotonicity).
+        let starts = shared.stats.snapshot().daemon_starts;
+        assert!((1..=3).contains(&starts), "starts = {starts}");
+    }
+
+    #[test]
+    fn daemon_exits_after_exit_sqe() {
+        let shared = shared_for_test();
+        let controller = DaemonController::new(Arc::clone(&shared));
+        shared.sq.try_push(crate::sq::Sqe::exit_marker(0)).unwrap();
+        controller.ensure_running();
+        assert!(controller.wait_idle(Duration::from_secs(5)));
+        assert!(shared.final_exit_requested());
+        // After final exit with nothing outstanding, ensure_running is a no-op.
+        controller.ensure_running();
+        assert!(!shared.is_running());
+    }
+
+    #[test]
+    fn unregistered_collective_is_failed_not_hung() {
+        let shared = shared_for_test();
+        let controller = DaemonController::new(Arc::clone(&shared));
+        shared.outstanding.fetch_add(1, Ordering::Release);
+        shared
+            .sq
+            .try_push(crate::sq::Sqe {
+                coll_id: 99,
+                seq: 0,
+                send: dfccl_collectives::DeviceBuffer::zeroed(4),
+                recv: dfccl_collectives::DeviceBuffer::zeroed(4),
+                exit: false,
+            })
+            .unwrap();
+        controller.ensure_running();
+        assert!(controller.wait_idle(Duration::from_secs(5)));
+        assert_eq!(shared.outstanding(), 0);
+        assert!(shared.errors.lock().contains_key(&99));
+        assert_eq!(shared.cq.pop().unwrap().coll_id, 99);
+    }
+
+    #[test]
+    fn daemon_quits_when_device_sync_is_pending() {
+        let shared = shared_for_test();
+        let controller = DaemonController::new(Arc::clone(&shared));
+        controller.ensure_running();
+        // Give the daemon time to acquire residency, then request a sync.
+        std::thread::sleep(Duration::from_millis(20));
+        let waiter = shared.device.request_synchronize(gpu_sim::SyncKind::Explicit);
+        assert!(
+            waiter.wait_timeout(Duration::from_secs(5)),
+            "sync must complete once the daemon quits voluntarily"
+        );
+        controller.wait_idle(Duration::from_secs(5));
+    }
+}

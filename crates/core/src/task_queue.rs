@@ -1,0 +1,169 @@
+//! The daemon kernel's task queue (kept in shared memory on real hardware).
+//!
+//! Fetched SQEs become task entries. Under the FIFO ordering policy new
+//! entries go to the back; under the priority-based policy the queue is kept
+//! sorted by the user-specified priority (higher first), with arrival order
+//! breaking ties. A preempted collective keeps its queue position (Sec. 4.3).
+
+use crate::config::OrderingPolicy;
+
+/// One entry of the task queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskEntry {
+    /// The registered collective to execute.
+    pub coll_id: u64,
+    /// User-specified priority (higher runs earlier under the priority policy).
+    pub priority: i32,
+    /// Monotonic arrival index (fetch order from the SQ).
+    pub arrival: u64,
+    /// Current spin threshold assigned to this collective's primitives.
+    pub spin_threshold: u64,
+}
+
+/// The per-daemon task queue.
+#[derive(Debug, Default)]
+pub struct TaskQueue {
+    entries: Vec<TaskEntry>,
+    next_arrival: u64,
+}
+
+impl TaskQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        TaskQueue::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `coll_id` is already queued.
+    pub fn contains(&self, coll_id: u64) -> bool {
+        self.entries.iter().any(|e| e.coll_id == coll_id)
+    }
+
+    /// Append a new entry (FIFO position). Returns its arrival index.
+    pub fn push(&mut self, coll_id: u64, priority: i32) -> u64 {
+        let arrival = self.next_arrival;
+        self.next_arrival += 1;
+        self.entries.push(TaskEntry {
+            coll_id,
+            priority,
+            arrival,
+            spin_threshold: 0,
+        });
+        arrival
+    }
+
+    /// Remove the entry for `coll_id` (after its completion).
+    pub fn remove(&mut self, coll_id: u64) -> Option<TaskEntry> {
+        let idx = self.entries.iter().position(|e| e.coll_id == coll_id)?;
+        Some(self.entries.remove(idx))
+    }
+
+    /// Re-order the queue according to the policy. FIFO keeps arrival order;
+    /// the priority policy sorts by descending priority, then arrival.
+    pub fn reorder(&mut self, policy: OrderingPolicy) {
+        match policy {
+            OrderingPolicy::Fifo => self.entries.sort_by_key(|e| e.arrival),
+            OrderingPolicy::PriorityBased => self
+                .entries
+                .sort_by_key(|e| (std::cmp::Reverse(e.priority), e.arrival)),
+        }
+    }
+
+    /// Entries in current order.
+    pub fn entries(&self) -> &[TaskEntry] {
+        &self.entries
+    }
+
+    /// Mutable access to an entry by collective id.
+    pub fn entry_mut(&mut self, coll_id: u64) -> Option<&mut TaskEntry> {
+        self.entries.iter_mut().find(|e| e.coll_id == coll_id)
+    }
+
+    /// Collective ids in current order (snapshot, for iteration while the
+    /// queue itself is mutated by execution).
+    pub fn order(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.coll_id).collect()
+    }
+
+    /// Assign initial spin thresholds by queue position using `f(position)`.
+    pub fn assign_initial_thresholds(&mut self, f: impl Fn(usize) -> u64) {
+        for (pos, e) in self.entries.iter_mut().enumerate() {
+            e.spin_threshold = f(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_remove_preserve_identity() {
+        let mut q = TaskQueue::new();
+        assert!(q.is_empty());
+        q.push(10, 0);
+        q.push(11, 0);
+        assert_eq!(q.len(), 2);
+        assert!(q.contains(10));
+        let removed = q.remove(10).unwrap();
+        assert_eq!(removed.coll_id, 10);
+        assert!(!q.contains(10));
+        assert!(q.remove(10).is_none());
+    }
+
+    #[test]
+    fn fifo_reorder_keeps_arrival_order() {
+        let mut q = TaskQueue::new();
+        q.push(3, 5);
+        q.push(1, 9);
+        q.push(2, 1);
+        q.reorder(OrderingPolicy::Fifo);
+        assert_eq!(q.order(), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn priority_reorder_sorts_by_priority_then_arrival() {
+        let mut q = TaskQueue::new();
+        q.push(3, 5);
+        q.push(1, 9);
+        q.push(2, 9);
+        q.push(4, 1);
+        q.reorder(OrderingPolicy::PriorityBased);
+        assert_eq!(q.order(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn preempted_entry_keeps_its_position_under_fifo() {
+        let mut q = TaskQueue::new();
+        q.push(1, 0);
+        q.push(2, 0);
+        q.push(3, 0);
+        // Simulate completing 2 and adding 4; 1 and 3 keep relative order.
+        q.remove(2);
+        q.push(4, 0);
+        q.reorder(OrderingPolicy::Fifo);
+        assert_eq!(q.order(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn initial_thresholds_follow_position() {
+        let mut q = TaskQueue::new();
+        q.push(1, 0);
+        q.push(2, 0);
+        q.push(3, 0);
+        q.assign_initial_thresholds(|pos| 100 >> pos);
+        let t: Vec<u64> = q.entries().iter().map(|e| e.spin_threshold).collect();
+        assert_eq!(t, vec![100, 50, 25]);
+        q.entry_mut(2).unwrap().spin_threshold = 999;
+        assert_eq!(q.entries()[1].spin_threshold, 999);
+    }
+}

@@ -1,0 +1,200 @@
+//! The dependency graph of Sec. 2.4.1 / Fig. 2 and its cycle check.
+//!
+//! Nodes are collective *parts* — (GPU, collective) pairs. Two kinds of
+//! directed edges exist:
+//!
+//! 1. an **executing** collective part points to all its **invoked** (not yet
+//!    executing) counterparts on other GPUs — it waits for them;
+//! 2. an **invoked** collective part points to all executing collective parts
+//!    on the same GPU — it waits for them to release resources (or to let a
+//!    pending synchronization clear).
+//!
+//! A deadlock corresponds to a cycle in this graph.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::sim::{Event, RoundState};
+
+/// A materialised dependency graph.
+#[derive(Debug, Default)]
+pub struct DependencyGraph {
+    /// Node list: (gpu, collective).
+    pub nodes: Vec<(usize, usize)>,
+    /// Adjacency by node index.
+    pub edges: HashMap<usize, Vec<usize>>,
+}
+
+impl DependencyGraph {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+}
+
+/// Build the dependency graph for the (possibly stalled) state of one round.
+/// Successful collectives are omitted: they are executing on every GPU, have
+/// no invoked counterparts, and therefore can never participate in a cycle.
+pub fn build_dependency_graph(state: &RoundState) -> DependencyGraph {
+    let gpu_count = state.events.len();
+    // Which (gpu, coll) parts have been released (are executing).
+    let mut released: Vec<HashSet<usize>> = vec![HashSet::new(); gpu_count];
+    for gpu in 0..gpu_count {
+        for event in &state.events[gpu][..state.frontier[gpu]] {
+            if let Event::Invoke(c) = event {
+                released[gpu].insert(*c);
+            }
+        }
+    }
+    let mut graph = DependencyGraph::default();
+    let mut node_index: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut node_of = |graph: &mut DependencyGraph, gpu: usize, coll: usize| -> usize {
+        *node_index.entry((gpu, coll)).or_insert_with(|| {
+            graph.nodes.push((gpu, coll));
+            graph.nodes.len() - 1
+        })
+    };
+    // Executing, unsuccessful collectives per GPU (targets of type-2 edges).
+    let mut executing_per_gpu: Vec<Vec<usize>> = vec![Vec::new(); gpu_count];
+    for (coll, gpus) in state.coll_gpus.iter().enumerate() {
+        if state.successful[coll] {
+            continue;
+        }
+        for &g in gpus {
+            if released[g].contains(&coll) {
+                executing_per_gpu[g].push(coll);
+            }
+        }
+    }
+    for (coll, gpus) in state.coll_gpus.iter().enumerate() {
+        if state.successful[coll] {
+            continue;
+        }
+        for &g in gpus {
+            let from = node_of(&mut graph, g, coll);
+            if released[g].contains(&coll) {
+                // Type-1 edges: executing part waits for invoked counterparts.
+                for &peer in gpus {
+                    if peer != g && !released[peer].contains(&coll) {
+                        let to = node_of(&mut graph, peer, coll);
+                        graph.edges.entry(from).or_default().push(to);
+                    }
+                }
+            } else {
+                // Type-2 edges: invoked part waits for executing parts on the
+                // same GPU.
+                for &other in &executing_per_gpu[g] {
+                    if other != coll {
+                        let to = node_of(&mut graph, g, other);
+                        graph.edges.entry(from).or_default().push(to);
+                    }
+                }
+            }
+        }
+    }
+    graph
+}
+
+/// Whether the graph contains a directed cycle (iterative three-colour DFS).
+pub fn has_cycle(graph: &DependencyGraph) -> bool {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let n = graph.nodes.len();
+    let mut colour = vec![Colour::White; n];
+    for start in 0..n {
+        if colour[start] != Colour::White {
+            continue;
+        }
+        // Stack of (node, next-child-index).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        colour[start] = Colour::Grey;
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            let children = graph.edges.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+            if *child < children.len() {
+                let next = children[*child];
+                *child += 1;
+                match colour[next] {
+                    Colour::Grey => return true,
+                    Colour::White => {
+                        colour[next] = Colour::Grey;
+                        stack.push((next, 0));
+                    }
+                    Colour::Black => {}
+                }
+            } else {
+                colour[node] = Colour::Black;
+                stack.pop();
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{run_round_state, DecisionModel, Event};
+
+    #[test]
+    fn empty_graph_has_no_cycle() {
+        let g = DependencyGraph::default();
+        assert!(!has_cycle(&g));
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn self_loop_free_chain_has_no_cycle() {
+        let mut g = DependencyGraph::default();
+        g.nodes = vec![(0, 0), (1, 0), (1, 1)];
+        g.edges.insert(0, vec![1]);
+        g.edges.insert(1, vec![2]);
+        assert!(!has_cycle(&g));
+    }
+
+    #[test]
+    fn explicit_cycle_is_detected() {
+        let mut g = DependencyGraph::default();
+        g.nodes = vec![(0, 0), (0, 1), (1, 1), (1, 0)];
+        g.edges.insert(0, vec![1]);
+        g.edges.insert(1, vec![2]);
+        g.edges.insert(2, vec![3]);
+        g.edges.insert(3, vec![0]);
+        assert!(has_cycle(&g));
+    }
+
+    #[test]
+    fn graph_of_successful_round_is_empty() {
+        let coll_gpus = vec![vec![0, 1]];
+        let events = vec![vec![Event::Invoke(0)], vec![Event::Invoke(0)]];
+        let state = run_round_state(events, coll_gpus, DecisionModel::SingleQueue);
+        assert!(state.all_successful());
+        let g = build_dependency_graph(&state);
+        assert_eq!(g.node_count(), 0);
+        assert!(!has_cycle(&g));
+    }
+
+    #[test]
+    fn fig1c_cycle_matches_paper_structure() {
+        // GPU 0 invokes A (0) then B (1); GPU 1 invokes B then A; single queue.
+        let coll_gpus = vec![vec![0, 1], vec![0, 1]];
+        let events = vec![
+            vec![Event::Invoke(0), Event::Invoke(1)],
+            vec![Event::Invoke(1), Event::Invoke(0)],
+        ];
+        let state = run_round_state(events, coll_gpus, DecisionModel::SingleQueue);
+        let g = build_dependency_graph(&state);
+        // Four parts, four edges, one cycle: A0 -> A1 -> B1 -> B0 -> A0.
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(has_cycle(&g));
+    }
+}

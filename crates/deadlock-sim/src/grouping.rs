@@ -1,0 +1,235 @@
+//! GPU grouping policies: 3D (TP/DP/PP) hybrid parallelism and free grouping.
+
+use serde::{Deserialize, Serialize};
+
+/// One GPU group with its own collective list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Group {
+    /// Group identifier (also the high bits of its collectives' global ids).
+    pub id: usize,
+    /// GPUs participating in this group.
+    pub gpus: Vec<usize>,
+    /// Number of collectives planned for this group in one round.
+    pub collectives: usize,
+}
+
+/// How GPUs are organised into groups.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroupingPolicy {
+    /// The 3D grouping of tensor/data/pipeline hybrid parallelism (Fig. 3):
+    /// GPUs holding the same model part in different TP groups form a DP group
+    /// within each PP stage. Every GPU belongs to exactly one TP group and one
+    /// DP group.
+    ThreeD {
+        /// Tensor-parallel group size.
+        tp: usize,
+        /// Data-parallel group size.
+        dp: usize,
+        /// Pipeline-parallel group size (number of stages).
+        pp: usize,
+        /// Collectives per TP group per round.
+        tp_collectives: usize,
+        /// Collectives per DP group per round.
+        dp_collectives: usize,
+    },
+    /// Explicit groups (the "free grouping policy").
+    Free {
+        /// The groups, with their GPU lists and collective counts.
+        groups: Vec<Group>,
+    },
+}
+
+impl GroupingPolicy {
+    /// Total number of GPUs involved.
+    pub fn gpu_count(&self) -> usize {
+        match self {
+            GroupingPolicy::ThreeD { tp, dp, pp, .. } => tp * dp * pp,
+            GroupingPolicy::Free { groups } => {
+                groups
+                    .iter()
+                    .flat_map(|g| g.gpus.iter().copied())
+                    .max()
+                    .map_or(0, |m| m + 1)
+            }
+        }
+    }
+
+    /// Materialise the groups.
+    ///
+    /// For the 3D policy, GPU indices are laid out as
+    /// `gpu = pp_idx * (tp * dp) + dp_idx * tp + tp_idx`: a TP group varies
+    /// `tp_idx`, a DP group varies `dp_idx`.
+    pub fn build_groups(&self) -> Vec<Group> {
+        match self {
+            GroupingPolicy::ThreeD {
+                tp,
+                dp,
+                pp,
+                tp_collectives,
+                dp_collectives,
+            } => {
+                let mut groups = Vec::new();
+                let mut id = 0;
+                // TP groups: one per (pp stage, dp replica).
+                for p in 0..*pp {
+                    for d in 0..*dp {
+                        let gpus = (0..*tp).map(|t| p * tp * dp + d * tp + t).collect();
+                        groups.push(Group {
+                            id,
+                            gpus,
+                            collectives: *tp_collectives,
+                        });
+                        id += 1;
+                    }
+                }
+                // DP groups: one per (pp stage, tp shard).
+                for p in 0..*pp {
+                    for t in 0..*tp {
+                        let gpus = (0..*dp).map(|d| p * tp * dp + d * tp + t).collect();
+                        groups.push(Group {
+                            id,
+                            gpus,
+                            collectives: *dp_collectives,
+                        });
+                        id += 1;
+                    }
+                }
+                groups
+            }
+            GroupingPolicy::Free { groups } => groups.clone(),
+        }
+    }
+
+    /// The free-grouping configuration used in Table 1: `group_count` groups
+    /// where the first `small_groups` have `small_size` GPUs each and the rest
+    /// have `large_size` GPUs; half of the groups get `collectives_a`
+    /// collectives, the other half `collectives_b`. GPUs are assigned to
+    /// groups round-robin so that groups overlap on GPUs (a GPU may belong to
+    /// one to several groups), mirroring the irregular Pathways-like scenario.
+    pub fn free_table1(
+        gpu_count: usize,
+        small_groups: usize,
+        small_size: usize,
+        large_groups: usize,
+        large_size: usize,
+        collectives_a: usize,
+        collectives_b: usize,
+    ) -> Self {
+        let total_groups = small_groups + large_groups;
+        let mut groups = Vec::with_capacity(total_groups);
+        let mut next_gpu = 0usize;
+        for id in 0..total_groups {
+            let size = if id < small_groups { small_size } else { large_size };
+            let gpus: Vec<usize> = (0..size).map(|k| (next_gpu + k) % gpu_count).collect();
+            next_gpu = (next_gpu + size) % gpu_count;
+            let collectives = if id % 2 == 0 { collectives_a } else { collectives_b };
+            groups.push(Group {
+                id,
+                gpus,
+                collectives,
+            });
+        }
+        GroupingPolicy::Free { groups }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn three_d_4_4_4_matches_table1_shape() {
+        let policy = GroupingPolicy::ThreeD {
+            tp: 4,
+            dp: 4,
+            pp: 4,
+            tp_collectives: 400,
+            dp_collectives: 1200,
+        };
+        assert_eq!(policy.gpu_count(), 64);
+        let groups = policy.build_groups();
+        // Table 1: 32 groups over 64 GPUs.
+        assert_eq!(groups.len(), 32);
+        // Every GPU belongs to exactly two groups (one TP, one DP).
+        let mut membership: HashMap<usize, usize> = HashMap::new();
+        for g in &groups {
+            for &gpu in &g.gpus {
+                *membership.entry(gpu).or_default() += 1;
+            }
+        }
+        assert_eq!(membership.len(), 64);
+        assert!(membership.values().all(|&c| c == 2));
+        // Collective counts are 400 (TP) and 1200 (DP).
+        assert_eq!(groups.iter().filter(|g| g.collectives == 400).count(), 16);
+        assert_eq!(groups.iter().filter(|g| g.collectives == 1200).count(), 16);
+    }
+
+    #[test]
+    fn three_d_8_6_64_matches_gpt3_scale() {
+        let policy = GroupingPolicy::ThreeD {
+            tp: 8,
+            dp: 6,
+            pp: 64,
+            tp_collectives: 400,
+            dp_collectives: 1200,
+        };
+        assert_eq!(policy.gpu_count(), 3072);
+        let groups = policy.build_groups();
+        // 64*6 TP groups + 64*8 DP groups = 896 groups (Table 1).
+        assert_eq!(groups.len(), 896);
+    }
+
+    #[test]
+    fn tp_and_dp_groups_are_orthogonal() {
+        let policy = GroupingPolicy::ThreeD {
+            tp: 2,
+            dp: 2,
+            pp: 1,
+            tp_collectives: 3,
+            dp_collectives: 5,
+        };
+        let groups = policy.build_groups();
+        assert_eq!(groups.len(), 4);
+        // TP groups: {0,1}, {2,3}; DP groups: {0,2}, {1,3}.
+        let sets: Vec<Vec<usize>> = groups.iter().map(|g| g.gpus.clone()).collect();
+        assert!(sets.contains(&vec![0, 1]));
+        assert!(sets.contains(&vec![2, 3]));
+        assert!(sets.contains(&vec![0, 2]));
+        assert!(sets.contains(&vec![1, 3]));
+    }
+
+    #[test]
+    fn free_grouping_single_group() {
+        let policy = GroupingPolicy::Free {
+            groups: vec![Group {
+                id: 0,
+                gpus: (0..8).collect(),
+                collectives: 161,
+            }],
+        };
+        assert_eq!(policy.gpu_count(), 8);
+        assert_eq!(policy.build_groups().len(), 1);
+    }
+
+    #[test]
+    fn free_table1_32_64_has_expected_sizes() {
+        // 28 groups of three GPUs and four groups of eight GPUs over 64 GPUs.
+        let policy = GroupingPolicy::free_table1(64, 28, 3, 4, 8, 400, 1200);
+        let groups = policy.build_groups();
+        assert_eq!(groups.len(), 32);
+        assert_eq!(groups.iter().filter(|g| g.gpus.len() == 3).count(), 28);
+        assert_eq!(groups.iter().filter(|g| g.gpus.len() == 8).count(), 4);
+        // Half the groups have 400 collectives, half 1200.
+        assert_eq!(groups.iter().filter(|g| g.collectives == 400).count(), 16);
+        assert_eq!(groups.iter().filter(|g| g.collectives == 1200).count(), 16);
+        // GPUs are covered with overlap varying between groups.
+        let mut membership = vec![0usize; 64];
+        for g in &groups {
+            for &gpu in &g.gpus {
+                membership[gpu] += 1;
+            }
+        }
+        assert!(membership.iter().any(|&m| m >= 1));
+    }
+}

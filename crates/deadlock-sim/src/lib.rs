@@ -1,0 +1,34 @@
+//! # deadlock-sim — the quantitative deadlock simulator of Sec. 2.4
+//!
+//! The simulator answers: *given how often GPUs invoke collectives in
+//! different orders (the disorder probability) and how often they issue GPU
+//! synchronization (the synchronization probability), how likely is a
+//! deadlock?* It drives Table 1 of the paper.
+//!
+//! Model summary:
+//!
+//! * GPUs are organised into **groups** ([`grouping`]); each group has its own
+//!   list of collectives, and a GPU invokes the union of the collectives of
+//!   all groups it belongs to. Two grouping policies are provided: the 3D
+//!   (TP/DP/PP) policy of hybrid-parallel training and a free policy.
+//! * Each GPU gets a synthesized **event sequence** (collective invocations,
+//!   possibly perturbed by disorder, plus random synchronization events).
+//! * Two **deadlock decision models** ([`sim::DecisionModel`]): the
+//!   single-queue model (one executing collective per GPU at a time) and the
+//!   synchronization model (unlimited concurrency, but a synchronization
+//!   suspends the GPU until every executing collective before it succeeds).
+//! * A collective becomes *successful* once it is executing on every GPU of
+//!   its group. A round deadlocks if the system reaches a state where no
+//!   further transition is possible while collectives remain unsuccessful —
+//!   equivalently, when the dependency graph of Fig. 2 contains a cycle
+//!   ([`graph`]).
+
+pub mod graph;
+pub mod grouping;
+pub mod sim;
+pub mod table1;
+
+pub use graph::{build_dependency_graph, has_cycle, DependencyGraph};
+pub use grouping::{Group, GroupingPolicy};
+pub use sim::{estimate_deadlock_ratio, simulate_round, DecisionModel, RoundOutcome, SimConfig};
+pub use table1::{table1_rows, Table1Row};

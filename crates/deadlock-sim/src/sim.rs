@@ -1,0 +1,408 @@
+//! The round simulator: event synthesis, state transition, deadlock decision.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::grouping::{Group, GroupingPolicy};
+
+/// The deadlock decision model in force (Sec. 2.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionModel {
+    /// One executing collective per GPU; a collective executes only when no
+    /// executing or invoked collective precedes it on that GPU.
+    SingleQueue,
+    /// Unlimited executing collectives; random synchronization events suspend
+    /// a GPU until every executing collective before them succeeds.
+    Synchronization,
+}
+
+/// Configuration of one simulation experiment.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// GPU grouping policy.
+    pub grouping: GroupingPolicy,
+    /// Decision model.
+    pub model: DecisionModel,
+    /// Probability that two adjacent collective invocations on a GPU are
+    /// swapped (applied independently at every position on every GPU).
+    pub disorder_prob: f64,
+    /// Probability that a synchronization event is inserted after a collective
+    /// invocation (synchronization model only).
+    pub sync_prob: f64,
+}
+
+/// Outcome of one simulated round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundOutcome {
+    /// Every collective became successful.
+    AllSuccessful,
+    /// Progress stalled with unsuccessful collectives remaining.
+    Deadlock,
+}
+
+/// One event in a GPU's synthesized sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Invoke the collective with this global index.
+    Invoke(usize),
+    /// Issue a GPU synchronization.
+    Sync,
+}
+
+/// Fully expanded per-round state, exposed so the dependency-graph check and
+/// the tests can inspect it.
+#[derive(Debug)]
+pub struct RoundState {
+    /// Per-GPU event sequences.
+    pub events: Vec<Vec<Event>>,
+    /// Per-GPU frontier: number of leading events already released
+    /// (collectives executing / synchronizations cleared).
+    pub frontier: Vec<usize>,
+    /// For every collective (global index): the GPUs of its group.
+    pub coll_gpus: Vec<Vec<usize>>,
+    /// For every collective: how many of its GPUs have released it.
+    pub executing_on: Vec<usize>,
+    /// For every collective: whether it is successful.
+    pub successful: Vec<bool>,
+    /// Per-GPU count of released-but-unsuccessful collectives.
+    pub pending: Vec<usize>,
+}
+
+impl RoundState {
+    /// Whether every collective is successful.
+    pub fn all_successful(&self) -> bool {
+        self.successful.iter().all(|&s| s)
+    }
+}
+
+/// Synthesize the per-GPU event sequences for one round.
+///
+/// Each GPU's canonical order is the global-index order of the collectives of
+/// all groups it belongs to. Disorder swaps adjacent invocations with the
+/// configured probability; the synchronization model additionally inserts
+/// synchronization events.
+pub fn synthesize_events(
+    groups: &[Group],
+    gpu_count: usize,
+    config: &SimConfig,
+    rng: &mut StdRng,
+) -> (Vec<Vec<Event>>, Vec<Vec<usize>>) {
+    // Assign global indices: group g's k-th collective has a unique index.
+    let mut coll_gpus: Vec<Vec<usize>> = Vec::new();
+    let mut per_gpu_colls: Vec<Vec<usize>> = vec![Vec::new(); gpu_count];
+    for group in groups {
+        for _k in 0..group.collectives {
+            let idx = coll_gpus.len();
+            coll_gpus.push(group.gpus.clone());
+            for &gpu in &group.gpus {
+                per_gpu_colls[gpu].push(idx);
+            }
+        }
+    }
+    let mut events: Vec<Vec<Event>> = Vec::with_capacity(gpu_count);
+    for colls in per_gpu_colls.iter() {
+        // Canonical order: ascending global index (identical on every GPU).
+        let mut order = colls.clone();
+        order.sort_unstable();
+        // Disordered invocation: independent adjacent swaps.
+        if config.disorder_prob > 0.0 {
+            for i in 0..order.len().saturating_sub(1) {
+                if rng.gen_bool(config.disorder_prob.min(1.0)) {
+                    order.swap(i, i + 1);
+                }
+            }
+        }
+        let mut seq = Vec::with_capacity(order.len() * 2);
+        for idx in order {
+            seq.push(Event::Invoke(idx));
+            if config.model == DecisionModel::Synchronization
+                && config.sync_prob > 0.0
+                && rng.gen_bool(config.sync_prob.min(1.0))
+            {
+                seq.push(Event::Sync);
+            }
+        }
+        events.push(seq);
+    }
+    (events, coll_gpus)
+}
+
+/// Run the state-transition fixed point for one round and decide the outcome.
+pub fn run_round_state(
+    events: Vec<Vec<Event>>,
+    coll_gpus: Vec<Vec<usize>>,
+    model: DecisionModel,
+) -> RoundState {
+    let gpu_count = events.len();
+    let coll_count = coll_gpus.len();
+    let mut state = RoundState {
+        events,
+        frontier: vec![0; gpu_count],
+        coll_gpus,
+        executing_on: vec![0; coll_count],
+        successful: vec![false; coll_count],
+        pending: vec![0; gpu_count],
+    };
+    // Work-list of GPUs whose frontier may be able to advance.
+    let mut work: Vec<usize> = (0..gpu_count).collect();
+    while let Some(gpu) = work.pop() {
+        loop {
+            let f = state.frontier[gpu];
+            let Some(&event) = state.events[gpu].get(f) else { break };
+            match event {
+                Event::Invoke(coll) => {
+                    // Single-queue: only one in flight at a time.
+                    if model == DecisionModel::SingleQueue && state.pending[gpu] > 0 {
+                        break;
+                    }
+                    state.frontier[gpu] = f + 1;
+                    state.pending[gpu] += 1;
+                    state.executing_on[coll] += 1;
+                    if state.executing_on[coll] == state.coll_gpus[coll].len()
+                        && !state.successful[coll]
+                    {
+                        state.successful[coll] = true;
+                        for &g in &state.coll_gpus[coll].clone() {
+                            state.pending[g] -= 1;
+                            if g != gpu {
+                                work.push(g);
+                            }
+                        }
+                    }
+                }
+                Event::Sync => {
+                    // A synchronization clears only when every executing
+                    // collective before it on this GPU is successful.
+                    if state.pending[gpu] > 0 {
+                        break;
+                    }
+                    state.frontier[gpu] = f + 1;
+                }
+            }
+        }
+    }
+    state
+}
+
+/// Simulate a single round with the given seed.
+pub fn simulate_round(config: &SimConfig, seed: u64) -> RoundOutcome {
+    let groups = config.grouping.build_groups();
+    let gpu_count = config.grouping.gpu_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (events, coll_gpus) = synthesize_events(&groups, gpu_count, config, &mut rng);
+    let state = run_round_state(events, coll_gpus, config.model);
+    if state.all_successful() {
+        RoundOutcome::AllSuccessful
+    } else {
+        RoundOutcome::Deadlock
+    }
+}
+
+/// Estimate the deadlock ratio over `rounds` independent rounds.
+pub fn estimate_deadlock_ratio(config: &SimConfig, rounds: usize, base_seed: u64) -> f64 {
+    assert!(rounds > 0, "need at least one round");
+    let deadlocks = (0..rounds)
+        .filter(|&r| simulate_round(config, base_seed.wrapping_add(r as u64)) == RoundOutcome::Deadlock)
+        .count();
+    deadlocks as f64 / rounds as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{build_dependency_graph, has_cycle};
+    use crate::grouping::Group;
+    use proptest::prelude::*;
+
+    fn two_gpu_two_coll() -> (Vec<Vec<usize>>, Vec<Group>) {
+        let groups = vec![
+            Group {
+                id: 0,
+                gpus: vec![0, 1],
+                collectives: 1,
+            },
+            Group {
+                id: 1,
+                gpus: vec![0, 1],
+                collectives: 1,
+            },
+        ];
+        let coll_gpus = vec![vec![0, 1], vec![0, 1]];
+        (coll_gpus, groups)
+    }
+
+    #[test]
+    fn consistent_order_never_deadlocks_single_queue() {
+        let (coll_gpus, _) = two_gpu_two_coll();
+        // Both GPUs invoke collective 0 then 1.
+        let events = vec![
+            vec![Event::Invoke(0), Event::Invoke(1)],
+            vec![Event::Invoke(0), Event::Invoke(1)],
+        ];
+        let state = run_round_state(events, coll_gpus, DecisionModel::SingleQueue);
+        assert!(state.all_successful());
+    }
+
+    #[test]
+    fn disordered_single_queue_deadlocks() {
+        let (coll_gpus, _) = two_gpu_two_coll();
+        // Fig. 1(c): GPU 0 invokes A then B, GPU 1 invokes B then A.
+        let events = vec![
+            vec![Event::Invoke(0), Event::Invoke(1)],
+            vec![Event::Invoke(1), Event::Invoke(0)],
+        ];
+        let state = run_round_state(events, coll_gpus, DecisionModel::SingleQueue);
+        assert!(!state.all_successful());
+        let graph = build_dependency_graph(&state);
+        assert!(has_cycle(&graph), "a stalled round must contain a cycle");
+    }
+
+    #[test]
+    fn disorder_without_sync_is_fine_in_the_sync_model() {
+        let (coll_gpus, _) = two_gpu_two_coll();
+        // Fig. 1(b): unlimited concurrency absorbs the disorder.
+        let events = vec![
+            vec![Event::Invoke(0), Event::Invoke(1)],
+            vec![Event::Invoke(1), Event::Invoke(0)],
+        ];
+        let state = run_round_state(events, coll_gpus, DecisionModel::Synchronization);
+        assert!(state.all_successful());
+    }
+
+    #[test]
+    fn disorder_with_sync_between_collectives_deadlocks() {
+        let (coll_gpus, _) = two_gpu_two_coll();
+        // Fig. 1(d): a synchronization between the two disordered invocations.
+        let events = vec![
+            vec![Event::Invoke(0), Event::Sync, Event::Invoke(1)],
+            vec![Event::Invoke(1), Event::Sync, Event::Invoke(0)],
+        ];
+        let state = run_round_state(events, coll_gpus, DecisionModel::Synchronization);
+        assert!(!state.all_successful());
+        assert!(has_cycle(&build_dependency_graph(&state)));
+    }
+
+    #[test]
+    fn fig2_example_deadlocks_in_the_sync_model() {
+        // Four GPUs, five collectives A..E invoked in the orders of Fig. 2,
+        // with a synchronization after the third invocation on every GPU.
+        // A=0, B=1, C=2, D=3, E=4; all collectives span all four GPUs.
+        let coll_gpus = vec![vec![0, 1, 2, 3]; 5];
+        let events = vec![
+            vec![Event::Invoke(0), Event::Invoke(1), Event::Invoke(2), Event::Sync, Event::Invoke(3), Event::Invoke(4)],
+            vec![Event::Invoke(1), Event::Invoke(2), Event::Invoke(3), Event::Sync, Event::Invoke(0), Event::Invoke(4)],
+            vec![Event::Invoke(0), Event::Invoke(2), Event::Invoke(3), Event::Sync, Event::Invoke(1), Event::Invoke(4)],
+            vec![Event::Invoke(0), Event::Invoke(1), Event::Invoke(3), Event::Sync, Event::Invoke(2), Event::Invoke(4)],
+        ];
+        let state = run_round_state(events, coll_gpus, DecisionModel::Synchronization);
+        assert!(!state.all_successful());
+        assert!(has_cycle(&build_dependency_graph(&state)));
+    }
+
+    #[test]
+    fn zero_probabilities_never_deadlock() {
+        let config = SimConfig {
+            grouping: GroupingPolicy::ThreeD {
+                tp: 2,
+                dp: 2,
+                pp: 2,
+                tp_collectives: 20,
+                dp_collectives: 30,
+            },
+            model: DecisionModel::Synchronization,
+            disorder_prob: 0.0,
+            sync_prob: 0.0,
+        };
+        assert_eq!(estimate_deadlock_ratio(&config, 20, 1), 0.0);
+        let sq = SimConfig {
+            model: DecisionModel::SingleQueue,
+            ..config
+        };
+        assert_eq!(estimate_deadlock_ratio(&sq, 20, 1), 0.0);
+    }
+
+    #[test]
+    fn high_probabilities_deadlock_frequently() {
+        let config = SimConfig {
+            grouping: GroupingPolicy::free_table1(8, 2, 3, 2, 4, 30, 60),
+            model: DecisionModel::Synchronization,
+            disorder_prob: 0.2,
+            sync_prob: 0.2,
+        };
+        let ratio = estimate_deadlock_ratio(&config, 50, 7);
+        assert!(ratio > 0.5, "ratio was {ratio}");
+    }
+
+    #[test]
+    fn deadlock_ratio_grows_with_sync_probability() {
+        let base = SimConfig {
+            grouping: GroupingPolicy::free_table1(16, 4, 3, 2, 8, 50, 100),
+            model: DecisionModel::Synchronization,
+            disorder_prob: 0.002,
+            sync_prob: 0.002,
+        };
+        let low = estimate_deadlock_ratio(&base, 200, 11);
+        let high = estimate_deadlock_ratio(
+            &SimConfig {
+                sync_prob: 0.02,
+                ..base.clone()
+            },
+            200,
+            11,
+        );
+        assert!(high >= low, "low={low} high={high}");
+    }
+
+    #[test]
+    fn single_queue_is_sensitive_to_tiny_disorder() {
+        let config = SimConfig {
+            grouping: GroupingPolicy::ThreeD {
+                tp: 2,
+                dp: 2,
+                pp: 2,
+                tp_collectives: 100,
+                dp_collectives: 200,
+            },
+            model: DecisionModel::SingleQueue,
+            disorder_prob: 1e-3,
+            sync_prob: 0.0,
+        };
+        let ratio = estimate_deadlock_ratio(&config, 200, 3);
+        // The deadlock ratio is orders of magnitude above the disorder
+        // probability (conclusion ❶ of Sec. 2.4.3).
+        assert!(ratio > 10.0 * 1e-3, "ratio was {ratio}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Whatever the random configuration, a stalled round always contains
+        /// a dependency-graph cycle, and a fully successful round never does.
+        #[test]
+        fn stall_iff_cycle(
+            seed in 0u64..10_000,
+            disorder in 0.0f64..0.3,
+            sync in 0.0f64..0.3,
+            single_queue in proptest::bool::ANY,
+        ) {
+            let model = if single_queue {
+                DecisionModel::SingleQueue
+            } else {
+                DecisionModel::Synchronization
+            };
+            let config = SimConfig {
+                grouping: GroupingPolicy::free_table1(6, 2, 2, 2, 3, 8, 12),
+                model,
+                disorder_prob: disorder,
+                sync_prob: sync,
+            };
+            let groups = config.grouping.build_groups();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (events, coll_gpus) =
+                synthesize_events(&groups, config.grouping.gpu_count(), &config, &mut rng);
+            let state = run_round_state(events, coll_gpus, model);
+            let cycle = has_cycle(&build_dependency_graph(&state));
+            prop_assert_eq!(!state.all_successful(), cycle);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The Table 1 experiment matrix: every configuration row of the paper's
+//! simulation-based analysis, with the deadlock ratio the paper reports.
+//!
+//! The `table1_deadlock_sim` harness in `dfccl-bench` re-estimates each row's
+//! deadlock ratio with this crate; `EXPERIMENTS.md` records measured vs.
+//! paper values. The paper uses 32,000 rounds per row; the harness accepts a
+//! round count so the large (3,072-GPU) rows stay tractable on a laptop.
+
+use crate::grouping::GroupingPolicy;
+use crate::sim::{DecisionModel, SimConfig};
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Human-readable row label.
+    pub label: &'static str,
+    /// The simulation configuration for this row.
+    pub config: SimConfig,
+    /// The deadlock ratio the paper reports (fraction, not percent).
+    pub paper_ratio: f64,
+    /// Relative cost of simulating one round (used to scale round counts).
+    pub relative_cost: f64,
+}
+
+fn three_d(tp: usize, dp: usize, pp: usize) -> GroupingPolicy {
+    GroupingPolicy::ThreeD {
+        tp,
+        dp,
+        pp,
+        tp_collectives: 400,
+        dp_collectives: 1200,
+    }
+}
+
+fn three_d_double(tp: usize, dp: usize, pp: usize) -> GroupingPolicy {
+    GroupingPolicy::ThreeD {
+        tp,
+        dp,
+        pp,
+        tp_collectives: 800,
+        dp_collectives: 2400,
+    }
+}
+
+fn free_1_8() -> GroupingPolicy {
+    GroupingPolicy::free_table1(8, 1, 8, 0, 0, 161, 161)
+}
+
+fn free_32_64(collectives_a: usize, collectives_b: usize) -> GroupingPolicy {
+    GroupingPolicy::free_table1(64, 28, 3, 4, 8, collectives_a, collectives_b)
+}
+
+fn free_32_128(collectives_a: usize, collectives_b: usize) -> GroupingPolicy {
+    GroupingPolicy::free_table1(128, 28, 5, 4, 10, collectives_a, collectives_b)
+}
+
+/// Every row of Table 1.
+pub fn table1_rows() -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    let mut push = |label: &'static str,
+                    grouping: GroupingPolicy,
+                    model: DecisionModel,
+                    disorder: f64,
+                    sync: f64,
+                    paper: f64,
+                    cost: f64| {
+        rows.push(Table1Row {
+            label,
+            config: SimConfig {
+                grouping,
+                model,
+                disorder_prob: disorder,
+                sync_prob: sync,
+            },
+            paper_ratio: paper,
+            relative_cost: cost,
+        });
+    };
+
+    // --- Single-queue model, 3D grouping ---
+    push(
+        "single-queue 3D (4,4,4) disorder=1e-7",
+        three_d(4, 4, 4),
+        DecisionModel::SingleQueue,
+        1e-7,
+        0.0,
+        0.0110,
+        1.0,
+    );
+    push(
+        "single-queue 3D (4,4,4) disorder=1e-6",
+        three_d(4, 4, 4),
+        DecisionModel::SingleQueue,
+        1e-6,
+        0.0,
+        0.0997,
+        1.0,
+    );
+    push(
+        "single-queue 3D (8,6,64) disorder=1e-9",
+        three_d(8, 6, 64),
+        DecisionModel::SingleQueue,
+        1e-9,
+        0.0,
+        0.0047,
+        48.0,
+    );
+    push(
+        "single-queue 3D (8,6,64) disorder=1e-8",
+        three_d(8, 6, 64),
+        DecisionModel::SingleQueue,
+        1e-8,
+        0.0,
+        0.0359,
+        48.0,
+    );
+    // --- Single-queue model, free grouping ---
+    push(
+        "single-queue free (1,8) disorder=1e-5",
+        free_1_8(),
+        DecisionModel::SingleQueue,
+        1e-5,
+        0.0,
+        0.0121,
+        0.05,
+    );
+    push(
+        "single-queue free (32,64) disorder=1e-6",
+        free_32_64(400, 1200),
+        DecisionModel::SingleQueue,
+        1e-6,
+        0.0,
+        0.0098,
+        0.6,
+    );
+    push(
+        "single-queue free (32,64) disorder=1e-5",
+        free_32_64(400, 1200),
+        DecisionModel::SingleQueue,
+        1e-5,
+        0.0,
+        0.0945,
+        0.6,
+    );
+    push(
+        "single-queue free (32,128) disorder=1e-6",
+        free_32_128(400, 1200),
+        DecisionModel::SingleQueue,
+        1e-6,
+        0.0,
+        0.0172,
+        1.0,
+    );
+    // --- Synchronization model, 3D grouping ---
+    push(
+        "sync 3D (4,4,4) disorder=2e-3 sync=4e-3",
+        three_d(4, 4, 4),
+        DecisionModel::Synchronization,
+        2e-3,
+        4e-3,
+        0.0068,
+        1.0,
+    );
+    push(
+        "sync 3D (4,4,4) disorder=4e-3 sync=4e-3",
+        three_d(4, 4, 4),
+        DecisionModel::Synchronization,
+        4e-3,
+        4e-3,
+        0.0138,
+        1.0,
+    );
+    push(
+        "sync 3D (4,4,4) disorder=4e-3 sync=2e-3",
+        three_d(4, 4, 4),
+        DecisionModel::Synchronization,
+        4e-3,
+        2e-3,
+        0.0032,
+        1.0,
+    );
+    push(
+        "sync 3D (4,4,4) x2 collectives disorder=4e-3 sync=4e-3",
+        three_d_double(4, 4, 4),
+        DecisionModel::Synchronization,
+        4e-3,
+        4e-3,
+        0.0256,
+        2.0,
+    );
+    push(
+        "sync 3D (8,6,64) disorder=8e-4 sync=8e-4",
+        three_d(8, 6, 64),
+        DecisionModel::Synchronization,
+        8e-4,
+        8e-4,
+        0.0156,
+        48.0,
+    );
+    // --- Synchronization model, free grouping ---
+    push(
+        "sync free (32,64) disorder=4e-6 sync=4e-5",
+        free_32_64(400, 1200),
+        DecisionModel::Synchronization,
+        4e-6,
+        4e-5,
+        0.0081,
+        0.6,
+    );
+    push(
+        "sync free (32,64) disorder=4e-5 sync=4e-5",
+        free_32_64(400, 1200),
+        DecisionModel::Synchronization,
+        4e-5,
+        4e-5,
+        0.0116,
+        0.6,
+    );
+    push(
+        "sync free (32,64) disorder=4e-5 sync=8e-5",
+        free_32_64(400, 1200),
+        DecisionModel::Synchronization,
+        4e-5,
+        8e-5,
+        0.0656,
+        0.6,
+    );
+    push(
+        "sync free (32,64) x2 collectives disorder=4e-5 sync=4e-5",
+        free_32_64(800, 2400),
+        DecisionModel::Synchronization,
+        4e-5,
+        4e-5,
+        0.0694,
+        1.2,
+    );
+    push(
+        "sync free (32,128) disorder=4e-5 sync=4e-5",
+        free_32_128(400, 1200),
+        DecisionModel::Synchronization,
+        4e-5,
+        4e-5,
+        0.0234,
+        1.0,
+    );
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::estimate_deadlock_ratio;
+
+    #[test]
+    fn table1_has_all_eighteen_rows() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 18);
+        assert!(rows.iter().all(|r| r.paper_ratio > 0.0 && r.paper_ratio < 0.15));
+        assert!(rows
+            .iter()
+            .any(|r| r.config.model == DecisionModel::SingleQueue));
+        assert!(rows
+            .iter()
+            .any(|r| r.config.model == DecisionModel::Synchronization));
+    }
+
+    #[test]
+    fn sync_rows_have_sync_probability_and_single_queue_rows_do_not() {
+        for row in table1_rows() {
+            match row.config.model {
+                DecisionModel::SingleQueue => assert_eq!(row.config.sync_prob, 0.0, "{}", row.label),
+                DecisionModel::Synchronization => {
+                    assert!(row.config.sync_prob > 0.0, "{}", row.label)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_small_row_produces_a_nonzero_ratio_quickly() {
+        // The (4,4,4) sync row with the largest probabilities should show a
+        // non-trivial deadlock ratio already with a few hundred rounds.
+        let row = &table1_rows()[9];
+        let ratio = estimate_deadlock_ratio(&row.config, 300, 42);
+        assert!(ratio > 0.0, "expected nonzero ratio for {}", row.label);
+        assert!(ratio < 0.2, "ratio implausibly high: {ratio}");
+    }
+}

@@ -1,0 +1,647 @@
+//! The device launch engine: CUDA-style kernel dispatch.
+//!
+//! Semantics modelled here (the ones the deadlock analysis of Sec. 2.3 relies on):
+//!
+//! * **Per-stream FIFO** — a kernel starts only when it is at the head of its
+//!   stream.
+//! * **Bounded concurrency** — a kernel starts only if the device can grant a
+//!   residency slot ([`crate::GpuDevice::try_acquire_residency`]); otherwise it
+//!   waits while *holding its queue position* (hold-and-wait).
+//! * **Synchronization barriers** — [`DeviceEngine::synchronize`] blocks the
+//!   calling thread until every previously launched kernel completes, and
+//!   prevents kernels launched *after* the barrier from starting until then.
+//! * **No preemption** — once started, a kernel runs until it returns; the only
+//!   escape hatch is the cooperative abort flag used by the deadlock watchdog.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::device::{GpuDevice, ResidencyGuard};
+use crate::kernel::{Kernel, KernelCtx, KernelHandle, KernelOutcome, KernelShared, KernelStatus};
+use crate::stream::StreamId;
+use crate::sync::SyncKind;
+use crate::GpuError;
+
+/// Errors returned by kernel launches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The engine has been shut down.
+    Shutdown,
+    /// The kernel's static requirements can never be satisfied on this device.
+    Unsatisfiable(GpuError),
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Shutdown => write!(f, "device engine has been shut down"),
+            LaunchError::Unsatisfiable(e) => write!(f, "launch can never succeed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+struct QueuedKernel {
+    seq: u64,
+    kernel: Box<dyn Kernel>,
+    shared: Arc<KernelShared>,
+    name: String,
+    blocks: u32,
+    shared_mem: usize,
+}
+
+struct Barrier {
+    seq: u64,
+    #[allow(dead_code)]
+    kind: SyncKind,
+    done: Arc<(Mutex<bool>, Condvar)>,
+}
+
+#[derive(Default)]
+struct EngineState {
+    next_seq: u64,
+    streams: BTreeMap<StreamId, VecDeque<QueuedKernel>>,
+    /// Streams that currently have a kernel executing. Same-stream kernels are
+    /// serialized: the next one starts only after the previous completes.
+    busy_streams: BTreeSet<StreamId>,
+    /// Launched (queued or running) kernels that have not completed yet.
+    incomplete: BTreeSet<u64>,
+    barriers: Vec<Barrier>,
+    running_handles: Vec<KernelHandle>,
+    worker_joins: Vec<JoinHandle<()>>,
+    shutdown: bool,
+}
+
+struct EngineInner {
+    device: Arc<GpuDevice>,
+    state: Mutex<EngineState>,
+    work_cv: Condvar,
+}
+
+impl EngineInner {
+    /// A barrier with sequence number `b` is satisfied when no incomplete
+    /// kernel has a smaller sequence number.
+    fn barrier_satisfied(incomplete: &BTreeSet<u64>, barrier_seq: u64) -> bool {
+        incomplete.iter().next().map_or(true, |&min| min >= barrier_seq)
+    }
+
+    fn release_satisfied_barriers(state: &mut EngineState) {
+        let incomplete = &state.incomplete;
+        state.barriers.retain(|b| {
+            if Self::barrier_satisfied(incomplete, b.seq) {
+                let (lock, cv) = &*b.done;
+                *lock.lock() = true;
+                cv.notify_all();
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Whether a kernel with sequence number `seq` may start with respect to
+    /// the pending synchronization barriers.
+    fn allowed_by_barriers(state: &EngineState, seq: u64) -> bool {
+        state
+            .barriers
+            .iter()
+            .all(|b| b.seq > seq || Self::barrier_satisfied(&state.incomplete, b.seq))
+    }
+}
+
+/// A per-device kernel dispatch engine.
+pub struct DeviceEngine {
+    inner: Arc<EngineInner>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+    shutdown_flag: Arc<AtomicBool>,
+}
+
+impl DeviceEngine {
+    /// Create an engine for `device` and start its dispatcher thread.
+    pub fn new(device: Arc<GpuDevice>) -> Arc<Self> {
+        let inner = Arc::new(EngineInner {
+            device,
+            state: Mutex::new(EngineState::default()),
+            work_cv: Condvar::new(),
+        });
+        let shutdown_flag = Arc::new(AtomicBool::new(false));
+        let engine = Arc::new(DeviceEngine {
+            inner: Arc::clone(&inner),
+            dispatcher: Mutex::new(None),
+            shutdown_flag: Arc::clone(&shutdown_flag),
+        });
+        let dispatcher_inner = Arc::clone(&inner);
+        let dispatcher_shutdown = Arc::clone(&shutdown_flag);
+        let handle = std::thread::Builder::new()
+            .name(format!("gpu-dispatch-{}", inner.device.id()))
+            .spawn(move || Self::dispatch_loop(dispatcher_inner, dispatcher_shutdown))
+            .expect("failed to spawn dispatcher thread");
+        *engine.dispatcher.lock() = Some(handle);
+        engine
+    }
+
+    /// The device this engine drives.
+    pub fn device(&self) -> &Arc<GpuDevice> {
+        &self.inner.device
+    }
+
+    /// Launch `kernel` on `stream`. Returns a handle for status observation.
+    pub fn launch(&self, stream: StreamId, kernel: Box<dyn Kernel>) -> Result<KernelHandle, LaunchError> {
+        if kernel.shared_mem_per_block() > self.inner.device.spec().shared_mem_per_block {
+            return Err(LaunchError::Unsatisfiable(GpuError::OutOfSharedMemory {
+                requested: kernel.shared_mem_per_block(),
+                available: self.inner.device.spec().shared_mem_per_block,
+            }));
+        }
+        let mut st = self.inner.state.lock();
+        if st.shutdown {
+            return Err(LaunchError::Shutdown);
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let shared = KernelShared::new();
+        let name = kernel.name();
+        let handle = KernelHandle {
+            shared: Arc::clone(&shared),
+            seq,
+            name: name.clone(),
+        };
+        let queued = QueuedKernel {
+            seq,
+            blocks: kernel.grid_blocks(),
+            shared_mem: kernel.shared_mem_per_block(),
+            kernel,
+            shared,
+            name,
+        };
+        st.incomplete.insert(seq);
+        st.streams.entry(stream).or_default().push_back(queued);
+        drop(st);
+        self.inner.work_cv.notify_all();
+        Ok(handle)
+    }
+
+    /// Issue a device-wide synchronization of the given kind and block until it
+    /// completes, or until `timeout` elapses. Returns `true` if the
+    /// synchronization completed (i.e. every previously launched kernel
+    /// finished). `None` timeout waits forever.
+    pub fn synchronize_timeout(&self, kind: SyncKind, timeout: Option<Duration>) -> bool {
+        let done = {
+            let mut st = self.inner.state.lock();
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            let done = Arc::new((Mutex::new(false), Condvar::new()));
+            st.barriers.push(Barrier {
+                seq,
+                kind,
+                done: Arc::clone(&done),
+            });
+            EngineInner::release_satisfied_barriers(&mut st);
+            done
+        };
+        self.inner.work_cv.notify_all();
+        let (lock, cv) = &*done;
+        let mut finished = lock.lock();
+        match timeout {
+            None => {
+                while !*finished {
+                    cv.wait(&mut finished);
+                }
+                true
+            }
+            Some(t) => {
+                let deadline = std::time::Instant::now() + t;
+                while !*finished {
+                    if cv.wait_until(&mut finished, deadline).timed_out() {
+                        break;
+                    }
+                }
+                *finished
+            }
+        }
+    }
+
+    /// Issue an explicit `cudaDeviceSynchronize()`-style barrier and wait for it.
+    pub fn synchronize(&self) {
+        self.synchronize_timeout(SyncKind::Explicit, None);
+    }
+
+    /// Number of launched-but-not-completed kernels.
+    pub fn pending_kernels(&self) -> usize {
+        self.inner.state.lock().incomplete.len()
+    }
+
+    /// Request abort on every queued and running kernel. Queued kernels are
+    /// dropped; running kernels must observe their abort flag. Used by the
+    /// deadlock watchdog to tear down deadlocked scenarios.
+    pub fn abort_all(&self) {
+        let mut st = self.inner.state.lock();
+        let mut dropped_seqs = Vec::new();
+        for (_, queue) in st.streams.iter_mut() {
+            while let Some(q) = queue.pop_front() {
+                q.shared.set_status(KernelStatus::Aborted);
+                dropped_seqs.push(q.seq);
+            }
+        }
+        for seq in dropped_seqs {
+            st.incomplete.remove(&seq);
+        }
+        for h in &st.running_handles {
+            h.request_abort();
+        }
+        EngineInner::release_satisfied_barriers(&mut st);
+        drop(st);
+        self.inner.work_cv.notify_all();
+    }
+
+    /// Shut down the engine: abort outstanding work and join all threads.
+    pub fn shutdown(&self) {
+        self.abort_all();
+        self.shutdown_flag.store(true, Ordering::Relaxed);
+        {
+            let mut st = self.inner.state.lock();
+            st.shutdown = true;
+        }
+        self.inner.work_cv.notify_all();
+        if let Some(h) = self.dispatcher.lock().take() {
+            let _ = h.join();
+        }
+        let joins = {
+            let mut st = self.inner.state.lock();
+            std::mem::take(&mut st.worker_joins)
+        };
+        for j in joins {
+            let _ = j.join();
+        }
+    }
+
+    fn dispatch_loop(inner: Arc<EngineInner>, shutdown: Arc<AtomicBool>) {
+        loop {
+            let mut st = inner.state.lock();
+            if shutdown.load(Ordering::Relaxed) && st.incomplete.is_empty() {
+                return;
+            }
+            // Try to start one eligible kernel. Among the eligible stream
+            // heads, pick the one issued earliest (CUDA's scheduler dispatches
+            // roughly in issue order as resources free up, which is what makes
+            // the resource-depletion disorder of Fig. 1(c) deadlock).
+            let mut started = false;
+            let mut eligible: Vec<(u64, StreamId, u32, usize)> = Vec::new();
+            for (&sid, queue) in st.streams.iter() {
+                if st.busy_streams.contains(&sid) {
+                    continue;
+                }
+                let Some(q) = queue.front() else { continue };
+                if !EngineInner::allowed_by_barriers(&st, q.seq) {
+                    continue;
+                }
+                eligible.push((q.seq, sid, q.blocks, q.shared_mem));
+            }
+            eligible.sort_unstable_by_key(|e| e.0);
+            for (seq, sid, blocks, shared_mem) in eligible {
+                // Residency is the bounded resource; acquisition can fail when
+                // the device is saturated (resource depletion).
+                let guard = match inner.device.try_acquire_residency(blocks, shared_mem) {
+                    Ok(g) => g,
+                    Err(_) => continue,
+                };
+                let queued = st
+                    .streams
+                    .get_mut(&sid)
+                    .and_then(|q| q.pop_front())
+                    .expect("head kernel disappeared under lock");
+                debug_assert_eq!(queued.seq, seq);
+                let handle = KernelHandle {
+                    shared: Arc::clone(&queued.shared),
+                    seq,
+                    name: queued.name.clone(),
+                };
+                st.running_handles.push(handle);
+                st.busy_streams.insert(sid);
+                let worker = Self::spawn_worker(Arc::clone(&inner), sid, queued, guard);
+                st.worker_joins.push(worker);
+                started = true;
+                break;
+            }
+            if started {
+                // Loop again immediately; more kernels may be eligible.
+                continue;
+            }
+            if shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            // Nothing to do: wait for new launches or completions.
+            inner
+                .work_cv
+                .wait_for(&mut st, Duration::from_millis(1));
+        }
+    }
+
+    fn spawn_worker(
+        inner: Arc<EngineInner>,
+        stream: StreamId,
+        queued: QueuedKernel,
+        guard: ResidencyGuard,
+    ) -> JoinHandle<()> {
+        std::thread::Builder::new()
+            .name(format!("gpu-kernel-{}", queued.name))
+            .spawn(move || {
+                let QueuedKernel {
+                    seq,
+                    kernel,
+                    shared,
+                    ..
+                } = queued;
+                shared.set_status(KernelStatus::Running);
+                let ctx = KernelCtx::new(inner.device.id(), seq, Arc::clone(&shared.abort));
+                let outcome = kernel.run(&ctx);
+                let status = match outcome {
+                    KernelOutcome::Completed => KernelStatus::Completed,
+                    KernelOutcome::Aborted => KernelStatus::Aborted,
+                    KernelOutcome::Failed(e) => KernelStatus::Failed(e),
+                };
+                // Release the residency slot before publishing completion so
+                // that a waiter observing completion can immediately launch.
+                drop(guard);
+                let mut st = inner.state.lock();
+                st.incomplete.remove(&seq);
+                st.running_handles.retain(|h| h.seq != seq);
+                st.busy_streams.remove(&stream);
+                EngineInner::release_satisfied_barriers(&mut st);
+                drop(st);
+                shared.set_status(status);
+                inner.work_cv.notify_all();
+            })
+            .expect("failed to spawn kernel worker thread")
+    }
+}
+
+impl Drop for DeviceEngine {
+    fn drop(&mut self) {
+        // Best-effort cleanup if the user forgot to call `shutdown`.
+        self.shutdown_flag.store(true, Ordering::Relaxed);
+        self.abort_all();
+        {
+            let mut st = self.inner.state.lock();
+            st.shutdown = true;
+        }
+        self.inner.work_cv.notify_all();
+        if let Some(h) = self.dispatcher.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{GpuId, GpuSpec};
+    use crate::kernel::FnKernel;
+    use crate::stream::{StreamId, DEFAULT_STREAM};
+    use std::sync::atomic::AtomicUsize;
+
+    fn engine_with_slots(slots: u32) -> Arc<DeviceEngine> {
+        DeviceEngine::new(GpuDevice::new(GpuId(0), GpuSpec::tiny(slots)))
+    }
+
+    #[test]
+    fn kernels_on_one_stream_run_in_fifo_order() {
+        let engine = engine_with_slots(4);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for i in 0..5 {
+            let order = Arc::clone(&order);
+            let h = engine
+                .launch(
+                    DEFAULT_STREAM,
+                    Box::new(FnKernel::new(format!("k{i}"), move |_| {
+                        order.lock().push(i);
+                        KernelOutcome::Completed
+                    })),
+                )
+                .unwrap();
+            handles.push(h);
+        }
+        for h in handles {
+            assert_eq!(h.wait_timeout(Duration::from_secs(5)), KernelStatus::Completed);
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn kernels_on_different_streams_run_concurrently() {
+        let engine = engine_with_slots(2);
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..2 {
+            let in_flight = Arc::clone(&in_flight);
+            let peak = Arc::clone(&peak);
+            let h = engine
+                .launch(
+                    StreamId(i + 1),
+                    Box::new(FnKernel::new("concurrent", move |_| {
+                        let n = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(n, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(50));
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        KernelOutcome::Completed
+                    })),
+                )
+                .unwrap();
+            handles.push(h);
+        }
+        for h in handles {
+            assert_eq!(h.wait_timeout(Duration::from_secs(5)), KernelStatus::Completed);
+        }
+        assert_eq!(peak.load(Ordering::SeqCst), 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn concurrency_is_bounded_by_residency_slots() {
+        let engine = engine_with_slots(1);
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            let in_flight = Arc::clone(&in_flight);
+            let peak = Arc::clone(&peak);
+            let h = engine
+                .launch(
+                    StreamId(i + 1),
+                    Box::new(FnKernel::new("bounded", move |_| {
+                        let n = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(n, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(20));
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        KernelOutcome::Completed
+                    })),
+                )
+                .unwrap();
+            handles.push(h);
+        }
+        for h in handles {
+            assert_eq!(h.wait_timeout(Duration::from_secs(5)), KernelStatus::Completed);
+        }
+        assert_eq!(peak.load(Ordering::SeqCst), 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn synchronize_waits_for_prior_kernels() {
+        let engine = engine_with_slots(2);
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        engine
+            .launch(
+                StreamId(1),
+                Box::new(FnKernel::new("slow", move |_| {
+                    std::thread::sleep(Duration::from_millis(80));
+                    done2.store(true, Ordering::SeqCst);
+                    KernelOutcome::Completed
+                })),
+            )
+            .unwrap();
+        engine.synchronize();
+        assert!(done.load(Ordering::SeqCst));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn kernels_after_barrier_wait_for_kernels_before_it() {
+        let engine = engine_with_slots(4);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o1 = Arc::clone(&order);
+        engine
+            .launch(
+                StreamId(1),
+                Box::new(FnKernel::new("before", move |_| {
+                    std::thread::sleep(Duration::from_millis(60));
+                    o1.lock().push("before");
+                    KernelOutcome::Completed
+                })),
+            )
+            .unwrap();
+        // Issue the barrier without blocking the test thread.
+        let engine2 = Arc::clone(&engine);
+        let sync_thread = std::thread::spawn(move || {
+            engine2.synchronize();
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        let o2 = Arc::clone(&order);
+        let after = engine
+            .launch(
+                StreamId(2),
+                Box::new(FnKernel::new("after", move |_| {
+                    o2.lock().push("after");
+                    KernelOutcome::Completed
+                })),
+            )
+            .unwrap();
+        assert_eq!(after.wait_timeout(Duration::from_secs(5)), KernelStatus::Completed);
+        sync_thread.join().unwrap();
+        assert_eq!(*order.lock(), vec!["before", "after"]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn abort_all_unblocks_busy_waiting_kernels() {
+        let engine = engine_with_slots(1);
+        let h = engine
+            .launch(
+                StreamId(1),
+                Box::new(FnKernel::new("spin", move |ctx: &KernelCtx| {
+                    while !ctx.should_abort() {
+                        std::hint::spin_loop();
+                    }
+                    KernelOutcome::Aborted
+                })),
+            )
+            .unwrap();
+        // Give it time to start, then abort.
+        std::thread::sleep(Duration::from_millis(30));
+        engine.abort_all();
+        assert_eq!(h.wait_timeout(Duration::from_secs(5)), KernelStatus::Aborted);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn abort_all_drops_queued_kernels() {
+        let engine = engine_with_slots(1);
+        let blocker = engine
+            .launch(
+                StreamId(1),
+                Box::new(FnKernel::new("blocker", move |ctx: &KernelCtx| {
+                    while !ctx.should_abort() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    KernelOutcome::Aborted
+                })),
+            )
+            .unwrap();
+        let queued = engine
+            .launch(
+                StreamId(1),
+                Box::new(FnKernel::new("queued", |_| KernelOutcome::Completed)),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        engine.abort_all();
+        assert_eq!(queued.wait_timeout(Duration::from_secs(5)), KernelStatus::Aborted);
+        assert_eq!(blocker.wait_timeout(Duration::from_secs(5)), KernelStatus::Aborted);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn launch_rejects_impossible_shared_memory() {
+        let engine = engine_with_slots(1);
+        let dev_limit = engine.device().spec().shared_mem_per_block;
+        let result = engine.launch(
+            StreamId(1),
+            Box::new(
+                FnKernel::new("huge", |_| KernelOutcome::Completed).with_shared_mem(dev_limit + 1),
+            ),
+        );
+        assert!(matches!(result, Err(LaunchError::Unsatisfiable(_))));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn launch_after_shutdown_fails() {
+        let engine = engine_with_slots(1);
+        engine.shutdown();
+        let result = engine.launch(
+            StreamId(1),
+            Box::new(FnKernel::new("late", |_| KernelOutcome::Completed)),
+        );
+        assert!(matches!(result, Err(LaunchError::Shutdown)));
+    }
+
+    #[test]
+    fn synchronize_timeout_reports_unfinished_work() {
+        let engine = engine_with_slots(1);
+        let h = engine
+            .launch(
+                StreamId(1),
+                Box::new(FnKernel::new("spin", move |ctx: &KernelCtx| {
+                    while !ctx.should_abort() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    KernelOutcome::Aborted
+                })),
+            )
+            .unwrap();
+        assert!(!engine.synchronize_timeout(SyncKind::Explicit, Some(Duration::from_millis(50))));
+        engine.abort_all();
+        h.wait_timeout(Duration::from_secs(5));
+        engine.shutdown();
+    }
+}

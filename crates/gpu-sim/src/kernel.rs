@@ -1,0 +1,303 @@
+//! Kernels: the unit of work launched on a device through the [`crate::DeviceEngine`].
+//!
+//! The NCCL-like baseline implements each collective as one blocking kernel
+//! (busy-waiting until all peers are ready); DFCCL instead runs a single
+//! persistent daemon kernel per device and never launches per-collective
+//! kernels. Both styles sit on top of this abstraction.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::device::GpuId;
+
+/// Result of running a kernel to the end of its `run` method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelOutcome {
+    /// The kernel finished its work.
+    Completed,
+    /// The kernel observed an abort request and stopped early.
+    Aborted,
+    /// The kernel failed with an error message.
+    Failed(String),
+}
+
+/// Externally observable status of a launched kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelStatus {
+    /// Queued on a stream, not yet started.
+    Queued,
+    /// Currently executing on the device.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Stopped after an abort request.
+    Aborted,
+    /// Failed with an error message.
+    Failed(String),
+}
+
+impl KernelStatus {
+    /// Whether the kernel has reached a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, KernelStatus::Queued | KernelStatus::Running)
+    }
+}
+
+/// Execution context handed to a running kernel.
+#[derive(Debug, Clone)]
+pub struct KernelCtx {
+    /// Device the kernel runs on.
+    pub device: GpuId,
+    /// Launch sequence number on that device's engine.
+    pub seq: u64,
+    abort: Arc<AtomicBool>,
+}
+
+impl KernelCtx {
+    pub(crate) fn new(device: GpuId, seq: u64, abort: Arc<AtomicBool>) -> Self {
+        KernelCtx { device, seq, abort }
+    }
+
+    /// Whether an abort has been requested (e.g. by the deadlock watchdog).
+    /// Long-running or busy-waiting kernels must poll this.
+    pub fn should_abort(&self) -> bool {
+        self.abort.load(Ordering::Relaxed)
+    }
+}
+
+/// A unit of GPU work.
+pub trait Kernel: Send + 'static {
+    /// Human-readable name, used in diagnostics.
+    fn name(&self) -> String;
+
+    /// Number of blocks in the launch grid.
+    fn grid_blocks(&self) -> u32 {
+        1
+    }
+
+    /// Shared memory requested per block, in bytes.
+    fn shared_mem_per_block(&self) -> usize {
+        0
+    }
+
+    /// Execute the kernel. Implementations that busy-wait must poll
+    /// [`KernelCtx::should_abort`] so that deadlocked scenarios can be torn down.
+    fn run(self: Box<Self>, ctx: &KernelCtx) -> KernelOutcome;
+}
+
+/// A kernel built from a closure; convenient for tests and simple workloads.
+pub struct FnKernel<F> {
+    name: String,
+    blocks: u32,
+    shared_mem: usize,
+    f: F,
+}
+
+impl<F> FnKernel<F>
+where
+    F: FnOnce(&KernelCtx) -> KernelOutcome + Send + 'static,
+{
+    /// Create a closure-backed kernel with a 1-block grid.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnKernel {
+            name: name.into(),
+            blocks: 1,
+            shared_mem: 0,
+            f,
+        }
+    }
+
+    /// Set the grid size.
+    pub fn with_blocks(mut self, blocks: u32) -> Self {
+        self.blocks = blocks;
+        self
+    }
+
+    /// Set the per-block shared-memory requirement.
+    pub fn with_shared_mem(mut self, bytes: usize) -> Self {
+        self.shared_mem = bytes;
+        self
+    }
+}
+
+impl<F> Kernel for FnKernel<F>
+where
+    F: FnOnce(&KernelCtx) -> KernelOutcome + Send + 'static,
+{
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn grid_blocks(&self) -> u32 {
+        self.blocks
+    }
+
+    fn shared_mem_per_block(&self) -> usize {
+        self.shared_mem
+    }
+
+    fn run(self: Box<Self>, ctx: &KernelCtx) -> KernelOutcome {
+        (self.f)(ctx)
+    }
+}
+
+pub(crate) struct KernelShared {
+    pub(crate) status: Mutex<KernelStatus>,
+    pub(crate) cv: Condvar,
+    pub(crate) abort: Arc<AtomicBool>,
+}
+
+impl KernelShared {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(KernelShared {
+            status: Mutex::new(KernelStatus::Queued),
+            cv: Condvar::new(),
+            abort: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    pub(crate) fn set_status(&self, status: KernelStatus) {
+        let mut s = self.status.lock();
+        *s = status;
+        self.cv.notify_all();
+    }
+}
+
+/// Handle to a launched kernel: observe status, wait for completion, request abort.
+#[derive(Clone)]
+pub struct KernelHandle {
+    pub(crate) shared: Arc<KernelShared>,
+    pub(crate) seq: u64,
+    pub(crate) name: String,
+}
+
+impl std::fmt::Debug for KernelHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelHandle")
+            .field("seq", &self.seq)
+            .field("name", &self.name)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+impl KernelHandle {
+    /// Launch sequence number of the kernel on its engine.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current status.
+    pub fn status(&self) -> KernelStatus {
+        self.shared.status.lock().clone()
+    }
+
+    /// Request the kernel to abort. Cooperative: the kernel must poll
+    /// [`KernelCtx::should_abort`].
+    pub fn request_abort(&self) {
+        self.shared.abort.store(true, Ordering::Relaxed);
+    }
+
+    /// Block until the kernel reaches a terminal state.
+    pub fn wait(&self) -> KernelStatus {
+        let mut s = self.shared.status.lock();
+        while !s.is_terminal() {
+            self.shared.cv.wait(&mut s);
+        }
+        s.clone()
+    }
+
+    /// Block until the kernel reaches a terminal state or `timeout` elapses.
+    pub fn wait_timeout(&self, timeout: Duration) -> KernelStatus {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut s = self.shared.status.lock();
+        while !s.is_terminal() {
+            if self.shared.cv.wait_until(&mut s, deadline).timed_out() {
+                break;
+            }
+        }
+        s.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_kernel_reports_configuration() {
+        let k = FnKernel::new("k", |_ctx| KernelOutcome::Completed)
+            .with_blocks(8)
+            .with_shared_mem(1024);
+        assert_eq!(k.name(), "k");
+        assert_eq!(k.grid_blocks(), 8);
+        assert_eq!(k.shared_mem_per_block(), 1024);
+    }
+
+    #[test]
+    fn fn_kernel_runs_closure() {
+        let k = Box::new(FnKernel::new("k", |ctx: &KernelCtx| {
+            assert_eq!(ctx.device, GpuId(3));
+            KernelOutcome::Completed
+        }));
+        let ctx = KernelCtx::new(GpuId(3), 7, Arc::new(AtomicBool::new(false)));
+        assert_eq!(k.run(&ctx), KernelOutcome::Completed);
+    }
+
+    #[test]
+    fn status_terminality() {
+        assert!(!KernelStatus::Queued.is_terminal());
+        assert!(!KernelStatus::Running.is_terminal());
+        assert!(KernelStatus::Completed.is_terminal());
+        assert!(KernelStatus::Aborted.is_terminal());
+        assert!(KernelStatus::Failed("x".into()).is_terminal());
+    }
+
+    #[test]
+    fn handle_abort_flag_reaches_ctx() {
+        let shared = KernelShared::new();
+        let handle = KernelHandle {
+            shared: Arc::clone(&shared),
+            seq: 0,
+            name: "k".into(),
+        };
+        let ctx = KernelCtx::new(GpuId(0), 0, Arc::clone(&shared.abort));
+        assert!(!ctx.should_abort());
+        handle.request_abort();
+        assert!(ctx.should_abort());
+    }
+
+    #[test]
+    fn handle_wait_timeout_returns_nonterminal_on_timeout() {
+        let shared = KernelShared::new();
+        let handle = KernelHandle {
+            shared,
+            seq: 0,
+            name: "k".into(),
+        };
+        let st = handle.wait_timeout(Duration::from_millis(10));
+        assert_eq!(st, KernelStatus::Queued);
+    }
+
+    #[test]
+    fn handle_wait_unblocks_on_terminal_status() {
+        let shared = KernelShared::new();
+        let handle = KernelHandle {
+            shared: Arc::clone(&shared),
+            seq: 0,
+            name: "k".into(),
+        };
+        let t = std::thread::spawn(move || handle.wait());
+        std::thread::sleep(Duration::from_millis(20));
+        shared.set_status(KernelStatus::Completed);
+        assert_eq!(t.join().unwrap(), KernelStatus::Completed);
+    }
+}

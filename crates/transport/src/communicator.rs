@@ -1,0 +1,367 @@
+//! Communicators: the ring of connectors behind one collective, and the pool
+//! that hands them out.
+//!
+//! The paper keeps the communicator concept transparent to users: DFCCL
+//! "maintains a communicator pool, automatically creating and allocating
+//! communicators for collectives" (Sec. 3.2). Each registered collective gets
+//! its own communicator so that a preempted collective's connectors are never
+//! reused by another collective — the invariant the correctness argument of
+//! Sec. 4.5 relies on.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gpu_sim::GpuId;
+use parking_lot::Mutex;
+
+use crate::connector::Connector;
+use crate::linkmodel::LinkModel;
+use crate::topology::Topology;
+use crate::TransportError;
+
+/// Identifier of a communicator within a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CommunicatorId(pub u64);
+
+/// The channels one rank uses inside a ring communicator.
+#[derive(Debug, Clone)]
+pub struct RankChannels {
+    /// This rank's index within the communicator.
+    pub rank: usize,
+    /// Number of ranks in the communicator.
+    pub size: usize,
+    /// GPU this rank runs on.
+    pub gpu: GpuId,
+    /// GPU of the next rank in the ring (the send peer).
+    pub send_peer: GpuId,
+    /// GPU of the previous rank in the ring (the recv peer).
+    pub recv_peer: GpuId,
+    /// Connector used to send chunks to the next rank.
+    pub send: Arc<Connector>,
+    /// Connector used to receive chunks from the previous rank.
+    pub recv: Arc<Connector>,
+}
+
+/// A ring communicator over an ordered set of GPUs.
+pub struct Communicator {
+    id: CommunicatorId,
+    devices: Vec<GpuId>,
+    /// `edges[i]` carries chunks from rank `i` to rank `(i + 1) % n`.
+    edges: Vec<Arc<Connector>>,
+}
+
+impl std::fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("id", &self.id)
+            .field("devices", &self.devices)
+            .finish()
+    }
+}
+
+impl Communicator {
+    /// Build a ring communicator over `devices` (in the given rank order).
+    pub fn new_ring(
+        id: CommunicatorId,
+        devices: Vec<GpuId>,
+        topology: &Topology,
+        link_model: &Arc<LinkModel>,
+        connector_capacity: usize,
+    ) -> Result<Arc<Self>, TransportError> {
+        if devices.len() < 2 {
+            return Err(TransportError::DeviceSetTooSmall(devices.len()));
+        }
+        let n = devices.len();
+        let mut edges = Vec::with_capacity(n);
+        for i in 0..n {
+            let from = devices[i];
+            let to = devices[(i + 1) % n];
+            let link = topology.link_between(from, to)?;
+            edges.push(Connector::new(
+                connector_capacity,
+                link,
+                Arc::clone(link_model),
+            ));
+        }
+        Ok(Arc::new(Communicator { id, devices, edges }))
+    }
+
+    /// Communicator identifier.
+    pub fn id(&self) -> CommunicatorId {
+        self.id
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The ordered device set.
+    pub fn devices(&self) -> &[GpuId] {
+        &self.devices
+    }
+
+    /// The rank of `gpu` within this communicator, if it participates.
+    pub fn rank_of(&self, gpu: GpuId) -> Option<usize> {
+        self.devices.iter().position(|&d| d == gpu)
+    }
+
+    /// The channels used by `rank`.
+    pub fn rank_channels(&self, rank: usize) -> Result<RankChannels, TransportError> {
+        let n = self.devices.len();
+        if rank >= n {
+            return Err(TransportError::InvalidRank { rank, size: n });
+        }
+        let prev = (rank + n - 1) % n;
+        Ok(RankChannels {
+            rank,
+            size: n,
+            gpu: self.devices[rank],
+            send_peer: self.devices[(rank + 1) % n],
+            recv_peer: self.devices[prev],
+            send: Arc::clone(&self.edges[rank]),
+            recv: Arc::clone(&self.edges[prev]),
+        })
+    }
+
+    /// Drop any chunks still buffered in the ring (used when recycling).
+    pub fn clear(&self) {
+        for e in &self.edges {
+            e.clear();
+        }
+    }
+
+    /// Whether any connector still holds chunks.
+    pub fn has_in_flight_data(&self) -> bool {
+        self.edges.iter().any(|e| !e.is_empty())
+    }
+}
+
+/// A pool of communicators keyed by device set, transparent to the API user.
+pub struct CommunicatorPool {
+    topology: Arc<Topology>,
+    link_model: Arc<LinkModel>,
+    connector_capacity: usize,
+    next_id: AtomicU64,
+    created: AtomicU64,
+    free: Mutex<HashMap<Vec<GpuId>, Vec<Arc<Communicator>>>>,
+}
+
+impl CommunicatorPool {
+    /// Create a pool over a topology and link model. `connector_capacity` is
+    /// the number of chunk slots per connector.
+    pub fn new(
+        topology: Arc<Topology>,
+        link_model: Arc<LinkModel>,
+        connector_capacity: usize,
+    ) -> Arc<Self> {
+        Arc::new(CommunicatorPool {
+            topology,
+            link_model,
+            connector_capacity,
+            next_id: AtomicU64::new(0),
+            created: AtomicU64::new(0),
+            free: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// A pool with a zero-cost link model over a flat topology of `n` GPUs —
+    /// convenient for tests.
+    pub fn for_testing(n: usize) -> Arc<Self> {
+        CommunicatorPool::new(
+            Arc::new(Topology::flat(n)),
+            Arc::new(LinkModel::zero_cost()),
+            8,
+        )
+    }
+
+    /// The topology backing this pool.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
+    }
+
+    /// The link model backing this pool.
+    pub fn link_model(&self) -> &Arc<LinkModel> {
+        &self.link_model
+    }
+
+    /// Allocate a communicator for `devices`, reusing a previously released
+    /// one when available.
+    pub fn allocate(&self, devices: &[GpuId]) -> Result<Arc<Communicator>, TransportError> {
+        if let Some(comm) = self
+            .free
+            .lock()
+            .get_mut(devices)
+            .and_then(|v| v.pop())
+        {
+            comm.clear();
+            return Ok(comm);
+        }
+        let id = CommunicatorId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.created.fetch_add(1, Ordering::Relaxed);
+        Communicator::new_ring(
+            id,
+            devices.to_vec(),
+            &self.topology,
+            &self.link_model,
+            self.connector_capacity,
+        )
+    }
+
+    /// Return a communicator to the pool for reuse by a later registration
+    /// over the same device set.
+    pub fn release(&self, comm: Arc<Communicator>) {
+        let key = comm.devices().to_vec();
+        self.free.lock().entry(key).or_default().push(comm);
+    }
+
+    /// Number of communicators ever created (not counting reuse).
+    pub fn created_count(&self) -> u64 {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Number of communicators currently idle in the pool.
+    pub fn idle_count(&self) -> usize {
+        self.free.lock().values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::ChunkMsg;
+    use crate::topology::LinkClass;
+
+    fn gpus(ids: &[usize]) -> Vec<GpuId> {
+        ids.iter().map(|&i| GpuId(i)).collect()
+    }
+
+    #[test]
+    fn ring_channels_wire_neighbours_correctly() {
+        let topo = Topology::flat(4);
+        let model = Arc::new(LinkModel::zero_cost());
+        let comm = Communicator::new_ring(
+            CommunicatorId(0),
+            gpus(&[0, 1, 2, 3]),
+            &topo,
+            &model,
+            4,
+        )
+        .unwrap();
+        let ch1 = comm.rank_channels(1).unwrap();
+        assert_eq!(ch1.send_peer, GpuId(2));
+        assert_eq!(ch1.recv_peer, GpuId(0));
+        // Rank 0's send connector is rank 1's recv connector.
+        let ch0 = comm.rank_channels(0).unwrap();
+        ch0.send
+            .try_send(ChunkMsg {
+                coll_id: 9,
+                chunk_index: 0,
+                step: 0,
+                data: vec![1, 2, 3],
+            })
+            .unwrap();
+        let got = ch1.recv.try_recv().unwrap();
+        assert_eq!(got.coll_id, 9);
+    }
+
+    #[test]
+    fn ring_wraps_around_for_last_rank() {
+        let topo = Topology::flat(3);
+        let model = Arc::new(LinkModel::zero_cost());
+        let comm =
+            Communicator::new_ring(CommunicatorId(0), gpus(&[0, 1, 2]), &topo, &model, 4).unwrap();
+        let last = comm.rank_channels(2).unwrap();
+        assert_eq!(last.send_peer, GpuId(0));
+        let first = comm.rank_channels(0).unwrap();
+        assert_eq!(first.recv_peer, GpuId(2));
+    }
+
+    #[test]
+    fn communicator_rejects_tiny_device_sets() {
+        let topo = Topology::flat(2);
+        let model = Arc::new(LinkModel::zero_cost());
+        assert!(matches!(
+            Communicator::new_ring(CommunicatorId(0), gpus(&[0]), &topo, &model, 4),
+            Err(TransportError::DeviceSetTooSmall(1))
+        ));
+    }
+
+    #[test]
+    fn invalid_rank_is_an_error() {
+        let topo = Topology::flat(2);
+        let model = Arc::new(LinkModel::zero_cost());
+        let comm =
+            Communicator::new_ring(CommunicatorId(0), gpus(&[0, 1]), &topo, &model, 4).unwrap();
+        assert!(matches!(
+            comm.rank_channels(5),
+            Err(TransportError::InvalidRank { rank: 5, size: 2 })
+        ));
+        assert_eq!(comm.rank_of(GpuId(1)), Some(1));
+        assert_eq!(comm.rank_of(GpuId(7)), None);
+    }
+
+    #[test]
+    fn connectors_use_topology_link_classes() {
+        let topo = Topology::single_server();
+        let model = Arc::new(LinkModel::zero_cost());
+        // Ring 3 -> 4 crosses the socket (IntraSys); 0 -> 1 stays in a PIX domain.
+        let comm = Communicator::new_ring(
+            CommunicatorId(0),
+            gpus(&[0, 1, 2, 3, 4, 5, 6, 7]),
+            &topo,
+            &model,
+            4,
+        )
+        .unwrap();
+        assert_eq!(comm.rank_channels(0).unwrap().send.link(), LinkClass::IntraPix);
+        assert_eq!(comm.rank_channels(3).unwrap().send.link(), LinkClass::IntraSys);
+        assert_eq!(comm.rank_channels(7).unwrap().send.link(), LinkClass::IntraSys);
+    }
+
+    #[test]
+    fn pool_reuses_released_communicators() {
+        let pool = CommunicatorPool::for_testing(4);
+        let devices = gpus(&[0, 1, 2, 3]);
+        let c1 = pool.allocate(&devices).unwrap();
+        let id1 = c1.id();
+        pool.release(c1);
+        assert_eq!(pool.idle_count(), 1);
+        let c2 = pool.allocate(&devices).unwrap();
+        assert_eq!(c2.id(), id1);
+        assert_eq!(pool.created_count(), 1);
+        assert_eq!(pool.idle_count(), 0);
+    }
+
+    #[test]
+    fn pool_creates_distinct_communicators_for_concurrent_requests() {
+        let pool = CommunicatorPool::for_testing(4);
+        let devices = gpus(&[0, 1, 2, 3]);
+        let c1 = pool.allocate(&devices).unwrap();
+        let c2 = pool.allocate(&devices).unwrap();
+        assert_ne!(c1.id(), c2.id());
+        assert_eq!(pool.created_count(), 2);
+    }
+
+    #[test]
+    fn pool_clears_stale_data_on_reuse() {
+        let pool = CommunicatorPool::for_testing(2);
+        let devices = gpus(&[0, 1]);
+        let c1 = pool.allocate(&devices).unwrap();
+        c1.rank_channels(0)
+            .unwrap()
+            .send
+            .try_send(ChunkMsg {
+                coll_id: 1,
+                chunk_index: 0,
+                step: 0,
+                data: vec![0xAA],
+            })
+            .unwrap();
+        assert!(c1.has_in_flight_data());
+        pool.release(c1);
+        let c2 = pool.allocate(&devices).unwrap();
+        assert!(!c2.has_in_flight_data());
+    }
+}

@@ -1,0 +1,70 @@
+//! # dfccl-transport — topology, link cost model, connectors, communicators
+//!
+//! This crate models the data-movement substrate the paper's collectives run
+//! on (Table 2 testbeds + Fig. 5 buffers):
+//!
+//! * [`Topology`] — machines, PIX/SYS PCIe domains and the inter-node network,
+//!   classifying the link between any two GPUs.
+//! * [`LinkModel`] — an `alpha + bytes/beta` transfer-cost model per link
+//!   class, replacing the real SHM/RDMA transports. A global time scale keeps
+//!   benchmark runs fast while preserving relative magnitudes.
+//! * [`Connector`] — the lock-free ring buffer used for inter-GPU data
+//!   transfer (the *send/recv connectors* of Fig. 5). Data published into a
+//!   connector stays visible until consumed, which is the *persistent
+//!   visibility* property DFCCL's decentralized preemption relies on
+//!   (Sec. 4.1).
+//! * [`Communicator`] / [`CommunicatorPool`] — the per-collective ring of
+//!   connectors, and the pool that allocates communicators transparently
+//!   (Sec. 3.2).
+
+pub mod communicator;
+pub mod connector;
+pub mod linkmodel;
+pub mod topology;
+
+pub use communicator::{Communicator, CommunicatorId, CommunicatorPool, RankChannels};
+pub use connector::{ChunkMsg, Connector, ConnectorStats, SendError};
+pub use linkmodel::{LinkModel, LinkParams};
+pub use topology::{LinkClass, MachineSpec, Topology};
+
+/// Errors produced by the transport layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// A GPU id was not found in the topology.
+    UnknownGpu(gpu_sim::GpuId),
+    /// A communicator was requested for fewer than two GPUs.
+    DeviceSetTooSmall(usize),
+    /// A rank index was out of range for a communicator.
+    InvalidRank { rank: usize, size: usize },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::UnknownGpu(id) => write!(f, "GPU {id} is not part of the topology"),
+            TransportError::DeviceSetTooSmall(n) => {
+                write!(f, "a communicator needs at least 2 GPUs, got {n}")
+            }
+            TransportError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuId;
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(TransportError::UnknownGpu(GpuId(7)).to_string().contains("gpu7"));
+        assert!(TransportError::DeviceSetTooSmall(1).to_string().contains("at least 2"));
+        assert!(TransportError::InvalidRank { rank: 9, size: 4 }
+            .to_string()
+            .contains("rank 9"));
+    }
+}

@@ -1,0 +1,237 @@
+//! The link cost model replacing the SHM / RDMA transports of the testbed.
+//!
+//! Every chunk pushed through a [`crate::Connector`] pays
+//! `alpha + bytes / beta` of modelled time, where `alpha` is the per-message
+//! latency of the link class and `beta` its bandwidth. A global
+//! [`gpu_sim::TimeScale`] compresses modelled time so sweeps over megabyte
+//! buffers remain fast; compression preserves the *relative* behaviour that
+//! Figs. 8 and 9 are about (latency-dominated small transfers, bandwidth-
+//! dominated large transfers, and where the crossover falls).
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use gpu_sim::{busy_spin, TimeScale};
+use serde::{Deserialize, Serialize};
+
+use crate::topology::LinkClass;
+
+/// Cost parameters of one link class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Fixed per-message latency in nanoseconds (the `alpha` term).
+    pub latency_ns: f64,
+    /// Bandwidth in gigabytes per second (the `beta` term).
+    pub bandwidth_gbps: f64,
+}
+
+impl LinkParams {
+    /// Modelled (unscaled) transfer time for `bytes`.
+    pub fn transfer_nanos(&self, bytes: usize) -> f64 {
+        let bw_bytes_per_ns = self.bandwidth_gbps * 1e9 / 1e9; // GB/s == bytes/ns
+        self.latency_ns + bytes as f64 / bw_bytes_per_ns
+    }
+}
+
+/// Per-class cost model plus a time scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkModel {
+    params: HashMap<LinkClass, LinkParams>,
+    scale: TimeScale,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        Self::table2_testbed()
+    }
+}
+
+impl LinkModel {
+    /// Build a model from explicit per-class parameters.
+    pub fn new(params: HashMap<LinkClass, LinkParams>, scale: TimeScale) -> Self {
+        LinkModel { params, scale }
+    }
+
+    /// Parameters derived from the Table 2 testbed: PCIe Gen4-class shared
+    /// memory transport within a PIX domain, a slower path across the socket
+    /// interconnect, and 56 Gb/s RDMA between machines.
+    pub fn table2_testbed() -> Self {
+        let mut params = HashMap::new();
+        params.insert(
+            LinkClass::Local,
+            LinkParams {
+                latency_ns: 200.0,
+                bandwidth_gbps: 300.0,
+            },
+        );
+        params.insert(
+            LinkClass::IntraPix,
+            LinkParams {
+                latency_ns: 1_800.0,
+                bandwidth_gbps: 11.0,
+            },
+        );
+        params.insert(
+            LinkClass::IntraSys,
+            LinkParams {
+                latency_ns: 2_600.0,
+                bandwidth_gbps: 8.0,
+            },
+        );
+        params.insert(
+            LinkClass::InterNode,
+            LinkParams {
+                latency_ns: 4_500.0,
+                bandwidth_gbps: 5.5, // ~56 Gb/s line rate, accounting for protocol overhead
+            },
+        );
+        LinkModel {
+            params,
+            scale: TimeScale::default(),
+        }
+    }
+
+    /// The testbed model with time compressed by `factor` (good for benches).
+    pub fn table2_compressed(factor: f64) -> Self {
+        let mut m = Self::table2_testbed();
+        m.scale = TimeScale::compressed(factor);
+        m
+    }
+
+    /// A model with zero cost, useful for pure-logic tests where transfer
+    /// delays only slow the test suite down.
+    pub fn zero_cost() -> Self {
+        let mut params = HashMap::new();
+        for class in [
+            LinkClass::Local,
+            LinkClass::IntraPix,
+            LinkClass::IntraSys,
+            LinkClass::InterNode,
+        ] {
+            params.insert(
+                class,
+                LinkParams {
+                    latency_ns: 0.0,
+                    bandwidth_gbps: f64::INFINITY,
+                },
+            );
+        }
+        LinkModel {
+            params,
+            scale: TimeScale::default(),
+        }
+    }
+
+    /// The time scale in effect.
+    pub fn scale(&self) -> TimeScale {
+        self.scale
+    }
+
+    /// Replace the time scale.
+    pub fn with_scale(mut self, scale: TimeScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Parameters for a link class (falls back to the slowest class if absent).
+    pub fn params(&self, class: LinkClass) -> LinkParams {
+        self.params
+            .get(&class)
+            .copied()
+            .or_else(|| self.params.get(&LinkClass::InterNode).copied())
+            .unwrap_or(LinkParams {
+                latency_ns: 0.0,
+                bandwidth_gbps: f64::INFINITY,
+            })
+    }
+
+    /// Scaled wall-clock cost of transferring `bytes` over `class`.
+    pub fn transfer_cost(&self, class: LinkClass, bytes: usize) -> Duration {
+        let nanos = self.params(class).transfer_nanos(bytes);
+        if !nanos.is_finite() {
+            return Duration::ZERO;
+        }
+        self.scale.scale_nanos(nanos)
+    }
+
+    /// Busy-spin for the transfer cost, modelling the occupancy of the sending
+    /// primitive while the chunk moves across the link.
+    pub fn charge(&self, class: LinkClass, bytes: usize) {
+        busy_spin(self.transfer_cost(class, bytes));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let m = LinkModel::table2_testbed();
+        let tiny = m.transfer_cost(LinkClass::IntraPix, 8);
+        let params = m.params(LinkClass::IntraPix);
+        assert!(tiny >= Duration::from_nanos(params.latency_ns as u64));
+    }
+
+    #[test]
+    fn transfer_time_grows_with_size() {
+        let m = LinkModel::table2_testbed();
+        let small = m.transfer_cost(LinkClass::IntraPix, 1024);
+        let big = m.transfer_cost(LinkClass::IntraPix, 4 * 1024 * 1024);
+        assert!(big > small * 100);
+    }
+
+    #[test]
+    fn inter_node_is_slower_than_intra_pix() {
+        let m = LinkModel::table2_testbed();
+        let bytes = 1024 * 1024;
+        assert!(
+            m.transfer_cost(LinkClass::InterNode, bytes)
+                > m.transfer_cost(LinkClass::IntraPix, bytes)
+        );
+    }
+
+    #[test]
+    fn compression_reduces_cost_proportionally() {
+        let base = LinkModel::table2_testbed();
+        let fast = LinkModel::table2_compressed(10.0);
+        let bytes = 1024 * 1024;
+        let full = base.transfer_cost(LinkClass::IntraSys, bytes);
+        let compressed = fast.transfer_cost(LinkClass::IntraSys, bytes);
+        let ratio = full.as_nanos() as f64 / compressed.as_nanos().max(1) as f64;
+        assert!((9.0..11.0).contains(&ratio), "ratio was {ratio}");
+    }
+
+    #[test]
+    fn zero_cost_model_charges_nothing() {
+        let m = LinkModel::zero_cost();
+        assert_eq!(m.transfer_cost(LinkClass::InterNode, 1 << 20), Duration::ZERO);
+        // charge() should return immediately.
+        let start = std::time::Instant::now();
+        m.charge(LinkClass::IntraPix, 1 << 20);
+        assert!(start.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn missing_class_falls_back_to_slowest() {
+        let mut params = HashMap::new();
+        params.insert(
+            LinkClass::InterNode,
+            LinkParams {
+                latency_ns: 100.0,
+                bandwidth_gbps: 1.0,
+            },
+        );
+        let m = LinkModel::new(params, TimeScale::default());
+        assert_eq!(m.params(LinkClass::IntraPix).latency_ns, 100.0);
+    }
+
+    #[test]
+    fn charge_spins_for_roughly_the_modelled_time() {
+        let m = LinkModel::table2_testbed();
+        let cost = m.transfer_cost(LinkClass::IntraPix, 256 * 1024);
+        let start = std::time::Instant::now();
+        m.charge(LinkClass::IntraPix, 256 * 1024);
+        assert!(start.elapsed() >= cost);
+    }
+}

@@ -1,0 +1,26 @@
+//! # dfccl-workloads — distributed DNN training workloads
+//!
+//! The paper evaluates DFCCL against CPU-orchestrated NCCL on real training
+//! jobs: data-parallel ResNet-50 (Fig. 10), ViT under data, tensor and
+//! 3D-hybrid parallelism (Fig. 12), and Megatron-style GPT-2 under 3D-hybrid
+//! parallelism (Fig. 13). This crate provides:
+//!
+//! * [`model`] — the models' communication-relevant shape (parameters, layers,
+//!   gradient buckets, relative compute cost);
+//! * [`parallelism`] — DP / TP / 3D-hybrid plans: which collectives exist,
+//!   over which GPU groups, and in which order each GPU makes them ready;
+//! * [`trainer`] — a training-loop driver that runs a plan for N iterations
+//!   against DFCCL or against NCCL-like kernels coordinated by one of the
+//!   Sec. 2.5 orchestration strategies, reporting per-iteration times,
+//!   throughput and its coefficient of variation.
+
+pub mod model;
+pub mod parallelism;
+pub mod trainer;
+
+pub use model::DnnModel;
+pub use parallelism::{
+    data_parallel_plan, tensor_parallel_plan, three_d_hybrid_plan, ParallelismKind,
+    PlannedCollective, TrainingPlan,
+};
+pub use trainer::{train, BackendKind, TrainerConfig, TrainingReport};

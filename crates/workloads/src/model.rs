@@ -1,0 +1,117 @@
+//! DNN model descriptions used by the training benchmarks (Sec. 6.4).
+//!
+//! Only the properties that drive communication and compute volume matter
+//! here: parameter count, layer count, how gradients are bucketed for
+//! data-parallel all-reduce, and a per-sample compute cost. Absolute compute
+//! times are scaled down by the trainer so 200-iteration runs stay fast; the
+//! *ratios* between communication and computation are what shape Figs. 10-13.
+
+use serde::{Deserialize, Serialize};
+
+/// A DNN model, described at the granularity the communication layer cares about.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DnnModel {
+    /// Model name.
+    pub name: String,
+    /// Total trainable parameters.
+    pub parameters: usize,
+    /// Number of (transformer or residual) layers.
+    pub layers: usize,
+    /// Hidden dimension (0 when not meaningful).
+    pub hidden: usize,
+    /// Gradient-fusion buckets used for data-parallel all-reduce.
+    pub gradient_buckets: usize,
+    /// Relative compute cost per sample (arbitrary units; 1.0 = ResNet-50).
+    pub compute_per_sample: f64,
+}
+
+impl DnnModel {
+    /// ResNet-50 (25.6 M parameters), the Fig. 10 data-parallel workload.
+    pub fn resnet50() -> Self {
+        DnnModel {
+            name: "ResNet-50".to_string(),
+            parameters: 25_600_000,
+            layers: 53,
+            hidden: 2048,
+            gradient_buckets: 25,
+            compute_per_sample: 1.0,
+        }
+    }
+
+    /// ViT-Base (86 M parameters), Fig. 12(a)-(c).
+    pub fn vit_base() -> Self {
+        DnnModel {
+            name: "ViT-Base".to_string(),
+            parameters: 86_000_000,
+            layers: 12,
+            hidden: 768,
+            gradient_buckets: 24,
+            compute_per_sample: 2.4,
+        }
+    }
+
+    /// ViT-Large (307 M parameters), Fig. 12(d).
+    pub fn vit_large() -> Self {
+        DnnModel {
+            name: "ViT-Large".to_string(),
+            parameters: 307_000_000,
+            layers: 24,
+            hidden: 1024,
+            gradient_buckets: 48,
+            compute_per_sample: 8.2,
+        }
+    }
+
+    /// GPT-2 (1.5 B parameters, Megatron-style), Fig. 13.
+    pub fn gpt2() -> Self {
+        DnnModel {
+            name: "GPT-2".to_string(),
+            parameters: 1_500_000_000,
+            layers: 48,
+            hidden: 1600,
+            gradient_buckets: 48,
+            compute_per_sample: 64.0,
+        }
+    }
+
+    /// Parameters per gradient bucket (the element count of one DP all-reduce).
+    pub fn bucket_elems(&self) -> usize {
+        (self.parameters / self.gradient_buckets.max(1)).max(1)
+    }
+
+    /// Parameters per layer (drives per-layer TP collective sizes).
+    pub fn layer_elems(&self) -> usize {
+        (self.parameters / self.layers.max(1)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_catalogue_is_ordered_by_size() {
+        let resnet = DnnModel::resnet50();
+        let vit_b = DnnModel::vit_base();
+        let vit_l = DnnModel::vit_large();
+        let gpt2 = DnnModel::gpt2();
+        assert!(resnet.parameters < vit_b.parameters);
+        assert!(vit_b.parameters < vit_l.parameters);
+        assert!(vit_l.parameters < gpt2.parameters);
+        assert!(resnet.compute_per_sample < gpt2.compute_per_sample);
+    }
+
+    #[test]
+    fn bucket_and_layer_sizes_are_positive() {
+        for m in [
+            DnnModel::resnet50(),
+            DnnModel::vit_base(),
+            DnnModel::vit_large(),
+            DnnModel::gpt2(),
+        ] {
+            assert!(m.bucket_elems() > 0);
+            assert!(m.layer_elems() > 0);
+            assert!(m.bucket_elems() * m.gradient_buckets <= m.parameters + m.gradient_buckets);
+        }
+    }
+}

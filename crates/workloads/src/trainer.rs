@@ -1,0 +1,463 @@
+//! The training-loop driver: runs a [`TrainingPlan`] for N iterations against
+//! either DFCCL or the NCCL-like baseline under a CPU orchestration strategy,
+//! and reports per-iteration times / throughput (the quantities plotted in
+//! Figs. 10, 12 and 13).
+//!
+//! One thread per GPU executes the per-iteration schedule: simulated compute
+//! (a busy-spin proportional to the plan's compute units), then the GPU's
+//! collectives. With DFCCL the collectives are submitted asynchronously in
+//! whatever order they become ready (optionally jittered per GPU — DFCCL
+//! tolerates the disorder); with the baseline they are launched as blocking
+//! kernels in the orchestration strategy's imposed order, and the strategy's
+//! per-iteration coordination cost is charged on every GPU.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use dfccl::{DfcclConfig, DfcclDomain};
+use dfccl_baseline::orchestration::build_strategy;
+use dfccl_baseline::{NcclDomain, StrategyKind};
+use dfccl_collectives::DeviceBuffer;
+use dfccl_transport::{LinkModel, Topology};
+use gpu_sim::{busy_spin, GpuSpec, StreamId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::parallelism::TrainingPlan;
+
+/// Which communication backend a training run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// DFCCL (this paper).
+    Dfccl,
+    /// NCCL-like kernels coordinated by a CPU orchestration strategy.
+    NcclOrchestrated(StrategyKind),
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::Dfccl => write!(f, "DFCCL"),
+            BackendKind::NcclOrchestrated(s) => write!(f, "NCCL + {s}"),
+        }
+    }
+}
+
+/// Trainer configuration.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Number of training iterations.
+    pub iterations: usize,
+    /// Wall-clock time charged per compute unit of the plan.
+    pub compute_time_per_unit: Duration,
+    /// Compression factor applied to the Table 2 link model (higher = faster).
+    pub link_compression: f64,
+    /// Use zero-cost links instead of the Table 2 model (fast logic tests).
+    pub zero_cost_links: bool,
+    /// Chunk size (elements) for collective plans.
+    pub chunk_elems: usize,
+    /// With DFCCL, randomly swap adjacent ready collectives on each GPU each
+    /// iteration with this probability — the natural invocation disorder that
+    /// DFCCL tolerates without CPU orchestration.
+    pub dfccl_disorder_prob: f64,
+    /// RNG seed for the disorder jitter.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            iterations: 200,
+            compute_time_per_unit: Duration::from_nanos(40),
+            link_compression: 1_000.0,
+            zero_cost_links: false,
+            chunk_elems: 32 * 1024,
+            dfccl_disorder_prob: 0.05,
+            seed: 0xD0F,
+        }
+    }
+}
+
+impl TrainerConfig {
+    /// A configuration for fast correctness tests (few iterations, free links).
+    pub fn fast_test(iterations: usize) -> Self {
+        TrainerConfig {
+            iterations,
+            compute_time_per_unit: Duration::ZERO,
+            zero_cost_links: true,
+            link_compression: 1.0,
+            chunk_elems: 8 * 1024,
+            dfccl_disorder_prob: 0.2,
+            seed: 7,
+        }
+    }
+
+    fn link_model(&self) -> LinkModel {
+        if self.zero_cost_links {
+            LinkModel::zero_cost()
+        } else {
+            LinkModel::table2_compressed(self.link_compression)
+        }
+    }
+}
+
+/// Result of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    /// Which backend produced it.
+    pub backend: String,
+    /// Per-iteration wall-clock times (max across GPUs).
+    pub iteration_times: Vec<Duration>,
+    /// Samples consumed per iteration (global batch).
+    pub samples_per_iteration: usize,
+}
+
+impl TrainingReport {
+    /// Mean per-iteration time.
+    pub fn mean_iteration(&self) -> Duration {
+        if self.iteration_times.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.iteration_times.iter().sum();
+        total / self.iteration_times.len() as u32
+    }
+
+    /// Average training throughput in samples per second.
+    pub fn throughput(&self) -> f64 {
+        let mean = self.mean_iteration().as_secs_f64();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        self.samples_per_iteration as f64 / mean
+    }
+
+    /// Coefficient of variation of the per-iteration time (Fig. 13 reports
+    /// 1.4-4.3%).
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let n = self.iteration_times.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_iteration().as_secs_f64();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .iteration_times
+            .iter()
+            .map(|t| (t.as_secs_f64() - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt() / mean
+    }
+
+    /// Average throughput from the start up to each iteration — the curve
+    /// style used in Fig. 12.
+    pub fn cumulative_throughput(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.iteration_times.len());
+        let mut total = Duration::ZERO;
+        for (i, t) in self.iteration_times.iter().enumerate() {
+            total += *t;
+            let mean = total.as_secs_f64() / (i + 1) as f64;
+            out.push(if mean > 0.0 {
+                self.samples_per_iteration as f64 / mean
+            } else {
+                0.0
+            });
+        }
+        out
+    }
+}
+
+/// Run `plan` for the configured number of iterations on the chosen backend.
+/// `samples_per_iteration` is the global batch size used for throughput.
+pub fn train(
+    plan: &TrainingPlan,
+    backend: BackendKind,
+    cfg: &TrainerConfig,
+    samples_per_iteration: usize,
+) -> TrainingReport {
+    let per_gpu_times = match backend {
+        BackendKind::Dfccl => train_dfccl(plan, cfg),
+        BackendKind::NcclOrchestrated(strategy) => train_nccl(plan, strategy, cfg),
+    };
+    // Iteration time = slowest GPU that iteration.
+    let iterations = per_gpu_times.first().map(Vec::len).unwrap_or(0);
+    let mut iteration_times = Vec::with_capacity(iterations);
+    for i in 0..iterations {
+        let max = per_gpu_times
+            .iter()
+            .map(|ts| ts[i])
+            .max()
+            .unwrap_or(Duration::ZERO);
+        iteration_times.push(max);
+    }
+    TrainingReport {
+        backend: backend.to_string(),
+        iteration_times,
+        samples_per_iteration,
+    }
+}
+
+fn compute_spin(plan: &TrainingPlan, cfg: &TrainerConfig) {
+    let nanos = plan.compute_units * cfg.compute_time_per_unit.as_nanos() as f64;
+    busy_spin(Duration::from_nanos(nanos as u64));
+}
+
+fn train_dfccl(plan: &TrainingPlan, cfg: &TrainerConfig) -> Vec<Vec<Duration>> {
+    let n = plan.gpus.len();
+    let domain = DfcclDomain::new(
+        Topology::flat(n),
+        cfg.link_model(),
+        GpuSpec::rtx_3090(),
+        DfcclConfig {
+            chunk_elems: cfg.chunk_elems,
+            ..DfcclConfig::default()
+        },
+    );
+    // Register every collective on every participating rank.
+    let ranks: Vec<Arc<dfccl::RankCtx>> = plan
+        .gpus
+        .iter()
+        .map(|&g| Arc::new(domain.init_rank(g).expect("rank init")))
+        .collect();
+    for pc in &plan.collectives {
+        for gpu in &pc.desc.devices {
+            let rank = &ranks[gpu.0];
+            rank.register(pc.coll_id, pc.desc.clone()).expect("register");
+        }
+    }
+    let barrier = Arc::new(Barrier::new(n));
+    let plan = Arc::new(plan.clone());
+    let cfg = Arc::new(cfg.clone());
+    let mut joins = Vec::new();
+    for gpu_idx in 0..n {
+        let rank = Arc::clone(&ranks[gpu_idx]);
+        let barrier = Arc::clone(&barrier);
+        let plan = Arc::clone(&plan);
+        let cfg = Arc::clone(&cfg);
+        joins.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (gpu_idx as u64) << 32);
+            let mut times = Vec::with_capacity(cfg.iterations);
+            for _iter in 0..cfg.iterations {
+                barrier.wait();
+                let start = Instant::now();
+                compute_spin(&plan, &cfg);
+                // Natural per-GPU invocation order, possibly jittered.
+                let mut order = plan.ready_order[gpu_idx].clone();
+                if cfg.dfccl_disorder_prob > 0.0 {
+                    for i in 0..order.len().saturating_sub(1) {
+                        if rng.gen_bool(cfg.dfccl_disorder_prob.min(1.0)) {
+                            order.swap(i, i + 1);
+                        }
+                    }
+                }
+                let mut handles = Vec::with_capacity(order.len());
+                for ci in order {
+                    let pc = &plan.collectives[ci];
+                    let rank_idx = pc
+                        .desc
+                        .devices
+                        .iter()
+                        .position(|&d| d == plan.gpus[gpu_idx])
+                        .expect("gpu participates");
+                    let send = DeviceBuffer::zeroed(pc.desc.send_bytes(rank_idx));
+                    let recv = DeviceBuffer::zeroed(pc.desc.recv_bytes(rank_idx).max(4));
+                    handles.push(
+                        rank.run_awaitable(pc.coll_id, send, recv)
+                            .expect("run collective"),
+                    );
+                }
+                for h in handles {
+                    h.wait_for(1);
+                }
+                times.push(start.elapsed());
+                barrier.wait();
+            }
+            times
+        }));
+    }
+    let result: Vec<Vec<Duration>> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    for rank in &ranks {
+        rank.destroy();
+    }
+    result
+}
+
+fn train_nccl(
+    plan: &TrainingPlan,
+    strategy_kind: StrategyKind,
+    cfg: &TrainerConfig,
+) -> Vec<Vec<Duration>> {
+    let n = plan.gpus.len();
+    let domain = NcclDomain::new(
+        Topology::flat(n),
+        cfg.link_model(),
+        GpuSpec::rtx_3090(),
+        cfg.chunk_elems,
+    );
+    let ranks: Vec<Arc<dfccl_baseline::NcclRank>> = plan
+        .gpus
+        .iter()
+        .map(|&g| Arc::new(domain.init_rank(g).expect("rank init")))
+        .collect();
+    for pc in &plan.collectives {
+        for gpu in &pc.desc.devices {
+            ranks[gpu.0]
+                .register(pc.coll_id, pc.desc.clone())
+                .expect("register");
+        }
+    }
+    let barrier = Arc::new(Barrier::new(n));
+    let plan = Arc::new(plan.clone());
+    let cfg = Arc::new(cfg.clone());
+    let mut joins = Vec::new();
+    for gpu_idx in 0..n {
+        let rank = Arc::clone(&ranks[gpu_idx]);
+        let barrier = Arc::clone(&barrier);
+        let plan = Arc::clone(&plan);
+        let cfg = Arc::clone(&cfg);
+        joins.push(std::thread::spawn(move || {
+            let strategy = build_strategy(strategy_kind);
+            let mut times = Vec::with_capacity(cfg.iterations);
+            for iter in 0..cfg.iterations {
+                barrier.wait();
+                let start = Instant::now();
+                compute_spin(&plan, &cfg);
+                // The CPU orchestration strategy imposes a consistent launch
+                // order and charges its per-iteration coordination cost.
+                let ready: Vec<u64> = plan.ready_order[gpu_idx]
+                    .iter()
+                    .map(|&ci| plan.collectives[ci].coll_id)
+                    .collect();
+                let imposed = strategy.imposed_order(&ready);
+                busy_spin(strategy.iteration_overhead(ready.len(), plan.gpus.len(), iter as u64));
+                let mut handles = Vec::with_capacity(imposed.len());
+                for (k, coll_id) in imposed.iter().enumerate() {
+                    let pc = plan
+                        .collectives
+                        .iter()
+                        .find(|c| c.coll_id == *coll_id)
+                        .expect("planned collective");
+                    let rank_idx = pc
+                        .desc
+                        .devices
+                        .iter()
+                        .position(|&d| d == plan.gpus[gpu_idx])
+                        .expect("gpu participates");
+                    let send = DeviceBuffer::zeroed(pc.desc.send_bytes(rank_idx));
+                    let recv = DeviceBuffer::zeroed(pc.desc.recv_bytes(rank_idx).max(4));
+                    // Spread collectives over a few streams, as frameworks do.
+                    let stream = StreamId(1 + (k % 3));
+                    handles.push(
+                        rank.launch_collective(*coll_id, stream, send, recv)
+                            .expect("launch collective"),
+                    );
+                }
+                for h in handles {
+                    h.wait_timeout(Duration::from_secs(60));
+                }
+                times.push(start.elapsed());
+                barrier.wait();
+            }
+            times
+        }));
+    }
+    let result: Vec<Vec<Duration>> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    domain.shutdown();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DnnModel;
+    use crate::parallelism::{data_parallel_plan, tensor_parallel_plan, three_d_hybrid_plan};
+    use gpu_sim::GpuId;
+
+    fn tiny_model() -> DnnModel {
+        DnnModel {
+            name: "tiny".to_string(),
+            parameters: 4_096,
+            layers: 4,
+            hidden: 32,
+            gradient_buckets: 4,
+            compute_per_sample: 0.1,
+        }
+    }
+
+    fn gpus(n: usize) -> Vec<GpuId> {
+        (0..n).map(GpuId).collect()
+    }
+
+    #[test]
+    fn dfccl_data_parallel_training_runs_without_deadlock() {
+        let plan = data_parallel_plan(&tiny_model(), &gpus(4), 8);
+        let report = train(&plan, BackendKind::Dfccl, &TrainerConfig::fast_test(3), 32);
+        assert_eq!(report.iteration_times.len(), 3);
+        assert!(report.throughput() > 0.0);
+        assert!(report.backend.contains("DFCCL"));
+    }
+
+    #[test]
+    fn nccl_orchestrated_data_parallel_training_completes() {
+        let plan = data_parallel_plan(&tiny_model(), &gpus(2), 8);
+        for strategy in [
+            StrategyKind::OneFlowStaticSort,
+            StrategyKind::Horovod,
+            StrategyKind::KungFu,
+        ] {
+            let report = train(
+                &plan,
+                BackendKind::NcclOrchestrated(strategy),
+                &TrainerConfig::fast_test(2),
+                16,
+            );
+            assert_eq!(report.iteration_times.len(), 2, "{strategy:?}");
+            assert!(report.mean_iteration() > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn dfccl_tensor_parallel_and_hybrid_plans_run() {
+        let tp_plan = tensor_parallel_plan(&tiny_model(), &gpus(2), 4);
+        let report = train(&tp_plan, BackendKind::Dfccl, &TrainerConfig::fast_test(2), 4);
+        assert_eq!(report.iteration_times.len(), 2);
+
+        let hybrid = three_d_hybrid_plan(&tiny_model(), 2, 2, 1, 4);
+        let report = train(&hybrid, BackendKind::Dfccl, &TrainerConfig::fast_test(2), 8);
+        assert_eq!(report.iteration_times.len(), 2);
+    }
+
+    #[test]
+    fn report_statistics_are_consistent() {
+        let report = TrainingReport {
+            backend: "test".to_string(),
+            iteration_times: vec![
+                Duration::from_millis(10),
+                Duration::from_millis(12),
+                Duration::from_millis(8),
+            ],
+            samples_per_iteration: 100,
+        };
+        assert_eq!(report.mean_iteration(), Duration::from_millis(10));
+        assert!((report.throughput() - 10_000.0).abs() < 1.0);
+        assert!(report.coefficient_of_variation() > 0.0);
+        let curve = report.cumulative_throughput();
+        assert_eq!(curve.len(), 3);
+        assert!(curve.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn empty_report_is_harmless() {
+        let report = TrainingReport {
+            backend: "empty".to_string(),
+            iteration_times: Vec::new(),
+            samples_per_iteration: 1,
+        };
+        assert_eq!(report.mean_iteration(), Duration::ZERO);
+        assert_eq!(report.throughput(), 0.0);
+        assert_eq!(report.coefficient_of_variation(), 0.0);
+        assert!(report.cumulative_throughput().is_empty());
+    }
+}

