@@ -43,9 +43,8 @@ impl MpiLikeModel {
         let steps = 2 * (n - 1);
         let per_step_bytes = bytes / n;
         let wire = self.link_model.transfer_cost(link, per_step_bytes);
-        let staging = Duration::from_nanos(
-            (per_step_bytes as f64 / self.staging_bandwidth * 1e9) as u64,
-        );
+        let staging =
+            Duration::from_nanos((per_step_bytes as f64 / self.staging_bandwidth * 1e9) as u64);
         (wire + staging + self.host_latency) * steps as u32
     }
 
@@ -91,7 +90,9 @@ mod tests {
         let mpi = MpiLikeModel::default();
         let nccl_model = LinkModel::table2_testbed();
         let ratio = |bytes: usize| {
-            let t_mpi = mpi.all_reduce_time(bytes, 8, LinkClass::IntraPix).as_secs_f64();
+            let t_mpi = mpi
+                .all_reduce_time(bytes, 8, LinkClass::IntraPix)
+                .as_secs_f64();
             let t_nccl = nccl_style_all_reduce_time(&nccl_model, bytes, 8, LinkClass::IntraPix)
                 .as_secs_f64();
             t_mpi / t_nccl

@@ -110,12 +110,7 @@ impl NcclDomain {
         let engines = topology
             .gpus()
             .into_iter()
-            .map(|g| {
-                (
-                    g,
-                    DeviceEngine::new(GpuDevice::new(g, gpu_spec.clone())),
-                )
-            })
+            .map(|g| (g, DeviceEngine::new(GpuDevice::new(g, gpu_spec.clone()))))
             .collect();
         Arc::new(NcclDomain {
             pool,
@@ -205,14 +200,12 @@ impl NcclRank {
         if self.registered.lock().contains_key(&coll_id) {
             return Err(NcclError::AlreadyRegistered(coll_id));
         }
-        let rank = desc
-            .devices
-            .iter()
-            .position(|&d| d == self.gpu)
-            .ok_or(NcclError::RankNotInDeviceSet {
+        let rank = desc.devices.iter().position(|&d| d == self.gpu).ok_or(
+            NcclError::RankNotInDeviceSet {
                 gpu: self.gpu,
                 coll_id,
-            })?;
+            },
+        )?;
         let comm = self.domain.communicator_for(coll_id, &desc.devices)?;
         let channels = comm.rank_channels(rank)?;
         let plan = build_plan(&desc, rank, self.domain.chunk_elems)?;
@@ -296,7 +289,9 @@ mod tests {
     fn consistent_order_completes_and_produces_correct_sums() {
         // Fig. 1(a): both GPUs launch A then B — no deadlock.
         let domain = NcclDomain::flat_for_testing(2, 2);
-        let ranks: Vec<NcclRank> = (0..2).map(|g| domain.init_rank(GpuId(g)).unwrap()).collect();
+        let ranks: Vec<NcclRank> = (0..2)
+            .map(|g| domain.init_rank(GpuId(g)).unwrap())
+            .collect();
         for r in &ranks {
             r.register(0, all_reduce_desc(16, 2)).unwrap();
             r.register(1, all_reduce_desc(16, 2)).unwrap();
@@ -305,7 +300,7 @@ mod tests {
         let mut recvs = Vec::new();
         for (g, r) in ranks.iter().enumerate() {
             for coll in [0u64, 1u64] {
-                let send = DeviceBuffer::from_f32(&vec![(g + 1) as f32; 16]);
+                let send = DeviceBuffer::from_f32(&[(g + 1) as f32; 16]);
                 let recv = DeviceBuffer::zeroed(64);
                 recvs.push(recv.clone());
                 handles.push(
@@ -327,7 +322,9 @@ mod tests {
         // Fig. 1(c), single queue: GPU 0 launches A then B, GPU 1 launches B
         // then A, all on one stream per GPU.
         let domain = NcclDomain::flat_for_testing(2, 1);
-        let ranks: Vec<NcclRank> = (0..2).map(|g| domain.init_rank(GpuId(g)).unwrap()).collect();
+        let ranks: Vec<NcclRank> = (0..2)
+            .map(|g| domain.init_rank(GpuId(g)).unwrap())
+            .collect();
         for r in &ranks {
             r.register(0, all_reduce_desc(64, 2)).unwrap();
             r.register(1, all_reduce_desc(64, 2)).unwrap();
@@ -350,7 +347,9 @@ mod tests {
     fn disorder_with_separate_streams_and_enough_resources_completes() {
         // Fig. 1(b): disorder is fine when both collectives can run concurrently.
         let domain = NcclDomain::flat_for_testing(2, 2);
-        let ranks: Vec<NcclRank> = (0..2).map(|g| domain.init_rank(GpuId(g)).unwrap()).collect();
+        let ranks: Vec<NcclRank> = (0..2)
+            .map(|g| domain.init_rank(GpuId(g)).unwrap())
+            .collect();
         for r in &ranks {
             r.register(0, all_reduce_desc(32, 2)).unwrap();
             r.register(1, all_reduce_desc(32, 2)).unwrap();
@@ -359,7 +358,7 @@ mod tests {
         let mut handles = Vec::new();
         for (g, r) in ranks.iter().enumerate() {
             for &coll in &order[g] {
-                let send = DeviceBuffer::from_f32(&vec![1.0; 32]);
+                let send = DeviceBuffer::from_f32(&[1.0; 32]);
                 let recv = DeviceBuffer::zeroed(128);
                 handles.push(
                     r.launch_collective(coll, StreamId(coll as usize + 1), send, recv)
@@ -377,7 +376,9 @@ mod tests {
         // Fig. 1(c), resource depletion: separate streams but only one
         // residency slot per GPU.
         let domain = NcclDomain::flat_for_testing(2, 1);
-        let ranks: Vec<NcclRank> = (0..2).map(|g| domain.init_rank(GpuId(g)).unwrap()).collect();
+        let ranks: Vec<NcclRank> = (0..2)
+            .map(|g| domain.init_rank(GpuId(g)).unwrap())
+            .collect();
         for r in &ranks {
             r.register(0, all_reduce_desc(32, 2)).unwrap();
             r.register(1, all_reduce_desc(32, 2)).unwrap();
@@ -386,7 +387,7 @@ mod tests {
         let mut handles = Vec::new();
         for (g, r) in ranks.iter().enumerate() {
             for &coll in &order[g] {
-                let send = DeviceBuffer::from_f32(&vec![1.0; 32]);
+                let send = DeviceBuffer::from_f32(&[1.0; 32]);
                 let recv = DeviceBuffer::zeroed(128);
                 handles.push(
                     r.launch_collective(coll, StreamId(coll as usize + 1), send, recv)
@@ -417,7 +418,7 @@ mod tests {
                     .launch_collective(
                         order[0],
                         StreamId(order[0] as usize + 1),
-                        DeviceBuffer::from_f32(&vec![1.0; 32]),
+                        DeviceBuffer::from_f32(&[1.0; 32]),
                         DeviceBuffer::zeroed(128),
                     )
                     .unwrap();
@@ -427,7 +428,7 @@ mod tests {
                     .launch_collective(
                         order[1],
                         StreamId(order[1] as usize + 1),
-                        DeviceBuffer::from_f32(&vec![1.0; 32]),
+                        DeviceBuffer::from_f32(&[1.0; 32]),
                         DeviceBuffer::zeroed(128),
                     )
                     .unwrap();
@@ -485,9 +486,16 @@ mod tests {
             )
             .unwrap();
         // The peer never launches; abort through the watchdog.
-        let outcome = wait_all_or_deadlock(&[h.clone()], &domain.engines(), Duration::from_millis(200));
+        let outcome = wait_all_or_deadlock(
+            std::slice::from_ref(&h),
+            &domain.engines(),
+            Duration::from_millis(200),
+        );
         assert!(outcome.is_deadlock());
-        assert_eq!(h.wait_timeout(Duration::from_secs(5)), KernelStatus::Aborted);
+        assert_eq!(
+            h.wait_timeout(Duration::from_secs(5)),
+            KernelStatus::Aborted
+        );
         domain.shutdown();
     }
 }

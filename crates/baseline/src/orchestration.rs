@@ -109,7 +109,9 @@ impl OrchestrationStrategy for HorovodCoordinator {
         // latency grows mildly with the number of workers.
         let batches = collectives.div_ceil(self.batch).max(1);
         let scale = 1.0 + (gpus as f64).log2() * 0.25;
-        Duration::from_nanos((self.negotiation_rtt.as_nanos() as f64 * batches as f64 * scale) as u64)
+        Duration::from_nanos(
+            (self.negotiation_rtt.as_nanos() as f64 * batches as f64 * scale) as u64,
+        )
     }
 
     fn supports_hybrid_parallelism(&self) -> bool {

@@ -75,8 +75,8 @@ pub fn wait_all_or_deadlock(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_sim::{FnKernel, GpuDevice, GpuId, GpuSpec, KernelCtx, KernelOutcome, StreamId};
     use gpu_sim::kernel::Kernel;
+    use gpu_sim::{FnKernel, GpuDevice, GpuId, GpuSpec, KernelCtx, KernelOutcome, StreamId};
 
     fn engine() -> Arc<DeviceEngine> {
         DeviceEngine::new(GpuDevice::new(GpuId(0), GpuSpec::tiny(2)))
@@ -109,7 +109,11 @@ mod tests {
     fn hung_kernel_is_reported_and_torn_down() {
         let e = engine();
         let h = e.launch(StreamId(1), spin_forever_kernel()).unwrap();
-        let outcome = wait_all_or_deadlock(&[h.clone()], &[Arc::clone(&e)], Duration::from_millis(100));
+        let outcome = wait_all_or_deadlock(
+            std::slice::from_ref(&h),
+            &[Arc::clone(&e)],
+            Duration::from_millis(100),
+        );
         match &outcome {
             DeadlockOutcome::Deadlock { unfinished } => {
                 assert_eq!(unfinished, &vec!["spin-forever".to_string()]);
@@ -118,7 +122,10 @@ mod tests {
         }
         assert!(outcome.is_deadlock());
         // The kernel was aborted so the engine can shut down cleanly.
-        assert_eq!(h.wait_timeout(Duration::from_secs(5)), KernelStatus::Aborted);
+        assert_eq!(
+            h.wait_timeout(Duration::from_secs(5)),
+            KernelStatus::Aborted
+        );
         e.shutdown();
     }
 

@@ -56,7 +56,11 @@ fn bench_components(c: &mut Criterion) {
         let store = dfccl::context::ContextStore::new(8, 0.0, 0.0);
         store.enqueue_invocation(
             3,
-            dfccl::context::DynamicContext::new(0, DeviceBuffer::zeroed(16), DeviceBuffer::zeroed(16)),
+            dfccl::context::DynamicContext::new(
+                0,
+                DeviceBuffer::zeroed(16),
+                DeviceBuffer::zeroed(16),
+            ),
         );
         b.iter(|| {
             let (ctx, _) = store.checkout_current(3).unwrap();

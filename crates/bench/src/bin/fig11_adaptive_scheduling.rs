@@ -96,7 +96,9 @@ fn main() {
     let iterations: usize = arg_num("--iterations", 10);
     let batch: usize = arg_num("--batch", 96);
 
-    println!("Fig. 11 — impact of the adaptive spin-threshold policy (ResNet-50 DP, {GPUS} GPUs)\n");
+    println!(
+        "Fig. 11 — impact of the adaptive spin-threshold policy (ResNet-50 DP, {GPUS} GPUs)\n"
+    );
     let naive = run(SpinPolicy::naive_fixed(), iterations, batch);
     let adaptive = run(SpinPolicy::adaptive_default(), iterations, batch);
 
@@ -118,11 +120,8 @@ fn main() {
         ],
         &widths,
     );
-    let adaptive_map: std::collections::HashMap<u64, (u64, u64)> = adaptive
-        .1
-        .iter()
-        .map(|&(id, p, q)| (id, (p, q)))
-        .collect();
+    let adaptive_map: std::collections::HashMap<u64, (u64, u64)> =
+        adaptive.1.iter().map(|&(id, p, q)| (id, (p, q))).collect();
     let mut naive_max = 0u64;
     let mut adaptive_max = 0u64;
     for (id, preempt, qlen) in &naive.1 {

@@ -34,12 +34,7 @@ fn panel(name: &str, plan: &TrainingPlan, global_batch: usize, iterations: usize
 
     let widths = [34, 14, 14, 10];
     print_row(
-        &[
-            name.into(),
-            "NCCL".into(),
-            "DFCCL".into(),
-            "ratio".into(),
-        ],
+        &[name.into(), "NCCL".into(), "DFCCL".into(), "ratio".into()],
         &widths,
     );
     // Throughput curve samples (cumulative average), Fig. 12 style.
@@ -94,5 +89,7 @@ fn main() {
         microbatch * 2,
         iterations,
     );
-    println!("Paper reference: DFCCL exceeds NCCL by up to 8.6% for DP and stays within ±3% elsewhere.");
+    println!(
+        "Paper reference: DFCCL exceeds NCCL by up to 8.6% for DP and stays within ±3% elsewhere."
+    );
 }

@@ -60,15 +60,24 @@ fn main() {
     println!("  measured on GPU 0 over {iterations} iterations (paper: 5.3 / 1.2 / 2.0 µs):");
     println!(
         "    read SQE:            {} µs",
-        stats.mean_sqe_read.map(fmt_us).unwrap_or_else(|| "-".into())
+        stats
+            .mean_sqe_read
+            .map(fmt_us)
+            .unwrap_or_else(|| "-".into())
     );
     println!(
         "    preparing overheads: {} µs",
-        stats.mean_preparing.map(fmt_us).unwrap_or_else(|| "-".into())
+        stats
+            .mean_preparing
+            .map(fmt_us)
+            .unwrap_or_else(|| "-".into())
     );
     println!(
         "    write CQE:           {} µs",
-        stats.mean_cqe_write.map(fmt_us).unwrap_or_else(|| "-".into())
+        stats
+            .mean_cqe_write
+            .map(fmt_us)
+            .unwrap_or_else(|| "-".into())
     );
 
     println!("\nSec. 6.2 — workload-independent memory overheads");
@@ -99,7 +108,9 @@ fn main() {
         let mut total = Duration::ZERO;
         for i in 0..samples {
             let start = Instant::now();
-            assert!(cq.push(Cqe { coll_id: i as u64 % 32 }));
+            assert!(cq.push(Cqe {
+                coll_id: i as u64 % 32
+            }));
             total += start.elapsed();
             cq.pop();
         }

@@ -37,13 +37,19 @@ fn topology_for(gpus: usize) -> Topology {
 
 fn descriptor(kind: CollectiveKind, count: usize, devices: Vec<GpuId>) -> CollectiveDescriptor {
     match kind {
-        CollectiveKind::Broadcast => CollectiveDescriptor::broadcast(count, DataType::F32, 0, devices),
+        CollectiveKind::Broadcast => {
+            CollectiveDescriptor::broadcast(count, DataType::F32, 0, devices)
+        }
         _ => CollectiveDescriptor::all_reduce(count, DataType::F32, ReduceOp::Sum, devices),
     }
 }
 
 /// One timed DFCCL collective across all ranks; returns wall time.
-fn time_dfccl(ranks: &[Arc<dfccl::RankCtx>], desc: &CollectiveDescriptor, iters: usize) -> Duration {
+fn time_dfccl(
+    ranks: &[Arc<dfccl::RankCtx>],
+    desc: &CollectiveDescriptor,
+    iters: usize,
+) -> Duration {
     let coll_id = 1u64;
     let start = Instant::now();
     for _ in 0..iters {
@@ -111,7 +117,12 @@ fn run_panel(kind: CollectiveKind, gpus: usize, sizes: &[usize], iters: usize, c
         let desc = descriptor(kind, count, devices.clone());
 
         // DFCCL side.
-        let domain = DfcclDomain::new(topo.clone(), link.clone(), GpuSpec::rtx_3090(), DfcclConfig::default());
+        let domain = DfcclDomain::new(
+            topo.clone(),
+            link.clone(),
+            GpuSpec::rtx_3090(),
+            DfcclConfig::default(),
+        );
         let ranks: Vec<Arc<dfccl::RankCtx>> = devices
             .iter()
             .map(|&g| Arc::new(domain.init_rank(g).unwrap()))
@@ -161,8 +172,20 @@ fn main() {
     println!("(link model compressed {compression}x; compare shapes, not absolute values)");
 
     // (a) broadcast on 8 GPUs, (b) all-reduce on 8 GPUs.
-    run_panel(CollectiveKind::Broadcast, gpus.min(8), &sizes, iters, compression);
-    run_panel(CollectiveKind::AllReduce, gpus.min(8), &sizes, iters, compression);
+    run_panel(
+        CollectiveKind::Broadcast,
+        gpus.min(8),
+        &sizes,
+        iters,
+        compression,
+    );
+    run_panel(
+        CollectiveKind::AllReduce,
+        gpus.min(8),
+        &sizes,
+        iters,
+        compression,
+    );
     // (c) all-reduce at scale (32 GPUs across four machines) when requested.
     if gpus > 8 {
         run_panel(CollectiveKind::AllReduce, gpus, &sizes, iters, compression);

@@ -91,10 +91,7 @@ fn measure(bytes: usize, iters: usize, compression: f64) -> [(String, Duration, 
         for (i, rank) in nranks.iter().enumerate() {
             let send = DeviceBuffer::zeroed(desc.send_bytes(i));
             let recv = DeviceBuffer::zeroed(desc.recv_bytes(i));
-            handles.push(
-                rank.launch_collective(1, StreamId(1), send, recv)
-                    .unwrap(),
-            );
+            handles.push(rank.launch_collective(1, StreamId(1), send, recv).unwrap());
         }
         for h in handles {
             h.wait_timeout(Duration::from_secs(60));
@@ -130,12 +127,11 @@ fn main() {
     );
     for (label, bytes) in [("4KB", 4 * 1024usize), ("4MB", 4 * 1024 * 1024)] {
         for (lib, e2e, core) in measure(bytes, iters, compression) {
-            print_row(
-                &[label.into(), lib, fmt_us(e2e), fmt_us(core)],
-                &widths,
-            );
+            print_row(&[label.into(), lib, fmt_us(e2e), fmt_us(core)], &widths);
         }
     }
     println!("\nExpected shape: DFCCL's core execution is the shorter of the two at both sizes;");
-    println!("its I/O path makes it slightly slower end-to-end at 4 KB and slightly faster at 4 MB.");
+    println!(
+        "its I/O path makes it slightly slower end-to-end at 4 KB and slightly faster at 4 MB."
+    );
 }

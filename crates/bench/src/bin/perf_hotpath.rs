@@ -1,0 +1,165 @@
+//! `perf_hotpath` — the scheduling-throughput trajectory benchmark.
+//!
+//! Measures domain-wide collectives/sec through the full DFCCL hot path
+//! (invoker → SQ → daemon kernel → CQ → poller → callback) for 2/4/8
+//! simulated GPUs, comparing batched SQ/CQ draining against the legacy
+//! per-entry path, plus the Fig. 7(c) per-variant CQE-publication costs.
+//! Results are printed as a table and written to `BENCH_hotpath.json` so
+//! every future PR can track the trajectory.
+//!
+//! Usage:
+//! ```text
+//! perf_hotpath [--repeats 3] [--collectives 16] [--rounds 4] [--out BENCH_hotpath.json]
+//! ```
+
+use std::fmt::Write as _;
+
+use dfccl::CqVariant;
+use dfccl_bench::hotpath::{
+    batched_config, best_of, cq_push_batched_cost_us, cq_push_cost_us, unbatched_config,
+    HotpathWorkload,
+};
+use dfccl_bench::{arg_num, arg_value, print_row};
+
+const GPU_COUNTS: [usize; 3] = [2, 4, 8];
+
+struct ModeResult {
+    gpus: usize,
+    batched: f64,
+    unbatched: f64,
+}
+
+fn main() {
+    let repeats: usize = arg_num("--repeats", 3).max(1);
+    let collectives: u64 = arg_num("--collectives", 16).max(1);
+    let rounds: u64 = arg_num("--rounds", 8).max(1);
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    println!("# perf_hotpath — daemon scheduling throughput (collectives/sec)");
+    println!(
+        "# workload: {collectives} collectives x {rounds} rounds of tiny all-reduces, best of {repeats}"
+    );
+    let widths = [6, 14, 14, 9];
+    print_row(
+        &["gpus", "batched", "unbatched", "speedup"].map(String::from),
+        &widths,
+    );
+
+    let mut results = Vec::new();
+    for gpus in GPU_COUNTS {
+        let workload = HotpathWorkload {
+            gpus,
+            collectives,
+            rounds,
+            count: 16,
+        };
+        let batched = best_of(repeats, workload, &batched_config()).collectives_per_sec;
+        let unbatched = best_of(repeats, workload, &unbatched_config()).collectives_per_sec;
+        print_row(
+            &[
+                format!("{gpus}"),
+                format!("{batched:.0}"),
+                format!("{unbatched:.0}"),
+                format!("{:.2}x", batched / unbatched),
+            ],
+            &widths,
+        );
+        results.push(ModeResult {
+            gpus,
+            batched,
+            unbatched,
+        });
+    }
+
+    // Fig. 7(c): per-variant CQE publication cost under the modelled
+    // host-memory costs, unbatched and batched.
+    println!();
+    println!("# CQE publication cost (µs/CQE, modelled host-memory costs)");
+    let cost_widths = [16, 12, 20];
+    print_row(
+        &["variant", "per-entry", "batched(16)/entry"].map(String::from),
+        &cost_widths,
+    );
+    let variants = [
+        ("vanilla_ring", CqVariant::VanillaRing),
+        ("optimized_ring", CqVariant::OptimizedRing),
+        ("optimized_slot", CqVariant::OptimizedSlot),
+    ];
+    let mut variant_costs = Vec::new();
+    for (name, variant) in variants {
+        let single = cq_push_cost_us(variant, 200);
+        let batched = cq_push_batched_cost_us(variant, 16, 50);
+        print_row(
+            &[
+                name.to_string(),
+                format!("{single:.2}"),
+                format!("{batched:.2}"),
+            ],
+            &cost_widths,
+        );
+        variant_costs.push((name, single, batched));
+    }
+
+    let speedup_at_4 = results
+        .iter()
+        .find(|r| r.gpus == 4)
+        .map(|r| r.batched / r.unbatched)
+        .unwrap_or(f64::NAN);
+    let ordering_ok =
+        variant_costs[0].1 > variant_costs[1].1 && variant_costs[1].1 > variant_costs[2].1;
+    println!();
+    println!("speedup at 4 GPUs: {speedup_at_4:.2}x (target >= 1.5x)");
+    println!(
+        "Fig. 7(c) ordering (slot < optimized ring < vanilla ring): {}",
+        if ordering_ok { "preserved" } else { "VIOLATED" }
+    );
+
+    // Hand-rolled JSON (no serialization dependency in this environment).
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"hotpath\",\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"collectives\": {collectives}, \"rounds\": {rounds}, \"count\": 16, \"repeats\": {repeats}}},"
+    );
+    json.push_str("  \"throughput\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"gpus\": {}, \"batched_collectives_per_sec\": {:.1}, \"unbatched_collectives_per_sec\": {:.1}, \"speedup\": {:.3}}}",
+            r.gpus,
+            r.batched,
+            r.unbatched,
+            r.batched / r.unbatched
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"speedup_at_4_gpus\": {speedup_at_4:.3},");
+    json.push_str("  \"cq_variant_cost_us\": {\n");
+    for (i, (name, single, batched)) in variant_costs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    \"{name}\": {{\"per_entry\": {single:.3}, \"batched16_per_entry\": {batched:.3}}}"
+        );
+        json.push_str(if i + 1 < variant_costs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"fig7c_ordering_preserved\": {ordering_ok}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+
+    if speedup_at_4 < 1.5 {
+        eprintln!("WARNING: batched speedup at 4 GPUs below the 1.5x acceptance bar");
+        std::process::exit(2);
+    }
+    if !ordering_ok {
+        eprintln!("WARNING: CQ variant cost ordering violated");
+        std::process::exit(3);
+    }
+}

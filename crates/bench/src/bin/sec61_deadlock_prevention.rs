@@ -28,7 +28,16 @@ use rand::SeedableRng;
 
 const GPUS: usize = 8;
 /// Eight all-reduce buffer sizes from 256 B to 1 MB.
-const SIZES: [usize; 8] = [256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10, 512 << 10, 1 << 20];
+const SIZES: [usize; 8] = [
+    256,
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    128 << 10,
+    512 << 10,
+    1 << 20,
+];
 
 fn gpu_ids() -> Vec<GpuId> {
     (0..GPUS).map(GpuId).collect()
@@ -47,8 +56,15 @@ fn dfccl_program(iterations: usize, with_sync: bool) {
     for (coll_id, size) in SIZES.iter().enumerate() {
         let count = size / 4;
         for rank in &ranks {
-            rank.register_all_reduce(coll_id as u64, count, DataType::F32, ReduceOp::Sum, gpu_ids(), 0)
-                .unwrap();
+            rank.register_all_reduce(
+                coll_id as u64,
+                count,
+                DataType::F32,
+                ReduceOp::Sum,
+                gpu_ids(),
+                0,
+            )
+            .unwrap();
         }
     }
     let mut joins = Vec::new();
@@ -75,7 +91,10 @@ fn dfccl_program(iterations: usize, with_sync: bool) {
                     }
                 }
                 for h in handles {
-                    assert!(h.wait_for_timeout(1, Duration::from_secs(120)), "all-reduce timed out");
+                    assert!(
+                        h.wait_for_timeout(1, Duration::from_secs(120)),
+                        "all-reduce timed out"
+                    );
                 }
             }
         }));
@@ -83,7 +102,10 @@ fn dfccl_program(iterations: usize, with_sync: bool) {
     for j in joins {
         j.join().unwrap();
     }
-    println!("  DFCCL: all {GPUS} GPUs completed {} all-reduces x {iterations} iterations, 0 deadlocks", SIZES.len());
+    println!(
+        "  DFCCL: all {GPUS} GPUs completed {} all-reduces x {iterations} iterations, 0 deadlocks",
+        SIZES.len()
+    );
     let stats = ranks[0].stats();
     println!(
         "  GPU0: preemptions/block = {:.0}, voluntary quits = {}, daemon starts = {}, context saves = {}",
@@ -136,7 +158,10 @@ fn nccl_program(with_sync: bool) {
                 let recv = DeviceBuffer::zeroed(count * 4);
                 // Single stream per GPU (the single-queue programming model).
                 let stream = StreamId(1);
-                local.push(rank.launch_collective(*coll_id, stream, send, recv).unwrap());
+                local.push(
+                    rank.launch_collective(*coll_id, stream, send, recv)
+                        .unwrap(),
+                );
                 if with_sync && k == SIZES.len() / 2 {
                     let _ = rank.device_synchronize_timeout(Duration::from_millis(500));
                 }
@@ -169,10 +194,16 @@ fn main() {
         nccl_program(false);
     }
     if program == 0 || program == 2 {
-        println!("\nProgram 2 — disordered launch orders with cudaDeviceSynchronize between collectives");
+        println!(
+            "\nProgram 2 — disordered launch orders with cudaDeviceSynchronize between collectives"
+        );
         dfccl_program(iterations, true);
         nccl_program(true);
     }
-    println!("\nPaper reference: DFCCL never deadlocks (≈18,000 preemptions per block in program 1,");
-    println!("≈360 voluntary quits per 200 iterations in program 2); NCCL deadlocks 100% of the time.");
+    println!(
+        "\nPaper reference: DFCCL never deadlocks (≈18,000 preemptions per block in program 1,"
+    );
+    println!(
+        "≈360 voluntary quits per 200 iterations in program 2); NCCL deadlocks 100% of the time."
+    );
 }

@@ -19,7 +19,9 @@ fn main() {
     let full = std::env::args().any(|a| a == "--full");
 
     println!("Table 1 — deadlock ratios from the Sec. 2.4 simulator");
-    println!("(paper values measured over 32,000 rounds; this run uses ~{base_rounds} rounds per row)\n");
+    println!(
+        "(paper values measured over 32,000 rounds; this run uses ~{base_rounds} rounds per row)\n"
+    );
     let widths = [58, 10, 12, 12];
     print_row(
         &[

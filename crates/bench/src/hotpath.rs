@@ -1,0 +1,276 @@
+//! Scheduling-throughput harness for the daemon hot path.
+//!
+//! Drives the full submission→execution→completion pipeline — invoker
+//! threads pushing SQEs, one daemon kernel per simulated GPU, batched CQ
+//! publication, the event-driven poller — over zero-cost links, so the
+//! measured rate is dominated by the *scheduling* machinery the paper's
+//! Sec. 5 engineers (and this repository's perf trajectory tracks).
+//!
+//! The same harness backs the `daemon_throughput` criterion benchmark and the
+//! `perf_hotpath` binary that emits `BENCH_hotpath.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dfccl::{CompletionHandle, CqVariant, DfcclConfig, DfcclDomain, DfcclError};
+use dfccl_collectives::{DataType, DeviceBuffer, ReduceOp};
+use dfccl_transport::{LinkModel, Topology};
+use gpu_sim::{GpuId, GpuSpec};
+
+/// Workload shape for one throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct HotpathWorkload {
+    /// Simulated GPUs (ranks).
+    pub gpus: usize,
+    /// Distinct registered collectives.
+    pub collectives: u64,
+    /// Invocations of each collective.
+    pub rounds: u64,
+    /// Elements per all-reduce (kept small so scheduling dominates).
+    pub count: usize,
+}
+
+impl HotpathWorkload {
+    /// The default shape: 16 collectives × 4 rounds of tiny all-reduces.
+    pub fn standard(gpus: usize) -> Self {
+        HotpathWorkload {
+            gpus,
+            collectives: 16,
+            rounds: 4,
+            count: 16,
+        }
+    }
+
+    /// Total collective operations completed per run (domain-wide).
+    pub fn total_collectives(&self) -> u64 {
+        self.collectives * self.rounds
+    }
+}
+
+/// Result of one throughput run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputResult {
+    /// Domain-wide collective operations completed per second.
+    pub collectives_per_sec: f64,
+    /// Wall-clock time of the submission→completion phase.
+    pub elapsed: Duration,
+    /// Collective operations completed (domain-wide).
+    pub completed: u64,
+}
+
+/// Factor applied to the modelled host-memory costs in the throughput
+/// benchmark (both arms identically, so every ratio between variants and
+/// between batched/unbatched cost components is preserved).
+///
+/// On the paper's hardware the host-memory operations *dominate* the daemon
+/// control path (a CQE write alone is 2–6.9 µs while the on-GPU bookkeeping
+/// is nanoseconds). In this reproduction the bookkeeping runs as ordinary
+/// CPU code — thread scheduling, context switches, a simulated device — and
+/// on the small shared machines that run CI it is inflated well past the
+/// modelled host costs, which would make the benchmark measure the
+/// simulator instead of the protocol. Scaling the modelled costs restores
+/// the paper's host-op-dominated regime.
+pub const HOST_COST_SCALE: f64 = 5.0;
+
+/// The benchmark configuration of the batched (current) hot path: default
+/// batching knobs over the optimized ring CQ with the paper-calibrated
+/// host-memory costs (scaled by [`HOST_COST_SCALE`], see there).
+///
+/// Two further knobs diverge from the production defaults so the measurement
+/// is meaningful on small shared machines (CI runs this on a single core):
+/// a small *fixed* spin threshold — the adaptive policy's 100 k–10 M polls
+/// busy-wait the core that the peer daemon needs, so the daemon must preempt
+/// and park quickly for ranks to interleave — and a short park quantum so a
+/// parked daemon re-checks connector progress promptly.
+pub fn batched_config() -> DfcclConfig {
+    use dfccl::{HostMemCosts, SpinPolicy};
+    DfcclConfig {
+        cq_variant: CqVariant::OptimizedRing,
+        host_costs: HostMemCosts::default().scaled(HOST_COST_SCALE),
+        spin: SpinPolicy::Fixed { threshold: 128 },
+        restart_backoff: Duration::from_micros(5),
+        connector_capacity: 64,
+        ..DfcclConfig::default()
+    }
+}
+
+/// The baseline arm: identical, but with SQ/CQ batching disabled (per-entry
+/// fetch and publication — the legacy hot path).
+pub fn unbatched_config() -> DfcclConfig {
+    batched_config().unbatched()
+}
+
+/// Run one scheduling-throughput measurement: every rank submits
+/// `collectives × rounds` tiny all-reduces (one invoker thread per rank) and
+/// the clock stops when the last completion callback has fired on every rank.
+pub fn scheduling_throughput(workload: HotpathWorkload, config: DfcclConfig) -> ThroughputResult {
+    assert!(workload.gpus >= 2, "an all-reduce needs at least two ranks");
+    let domain = DfcclDomain::new(
+        Topology::flat(workload.gpus),
+        LinkModel::zero_cost(),
+        GpuSpec::rtx_3090(),
+        config,
+    );
+    let devices: Vec<GpuId> = (0..workload.gpus).map(GpuId).collect();
+    let ranks: Vec<_> = devices
+        .iter()
+        .map(|&g| Arc::new(domain.init_rank(g).expect("rank init")))
+        .collect();
+    for rank in &ranks {
+        for c in 1..=workload.collectives {
+            rank.register_all_reduce(
+                c,
+                workload.count,
+                DataType::F32,
+                ReduceOp::Sum,
+                devices.clone(),
+                0,
+            )
+            .expect("register");
+        }
+    }
+
+    let per_rank = workload.total_collectives();
+    let start = Instant::now();
+    let mut invokers = Vec::new();
+    for (g, rank) in ranks.iter().enumerate() {
+        let rank = Arc::clone(rank);
+        let wl = workload;
+        invokers.push(std::thread::spawn(move || {
+            let handle = CompletionHandle::new();
+            let input = vec![(g + 1) as f32; wl.count];
+            for _ in 0..wl.rounds {
+                for c in 1..=wl.collectives {
+                    let send = DeviceBuffer::from_f32(&input);
+                    let recv = DeviceBuffer::zeroed(wl.count * 4);
+                    // Retry on a momentarily full SQ: the benchmark must
+                    // measure throughput, not fail on backpressure.
+                    loop {
+                        match rank.run(c, send.clone(), recv.clone(), handle.completion_callback())
+                        {
+                            Ok(()) => break,
+                            Err(DfcclError::SubmissionQueueFull) => std::thread::yield_now(),
+                            Err(e) => panic!("submission failed: {e}"),
+                        }
+                    }
+                }
+            }
+            assert!(
+                handle.wait_for_timeout(per_rank, Duration::from_secs(120)),
+                "rank {g} timed out: {}/{} completions",
+                handle.completions(),
+                per_rank,
+            );
+        }));
+    }
+    for j in invokers {
+        j.join().expect("invoker thread panicked");
+    }
+    let elapsed = start.elapsed();
+    for rank in &ranks {
+        assert!(
+            rank.collective_errors().is_empty(),
+            "collective errors during bench"
+        );
+        rank.destroy();
+    }
+    ThroughputResult {
+        collectives_per_sec: per_rank as f64 / elapsed.as_secs_f64(),
+        elapsed,
+        completed: per_rank,
+    }
+}
+
+/// Run `repeats` measurements and keep the best (max throughput): scheduling
+/// benchmarks are noise-sensitive on shared CI machines, and the best run is
+/// the one closest to the machine-limited rate.
+pub fn best_of(
+    repeats: usize,
+    workload: HotpathWorkload,
+    config: &DfcclConfig,
+) -> ThroughputResult {
+    assert!(repeats > 0);
+    (0..repeats)
+        .map(|_| scheduling_throughput(workload, config.clone()))
+        .max_by(|a, b| {
+            a.collectives_per_sec
+                .partial_cmp(&b.collectives_per_sec)
+                .expect("throughput is finite")
+        })
+        .expect("at least one repeat")
+}
+
+/// Mean modelled cost of a single unbatched CQE publication per CQ variant
+/// (the Fig. 7(c) comparison), in microseconds.
+pub fn cq_push_cost_us(variant: CqVariant, samples: u32) -> f64 {
+    let cq = dfccl::build_cq(variant, 64, dfccl::HostMemCosts::default());
+    let mut total = Duration::ZERO;
+    for i in 0..samples {
+        let start = Instant::now();
+        assert!(cq.push(dfccl::Cqe {
+            coll_id: (i % 1024) as u64
+        }));
+        total += start.elapsed();
+        cq.pop();
+    }
+    total.as_secs_f64() * 1e6 / samples as f64
+}
+
+/// Mean modelled cost per CQE of a batched publication (`push_n` with batches
+/// of `batch`) per CQ variant, in microseconds.
+pub fn cq_push_batched_cost_us(variant: CqVariant, batch: usize, samples: u32) -> f64 {
+    let cq = dfccl::build_cq(variant, batch.max(1) * 4, dfccl::HostMemCosts::default());
+    let entries: Vec<dfccl::Cqe> = (0..batch as u64)
+        .map(|i| dfccl::Cqe { coll_id: i })
+        .collect();
+    let mut total = Duration::ZERO;
+    let mut drain = Vec::with_capacity(batch);
+    for _ in 0..samples {
+        let start = Instant::now();
+        assert_eq!(cq.push_n(&entries), batch);
+        total += start.elapsed();
+        drain.clear();
+        cq.drain_into(&mut drain);
+    }
+    total.as_secs_f64() * 1e6 / (samples as usize * batch) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_harness_completes_a_tiny_workload() {
+        let wl = HotpathWorkload {
+            gpus: 2,
+            collectives: 3,
+            rounds: 2,
+            count: 8,
+        };
+        // Cost-free config keeps this unit test fast.
+        let result = scheduling_throughput(wl, DfcclConfig::for_testing());
+        assert_eq!(result.completed, 6);
+        assert!(result.collectives_per_sec > 0.0);
+    }
+
+    #[test]
+    fn unbatched_config_only_differs_in_batching() {
+        let b = batched_config();
+        let u = unbatched_config();
+        assert_eq!(b.cq_variant, u.cq_variant);
+        assert_eq!(u.sq_fetch_batch, 1);
+        assert_eq!(u.cq_write_batch, 1);
+        assert!(b.sq_fetch_batch > 1);
+    }
+
+    #[test]
+    fn cq_cost_probes_reproduce_fig7c_ordering() {
+        let vanilla = cq_push_cost_us(CqVariant::VanillaRing, 50);
+        let ring = cq_push_cost_us(CqVariant::OptimizedRing, 50);
+        let slot = cq_push_cost_us(CqVariant::OptimizedSlot, 50);
+        assert!(vanilla > ring && ring > slot, "{vanilla} / {ring} / {slot}");
+        // Batched ring publication beats its own unbatched cost.
+        let ring_batched = cq_push_batched_cost_us(CqVariant::OptimizedRing, 16, 20);
+        assert!(ring_batched < ring, "batched {ring_batched} vs {ring}");
+    }
+}

@@ -7,6 +7,8 @@
 
 use std::time::Duration;
 
+pub mod hotpath;
+
 /// Parse `--key value` style arguments from `std::env::args`, returning the
 /// value for `key` if present.
 pub fn arg_value(key: &str) -> Option<String> {
@@ -37,9 +39,9 @@ pub fn byte_sweep(from: usize, to: usize) -> Vec<usize> {
 
 /// Format a byte count the way nccl-tests does (512, 1K, 4M, ...).
 pub fn fmt_bytes(bytes: usize) -> String {
-    if bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0 {
+    if bytes >= 1024 * 1024 && bytes.is_multiple_of(1024 * 1024) {
         format!("{}M", bytes / (1024 * 1024))
-    } else if bytes >= 1024 && bytes % 1024 == 0 {
+    } else if bytes >= 1024 && bytes.is_multiple_of(1024) {
         format!("{}K", bytes / 1024)
     } else {
         format!("{bytes}")

@@ -264,18 +264,30 @@ mod tests {
     #[test]
     fn validate_catches_problems() {
         let mut d = CollectiveDescriptor::all_reduce(8, DataType::F32, ReduceOp::Sum, gpus(1));
-        assert!(matches!(d.validate(), Err(CollectiveError::DeviceSetTooSmall(1))));
+        assert!(matches!(
+            d.validate(),
+            Err(CollectiveError::DeviceSetTooSmall(1))
+        ));
         d.devices = gpus(4);
         d.count = 0;
-        assert!(matches!(d.validate(), Err(CollectiveError::EmptyCollective)));
+        assert!(matches!(
+            d.validate(),
+            Err(CollectiveError::EmptyCollective)
+        ));
         d.count = 8;
         d.op = None;
-        assert!(matches!(d.validate(), Err(CollectiveError::MissingReduceOp)));
+        assert!(matches!(
+            d.validate(),
+            Err(CollectiveError::MissingReduceOp)
+        ));
         d.op = Some(ReduceOp::Sum);
         assert!(d.validate().is_ok());
 
         let bad_root = CollectiveDescriptor::broadcast(8, DataType::F32, 9, gpus(4));
-        assert!(matches!(bad_root.validate(), Err(CollectiveError::InvalidRoot(Some(9)))));
+        assert!(matches!(
+            bad_root.validate(),
+            Err(CollectiveError::InvalidRoot(Some(9)))
+        ));
         let good_root = CollectiveDescriptor::reduce(8, DataType::F32, ReduceOp::Sum, 3, gpus(4));
         assert!(good_root.validate().is_ok());
     }

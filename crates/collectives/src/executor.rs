@@ -53,14 +53,23 @@ impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecError::PayloadSizeMismatch { expected, actual } => {
-                write!(f, "payload size mismatch: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "payload size mismatch: expected {expected} bytes, got {actual}"
+                )
             }
             ExecError::CollectiveMismatch { expected, actual } => {
-                write!(f, "chunk for collective {actual} arrived on connector of collective {expected}")
+                write!(
+                    f,
+                    "chunk for collective {actual} arrived on connector of collective {expected}"
+                )
             }
             ExecError::MissingReduceOp => write!(f, "reducing primitive without a reduce operator"),
             ExecError::ConnectorProtocolViolation => {
-                write!(f, "send connector full after readiness check (shared connector?)")
+                write!(
+                    f,
+                    "send connector full after readiness check (shared connector?)"
+                )
             }
             ExecError::Collective(e) => write!(f, "{e}"),
         }
@@ -262,7 +271,11 @@ mod tests {
 
     /// Run a collective across `n` ranks, one thread per rank, and return each
     /// rank's recv buffer as f32.
-    fn run_collective(desc: &CollectiveDescriptor, inputs: Vec<Vec<f32>>, chunk: usize) -> Vec<Vec<f32>> {
+    fn run_collective(
+        desc: &CollectiveDescriptor,
+        inputs: Vec<Vec<f32>>,
+        chunk: usize,
+    ) -> Vec<Vec<f32>> {
         let n = desc.num_ranks();
         let comm = make_comm(n);
         let mut joins = Vec::new();
@@ -321,7 +334,10 @@ mod tests {
             ReduceOp::Max,
             vec![GpuId(0), GpuId(1)],
         );
-        let inputs = vec![vec![1.0, 9.0, -3.0, 4.0, 0.0], vec![2.0, 8.0, -1.0, 4.5, -7.0]];
+        let inputs = vec![
+            vec![1.0, 9.0, -3.0, 4.0, 0.0],
+            vec![2.0, 8.0, -1.0, 4.5, -7.0],
+        ];
         let outputs = run_collective(&desc, inputs, 2);
         assert_eq!(outputs[0], vec![2.0, 9.0, -1.0, 4.5, 0.0]);
         assert_eq!(outputs[1], outputs[0]);
@@ -359,11 +375,7 @@ mod tests {
         let outputs = run_collective(&desc, inputs, 2);
         for (rank, out) in outputs.iter().enumerate() {
             let expected: Vec<f32> = (0..count)
-                .map(|i| {
-                    (0..n)
-                        .map(|r| (r + rank * count + i) as f32)
-                        .sum::<f32>()
-                })
+                .map(|i| (0..n).map(|r| (r + rank * count + i) as f32).sum::<f32>())
                 .collect();
             assert_eq!(out, &expected, "rank {rank}");
         }
@@ -396,8 +408,12 @@ mod tests {
         let n = 4;
         let count = 9;
         let root = 1;
-        let desc =
-            CollectiveDescriptor::broadcast(count, DataType::F32, root, (0..n).map(GpuId).collect());
+        let desc = CollectiveDescriptor::broadcast(
+            count,
+            DataType::F32,
+            root,
+            (0..n).map(GpuId).collect(),
+        );
         let inputs: Vec<Vec<f32>> = (0..n)
             .map(|r| {
                 (0..count)
@@ -485,9 +501,15 @@ mod tests {
         };
         let send = DeviceBuffer::zeroed(4);
         let recv = DeviceBuffer::zeroed(4);
-        let err = execute_ready_step(9, &recv_step, &ch1, DataType::F32, None, &send, &recv)
-            .unwrap_err();
-        assert!(matches!(err, ExecError::CollectiveMismatch { expected: 9, actual: 7 }));
+        let err =
+            execute_ready_step(9, &recv_step, &ch1, DataType::F32, None, &send, &recv).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::CollectiveMismatch {
+                expected: 9,
+                actual: 7
+            }
+        ));
     }
 
     #[test]
@@ -512,9 +534,15 @@ mod tests {
         };
         let send = DeviceBuffer::zeroed(4);
         let recv = DeviceBuffer::zeroed(4);
-        let err = execute_ready_step(1, &recv_step, &ch1, DataType::F32, None, &send, &recv)
-            .unwrap_err();
-        assert!(matches!(err, ExecError::PayloadSizeMismatch { expected: 4, actual: 8 }));
+        let err =
+            execute_ready_step(1, &recv_step, &ch1, DataType::F32, None, &send, &recv).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::PayloadSizeMismatch {
+                expected: 4,
+                actual: 8
+            }
+        ));
     }
 
     #[test]

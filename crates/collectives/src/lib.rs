@@ -31,7 +31,9 @@ pub use buffer::DeviceBuffer;
 pub use chunk::{chunk_ranges, slice_ranges, ElemRange};
 pub use collective::{CollectiveDescriptor, CollectiveKind};
 pub use datatype::DataType;
-pub use executor::{execute_ready_step, run_plan_blocking, step_ready, validate_buffers, ExecError, StepOutcome};
+pub use executor::{
+    execute_ready_step, run_plan_blocking, step_ready, validate_buffers, ExecError, StepOutcome,
+};
 pub use primitive::{PrimitiveKind, PrimitiveStep};
 pub use redop::ReduceOp;
 pub use ring::build_plan;
@@ -66,14 +68,23 @@ impl std::fmt::Display for CollectiveError {
             }
             CollectiveError::EmptyCollective => write!(f, "collective has zero elements"),
             CollectiveError::MissingReduceOp => {
-                write!(f, "reducing collective registered without a reduce operator")
+                write!(
+                    f,
+                    "reducing collective registered without a reduce operator"
+                )
             }
             CollectiveError::InvalidRoot(r) => write!(f, "invalid root rank: {r:?}"),
             CollectiveError::BufferSizeMismatch { expected, actual } => {
-                write!(f, "buffer size mismatch: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "buffer size mismatch: expected {expected} bytes, got {actual}"
+                )
             }
             CollectiveError::InvalidRank { rank, size } => {
-                write!(f, "rank {rank} out of range for collective over {size} devices")
+                write!(
+                    f,
+                    "rank {rank} out of range for collective over {size} devices"
+                )
             }
         }
     }
@@ -87,10 +98,18 @@ mod tests {
 
     #[test]
     fn error_messages_mention_the_problem() {
-        assert!(CollectiveError::DeviceSetTooSmall(1).to_string().contains("2 devices"));
-        assert!(CollectiveError::EmptyCollective.to_string().contains("zero"));
-        assert!(CollectiveError::MissingReduceOp.to_string().contains("reduce"));
-        assert!(CollectiveError::InvalidRoot(None).to_string().contains("root"));
+        assert!(CollectiveError::DeviceSetTooSmall(1)
+            .to_string()
+            .contains("2 devices"));
+        assert!(CollectiveError::EmptyCollective
+            .to_string()
+            .contains("zero"));
+        assert!(CollectiveError::MissingReduceOp
+            .to_string()
+            .contains("reduce"));
+        assert!(CollectiveError::InvalidRoot(None)
+            .to_string()
+            .contains("root"));
         assert!(CollectiveError::BufferSizeMismatch {
             expected: 4,
             actual: 2

@@ -128,7 +128,9 @@ mod tests {
         assert!(!Copy.has_send() && !Copy.has_recv() && Copy.has_copy());
         assert!(RecvCopySend.has_send() && RecvCopySend.has_recv() && RecvCopySend.has_copy());
         assert!(RecvReduceSend.has_reduce() && !RecvReduceSend.has_copy());
-        assert!(RecvReduceCopy.has_reduce() && RecvReduceCopy.has_copy() && !RecvReduceCopy.has_send());
+        assert!(
+            RecvReduceCopy.has_reduce() && RecvReduceCopy.has_copy() && !RecvReduceCopy.has_send()
+        );
         assert!(RecvReduceCopySend.has_send() && RecvReduceCopySend.has_copy());
     }
 

@@ -39,7 +39,10 @@ macro_rules! reduce_typed {
         let width = std::mem::size_of::<$ty>();
         debug_assert_eq!($acc.len() % width, 0);
         debug_assert_eq!($acc.len(), $incoming.len());
-        for (a, b) in $acc.chunks_exact_mut(width).zip($incoming.chunks_exact(width)) {
+        for (a, b) in $acc
+            .chunks_exact_mut(width)
+            .zip($incoming.chunks_exact(width))
+        {
             let x = <$ty>::from_le_bytes(a.try_into().expect("chunk width"));
             let y = <$ty>::from_le_bytes(b.try_into().expect("chunk width"));
             let r: $ty = match $op {
@@ -119,15 +122,30 @@ mod tests {
                 .collect()
         };
         let mut acc = to_bytes(&[2, -3, 7]);
-        reduce_into(&mut acc, &to_bytes(&[4, 5, -1]), DataType::I32, ReduceOp::Prod);
+        reduce_into(
+            &mut acc,
+            &to_bytes(&[4, 5, -1]),
+            DataType::I32,
+            ReduceOp::Prod,
+        );
         assert_eq!(from_bytes(&acc), vec![8, -15, -7]);
 
         let mut acc = to_bytes(&[2, -3, 7]);
-        reduce_into(&mut acc, &to_bytes(&[4, -5, -1]), DataType::I32, ReduceOp::Max);
+        reduce_into(
+            &mut acc,
+            &to_bytes(&[4, -5, -1]),
+            DataType::I32,
+            ReduceOp::Max,
+        );
         assert_eq!(from_bytes(&acc), vec![4, -3, 7]);
 
         let mut acc = to_bytes(&[2, -3, 7]);
-        reduce_into(&mut acc, &to_bytes(&[4, -5, -1]), DataType::I32, ReduceOp::Min);
+        reduce_into(
+            &mut acc,
+            &to_bytes(&[4, -5, -1]),
+            DataType::I32,
+            ReduceOp::Min,
+        );
         assert_eq!(from_bytes(&acc), vec![2, -5, -1]);
     }
 
@@ -138,12 +156,7 @@ mod tests {
         assert_eq!(acc, vec![11, 22, 33]);
 
         let mut acc: Vec<u8> = 5i64.to_le_bytes().to_vec();
-        reduce_into(
-            &mut acc,
-            &7i64.to_le_bytes(),
-            DataType::I64,
-            ReduceOp::Max,
-        );
+        reduce_into(&mut acc, &7i64.to_le_bytes(), DataType::I64, ReduceOp::Max);
         assert_eq!(i64::from_le_bytes(acc.try_into().unwrap()), 7);
 
         let mut acc: Vec<u8> = 2.5f64.to_le_bytes().to_vec();

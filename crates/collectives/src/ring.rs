@@ -37,7 +37,7 @@ pub fn build_plan(
         return Err(CollectiveError::InvalidRank { rank, size: n });
     }
     assert!(max_chunk_elems > 0, "chunk size must be positive");
-    Ok(match desc.kind {
+    let mut plan = match desc.kind {
         CollectiveKind::AllReduce => all_reduce_plan(desc.count, n, rank, max_chunk_elems),
         CollectiveKind::AllGather => all_gather_plan(desc.count, n, rank, max_chunk_elems),
         CollectiveKind::ReduceScatter => reduce_scatter_plan(desc.count, n, rank, max_chunk_elems),
@@ -55,7 +55,20 @@ pub fn build_plan(
             desc.root.expect("validated root"),
             max_chunk_elems,
         ),
-    })
+    };
+    // Chunk-major pipelining (the NCCL loop structure): interleave the macro
+    // steps so chunk `c` flows through the whole ring pipeline before chunk
+    // `c+1` starts. The step-major order the builders emit (all chunks of a
+    // macro step, then the next step) deadlocks once a macro step has more
+    // chunks than a connector has slots: every rank fills its send ring and
+    // blocks before reaching the step that would drain its peer. Pairing is
+    // preserved — a step-`s` send on rank `r` is consumed by the step-`s+1`
+    // primitive on rank `r+1` over the *same* slice (hence the same chunk
+    // ranges), and the uniform `s → s+1` shift keeps both sides' sorted
+    // `(chunk, step)` orders aligned — so the in-flight window per connector
+    // drops to O(1) chunks regardless of the collective size.
+    plan.sort_by_key(|p| (p.chunk_index, p.step));
+    Ok(plan)
 }
 
 fn push_chunked(
@@ -68,7 +81,10 @@ fn push_chunked(
 ) {
     // `src` and `dst`, when both present, are ranges of equal length that are
     // chunked in lockstep.
-    let total = src_base.map(|r| r.len).or(dst_base.map(|r| r.len)).unwrap_or(0);
+    let total = src_base
+        .map(|r| r.len)
+        .or(dst_base.map(|r| r.len))
+        .unwrap_or(0);
     for (ci, chunk) in chunk_ranges(total, max_chunk).into_iter().enumerate() {
         let src = src_base.map(|r| ElemRange::new(r.offset + chunk.offset, chunk.len));
         let dst = dst_base.map(|r| ElemRange::new(r.offset + chunk.offset, chunk.len));
@@ -138,7 +154,14 @@ fn all_reduce_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Vec
         step += 1;
     }
     let last = slice(rank + 2);
-    push_chunked(&mut plan, PrimitiveKind::Recv, None, Some(last), step, max_chunk);
+    push_chunked(
+        &mut plan,
+        PrimitiveKind::Recv,
+        None,
+        Some(last),
+        step,
+        max_chunk,
+    );
     plan
 }
 
@@ -160,7 +183,14 @@ fn all_gather_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Vec
     );
     step += 1;
     // Send the contribution around the ring.
-    push_chunked(&mut plan, PrimitiveKind::Send, Some(own), None, step, max_chunk);
+    push_chunked(
+        &mut plan,
+        PrimitiveKind::Send,
+        Some(own),
+        None,
+        step,
+        max_chunk,
+    );
     step += 1;
     for k in 1..n - 1 {
         let b = block(rank + n - k);
@@ -175,12 +205,24 @@ fn all_gather_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Vec
         step += 1;
     }
     let last = block(rank + 1);
-    push_chunked(&mut plan, PrimitiveKind::Recv, None, Some(last), step, max_chunk);
+    push_chunked(
+        &mut plan,
+        PrimitiveKind::Recv,
+        None,
+        Some(last),
+        step,
+        max_chunk,
+    );
     plan
 }
 
 /// Ring reduce-scatter: `n * count` input elements per rank, `count` output.
-fn reduce_scatter_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Vec<PrimitiveStep> {
+fn reduce_scatter_plan(
+    count: usize,
+    n: usize,
+    rank: usize,
+    max_chunk: usize,
+) -> Vec<PrimitiveStep> {
     let slice = |idx: usize| ElemRange::new((idx % n) * count, count);
     let out = ElemRange::new(0, count);
     let mut plan = Vec::new();
@@ -219,13 +261,26 @@ fn reduce_scatter_plan(count: usize, n: usize, rank: usize, max_chunk: usize) ->
 }
 
 /// Ring reduce: the reduction flows along the ring and ends at the root.
-fn reduce_plan(count: usize, n: usize, rank: usize, root: usize, max_chunk: usize) -> Vec<PrimitiveStep> {
+fn reduce_plan(
+    count: usize,
+    n: usize,
+    rank: usize,
+    root: usize,
+    max_chunk: usize,
+) -> Vec<PrimitiveStep> {
     let whole = ElemRange::new(0, count);
     // Position in the chain that starts just after the root and ends at the root.
     let pos = (rank + n - root - 1) % n;
     let mut plan = Vec::new();
     if pos == 0 {
-        push_chunked(&mut plan, PrimitiveKind::Send, Some(whole), None, 0, max_chunk);
+        push_chunked(
+            &mut plan,
+            PrimitiveKind::Send,
+            Some(whole),
+            None,
+            0,
+            max_chunk,
+        );
     } else if pos < n - 1 {
         push_chunked(
             &mut plan,
@@ -250,15 +305,35 @@ fn reduce_plan(count: usize, n: usize, rank: usize, root: usize, max_chunk: usiz
 }
 
 /// Ring broadcast: data flows from the root around the ring.
-fn broadcast_plan(count: usize, n: usize, rank: usize, root: usize, max_chunk: usize) -> Vec<PrimitiveStep> {
+fn broadcast_plan(
+    count: usize,
+    n: usize,
+    rank: usize,
+    root: usize,
+    max_chunk: usize,
+) -> Vec<PrimitiveStep> {
     let whole = ElemRange::new(0, count);
     // Position in the chain that starts at the root.
     let pos = (rank + n - root) % n;
     let mut plan = Vec::new();
     if pos == 0 {
         // Root: make its own output available locally, then send.
-        push_chunked(&mut plan, PrimitiveKind::Copy, Some(whole), Some(whole), 0, max_chunk);
-        push_chunked(&mut plan, PrimitiveKind::Send, Some(whole), None, 1, max_chunk);
+        push_chunked(
+            &mut plan,
+            PrimitiveKind::Copy,
+            Some(whole),
+            Some(whole),
+            0,
+            max_chunk,
+        );
+        push_chunked(
+            &mut plan,
+            PrimitiveKind::Send,
+            Some(whole),
+            None,
+            1,
+            max_chunk,
+        );
     } else if pos < n - 1 {
         push_chunked(
             &mut plan,
@@ -269,7 +344,14 @@ fn broadcast_plan(count: usize, n: usize, rank: usize, root: usize, max_chunk: u
             max_chunk,
         );
     } else {
-        push_chunked(&mut plan, PrimitiveKind::Recv, None, Some(whole), pos as u32, max_chunk);
+        push_chunked(
+            &mut plan,
+            PrimitiveKind::Recv,
+            None,
+            Some(whole),
+            pos as u32,
+            max_chunk,
+        );
     }
     plan
 }
@@ -324,6 +406,36 @@ mod tests {
         assert!(plan.iter().all(|p| p.elems() <= 100));
         // Chunk indices restart at each macro step.
         assert_eq!(plan.iter().filter(|p| p.chunk_index == 0).count(), 7);
+    }
+
+    #[test]
+    fn plans_are_chunk_major_pipelined() {
+        // Regression test for the connector-capacity deadlock: plans must be
+        // ordered chunk-major (chunk c flows through every macro step before
+        // chunk c+1 starts), so the number of in-flight chunks per connector
+        // stays O(1) instead of O(chunks per macro step). Step-major plans
+        // wedge as soon as a macro step has more chunks than the connector
+        // has slots: every rank fills its send ring before reaching the step
+        // that would drain its peer's.
+        for kind_desc in [
+            CollectiveDescriptor::all_reduce(4000, DataType::F32, ReduceOp::Sum, gpus(4)),
+            CollectiveDescriptor::all_gather(4000, DataType::F32, gpus(4)),
+            CollectiveDescriptor::reduce_scatter(4000, DataType::F32, ReduceOp::Sum, gpus(4)),
+            CollectiveDescriptor::reduce(4000, DataType::F32, ReduceOp::Sum, 1, gpus(4)),
+            CollectiveDescriptor::broadcast(4000, DataType::F32, 1, gpus(4)),
+        ] {
+            for rank in 0..4 {
+                let plan = build_plan(&kind_desc, rank, 100).unwrap();
+                let order: Vec<(u32, u32)> = plan.iter().map(|p| (p.chunk_index, p.step)).collect();
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                assert_eq!(
+                    order, sorted,
+                    "{:?} rank {rank} plan is not chunk-major",
+                    kind_desc.kind
+                );
+            }
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ use parking_lot::Mutex;
 
 use crate::callback::{Callback, CallbackMap, CompletionHandle};
 use crate::config::DfcclConfig;
-use crate::cq::{build_cq, CompletionQueue};
+use crate::cq::{build_cq, CqKind};
 use crate::daemon::{run_poller, DaemonController, DaemonShared, RegisteredCollective};
 use crate::sq::{Sqe, SubmissionQueue};
 use crate::stats::{CollectiveStats, DaemonStatsSnapshot};
@@ -65,7 +65,10 @@ impl std::fmt::Display for DfcclError {
                 write!(f, "{gpu} is not in the device set of collective {coll_id}")
             }
             DfcclError::DeviceSetMismatch(id) => {
-                write!(f, "collective {id} was registered with a different device set elsewhere")
+                write!(
+                    f,
+                    "collective {id} was registered with a different device set elsewhere"
+                )
             }
             DfcclError::SubmissionQueueFull => write!(f, "submission queue is full"),
             DfcclError::Destroyed => write!(f, "rank context has been destroyed"),
@@ -190,8 +193,12 @@ impl DfcclDomain {
     pub fn init_rank(self: &Arc<Self>, gpu: GpuId) -> Result<RankCtx, DfcclError> {
         let device = self.device(gpu).ok_or(DfcclError::UnknownGpu(gpu))?;
         let config = self.config.clone();
-        let sq = Arc::new(SubmissionQueue::new(config.sq_capacity, 1));
-        let cq: Arc<dyn CompletionQueue> = Arc::from(build_cq(
+        let sq = Arc::new(SubmissionQueue::with_costs(
+            config.sq_capacity,
+            1,
+            config.host_costs,
+        ));
+        let cq: Arc<CqKind> = Arc::new(build_cq(
             config.cq_variant,
             config.cq_capacity,
             config.host_costs,
@@ -210,7 +217,7 @@ impl DfcclDomain {
         // shared bookkeeping — 11 KB in the paper).
         let context_buffer = device
             .alloc_global(
-                config.context_buffer_per_block as usize * config.daemon_blocks as usize + 11 * 1024,
+                config.context_buffer_per_block * config.daemon_blocks as usize + 11 * 1024,
             )
             .ok();
         let controller = DaemonController::new(Arc::clone(&shared));
@@ -290,14 +297,12 @@ impl RankCtx {
         if self.shared.registered.read().contains_key(&coll_id) {
             return Err(DfcclError::AlreadyRegistered(coll_id));
         }
-        let rank = desc
-            .devices
-            .iter()
-            .position(|&d| d == self.gpu)
-            .ok_or(DfcclError::RankNotInDeviceSet {
+        let rank = desc.devices.iter().position(|&d| d == self.gpu).ok_or(
+            DfcclError::RankNotInDeviceSet {
                 gpu: self.gpu,
                 coll_id,
-            })?;
+            },
+        )?;
         let communicator = self.domain.communicator_for(coll_id, &desc.devices)?;
         let channels = communicator.rank_channels(rank)?;
         let plan = build_plan(&desc, rank, self.domain.config.chunk_elems)?;
@@ -310,6 +315,8 @@ impl RankCtx {
             plan,
         });
         self.shared.registered.write().insert(coll_id, reg);
+        // Invalidate the daemon's lock-free registry cache.
+        self.shared.bump_registry_generation();
         Ok(())
     }
 
@@ -361,6 +368,7 @@ impl RankCtx {
     }
 
     /// Register a rooted reduce.
+    #[allow(clippy::too_many_arguments)]
     pub fn register_reduce(
         &self,
         coll_id: u64,
@@ -514,6 +522,8 @@ impl RankCtx {
         // Let the daemon drain outstanding work and read the exiting SQE.
         let _ = self.controller.wait_idle(Duration::from_secs(30));
         self.poller_stop.store(true, Ordering::Release);
+        // Wake a parked poller so it observes the stop flag immediately.
+        self.shared.notify_poller();
         if let Some(p) = self.poller.lock().take() {
             let _ = p.join();
         }
@@ -593,7 +603,14 @@ mod tests {
             Err(DfcclError::AlreadyRegistered(1))
         ));
         assert!(matches!(
-            ctx.register_all_reduce(2, 16, DataType::F32, ReduceOp::Sum, vec![GpuId(1), GpuId(2)], 0),
+            ctx.register_all_reduce(
+                2,
+                16,
+                DataType::F32,
+                ReduceOp::Sum,
+                vec![GpuId(1), GpuId(2)],
+                0
+            ),
             Err(DfcclError::RankNotInDeviceSet { .. })
         ));
         ctx.destroy();
@@ -607,7 +624,14 @@ mod tests {
         ctx0.register_all_reduce(7, 8, DataType::F32, ReduceOp::Sum, gpus(4), 0)
             .unwrap();
         let err = ctx1
-            .register_all_reduce(7, 8, DataType::F32, ReduceOp::Sum, vec![GpuId(1), GpuId(0)], 0)
+            .register_all_reduce(
+                7,
+                8,
+                DataType::F32,
+                ReduceOp::Sum,
+                vec![GpuId(1), GpuId(0)],
+                0,
+            )
             .unwrap_err();
         assert_eq!(err, DfcclError::DeviceSetMismatch(7));
         ctx0.destroy();
@@ -629,7 +653,9 @@ mod tests {
         let tiny = DeviceBuffer::zeroed(4);
         assert!(matches!(
             ctx.run_awaitable(5, send, tiny),
-            Err(DfcclError::Collective(CollectiveError::BufferSizeMismatch { .. }))
+            Err(DfcclError::Collective(
+                CollectiveError::BufferSizeMismatch { .. }
+            ))
         ));
         ctx.destroy();
     }
@@ -654,7 +680,10 @@ mod tests {
             handles.push(ctx.run_awaitable(1, send, recv).unwrap());
         }
         for h in &handles {
-            assert!(h.wait_for_timeout(1, Duration::from_secs(20)), "all-reduce timed out");
+            assert!(
+                h.wait_for_timeout(1, Duration::from_secs(20)),
+                "all-reduce timed out"
+            );
         }
         for recv in &recvs {
             assert_eq!(recv.to_f32_vec(), vec![3.0f32; count]);
@@ -664,6 +693,157 @@ mod tests {
             assert_eq!(ctx.outstanding(), 0);
         }
         for ctx in ranks {
+            ctx.destroy();
+        }
+    }
+
+    #[test]
+    fn two_rank_all_reduce_with_unbatched_config() {
+        // The legacy per-entry SQ/CQ path (batch sizes forced to 1) must stay
+        // a correct configuration: it is the baseline arm of the
+        // scheduling-throughput benchmarks.
+        use dfccl_transport::{LinkModel, Topology};
+        use gpu_sim::GpuSpec;
+        let domain = DfcclDomain::new(
+            Topology::flat(2),
+            LinkModel::zero_cost(),
+            GpuSpec::rtx_3090(),
+            DfcclConfig::for_testing().unbatched(),
+        );
+        let count = 32;
+        let ranks: Vec<_> = (0..2)
+            .map(|g| domain.init_rank(GpuId(g)).unwrap())
+            .collect();
+        for ctx in &ranks {
+            ctx.register_all_reduce(1, count, DataType::F32, ReduceOp::Sum, gpus(2), 0)
+                .unwrap();
+        }
+        let mut handles = Vec::new();
+        let mut recvs = Vec::new();
+        for (g, ctx) in ranks.iter().enumerate() {
+            let send = DeviceBuffer::from_f32(&vec![(g + 1) as f32; count]);
+            let recv = DeviceBuffer::zeroed(count * 4);
+            recvs.push(recv.clone());
+            handles.push(ctx.run_awaitable(1, send, recv).unwrap());
+        }
+        for h in &handles {
+            assert!(
+                h.wait_for_timeout(1, Duration::from_secs(20)),
+                "unbatched all-reduce timed out"
+            );
+        }
+        for recv in &recvs {
+            assert_eq!(recv.to_f32_vec(), vec![3.0f32; count]);
+        }
+        for ctx in ranks {
+            ctx.destroy();
+        }
+    }
+
+    #[test]
+    fn collective_with_many_more_chunks_than_connector_slots_completes() {
+        // Regression test for the flow-control deadlock: with step-major
+        // plans, a collective whose per-slice chunk count exceeds the
+        // connector capacity wedged permanently (both ranks filled their send
+        // rings before reaching the step that drains the peer's). Chunk-major
+        // plans keep the in-flight window O(1), so 32 chunks over 2-slot
+        // connectors must complete.
+        use dfccl_transport::{LinkModel, Topology};
+        use gpu_sim::GpuSpec;
+        let config = DfcclConfig {
+            chunk_elems: 4,
+            connector_capacity: 2,
+            ..DfcclConfig::for_testing()
+        };
+        let domain = DfcclDomain::new(
+            Topology::flat(2),
+            LinkModel::zero_cost(),
+            GpuSpec::rtx_3090(),
+            config,
+        );
+        let count = 256; // 128 elems per slice = 32 chunks of 4, capacity 2.
+        let ranks: Vec<_> = (0..2)
+            .map(|g| domain.init_rank(GpuId(g)).unwrap())
+            .collect();
+        for ctx in &ranks {
+            ctx.register_all_reduce(1, count, DataType::F32, ReduceOp::Sum, gpus(2), 0)
+                .unwrap();
+        }
+        let mut handles = Vec::new();
+        let mut recvs = Vec::new();
+        for (g, ctx) in ranks.iter().enumerate() {
+            let send = DeviceBuffer::from_f32(&vec![(g + 1) as f32; count]);
+            let recv = DeviceBuffer::zeroed(count * 4);
+            recvs.push(recv.clone());
+            handles.push(ctx.run_awaitable(1, send, recv).unwrap());
+        }
+        for h in &handles {
+            assert!(
+                h.wait_for_timeout(1, Duration::from_secs(30)),
+                "deep-chunked all-reduce wedged on tiny connectors"
+            );
+        }
+        for recv in &recvs {
+            assert_eq!(recv.to_f32_vec(), vec![3.0f32; count]);
+        }
+        for ctx in ranks {
+            ctx.destroy();
+        }
+    }
+
+    #[test]
+    fn collective_registered_after_first_runs_is_usable() {
+        // Runtime registration must invalidate the daemon's registry cache:
+        // a collective registered *after* the daemon has been scheduling for
+        // a while still executes correctly.
+        let domain = DfcclDomain::flat_for_testing(2);
+        let count = 16;
+        let ranks: Vec<_> = (0..2)
+            .map(|g| domain.init_rank(GpuId(g)).unwrap())
+            .collect();
+        for ctx in &ranks {
+            ctx.register_all_reduce(1, count, DataType::F32, ReduceOp::Sum, gpus(2), 0)
+                .unwrap();
+        }
+        // Warm the daemons (and their caches) with the first collective.
+        let warm: Vec<_> = ranks
+            .iter()
+            .map(|ctx| {
+                ctx.run_awaitable(
+                    1,
+                    DeviceBuffer::from_f32(&vec![1.0; count]),
+                    DeviceBuffer::zeroed(count * 4),
+                )
+                .unwrap()
+            })
+            .collect();
+        for h in &warm {
+            assert!(h.wait_for_timeout(1, Duration::from_secs(20)));
+        }
+        // Register a second collective at runtime and use it immediately.
+        for ctx in &ranks {
+            ctx.register_all_reduce(2, count, DataType::F32, ReduceOp::Sum, gpus(2), 0)
+                .unwrap();
+        }
+        let mut handles = Vec::new();
+        let mut recvs = Vec::new();
+        for (g, ctx) in ranks.iter().enumerate() {
+            let send = DeviceBuffer::from_f32(&vec![(g + 2) as f32; count]);
+            let recv = DeviceBuffer::zeroed(count * 4);
+            recvs.push(recv.clone());
+            handles.push(ctx.run_awaitable(2, send, recv).unwrap());
+        }
+        for h in &handles {
+            assert!(
+                h.wait_for_timeout(1, Duration::from_secs(20)),
+                "late-registered collective hung"
+            );
+        }
+        for recv in &recvs {
+            assert_eq!(recv.to_f32_vec(), vec![5.0f32; count]);
+        }
+        for ctx in &ranks {
+            assert!(ctx.collective_errors().is_empty());
             ctx.destroy();
         }
     }
@@ -706,7 +886,11 @@ mod tests {
         )
         .unwrap();
         let h1 = ctx1
-            .run_awaitable(3, DeviceBuffer::from_f32(&[2.0; 16]), DeviceBuffer::zeroed(64))
+            .run_awaitable(
+                3,
+                DeviceBuffer::from_f32(&[2.0; 16]),
+                DeviceBuffer::zeroed(64),
+            )
             .unwrap();
         handle.wait_for(1);
         h1.wait_for(1);
@@ -721,8 +905,7 @@ mod tests {
         let ctx = domain.init_rank(GpuId(0)).unwrap();
         let usage = ctx.memory_usage();
         let config = domain.config();
-        let expected =
-            config.context_buffer_per_block as usize * config.daemon_blocks as usize + 11 * 1024;
+        let expected = config.context_buffer_per_block * config.daemon_blocks as usize + 11 * 1024;
         assert_eq!(usage.global_allocated, expected);
         ctx.destroy();
     }

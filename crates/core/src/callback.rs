@@ -129,7 +129,12 @@ mod tests {
         let map = CallbackMap::new();
         let hits = Arc::new(AtomicUsize::new(0));
         let h = Arc::clone(&hits);
-        map.bind(1, Box::new(move || { h.fetch_add(1, Ordering::SeqCst); }));
+        map.bind(
+            1,
+            Box::new(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
         assert!(map.take(2).is_none());
         (map.take(1).unwrap())();
         assert_eq!(hits.load(Ordering::SeqCst), 1);

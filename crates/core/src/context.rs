@@ -160,11 +160,7 @@ impl ContextStore {
 
     /// Total pending invocations across all collectives.
     pub fn total_pending(&self) -> usize {
-        self.per_coll
-            .lock()
-            .values()
-            .map(|e| e.pending.len())
-            .sum()
+        self.per_coll.lock().values().map(|e| e.pending.len()).sum()
     }
 }
 

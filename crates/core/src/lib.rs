@@ -55,6 +55,7 @@ pub mod config;
 pub mod context;
 pub mod cq;
 pub mod daemon;
+pub mod park;
 pub mod sq;
 pub mod stats;
 pub mod task_queue;
@@ -65,8 +66,9 @@ pub use api::{
 };
 pub use callback::{Callback, CallbackMap, CompletionHandle};
 pub use config::{CqVariant, DfcclConfig, HostMemCosts, OrderingPolicy, SpinPolicy};
-pub use cq::{build_cq, CompletionQueue, Cqe};
+pub use cq::{build_cq, CompletionQueue, CqKind, Cqe};
 pub use daemon::{DaemonController, DaemonShared, RegisteredCollective};
+pub use park::Parker;
 pub use sq::{Sqe, SubmissionQueue};
 pub use stats::{CollectiveStats, DaemonStats, DaemonStatsSnapshot};
 pub use task_queue::{TaskEntry, TaskQueue};

@@ -1,0 +1,137 @@
+//! The wake-up parker: the primitive behind DFCCL's event-driven control
+//! path.
+//!
+//! The daemon kernel and the CPU-side poller used to discover new work by
+//! sleep-polling (a 200 µs quantum in `wait_idle`, a fixed `restart_backoff`
+//! sleep in the poller). A [`Parker`] replaces those sleeps with an
+//! edge-triggered signal:
+//!
+//! * Producers call [`Parker::signal`] after making work visible (an SQE
+//!   pushed, a CQE batch published, an exit requested). Signalling is one
+//!   relaxed-cost atomic increment on the hot path; the mutex + condvar are
+//!   only touched when a consumer is actually parked.
+//! * The consumer samples [`Parker::generation`] *before* scanning for work
+//!   and parks with [`Parker::park_if_unchanged`] only if no signal arrived
+//!   since the sample. A signal that raced the scan makes the park return
+//!   immediately, so wake-ups are never lost.
+//!
+//! Every park takes a timeout, so even an unexpected protocol hole degrades
+//! to the old bounded polling rather than a hang.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// An edge-triggered wake-up signal with a lost-wakeup-free park protocol.
+#[derive(Default)]
+pub struct Parker {
+    generation: AtomicU64,
+    parked: AtomicBool,
+    mutex: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Parker {
+    /// Create a parker with no signals recorded.
+    pub fn new() -> Self {
+        Parker::default()
+    }
+
+    /// Current signal generation. Sample this *before* scanning for work.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Record a signal and wake the consumer if it is parked.
+    ///
+    /// The generation bump is ordered before the `parked` check: either the
+    /// consumer observes the new generation in its pre-park re-check, or it
+    /// is already parked and the (mutex-serialized) notification reaches it.
+    pub fn signal(&self) {
+        // SeqCst on the bump *and* the parked check pairs with the SeqCst
+        // store/load in `park_if_unchanged`: without it, StoreLoad reordering
+        // (the consumer's parked-store sitting in its store buffer past its
+        // generation re-check) lets both sides read stale values and drop the
+        // wake-up — the same discipline as `std::thread::park`.
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        if self.parked.load(Ordering::SeqCst) {
+            let _guard = self.mutex.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Park for up to `timeout` unless a signal arrived after `seen` was
+    /// sampled. Returns `true` if the park timed out (no signal).
+    pub fn park_if_unchanged(&self, seen: u64, timeout: Duration) -> bool {
+        let mut guard = self.mutex.lock();
+        self.parked.store(true, Ordering::SeqCst);
+        // Re-check under the lock: a signal between the caller's work scan
+        // and this point must not be slept through. SeqCst (paired with
+        // `signal`) makes the parked-store globally visible before this load.
+        let timed_out = if self.generation.load(Ordering::SeqCst) != seen {
+            false
+        } else {
+            self.cv.wait_for(&mut guard, timeout).timed_out()
+        };
+        self.parked.store(false, Ordering::Release);
+        timed_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn signal_before_park_prevents_sleeping() {
+        let p = Parker::new();
+        let seen = p.generation();
+        p.signal();
+        let start = Instant::now();
+        let timed_out = p.park_if_unchanged(seen, Duration::from_secs(5));
+        assert!(!timed_out);
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "must not actually park"
+        );
+    }
+
+    #[test]
+    fn park_times_out_without_signal() {
+        let p = Parker::new();
+        let seen = p.generation();
+        assert!(p.park_if_unchanged(seen, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn signal_wakes_a_parked_thread_promptly() {
+        let p = Arc::new(Parker::new());
+        let p2 = Arc::clone(&p);
+        let seen = p.generation();
+        let t = std::thread::spawn(move || {
+            let start = Instant::now();
+            let timed_out = p2.park_if_unchanged(seen, Duration::from_secs(10));
+            (timed_out, start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        p.signal();
+        let (timed_out, waited) = t.join().unwrap();
+        assert!(
+            !timed_out,
+            "wake-up must come from the signal, not the timeout"
+        );
+        assert!(waited < Duration::from_secs(5), "waited {waited:?}");
+    }
+
+    #[test]
+    fn generation_advances_per_signal() {
+        let p = Parker::new();
+        let g0 = p.generation();
+        p.signal();
+        p.signal();
+        assert_eq!(p.generation(), g0 + 2);
+    }
+}

@@ -13,6 +13,8 @@ use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use dfccl_collectives::DeviceBuffer;
 use parking_lot::Mutex;
 
+use crate::config::{charge, HostMemCosts};
+
 /// One submission-queue entry: "run collective `coll_id` on these buffers".
 #[derive(Debug, Clone)]
 pub struct Sqe {
@@ -81,11 +83,24 @@ pub struct SubmissionQueue {
     head: AtomicU64,
     consumer_count: u32,
     inserted: AtomicU64,
+    /// Modelled cost of the daemon's host-memory reads (the SQ lives in
+    /// page-locked host memory; the daemon kernel reads it over PCIe).
+    costs: HostMemCosts,
 }
 
 impl SubmissionQueue {
-    /// Create a queue with `capacity` slots read by `consumer_count` consumers.
+    /// Create a queue with `capacity` slots read by `consumer_count` consumers
+    /// and no modelled read costs (logic-only use and tests).
     pub fn new(capacity: usize, consumer_count: u32) -> Self {
+        Self::with_costs(capacity, consumer_count, HostMemCosts::free())
+    }
+
+    /// Create a queue that charges the modelled host-memory read costs: an
+    /// unbatched [`SubmissionQueue::read_next`] pays three read operations
+    /// (head check, slot state, payload); a batched
+    /// [`SubmissionQueue::fetch_batch`] pays the head check once per batch
+    /// and two operations per entry.
+    pub fn with_costs(capacity: usize, consumer_count: u32, costs: HostMemCosts) -> Self {
         assert!(capacity > 0, "SQ capacity must be positive");
         assert!(consumer_count > 0, "SQ needs at least one consumer");
         SubmissionQueue {
@@ -93,6 +108,7 @@ impl SubmissionQueue {
             head: AtomicU64::new(0),
             consumer_count,
             inserted: AtomicU64::new(0),
+            costs,
         }
     }
 
@@ -153,7 +169,52 @@ impl SubmissionQueue {
             *slot.data.lock() = None;
             slot.state.store(SLOT_EMPTY, Ordering::Release);
         }
+        charge(3.0 * self.costs.sq_read_op_ns);
         Some(sqe)
+    }
+
+    /// Read up to `max` SQEs for the consumer owning `cursor` in one protocol
+    /// round, appending them to `out`. Returns how many were read.
+    ///
+    /// The batched fetch reads the producer head **once** and then walks the
+    /// published slots, so a daemon pass over a burst of submissions pays one
+    /// head load (and, in the daemon, one cursor-lock acquisition) instead of
+    /// one per SQE. Entry semantics are identical to repeated
+    /// [`SubmissionQueue::read_next`] calls: every consumer sees every SQE
+    /// exactly once, in insertion order.
+    pub fn fetch_batch(&self, cursor: &mut SqCursor, max: usize, out: &mut Vec<Sqe>) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let head = self.head.load(Ordering::Acquire);
+        let mut read = 0usize;
+        while read < max && cursor.next < head {
+            let pos = cursor.next;
+            let slot = &self.slots[(pos % self.slots.len() as u64) as usize];
+            if slot.state.load(Ordering::Acquire) != SLOT_FULL
+                || slot.write_seq.load(Ordering::Relaxed) != pos
+            {
+                // The slot for this position is not (or no longer) published;
+                // stop the batch and let the caller retry later.
+                break;
+            }
+            let Some(sqe) = slot.data.lock().clone() else {
+                break;
+            };
+            cursor.next = pos + 1;
+            let readers = slot.readers.fetch_add(1, Ordering::AcqRel) + 1;
+            if readers == self.consumer_count {
+                *slot.data.lock() = None;
+                slot.state.store(SLOT_EMPTY, Ordering::Release);
+            }
+            out.push(sqe);
+            read += 1;
+        }
+        if read > 0 {
+            // One head check for the whole batch, two reads per entry.
+            charge((1.0 + 2.0 * read as f64) * self.costs.sq_read_op_ns);
+        }
+        read
     }
 
     /// Whether any SQE is pending for a consumer at `cursor`.
@@ -261,6 +322,58 @@ mod tests {
         for r in readers {
             assert_eq!(r.join().unwrap(), expected);
         }
+    }
+
+    #[test]
+    fn fetch_batch_matches_repeated_read_next() {
+        let sq = SubmissionQueue::new(16, 1);
+        for i in 0..10 {
+            sq.try_push(sqe(i)).unwrap();
+        }
+        let mut batched = SqCursor::default();
+        let mut out = Vec::new();
+        assert_eq!(sq.fetch_batch(&mut batched, 4, &mut out), 4);
+        assert_eq!(sq.fetch_batch(&mut batched, 100, &mut out), 6);
+        assert_eq!(sq.fetch_batch(&mut batched, 100, &mut out), 0);
+        let ids: Vec<u64> = out.iter().map(|e| e.coll_id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u64>>());
+        // Slots were recycled: the ring accepts a fresh lap.
+        for i in 10..20 {
+            sq.try_push(sqe(i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn fetch_batch_interoperates_with_multiple_consumers() {
+        let sq = SubmissionQueue::new(4, 2);
+        for i in 0..3 {
+            sq.try_push(sqe(i)).unwrap();
+        }
+        let mut c0 = SqCursor::default();
+        let mut c1 = SqCursor::default();
+        let mut out0 = Vec::new();
+        assert_eq!(sq.fetch_batch(&mut c0, 8, &mut out0), 3);
+        // The second consumer has not read yet, so slots are still occupied.
+        sq.try_push(sqe(3)).unwrap();
+        assert!(sq.try_push(sqe(4)).is_err());
+        let mut out1 = Vec::new();
+        assert_eq!(sq.fetch_batch(&mut c1, 8, &mut out1), 4);
+        assert_eq!(
+            out1.iter().map(|e| e.coll_id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        sq.try_push(sqe(4)).unwrap();
+    }
+
+    #[test]
+    fn fetch_batch_with_zero_max_reads_nothing() {
+        let sq = SubmissionQueue::new(4, 1);
+        sq.try_push(sqe(1)).unwrap();
+        let mut cur = SqCursor::default();
+        let mut out = Vec::new();
+        assert_eq!(sq.fetch_batch(&mut cur, 0, &mut out), 0);
+        assert!(out.is_empty());
+        assert!(sq.has_pending(&cur));
     }
 
     #[test]

@@ -21,8 +21,20 @@ struct NanoMean {
 
 impl NanoMean {
     fn record(&self, d: Duration) {
-        self.total_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.total_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
         self.samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold a batch of `n` operations that together took `d` into the mean,
+    /// as `n` samples of `d / n` each.
+    fn record_many(&self, d: Duration, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.total_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.samples.fetch_add(n, Ordering::Relaxed);
     }
 
     fn mean(&self) -> Option<Duration> {
@@ -158,6 +170,13 @@ impl DaemonStats {
         self.sqe_read_time.record(read_time);
     }
 
+    /// Record a batched fetch of `n` SQEs that together took `read_time`
+    /// (per-SQE mean accounting stays comparable with the unbatched path).
+    pub fn record_sqe_fetch_batch(&self, read_time: Duration, n: u64) {
+        self.sqes_fetched.fetch_add(n, Ordering::Relaxed);
+        self.sqe_read_time.record_many(read_time, n);
+    }
+
     /// Record the preparing overhead (SQE parse + context load) of one pass.
     pub fn record_preparing(&self, d: Duration) {
         self.preparing_time.record(d);
@@ -167,6 +186,12 @@ impl DaemonStats {
     pub fn record_cqe_write(&self, d: Duration) {
         self.cqes_written.fetch_add(1, Ordering::Relaxed);
         self.cqe_write_time.record(d);
+    }
+
+    /// Record a batched publication of `n` CQEs that together took `d`.
+    pub fn record_cqe_write_batch(&self, d: Duration, n: u64) {
+        self.cqes_written.fetch_add(n, Ordering::Relaxed);
+        self.cqe_write_time.record_many(d, n);
     }
 
     /// Record the execution of one primitive.
@@ -256,13 +281,30 @@ mod tests {
     }
 
     #[test]
+    fn batch_recording_counts_entries_and_averages_time() {
+        let s = DaemonStats::default();
+        s.record_cqe_write_batch(Duration::from_micros(8), 4);
+        s.record_sqe_fetch_batch(Duration::from_micros(6), 3);
+        s.record_cqe_write_batch(Duration::from_micros(1), 0); // no-op
+        let snap = s.snapshot();
+        assert_eq!(snap.cqes_written, 4);
+        assert_eq!(snap.mean_cqe_write, Some(Duration::from_micros(2)));
+        assert_eq!(snap.sqes_fetched, 3);
+        assert_eq!(snap.mean_sqe_read, Some(Duration::from_micros(2)));
+    }
+
+    #[test]
     fn preemptions_per_block_divides() {
         let s = DaemonStats::default();
         for _ in 0..100 {
             s.record_preemption(1);
         }
         assert_eq!(s.preemptions_per_block(4), 25.0);
-        assert_eq!(s.preemptions_per_block(0), 100.0, "zero blocks treated as one");
+        assert_eq!(
+            s.preemptions_per_block(0),
+            100.0,
+            "zero blocks treated as one"
+        );
     }
 
     #[test]

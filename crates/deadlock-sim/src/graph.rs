@@ -43,10 +43,10 @@ pub fn build_dependency_graph(state: &RoundState) -> DependencyGraph {
     let gpu_count = state.events.len();
     // Which (gpu, coll) parts have been released (are executing).
     let mut released: Vec<HashSet<usize>> = vec![HashSet::new(); gpu_count];
-    for gpu in 0..gpu_count {
+    for (gpu, rel) in released.iter_mut().enumerate() {
         for event in &state.events[gpu][..state.frontier[gpu]] {
             if let Event::Invoke(c) = event {
-                released[gpu].insert(*c);
+                rel.insert(*c);
             }
         }
     }
@@ -153,8 +153,10 @@ mod tests {
 
     #[test]
     fn self_loop_free_chain_has_no_cycle() {
-        let mut g = DependencyGraph::default();
-        g.nodes = vec![(0, 0), (1, 0), (1, 1)];
+        let mut g = DependencyGraph {
+            nodes: vec![(0, 0), (1, 0), (1, 1)],
+            ..Default::default()
+        };
         g.edges.insert(0, vec![1]);
         g.edges.insert(1, vec![2]);
         assert!(!has_cycle(&g));
@@ -162,8 +164,10 @@ mod tests {
 
     #[test]
     fn explicit_cycle_is_detected() {
-        let mut g = DependencyGraph::default();
-        g.nodes = vec![(0, 0), (0, 1), (1, 1), (1, 0)];
+        let mut g = DependencyGraph {
+            nodes: vec![(0, 0), (0, 1), (1, 1), (1, 0)],
+            ..Default::default()
+        };
         g.edges.insert(0, vec![1]);
         g.edges.insert(1, vec![2]);
         g.edges.insert(2, vec![3]);

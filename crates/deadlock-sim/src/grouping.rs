@@ -44,13 +44,11 @@ impl GroupingPolicy {
     pub fn gpu_count(&self) -> usize {
         match self {
             GroupingPolicy::ThreeD { tp, dp, pp, .. } => tp * dp * pp,
-            GroupingPolicy::Free { groups } => {
-                groups
-                    .iter()
-                    .flat_map(|g| g.gpus.iter().copied())
-                    .max()
-                    .map_or(0, |m| m + 1)
-            }
+            GroupingPolicy::Free { groups } => groups
+                .iter()
+                .flat_map(|g| g.gpus.iter().copied())
+                .max()
+                .map_or(0, |m| m + 1),
         }
     }
 
@@ -119,10 +117,18 @@ impl GroupingPolicy {
         let mut groups = Vec::with_capacity(total_groups);
         let mut next_gpu = 0usize;
         for id in 0..total_groups {
-            let size = if id < small_groups { small_size } else { large_size };
+            let size = if id < small_groups {
+                small_size
+            } else {
+                large_size
+            };
             let gpus: Vec<usize> = (0..size).map(|k| (next_gpu + k) % gpu_count).collect();
             next_gpu = (next_gpu + size) % gpu_count;
-            let collectives = if id % 2 == 0 { collectives_a } else { collectives_b };
+            let collectives = if id % 2 == 0 {
+                collectives_a
+            } else {
+                collectives_b
+            };
             groups.push(Group {
                 id,
                 gpus,

@@ -148,7 +148,9 @@ pub fn run_round_state(
     while let Some(gpu) = work.pop() {
         loop {
             let f = state.frontier[gpu];
-            let Some(&event) = state.events[gpu].get(f) else { break };
+            let Some(&event) = state.events[gpu].get(f) else {
+                break;
+            };
             match event {
                 Event::Invoke(coll) => {
                     // Single-queue: only one in flight at a time.
@@ -202,7 +204,9 @@ pub fn simulate_round(config: &SimConfig, seed: u64) -> RoundOutcome {
 pub fn estimate_deadlock_ratio(config: &SimConfig, rounds: usize, base_seed: u64) -> f64 {
     assert!(rounds > 0, "need at least one round");
     let deadlocks = (0..rounds)
-        .filter(|&r| simulate_round(config, base_seed.wrapping_add(r as u64)) == RoundOutcome::Deadlock)
+        .filter(|&r| {
+            simulate_round(config, base_seed.wrapping_add(r as u64)) == RoundOutcome::Deadlock
+        })
         .count();
     deadlocks as f64 / rounds as f64
 }
@@ -289,10 +293,38 @@ mod tests {
         // A=0, B=1, C=2, D=3, E=4; all collectives span all four GPUs.
         let coll_gpus = vec![vec![0, 1, 2, 3]; 5];
         let events = vec![
-            vec![Event::Invoke(0), Event::Invoke(1), Event::Invoke(2), Event::Sync, Event::Invoke(3), Event::Invoke(4)],
-            vec![Event::Invoke(1), Event::Invoke(2), Event::Invoke(3), Event::Sync, Event::Invoke(0), Event::Invoke(4)],
-            vec![Event::Invoke(0), Event::Invoke(2), Event::Invoke(3), Event::Sync, Event::Invoke(1), Event::Invoke(4)],
-            vec![Event::Invoke(0), Event::Invoke(1), Event::Invoke(3), Event::Sync, Event::Invoke(2), Event::Invoke(4)],
+            vec![
+                Event::Invoke(0),
+                Event::Invoke(1),
+                Event::Invoke(2),
+                Event::Sync,
+                Event::Invoke(3),
+                Event::Invoke(4),
+            ],
+            vec![
+                Event::Invoke(1),
+                Event::Invoke(2),
+                Event::Invoke(3),
+                Event::Sync,
+                Event::Invoke(0),
+                Event::Invoke(4),
+            ],
+            vec![
+                Event::Invoke(0),
+                Event::Invoke(2),
+                Event::Invoke(3),
+                Event::Sync,
+                Event::Invoke(1),
+                Event::Invoke(4),
+            ],
+            vec![
+                Event::Invoke(0),
+                Event::Invoke(1),
+                Event::Invoke(3),
+                Event::Sync,
+                Event::Invoke(2),
+                Event::Invoke(4),
+            ],
         ];
         let state = run_round_state(events, coll_gpus, DecisionModel::Synchronization);
         assert!(!state.all_successful());

@@ -255,7 +255,9 @@ mod tests {
     fn table1_has_all_eighteen_rows() {
         let rows = table1_rows();
         assert_eq!(rows.len(), 18);
-        assert!(rows.iter().all(|r| r.paper_ratio > 0.0 && r.paper_ratio < 0.15));
+        assert!(rows
+            .iter()
+            .all(|r| r.paper_ratio > 0.0 && r.paper_ratio < 0.15));
         assert!(rows
             .iter()
             .any(|r| r.config.model == DecisionModel::SingleQueue));
@@ -268,7 +270,9 @@ mod tests {
     fn sync_rows_have_sync_probability_and_single_queue_rows_do_not() {
         for row in table1_rows() {
             match row.config.model {
-                DecisionModel::SingleQueue => assert_eq!(row.config.sync_prob, 0.0, "{}", row.label),
+                DecisionModel::SingleQueue => {
+                    assert_eq!(row.config.sync_prob, 0.0, "{}", row.label)
+                }
                 DecisionModel::Synchronization => {
                     assert!(row.config.sync_prob > 0.0, "{}", row.label)
                 }

@@ -129,7 +129,10 @@ mod tests {
     #[test]
     fn time_scale_default_is_identity() {
         let ts = TimeScale::default();
-        assert_eq!(ts.scale(Duration::from_nanos(1234)), Duration::from_nanos(1234));
+        assert_eq!(
+            ts.scale(Duration::from_nanos(1234)),
+            Duration::from_nanos(1234)
+        );
     }
 
     #[test]

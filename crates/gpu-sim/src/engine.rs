@@ -51,7 +51,7 @@ struct QueuedKernel {
     seq: u64,
     kernel: Box<dyn Kernel>,
     shared: Arc<KernelShared>,
-    name: String,
+    name: Arc<str>,
     blocks: u32,
     shared_mem: usize,
 }
@@ -88,7 +88,10 @@ impl EngineInner {
     /// A barrier with sequence number `b` is satisfied when no incomplete
     /// kernel has a smaller sequence number.
     fn barrier_satisfied(incomplete: &BTreeSet<u64>, barrier_seq: u64) -> bool {
-        incomplete.iter().next().map_or(true, |&min| min >= barrier_seq)
+        incomplete
+            .iter()
+            .next()
+            .is_none_or(|&min| min >= barrier_seq)
     }
 
     fn release_satisfied_barriers(state: &mut EngineState) {
@@ -152,30 +155,40 @@ impl DeviceEngine {
     }
 
     /// Launch `kernel` on `stream`. Returns a handle for status observation.
-    pub fn launch(&self, stream: StreamId, kernel: Box<dyn Kernel>) -> Result<KernelHandle, LaunchError> {
+    pub fn launch(
+        &self,
+        stream: StreamId,
+        kernel: Box<dyn Kernel>,
+    ) -> Result<KernelHandle, LaunchError> {
         if kernel.shared_mem_per_block() > self.inner.device.spec().shared_mem_per_block {
             return Err(LaunchError::Unsatisfiable(GpuError::OutOfSharedMemory {
                 requested: kernel.shared_mem_per_block(),
                 available: self.inner.device.spec().shared_mem_per_block,
             }));
         }
+        // Materialize everything that does not need the engine state — the
+        // shared status block and the (refcounted, never re-allocated) name —
+        // before taking the lock, keeping the critical section to the queue
+        // insertion itself.
+        let shared = KernelShared::new();
+        let name: Arc<str> = Arc::from(kernel.name());
+        let blocks = kernel.grid_blocks();
+        let shared_mem = kernel.shared_mem_per_block();
         let mut st = self.inner.state.lock();
         if st.shutdown {
             return Err(LaunchError::Shutdown);
         }
         let seq = st.next_seq;
         st.next_seq += 1;
-        let shared = KernelShared::new();
-        let name = kernel.name();
         let handle = KernelHandle {
             shared: Arc::clone(&shared),
             seq,
-            name: name.clone(),
+            name: Arc::clone(&name),
         };
         let queued = QueuedKernel {
             seq,
-            blocks: kernel.grid_blocks(),
-            shared_mem: kernel.shared_mem_per_block(),
+            blocks,
+            shared_mem,
             kernel,
             shared,
             name,
@@ -283,27 +296,34 @@ impl DeviceEngine {
 
     fn dispatch_loop(inner: Arc<EngineInner>, shutdown: Arc<AtomicBool>) {
         loop {
-            let mut st = inner.state.lock();
-            if shutdown.load(Ordering::Relaxed) && st.incomplete.is_empty() {
-                return;
-            }
-            // Try to start one eligible kernel. Among the eligible stream
-            // heads, pick the one issued earliest (CUDA's scheduler dispatches
-            // roughly in issue order as resources free up, which is what makes
-            // the resource-depletion disorder of Fig. 1(c) deadlock).
+            // Snapshot the eligible stream heads under the lock, then release
+            // it: residency acquisition (which takes the device lock) and
+            // worker-thread spawning run with the engine state unlocked, so
+            // launches and kernel completions are not serialized behind them.
+            let eligible: Vec<(u64, StreamId, u32, usize)> = {
+                let st = inner.state.lock();
+                if shutdown.load(Ordering::Relaxed) && st.incomplete.is_empty() {
+                    return;
+                }
+                // Among the eligible stream heads, pick the one issued
+                // earliest (CUDA's scheduler dispatches roughly in issue
+                // order as resources free up, which is what makes the
+                // resource-depletion disorder of Fig. 1(c) deadlock).
+                let mut eligible: Vec<(u64, StreamId, u32, usize)> = Vec::new();
+                for (&sid, queue) in st.streams.iter() {
+                    if st.busy_streams.contains(&sid) {
+                        continue;
+                    }
+                    let Some(q) = queue.front() else { continue };
+                    if !EngineInner::allowed_by_barriers(&st, q.seq) {
+                        continue;
+                    }
+                    eligible.push((q.seq, sid, q.blocks, q.shared_mem));
+                }
+                eligible.sort_unstable_by_key(|e| e.0);
+                eligible
+            };
             let mut started = false;
-            let mut eligible: Vec<(u64, StreamId, u32, usize)> = Vec::new();
-            for (&sid, queue) in st.streams.iter() {
-                if st.busy_streams.contains(&sid) {
-                    continue;
-                }
-                let Some(q) = queue.front() else { continue };
-                if !EngineInner::allowed_by_barriers(&st, q.seq) {
-                    continue;
-                }
-                eligible.push((q.seq, sid, q.blocks, q.shared_mem));
-            }
-            eligible.sort_unstable_by_key(|e| e.0);
             for (seq, sid, blocks, shared_mem) in eligible {
                 // Residency is the bounded resource; acquisition can fail when
                 // the device is saturated (resource depletion).
@@ -311,21 +331,36 @@ impl DeviceEngine {
                     Ok(g) => g,
                     Err(_) => continue,
                 };
-                let queued = st
-                    .streams
-                    .get_mut(&sid)
-                    .and_then(|q| q.pop_front())
-                    .expect("head kernel disappeared under lock");
-                debug_assert_eq!(queued.seq, seq);
-                let handle = KernelHandle {
-                    shared: Arc::clone(&queued.shared),
-                    seq,
-                    name: queued.name.clone(),
+                // Re-validate and commit under the lock: the snapshot may have
+                // gone stale (abort_all, a racing barrier, a completed
+                // same-stream kernel) while residency was acquired.
+                let queued = {
+                    let mut st = inner.state.lock();
+                    let still_head =
+                        st.streams.get(&sid).and_then(|q| q.front()).map(|q| q.seq) == Some(seq);
+                    if !still_head
+                        || st.busy_streams.contains(&sid)
+                        || !EngineInner::allowed_by_barriers(&st, seq)
+                    {
+                        // The guard drops here, returning the residency slots.
+                        continue;
+                    }
+                    let queued = st
+                        .streams
+                        .get_mut(&sid)
+                        .and_then(|q| q.pop_front())
+                        .expect("validated head kernel disappeared under lock");
+                    let handle = KernelHandle {
+                        shared: Arc::clone(&queued.shared),
+                        seq,
+                        name: Arc::clone(&queued.name),
+                    };
+                    st.running_handles.push(handle);
+                    st.busy_streams.insert(sid);
+                    queued
                 };
-                st.running_handles.push(handle);
-                st.busy_streams.insert(sid);
                 let worker = Self::spawn_worker(Arc::clone(&inner), sid, queued, guard);
-                st.worker_joins.push(worker);
+                inner.state.lock().worker_joins.push(worker);
                 started = true;
                 break;
             }
@@ -337,9 +372,8 @@ impl DeviceEngine {
                 return;
             }
             // Nothing to do: wait for new launches or completions.
-            inner
-                .work_cv
-                .wait_for(&mut st, Duration::from_millis(1));
+            let mut st = inner.state.lock();
+            inner.work_cv.wait_for(&mut st, Duration::from_millis(1));
         }
     }
 
@@ -429,7 +463,10 @@ mod tests {
             handles.push(h);
         }
         for h in handles {
-            assert_eq!(h.wait_timeout(Duration::from_secs(5)), KernelStatus::Completed);
+            assert_eq!(
+                h.wait_timeout(Duration::from_secs(5)),
+                KernelStatus::Completed
+            );
         }
         assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
         engine.shutdown();
@@ -459,7 +496,10 @@ mod tests {
             handles.push(h);
         }
         for h in handles {
-            assert_eq!(h.wait_timeout(Duration::from_secs(5)), KernelStatus::Completed);
+            assert_eq!(
+                h.wait_timeout(Duration::from_secs(5)),
+                KernelStatus::Completed
+            );
         }
         assert_eq!(peak.load(Ordering::SeqCst), 2);
         engine.shutdown();
@@ -489,7 +529,10 @@ mod tests {
             handles.push(h);
         }
         for h in handles {
-            assert_eq!(h.wait_timeout(Duration::from_secs(5)), KernelStatus::Completed);
+            assert_eq!(
+                h.wait_timeout(Duration::from_secs(5)),
+                KernelStatus::Completed
+            );
         }
         assert_eq!(peak.load(Ordering::SeqCst), 1);
         engine.shutdown();
@@ -546,7 +589,10 @@ mod tests {
                 })),
             )
             .unwrap();
-        assert_eq!(after.wait_timeout(Duration::from_secs(5)), KernelStatus::Completed);
+        assert_eq!(
+            after.wait_timeout(Duration::from_secs(5)),
+            KernelStatus::Completed
+        );
         sync_thread.join().unwrap();
         assert_eq!(*order.lock(), vec!["before", "after"]);
         engine.shutdown();
@@ -569,7 +615,10 @@ mod tests {
         // Give it time to start, then abort.
         std::thread::sleep(Duration::from_millis(30));
         engine.abort_all();
-        assert_eq!(h.wait_timeout(Duration::from_secs(5)), KernelStatus::Aborted);
+        assert_eq!(
+            h.wait_timeout(Duration::from_secs(5)),
+            KernelStatus::Aborted
+        );
         engine.shutdown();
     }
 
@@ -595,8 +644,14 @@ mod tests {
             .unwrap();
         std::thread::sleep(Duration::from_millis(30));
         engine.abort_all();
-        assert_eq!(queued.wait_timeout(Duration::from_secs(5)), KernelStatus::Aborted);
-        assert_eq!(blocker.wait_timeout(Duration::from_secs(5)), KernelStatus::Aborted);
+        assert_eq!(
+            queued.wait_timeout(Duration::from_secs(5)),
+            KernelStatus::Aborted
+        );
+        assert_eq!(
+            blocker.wait_timeout(Duration::from_secs(5)),
+            KernelStatus::Aborted
+        );
         engine.shutdown();
     }
 

@@ -167,11 +167,14 @@ impl KernelShared {
 }
 
 /// Handle to a launched kernel: observe status, wait for completion, request abort.
+///
+/// The name is a shared `Arc<str>`: the engine hands it to the queue entry,
+/// the handle and the worker without re-allocating the string per launch.
 #[derive(Clone)]
 pub struct KernelHandle {
     pub(crate) shared: Arc<KernelShared>,
     pub(crate) seq: u64,
-    pub(crate) name: String,
+    pub(crate) name: Arc<str>,
 }
 
 impl std::fmt::Debug for KernelHandle {

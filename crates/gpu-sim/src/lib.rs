@@ -89,7 +89,9 @@ mod tests {
             available: 5,
         };
         assert!(e.to_string().contains("shared memory"));
-        assert!(GpuError::ResidencyUnavailable.to_string().contains("residency"));
+        assert!(GpuError::ResidencyUnavailable
+            .to_string()
+            .contains("residency"));
         assert!(GpuError::EngineShutdown.to_string().contains("shut down"));
     }
 }

@@ -189,12 +189,7 @@ impl CommunicatorPool {
     /// Allocate a communicator for `devices`, reusing a previously released
     /// one when available.
     pub fn allocate(&self, devices: &[GpuId]) -> Result<Arc<Communicator>, TransportError> {
-        if let Some(comm) = self
-            .free
-            .lock()
-            .get_mut(devices)
-            .and_then(|v| v.pop())
-        {
+        if let Some(comm) = self.free.lock().get_mut(devices).and_then(|v| v.pop()) {
             comm.clear();
             return Ok(comm);
         }
@@ -241,14 +236,8 @@ mod tests {
     fn ring_channels_wire_neighbours_correctly() {
         let topo = Topology::flat(4);
         let model = Arc::new(LinkModel::zero_cost());
-        let comm = Communicator::new_ring(
-            CommunicatorId(0),
-            gpus(&[0, 1, 2, 3]),
-            &topo,
-            &model,
-            4,
-        )
-        .unwrap();
+        let comm = Communicator::new_ring(CommunicatorId(0), gpus(&[0, 1, 2, 3]), &topo, &model, 4)
+            .unwrap();
         let ch1 = comm.rank_channels(1).unwrap();
         assert_eq!(ch1.send_peer, GpuId(2));
         assert_eq!(ch1.recv_peer, GpuId(0));
@@ -315,9 +304,18 @@ mod tests {
             4,
         )
         .unwrap();
-        assert_eq!(comm.rank_channels(0).unwrap().send.link(), LinkClass::IntraPix);
-        assert_eq!(comm.rank_channels(3).unwrap().send.link(), LinkClass::IntraSys);
-        assert_eq!(comm.rank_channels(7).unwrap().send.link(), LinkClass::IntraSys);
+        assert_eq!(
+            comm.rank_channels(0).unwrap().send.link(),
+            LinkClass::IntraPix
+        );
+        assert_eq!(
+            comm.rank_channels(3).unwrap().send.link(),
+            LinkClass::IntraSys
+        );
+        assert_eq!(
+            comm.rank_channels(7).unwrap().send.link(),
+            LinkClass::IntraSys
+        );
     }
 
     #[test]

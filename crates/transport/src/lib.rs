@@ -46,7 +46,10 @@ impl std::fmt::Display for TransportError {
                 write!(f, "a communicator needs at least 2 GPUs, got {n}")
             }
             TransportError::InvalidRank { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
         }
     }
@@ -61,8 +64,12 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(TransportError::UnknownGpu(GpuId(7)).to_string().contains("gpu7"));
-        assert!(TransportError::DeviceSetTooSmall(1).to_string().contains("at least 2"));
+        assert!(TransportError::UnknownGpu(GpuId(7))
+            .to_string()
+            .contains("gpu7"));
+        assert!(TransportError::DeviceSetTooSmall(1)
+            .to_string()
+            .contains("at least 2"));
         assert!(TransportError::InvalidRank { rank: 9, size: 4 }
             .to_string()
             .contains("rank 9"));

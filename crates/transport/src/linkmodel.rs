@@ -205,7 +205,10 @@ mod tests {
     #[test]
     fn zero_cost_model_charges_nothing() {
         let m = LinkModel::zero_cost();
-        assert_eq!(m.transfer_cost(LinkClass::InterNode, 1 << 20), Duration::ZERO);
+        assert_eq!(
+            m.transfer_cost(LinkClass::InterNode, 1 << 20),
+            Duration::ZERO
+        );
         // charge() should return immediately.
         let start = std::time::Instant::now();
         m.charge(LinkClass::IntraPix, 1 << 20);

@@ -27,8 +27,11 @@ pub enum LinkClass {
 
 impl LinkClass {
     /// All distinct non-local classes, useful for sweeps.
-    pub const ALL_REMOTE: [LinkClass; 3] =
-        [LinkClass::IntraPix, LinkClass::IntraSys, LinkClass::InterNode];
+    pub const ALL_REMOTE: [LinkClass; 3] = [
+        LinkClass::IntraPix,
+        LinkClass::IntraSys,
+        LinkClass::InterNode,
+    ];
 }
 
 /// One physical machine: its GPUs partitioned into PIX domains.
@@ -174,17 +177,32 @@ mod tests {
     fn single_server_has_two_pix_domains() {
         let t = Topology::single_server();
         assert_eq!(t.gpu_count(), 8);
-        assert_eq!(t.link_between(GpuId(0), GpuId(1)).unwrap(), LinkClass::IntraPix);
-        assert_eq!(t.link_between(GpuId(0), GpuId(4)).unwrap(), LinkClass::IntraSys);
-        assert_eq!(t.link_between(GpuId(3), GpuId(3)).unwrap(), LinkClass::Local);
+        assert_eq!(
+            t.link_between(GpuId(0), GpuId(1)).unwrap(),
+            LinkClass::IntraPix
+        );
+        assert_eq!(
+            t.link_between(GpuId(0), GpuId(4)).unwrap(),
+            LinkClass::IntraSys
+        );
+        assert_eq!(
+            t.link_between(GpuId(3), GpuId(3)).unwrap(),
+            LinkClass::Local
+        );
     }
 
     #[test]
     fn two_servers_cross_node_links() {
         let t = Topology::two_servers();
         assert_eq!(t.gpu_count(), 16);
-        assert_eq!(t.link_between(GpuId(0), GpuId(8)).unwrap(), LinkClass::InterNode);
-        assert_eq!(t.link_between(GpuId(8), GpuId(9)).unwrap(), LinkClass::IntraPix);
+        assert_eq!(
+            t.link_between(GpuId(0), GpuId(8)).unwrap(),
+            LinkClass::InterNode
+        );
+        assert_eq!(
+            t.link_between(GpuId(8), GpuId(9)).unwrap(),
+            LinkClass::IntraPix
+        );
         assert_eq!(t.machine_of(GpuId(9)), Some(1));
     }
 
@@ -203,7 +221,10 @@ mod tests {
     fn flat_topology_is_one_pix_domain() {
         let t = Topology::flat(5);
         assert_eq!(t.gpu_count(), 5);
-        assert_eq!(t.link_between(GpuId(1), GpuId(4)).unwrap(), LinkClass::IntraPix);
+        assert_eq!(
+            t.link_between(GpuId(1), GpuId(4)).unwrap(),
+            LinkClass::IntraPix
+        );
     }
 
     #[test]

@@ -115,17 +115,20 @@ pub fn data_parallel_plan(model: &DnnModel, gpus: &[GpuId], per_gpu_batch: usize
 /// Pure tensor parallelism over `gpus`: two all-reduces per layer (forward
 /// activation reduction and backward gradient reduction) across the whole
 /// group, ready in layer order then reverse layer order.
-pub fn tensor_parallel_plan(model: &DnnModel, gpus: &[GpuId], per_gpu_batch: usize) -> TrainingPlan {
-    assert!(gpus.len() >= 2, "tensor parallelism needs at least two GPUs");
+pub fn tensor_parallel_plan(
+    model: &DnnModel,
+    gpus: &[GpuId],
+    per_gpu_batch: usize,
+) -> TrainingPlan {
+    assert!(
+        gpus.len() >= 2,
+        "tensor parallelism needs at least two GPUs"
+    );
     // Activation-sized all-reduces: batch * hidden elements.
     let act_elems = (per_gpu_batch * model.hidden.max(1)).max(1);
     let mut collectives = Vec::new();
     for layer in 0..model.layers {
-        collectives.push(f32_all_reduce(
-            (layer * 2) as u64,
-            act_elems,
-            gpus.to_vec(),
-        ));
+        collectives.push(f32_all_reduce((layer * 2) as u64, act_elems, gpus.to_vec()));
         collectives.push(f32_all_reduce(
             (layer * 2 + 1) as u64,
             act_elems,
@@ -158,7 +161,10 @@ pub fn three_d_hybrid_plan(
     pp: usize,
     per_gpu_batch: usize,
 ) -> TrainingPlan {
-    assert!(tp >= 2 || dp >= 2, "a hybrid plan needs at least one group dimension > 1");
+    assert!(
+        tp >= 2 || dp >= 2,
+        "a hybrid plan needs at least one group dimension > 1"
+    );
     let gpu_count = tp * dp * pp;
     let gpus: Vec<GpuId> = (0..gpu_count).map(GpuId).collect();
     let gpu_at = |p: usize, d: usize, t: usize| GpuId(p * tp * dp + d * tp + t);

@@ -224,15 +224,16 @@ fn train_dfccl(plan: &TrainingPlan, cfg: &TrainerConfig) -> Vec<Vec<Duration>> {
     for pc in &plan.collectives {
         for gpu in &pc.desc.devices {
             let rank = &ranks[gpu.0];
-            rank.register(pc.coll_id, pc.desc.clone()).expect("register");
+            rank.register(pc.coll_id, pc.desc.clone())
+                .expect("register");
         }
     }
     let barrier = Arc::new(Barrier::new(n));
     let plan = Arc::new(plan.clone());
     let cfg = Arc::new(cfg.clone());
     let mut joins = Vec::new();
-    for gpu_idx in 0..n {
-        let rank = Arc::clone(&ranks[gpu_idx]);
+    for (gpu_idx, rank) in ranks.iter().enumerate().take(n) {
+        let rank = Arc::clone(rank);
         let barrier = Arc::clone(&barrier);
         let plan = Arc::clone(&plan);
         let cfg = Arc::clone(&cfg);
@@ -312,8 +313,8 @@ fn train_nccl(
     let plan = Arc::new(plan.clone());
     let cfg = Arc::new(cfg.clone());
     let mut joins = Vec::new();
-    for gpu_idx in 0..n {
-        let rank = Arc::clone(&ranks[gpu_idx]);
+    for (gpu_idx, rank) in ranks.iter().enumerate().take(n) {
+        let rank = Arc::clone(rank);
         let barrier = Arc::clone(&barrier);
         let plan = Arc::clone(&plan);
         let cfg = Arc::clone(&cfg);
@@ -421,7 +422,12 @@ mod tests {
     #[test]
     fn dfccl_tensor_parallel_and_hybrid_plans_run() {
         let tp_plan = tensor_parallel_plan(&tiny_model(), &gpus(2), 4);
-        let report = train(&tp_plan, BackendKind::Dfccl, &TrainerConfig::fast_test(2), 4);
+        let report = train(
+            &tp_plan,
+            BackendKind::Dfccl,
+            &TrainerConfig::fast_test(2),
+            4,
+        );
         assert_eq!(report.iteration_times.len(), 2);
 
         let hybrid = three_d_hybrid_plan(&tiny_model(), 2, 2, 1, 4);

@@ -36,7 +36,12 @@ fn baseline_deadlocks() {
             for coll in [0u64, 1] {
                 rank.register(
                     coll,
-                    CollectiveDescriptor::all_reduce(COUNT, DataType::F32, ReduceOp::Sum, devices()),
+                    CollectiveDescriptor::all_reduce(
+                        COUNT,
+                        DataType::F32,
+                        ReduceOp::Sum,
+                        devices(),
+                    ),
                 )
                 .unwrap();
             }
@@ -75,7 +80,9 @@ fn baseline_deadlocks() {
 fn dfccl_survives() {
     println!("--- DFCCL: the same disordered invocation pattern ---");
     let domain = DfcclDomain::flat_for_testing(2);
-    let ranks: Vec<_> = (0..2).map(|g| Arc::new(domain.init_rank(GpuId(g)).unwrap())).collect();
+    let ranks: Vec<_> = (0..2)
+        .map(|g| Arc::new(domain.init_rank(GpuId(g)).unwrap()))
+        .collect();
     for rank in &ranks {
         for coll in [0u64, 1] {
             rank.register_all_reduce(coll, COUNT, DataType::F32, ReduceOp::Sum, devices(), 0)

@@ -50,12 +50,20 @@ fn run(policy: OrderingPolicy) -> (f64, f64) {
     let mut small_handles = Vec::new();
     for rank in &ranks {
         big_handles.push(
-            rank.run_awaitable(1, DeviceBuffer::zeroed(BIG * 4), DeviceBuffer::zeroed(BIG * 4))
-                .unwrap(),
+            rank.run_awaitable(
+                1,
+                DeviceBuffer::zeroed(BIG * 4),
+                DeviceBuffer::zeroed(BIG * 4),
+            )
+            .unwrap(),
         );
         small_handles.push(
-            rank.run_awaitable(2, DeviceBuffer::zeroed(SMALL * 4), DeviceBuffer::zeroed(SMALL * 4))
-                .unwrap(),
+            rank.run_awaitable(
+                2,
+                DeviceBuffer::zeroed(SMALL * 4),
+                DeviceBuffer::zeroed(SMALL * 4),
+            )
+            .unwrap(),
         );
     }
     for h in &small_handles {

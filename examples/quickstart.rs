@@ -23,8 +23,15 @@ fn main() {
     const COLL_ID: u64 = 1;
     const COUNT: usize = 1024;
     for rank in [&rank0, &rank1] {
-        rank.register_all_reduce(COLL_ID, COUNT, DataType::F32, ReduceOp::Sum, devices.clone(), 0)
-            .expect("register");
+        rank.register_all_reduce(
+            COLL_ID,
+            COUNT,
+            DataType::F32,
+            ReduceOp::Sum,
+            devices.clone(),
+            0,
+        )
+        .expect("register");
     }
 
     // dfcclRunAllReduce: asynchronous invocation; the completion handle wraps
@@ -32,10 +39,18 @@ fn main() {
     let out0 = DeviceBuffer::zeroed(COUNT * 4);
     let out1 = DeviceBuffer::zeroed(COUNT * 4);
     let h0 = rank0
-        .run_awaitable(COLL_ID, DeviceBuffer::from_f32(&vec![1.0; COUNT]), out0.clone())
+        .run_awaitable(
+            COLL_ID,
+            DeviceBuffer::from_f32(&vec![1.0; COUNT]),
+            out0.clone(),
+        )
         .expect("run on rank 0");
     let h1 = rank1
-        .run_awaitable(COLL_ID, DeviceBuffer::from_f32(&vec![2.0; COUNT]), out1.clone())
+        .run_awaitable(
+            COLL_ID,
+            DeviceBuffer::from_f32(&vec![2.0; COUNT]),
+            out1.clone(),
+        )
         .expect("run on rank 1");
     h0.wait_for(1);
     h1.wait_for(1);

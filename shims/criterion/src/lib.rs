@@ -1,0 +1,354 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Exposes the API shape the workspace's benches use — [`Criterion`],
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups with
+//! `sample_size`/`measurement_time`/`warm_up_time`/`throughput`,
+//! `bench_function`/`bench_with_input`, [`BenchmarkId`] and [`black_box`] —
+//! with a simple mean-of-samples timer instead of criterion's statistical
+//! machinery. Results are printed one line per benchmark:
+//!
+//! ```text
+//! group/function/param        time:   12.345 µs/iter  (50 samples)
+//! ```
+//!
+//! Pass `--quick` (or set `CRITERION_QUICK=1`) to cap measurement time for
+//! smoke runs in CI.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: a function name plus an
+/// optional parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by function name and parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Identify a benchmark by parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function.is_empty(), &self.parameter) {
+            (false, Some(p)) => format!("{}/{}", self.function, p),
+            (false, None) => self.function.clone(),
+            (true, Some(p)) => p.clone(),
+            (true, None) => String::new(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Throughput annotation for a group (reported as a rate next to the time).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    /// Mean seconds per iteration of the last `iter` call.
+    pub(crate) last_mean_s: f64,
+    pub(crate) last_samples: usize,
+}
+
+impl Bencher {
+    /// Measure `f`, recording the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run without recording.
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(f());
+        }
+        // Calibrate batch size so one batch is ≥ ~50 µs (amortizes timer cost).
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_micros(50) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measurement: fixed sample count within the measurement budget.
+        let deadline = Instant::now() + self.measurement;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut samples = 0usize;
+        while samples < self.samples && (samples == 0 || Instant::now() < deadline) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += start.elapsed();
+            iters += batch;
+            samples += 1;
+        }
+        self.last_mean_s = if iters == 0 {
+            0.0
+        } else {
+            total.as_secs_f64() / iters as f64
+        };
+        self.last_samples = samples;
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("CRITERION_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.render(), |b| f(b));
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.render(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let quick = quick_mode();
+        let mut b = Bencher {
+            samples: if quick { 3 } else { self.sample_size },
+            measurement: if quick {
+                Duration::from_millis(50)
+            } else {
+                self.measurement
+            },
+            warm_up: if quick {
+                Duration::from_millis(5)
+            } else {
+                self.warm_up
+            },
+            last_mean_s: 0.0,
+            last_samples: 0,
+        };
+        f(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if b.last_mean_s > 0.0 => {
+                format!(
+                    "  {:.2} MiB/s",
+                    bytes as f64 / b.last_mean_s / (1024.0 * 1024.0)
+                )
+            }
+            Some(Throughput::Elements(elems)) if b.last_mean_s > 0.0 => {
+                format!("  {:.0} elem/s", elems as f64 / b.last_mean_s)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{:<56} time: {:>12}/iter  ({} samples){}",
+            format!("{}/{}", self.name, label),
+            fmt_time(b.last_mean_s),
+            b.last_samples,
+            rate
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement: Duration::from_secs(1),
+            warm_up: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark with default settings.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(name, |b| f(b));
+        group.finish();
+        self
+    }
+
+    /// Print the run summary (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!(
+            "criterion-shim: {} benchmark(s) completed",
+            self.benchmarks_run
+        );
+    }
+}
+
+/// Bundle benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_groups_print() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 42), &42, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert_eq!(c.benchmarks_run, 2);
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("f", "p").render(), "f/p");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+        assert_eq!(BenchmarkId::from_parameter(7).render(), "7");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).contains("µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for the parts of `crossbeam` this workspace uses:
+//! [`queue::ArrayQueue`], a bounded MPMC queue.
+//!
+//! The real crate is lock-free; this stand-in is a bounded ring over a
+//! `std::sync::Mutex`, which preserves the API and the linearizable FIFO
+//! semantics the transport layer relies on. The connector hot path touches
+//! the queue once per chunk, so the mutex cost is immaterial next to the
+//! modelled link costs.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// A bounded multi-producer multi-consumer FIFO queue.
+    pub struct ArrayQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+        capacity: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Create a queue holding at most `capacity` elements.
+        pub fn new(capacity: usize) -> Self {
+            assert!(capacity > 0, "ArrayQueue capacity must be positive");
+            ArrayQueue {
+                inner: Mutex::new(VecDeque::with_capacity(capacity)),
+                capacity,
+            }
+        }
+
+        /// Append an element, or hand it back if the queue is full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if q.len() >= self.capacity {
+                return Err(value);
+            }
+            q.push_back(value);
+            Ok(())
+        }
+
+        /// Remove and return the oldest element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        /// Maximum number of elements.
+        pub fn capacity(&self) -> usize {
+            self.capacity
+        }
+
+        /// Current number of elements.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// Whether the queue holds no elements.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Whether the queue is at capacity.
+        pub fn is_full(&self) -> bool {
+            self.len() >= self.capacity
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::ArrayQueue;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = ArrayQueue::new(2);
+        assert!(q.is_empty());
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_items() {
+        let q = Arc::new(ArrayQueue::new(8));
+        let n = 1_000u64;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..n {
+                        let mut v = p * n + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while seen.len() < 4 * n as usize {
+                    match q.pop() {
+                        Some(v) => seen.push(v),
+                        None => std::thread::yield_now(),
+                    }
+                }
+                seen
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut seen = consumer.join().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..4 * n).collect::<Vec<_>>());
+    }
+}

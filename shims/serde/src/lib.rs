@@ -1,0 +1,7 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives so the workspace's
+//! `#[derive(Serialize, Deserialize)]` annotations compile without a registry
+//! dependency. No serialization machinery is provided (none is used).
+
+pub use serde_derive::{Deserialize, Serialize};

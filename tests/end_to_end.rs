@@ -7,7 +7,9 @@ use std::time::Duration;
 
 use dfccl_repro::baseline::{wait_all_or_deadlock, NcclDomain};
 use dfccl_repro::collectives::{CollectiveDescriptor, DataType, DeviceBuffer, ReduceOp};
-use dfccl_repro::deadlock_sim::{estimate_deadlock_ratio, DecisionModel, GroupingPolicy, SimConfig};
+use dfccl_repro::deadlock_sim::{
+    estimate_deadlock_ratio, DecisionModel, GroupingPolicy, SimConfig,
+};
 use dfccl_repro::dfccl::{DfcclConfig, DfcclDomain};
 use dfccl_repro::gpu_sim::{GpuId, GpuSpec, StreamId};
 use dfccl_repro::transport::{LinkModel, Topology};
@@ -77,7 +79,10 @@ fn disordered_collectives_complete_under_dfccl_and_deadlock_under_baseline() {
         }
     }
     let total_preemptions: u64 = ranks.iter().map(|r| r.stats().preemptions).sum();
-    assert!(total_preemptions > 0, "the stress config must exercise preemption");
+    assert!(
+        total_preemptions > 0,
+        "the stress config must exercise preemption"
+    );
     for rank in &ranks {
         assert!(rank.collective_errors().is_empty());
         rank.destroy();
@@ -112,7 +117,10 @@ fn disordered_collectives_complete_under_dfccl_and_deadlock_under_baseline() {
         }
     }
     let outcome = wait_all_or_deadlock(&handles, &ndomain.engines(), Duration::from_secs(2));
-    assert!(outcome.is_deadlock(), "disordered single-stream baseline must deadlock");
+    assert!(
+        outcome.is_deadlock(),
+        "disordered single-stream baseline must deadlock"
+    );
     ndomain.shutdown();
 }
 
@@ -162,9 +170,21 @@ fn device_sync_between_disordered_collectives_completes_under_dfccl() {
     for j in joins {
         j.join().unwrap();
     }
-    // The daemons must have quit voluntarily at least once to let the syncs drain.
-    let quits: u64 = ranks.iter().map(|r| r.stats().voluntary_quits).sum();
-    assert!(quits > 0);
+    // The daemons must quit voluntarily at least once to let the syncs drain.
+    // The quit is asynchronous (the daemon counts down its idle budget after
+    // the last completion), so poll briefly instead of racing it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let quits: u64 = ranks.iter().map(|r| r.stats().voluntary_quits).sum();
+        if quits > 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no daemon quit voluntarily within 10s"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
     for rank in &ranks {
         rank.destroy();
     }
@@ -201,7 +221,10 @@ fn repeated_invocations_of_one_registered_collective_stay_correct() {
         }
         let expected: f32 = (0..n).map(|g| (iteration + g + 1) as f32).sum();
         for out in outs {
-            assert!(out.to_f32_vec().iter().all(|&v| v == expected), "iteration {iteration}");
+            assert!(
+                out.to_f32_vec().iter().all(|&v| v == expected),
+                "iteration {iteration}"
+            );
         }
     }
     for rank in &ranks {
@@ -220,7 +243,7 @@ fn deadlock_simulator_reproduces_sensitivity_conclusions() {
         model: DecisionModel::Synchronization,
         disorder_prob: 1e-3,
         sync_prob: 1e-3,
-        };
+    };
     let rounds = 300;
     let base_ratio = estimate_deadlock_ratio(&base, rounds, 5);
     let more_sync = estimate_deadlock_ratio(
@@ -240,7 +263,10 @@ fn deadlock_simulator_reproduces_sensitivity_conclusions() {
         5,
     );
     assert!(base_ratio >= 0.0);
-    assert!(more_sync >= base_ratio, "sync sensitivity: {more_sync} vs {base_ratio}");
+    assert!(
+        more_sync >= base_ratio,
+        "sync sensitivity: {more_sync} vs {base_ratio}"
+    );
     assert!(more_disorder >= base_ratio);
     // With both probabilities at 1%, the deadlock ratio far exceeds them
     // (Sec. 2.4.3 conclusion ❶).
@@ -253,5 +279,8 @@ fn deadlock_simulator_reproduces_sensitivity_conclusions() {
         rounds,
         5,
     );
-    assert!(both_high > 5e-2, "ratio {both_high} should exceed the probabilities");
+    assert!(
+        both_high > 5e-2,
+        "ratio {both_high} should exceed the probabilities"
+    );
 }
