@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use dfccl_collectives::{
     build_plan, run_plan_blocking, validate_buffers, CollectiveDescriptor, CollectiveError,
-    DeviceBuffer, PrimitiveStep,
+    DeviceBuffer, Plan,
 };
 use dfccl_transport::{
     Communicator, CommunicatorPool, LinkModel, RankChannels, Topology, TransportError,
@@ -82,7 +82,7 @@ struct Registered {
     desc: CollectiveDescriptor,
     rank: usize,
     channels: RankChannels,
-    plan: Vec<PrimitiveStep>,
+    plan: Plan,
 }
 
 /// Cluster-level state for the NCCL-like baseline: topology, link model,
@@ -207,8 +207,10 @@ impl NcclRank {
             },
         )?;
         let comm = self.domain.communicator_for(coll_id, &desc.devices)?;
-        let channels = comm.rank_channels(rank)?;
+        // The NCCL-like baseline always runs the ring schedule; its channels
+        // cover exactly the ring edges the plan addresses.
         let plan = build_plan(&desc, rank, self.domain.chunk_elems)?;
+        let channels = comm.channels(rank, &plan.send_peers(), &plan.recv_peers())?;
         self.registered.lock().insert(
             coll_id,
             Arc::new(Registered {
@@ -243,7 +245,7 @@ impl NcclRank {
             let abort = || ctx.should_abort();
             match run_plan_blocking(
                 coll_id,
-                &reg.plan,
+                &reg.plan.steps,
                 &reg.channels,
                 reg.desc.dtype,
                 reg.desc.op,

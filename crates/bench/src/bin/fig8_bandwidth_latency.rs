@@ -22,8 +22,13 @@ use std::time::{Duration, Instant};
 
 use dfccl::{DfcclConfig, DfcclDomain};
 use dfccl_baseline::NcclDomain;
-use dfccl_bench::{algo_bandwidth_gbps, arg_num, byte_sweep, fmt_bytes, fmt_us, print_row};
-use dfccl_collectives::{CollectiveDescriptor, CollectiveKind, DataType, DeviceBuffer, ReduceOp};
+use dfccl_bench::{
+    algo_bandwidth_gbps, arg_num, byte_sweep, fmt_bytes, fmt_us, modelled_completion_us, print_row,
+};
+use dfccl_collectives::{
+    AlgorithmKind, AlgorithmSelector, CollectiveDescriptor, CollectiveKind, DataType, DeviceBuffer,
+    ReduceOp,
+};
 use dfccl_transport::{LinkModel, Topology};
 use gpu_sim::{GpuId, GpuSpec, StreamId};
 
@@ -160,6 +165,52 @@ fn run_panel(kind: CollectiveKind, gpus: usize, sizes: &[usize], iters: usize, c
     }
 }
 
+/// The ring-vs-tree-vs-hierarchical sweep: modelled completion times of the
+/// all-reduce under each algorithm family (Table 2 link parameters, no time
+/// compression), plus what the topology/payload selector would pick. The
+/// estimates are deterministic — they show the algorithmic shape even on
+/// hosts with fewer cores than simulated GPUs.
+fn run_algorithm_panel(gpus: usize, sizes: &[usize]) {
+    let topo = if gpus > 8 {
+        Topology::two_eight_gpu_servers()
+    } else {
+        Topology::single_server()
+    };
+    let devices: Vec<GpuId> = (0..gpus).map(GpuId).collect();
+    let selector = AlgorithmSelector::default();
+
+    println!("\n=== all-reduce algorithm sweep on {gpus} GPUs (modelled µs) ===");
+    let widths = [8, 12, 12, 14, 14];
+    print_row(
+        &["bytes", "ring µs", "tree µs", "hier µs", "selector"].map(String::from),
+        &widths,
+    );
+    for &bytes in sizes {
+        let count = (bytes / 4).max(1);
+        let desc =
+            CollectiveDescriptor::all_reduce(count, DataType::F32, ReduceOp::Sum, devices.clone());
+        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |us| format!("{us:.1}"));
+        print_row(
+            &[
+                fmt_bytes(bytes),
+                fmt(modelled_completion_us(&desc, AlgorithmKind::Ring, &topo)),
+                fmt(modelled_completion_us(
+                    &desc,
+                    AlgorithmKind::DoubleBinaryTree,
+                    &topo,
+                )),
+                fmt(modelled_completion_us(
+                    &desc,
+                    AlgorithmKind::Hierarchical,
+                    &topo,
+                )),
+                selector.select(&desc, &topo).to_string(),
+            ],
+            &widths,
+        );
+    }
+}
+
 fn main() {
     let min_bytes: usize = arg_num("--min-bytes", 512);
     let max_bytes: usize = arg_num("--max-bytes", 1 << 20);
@@ -191,5 +242,12 @@ fn main() {
         run_panel(CollectiveKind::AllReduce, gpus, &sizes, iters, compression);
     } else {
         println!("\n(pass --gpus 32 for the Fig. 8(c) four-server panel)");
+    }
+
+    // (d) the algorithm sweep: ring vs double binary tree vs hierarchical,
+    // with the selection policy's choice per payload size.
+    run_algorithm_panel(gpus.min(8), &sizes);
+    if gpus > 8 {
+        run_algorithm_panel(16, &sizes);
     }
 }

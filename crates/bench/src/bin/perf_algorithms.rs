@@ -1,0 +1,171 @@
+//! `perf_algorithms` — the collective-algorithm trajectory benchmark.
+//!
+//! Two measurements, written to `BENCH_algorithms.json`:
+//!
+//! 1. **Scheduling throughput per algorithm** — domain-wide collectives/sec
+//!    through the full DFCCL hot path with the algorithm forced to ring,
+//!    double binary tree, or hierarchical, at 4 and 8 simulated GPUs
+//!    (hierarchical runs over a two-node split of the same GPU count).
+//! 2. **Modelled crossover sweep** — the deterministic plan-cost estimate
+//!    (Table 2 link parameters) of ring vs tree vs hierarchical all-reduce
+//!    across payload sizes: the Fig. 8-style shape with the tree winning the
+//!    latency-bound small end and ring/hierarchical the bandwidth-bound
+//!    large end, independent of how many cores the host has.
+//!
+//! Usage:
+//! ```text
+//! perf_algorithms [--repeats 3] [--collectives 8] [--rounds 4] [--out BENCH_algorithms.json]
+//! ```
+
+use std::fmt::Write as _;
+
+use dfccl_bench::hotpath::{batched_config, best_of_over, HotpathWorkload};
+use dfccl_bench::{arg_num, arg_value, byte_sweep, fmt_bytes, modelled_completion_us, print_row};
+use dfccl_collectives::{AlgorithmKind, CollectiveDescriptor, DataType, ReduceOp};
+use dfccl_transport::Topology;
+use gpu_sim::GpuId;
+
+const GPU_COUNTS: [usize; 2] = [4, 8];
+
+fn estimate_us(desc: &CollectiveDescriptor, algo: AlgorithmKind, topo: &Topology) -> f64 {
+    modelled_completion_us(desc, algo, topo).expect("algorithm supports the sweep descriptor")
+}
+
+fn main() {
+    let repeats: usize = arg_num("--repeats", 3).max(1);
+    let collectives: u64 = arg_num("--collectives", 8).max(1);
+    let rounds: u64 = arg_num("--rounds", 4).max(1);
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_algorithms.json".to_string());
+
+    println!("# perf_algorithms — collectives/sec per algorithm (full DFCCL hot path)");
+    println!(
+        "# workload: {collectives} collectives x {rounds} rounds of tiny all-reduces, best of {repeats}"
+    );
+    let widths = [6, 12, 12, 14];
+    print_row(
+        &["gpus", "ring", "tree", "hierarchical"].map(String::from),
+        &widths,
+    );
+
+    let algorithms = [
+        AlgorithmKind::Ring,
+        AlgorithmKind::DoubleBinaryTree,
+        AlgorithmKind::Hierarchical,
+    ];
+    let mut throughput: Vec<(usize, Vec<f64>)> = Vec::new();
+    for gpus in GPU_COUNTS {
+        let workload = HotpathWorkload {
+            gpus,
+            collectives,
+            rounds,
+            count: 16,
+        };
+        let mut row = Vec::new();
+        for algo in algorithms {
+            // Hierarchical needs a multi-node topology; split the same GPUs
+            // over two nodes. Ring/tree run on the flat single-node layout.
+            let topo = match algo {
+                AlgorithmKind::Hierarchical => Topology::uniform_cluster(2, gpus / 2),
+                _ => Topology::flat(gpus),
+            };
+            let config = batched_config().with_algorithm(algo);
+            let r = best_of_over(repeats, workload, &config, &topo);
+            row.push(r.collectives_per_sec);
+        }
+        print_row(
+            &[
+                format!("{gpus}"),
+                format!("{:.0}", row[0]),
+                format!("{:.0}", row[1]),
+                format!("{:.0}", row[2]),
+            ],
+            &widths,
+        );
+        throughput.push((gpus, row));
+    }
+
+    // Modelled crossover sweep (deterministic, core-count independent).
+    println!();
+    println!("# modelled all-reduce completion (µs, Table 2 link params, 8 GPUs / 2x4 for hier)");
+    let sweep_widths = [8, 12, 12, 14];
+    print_row(
+        &["bytes", "ring µs", "tree µs", "hier µs"].map(String::from),
+        &sweep_widths,
+    );
+    let flat8 = Topology::flat(8);
+    let two_by_four = Topology::uniform_cluster(2, 4);
+    let sizes = byte_sweep(256, 1 << 20);
+    let mut sweep: Vec<(usize, f64, f64, f64)> = Vec::new();
+    for &bytes in &sizes {
+        let count = (bytes / 4).max(1);
+        let desc = CollectiveDescriptor::all_reduce(
+            count,
+            DataType::F32,
+            ReduceOp::Sum,
+            (0..8).map(GpuId).collect(),
+        );
+        let ring = estimate_us(&desc, AlgorithmKind::Ring, &flat8);
+        let tree = estimate_us(&desc, AlgorithmKind::DoubleBinaryTree, &flat8);
+        let hier = estimate_us(&desc, AlgorithmKind::Hierarchical, &two_by_four);
+        print_row(
+            &[
+                fmt_bytes(bytes),
+                format!("{ring:.1}"),
+                format!("{tree:.1}"),
+                format!("{hier:.1}"),
+            ],
+            &sweep_widths,
+        );
+        sweep.push((bytes, ring, tree, hier));
+    }
+
+    let (_, small_ring, small_tree, _) = sweep.first().copied().expect("sweep non-empty");
+    let (_, large_ring, large_tree, _) = sweep.last().copied().expect("sweep non-empty");
+    let tree_wins_small = small_tree < small_ring;
+    let ring_wins_large = large_ring < large_tree;
+    println!();
+    println!(
+        "tree wins small payloads: {tree_wins_small}; ring wins large payloads: {ring_wins_large}"
+    );
+
+    // Hand-rolled JSON (no serialization dependency in this environment).
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"algorithms\",\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"collectives\": {collectives}, \"rounds\": {rounds}, \"count\": 16, \"repeats\": {repeats}}},"
+    );
+    json.push_str("  \"throughput\": [\n");
+    for (i, (gpus, row)) in throughput.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"gpus\": {gpus}, \"ring_collectives_per_sec\": {:.1}, \"tree_collectives_per_sec\": {:.1}, \"hierarchical_collectives_per_sec\": {:.1}}}",
+            row[0], row[1], row[2]
+        );
+        json.push_str(if i + 1 < throughput.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n  \"modelled_sweep_us\": [\n");
+    for (i, (bytes, ring, tree, hier)) in sweep.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"bytes\": {bytes}, \"ring\": {ring:.2}, \"tree\": {tree:.2}, \"hierarchical\": {hier:.2}}}"
+        );
+        json.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"tree_wins_small_payloads\": {tree_wins_small},");
+    let _ = writeln!(json, "  \"ring_wins_large_payloads\": {ring_wins_large}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+
+    if !tree_wins_small || !ring_wins_large {
+        eprintln!("WARNING: modelled ring/tree crossover has the wrong shape");
+        std::process::exit(2);
+    }
+}

@@ -104,9 +104,24 @@ pub fn unbatched_config() -> DfcclConfig {
 /// `collectives × rounds` tiny all-reduces (one invoker thread per rank) and
 /// the clock stops when the last completion callback has fired on every rank.
 pub fn scheduling_throughput(workload: HotpathWorkload, config: DfcclConfig) -> ThroughputResult {
+    scheduling_throughput_over(workload, config, Topology::flat(workload.gpus))
+}
+
+/// [`scheduling_throughput`] over an explicit topology (e.g. a multi-node
+/// cluster so the hierarchical algorithm is selectable).
+pub fn scheduling_throughput_over(
+    workload: HotpathWorkload,
+    config: DfcclConfig,
+    topology: Topology,
+) -> ThroughputResult {
     assert!(workload.gpus >= 2, "an all-reduce needs at least two ranks");
+    assert_eq!(
+        topology.gpu_count(),
+        workload.gpus,
+        "topology/rank mismatch"
+    );
     let domain = DfcclDomain::new(
-        Topology::flat(workload.gpus),
+        topology,
         LinkModel::zero_cost(),
         GpuSpec::rtx_3090(),
         config,
@@ -189,9 +204,19 @@ pub fn best_of(
     workload: HotpathWorkload,
     config: &DfcclConfig,
 ) -> ThroughputResult {
+    best_of_over(repeats, workload, config, &Topology::flat(workload.gpus))
+}
+
+/// [`best_of`] over an explicit topology.
+pub fn best_of_over(
+    repeats: usize,
+    workload: HotpathWorkload,
+    config: &DfcclConfig,
+    topology: &Topology,
+) -> ThroughputResult {
     assert!(repeats > 0);
     (0..repeats)
-        .map(|_| scheduling_throughput(workload, config.clone()))
+        .map(|_| scheduling_throughput_over(workload, config.clone(), topology.clone()))
         .max_by(|a, b| {
             a.collectives_per_sec
                 .partial_cmp(&b.collectives_per_sec)

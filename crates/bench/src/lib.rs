@@ -7,7 +7,45 @@
 
 use std::time::Duration;
 
+use dfccl_collectives::{algorithm, estimate_completion_ns, AlgorithmKind, CollectiveDescriptor};
+use dfccl_transport::{LinkModel, Topology};
+
 pub mod hotpath;
+
+/// Chunk size (elements) used by the modelled-cost sweeps, matching the
+/// runtime's default `chunk_elems` granularity class.
+pub const MODELLED_SWEEP_CHUNK_ELEMS: usize = 8 * 1024;
+
+/// Modelled completion time of `desc` under `algo` over `topo` with the
+/// Table 2 link parameters, in microseconds — the deterministic quantity the
+/// algorithm sweeps and the crossover assertions share. `None` when the
+/// algorithm cannot schedule the descriptor over this topology.
+pub fn modelled_completion_us(
+    desc: &CollectiveDescriptor,
+    algo: AlgorithmKind,
+    topo: &Topology,
+) -> Option<f64> {
+    let generator = algorithm(algo);
+    if !generator.supports(desc, topo) {
+        return None;
+    }
+    let plans: Vec<_> = (0..desc.num_ranks())
+        .map(|r| {
+            generator
+                .build_plan(desc, r, MODELLED_SWEEP_CHUNK_ELEMS, topo)
+                .expect("supported algorithm builds")
+        })
+        .collect();
+    let ns = estimate_completion_ns(
+        &plans,
+        &desc.devices,
+        topo,
+        &LinkModel::table2_testbed(),
+        desc.dtype,
+    )
+    .expect("acyclic plan set completes");
+    Some(ns / 1_000.0)
+}
 
 /// Parse `--key value` style arguments from `std::env::args`, returning the
 /// value for `key` if present.

@@ -4,6 +4,7 @@ use gpu_sim::GpuId;
 use serde::{Deserialize, Serialize};
 
 use crate::datatype::DataType;
+use crate::plan::AlgorithmKind;
 use crate::redop::ReduceOp;
 use crate::CollectiveError;
 
@@ -81,6 +82,10 @@ pub struct CollectiveDescriptor {
     /// User-specified scheduling priority; higher runs earlier under the
     /// priority-based ordering policy. `0` means "no particular priority".
     pub priority: i32,
+    /// Per-collective algorithm override. `None` lets the selector pick from
+    /// payload size and topology; `Some` is honoured strictly (an unsupported
+    /// choice fails registration).
+    pub algorithm: Option<AlgorithmKind>,
 }
 
 impl CollectiveDescriptor {
@@ -94,6 +99,7 @@ impl CollectiveDescriptor {
             root: None,
             devices,
             priority: 0,
+            algorithm: None,
         }
     }
 
@@ -107,6 +113,7 @@ impl CollectiveDescriptor {
             root: None,
             devices,
             priority: 0,
+            algorithm: None,
         }
     }
 
@@ -125,6 +132,7 @@ impl CollectiveDescriptor {
             root: None,
             devices,
             priority: 0,
+            algorithm: None,
         }
     }
 
@@ -144,6 +152,7 @@ impl CollectiveDescriptor {
             root: Some(root),
             devices,
             priority: 0,
+            algorithm: None,
         }
     }
 
@@ -157,12 +166,19 @@ impl CollectiveDescriptor {
             root: Some(root),
             devices,
             priority: 0,
+            algorithm: None,
         }
     }
 
     /// Set the scheduling priority.
     pub fn with_priority(mut self, priority: i32) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Force a specific collective algorithm for this collective.
+    pub fn with_algorithm(mut self, algorithm: AlgorithmKind) -> Self {
+        self.algorithm = Some(algorithm);
         self
     }
 

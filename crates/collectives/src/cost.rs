@@ -1,0 +1,198 @@
+//! Deterministic plan-cost estimation: the modelled completion time of a set
+//! of per-rank plans over a link model.
+//!
+//! The runtime charges link costs by busy-spinning in the sending rank's
+//! thread, so measured wall-clock times need as many cores as ranks to show
+//! an algorithm's real shape — on smaller machines every schedule degrades
+//! towards the sum of its transfer costs. This module computes the same
+//! quantity analytically: an event-driven walk of the plans that advances a
+//! per-rank clock, charges `alpha + bytes/beta` per hop on the sender (the
+//! [`crate::executor`] charging discipline) and makes each chunk visible to
+//! its receiver at the sender's post-charge clock. The result is the modelled
+//! critical path — deterministic, independent of host core count, and
+//! exactly the quantity the ring/tree crossover of Fig. 8 is about.
+//!
+//! Connector capacity is not modelled (plans are chunk-major, so the
+//! in-flight window is O(1) and capacity shifts all algorithms equally).
+
+use std::collections::{HashMap, VecDeque};
+
+use dfccl_transport::{LinkModel, Topology, TransportError};
+use gpu_sim::GpuId;
+
+use crate::datatype::DataType;
+use crate::plan::Plan;
+use crate::CollectiveError;
+
+/// Errors from cost estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CostError {
+    /// A plan step addressed a GPU pair the topology cannot classify.
+    Transport(TransportError),
+    /// The plans never reach completion (a cyclic schedule): `stalled` ranks
+    /// still had steps left when no progress was possible.
+    Stalled { stalled: usize },
+    /// Plan-level inconsistency.
+    Collective(CollectiveError),
+}
+
+impl From<TransportError> for CostError {
+    fn from(e: TransportError) -> Self {
+        CostError::Transport(e)
+    }
+}
+
+/// Modelled completion time, in (unscaled) nanoseconds, of running `plans`
+/// (one per rank, in rank order over `devices`) with `dtype` elements.
+pub fn estimate_completion_ns(
+    plans: &[Plan],
+    devices: &[GpuId],
+    topology: &Topology,
+    link: &LinkModel,
+    dtype: DataType,
+) -> Result<f64, CostError> {
+    let n = plans.len();
+    let elem = dtype.size_bytes();
+    // Per-rank clocks and cursors.
+    let mut clock = vec![0.0f64; n];
+    let mut cursor = vec![0usize; n];
+    // Per directed edge: FIFO of message-visible times.
+    let mut edges: HashMap<(usize, usize), VecDeque<f64>> = HashMap::new();
+
+    loop {
+        let mut progressed = false;
+        let mut remaining = 0usize;
+        for r in 0..n {
+            // Drain as many of rank r's steps as are currently executable.
+            while cursor[r] < plans[r].steps.len() {
+                let step = &plans[r].steps[cursor[r]];
+                let mut t = clock[r];
+                if let Some(src) = step.recv_from {
+                    match edges.get_mut(&(src, r)).and_then(|q| q.front().copied()) {
+                        Some(avail) => t = t.max(avail),
+                        None => break, // input not produced yet
+                    }
+                    edges.get_mut(&(src, r)).unwrap().pop_front();
+                }
+                if let Some(dst) = step.send_to {
+                    let bytes = step.elems() * elem;
+                    let class = topology.link_between(devices[r], devices[dst])?;
+                    t += link.params(class).transfer_nanos(bytes);
+                    edges.entry((r, dst)).or_default().push_back(t);
+                }
+                clock[r] = t;
+                cursor[r] += 1;
+                progressed = true;
+            }
+            if cursor[r] < plans[r].steps.len() {
+                remaining += 1;
+            }
+        }
+        if remaining == 0 {
+            return Ok(clock.iter().copied().fold(0.0, f64::max));
+        }
+        if !progressed {
+            return Err(CostError::Stalled { stalled: remaining });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::CollectiveDescriptor;
+    use crate::plan::{algorithm, AlgorithmKind};
+    use crate::redop::ReduceOp;
+
+    fn gpus(n: usize) -> Vec<GpuId> {
+        (0..n).map(GpuId).collect()
+    }
+
+    fn plans_for(
+        desc: &CollectiveDescriptor,
+        algo: AlgorithmKind,
+        topo: &Topology,
+        chunk: usize,
+    ) -> Vec<Plan> {
+        (0..desc.num_ranks())
+            .map(|r| algorithm(algo).build_plan(desc, r, chunk, topo).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn estimate_scales_with_payload() {
+        let n = 4;
+        let topo = Topology::flat(n);
+        let link = LinkModel::table2_testbed();
+        let small = CollectiveDescriptor::all_reduce(64, DataType::F32, ReduceOp::Sum, gpus(n));
+        let large =
+            CollectiveDescriptor::all_reduce(1 << 20, DataType::F32, ReduceOp::Sum, gpus(n));
+        let t_small = estimate_completion_ns(
+            &plans_for(&small, AlgorithmKind::Ring, &topo, 8 * 1024),
+            &gpus(n),
+            &topo,
+            &link,
+            DataType::F32,
+        )
+        .unwrap();
+        let t_large = estimate_completion_ns(
+            &plans_for(&large, AlgorithmKind::Ring, &topo, 8 * 1024),
+            &gpus(n),
+            &topo,
+            &link,
+            DataType::F32,
+        )
+        .unwrap();
+        assert!(t_large > 10.0 * t_small, "{t_small} vs {t_large}");
+    }
+
+    #[test]
+    fn ring_estimate_grows_with_rank_count_at_fixed_payload() {
+        // The O(n) latency term the tree schedule removes.
+        let link = LinkModel::table2_testbed();
+        let t = |n: usize| {
+            let topo = Topology::flat(n);
+            let desc = CollectiveDescriptor::all_reduce(64, DataType::F32, ReduceOp::Sum, gpus(n));
+            estimate_completion_ns(
+                &plans_for(&desc, AlgorithmKind::Ring, &topo, 1024),
+                &gpus(n),
+                &topo,
+                &link,
+                DataType::F32,
+            )
+            .unwrap()
+        };
+        assert!(t(8) > 1.5 * t(4));
+    }
+
+    #[test]
+    fn stalled_plans_are_reported_not_looped() {
+        // A single plan that receives a message nobody sends.
+        use crate::chunk::ElemRange;
+        use crate::primitive::{PrimitiveKind, PrimitiveStep, SrcBuf};
+        let plan = Plan::new(
+            AlgorithmKind::Ring,
+            vec![PrimitiveStep {
+                kind: PrimitiveKind::Recv,
+                src: None,
+                src_buf: SrcBuf::Send,
+                dst: Some(ElemRange::new(0, 1)),
+                send_to: None,
+                recv_from: Some(1),
+                chunk_index: 0,
+                step: 0,
+            }],
+        );
+        let idle = Plan::new(AlgorithmKind::Ring, Vec::new());
+        let topo = Topology::flat(2);
+        let err = estimate_completion_ns(
+            &[plan, idle],
+            &gpus(2),
+            &topo,
+            &LinkModel::zero_cost(),
+            DataType::F32,
+        )
+        .unwrap_err();
+        assert_eq!(err, CostError::Stalled { stalled: 1 });
+    }
+}

@@ -3,22 +3,43 @@
 //! The executor is deliberately split into two calls:
 //!
 //! * [`step_ready`] — whether the connector conditions the primitive needs
-//!   (free send slot, available recv chunk) currently hold. This is the
-//!   condition a primitive busy-waits on. DFCCL's daemon kernel polls it up to
-//!   a spin threshold and preempts the collective when the bound is exceeded;
-//!   the NCCL-like baseline polls it forever.
+//!   (free slot towards the send peer, available chunk from the recv peer)
+//!   currently hold. This is the condition a primitive busy-waits on. DFCCL's
+//!   daemon kernel polls it up to a spin threshold and preempts the
+//!   collective when the bound is exceeded; the NCCL-like baseline polls it
+//!   forever.
 //! * [`execute_ready_step`] — runs the primitive once the conditions hold.
 //!   The primitive consumes at most one chunk, produces at most one chunk, and
 //!   never blocks, so a collective can be suspended before or after any
 //!   primitive without losing data (the context is just the index of the next
-//!   primitive to run).
+//!   primitive to run). This holds for every algorithm family — preemption
+//!   safety is a property of the primitive contract, not of the schedule.
+//!
+//! Peers are explicit on each step, and the channels are a per-peer connector
+//! map, so the same executor drives ring, tree and hierarchical schedules.
+//!
+//! ## The staging slot
+//!
+//! A fused primitive (`RecvReduceSend` and friends) consumes a chunk *and*
+//! publishes one. If its readiness required both a waiting chunk and a free
+//! send slot, a ring of such primitives over 1-slot connectors would deadlock
+//! immediately: every rank's fused step waits for a send slot that only its
+//! successor's fused step can free. The executor therefore gates fused
+//! primitives on their *recv* condition only and stages the outbound chunk in
+//! a per-collective [`PendingSend`] slot when the connector is full — the
+//! moral equivalent of NCCL's sender-side intermediate buffer. The staged
+//! chunk must be flushed before the next primitive runs, which preserves
+//! per-edge FIFO order, bounds the extra memory at one chunk per in-flight
+//! collective, and keeps every primitive single-chunk and non-blocking. The
+//! slot is part of the dynamic context, so preemption remains safe at every
+//! primitive boundary.
 
-use dfccl_transport::{ChunkMsg, RankChannels, SendError};
+use dfccl_transport::{ChunkMsg, Connector, RankChannels, SendError};
 
 use crate::buffer::DeviceBuffer;
 use crate::collective::CollectiveDescriptor;
 use crate::datatype::DataType;
-use crate::primitive::{PrimitiveKind, PrimitiveStep};
+use crate::primitive::{PrimitiveKind, PrimitiveStep, SrcBuf};
 use crate::redop::{reduce_into, ReduceOp};
 use crate::CollectiveError;
 
@@ -41,10 +62,11 @@ pub enum ExecError {
     CollectiveMismatch { expected: u64, actual: u64 },
     /// A reducing primitive was executed without a reduce operator.
     MissingReduceOp,
-    /// The send connector was full even though readiness was checked; this can
-    /// only happen if another producer shares the connector, which violates
-    /// the per-collective connector ownership invariant.
-    ConnectorProtocolViolation,
+    /// The step addresses a peer the rank's channels were not built for —
+    /// the plan and the registered channels disagree.
+    MissingPeerConnector { peer: usize },
+    /// The step's kind requires a peer but the plan named none.
+    MalformedStep(&'static str),
     /// The plan or buffers were inconsistent with the descriptor.
     Collective(CollectiveError),
 }
@@ -65,12 +87,13 @@ impl std::fmt::Display for ExecError {
                 )
             }
             ExecError::MissingReduceOp => write!(f, "reducing primitive without a reduce operator"),
-            ExecError::ConnectorProtocolViolation => {
+            ExecError::MissingPeerConnector { peer } => {
                 write!(
                     f,
-                    "send connector full after readiness check (shared connector?)"
+                    "no connector to peer rank {peer} in this rank's channels"
                 )
             }
+            ExecError::MalformedStep(what) => write!(f, "malformed step: {what}"),
             ExecError::Collective(e) => write!(f, "{e}"),
         }
     }
@@ -84,19 +107,110 @@ impl From<CollectiveError> for ExecError {
     }
 }
 
-/// Whether the connector conditions required by `step` currently hold.
-pub fn step_ready(step: &PrimitiveStep, channels: &RankChannels) -> bool {
-    let send_ok = !step.kind.has_send() || channels.send.send_ready();
-    let recv_ok = !step.kind.has_recv() || channels.recv.recv_ready();
+/// A chunk a fused primitive produced while its send connector was full,
+/// staged until the connector drains. At most one exists per in-flight
+/// collective invocation; it is part of the preemption context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingSend {
+    /// Destination rank.
+    pub peer: usize,
+    /// The staged chunk.
+    pub msg: ChunkMsg,
+}
+
+/// Try to publish a staged chunk. Returns `true` when the slot is clear
+/// (nothing was staged, or the flush succeeded).
+pub fn flush_pending(
+    channels: &RankChannels,
+    pending: &mut Option<PendingSend>,
+) -> Result<bool, ExecError> {
+    let Some(p) = pending.take() else {
+        return Ok(true);
+    };
+    let conn = channels
+        .send_to(p.peer)
+        .ok_or(ExecError::MissingPeerConnector { peer: p.peer })?;
+    match conn.try_send(p.msg) {
+        Ok(()) => Ok(true),
+        Err(SendError::Full(msg)) => {
+            *pending = Some(PendingSend { peer: p.peer, msg });
+            Ok(false)
+        }
+    }
+}
+
+/// Whether the conditions required to make progress currently hold: a staged
+/// chunk needs its connector to drain; otherwise `step` needs its connector
+/// conditions. A fused primitive is gated on its *recv* condition only — its
+/// send half can always be staged (see the module docs on the staging slot).
+///
+/// A peer the channels were not built for counts as "ready": executing the
+/// step then surfaces [`ExecError::MissingPeerConnector`] instead of spinning
+/// on a condition that can never change.
+pub fn step_ready(
+    step: &PrimitiveStep,
+    channels: &RankChannels,
+    pending: &Option<PendingSend>,
+) -> bool {
+    if let Some(p) = pending {
+        return channels.send_to(p.peer).is_none_or(|c| c.send_ready());
+    }
+    let recv_ok = match step.recv_from {
+        None => true,
+        Some(p) => channels.recv_from(p).is_none_or(|c| c.recv_ready()),
+    };
+    // A pure Send has nothing to stage behind: gate it on the free slot. A
+    // fused primitive is recv-gated; its output is staged if the slot is full.
+    let send_ok = step.kind.has_recv()
+        || match step.send_to {
+            None => true,
+            Some(p) => channels.send_to(p).is_none_or(|c| c.send_ready()),
+        };
     send_ok && recv_ok
+}
+
+fn resolve_send<'c>(
+    step: &PrimitiveStep,
+    channels: &'c RankChannels,
+) -> Result<Option<&'c Connector>, ExecError> {
+    if !step.kind.has_send() {
+        return Ok(None);
+    }
+    let peer = step.send_to.ok_or(ExecError::MalformedStep(
+        "send primitive without a send peer",
+    ))?;
+    channels
+        .send_to(peer)
+        .map(|c| Some(c.as_ref()))
+        .ok_or(ExecError::MissingPeerConnector { peer })
+}
+
+fn resolve_recv<'c>(
+    step: &PrimitiveStep,
+    channels: &'c RankChannels,
+) -> Result<Option<&'c Connector>, ExecError> {
+    if !step.kind.has_recv() {
+        return Ok(None);
+    }
+    let peer = step.recv_from.ok_or(ExecError::MalformedStep(
+        "recv primitive without a recv peer",
+    ))?;
+    channels
+        .recv_from(peer)
+        .map(|c| Some(c.as_ref()))
+        .ok_or(ExecError::MissingPeerConnector { peer })
 }
 
 /// Execute `step`, assuming [`step_ready`] was just observed to be true.
 ///
-/// If the conditions no longer hold (e.g. the caller skipped the readiness
-/// check), the call returns [`StepOutcome::NotReady`] without consuming
-/// anything, except in the pathological case where the send connector is
-/// filled by a foreign producer between the check and the push.
+/// Any chunk staged by a previous primitive is flushed first; if it cannot be
+/// flushed the call returns [`StepOutcome::NotReady`] (per-edge FIFO order
+/// requires the staged chunk to leave before this step's output). If the
+/// step's own conditions no longer hold (e.g. the caller skipped the
+/// readiness check), the call returns [`StepOutcome::NotReady`] without
+/// consuming anything. A fused primitive whose send connector is full
+/// completes by staging its output chunk in `pending`.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_ready_step(
     coll_id: u64,
     step: &PrimitiveStep,
@@ -105,18 +219,32 @@ pub fn execute_ready_step(
     op: Option<ReduceOp>,
     send_buf: &DeviceBuffer,
     recv_buf: &DeviceBuffer,
+    pending: &mut Option<PendingSend>,
 ) -> Result<StepOutcome, ExecError> {
+    if !flush_pending(channels, pending)? {
+        return Ok(StepOutcome::NotReady);
+    }
     let elem = dtype.size_bytes();
+    let send_conn = resolve_send(step, channels)?;
+    let recv_conn = resolve_recv(step, channels)?;
 
     // Re-check readiness defensively; never consume a chunk we cannot process
     // to completion.
-    if !step_ready(step, channels) {
+    if !step_ready(step, channels, pending) {
         return Ok(StepOutcome::NotReady);
     }
 
+    // The local operand buffer: ring schedules read the original contribution
+    // from the send buffer; tree/hierarchical schedules also read partials
+    // accumulated in the recv buffer.
+    let local_buf = match step.src_buf {
+        SrcBuf::Send => send_buf,
+        SrcBuf::Recv => recv_buf,
+    };
+
     // Gather the incoming chunk, if the primitive receives.
-    let incoming: Option<Vec<u8>> = if step.kind.has_recv() {
-        match channels.recv.try_recv() {
+    let incoming: Option<Vec<u8>> = if let Some(conn) = recv_conn {
+        match conn.try_recv() {
             Some(msg) => {
                 if msg.coll_id != coll_id {
                     return Err(ExecError::CollectiveMismatch {
@@ -137,7 +265,7 @@ pub fn execute_ready_step(
     let data: Vec<u8> = match step.kind {
         PrimitiveKind::Send | PrimitiveKind::Copy => {
             let src = step.src.expect("Send/Copy primitives carry a src range");
-            send_buf.read_range(src.byte_offset(elem), src.byte_len(elem))
+            local_buf.read_range(src.byte_offset(elem), src.byte_len(elem))
         }
         PrimitiveKind::Recv | PrimitiveKind::RecvCopySend => {
             let data = incoming.expect("receiving primitive consumed a chunk");
@@ -157,7 +285,7 @@ pub fn execute_ready_step(
         | PrimitiveKind::RecvReduceCopy
         | PrimitiveKind::RecvReduceCopySend => {
             let src = step.src.expect("reducing primitives carry a src range");
-            let mut local = send_buf.read_range(src.byte_offset(elem), src.byte_len(elem));
+            let mut local = local_buf.read_range(src.byte_offset(elem), src.byte_len(elem));
             let data = incoming.expect("receiving primitive consumed a chunk");
             if data.len() != local.len() {
                 return Err(ExecError::PayloadSizeMismatch {
@@ -177,16 +305,19 @@ pub fn execute_ready_step(
         recv_buf.write_range(dst.byte_offset(elem), &data);
     }
 
-    // Publish over the wire.
-    if step.kind.has_send() {
+    // Publish over the wire, staging the chunk if the connector is full.
+    if let Some(conn) = send_conn {
         let msg = ChunkMsg {
             coll_id,
             chunk_index: step.chunk_index,
             step: step.step,
             data,
         };
-        if let Err(SendError::Full(_)) = channels.send.try_send(msg) {
-            return Err(ExecError::ConnectorProtocolViolation);
+        if let Err(SendError::Full(msg)) = conn.try_send(msg) {
+            *pending = Some(PendingSend {
+                peer: step.send_to.expect("send primitive carries a peer"),
+                msg,
+            });
         }
     }
 
@@ -207,19 +338,40 @@ pub fn run_plan_blocking(
     recv_buf: &DeviceBuffer,
     should_abort: &dyn Fn() -> bool,
 ) -> Result<bool, ExecError> {
+    let mut pending: Option<PendingSend> = None;
     for step in plan {
         loop {
             if should_abort() {
                 return Ok(false);
             }
-            if step_ready(step, channels) {
-                match execute_ready_step(coll_id, step, channels, dtype, op, send_buf, recv_buf)? {
+            if step_ready(step, channels, &pending) {
+                match execute_ready_step(
+                    coll_id,
+                    step,
+                    channels,
+                    dtype,
+                    op,
+                    send_buf,
+                    recv_buf,
+                    &mut pending,
+                )? {
                     StepOutcome::Completed => break,
                     StepOutcome::NotReady => continue,
                 }
             }
-            std::hint::spin_loop();
+            // Busy-wait, but let other ranks' threads run: on machines with
+            // fewer cores than ranks a pure spin starves the very peer that
+            // would make this step ready.
+            std::thread::yield_now();
         }
+    }
+    // The last primitive may have staged its output; the collective is only
+    // complete once the chunk is on the wire.
+    while !flush_pending(channels, &mut pending)? {
+        if should_abort() {
+            return Ok(false);
+        }
+        std::thread::yield_now();
     }
     Ok(true)
 }
@@ -252,43 +404,82 @@ pub fn validate_buffers(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chunk::ElemRange;
     use crate::collective::CollectiveKind;
+    use crate::plan::{algorithm, AlgorithmKind};
     use crate::ring::build_plan;
     use dfccl_transport::{Communicator, CommunicatorId, LinkModel, Topology};
     use gpu_sim::GpuId;
     use std::sync::Arc;
 
     fn make_comm(n: usize) -> Arc<Communicator> {
-        Communicator::new_ring(
+        Communicator::new(
             CommunicatorId(0),
             (0..n).map(GpuId).collect(),
-            &Topology::flat(n),
+            &Arc::new(Topology::flat(n)),
             &Arc::new(LinkModel::zero_cost()),
             16,
         )
         .unwrap()
     }
 
-    /// Run a collective across `n` ranks, one thread per rank, and return each
-    /// rank's recv buffer as f32.
-    fn run_collective(
+    /// Ring channels for `rank` in a 2-ring: send to and recv from the peer.
+    fn pair_channels(comm: &Arc<Communicator>, rank: usize) -> RankChannels {
+        comm.rank_channels(rank).unwrap()
+    }
+
+    fn send_step() -> PrimitiveStep {
+        PrimitiveStep {
+            kind: PrimitiveKind::Send,
+            src: Some(ElemRange::new(0, 1)),
+            src_buf: SrcBuf::Send,
+            dst: None,
+            send_to: Some(1),
+            recv_from: None,
+            chunk_index: 0,
+            step: 0,
+        }
+    }
+
+    fn recv_step(from: usize) -> PrimitiveStep {
+        PrimitiveStep {
+            kind: PrimitiveKind::Recv,
+            src: None,
+            src_buf: SrcBuf::Send,
+            dst: Some(ElemRange::new(0, 1)),
+            send_to: None,
+            recv_from: Some(from),
+            chunk_index: 0,
+            step: 0,
+        }
+    }
+
+    /// Run a collective across `n` ranks with `algo`, one thread per rank,
+    /// and return each rank's recv buffer as f32.
+    fn run_collective_with(
         desc: &CollectiveDescriptor,
         inputs: Vec<Vec<f32>>,
         chunk: usize,
+        algo: AlgorithmKind,
     ) -> Vec<Vec<f32>> {
         let n = desc.num_ranks();
         let comm = make_comm(n);
+        let topo = Topology::flat(n);
         let mut joins = Vec::new();
         for (rank, input) in inputs.into_iter().enumerate() {
             let desc = desc.clone();
-            let channels = comm.rank_channels(rank).unwrap();
+            let plan = algorithm(algo)
+                .build_plan(&desc, rank, chunk, &topo)
+                .unwrap();
+            let channels = comm
+                .channels(rank, &plan.send_peers(), &plan.recv_peers())
+                .unwrap();
             joins.push(std::thread::spawn(move || {
                 let send = DeviceBuffer::from_f32(&input);
                 let recv = DeviceBuffer::zeroed(desc.recv_bytes(rank).max(4));
-                let plan = build_plan(&desc, rank, chunk).unwrap();
                 let done = run_plan_blocking(
                     42,
-                    &plan,
+                    &plan.steps,
                     &channels,
                     desc.dtype,
                     desc.op,
@@ -302,6 +493,14 @@ mod tests {
             }));
         }
         joins.into_iter().map(|j| j.join().unwrap()).collect()
+    }
+
+    fn run_collective(
+        desc: &CollectiveDescriptor,
+        inputs: Vec<Vec<f32>>,
+        chunk: usize,
+    ) -> Vec<Vec<f32>> {
+        run_collective_with(desc, inputs, chunk, AlgorithmKind::Ring)
     }
 
     #[test]
@@ -323,6 +522,57 @@ mod tests {
         let outputs = run_collective(&desc, inputs, 8);
         for (rank, out) in outputs.iter().enumerate() {
             assert_eq!(out, &expected, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn tree_all_reduce_produces_the_sum_on_every_rank() {
+        // Same workload as the ring test, scheduled over the double binary
+        // tree — identical results from a different plan shape.
+        for n in [2usize, 3, 5, 8] {
+            let count = 37;
+            let desc = CollectiveDescriptor::all_reduce(
+                count,
+                DataType::F32,
+                ReduceOp::Sum,
+                (0..n).map(GpuId).collect(),
+            );
+            let inputs: Vec<Vec<f32>> = (0..n)
+                .map(|r| (0..count).map(|i| (r * count + i) as f32).collect())
+                .collect();
+            let expected: Vec<f32> = (0..count)
+                .map(|i| (0..n).map(|r| (r * count + i) as f32).sum())
+                .collect();
+            let outputs = run_collective_with(&desc, inputs, 8, AlgorithmKind::DoubleBinaryTree);
+            for (rank, out) in outputs.iter().enumerate() {
+                assert_eq!(out, &expected, "n {n} rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_broadcast_copies_root_data_everywhere() {
+        for n in [2usize, 4, 7] {
+            let count = 21;
+            let root = n - 1;
+            let desc = CollectiveDescriptor::broadcast(
+                count,
+                DataType::F32,
+                root,
+                (0..n).map(GpuId).collect(),
+            );
+            let inputs: Vec<Vec<f32>> = (0..n)
+                .map(|r| {
+                    (0..count)
+                        .map(|i| if r == root { i as f32 * 3.0 } else { -1.0 })
+                        .collect()
+                })
+                .collect();
+            let expected: Vec<f32> = (0..count).map(|i| i as f32 * 3.0).collect();
+            let outputs = run_collective_with(&desc, inputs, 4, AlgorithmKind::DoubleBinaryTree);
+            for (rank, out) in outputs.iter().enumerate() {
+                assert_eq!(out, &expected, "n {n} rank {rank}");
+            }
         }
     }
 
@@ -431,60 +681,127 @@ mod tests {
     #[test]
     fn step_ready_tracks_connector_state() {
         let comm = make_comm(2);
-        let ch0 = comm.rank_channels(0).unwrap();
-        let send_step = PrimitiveStep {
-            kind: PrimitiveKind::Send,
-            src: Some(crate::chunk::ElemRange::new(0, 1)),
-            dst: None,
-            chunk_index: 0,
-            step: 0,
-        };
-        let recv_step = PrimitiveStep {
-            kind: PrimitiveKind::Recv,
-            src: None,
-            dst: Some(crate::chunk::ElemRange::new(0, 1)),
-            chunk_index: 0,
-            step: 0,
-        };
-        assert!(step_ready(&send_step, &ch0));
-        assert!(!step_ready(&recv_step, &ch0));
+        let ch0 = pair_channels(&comm, 0);
+        let send_step = send_step();
+        let recv_from_1 = recv_step(1);
+        assert!(step_ready(&send_step, &ch0, &None));
+        assert!(!step_ready(&recv_from_1, &ch0, &None));
         // Fill the send connector completely: send becomes not-ready.
         let send = DeviceBuffer::from_f32(&[1.0]);
         let recv = DeviceBuffer::zeroed(4);
-        for _ in 0..ch0.send.capacity() {
-            execute_ready_step(1, &send_step, &ch0, DataType::F32, None, &send, &recv).unwrap();
+        let capacity = ch0.send_to(1).unwrap().capacity();
+        for _ in 0..capacity {
+            execute_ready_step(
+                1,
+                &send_step,
+                &ch0,
+                DataType::F32,
+                None,
+                &send,
+                &recv,
+                &mut None,
+            )
+            .unwrap();
         }
-        assert!(!step_ready(&send_step, &ch0));
+        assert!(!step_ready(&send_step, &ch0, &None));
         // And the peer now has data to receive.
-        let ch1 = comm.rank_channels(1).unwrap();
-        assert!(step_ready(&recv_step, &ch1));
+        let ch1 = pair_channels(&comm, 1);
+        assert!(step_ready(&recv_step(0), &ch1, &None));
     }
 
     #[test]
     fn execute_not_ready_consumes_nothing() {
         let comm = make_comm(2);
-        let ch0 = comm.rank_channels(0).unwrap();
-        let recv_step = PrimitiveStep {
-            kind: PrimitiveKind::Recv,
-            src: None,
-            dst: Some(crate::chunk::ElemRange::new(0, 1)),
-            chunk_index: 0,
-            step: 0,
-        };
+        let ch0 = pair_channels(&comm, 0);
         let send = DeviceBuffer::zeroed(4);
         let recv = DeviceBuffer::zeroed(4);
-        let out =
-            execute_ready_step(1, &recv_step, &ch0, DataType::F32, None, &send, &recv).unwrap();
+        let out = execute_ready_step(
+            1,
+            &recv_step(1),
+            &ch0,
+            DataType::F32,
+            None,
+            &send,
+            &recv,
+            &mut None,
+        )
+        .unwrap();
         assert_eq!(out, StepOutcome::NotReady);
+    }
+
+    #[test]
+    fn missing_peer_connector_is_an_error_not_a_hang() {
+        let comm = make_comm(3);
+        // Channels only cover peer 1, but the step addresses peer 2.
+        let ch0 = comm.channels(0, &[1], &[1]).unwrap();
+        let mut stray = send_step();
+        stray.send_to = Some(2);
+        // step_ready must not spin on a connector that can never appear.
+        assert!(step_ready(&stray, &ch0, &None));
+        let send = DeviceBuffer::from_f32(&[1.0]);
+        let recv = DeviceBuffer::zeroed(4);
+        let err = execute_ready_step(
+            1,
+            &stray,
+            &ch0,
+            DataType::F32,
+            None,
+            &send,
+            &recv,
+            &mut None,
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::MissingPeerConnector { peer: 2 });
+    }
+
+    #[test]
+    fn step_without_required_peer_is_malformed() {
+        let comm = make_comm(2);
+        let ch0 = pair_channels(&comm, 0);
+        let mut bad = send_step();
+        bad.send_to = None;
+        let send = DeviceBuffer::from_f32(&[1.0]);
+        let recv = DeviceBuffer::zeroed(4);
+        let err = execute_ready_step(1, &bad, &ch0, DataType::F32, None, &send, &recv, &mut None)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::MalformedStep(_)));
+    }
+
+    #[test]
+    fn src_buf_recv_reads_the_recv_buffer() {
+        // A Send with SrcBuf::Recv must publish the recv buffer's bytes —
+        // the accumulation pattern tree and hierarchical schedules rely on.
+        let comm = make_comm(2);
+        let ch0 = pair_channels(&comm, 0);
+        let ch1 = pair_channels(&comm, 1);
+        let send = DeviceBuffer::from_f32(&[1.0]);
+        let recv = DeviceBuffer::from_f32(&[42.0]);
+        let mut step = send_step();
+        step.src_buf = SrcBuf::Recv;
+        execute_ready_step(1, &step, &ch0, DataType::F32, None, &send, &recv, &mut None).unwrap();
+        let out = DeviceBuffer::zeroed(4);
+        execute_ready_step(
+            1,
+            &recv_step(0),
+            &ch1,
+            DataType::F32,
+            None,
+            &DeviceBuffer::zeroed(4),
+            &out,
+            &mut None,
+        )
+        .unwrap();
+        assert_eq!(out.to_f32_vec(), vec![42.0]);
     }
 
     #[test]
     fn mismatched_collective_id_is_detected() {
         let comm = make_comm(2);
-        let ch0 = comm.rank_channels(0).unwrap();
-        let ch1 = comm.rank_channels(1).unwrap();
+        let ch0 = pair_channels(&comm, 0);
+        let ch1 = pair_channels(&comm, 1);
         // Rank 0 sends under collective id 7.
-        ch0.send
+        ch0.send_to(1)
+            .unwrap()
             .try_send(ChunkMsg {
                 coll_id: 7,
                 chunk_index: 0,
@@ -492,17 +809,19 @@ mod tests {
                 data: vec![0u8; 4],
             })
             .unwrap();
-        let recv_step = PrimitiveStep {
-            kind: PrimitiveKind::Recv,
-            src: None,
-            dst: Some(crate::chunk::ElemRange::new(0, 1)),
-            chunk_index: 0,
-            step: 0,
-        };
         let send = DeviceBuffer::zeroed(4);
         let recv = DeviceBuffer::zeroed(4);
-        let err =
-            execute_ready_step(9, &recv_step, &ch1, DataType::F32, None, &send, &recv).unwrap_err();
+        let err = execute_ready_step(
+            9,
+            &recv_step(0),
+            &ch1,
+            DataType::F32,
+            None,
+            &send,
+            &recv,
+            &mut None,
+        )
+        .unwrap_err();
         assert!(matches!(
             err,
             ExecError::CollectiveMismatch {
@@ -515,9 +834,10 @@ mod tests {
     #[test]
     fn payload_size_mismatch_is_detected() {
         let comm = make_comm(2);
-        let ch0 = comm.rank_channels(0).unwrap();
-        let ch1 = comm.rank_channels(1).unwrap();
-        ch0.send
+        let ch0 = pair_channels(&comm, 0);
+        let ch1 = pair_channels(&comm, 1);
+        ch0.send_to(1)
+            .unwrap()
             .try_send(ChunkMsg {
                 coll_id: 1,
                 chunk_index: 0,
@@ -525,17 +845,11 @@ mod tests {
                 data: vec![0u8; 8],
             })
             .unwrap();
-        let recv_step = PrimitiveStep {
-            kind: PrimitiveKind::Recv,
-            src: None,
-            dst: Some(crate::chunk::ElemRange::new(0, 1)), // expects 4 bytes
-            chunk_index: 0,
-            step: 0,
-        };
+        let step = recv_step(0); // expects 4 bytes
         let send = DeviceBuffer::zeroed(4);
         let recv = DeviceBuffer::zeroed(4);
-        let err =
-            execute_ready_step(1, &recv_step, &ch1, DataType::F32, None, &send, &recv).unwrap_err();
+        let err = execute_ready_step(1, &step, &ch1, DataType::F32, None, &send, &recv, &mut None)
+            .unwrap_err();
         assert!(matches!(
             err,
             ExecError::PayloadSizeMismatch {
@@ -548,9 +862,10 @@ mod tests {
     #[test]
     fn reducing_step_without_op_is_an_error() {
         let comm = make_comm(2);
-        let ch0 = comm.rank_channels(0).unwrap();
-        let ch1 = comm.rank_channels(1).unwrap();
-        ch0.send
+        let ch0 = pair_channels(&comm, 0);
+        let ch1 = pair_channels(&comm, 1);
+        ch0.send_to(1)
+            .unwrap()
             .try_send(ChunkMsg {
                 coll_id: 1,
                 chunk_index: 0,
@@ -560,15 +875,18 @@ mod tests {
             .unwrap();
         let step = PrimitiveStep {
             kind: PrimitiveKind::RecvReduceCopy,
-            src: Some(crate::chunk::ElemRange::new(0, 1)),
-            dst: Some(crate::chunk::ElemRange::new(0, 1)),
+            src: Some(ElemRange::new(0, 1)),
+            src_buf: SrcBuf::Send,
+            dst: Some(ElemRange::new(0, 1)),
+            send_to: None,
+            recv_from: Some(0),
             chunk_index: 0,
             step: 0,
         };
         let send = DeviceBuffer::zeroed(4);
         let recv = DeviceBuffer::zeroed(4);
-        let err =
-            execute_ready_step(1, &step, &ch1, DataType::F32, None, &send, &recv).unwrap_err();
+        let err = execute_ready_step(1, &step, &ch1, DataType::F32, None, &send, &recv, &mut None)
+            .unwrap_err();
         assert_eq!(err, ExecError::MissingReduceOp);
     }
 
@@ -590,7 +908,7 @@ mod tests {
     #[test]
     fn abort_stops_a_blocking_run() {
         let comm = make_comm(2);
-        let ch0 = comm.rank_channels(0).unwrap();
+        let ch0 = pair_channels(&comm, 0);
         let desc = CollectiveDescriptor::all_reduce(
             4,
             DataType::F32,
@@ -603,7 +921,7 @@ mod tests {
         // The peer never participates, so without the abort this would hang.
         let done = run_plan_blocking(
             1,
-            &plan,
+            &plan.steps,
             &ch0,
             DataType::F32,
             Some(ReduceOp::Sum),

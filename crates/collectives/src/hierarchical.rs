@@ -1,0 +1,396 @@
+//! Hierarchical (two-level) all-reduce for multi-node topologies.
+//!
+//! Flat rings over a multi-node cluster push `2(n-1)/n` of the buffer across
+//! the slow inter-node fabric on *every* hop-pair. The hierarchical schedule
+//! confines most traffic to the fast intra-node links (the standard NCCL
+//! multi-node design point):
+//!
+//! 1. **Intra-node reduce-scatter** — a ring over the node's local ranks;
+//!    afterwards local rank `j` holds the node-wide partial sum of slice `j`
+//!    in its recv buffer.
+//! 2. **Inter-node exchange** — for each slice, the ranks holding it (one
+//!    per node — the slice's *node leaders*) run a ring all-reduce of that
+//!    slice across the fabric. Only `1/k`-th of the buffer crosses the
+//!    inter-node boundary per leader.
+//! 3. **Intra-node all-gather** — the ring again, redistributing the now
+//!    globally-reduced slices to every local rank.
+//!
+//! The phases use [`SrcBuf::Recv`] operands where a step consumes a partial
+//! accumulated by an earlier phase. Each phase is sorted chunk-major
+//! independently and the phases are concatenated in order on every rank:
+//! within a phase the ring argument gives deadlock freedom, and across
+//! phases a blocked rank only ever waits on a peer in the same or an earlier
+//! phase, so the schedule completes even with 1-slot connectors.
+//!
+//! The algorithm requires every node group (as classified by
+//! [`Topology::machine_of`]) to contribute the same number of ranks, and at
+//! least two nodes. Single-rank groups degenerate gracefully: phases 1 and 3
+//! vanish and phase 2 becomes a flat inter-node ring.
+
+use crate::chunk::{slice_ranges, ElemRange};
+use crate::collective::{CollectiveDescriptor, CollectiveKind};
+use crate::plan::{
+    check_builder_inputs, push_chunked, sort_chunk_major, Algorithm, AlgorithmKind, Plan,
+};
+use crate::primitive::{PrimitiveKind, PrimitiveStep, SrcBuf};
+use crate::CollectiveError;
+use dfccl_transport::Topology;
+
+/// The hierarchical schedule generator.
+pub struct HierarchicalAlgorithm;
+
+/// Emit one macro step of a ring phase: peers derive from the primitive
+/// kind, chunks split at `max_chunk`, and the shared step counter advances.
+#[allow(clippy::too_many_arguments)]
+fn emit_phase_step(
+    phase: &mut Vec<PrimitiveStep>,
+    kind: PrimitiveKind,
+    src: Option<ElemRange>,
+    src_buf: SrcBuf,
+    dst: Option<ElemRange>,
+    next: usize,
+    prev: usize,
+    step: &mut u32,
+    max_chunk: usize,
+) {
+    push_chunked(
+        phase,
+        kind,
+        src,
+        src_buf,
+        dst,
+        kind.has_send().then_some(next),
+        kind.has_recv().then_some(prev),
+        *step,
+        max_chunk,
+    );
+    *step += 1;
+}
+
+/// Node grouping of a device set: rank indices per machine, in rank order.
+fn node_groups(desc: &CollectiveDescriptor, topology: &Topology) -> Option<Vec<Vec<usize>>> {
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (rank, &gpu) in desc.devices.iter().enumerate() {
+        let machine = topology.machine_of(gpu)?;
+        match groups.iter_mut().find(|(m, _)| *m == machine) {
+            Some((_, g)) => g.push(rank),
+            None => groups.push((machine, vec![rank])),
+        }
+    }
+    if groups.len() < 2 {
+        return None;
+    }
+    let k = groups[0].1.len();
+    if groups.iter().any(|(_, g)| g.len() != k) {
+        return None;
+    }
+    Some(groups.into_iter().map(|(_, g)| g).collect())
+}
+
+impl Algorithm for HierarchicalAlgorithm {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::Hierarchical
+    }
+
+    fn supports(&self, desc: &CollectiveDescriptor, topology: &Topology) -> bool {
+        desc.kind == CollectiveKind::AllReduce && node_groups(desc, topology).is_some()
+    }
+
+    fn build_plan(
+        &self,
+        desc: &CollectiveDescriptor,
+        rank: usize,
+        max_chunk_elems: usize,
+        topology: &Topology,
+    ) -> Result<Plan, CollectiveError> {
+        check_builder_inputs(desc, rank, max_chunk_elems)?;
+        if desc.kind != CollectiveKind::AllReduce {
+            return Err(CollectiveError::UnsupportedAlgorithm {
+                algorithm: AlgorithmKind::Hierarchical,
+                kind: desc.kind,
+            });
+        }
+        let Some(groups) = node_groups(desc, topology) else {
+            return Err(CollectiveError::UnsupportedTopology(
+                "hierarchical all-reduce needs >= 2 nodes with equal-size rank groups".into(),
+            ));
+        };
+
+        let my_group = groups
+            .iter()
+            .position(|g| g.contains(&rank))
+            .expect("rank is grouped");
+        let local = &groups[my_group];
+        let k = local.len();
+        let j = local.iter().position(|&r| r == rank).expect("rank local");
+        let n_nodes = groups.len();
+
+        // One slice per local rank; slice `j`'s leaders are the local-index-j
+        // ranks of every node.
+        let slices = slice_ranges(desc.count, k);
+        let slice = |idx: usize| slices[idx % k];
+        let leaders: Vec<usize> = groups.iter().map(|g| g[j]).collect();
+
+        let mut steps: Vec<PrimitiveStep> = Vec::new();
+        let mut step = 0u32;
+
+        // Phase 1: intra-node ring reduce-scatter over the whole buffer.
+        // Local rank j ends up owning slice j (node partial, in recv_buf).
+        if k >= 2 {
+            let next = local[(j + 1) % k];
+            let prev = local[(j + k - 1) % k];
+            let mut phase = Vec::new();
+            let mut emit = |kind, src, src_buf, dst| {
+                emit_phase_step(
+                    &mut phase,
+                    kind,
+                    src,
+                    src_buf,
+                    dst,
+                    next,
+                    prev,
+                    &mut step,
+                    max_chunk_elems,
+                )
+            };
+            emit(
+                PrimitiveKind::Send,
+                Some(slice(j + k - 1)),
+                SrcBuf::Send,
+                None,
+            );
+            for t in 1..k - 1 {
+                emit(
+                    PrimitiveKind::RecvReduceSend,
+                    Some(slice(j + k - 1 - t)),
+                    SrcBuf::Send,
+                    None,
+                );
+            }
+            // The node partial of slice j lands in the recv buffer in place.
+            emit(
+                PrimitiveKind::RecvReduceCopy,
+                Some(slice(j)),
+                SrcBuf::Send,
+                Some(slice(j)),
+            );
+            sort_chunk_major(&mut phase);
+            steps.extend(phase);
+        }
+
+        // Phase 2: ring all-reduce of slice j among its node leaders. The
+        // local operand is the phase-1 partial in the recv buffer (or the
+        // original input when the node has a single rank and phase 1 ran on
+        // nobody).
+        let my_slice = slice(j);
+        let operand = if k == 1 { SrcBuf::Send } else { SrcBuf::Recv };
+        if my_slice.len > 0 {
+            let g = my_group;
+            let next = leaders[(g + 1) % n_nodes];
+            let prev = leaders[(g + n_nodes - 1) % n_nodes];
+            let subs = slice_ranges(my_slice.len, n_nodes);
+            let sub = |idx: usize| {
+                let s = subs[idx % n_nodes];
+                ElemRange::new(my_slice.offset + s.offset, s.len)
+            };
+            let mut phase = Vec::new();
+            let mut emit = |kind, src, src_buf, dst| {
+                emit_phase_step(
+                    &mut phase,
+                    kind,
+                    src,
+                    src_buf,
+                    dst,
+                    next,
+                    prev,
+                    &mut step,
+                    max_chunk_elems,
+                )
+            };
+            emit(PrimitiveKind::Send, Some(sub(g)), operand, None);
+            for t in 1..n_nodes - 1 {
+                emit(
+                    PrimitiveKind::RecvReduceSend,
+                    Some(sub(g + n_nodes - t)),
+                    operand,
+                    None,
+                );
+            }
+            let owned = sub(g + 1);
+            emit(
+                PrimitiveKind::RecvReduceCopySend,
+                Some(owned),
+                operand,
+                Some(owned),
+            );
+            for t in 1..n_nodes - 1 {
+                emit(
+                    PrimitiveKind::RecvCopySend,
+                    None,
+                    SrcBuf::Send,
+                    Some(sub(g + n_nodes - t + 1)),
+                );
+            }
+            emit(PrimitiveKind::Recv, None, SrcBuf::Send, Some(sub(g + 2)));
+            sort_chunk_major(&mut phase);
+            steps.extend(phase);
+        }
+
+        // Phase 3: intra-node ring all-gather of the globally-reduced slices.
+        if k >= 2 {
+            let next = local[(j + 1) % k];
+            let prev = local[(j + k - 1) % k];
+            let mut phase = Vec::new();
+            let mut emit = |kind, src, src_buf, dst| {
+                emit_phase_step(
+                    &mut phase,
+                    kind,
+                    src,
+                    src_buf,
+                    dst,
+                    next,
+                    prev,
+                    &mut step,
+                    max_chunk_elems,
+                )
+            };
+            // Slice j is already in place in this rank's recv buffer.
+            emit(PrimitiveKind::Send, Some(slice(j)), SrcBuf::Recv, None);
+            for t in 1..k - 1 {
+                emit(
+                    PrimitiveKind::RecvCopySend,
+                    None,
+                    SrcBuf::Send,
+                    Some(slice(j + k - t)),
+                );
+            }
+            emit(PrimitiveKind::Recv, None, SrcBuf::Send, Some(slice(j + 1)));
+            sort_chunk_major(&mut phase);
+            steps.extend(phase);
+        }
+
+        Ok(Plan::new(AlgorithmKind::Hierarchical, steps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::redop::ReduceOp;
+    use gpu_sim::GpuId;
+
+    fn gpus(n: usize) -> Vec<GpuId> {
+        (0..n).map(GpuId).collect()
+    }
+
+    fn desc(n: usize, count: usize) -> CollectiveDescriptor {
+        CollectiveDescriptor::all_reduce(count, DataType::F32, ReduceOp::Sum, gpus(n))
+    }
+
+    #[test]
+    fn requires_multi_node_uniform_groups() {
+        let a = HierarchicalAlgorithm;
+        // Flat single-node topology: unsupported.
+        assert!(!a.supports(&desc(4, 16), &Topology::flat(4)));
+        // Two uniform nodes of two: supported.
+        let topo = Topology::uniform_cluster(2, 2);
+        assert!(a.supports(&desc(4, 16), &topo));
+        // Non-uniform split (3 ranks over 2x2 cluster -> groups of 2 and 1).
+        assert!(!a.supports(&desc(3, 16), &topo));
+        assert!(matches!(
+            a.build_plan(&desc(3, 16), 0, 8, &topo),
+            Err(CollectiveError::UnsupportedTopology(_))
+        ));
+        // Non-all-reduce collectives are out of scope.
+        let bc = CollectiveDescriptor::broadcast(16, DataType::F32, 0, gpus(4));
+        assert!(!a.supports(&bc, &topo));
+        assert!(matches!(
+            a.build_plan(&bc, 0, 8, &topo),
+            Err(CollectiveError::UnsupportedAlgorithm { .. })
+        ));
+    }
+
+    #[test]
+    fn two_eight_gpu_servers_group_by_machine() {
+        let topo = Topology::two_eight_gpu_servers();
+        let d = desc(16, 64);
+        let groups = node_groups(&d, &topo).unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], (0..8).collect::<Vec<_>>());
+        assert_eq!(groups[1], (8..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inter_node_traffic_stays_on_slice_leaders() {
+        // On a 2x4 cluster, rank j only exchanges across nodes with the rank
+        // of the same local index on the other node (j +- 4).
+        let topo = Topology::uniform_cluster(2, 4);
+        let d = desc(8, 64);
+        for rank in 0..8 {
+            let plan = HierarchicalAlgorithm
+                .build_plan(&d, rank, 8, &topo)
+                .unwrap();
+            plan.validate(rank, 8).unwrap();
+            let mirror = (rank + 4) % 8;
+            for peer in plan.send_peers().into_iter().chain(plan.recv_peers()) {
+                let same_node = peer / 4 == rank / 4;
+                assert!(
+                    same_node || peer == mirror,
+                    "rank {rank} talks across nodes to {peer}, expected only {mirror}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phases_are_individually_chunk_major() {
+        // Within a phase, (chunk, step) must be lexicographically ascending
+        // (the chunk-major invariant). A descent is only legal at a phase
+        // boundary, where the monotone step counter jumps above everything
+        // seen before; at most two boundaries exist (three phases).
+        let topo = Topology::uniform_cluster(2, 2);
+        let d = desc(4, 4000);
+        for rank in 0..4 {
+            let plan = HierarchicalAlgorithm
+                .build_plan(&d, rank, 100, &topo)
+                .unwrap();
+            assert!(!plan.is_empty());
+            let mut descents = 0;
+            let mut max_step = plan.steps[0].step;
+            for w in plan.steps.windows(2) {
+                let a = (w[0].chunk_index, w[0].step);
+                let b = (w[1].chunk_index, w[1].step);
+                if b < a {
+                    descents += 1;
+                    assert!(
+                        w[1].step > max_step,
+                        "rank {rank}: descent without a phase boundary at {b:?}"
+                    );
+                }
+                max_step = max_step.max(w[1].step);
+            }
+            assert!(descents <= 2, "rank {rank}: more than three phases?");
+        }
+    }
+
+    #[test]
+    fn single_rank_nodes_degenerate_to_flat_inter_node_ring() {
+        let topo = Topology::uniform_cluster(3, 1);
+        let d = desc(3, 12);
+        for rank in 0..3 {
+            let plan = HierarchicalAlgorithm
+                .build_plan(&d, rank, 4, &topo)
+                .unwrap();
+            // No intra phases: pure ring among the three nodes.
+            assert_eq!(plan.send_peers(), vec![(rank + 1) % 3]);
+            assert_eq!(plan.recv_peers(), vec![(rank + 2) % 3]);
+            // Operands come from the send buffer (no phase-1 partial exists).
+            assert!(plan
+                .steps
+                .iter()
+                .filter(|s| s.kind.has_reduce())
+                .all(|s| s.src_buf == SrcBuf::Send));
+        }
+    }
+}

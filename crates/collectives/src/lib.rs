@@ -10,33 +10,51 @@
 //!   (kind, element count, data type, operator, root, device set, priority).
 //! * [`DeviceBuffer`] — the local send/recv buffers.
 //! * chunking helpers ([`chunk::chunk_ranges`], [`chunk::slice_ranges`]).
-//! * [`PrimitiveStep`] and the Ring-algorithm plan builder
-//!   ([`ring::build_plan`]) that assigns each rank its primitive sequence.
+//! * [`PrimitiveStep`] — one peer-addressed primitive of a rank's schedule.
+//! * [`Plan`] / [`Algorithm`] — the plan IR and the trait schedule
+//!   generators implement. Three families are built in: [`ring`] (bandwidth-
+//!   optimal), [`tree`] (double binary tree, latency-optimal for small
+//!   payloads) and [`hierarchical`] (two-level, for multi-node topologies).
+//! * [`AlgorithmSelector`] — topology- and payload-aware selection among the
+//!   families, overridable per collective and globally.
 //! * [`executor`] — executes one primitive against the rank's connectors.
 //!   Every primitive first checks that the connector conditions it needs are
 //!   satisfied and only then runs; the caller decides how long to poll for
 //!   readiness, which is exactly the preemption hook DFCCL's daemon kernel
 //!   uses (Sec. 4.1/4.2) and which the NCCL-like baseline leaves unbounded.
+//!   Because every plan is a sequence of single-chunk, non-blocking
+//!   primitives, preemption safety is independent of the algorithm family.
 
 pub mod buffer;
 pub mod chunk;
 pub mod collective;
+pub mod cost;
 pub mod datatype;
 pub mod executor;
+pub mod hierarchical;
+pub mod plan;
 pub mod primitive;
 pub mod redop;
 pub mod ring;
+pub mod selector;
+pub mod tree;
 
 pub use buffer::DeviceBuffer;
 pub use chunk::{chunk_ranges, slice_ranges, ElemRange};
 pub use collective::{CollectiveDescriptor, CollectiveKind};
+pub use cost::{estimate_completion_ns, CostError};
 pub use datatype::DataType;
 pub use executor::{
-    execute_ready_step, run_plan_blocking, step_ready, validate_buffers, ExecError, StepOutcome,
+    execute_ready_step, flush_pending, run_plan_blocking, step_ready, validate_buffers, ExecError,
+    PendingSend, StepOutcome,
 };
-pub use primitive::{PrimitiveKind, PrimitiveStep};
+pub use hierarchical::HierarchicalAlgorithm;
+pub use plan::{algorithm, Algorithm, AlgorithmKind, Plan};
+pub use primitive::{PrimitiveKind, PrimitiveStep, SrcBuf};
 pub use redop::ReduceOp;
-pub use ring::build_plan;
+pub use ring::{build_plan, RingAlgorithm};
+pub use selector::{AlgorithmSelector, DEFAULT_TREE_THRESHOLD_BYTES};
+pub use tree::DoubleBinaryTreeAlgorithm;
 
 /// Errors raised while building or validating collectives.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +76,21 @@ pub enum CollectiveError {
     },
     /// The rank index is outside the communicator.
     InvalidRank { rank: usize, size: usize },
+    /// The configured chunk size is unusable (zero elements).
+    InvalidChunkSize(usize),
+    /// The requested algorithm cannot schedule this collective kind.
+    UnsupportedAlgorithm {
+        algorithm: plan::AlgorithmKind,
+        kind: CollectiveKind,
+    },
+    /// The requested algorithm cannot run over this topology / device set.
+    UnsupportedTopology(String),
+    /// A generated plan violated the peer-consistency invariants (a builder
+    /// bug surfaced as an error instead of undefined scheduling).
+    MalformedPlan {
+        algorithm: plan::AlgorithmKind,
+        rank: usize,
+    },
 }
 
 impl std::fmt::Display for CollectiveError {
@@ -85,6 +118,18 @@ impl std::fmt::Display for CollectiveError {
                     f,
                     "rank {rank} out of range for collective over {size} devices"
                 )
+            }
+            CollectiveError::InvalidChunkSize(n) => {
+                write!(f, "chunk size must be positive, got {n}")
+            }
+            CollectiveError::UnsupportedAlgorithm { algorithm, kind } => {
+                write!(f, "the {algorithm} algorithm cannot schedule {kind}")
+            }
+            CollectiveError::UnsupportedTopology(why) => {
+                write!(f, "unsupported topology: {why}")
+            }
+            CollectiveError::MalformedPlan { algorithm, rank } => {
+                write!(f, "{algorithm} produced a malformed plan for rank {rank}")
             }
         }
     }
@@ -119,5 +164,23 @@ mod tests {
         assert!(CollectiveError::InvalidRank { rank: 8, size: 4 }
             .to_string()
             .contains("rank 8"));
+        assert!(CollectiveError::InvalidChunkSize(0)
+            .to_string()
+            .contains("positive"));
+        assert!(CollectiveError::UnsupportedAlgorithm {
+            algorithm: plan::AlgorithmKind::DoubleBinaryTree,
+            kind: CollectiveKind::AllGather,
+        }
+        .to_string()
+        .contains("tree"));
+        assert!(CollectiveError::UnsupportedTopology("one node".into())
+            .to_string()
+            .contains("one node"));
+        assert!(CollectiveError::MalformedPlan {
+            algorithm: plan::AlgorithmKind::Ring,
+            rank: 2,
+        }
+        .to_string()
+        .contains("rank 2"));
     }
 }

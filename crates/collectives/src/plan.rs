@@ -1,0 +1,281 @@
+//! The plan IR: a rank's primitive sequence plus the algorithm that shaped it.
+//!
+//! DFCCL's deadlock-prevention machinery (chunk-granular preemptible
+//! primitives, SQ/CQ control path, voluntary quitting) is algorithm-agnostic:
+//! any schedule expressed as a sequence of single-chunk, non-blocking
+//! primitives over peer-addressed connectors is preemptible at every chunk
+//! boundary. This module captures that contract:
+//!
+//! * [`Plan`] — the per-rank intermediate representation a collective
+//!   algorithm compiles to. It carries explicit peer ranks, so the transport
+//!   layer can materialise exactly the connectors the plan uses.
+//! * [`Algorithm`] — the trait every schedule generator implements (ring,
+//!   double binary tree, hierarchical).
+//! * [`AlgorithmKind`] — the selectable algorithm families.
+//!
+//! ## Ordering invariant
+//!
+//! Within a plan, the steps touching one directed peer pair must appear in
+//! chunk-major order (chunk `c` flows through the pipeline before chunk
+//! `c+1`), and matched send/recv pairs must be emitted in the same relative
+//! order on both endpoints — connectors are FIFO. The builders guarantee this
+//! by sorting on `(chunk_index, step)` within each phase; the step counter is
+//! monotone in the algorithm's logical order.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::collective::CollectiveDescriptor;
+use crate::primitive::PrimitiveStep;
+use crate::CollectiveError;
+use dfccl_transport::Topology;
+
+/// The collective algorithm families a plan can be built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlgorithmKind {
+    /// The classic ring schedule: bandwidth-optimal, O(n) latency.
+    Ring,
+    /// Double binary tree: latency-optimal (O(log n) hops) for small payloads.
+    DoubleBinaryTree,
+    /// Two-level schedule for multi-node topologies: intra-node
+    /// reduce-scatter, inter-node exchange among the per-slice node leaders,
+    /// intra-node all-gather.
+    Hierarchical,
+}
+
+impl AlgorithmKind {
+    /// All selectable algorithm kinds.
+    pub const ALL: [AlgorithmKind; 3] = [
+        AlgorithmKind::Ring,
+        AlgorithmKind::DoubleBinaryTree,
+        AlgorithmKind::Hierarchical,
+    ];
+}
+
+impl std::fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AlgorithmKind::Ring => "ring",
+            AlgorithmKind::DoubleBinaryTree => "tree",
+            AlgorithmKind::Hierarchical => "hierarchical",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A rank's compiled schedule: the primitive sequence plus provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Plan {
+    /// The algorithm family that produced this plan.
+    pub algorithm: AlgorithmKind,
+    /// The rank's primitives, in execution order.
+    pub steps: Vec<PrimitiveStep>,
+}
+
+impl Plan {
+    /// A plan over `steps` attributed to `algorithm`.
+    pub fn new(algorithm: AlgorithmKind, steps: Vec<PrimitiveStep>) -> Self {
+        Plan { algorithm, steps }
+    }
+
+    /// Number of primitives.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the plan has no primitives.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The distinct ranks this plan sends to, ascending.
+    pub fn send_peers(&self) -> Vec<usize> {
+        let set: BTreeSet<usize> = self.steps.iter().filter_map(|s| s.send_to).collect();
+        set.into_iter().collect()
+    }
+
+    /// The distinct ranks this plan receives from, ascending.
+    pub fn recv_peers(&self) -> Vec<usize> {
+        let set: BTreeSet<usize> = self.steps.iter().filter_map(|s| s.recv_from).collect();
+        set.into_iter().collect()
+    }
+
+    /// Check structural consistency: every step's peer fields match its kind
+    /// and stay inside a communicator of `size` ranks, and no step addresses
+    /// `rank` itself.
+    pub fn validate(&self, rank: usize, size: usize) -> Result<(), CollectiveError> {
+        for step in &self.steps {
+            if !step.peers_consistent(size)
+                || step.send_to == Some(rank)
+                || step.recv_from == Some(rank)
+            {
+                return Err(CollectiveError::MalformedPlan {
+                    algorithm: self.algorithm,
+                    rank,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A collective schedule generator. Implementations compile a descriptor into
+/// a per-rank [`Plan`] whose primitives stay single-chunk, non-blocking and
+/// preemptible at every boundary — the properties the daemon kernel's
+/// two-phase blocking relies on, independent of the schedule's shape.
+pub trait Algorithm {
+    /// Which family this generator belongs to.
+    fn kind(&self) -> AlgorithmKind;
+
+    /// Whether this algorithm can schedule `desc` over `topology`.
+    fn supports(&self, desc: &CollectiveDescriptor, topology: &Topology) -> bool;
+
+    /// Build the primitive sequence executed by `rank`, chunking transfers at
+    /// `max_chunk_elems` elements.
+    fn build_plan(
+        &self,
+        desc: &CollectiveDescriptor,
+        rank: usize,
+        max_chunk_elems: usize,
+        topology: &Topology,
+    ) -> Result<Plan, CollectiveError>;
+}
+
+/// The generator for an algorithm kind.
+pub fn algorithm(kind: AlgorithmKind) -> &'static dyn Algorithm {
+    match kind {
+        AlgorithmKind::Ring => &crate::ring::RingAlgorithm,
+        AlgorithmKind::DoubleBinaryTree => &crate::tree::DoubleBinaryTreeAlgorithm,
+        AlgorithmKind::Hierarchical => &crate::hierarchical::HierarchicalAlgorithm,
+    }
+}
+
+/// Validate shared plan-builder inputs (descriptor, rank bound, chunk size).
+pub(crate) fn check_builder_inputs(
+    desc: &CollectiveDescriptor,
+    rank: usize,
+    max_chunk_elems: usize,
+) -> Result<(), CollectiveError> {
+    desc.validate()?;
+    let n = desc.num_ranks();
+    if rank >= n {
+        return Err(CollectiveError::InvalidRank { rank, size: n });
+    }
+    if max_chunk_elems == 0 {
+        return Err(CollectiveError::InvalidChunkSize(max_chunk_elems));
+    }
+    Ok(())
+}
+
+/// Shared emission helper: split a macro step into chunk-sized primitives.
+/// `src` and `dst`, when both present, are ranges of equal length chunked in
+/// lockstep.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn push_chunked(
+    out: &mut Vec<PrimitiveStep>,
+    kind: crate::primitive::PrimitiveKind,
+    src_base: Option<crate::chunk::ElemRange>,
+    src_buf: crate::primitive::SrcBuf,
+    dst_base: Option<crate::chunk::ElemRange>,
+    send_to: Option<usize>,
+    recv_from: Option<usize>,
+    step: u32,
+    max_chunk: usize,
+) {
+    use crate::chunk::{chunk_ranges, ElemRange};
+    let total = src_base
+        .map(|r| r.len)
+        .or(dst_base.map(|r| r.len))
+        .unwrap_or(0);
+    for (ci, chunk) in chunk_ranges(total, max_chunk).into_iter().enumerate() {
+        let src = src_base.map(|r| ElemRange::new(r.offset + chunk.offset, chunk.len));
+        let dst = dst_base.map(|r| ElemRange::new(r.offset + chunk.offset, chunk.len));
+        out.push(PrimitiveStep {
+            kind,
+            src,
+            src_buf,
+            dst,
+            send_to,
+            recv_from,
+            chunk_index: ci as u32,
+            step,
+        });
+    }
+}
+
+/// Sort a phase's steps chunk-major: chunk `c` flows through every macro step
+/// of the phase before chunk `c+1` starts, keeping the in-flight window per
+/// connector O(1) regardless of the collective size (the NCCL loop
+/// structure). Matched send/recv pairs shift uniformly (`step → step+1`), so
+/// both endpoints' sorted orders stay aligned and connector FIFO order is
+/// preserved.
+pub(crate) fn sort_chunk_major(steps: &mut [PrimitiveStep]) {
+    steps.sort_by_key(|p| (p.chunk_index, p.step));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ElemRange;
+    use crate::primitive::{PrimitiveKind, SrcBuf};
+
+    fn step(send_to: Option<usize>, recv_from: Option<usize>) -> PrimitiveStep {
+        let kind = match (send_to.is_some(), recv_from.is_some()) {
+            (true, true) => PrimitiveKind::RecvCopySend,
+            (true, false) => PrimitiveKind::Send,
+            (false, true) => PrimitiveKind::Recv,
+            (false, false) => PrimitiveKind::Copy,
+        };
+        PrimitiveStep {
+            kind,
+            src: Some(ElemRange::new(0, 4)),
+            src_buf: SrcBuf::Send,
+            dst: Some(ElemRange::new(0, 4)),
+            send_to,
+            recv_from,
+            chunk_index: 0,
+            step: 0,
+        }
+    }
+
+    #[test]
+    fn peers_are_collected_sorted_and_deduped() {
+        let plan = Plan::new(
+            AlgorithmKind::Ring,
+            vec![
+                step(Some(3), Some(1)),
+                step(Some(1), None),
+                step(Some(3), Some(2)),
+            ],
+        );
+        assert_eq!(plan.send_peers(), vec![1, 3]);
+        assert_eq!(plan.recv_peers(), vec![1, 2]);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_self_loops_and_out_of_range_peers() {
+        let plan = Plan::new(AlgorithmKind::Ring, vec![step(Some(0), None)]);
+        assert!(matches!(
+            plan.validate(0, 4),
+            Err(CollectiveError::MalformedPlan { .. })
+        ));
+        let plan = Plan::new(AlgorithmKind::Ring, vec![step(Some(9), None)]);
+        assert!(plan.validate(0, 4).is_err());
+        let plan = Plan::new(AlgorithmKind::Ring, vec![step(Some(1), Some(2))]);
+        assert!(plan.validate(0, 4).is_ok());
+    }
+
+    #[test]
+    fn algorithm_kinds_display_and_enumerate() {
+        assert_eq!(AlgorithmKind::Ring.to_string(), "ring");
+        assert_eq!(AlgorithmKind::DoubleBinaryTree.to_string(), "tree");
+        assert_eq!(AlgorithmKind::Hierarchical.to_string(), "hierarchical");
+        assert_eq!(AlgorithmKind::ALL.len(), 3);
+        for kind in AlgorithmKind::ALL {
+            assert_eq!(algorithm(kind).kind(), kind);
+        }
+    }
+}

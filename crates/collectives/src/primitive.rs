@@ -2,37 +2,42 @@
 //!
 //! Every common collective is a per-rank sequence of these primitives
 //! (Sec. 4.1). A primitive that contains a `send` action needs a free slot in
-//! the rank's send connector; one that contains a `recv` action needs a chunk
-//! available in the recv connector. Those two conditions are what a primitive
-//! busy-waits on — indefinitely in NCCL, up to a spin threshold in DFCCL.
+//! the connector towards its send peer; one that contains a `recv` action
+//! needs a chunk available in the connector from its recv peer. Those two
+//! conditions are what a primitive busy-waits on — indefinitely in NCCL, up
+//! to a spin threshold in DFCCL.
+//!
+//! Peers are explicit: each step names the rank it sends to and the rank it
+//! receives from, so the same primitive vocabulary drives ring, tree and
+//! hierarchical schedules over a peer-addressed connector mesh.
 
 use serde::{Deserialize, Serialize};
 
 use crate::chunk::ElemRange;
 
-/// The fused primitive kinds used by the ring algorithm.
+/// The fused primitive kinds shared by every collective algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PrimitiveKind {
-    /// Read a chunk from the local send buffer and publish it to the send connector.
+    /// Read a chunk from the local source buffer and publish it to the send peer.
     Send,
-    /// Consume a chunk from the recv connector and write it to the recv buffer.
+    /// Consume a chunk from the recv peer and write it to the recv buffer.
     Recv,
-    /// Copy a chunk from the local send buffer to the local recv buffer (no transport).
+    /// Copy a chunk from the local source buffer to the local recv buffer (no transport).
     Copy,
-    /// Consume a chunk, write it to the recv buffer, and forward it to the next rank.
+    /// Consume a chunk, write it to the recv buffer, and forward it to the send peer.
     RecvCopySend,
-    /// Consume a chunk, reduce it with the local send buffer, and forward the result.
+    /// Consume a chunk, reduce it with the local source buffer, and forward the result.
     RecvReduceSend,
-    /// Consume a chunk, reduce it with the local send buffer, and write the result
+    /// Consume a chunk, reduce it with the local source buffer, and write the result
     /// to the recv buffer.
     RecvReduceCopy,
-    /// Consume a chunk, reduce it with the local send buffer, write the result to
+    /// Consume a chunk, reduce it with the local source buffer, write the result to
     /// the recv buffer, and forward it.
     RecvReduceCopySend,
 }
 
 impl PrimitiveKind {
-    /// Whether the primitive publishes a chunk to the send connector.
+    /// Whether the primitive publishes a chunk towards its send peer.
     pub fn has_send(&self) -> bool {
         matches!(
             self,
@@ -43,7 +48,7 @@ impl PrimitiveKind {
         )
     }
 
-    /// Whether the primitive consumes a chunk from the recv connector.
+    /// Whether the primitive consumes a chunk from its recv peer.
     pub fn has_recv(&self) -> bool {
         matches!(
             self,
@@ -55,7 +60,7 @@ impl PrimitiveKind {
         )
     }
 
-    /// Whether the primitive reduces incoming data with the local send buffer.
+    /// Whether the primitive reduces incoming data with the local source buffer.
     pub fn has_reduce(&self) -> bool {
         matches!(
             self,
@@ -89,20 +94,42 @@ impl PrimitiveKind {
     ];
 }
 
-/// One primitive of a rank's plan, fully describing what data it touches.
+/// Which local buffer a primitive reads its local operand (`src`) from.
+///
+/// Ring schedules only ever read the original contribution from the send
+/// buffer. Tree and hierarchical schedules accumulate partial results in the
+/// recv buffer across multiple reducing steps, and later forward those
+/// partials — which requires reading `src` back out of the recv buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SrcBuf {
+    /// The rank's send buffer (its original input).
+    Send,
+    /// The rank's recv buffer (accumulated partials / final results).
+    Recv,
+}
+
+/// One primitive of a rank's plan, fully describing what data it touches and
+/// which peers it talks to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PrimitiveStep {
     /// What to do.
     pub kind: PrimitiveKind,
-    /// Element range read from the local send buffer (`None` when the
-    /// primitive does not read local data).
+    /// Element range read as the local operand (`None` when the primitive
+    /// does not read local data).
     pub src: Option<ElemRange>,
+    /// Which local buffer `src` refers to.
+    pub src_buf: SrcBuf,
     /// Element range written in the local recv buffer (`None` when the
     /// primitive does not produce local output).
     pub dst: Option<ElemRange>,
+    /// Rank this primitive sends to (`Some` iff the kind has a send half).
+    pub send_to: Option<usize>,
+    /// Rank this primitive receives from (`Some` iff the kind has a recv half).
+    pub recv_from: Option<usize>,
     /// Index of the chunk within its macro step (used for message matching).
     pub chunk_index: u32,
-    /// Ring macro-step index this primitive belongs to.
+    /// Macro-step index this primitive belongs to (monotone in the algorithm's
+    /// logical order; also the pipelining sort key together with the chunk).
     pub step: u32,
 }
 
@@ -113,6 +140,22 @@ impl PrimitiveStep {
             .map(|r| r.len)
             .or_else(|| self.dst.map(|r| r.len))
             .unwrap_or(0)
+    }
+
+    /// Whether the peer fields are consistent with the kind and in range for
+    /// a communicator of `size` ranks.
+    pub fn peers_consistent(&self, size: usize) -> bool {
+        let send_ok = match (self.kind.has_send(), self.send_to) {
+            (true, Some(p)) => p < size,
+            (false, None) => true,
+            _ => false,
+        };
+        let recv_ok = match (self.kind.has_recv(), self.recv_from) {
+            (true, Some(p)) => p < size,
+            (false, None) => true,
+            _ => false,
+        };
+        send_ok && recv_ok
     }
 }
 
@@ -146,7 +189,10 @@ mod tests {
         let s = PrimitiveStep {
             kind: PrimitiveKind::Send,
             src: Some(ElemRange::new(0, 10)),
+            src_buf: SrcBuf::Send,
             dst: None,
+            send_to: Some(1),
+            recv_from: None,
             chunk_index: 0,
             step: 0,
         };
@@ -154,10 +200,35 @@ mod tests {
         let r = PrimitiveStep {
             kind: PrimitiveKind::Recv,
             src: None,
+            src_buf: SrcBuf::Send,
             dst: Some(ElemRange::new(4, 6)),
+            send_to: None,
+            recv_from: Some(0),
             chunk_index: 0,
             step: 1,
         };
         assert_eq!(r.elems(), 6);
+    }
+
+    #[test]
+    fn peer_consistency_matches_kind() {
+        let mut s = PrimitiveStep {
+            kind: PrimitiveKind::Send,
+            src: Some(ElemRange::new(0, 1)),
+            src_buf: SrcBuf::Send,
+            dst: None,
+            send_to: Some(1),
+            recv_from: None,
+            chunk_index: 0,
+            step: 0,
+        };
+        assert!(s.peers_consistent(2));
+        assert!(!s.peers_consistent(1), "peer out of range");
+        s.send_to = None;
+        assert!(!s.peers_consistent(2), "send kind without a send peer");
+        s.kind = PrimitiveKind::Copy;
+        assert!(s.peers_consistent(2));
+        s.recv_from = Some(0);
+        assert!(!s.peers_consistent(2), "copy must not name a recv peer");
     }
 }

@@ -15,29 +15,125 @@
 //! * **reduce-scatter** — `Send`, `RecvReduceSend`…, `RecvReduceCopy`.
 //! * **reduce** — a single pipeline along the ring ending at the root.
 //! * **broadcast** — a single pipeline along the ring starting at the root.
+//!
+//! Every step names its peers explicitly (`send_to = rank+1`,
+//! `recv_from = rank-1`), so the transport layer materialises exactly the
+//! ring's `n` directed edges out of the connector mesh.
 
-use crate::chunk::{chunk_ranges, slice_ranges, ElemRange};
+use crate::chunk::{slice_ranges, ElemRange};
 use crate::collective::{CollectiveDescriptor, CollectiveKind};
-use crate::primitive::{PrimitiveKind, PrimitiveStep};
+use crate::plan::{
+    check_builder_inputs, push_chunked, sort_chunk_major, Algorithm, AlgorithmKind, Plan,
+};
+use crate::primitive::{PrimitiveKind, PrimitiveStep, SrcBuf};
 use crate::CollectiveError;
+use dfccl_transport::Topology;
 
 /// Default maximum number of elements per chunk (128 KiB of f32).
 pub const DEFAULT_CHUNK_ELEMS: usize = 32 * 1024;
 
-/// Build the primitive sequence executed by `rank` for the collective
+/// The ring schedule generator.
+pub struct RingAlgorithm;
+
+impl Algorithm for RingAlgorithm {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::Ring
+    }
+
+    fn supports(&self, _desc: &CollectiveDescriptor, _topology: &Topology) -> bool {
+        true
+    }
+
+    fn build_plan(
+        &self,
+        desc: &CollectiveDescriptor,
+        rank: usize,
+        max_chunk_elems: usize,
+        _topology: &Topology,
+    ) -> Result<Plan, CollectiveError> {
+        build_plan(desc, rank, max_chunk_elems)
+    }
+}
+
+/// Emission context for one rank of the ring: peers are fixed by ring
+/// position, the step counter advances per macro step.
+struct RingEmitter {
+    steps: Vec<PrimitiveStep>,
+    next: usize,
+    prev: usize,
+    step: u32,
+}
+
+impl RingEmitter {
+    fn new(n: usize, rank: usize) -> Self {
+        RingEmitter {
+            steps: Vec::new(),
+            next: (rank + 1) % n,
+            prev: (rank + n - 1) % n,
+            step: 0,
+        }
+    }
+
+    fn emit(
+        &mut self,
+        kind: PrimitiveKind,
+        src: Option<ElemRange>,
+        dst: Option<ElemRange>,
+        max_chunk: usize,
+    ) {
+        self.emit_at(kind, src, dst, self.step, max_chunk);
+        self.step += 1;
+    }
+
+    fn emit_at(
+        &mut self,
+        kind: PrimitiveKind,
+        src: Option<ElemRange>,
+        dst: Option<ElemRange>,
+        step: u32,
+        max_chunk: usize,
+    ) {
+        push_chunked(
+            &mut self.steps,
+            kind,
+            src,
+            SrcBuf::Send,
+            dst,
+            kind.has_send().then_some(self.next),
+            kind.has_recv().then_some(self.prev),
+            step,
+            max_chunk,
+        );
+    }
+
+    fn finish(mut self) -> Plan {
+        // Chunk-major pipelining (the NCCL loop structure): interleave the
+        // macro steps so chunk `c` flows through the whole ring pipeline
+        // before chunk `c+1` starts. The step-major order the builders emit
+        // (all chunks of a macro step, then the next step) deadlocks once a
+        // macro step has more chunks than a connector has slots: every rank
+        // fills its send ring and blocks before reaching the step that would
+        // drain its peer. Pairing is preserved — a step-`s` send on rank `r`
+        // is consumed by the step-`s+1` primitive on rank `r+1` over the
+        // *same* slice (hence the same chunk ranges), and the uniform
+        // `s → s+1` shift keeps both sides' sorted `(chunk, step)` orders
+        // aligned — so the in-flight window per connector drops to O(1)
+        // chunks regardless of the collective size.
+        sort_chunk_major(&mut self.steps);
+        Plan::new(AlgorithmKind::Ring, self.steps)
+    }
+}
+
+/// Build the ring primitive sequence executed by `rank` for the collective
 /// described by `desc`, chunking transfers at `max_chunk_elems` elements.
 pub fn build_plan(
     desc: &CollectiveDescriptor,
     rank: usize,
     max_chunk_elems: usize,
-) -> Result<Vec<PrimitiveStep>, CollectiveError> {
-    desc.validate()?;
+) -> Result<Plan, CollectiveError> {
+    check_builder_inputs(desc, rank, max_chunk_elems)?;
     let n = desc.num_ranks();
-    if rank >= n {
-        return Err(CollectiveError::InvalidRank { rank, size: n });
-    }
-    assert!(max_chunk_elems > 0, "chunk size must be positive");
-    let mut plan = match desc.kind {
+    let plan = match desc.kind {
         CollectiveKind::AllReduce => all_reduce_plan(desc.count, n, rank, max_chunk_elems),
         CollectiveKind::AllGather => all_gather_plan(desc.count, n, rank, max_chunk_elems),
         CollectiveKind::ReduceScatter => reduce_scatter_plan(desc.count, n, rank, max_chunk_elems),
@@ -56,234 +152,95 @@ pub fn build_plan(
             max_chunk_elems,
         ),
     };
-    // Chunk-major pipelining (the NCCL loop structure): interleave the macro
-    // steps so chunk `c` flows through the whole ring pipeline before chunk
-    // `c+1` starts. The step-major order the builders emit (all chunks of a
-    // macro step, then the next step) deadlocks once a macro step has more
-    // chunks than a connector has slots: every rank fills its send ring and
-    // blocks before reaching the step that would drain its peer. Pairing is
-    // preserved — a step-`s` send on rank `r` is consumed by the step-`s+1`
-    // primitive on rank `r+1` over the *same* slice (hence the same chunk
-    // ranges), and the uniform `s → s+1` shift keeps both sides' sorted
-    // `(chunk, step)` orders aligned — so the in-flight window per connector
-    // drops to O(1) chunks regardless of the collective size.
-    plan.sort_by_key(|p| (p.chunk_index, p.step));
     Ok(plan)
-}
-
-fn push_chunked(
-    out: &mut Vec<PrimitiveStep>,
-    kind: PrimitiveKind,
-    src_base: Option<ElemRange>,
-    dst_base: Option<ElemRange>,
-    step: u32,
-    max_chunk: usize,
-) {
-    // `src` and `dst`, when both present, are ranges of equal length that are
-    // chunked in lockstep.
-    let total = src_base
-        .map(|r| r.len)
-        .or(dst_base.map(|r| r.len))
-        .unwrap_or(0);
-    for (ci, chunk) in chunk_ranges(total, max_chunk).into_iter().enumerate() {
-        let src = src_base.map(|r| ElemRange::new(r.offset + chunk.offset, chunk.len));
-        let dst = dst_base.map(|r| ElemRange::new(r.offset + chunk.offset, chunk.len));
-        out.push(PrimitiveStep {
-            kind,
-            src,
-            dst,
-            chunk_index: ci as u32,
-            step,
-        });
-    }
 }
 
 /// Ring all-reduce: `count` input elements, `count` output elements, `2n-1`
 /// macro steps (the first send and the final recv are half-steps).
-fn all_reduce_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Vec<PrimitiveStep> {
+fn all_reduce_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Plan {
     let slices = slice_ranges(count, n);
     let slice = |idx: usize| slices[idx % n];
-    let mut plan = Vec::new();
-    let mut step = 0u32;
+    let mut e = RingEmitter::new(n, rank);
 
     // Reduce-scatter phase.
-    push_chunked(
-        &mut plan,
-        PrimitiveKind::Send,
-        Some(slice(rank)),
-        None,
-        step,
-        max_chunk,
-    );
-    step += 1;
+    e.emit(PrimitiveKind::Send, Some(slice(rank)), None, max_chunk);
     for k in 1..n - 1 {
         let s = slice(rank + n - k);
-        push_chunked(
-            &mut plan,
-            PrimitiveKind::RecvReduceSend,
-            Some(s),
-            None,
-            step,
-            max_chunk,
-        );
-        step += 1;
+        e.emit(PrimitiveKind::RecvReduceSend, Some(s), None, max_chunk);
     }
     // The slice that becomes fully reduced at this rank.
     let owned = slice(rank + 1);
-    push_chunked(
-        &mut plan,
+    e.emit(
         PrimitiveKind::RecvReduceCopySend,
         Some(owned),
         Some(owned),
-        step,
         max_chunk,
     );
-    step += 1;
 
     // All-gather phase: receive the remaining reduced slices.
     for j in 1..n - 1 {
         let s = slice(rank + n - j + 1);
-        push_chunked(
-            &mut plan,
-            PrimitiveKind::RecvCopySend,
-            None,
-            Some(s),
-            step,
-            max_chunk,
-        );
-        step += 1;
+        e.emit(PrimitiveKind::RecvCopySend, None, Some(s), max_chunk);
     }
     let last = slice(rank + 2);
-    push_chunked(
-        &mut plan,
-        PrimitiveKind::Recv,
-        None,
-        Some(last),
-        step,
-        max_chunk,
-    );
-    plan
+    e.emit(PrimitiveKind::Recv, None, Some(last), max_chunk);
+    e.finish()
 }
 
 /// Ring all-gather: `count` input elements per rank, `n * count` output.
-fn all_gather_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Vec<PrimitiveStep> {
+fn all_gather_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Plan {
     let own = ElemRange::new(0, count);
     let block = |idx: usize| ElemRange::new((idx % n) * count, count);
-    let mut plan = Vec::new();
-    let mut step = 0u32;
+    let mut e = RingEmitter::new(n, rank);
 
     // Local copy of the rank's own contribution into its output block.
-    push_chunked(
-        &mut plan,
-        PrimitiveKind::Copy,
-        Some(own),
-        Some(block(rank)),
-        step,
-        max_chunk,
-    );
-    step += 1;
+    e.emit(PrimitiveKind::Copy, Some(own), Some(block(rank)), max_chunk);
     // Send the contribution around the ring.
-    push_chunked(
-        &mut plan,
-        PrimitiveKind::Send,
-        Some(own),
-        None,
-        step,
-        max_chunk,
-    );
-    step += 1;
+    e.emit(PrimitiveKind::Send, Some(own), None, max_chunk);
     for k in 1..n - 1 {
         let b = block(rank + n - k);
-        push_chunked(
-            &mut plan,
-            PrimitiveKind::RecvCopySend,
-            None,
-            Some(b),
-            step,
-            max_chunk,
-        );
-        step += 1;
+        e.emit(PrimitiveKind::RecvCopySend, None, Some(b), max_chunk);
     }
     let last = block(rank + 1);
-    push_chunked(
-        &mut plan,
-        PrimitiveKind::Recv,
-        None,
-        Some(last),
-        step,
-        max_chunk,
-    );
-    plan
+    e.emit(PrimitiveKind::Recv, None, Some(last), max_chunk);
+    e.finish()
 }
 
 /// Ring reduce-scatter: `n * count` input elements per rank, `count` output.
-fn reduce_scatter_plan(
-    count: usize,
-    n: usize,
-    rank: usize,
-    max_chunk: usize,
-) -> Vec<PrimitiveStep> {
+fn reduce_scatter_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Plan {
     let slice = |idx: usize| ElemRange::new((idx % n) * count, count);
     let out = ElemRange::new(0, count);
-    let mut plan = Vec::new();
-    let mut step = 0u32;
+    let mut e = RingEmitter::new(n, rank);
 
-    push_chunked(
-        &mut plan,
+    e.emit(
         PrimitiveKind::Send,
         Some(slice(rank + n - 1)),
         None,
-        step,
         max_chunk,
     );
-    step += 1;
     for k in 1..n - 1 {
         let s = slice(rank + n - 1 - k);
-        push_chunked(
-            &mut plan,
-            PrimitiveKind::RecvReduceSend,
-            Some(s),
-            None,
-            step,
-            max_chunk,
-        );
-        step += 1;
+        e.emit(PrimitiveKind::RecvReduceSend, Some(s), None, max_chunk);
     }
-    push_chunked(
-        &mut plan,
+    e.emit(
         PrimitiveKind::RecvReduceCopy,
         Some(slice(rank)),
         Some(out),
-        step,
         max_chunk,
     );
-    plan
+    e.finish()
 }
 
 /// Ring reduce: the reduction flows along the ring and ends at the root.
-fn reduce_plan(
-    count: usize,
-    n: usize,
-    rank: usize,
-    root: usize,
-    max_chunk: usize,
-) -> Vec<PrimitiveStep> {
+fn reduce_plan(count: usize, n: usize, rank: usize, root: usize, max_chunk: usize) -> Plan {
     let whole = ElemRange::new(0, count);
     // Position in the chain that starts just after the root and ends at the root.
     let pos = (rank + n - root - 1) % n;
-    let mut plan = Vec::new();
+    let mut e = RingEmitter::new(n, rank);
     if pos == 0 {
-        push_chunked(
-            &mut plan,
-            PrimitiveKind::Send,
-            Some(whole),
-            None,
-            0,
-            max_chunk,
-        );
+        e.emit_at(PrimitiveKind::Send, Some(whole), None, 0, max_chunk);
     } else if pos < n - 1 {
-        push_chunked(
-            &mut plan,
+        e.emit_at(
             PrimitiveKind::RecvReduceSend,
             Some(whole),
             None,
@@ -292,8 +249,7 @@ fn reduce_plan(
         );
     } else {
         // This is the root.
-        push_chunked(
-            &mut plan,
+        e.emit_at(
             PrimitiveKind::RecvReduceCopy,
             Some(whole),
             Some(whole),
@@ -301,42 +257,21 @@ fn reduce_plan(
             max_chunk,
         );
     }
-    plan
+    e.finish()
 }
 
 /// Ring broadcast: data flows from the root around the ring.
-fn broadcast_plan(
-    count: usize,
-    n: usize,
-    rank: usize,
-    root: usize,
-    max_chunk: usize,
-) -> Vec<PrimitiveStep> {
+fn broadcast_plan(count: usize, n: usize, rank: usize, root: usize, max_chunk: usize) -> Plan {
     let whole = ElemRange::new(0, count);
     // Position in the chain that starts at the root.
     let pos = (rank + n - root) % n;
-    let mut plan = Vec::new();
+    let mut e = RingEmitter::new(n, rank);
     if pos == 0 {
         // Root: make its own output available locally, then send.
-        push_chunked(
-            &mut plan,
-            PrimitiveKind::Copy,
-            Some(whole),
-            Some(whole),
-            0,
-            max_chunk,
-        );
-        push_chunked(
-            &mut plan,
-            PrimitiveKind::Send,
-            Some(whole),
-            None,
-            1,
-            max_chunk,
-        );
+        e.emit_at(PrimitiveKind::Copy, Some(whole), Some(whole), 0, max_chunk);
+        e.emit_at(PrimitiveKind::Send, Some(whole), None, 1, max_chunk);
     } else if pos < n - 1 {
-        push_chunked(
-            &mut plan,
+        e.emit_at(
             PrimitiveKind::RecvCopySend,
             None,
             Some(whole),
@@ -344,8 +279,7 @@ fn broadcast_plan(
             max_chunk,
         );
     } else {
-        push_chunked(
-            &mut plan,
+        e.emit_at(
             PrimitiveKind::Recv,
             None,
             Some(whole),
@@ -353,7 +287,7 @@ fn broadcast_plan(
             max_chunk,
         );
     }
-    plan
+    e.finish()
 }
 
 #[cfg(test)]
@@ -372,21 +306,40 @@ mod tests {
         let desc = CollectiveDescriptor::all_reduce(16, DataType::F32, ReduceOp::Sum, gpus(4));
         let plan = build_plan(&desc, 0, 1024).unwrap();
         // 2n-1 macro steps, one chunk each (16/4 = 4 elements per slice).
+        assert_eq!(plan.algorithm, AlgorithmKind::Ring);
         assert_eq!(plan.len(), 7);
-        assert_eq!(plan[0].kind, PrimitiveKind::Send);
-        assert_eq!(plan[1].kind, PrimitiveKind::RecvReduceSend);
-        assert_eq!(plan[2].kind, PrimitiveKind::RecvReduceSend);
-        assert_eq!(plan[3].kind, PrimitiveKind::RecvReduceCopySend);
-        assert_eq!(plan[4].kind, PrimitiveKind::RecvCopySend);
-        assert_eq!(plan[5].kind, PrimitiveKind::RecvCopySend);
-        assert_eq!(plan[6].kind, PrimitiveKind::Recv);
+        let steps = &plan.steps;
+        assert_eq!(steps[0].kind, PrimitiveKind::Send);
+        assert_eq!(steps[1].kind, PrimitiveKind::RecvReduceSend);
+        assert_eq!(steps[2].kind, PrimitiveKind::RecvReduceSend);
+        assert_eq!(steps[3].kind, PrimitiveKind::RecvReduceCopySend);
+        assert_eq!(steps[4].kind, PrimitiveKind::RecvCopySend);
+        assert_eq!(steps[5].kind, PrimitiveKind::RecvCopySend);
+        assert_eq!(steps[6].kind, PrimitiveKind::Recv);
+    }
+
+    #[test]
+    fn ring_steps_address_ring_neighbours() {
+        let n = 4;
+        let desc = CollectiveDescriptor::all_reduce(16, DataType::F32, ReduceOp::Sum, gpus(n));
+        for rank in 0..n {
+            let plan = build_plan(&desc, rank, 1024).unwrap();
+            let next = (rank + 1) % n;
+            let prev = (rank + n - 1) % n;
+            assert_eq!(plan.send_peers(), vec![next], "rank {rank}");
+            assert_eq!(plan.recv_peers(), vec![prev], "rank {rank}");
+            for s in &plan.steps {
+                assert_eq!(s.src_buf, SrcBuf::Send);
+            }
+            plan.validate(rank, n).unwrap();
+        }
     }
 
     #[test]
     fn all_reduce_two_ranks_degenerates_correctly() {
         let desc = CollectiveDescriptor::all_reduce(8, DataType::F32, ReduceOp::Sum, gpus(2));
         let plan = build_plan(&desc, 1, 1024).unwrap();
-        let kinds: Vec<PrimitiveKind> = plan.iter().map(|p| p.kind).collect();
+        let kinds: Vec<PrimitiveKind> = plan.steps.iter().map(|p| p.kind).collect();
         assert_eq!(
             kinds,
             vec![
@@ -403,9 +356,9 @@ mod tests {
         let plan = build_plan(&desc, 2, 100).unwrap();
         // Each slice is 1000 elements = 10 chunks; 7 macro steps.
         assert_eq!(plan.len(), 70);
-        assert!(plan.iter().all(|p| p.elems() <= 100));
+        assert!(plan.steps.iter().all(|p| p.elems() <= 100));
         // Chunk indices restart at each macro step.
-        assert_eq!(plan.iter().filter(|p| p.chunk_index == 0).count(), 7);
+        assert_eq!(plan.steps.iter().filter(|p| p.chunk_index == 0).count(), 7);
     }
 
     #[test]
@@ -426,7 +379,8 @@ mod tests {
         ] {
             for rank in 0..4 {
                 let plan = build_plan(&kind_desc, rank, 100).unwrap();
-                let order: Vec<(u32, u32)> = plan.iter().map(|p| (p.chunk_index, p.step)).collect();
+                let order: Vec<(u32, u32)> =
+                    plan.steps.iter().map(|p| (p.chunk_index, p.step)).collect();
                 let mut sorted = order.clone();
                 sorted.sort_unstable();
                 assert_eq!(
@@ -446,6 +400,7 @@ mod tests {
             let desc = CollectiveDescriptor::all_gather(count, DataType::F32, gpus(n));
             let plan = build_plan(&desc, rank, 1024).unwrap();
             let mut covered: Vec<usize> = plan
+                .steps
                 .iter()
                 .filter_map(|p| p.dst)
                 .map(|d| d.offset / count)
@@ -465,6 +420,7 @@ mod tests {
                 CollectiveDescriptor::reduce_scatter(count, DataType::F32, ReduceOp::Sum, gpus(n));
             let plan = build_plan(&desc, rank, 1024).unwrap();
             let mut slices: Vec<usize> = plan
+                .steps
                 .iter()
                 .filter_map(|p| p.src)
                 .map(|s| s.offset / count)
@@ -482,13 +438,13 @@ mod tests {
         let desc = CollectiveDescriptor::reduce(10, DataType::F32, ReduceOp::Sum, root, gpus(n));
         // Rank just after the root starts the pipeline.
         let starter = build_plan(&desc, 3, 1024).unwrap();
-        assert_eq!(starter[0].kind, PrimitiveKind::Send);
+        assert_eq!(starter.steps[0].kind, PrimitiveKind::Send);
         // Intermediate ranks relay.
         let middle = build_plan(&desc, 0, 1024).unwrap();
-        assert_eq!(middle[0].kind, PrimitiveKind::RecvReduceSend);
+        assert_eq!(middle.steps[0].kind, PrimitiveKind::RecvReduceSend);
         // The root terminates the pipeline.
         let root_plan = build_plan(&desc, root, 1024).unwrap();
-        assert_eq!(root_plan[0].kind, PrimitiveKind::RecvReduceCopy);
+        assert_eq!(root_plan.steps[0].kind, PrimitiveKind::RecvReduceCopy);
     }
 
     #[test]
@@ -497,12 +453,12 @@ mod tests {
         let root = 1;
         let desc = CollectiveDescriptor::broadcast(10, DataType::F32, root, gpus(n));
         let root_plan = build_plan(&desc, root, 1024).unwrap();
-        assert_eq!(root_plan[0].kind, PrimitiveKind::Copy);
-        assert_eq!(root_plan[1].kind, PrimitiveKind::Send);
+        assert_eq!(root_plan.steps[0].kind, PrimitiveKind::Copy);
+        assert_eq!(root_plan.steps[1].kind, PrimitiveKind::Send);
         let relay = build_plan(&desc, 2, 1024).unwrap();
-        assert_eq!(relay[0].kind, PrimitiveKind::RecvCopySend);
+        assert_eq!(relay.steps[0].kind, PrimitiveKind::RecvCopySend);
         let last = build_plan(&desc, 0, 1024).unwrap();
-        assert_eq!(last[0].kind, PrimitiveKind::Recv);
+        assert_eq!(last.steps[0].kind, PrimitiveKind::Recv);
     }
 
     #[test]
@@ -521,12 +477,23 @@ mod tests {
     }
 
     #[test]
+    fn zero_chunk_size_is_an_error_not_a_panic() {
+        // A bad config must surface as a CollectiveError so the daemon thread
+        // is never aborted by an assert.
+        let desc = CollectiveDescriptor::all_reduce(8, DataType::F32, ReduceOp::Sum, gpus(2));
+        assert!(matches!(
+            build_plan(&desc, 0, 0),
+            Err(CollectiveError::InvalidChunkSize(0))
+        ));
+    }
+
+    #[test]
     fn small_counts_produce_empty_slices_without_panicking() {
         // count < n: some slices are empty, their macro steps emit no primitives.
         let desc = CollectiveDescriptor::all_reduce(2, DataType::F32, ReduceOp::Sum, gpus(4));
         for rank in 0..4 {
             let plan = build_plan(&desc, rank, 1024).unwrap();
-            assert!(plan.iter().all(|p| p.elems() > 0));
+            assert!(plan.steps.iter().all(|p| p.elems() > 0));
         }
     }
 }

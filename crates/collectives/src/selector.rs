@@ -1,0 +1,186 @@
+//! Topology- and payload-aware algorithm selection.
+//!
+//! Mirrors the NCCL design point the GPU-centric-communication survey
+//! describes: ring for bandwidth-bound (large) payloads, tree for
+//! latency-bound (small) payloads, hierarchical across node boundaries.
+//! The choice can be forced per collective (via
+//! [`CollectiveDescriptor::algorithm`]) or globally (via
+//! [`AlgorithmSelector::force`]); a per-collective override always wins and
+//! is validated strictly — asking for an algorithm that cannot schedule the
+//! descriptor is a registration error, not a silent fallback.
+
+use crate::collective::CollectiveDescriptor;
+use crate::plan::{algorithm, AlgorithmKind, Plan};
+use crate::CollectiveError;
+use dfccl_transport::Topology;
+
+/// Default payload threshold at or below which latency dominates and the
+/// tree schedule is preferred (bytes). Matches the modelled crossover of the
+/// Table 2 link parameters (see `perf_algorithms`' sweep): the tree's
+/// O(log n) hop count wins up to ~16 KiB, the ring's lower byte volume wins
+/// beyond it.
+pub const DEFAULT_TREE_THRESHOLD_BYTES: usize = 16 * 1024;
+
+/// Picks a collective algorithm from the payload size and the communicator's
+/// topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgorithmSelector {
+    /// Payloads at or below this many bytes use the tree schedule (when the
+    /// collective kind supports it).
+    pub tree_threshold_bytes: usize,
+    /// Global override: always use this algorithm when it supports the
+    /// descriptor (a per-collective override still wins).
+    pub force: Option<AlgorithmKind>,
+}
+
+impl Default for AlgorithmSelector {
+    fn default() -> Self {
+        AlgorithmSelector {
+            tree_threshold_bytes: DEFAULT_TREE_THRESHOLD_BYTES,
+            force: None,
+        }
+    }
+}
+
+impl AlgorithmSelector {
+    /// A selector that always picks `kind` when possible.
+    pub fn forced(kind: AlgorithmKind) -> Self {
+        AlgorithmSelector {
+            force: Some(kind),
+            ..Default::default()
+        }
+    }
+
+    /// Choose the algorithm for `desc` over `topology`.
+    ///
+    /// Precedence: per-collective override (strict — returned even if
+    /// unsupported, so the caller surfaces a clear error), then the global
+    /// override (skipped when unsupported), then the topology/payload policy,
+    /// then ring.
+    pub fn select(&self, desc: &CollectiveDescriptor, topology: &Topology) -> AlgorithmKind {
+        if let Some(kind) = desc.algorithm {
+            return kind;
+        }
+        if let Some(kind) = self.force {
+            if algorithm(kind).supports(desc, topology) {
+                return kind;
+            }
+        }
+        let payload = desc.count * desc.dtype.size_bytes();
+        let tree = algorithm(AlgorithmKind::DoubleBinaryTree);
+        if payload <= self.tree_threshold_bytes && tree.supports(desc, topology) {
+            return AlgorithmKind::DoubleBinaryTree;
+        }
+        let hierarchical = algorithm(AlgorithmKind::Hierarchical);
+        if hierarchical.supports(desc, topology) {
+            return AlgorithmKind::Hierarchical;
+        }
+        AlgorithmKind::Ring
+    }
+
+    /// Select an algorithm and compile `rank`'s plan with it.
+    pub fn build_plan(
+        &self,
+        desc: &CollectiveDescriptor,
+        rank: usize,
+        max_chunk_elems: usize,
+        topology: &Topology,
+    ) -> Result<Plan, CollectiveError> {
+        let kind = self.select(desc, topology);
+        algorithm(kind).build_plan(desc, rank, max_chunk_elems, topology)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::redop::ReduceOp;
+    use gpu_sim::GpuId;
+
+    fn gpus(n: usize) -> Vec<GpuId> {
+        (0..n).map(GpuId).collect()
+    }
+
+    fn all_reduce(count: usize, n: usize) -> CollectiveDescriptor {
+        CollectiveDescriptor::all_reduce(count, DataType::F32, ReduceOp::Sum, gpus(n))
+    }
+
+    #[test]
+    fn small_payloads_pick_tree_large_pick_ring() {
+        let sel = AlgorithmSelector::default();
+        let topo = Topology::flat(8);
+        // 1 KiB all-reduce: latency-bound -> tree.
+        assert_eq!(
+            sel.select(&all_reduce(256, 8), &topo),
+            AlgorithmKind::DoubleBinaryTree
+        );
+        // 4 MiB all-reduce: bandwidth-bound -> ring.
+        assert_eq!(
+            sel.select(&all_reduce(1 << 20, 8), &topo),
+            AlgorithmKind::Ring
+        );
+    }
+
+    #[test]
+    fn multi_node_large_payloads_pick_hierarchical() {
+        let sel = AlgorithmSelector::default();
+        let topo = Topology::two_eight_gpu_servers();
+        let desc = all_reduce(1 << 20, 16);
+        assert_eq!(sel.select(&desc, &topo), AlgorithmKind::Hierarchical);
+        // Small payloads still prefer the tree even across nodes.
+        assert_eq!(
+            sel.select(&all_reduce(256, 16), &topo),
+            AlgorithmKind::DoubleBinaryTree
+        );
+    }
+
+    #[test]
+    fn unsupported_kinds_fall_back_to_ring() {
+        let sel = AlgorithmSelector::default();
+        let topo = Topology::flat(4);
+        // A small all-gather: tree does not schedule it; ring does.
+        let ag = CollectiveDescriptor::all_gather(16, DataType::F32, gpus(4));
+        assert_eq!(sel.select(&ag, &topo), AlgorithmKind::Ring);
+    }
+
+    #[test]
+    fn per_collective_override_wins_and_is_strict() {
+        let sel = AlgorithmSelector::default();
+        let topo = Topology::flat(4);
+        let desc = all_reduce(1 << 20, 4).with_algorithm(AlgorithmKind::DoubleBinaryTree);
+        assert_eq!(sel.select(&desc, &topo), AlgorithmKind::DoubleBinaryTree);
+        // Forcing hierarchical on a single-node topology is an error at
+        // build time, not a silent ring fallback.
+        let bad = all_reduce(16, 4).with_algorithm(AlgorithmKind::Hierarchical);
+        assert!(matches!(
+            sel.build_plan(&bad, 0, 16, &topo),
+            Err(CollectiveError::UnsupportedTopology(_))
+        ));
+    }
+
+    #[test]
+    fn global_override_applies_when_supported() {
+        let topo = Topology::flat(4);
+        let sel = AlgorithmSelector::forced(AlgorithmKind::DoubleBinaryTree);
+        assert_eq!(
+            sel.select(&all_reduce(1 << 20, 4), &topo),
+            AlgorithmKind::DoubleBinaryTree
+        );
+        // Unsupported global override falls through to the policy.
+        let ag = CollectiveDescriptor::all_gather(16, DataType::F32, gpus(4));
+        assert_eq!(sel.select(&ag, &topo), AlgorithmKind::Ring);
+    }
+
+    #[test]
+    fn selected_plans_build() {
+        let sel = AlgorithmSelector::default();
+        let topo = Topology::two_eight_gpu_servers();
+        for count in [64, 1 << 18] {
+            let desc = all_reduce(count, 16);
+            let plan = sel.build_plan(&desc, 3, 1024, &topo).unwrap();
+            plan.validate(3, 16).unwrap();
+            assert!(!plan.is_empty());
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Double-binary-tree schedules: latency-optimal all-reduce and broadcast.
+//!
+//! Ring schedules are bandwidth-optimal but pay `O(n)` per-message latencies;
+//! for small payloads the latency term dominates and a tree with `O(log n)`
+//! hops wins (the standard NCCL design point; see the GPU-centric
+//! communication survey). This module builds the classic *double* binary
+//! tree: the data is split in two halves, each scheduled over its own binary
+//! tree, with the trees chosen so that a rank that is internal in one tree is
+//! a leaf in the other — no rank does double duty.
+//!
+//! * **Tree shape** — a heap-ordered binary tree over rank positions
+//!   (`parent(p) = (p-1)/2`, children `2p+1`, `2p+2`), which is defined for
+//!   any rank count, including non-powers of two.
+//! * **All-reduce** — tree 0 is the heap tree over ranks `0..n`, tree 1 the
+//!   mirrored heap tree over `n-1..0`; a node internal in one is a leaf in
+//!   the other. Each half flows up its tree (reduce) and back down
+//!   (broadcast). Partial sums accumulate in the recv buffer via
+//!   [`SrcBuf::Recv`] operands.
+//! * **Broadcast** — both trees are rooted at the descriptor root (ascending
+//!   and descending rank orders), each carrying half the data.
+//!
+//! Ordering: one monotone step counter spans both trees, and the final plan
+//! is sorted chunk-major, yielding `(chunk, tree, step)` order on every rank.
+//! Matched send/recv pairs agree on `(chunk, tree)` and every directed edge
+//! carries at most one message per `(chunk, tree)`, so connector FIFO order
+//! is consistent and the schedule is deadlock-free even with 1-slot
+//! connectors: a blocked rank always waits on a peer positioned no later in
+//! the shared `(chunk, tree)` order, and within one `(chunk, tree)` section
+//! the dependency graph is the (acyclic) tree itself.
+
+use crate::chunk::{slice_ranges, ElemRange};
+use crate::collective::{CollectiveDescriptor, CollectiveKind};
+use crate::plan::{
+    check_builder_inputs, push_chunked, sort_chunk_major, Algorithm, AlgorithmKind, Plan,
+};
+use crate::primitive::{PrimitiveKind, PrimitiveStep, SrcBuf};
+use crate::CollectiveError;
+use dfccl_transport::Topology;
+
+/// The double-binary-tree schedule generator.
+pub struct DoubleBinaryTreeAlgorithm;
+
+impl Algorithm for DoubleBinaryTreeAlgorithm {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::DoubleBinaryTree
+    }
+
+    fn supports(&self, desc: &CollectiveDescriptor, _topology: &Topology) -> bool {
+        matches!(
+            desc.kind,
+            CollectiveKind::AllReduce | CollectiveKind::Broadcast
+        )
+    }
+
+    fn build_plan(
+        &self,
+        desc: &CollectiveDescriptor,
+        rank: usize,
+        max_chunk_elems: usize,
+        _topology: &Topology,
+    ) -> Result<Plan, CollectiveError> {
+        check_builder_inputs(desc, rank, max_chunk_elems)?;
+        let n = desc.num_ranks();
+        let trees = match desc.kind {
+            CollectiveKind::AllReduce => [
+                (0..n).collect::<Vec<usize>>(),
+                (0..n).rev().collect::<Vec<usize>>(),
+            ],
+            CollectiveKind::Broadcast => {
+                let root = desc.root.expect("validated root");
+                [
+                    (0..n).map(|i| (root + i) % n).collect(),
+                    (0..n).map(|i| (root + n - i) % n).collect(),
+                ]
+            }
+            other => {
+                return Err(CollectiveError::UnsupportedAlgorithm {
+                    algorithm: AlgorithmKind::DoubleBinaryTree,
+                    kind: other,
+                })
+            }
+        };
+        let halves = slice_ranges(desc.count, 2);
+        let mut steps = Vec::new();
+        let mut step = 0u32;
+        for (order, half) in trees.iter().zip(halves) {
+            let node = TreeNode::locate(order, rank);
+            match desc.kind {
+                CollectiveKind::AllReduce => {
+                    emit_all_reduce(&mut steps, &node, half, &mut step, max_chunk_elems)
+                }
+                CollectiveKind::Broadcast => {
+                    emit_broadcast(&mut steps, &node, half, &mut step, max_chunk_elems)
+                }
+                _ => unreachable!("filtered above"),
+            }
+        }
+        sort_chunk_major(&mut steps);
+        Ok(Plan::new(AlgorithmKind::DoubleBinaryTree, steps))
+    }
+}
+
+/// A rank's place in one heap-ordered tree: its parent and children ranks.
+struct TreeNode {
+    parent: Option<usize>,
+    children: Vec<usize>,
+}
+
+impl TreeNode {
+    /// Locate `rank` in the heap tree over `order` (`order[0]` is the root).
+    fn locate(order: &[usize], rank: usize) -> TreeNode {
+        let n = order.len();
+        let p = order
+            .iter()
+            .position(|&r| r == rank)
+            .expect("rank participates in the tree");
+        let parent = (p > 0).then(|| order[(p - 1) / 2]);
+        let children = [2 * p + 1, 2 * p + 2]
+            .into_iter()
+            .filter(|&c| c < n)
+            .map(|c| order[c])
+            .collect();
+        TreeNode { parent, children }
+    }
+}
+
+/// Emit one tree's all-reduce round trip over `half` for this node: reduce up
+/// towards the root, then broadcast the result back down.
+fn emit_all_reduce(
+    out: &mut Vec<PrimitiveStep>,
+    node: &TreeNode,
+    half: ElemRange,
+    step: &mut u32,
+    max_chunk: usize,
+) {
+    let mut emit = |kind, src, src_buf, dst, send_to, recv_from| {
+        push_chunked(
+            out, kind, src, src_buf, dst, send_to, recv_from, *step, max_chunk,
+        );
+        *step += 1;
+    };
+
+    // Up phase: fold the children's partial sums into the recv buffer, then
+    // forward the subtree sum to the parent.
+    for (i, &child) in node.children.iter().enumerate() {
+        // The first reduction pairs the incoming chunk with this rank's
+        // original contribution (send buffer); later ones accumulate onto the
+        // partial already in the recv buffer.
+        let operand = if i == 0 { SrcBuf::Send } else { SrcBuf::Recv };
+        emit(
+            PrimitiveKind::RecvReduceCopy,
+            Some(half),
+            operand,
+            Some(half),
+            None,
+            Some(child),
+        );
+    }
+    if let Some(parent) = node.parent {
+        let (kind, src_buf) = if node.children.is_empty() {
+            // A leaf forwards its original contribution.
+            (PrimitiveKind::Send, SrcBuf::Send)
+        } else {
+            // An internal node forwards the accumulated subtree sum.
+            (PrimitiveKind::Send, SrcBuf::Recv)
+        };
+        emit(kind, Some(half), src_buf, None, Some(parent), None);
+    }
+
+    // Down phase: the root already holds the full sum in its recv buffer;
+    // everyone else receives it from the parent and fans it out.
+    if let Some(parent) = node.parent {
+        if let Some((&first, rest)) = node.children.split_first() {
+            emit(
+                PrimitiveKind::RecvCopySend,
+                None,
+                SrcBuf::Send,
+                Some(half),
+                Some(first),
+                Some(parent),
+            );
+            for &child in rest {
+                emit(
+                    PrimitiveKind::Send,
+                    Some(half),
+                    SrcBuf::Recv,
+                    None,
+                    Some(child),
+                    None,
+                );
+            }
+        } else {
+            emit(
+                PrimitiveKind::Recv,
+                None,
+                SrcBuf::Send,
+                Some(half),
+                None,
+                Some(parent),
+            );
+        }
+    } else {
+        for &child in &node.children {
+            emit(
+                PrimitiveKind::Send,
+                Some(half),
+                SrcBuf::Recv,
+                None,
+                Some(child),
+                None,
+            );
+        }
+    }
+}
+
+/// Emit one tree's broadcast over `half` for this node: the root copies its
+/// contribution locally and sends down; inner nodes forward; leaves receive.
+fn emit_broadcast(
+    out: &mut Vec<PrimitiveStep>,
+    node: &TreeNode,
+    half: ElemRange,
+    step: &mut u32,
+    max_chunk: usize,
+) {
+    let mut emit = |kind, src, src_buf, dst, send_to, recv_from| {
+        push_chunked(
+            out, kind, src, src_buf, dst, send_to, recv_from, *step, max_chunk,
+        );
+        *step += 1;
+    };
+
+    let Some(parent) = node.parent else {
+        // Root: own output, then fan out from the send buffer.
+        emit(
+            PrimitiveKind::Copy,
+            Some(half),
+            SrcBuf::Send,
+            Some(half),
+            None,
+            None,
+        );
+        for &child in &node.children {
+            emit(
+                PrimitiveKind::Send,
+                Some(half),
+                SrcBuf::Send,
+                None,
+                Some(child),
+                None,
+            );
+        }
+        return;
+    };
+    if let Some((&first, rest)) = node.children.split_first() {
+        emit(
+            PrimitiveKind::RecvCopySend,
+            None,
+            SrcBuf::Send,
+            Some(half),
+            Some(first),
+            Some(parent),
+        );
+        for &child in rest {
+            emit(
+                PrimitiveKind::Send,
+                Some(half),
+                SrcBuf::Recv,
+                None,
+                Some(child),
+                None,
+            );
+        }
+    } else {
+        emit(
+            PrimitiveKind::Recv,
+            None,
+            SrcBuf::Send,
+            Some(half),
+            None,
+            Some(parent),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::redop::ReduceOp;
+    use gpu_sim::GpuId;
+
+    fn gpus(n: usize) -> Vec<GpuId> {
+        (0..n).map(GpuId).collect()
+    }
+
+    fn flat(n: usize) -> Topology {
+        Topology::flat(n)
+    }
+
+    #[test]
+    fn supports_all_reduce_and_broadcast_only() {
+        let a = DoubleBinaryTreeAlgorithm;
+        let topo = flat(4);
+        let ar = CollectiveDescriptor::all_reduce(8, DataType::F32, ReduceOp::Sum, gpus(4));
+        let bc = CollectiveDescriptor::broadcast(8, DataType::F32, 0, gpus(4));
+        let ag = CollectiveDescriptor::all_gather(8, DataType::F32, gpus(4));
+        assert!(a.supports(&ar, &topo));
+        assert!(a.supports(&bc, &topo));
+        assert!(!a.supports(&ag, &topo));
+        assert!(matches!(
+            a.build_plan(&ag, 0, 64, &topo),
+            Err(CollectiveError::UnsupportedAlgorithm { .. })
+        ));
+    }
+
+    #[test]
+    fn heap_tree_shape_is_consistent() {
+        let order: Vec<usize> = (0..7).collect();
+        let root = TreeNode::locate(&order, 0);
+        assert_eq!(root.parent, None);
+        assert_eq!(root.children, vec![1, 2]);
+        let mid = TreeNode::locate(&order, 2);
+        assert_eq!(mid.parent, Some(0));
+        assert_eq!(mid.children, vec![5, 6]);
+        let leaf = TreeNode::locate(&order, 5);
+        assert_eq!(leaf.parent, Some(2));
+        assert!(leaf.children.is_empty());
+    }
+
+    #[test]
+    fn internal_in_one_tree_means_leaf_in_the_other() {
+        // The double-tree property that balances work across ranks.
+        for n in 2..=9usize {
+            let t0: Vec<usize> = (0..n).collect();
+            let t1: Vec<usize> = (0..n).rev().collect();
+            for r in 0..n {
+                let in_t0 = !TreeNode::locate(&t0, r).children.is_empty();
+                let in_t1 = !TreeNode::locate(&t1, r).children.is_empty();
+                assert!(
+                    !(in_t0 && in_t1),
+                    "rank {r} of {n} is internal in both trees"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_plans_are_chunk_major_and_peer_consistent() {
+        for n in [2usize, 3, 5, 8] {
+            let desc = CollectiveDescriptor::all_reduce(64, DataType::F32, ReduceOp::Sum, gpus(n));
+            let topo = flat(n);
+            for rank in 0..n {
+                let plan = DoubleBinaryTreeAlgorithm
+                    .build_plan(&desc, rank, 8, &topo)
+                    .unwrap();
+                plan.validate(rank, n).unwrap();
+                let order: Vec<(u32, u32)> =
+                    plan.steps.iter().map(|p| (p.chunk_index, p.step)).collect();
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                assert_eq!(order, sorted, "n={n} rank={rank} not chunk-major");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_peers_are_not_ring_neighbours_in_general() {
+        let n = 8;
+        let desc = CollectiveDescriptor::all_reduce(16, DataType::F32, ReduceOp::Sum, gpus(n));
+        let topo = flat(n);
+        let plan = DoubleBinaryTreeAlgorithm
+            .build_plan(&desc, 0, 1024, &topo)
+            .unwrap();
+        // Rank 0 is the root of tree 0 (children 1, 2) and a node of the
+        // mirrored tree; it must talk to rank 2, which a ring never does.
+        assert!(plan.send_peers().contains(&2));
+    }
+
+    #[test]
+    fn broadcast_trees_are_rooted_at_the_descriptor_root() {
+        let n = 6;
+        let root = 4;
+        let desc = CollectiveDescriptor::broadcast(32, DataType::F32, root, gpus(n));
+        let topo = flat(n);
+        let root_plan = DoubleBinaryTreeAlgorithm
+            .build_plan(&desc, root, 1024, &topo)
+            .unwrap();
+        // The root never receives — it only copies locally and sends.
+        assert!(root_plan.recv_peers().is_empty());
+        assert!(!root_plan.send_peers().is_empty());
+        // Every other rank receives at least once.
+        for rank in (0..n).filter(|&r| r != root) {
+            let plan = DoubleBinaryTreeAlgorithm
+                .build_plan(&desc, rank, 1024, &topo)
+                .unwrap();
+            assert!(!plan.recv_peers().is_empty(), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn two_rank_tree_degenerates_to_a_send_recv_pair() {
+        let desc = CollectiveDescriptor::all_reduce(8, DataType::F32, ReduceOp::Sum, gpus(2));
+        let topo = flat(2);
+        let p0 = DoubleBinaryTreeAlgorithm
+            .build_plan(&desc, 0, 1024, &topo)
+            .unwrap();
+        let p1 = DoubleBinaryTreeAlgorithm
+            .build_plan(&desc, 1, 1024, &topo)
+            .unwrap();
+        // Each rank is root of one tree and leaf of the other.
+        assert_eq!(p0.send_peers(), vec![1]);
+        assert_eq!(p0.recv_peers(), vec![1]);
+        assert_eq!(p1.send_peers(), vec![0]);
+        assert_eq!(p1.recv_peers(), vec![0]);
+    }
+}

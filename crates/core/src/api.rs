@@ -18,7 +18,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use dfccl_collectives::{
-    build_plan, validate_buffers, CollectiveDescriptor, CollectiveError, DataType, DeviceBuffer,
+    validate_buffers, AlgorithmKind, CollectiveDescriptor, CollectiveError, DataType, DeviceBuffer,
     ReduceOp,
 };
 use dfccl_transport::{Communicator, CommunicatorPool, LinkModel, Topology, TransportError};
@@ -303,9 +303,19 @@ impl RankCtx {
                 coll_id,
             },
         )?;
+        // Select the algorithm (payload/topology policy, overridable per
+        // collective and globally), compile the rank's plan, and materialise
+        // exactly the connectors the plan addresses out of the mesh.
+        let selector = self.domain.config.algorithm_selector();
+        let plan = selector.build_plan(
+            &desc,
+            rank,
+            self.domain.config.chunk_elems,
+            self.domain.topology(),
+        )?;
+        plan.validate(rank, desc.num_ranks())?;
         let communicator = self.domain.communicator_for(coll_id, &desc.devices)?;
-        let channels = communicator.rank_channels(rank)?;
-        let plan = build_plan(&desc, rank, self.domain.config.chunk_elems)?;
+        let channels = communicator.channels(rank, &plan.send_peers(), &plan.recv_peers())?;
         let reg = Arc::new(RegisteredCollective {
             coll_id,
             desc,
@@ -465,6 +475,15 @@ impl RankCtx {
     pub fn implicit_synchronize(&self, kind: SyncKind, timeout: Duration) -> bool {
         let waiter = self.device.request_synchronize(kind);
         waiter.wait_timeout(timeout)
+    }
+
+    /// The algorithm the selector chose for a registered collective.
+    pub fn algorithm_of(&self, coll_id: u64) -> Option<AlgorithmKind> {
+        self.shared
+            .registered
+            .read()
+            .get(&coll_id)
+            .map(|r| r.plan.algorithm)
     }
 
     /// Aggregate daemon statistics for this rank.

@@ -8,6 +8,8 @@
 
 use std::time::Duration;
 
+use dfccl_collectives::{AlgorithmKind, AlgorithmSelector, DEFAULT_TREE_THRESHOLD_BYTES};
+
 /// Charge a modelled host-memory cost by busy-spinning for `ns` nanoseconds
 /// (no-op for non-positive costs). The single entry point of the cost model:
 /// both the SQ reader and the CQ writers charge through here, so the
@@ -175,6 +177,14 @@ pub struct DfcclConfig {
     pub chunk_elems: usize,
     /// Chunk slots per connector.
     pub connector_capacity: usize,
+    /// Global collective-algorithm override. `None` lets the selector pick
+    /// ring/tree/hierarchical from payload size and topology per collective;
+    /// `Some` forces one family whenever it supports the collective. A
+    /// per-collective override on the descriptor still wins.
+    pub algorithm: Option<AlgorithmKind>,
+    /// Payloads at or below this many bytes prefer the latency-optimal tree
+    /// schedule (when the collective kind supports it).
+    pub tree_threshold_bytes: usize,
     /// Submission-queue capacity (SQEs).
     pub sq_capacity: usize,
     /// Completion-queue capacity (CQEs).
@@ -230,6 +240,8 @@ impl Default for DfcclConfig {
         DfcclConfig {
             chunk_elems: 32 * 1024,
             connector_capacity: 8,
+            algorithm: None,
+            tree_threshold_bytes: DEFAULT_TREE_THRESHOLD_BYTES,
             sq_capacity: 1024,
             cq_capacity: 1024,
             cq_variant: CqVariant::OptimizedSlot,
@@ -283,6 +295,21 @@ impl DfcclConfig {
         self.cq_write_batch = 1;
         self
     }
+
+    /// Force one collective-algorithm family for every registration (the
+    /// per-collective descriptor override still wins).
+    pub fn with_algorithm(mut self, algorithm: AlgorithmKind) -> Self {
+        self.algorithm = Some(algorithm);
+        self
+    }
+
+    /// The algorithm selector this configuration describes.
+    pub fn algorithm_selector(&self) -> AlgorithmSelector {
+        AlgorithmSelector {
+            tree_threshold_bytes: self.tree_threshold_bytes,
+            force: self.algorithm,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +359,17 @@ mod tests {
         assert_eq!(c.context_load_ns, 0.0);
         let s = DfcclConfig::preemption_stress();
         assert_eq!(s.spin, SpinPolicy::Fixed { threshold: 4 });
+    }
+
+    #[test]
+    fn algorithm_selection_defaults_to_the_topology_aware_policy() {
+        let c = DfcclConfig::default();
+        assert_eq!(c.algorithm, None);
+        assert_eq!(c.tree_threshold_bytes, DEFAULT_TREE_THRESHOLD_BYTES);
+        let sel = c.algorithm_selector();
+        assert_eq!(sel.force, None);
+        let forced = DfcclConfig::default().with_algorithm(AlgorithmKind::Ring);
+        assert_eq!(forced.algorithm_selector().force, Some(AlgorithmKind::Ring));
     }
 
     #[test]

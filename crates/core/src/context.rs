@@ -16,6 +16,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
+use dfccl_collectives::executor::PendingSend;
 use dfccl_collectives::DeviceBuffer;
 use gpu_sim::busy_spin;
 use parking_lot::Mutex;
@@ -25,6 +26,10 @@ use parking_lot::Mutex;
 pub struct DynamicContext {
     /// Index of the next primitive of the plan to execute.
     pub next_step: usize,
+    /// A chunk staged by the last fused primitive while its send connector
+    /// was full; must be flushed before the next primitive (or completion).
+    /// Survives preemption like the rest of the context.
+    pub pending_send: Option<PendingSend>,
     /// Submission sequence number of this invocation.
     pub run_seq: u64,
     /// Send buffer of this invocation.
@@ -41,6 +46,7 @@ impl DynamicContext {
     pub fn new(run_seq: u64, send: DeviceBuffer, recv: DeviceBuffer) -> Self {
         DynamicContext {
             next_step: 0,
+            pending_send: None,
             run_seq,
             send,
             recv,

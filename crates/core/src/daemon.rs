@@ -45,7 +45,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dfccl_collectives::{
-    execute_ready_step, step_ready, CollectiveDescriptor, PrimitiveStep, StepOutcome,
+    execute_ready_step, flush_pending, step_ready, CollectiveDescriptor, Plan, StepOutcome,
 };
 use dfccl_transport::{Communicator, RankChannels};
 use gpu_sim::{GpuDevice, GpuId};
@@ -73,8 +73,8 @@ pub struct RegisteredCollective {
     pub communicator: Arc<Communicator>,
     /// This rank's connectors.
     pub channels: RankChannels,
-    /// This rank's primitive sequence.
-    pub plan: Vec<PrimitiveStep>,
+    /// This rank's compiled schedule (primitive sequence + algorithm).
+    pub plan: Plan,
 }
 
 /// State shared between the API layer, the poller thread and the daemon-kernel
@@ -483,12 +483,15 @@ fn run_daemon(shared: Arc<DaemonShared>) {
             let mut failed: Option<String> = None;
 
             while ctx.next_step < reg.plan.len() {
-                let step = &reg.plan[ctx.next_step];
+                let step = &reg.plan.steps[ctx.next_step];
                 // Two-phase blocking: poll the connector conditions up to the
                 // spin threshold, then either execute or abort the primitive.
+                // A chunk staged by the previous fused primitive makes the
+                // condition "its connector drained"; the executor flushes it
+                // before running the step.
                 let mut polls: u64 = 0;
                 let ready = loop {
-                    if step_ready(step, &reg.channels) {
+                    if step_ready(step, &reg.channels, &ctx.pending_send) {
                         break true;
                     }
                     polls += 1;
@@ -501,6 +504,7 @@ fn run_daemon(shared: Arc<DaemonShared>) {
                     preempted = true;
                     break;
                 }
+                let had_staged_chunk = ctx.pending_send.is_some();
                 let exec_start = Instant::now();
                 match execute_ready_step(
                     coll_id,
@@ -510,6 +514,7 @@ fn run_daemon(shared: Arc<DaemonShared>) {
                     reg.desc.op,
                     &ctx.send,
                     &ctx.recv,
+                    &mut ctx.pending_send,
                 ) {
                     Ok(StepOutcome::Completed) => {
                         shared.stats.record_primitive(exec_start.elapsed());
@@ -525,12 +530,45 @@ fn run_daemon(shared: Arc<DaemonShared>) {
                         }
                     }
                     Ok(StepOutcome::NotReady) => {
+                        // The executor may have flushed the staged chunk and
+                        // only then found the step's own conditions unmet:
+                        // that flush published data, so the pass made
+                        // progress even though this collective is preempted.
+                        if had_staged_chunk && ctx.pending_send.is_none() {
+                            progressed_any = true;
+                        }
                         preempted = true;
                         break;
                     }
                     Err(e) => {
                         failed = Some(e.to_string());
                         break;
+                    }
+                }
+            }
+
+            // The last primitive may have staged its output chunk; the
+            // collective is only complete once it is on the wire.
+            if failed.is_none() && !preempted && ctx.pending_send.is_some() {
+                let mut polls: u64 = 0;
+                loop {
+                    match flush_pending(&reg.channels, &mut ctx.pending_send) {
+                        Ok(true) => {
+                            progressed_any = true;
+                            break;
+                        }
+                        Ok(false) => {
+                            polls += 1;
+                            if polls >= threshold {
+                                preempted = true;
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                        Err(e) => {
+                            failed = Some(e.to_string());
+                            break;
+                        }
                     }
                 }
             }

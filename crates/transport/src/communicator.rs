@@ -1,5 +1,5 @@
-//! Communicators: the ring of connectors behind one collective, and the pool
-//! that hands them out.
+//! Communicators: the peer-addressed connector mesh behind one collective,
+//! and the pool that hands them out.
 //!
 //! The paper keeps the communicator concept transparent to users: DFCCL
 //! "maintains a communicator pool, automatically creating and allocating
@@ -7,8 +7,16 @@
 //! its own communicator so that a preempted collective's connectors are never
 //! reused by another collective — the invariant the correctness argument of
 //! Sec. 4.5 relies on.
+//!
+//! A communicator no longer hard-wires a ring: it is a lazy mesh. Connectors
+//! are created on demand for exactly the directed `(src, dst)` rank pairs an
+//! algorithm's plan uses, each classified by the [`Topology`] and costed by
+//! the [`LinkModel`]. A ring plan materialises the same `n` edges the old
+//! ring-wired communicator created eagerly; a tree or hierarchical plan
+//! materialises its own edge set instead. [`Communicator::new_ring`] remains
+//! as a convenience constructor that pre-creates the ring edges.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -24,7 +32,8 @@ use crate::TransportError;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CommunicatorId(pub u64);
 
-/// The channels one rank uses inside a ring communicator.
+/// The channels one rank uses inside a communicator: a per-peer map of send
+/// and recv connectors, covering exactly the peers the rank's plan addresses.
 #[derive(Debug, Clone)]
 pub struct RankChannels {
     /// This rank's index within the communicator.
@@ -33,22 +42,46 @@ pub struct RankChannels {
     pub size: usize,
     /// GPU this rank runs on.
     pub gpu: GpuId,
-    /// GPU of the next rank in the ring (the send peer).
-    pub send_peer: GpuId,
-    /// GPU of the previous rank in the ring (the recv peer).
-    pub recv_peer: GpuId,
-    /// Connector used to send chunks to the next rank.
-    pub send: Arc<Connector>,
-    /// Connector used to receive chunks from the previous rank.
-    pub recv: Arc<Connector>,
+    /// Connectors this rank sends through, keyed by destination rank.
+    sends: BTreeMap<usize, Arc<Connector>>,
+    /// Connectors this rank receives from, keyed by source rank.
+    recvs: BTreeMap<usize, Arc<Connector>>,
 }
 
-/// A ring communicator over an ordered set of GPUs.
+impl RankChannels {
+    /// The connector carrying chunks from this rank to `peer`, if the
+    /// channels were built to cover that pair.
+    pub fn send_to(&self, peer: usize) -> Option<&Arc<Connector>> {
+        self.sends.get(&peer)
+    }
+
+    /// The connector carrying chunks from `peer` to this rank, if the
+    /// channels were built to cover that pair.
+    pub fn recv_from(&self, peer: usize) -> Option<&Arc<Connector>> {
+        self.recvs.get(&peer)
+    }
+
+    /// The destination ranks this rank can send to.
+    pub fn send_peers(&self) -> impl Iterator<Item = usize> + '_ {
+        self.sends.keys().copied()
+    }
+
+    /// The source ranks this rank can receive from.
+    pub fn recv_peers(&self) -> impl Iterator<Item = usize> + '_ {
+        self.recvs.keys().copied()
+    }
+}
+
+/// A peer-addressed communicator over an ordered set of GPUs. Connectors are
+/// created lazily for the directed rank pairs a plan actually uses.
 pub struct Communicator {
     id: CommunicatorId,
     devices: Vec<GpuId>,
-    /// `edges[i]` carries chunks from rank `i` to rank `(i + 1) % n`.
-    edges: Vec<Arc<Connector>>,
+    topology: Arc<Topology>,
+    link_model: Arc<LinkModel>,
+    connector_capacity: usize,
+    /// `edges[(s, d)]` carries chunks from rank `s` to rank `d`.
+    edges: Mutex<HashMap<(usize, usize), Arc<Connector>>>,
 }
 
 impl std::fmt::Debug for Communicator {
@@ -56,35 +89,55 @@ impl std::fmt::Debug for Communicator {
         f.debug_struct("Communicator")
             .field("id", &self.id)
             .field("devices", &self.devices)
+            .field("edges", &self.edges.lock().len())
             .finish()
     }
 }
 
 impl Communicator {
-    /// Build a ring communicator over `devices` (in the given rank order).
-    pub fn new_ring(
+    /// Build an (initially edgeless) mesh communicator over `devices` in the
+    /// given rank order. Connectors appear on first use via
+    /// [`Communicator::connector_between`] / [`Communicator::channels`].
+    pub fn new(
         id: CommunicatorId,
         devices: Vec<GpuId>,
-        topology: &Topology,
+        topology: &Arc<Topology>,
         link_model: &Arc<LinkModel>,
         connector_capacity: usize,
     ) -> Result<Arc<Self>, TransportError> {
         if devices.len() < 2 {
             return Err(TransportError::DeviceSetTooSmall(devices.len()));
         }
-        let n = devices.len();
-        let mut edges = Vec::with_capacity(n);
-        for i in 0..n {
-            let from = devices[i];
-            let to = devices[(i + 1) % n];
-            let link = topology.link_between(from, to)?;
-            edges.push(Connector::new(
-                connector_capacity,
-                link,
-                Arc::clone(link_model),
-            ));
+        for &d in &devices {
+            if !topology.contains(d) {
+                return Err(TransportError::UnknownGpu(d));
+            }
         }
-        Ok(Arc::new(Communicator { id, devices, edges }))
+        Ok(Arc::new(Communicator {
+            id,
+            devices,
+            topology: Arc::clone(topology),
+            link_model: Arc::clone(link_model),
+            connector_capacity,
+            edges: Mutex::new(HashMap::new()),
+        }))
+    }
+
+    /// Build a communicator over `devices` with the ring edges (`i → i+1`)
+    /// pre-created — the layout every pre-mesh caller relied on.
+    pub fn new_ring(
+        id: CommunicatorId,
+        devices: Vec<GpuId>,
+        topology: &Arc<Topology>,
+        link_model: &Arc<LinkModel>,
+        connector_capacity: usize,
+    ) -> Result<Arc<Self>, TransportError> {
+        let comm = Communicator::new(id, devices, topology, link_model, connector_capacity)?;
+        let n = comm.devices.len();
+        for i in 0..n {
+            comm.connector_between(i, (i + 1) % n)?;
+        }
+        Ok(comm)
     }
 
     /// Communicator identifier.
@@ -107,34 +160,93 @@ impl Communicator {
         self.devices.iter().position(|&d| d == gpu)
     }
 
-    /// The channels used by `rank`.
-    pub fn rank_channels(&self, rank: usize) -> Result<RankChannels, TransportError> {
-        let n = self.devices.len();
-        if rank >= n {
-            return Err(TransportError::InvalidRank { rank, size: n });
+    fn check_rank(&self, rank: usize) -> Result<(), TransportError> {
+        if rank >= self.devices.len() {
+            return Err(TransportError::InvalidRank {
+                rank,
+                size: self.devices.len(),
+            });
         }
-        let prev = (rank + n - 1) % n;
+        Ok(())
+    }
+
+    /// The connector carrying chunks from rank `src` to rank `dst`, created
+    /// on first request. Both endpoints share the same connector instance, so
+    /// a chunk published by `src` is what `dst` consumes.
+    pub fn connector_between(
+        &self,
+        src: usize,
+        dst: usize,
+    ) -> Result<Arc<Connector>, TransportError> {
+        self.check_rank(src)?;
+        self.check_rank(dst)?;
+        if src == dst {
+            return Err(TransportError::SelfLoop { rank: src });
+        }
+        let mut edges = self.edges.lock();
+        if let Some(c) = edges.get(&(src, dst)) {
+            return Ok(Arc::clone(c));
+        }
+        let link = self
+            .topology
+            .link_between(self.devices[src], self.devices[dst])?;
+        let c = Connector::new(self.connector_capacity, link, Arc::clone(&self.link_model));
+        edges.insert((src, dst), Arc::clone(&c));
+        Ok(c)
+    }
+
+    /// Build the channels `rank` needs to execute a plan that sends to
+    /// `send_peers` and receives from `recv_peers` (peer lists may repeat;
+    /// duplicates are collapsed).
+    pub fn channels(
+        &self,
+        rank: usize,
+        send_peers: &[usize],
+        recv_peers: &[usize],
+    ) -> Result<RankChannels, TransportError> {
+        self.check_rank(rank)?;
+        let mut sends = BTreeMap::new();
+        for &p in send_peers {
+            sends.insert(p, self.connector_between(rank, p)?);
+        }
+        let mut recvs = BTreeMap::new();
+        for &p in recv_peers {
+            recvs.insert(p, self.connector_between(p, rank)?);
+        }
         Ok(RankChannels {
             rank,
-            size: n,
+            size: self.devices.len(),
             gpu: self.devices[rank],
-            send_peer: self.devices[(rank + 1) % n],
-            recv_peer: self.devices[prev],
-            send: Arc::clone(&self.edges[rank]),
-            recv: Arc::clone(&self.edges[prev]),
+            sends,
+            recvs,
         })
     }
 
-    /// Drop any chunks still buffered in the ring (used when recycling).
+    /// The ring channels used by `rank` (send to `rank+1`, receive from
+    /// `rank-1`) — the layout every plan assumed before peer addressing.
+    pub fn rank_channels(&self, rank: usize) -> Result<RankChannels, TransportError> {
+        let n = self.devices.len();
+        self.check_rank(rank)?;
+        let next = (rank + 1) % n;
+        let prev = (rank + n - 1) % n;
+        self.channels(rank, &[next], &[prev])
+    }
+
+    /// Drop any chunks still buffered in the mesh (used when recycling).
     pub fn clear(&self) {
-        for e in &self.edges {
+        for e in self.edges.lock().values() {
             e.clear();
         }
     }
 
     /// Whether any connector still holds chunks.
     pub fn has_in_flight_data(&self) -> bool {
-        self.edges.iter().any(|e| !e.is_empty())
+        self.edges.lock().values().any(|e| !e.is_empty())
+    }
+
+    /// Number of distinct directed edges materialised so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.lock().len()
     }
 }
 
@@ -186,8 +298,8 @@ impl CommunicatorPool {
         &self.link_model
     }
 
-    /// Allocate a communicator for `devices`, reusing a previously released
-    /// one when available.
+    /// Allocate a mesh communicator for `devices`, reusing a previously
+    /// released one when available. Edges materialise as plans request them.
     pub fn allocate(&self, devices: &[GpuId]) -> Result<Arc<Communicator>, TransportError> {
         if let Some(comm) = self.free.lock().get_mut(devices).and_then(|v| v.pop()) {
             comm.clear();
@@ -195,7 +307,7 @@ impl CommunicatorPool {
         }
         let id = CommunicatorId(self.next_id.fetch_add(1, Ordering::Relaxed));
         self.created.fetch_add(1, Ordering::Relaxed);
-        Communicator::new_ring(
+        Communicator::new(
             id,
             devices.to_vec(),
             &self.topology,
@@ -232,18 +344,23 @@ mod tests {
         ids.iter().map(|&i| GpuId(i)).collect()
     }
 
+    fn flat(n: usize) -> Arc<Topology> {
+        Arc::new(Topology::flat(n))
+    }
+
     #[test]
     fn ring_channels_wire_neighbours_correctly() {
-        let topo = Topology::flat(4);
+        let topo = flat(4);
         let model = Arc::new(LinkModel::zero_cost());
         let comm = Communicator::new_ring(CommunicatorId(0), gpus(&[0, 1, 2, 3]), &topo, &model, 4)
             .unwrap();
         let ch1 = comm.rank_channels(1).unwrap();
-        assert_eq!(ch1.send_peer, GpuId(2));
-        assert_eq!(ch1.recv_peer, GpuId(0));
+        assert_eq!(ch1.send_peers().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(ch1.recv_peers().collect::<Vec<_>>(), vec![0]);
         // Rank 0's send connector is rank 1's recv connector.
         let ch0 = comm.rank_channels(0).unwrap();
-        ch0.send
+        ch0.send_to(1)
+            .unwrap()
             .try_send(ChunkMsg {
                 coll_id: 9,
                 chunk_index: 0,
@@ -251,25 +368,82 @@ mod tests {
                 data: vec![1, 2, 3],
             })
             .unwrap();
-        let got = ch1.recv.try_recv().unwrap();
+        let got = ch1.recv_from(0).unwrap().try_recv().unwrap();
         assert_eq!(got.coll_id, 9);
     }
 
     #[test]
     fn ring_wraps_around_for_last_rank() {
-        let topo = Topology::flat(3);
+        let topo = flat(3);
         let model = Arc::new(LinkModel::zero_cost());
         let comm =
             Communicator::new_ring(CommunicatorId(0), gpus(&[0, 1, 2]), &topo, &model, 4).unwrap();
         let last = comm.rank_channels(2).unwrap();
-        assert_eq!(last.send_peer, GpuId(0));
+        assert!(last.send_to(0).is_some());
         let first = comm.rank_channels(0).unwrap();
-        assert_eq!(first.recv_peer, GpuId(2));
+        assert!(first.recv_from(2).is_some());
+        // A ring over n ranks materialises exactly n directed edges.
+        assert_eq!(comm.edge_count(), 3);
+    }
+
+    #[test]
+    fn mesh_creates_edges_on_demand_and_shares_them() {
+        let topo = flat(4);
+        let model = Arc::new(LinkModel::zero_cost());
+        let comm =
+            Communicator::new(CommunicatorId(0), gpus(&[0, 1, 2, 3]), &topo, &model, 4).unwrap();
+        assert_eq!(comm.edge_count(), 0);
+        // A tree-ish channel request: rank 0 talks to 1 and 2 in both directions.
+        let ch0 = comm.channels(0, &[1, 2], &[1, 2]).unwrap();
+        assert_eq!(comm.edge_count(), 4);
+        let ch1 = comm.channels(1, &[0], &[0]).unwrap();
+        // Rank 1's edges already existed; nothing new is created.
+        assert_eq!(comm.edge_count(), 4);
+        ch0.send_to(1)
+            .unwrap()
+            .try_send(ChunkMsg {
+                coll_id: 5,
+                chunk_index: 0,
+                step: 0,
+                data: vec![7],
+            })
+            .unwrap();
+        assert_eq!(ch1.recv_from(0).unwrap().try_recv().unwrap().coll_id, 5);
+        // Channels cover only the requested peers.
+        assert!(ch0.send_to(3).is_none());
+        assert!(ch0.recv_from(3).is_none());
+    }
+
+    #[test]
+    fn duplicate_peer_lists_collapse() {
+        let topo = flat(3);
+        let model = Arc::new(LinkModel::zero_cost());
+        let comm =
+            Communicator::new(CommunicatorId(0), gpus(&[0, 1, 2]), &topo, &model, 4).unwrap();
+        let ch = comm.channels(0, &[1, 1, 2, 1], &[2, 2]).unwrap();
+        assert_eq!(ch.send_peers().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(ch.recv_peers().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(comm.edge_count(), 3);
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        let topo = flat(2);
+        let model = Arc::new(LinkModel::zero_cost());
+        let comm = Communicator::new(CommunicatorId(0), gpus(&[0, 1]), &topo, &model, 4).unwrap();
+        assert!(matches!(
+            comm.connector_between(1, 1),
+            Err(TransportError::SelfLoop { rank: 1 })
+        ));
+        assert!(matches!(
+            comm.channels(0, &[0], &[]),
+            Err(TransportError::SelfLoop { rank: 0 })
+        ));
     }
 
     #[test]
     fn communicator_rejects_tiny_device_sets() {
-        let topo = Topology::flat(2);
+        let topo = flat(2);
         let model = Arc::new(LinkModel::zero_cost());
         assert!(matches!(
             Communicator::new_ring(CommunicatorId(0), gpus(&[0]), &topo, &model, 4),
@@ -279,7 +453,7 @@ mod tests {
 
     #[test]
     fn invalid_rank_is_an_error() {
-        let topo = Topology::flat(2);
+        let topo = flat(2);
         let model = Arc::new(LinkModel::zero_cost());
         let comm =
             Communicator::new_ring(CommunicatorId(0), gpus(&[0, 1]), &topo, &model, 4).unwrap();
@@ -287,13 +461,17 @@ mod tests {
             comm.rank_channels(5),
             Err(TransportError::InvalidRank { rank: 5, size: 2 })
         ));
+        assert!(matches!(
+            comm.connector_between(0, 9),
+            Err(TransportError::InvalidRank { rank: 9, size: 2 })
+        ));
         assert_eq!(comm.rank_of(GpuId(1)), Some(1));
         assert_eq!(comm.rank_of(GpuId(7)), None);
     }
 
     #[test]
     fn connectors_use_topology_link_classes() {
-        let topo = Topology::single_server();
+        let topo = Arc::new(Topology::single_server());
         let model = Arc::new(LinkModel::zero_cost());
         // Ring 3 -> 4 crosses the socket (IntraSys); 0 -> 1 stays in a PIX domain.
         let comm = Communicator::new_ring(
@@ -304,17 +482,16 @@ mod tests {
             4,
         )
         .unwrap();
+        let link_of = |src: usize, dst: usize| comm.connector_between(src, dst).unwrap().link();
+        assert_eq!(link_of(0, 1), LinkClass::IntraPix);
+        assert_eq!(link_of(3, 4), LinkClass::IntraSys);
+        assert_eq!(link_of(7, 0), LinkClass::IntraSys);
+        // A mesh edge crossing machines gets classified on demand, too.
+        let two = Arc::new(Topology::two_eight_gpu_servers());
+        let comm2 = Communicator::new(CommunicatorId(1), two.gpus(), &two, &model, 4).unwrap();
         assert_eq!(
-            comm.rank_channels(0).unwrap().send.link(),
-            LinkClass::IntraPix
-        );
-        assert_eq!(
-            comm.rank_channels(3).unwrap().send.link(),
-            LinkClass::IntraSys
-        );
-        assert_eq!(
-            comm.rank_channels(7).unwrap().send.link(),
-            LinkClass::IntraSys
+            comm2.connector_between(0, 8).unwrap().link(),
+            LinkClass::InterNode
         );
     }
 
@@ -349,7 +526,8 @@ mod tests {
         let c1 = pool.allocate(&devices).unwrap();
         c1.rank_channels(0)
             .unwrap()
-            .send
+            .send_to(1)
+            .unwrap()
             .try_send(ChunkMsg {
                 coll_id: 1,
                 chunk_index: 0,

@@ -36,6 +36,9 @@ pub enum TransportError {
     DeviceSetTooSmall(usize),
     /// A rank index was out of range for a communicator.
     InvalidRank { rank: usize, size: usize },
+    /// A connector was requested from a rank to itself; local traffic never
+    /// crosses a connector.
+    SelfLoop { rank: usize },
 }
 
 impl std::fmt::Display for TransportError {
@@ -50,6 +53,9 @@ impl std::fmt::Display for TransportError {
                     f,
                     "rank {rank} out of range for communicator of size {size}"
                 )
+            }
+            TransportError::SelfLoop { rank } => {
+                write!(f, "rank {rank} requested a connector to itself")
             }
         }
     }
@@ -73,5 +79,8 @@ mod tests {
         assert!(TransportError::InvalidRank { rank: 9, size: 4 }
             .to_string()
             .contains("rank 9"));
+        assert!(TransportError::SelfLoop { rank: 3 }
+            .to_string()
+            .contains("itself"));
     }
 }

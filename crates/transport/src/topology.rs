@@ -94,6 +94,28 @@ impl Topology {
         ])
     }
 
+    /// Alias for [`Topology::two_servers`] under the name the hierarchical
+    /// algorithm's tests use: two dual-socket eight-GPU servers, each split
+    /// into two PIX domains of four, joined by the inter-node fabric.
+    pub fn two_eight_gpu_servers() -> Self {
+        Topology::two_servers()
+    }
+
+    /// A uniform multi-node cluster: `machines` nodes of `gpus_per_machine`
+    /// GPUs each, every node a single PIX domain. The shape hierarchical
+    /// algorithms assume (equal-size node groups), without the dual-socket
+    /// split of the Table 2 servers.
+    pub fn uniform_cluster(machines: usize, gpus_per_machine: usize) -> Self {
+        Topology::new(
+            (0..machines)
+                .map(|m| MachineSpec {
+                    name: format!("node-{m}"),
+                    pix_domains: vec![(m * gpus_per_machine..(m + 1) * gpus_per_machine).collect()],
+                })
+                .collect(),
+        )
+    }
+
     /// Four eight-GPU servers (32 GPUs) — the 2×3080ti + 2×3090 cluster used
     /// for Fig. 8(c).
     pub fn four_servers() -> Self {
@@ -204,6 +226,60 @@ mod tests {
             LinkClass::IntraPix
         );
         assert_eq!(t.machine_of(GpuId(9)), Some(1));
+    }
+
+    #[test]
+    fn two_eight_gpu_servers_classifies_every_boundary() {
+        // The link classes the hierarchical algorithm's phases ride on:
+        // intra-PIX within a domain, intra-SYS across the socket, inter-node
+        // across machines — in decreasing order of locality.
+        let t = Topology::two_eight_gpu_servers();
+        assert_eq!(t.gpu_count(), 16);
+        // Within one PIX domain of server 0.
+        assert_eq!(
+            t.link_between(GpuId(1), GpuId(3)).unwrap(),
+            LinkClass::IntraPix
+        );
+        // Across the socket of server 0 (domains {0..3} and {4..7}).
+        assert_eq!(
+            t.link_between(GpuId(2), GpuId(6)).unwrap(),
+            LinkClass::IntraSys
+        );
+        // Across machines, both from the first and the second PIX domain.
+        assert_eq!(
+            t.link_between(GpuId(0), GpuId(8)).unwrap(),
+            LinkClass::InterNode
+        );
+        assert_eq!(
+            t.link_between(GpuId(7), GpuId(12)).unwrap(),
+            LinkClass::InterNode
+        );
+        // Same boundaries seen from server 1's side.
+        assert_eq!(
+            t.link_between(GpuId(9), GpuId(11)).unwrap(),
+            LinkClass::IntraPix
+        );
+        assert_eq!(
+            t.link_between(GpuId(8), GpuId(15)).unwrap(),
+            LinkClass::IntraSys
+        );
+        assert_eq!(t.machine_of(GpuId(7)), Some(0));
+        assert_eq!(t.machine_of(GpuId(8)), Some(1));
+    }
+
+    #[test]
+    fn uniform_cluster_has_single_pix_nodes() {
+        let t = Topology::uniform_cluster(3, 4);
+        assert_eq!(t.gpu_count(), 12);
+        assert_eq!(
+            t.link_between(GpuId(0), GpuId(3)).unwrap(),
+            LinkClass::IntraPix
+        );
+        assert_eq!(
+            t.link_between(GpuId(3), GpuId(4)).unwrap(),
+            LinkClass::InterNode
+        );
+        assert_eq!(t.machine_of(GpuId(11)), Some(2));
     }
 
     #[test]
