@@ -13,8 +13,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dfccl_collectives::{
-    build_plan, run_plan_blocking, validate_buffers, CollectiveDescriptor, CollectiveError,
-    DeviceBuffer, Plan,
+    run_plan_blocking, validate_buffers, AlgorithmKind, AlgorithmSelector, CollectiveDescriptor,
+    CollectiveError, DeviceBuffer, Plan,
 };
 use dfccl_transport::{
     Communicator, CommunicatorPool, LinkModel, RankChannels, Topology, TransportError,
@@ -207,9 +207,16 @@ impl NcclRank {
             },
         )?;
         let comm = self.domain.communicator_for(coll_id, &desc.devices)?;
-        // The NCCL-like baseline always runs the ring schedule; its channels
-        // cover exactly the ring edges the plan addresses.
-        let plan = build_plan(&desc, rank, self.domain.chunk_elems)?;
+        // The NCCL-like baseline runs the ring schedule wherever a ring
+        // exists; dense-mesh kinds (all-to-all, send/recv) fall through to
+        // the pairwise family, mirroring NCCL's grouped p2p implementation.
+        // Channels cover exactly the edges the plan addresses.
+        let plan = AlgorithmSelector::forced(AlgorithmKind::Ring).build_plan(
+            &desc,
+            rank,
+            self.domain.chunk_elems,
+            self.domain.pool.topology(),
+        )?;
         let channels = comm.channels(rank, &plan.send_peers(), &plan.recv_peers())?;
         self.registered.lock().insert(
             coll_id,

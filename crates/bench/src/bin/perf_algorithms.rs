@@ -20,7 +20,9 @@
 use std::fmt::Write as _;
 
 use dfccl_bench::hotpath::{batched_config, best_of_over, HotpathWorkload};
-use dfccl_bench::{arg_num, arg_value, byte_sweep, fmt_bytes, modelled_completion_us, print_row};
+use dfccl_bench::{
+    arg_num, arg_value, byte_sweep, fmt_bytes, modelled_completion_us, print_row, upsert_json_key,
+};
 use dfccl_collectives::{AlgorithmKind, CollectiveDescriptor, DataType, ReduceOp};
 use dfccl_transport::Topology;
 use gpu_sim::GpuId;
@@ -129,37 +131,49 @@ fn main() {
     );
 
     // Hand-rolled JSON (no serialization dependency in this environment).
-    let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"algorithms\",\n");
-    let _ = writeln!(
-        json,
-        "  \"workload\": {{\"collectives\": {collectives}, \"rounds\": {rounds}, \"count\": 16, \"repeats\": {repeats}}},"
-    );
-    json.push_str("  \"throughput\": [\n");
+    // Each panel is upserted into the existing document by key, so panels
+    // owned by other harness binaries (e.g. perf_alltoall's
+    // "alltoall_per_size") survive this run untouched.
+    let mut throughput_panel = String::from("[\n");
     for (i, (gpus, row)) in throughput.iter().enumerate() {
         let _ = write!(
-            json,
+            throughput_panel,
             "    {{\"gpus\": {gpus}, \"ring_collectives_per_sec\": {:.1}, \"tree_collectives_per_sec\": {:.1}, \"hierarchical_collectives_per_sec\": {:.1}}}",
             row[0], row[1], row[2]
         );
-        json.push_str(if i + 1 < throughput.len() {
+        throughput_panel.push_str(if i + 1 < throughput.len() {
             ",\n"
         } else {
             "\n"
         });
     }
-    json.push_str("  ],\n  \"modelled_sweep_us\": [\n");
+    throughput_panel.push_str("  ]");
+    let mut sweep_panel = String::from("[\n");
     for (i, (bytes, ring, tree, hier)) in sweep.iter().enumerate() {
         let _ = write!(
-            json,
+            sweep_panel,
             "    {{\"bytes\": {bytes}, \"ring\": {ring:.2}, \"tree\": {tree:.2}, \"hierarchical\": {hier:.2}}}"
         );
-        json.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
+        sweep_panel.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ],\n");
-    let _ = writeln!(json, "  \"tree_wins_small_payloads\": {tree_wins_small},");
-    let _ = writeln!(json, "  \"ring_wins_large_payloads\": {ring_wins_large}");
-    json.push_str("}\n");
+    sweep_panel.push_str("  ]");
+
+    let mut json = std::fs::read_to_string(&out_path).unwrap_or_else(|_| "{\n}\n".to_string());
+    for (key, value) in [
+        ("bench", "\"algorithms\"".to_string()),
+        (
+            "workload",
+            format!(
+                "{{\"collectives\": {collectives}, \"rounds\": {rounds}, \"count\": 16, \"repeats\": {repeats}}}"
+            ),
+        ),
+        ("throughput", throughput_panel),
+        ("modelled_sweep_us", sweep_panel),
+        ("tree_wins_small_payloads", tree_wins_small.to_string()),
+        ("ring_wins_large_payloads", ring_wins_large.to_string()),
+    ] {
+        json = upsert_json_key(&json, key, &value);
+    }
 
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("wrote {out_path}");

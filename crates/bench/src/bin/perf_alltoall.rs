@@ -1,0 +1,156 @@
+//! `perf_alltoall` — per-size all-to-all throughput over the dense mesh.
+//!
+//! Two measurements per per-peer payload size, merged into the
+//! `"alltoall_per_size"` panel of `BENCH_algorithms.json` (the other panels,
+//! written by `perf_algorithms`, are preserved):
+//!
+//! 1. **Full-stack throughput** — all-to-alls/sec through the complete DFCCL
+//!    hot path (SQ → daemon → pairwise plan over the n(n-1)-edge mesh → CQ →
+//!    poller) at 4 simulated GPUs, plus the nccl-tests-style algorithm
+//!    bandwidth derived from the bytes each rank moves.
+//! 2. **Modelled completion** — the deterministic plan-cost estimate of the
+//!    pairwise schedule under the Table 2 link parameters, which must grow
+//!    monotonically with the payload (the shape gate CI relies on).
+//!
+//! Usage:
+//! ```text
+//! perf_alltoall [--repeats 3] [--rounds 8] [--gpus 4] [--out BENCH_algorithms.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dfccl_bench::hotpath::batched_config;
+use dfccl_bench::{
+    arg_num, arg_value, byte_sweep, fmt_bytes, modelled_completion_us, print_row, upsert_json_key,
+};
+use dfccl_collectives::{AlgorithmKind, CollectiveDescriptor, DataType, DeviceBuffer};
+use dfccl_transport::{LinkModel, Topology};
+use gpu_sim::{GpuId, GpuSpec};
+
+/// One full-stack measurement: every rank invokes the registered all-to-all
+/// `rounds` times; the clock stops at the last completion on every rank.
+fn measure_alltoall(gpus: usize, slice_elems: usize, rounds: u64) -> f64 {
+    let domain = dfccl::DfcclDomain::new(
+        Topology::flat(gpus),
+        LinkModel::zero_cost(),
+        GpuSpec::rtx_3090(),
+        batched_config(),
+    );
+    let devices: Vec<GpuId> = (0..gpus).map(GpuId).collect();
+    let ranks: Vec<_> = devices
+        .iter()
+        .map(|&g| Arc::new(domain.init_rank(g).expect("rank init")))
+        .collect();
+    for rank in &ranks {
+        rank.register_all_to_all(1, slice_elems, DataType::F32, devices.clone(), 0)
+            .expect("register all-to-all");
+        assert_eq!(rank.algorithm_of(1), Some(AlgorithmKind::Pairwise));
+    }
+    let start = Instant::now();
+    let mut invokers = Vec::new();
+    for rank in &ranks {
+        let rank = Arc::clone(rank);
+        invokers.push(std::thread::spawn(move || {
+            let bytes = slice_elems * gpus * 4;
+            let handle = dfccl::CompletionHandle::new();
+            for _ in 0..rounds {
+                let send = DeviceBuffer::zeroed(bytes);
+                let recv = DeviceBuffer::zeroed(bytes);
+                loop {
+                    match rank.run(1, send.clone(), recv.clone(), handle.completion_callback()) {
+                        Ok(()) => break,
+                        Err(dfccl::DfcclError::SubmissionQueueFull) => std::thread::yield_now(),
+                        Err(e) => panic!("submission failed: {e}"),
+                    }
+                }
+            }
+            assert!(
+                handle.wait_for_timeout(rounds, Duration::from_secs(120)),
+                "all-to-all bench timed out"
+            );
+        }));
+    }
+    for j in invokers {
+        j.join().expect("invoker panicked");
+    }
+    let elapsed = start.elapsed();
+    for rank in &ranks {
+        assert!(rank.collective_errors().is_empty());
+        rank.destroy();
+    }
+    rounds as f64 / elapsed.as_secs_f64()
+}
+
+fn main() {
+    let repeats: usize = arg_num("--repeats", 3).max(1);
+    let rounds: u64 = arg_num("--rounds", 8).max(1);
+    let gpus: usize = arg_num("--gpus", 4).max(2);
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_algorithms.json".to_string());
+
+    println!("# perf_alltoall — dense-mesh all-to-all, full DFCCL hot path at {gpus} GPUs");
+    println!("# {rounds} rounds per size, best of {repeats}; modelled µs uses Table 2 links");
+    let widths = [10, 14, 12, 14];
+    print_row(
+        &["per-peer", "a2a/sec", "algbw GB/s", "modelled µs"].map(String::from),
+        &widths,
+    );
+
+    let topo = Topology::flat(gpus);
+    let devices: Vec<GpuId> = (0..gpus).map(GpuId).collect();
+    // Per-peer payload sweep: 256 B .. 64 KiB per (rank, peer) pair.
+    let sizes = byte_sweep(256, 64 * 1024);
+    let mut panel: Vec<(usize, f64, f64, f64)> = Vec::new();
+    for &bytes in &sizes {
+        let slice_elems = (bytes / 4).max(1);
+        let best = (0..repeats)
+            .map(|_| measure_alltoall(gpus, slice_elems, rounds))
+            .fold(0.0f64, f64::max);
+        // Bytes each rank puts on the wire per all-to-all: (n-1) slices.
+        let desc = CollectiveDescriptor::all_to_all(slice_elems, DataType::F32, devices.clone());
+        let wire = desc.wire_bytes_per_rank();
+        let algbw = best * wire as f64 / 1e9;
+        let modelled = modelled_completion_us(&desc, AlgorithmKind::Pairwise, &topo)
+            .expect("pairwise schedules all-to-all");
+        print_row(
+            &[
+                fmt_bytes(bytes),
+                format!("{best:.0}"),
+                format!("{algbw:.3}"),
+                format!("{modelled:.1}"),
+            ],
+            &widths,
+        );
+        panel.push((bytes, best, algbw, modelled));
+    }
+
+    // Shape gate: the modelled completion must grow monotonically with the
+    // payload — deterministic, so a regression here is a plan-shape bug, not
+    // noise.
+    let monotone = panel.windows(2).all(|w| w[1].3 >= w[0].3);
+    // And an 8x payload growth must show real cost growth, not a flat line.
+    let spread = panel.last().unwrap().3 > 2.0 * panel.first().unwrap().3;
+    println!();
+    println!("modelled completion monotone in payload: {monotone}; grows with size: {spread}");
+
+    let mut value = String::from("[\n");
+    for (i, (bytes, a2a_per_sec, algbw, modelled)) in panel.iter().enumerate() {
+        let _ = write!(
+            value,
+            "    {{\"bytes_per_peer\": {bytes}, \"gpus\": {gpus}, \"alltoall_per_sec\": {a2a_per_sec:.1}, \"algbw_gbps\": {algbw:.4}, \"modelled_us\": {modelled:.2}}}"
+        );
+        value.push_str(if i + 1 < panel.len() { ",\n" } else { "\n" });
+    }
+    value.push_str("  ]");
+
+    let existing = std::fs::read_to_string(&out_path).unwrap_or_else(|_| "{\n}\n".to_string());
+    let merged = upsert_json_key(&existing, "alltoall_per_size", &value);
+    std::fs::write(&out_path, &merged).expect("write benchmark JSON");
+    println!("wrote the alltoall_per_size panel into {out_path}");
+
+    if !monotone || !spread {
+        eprintln!("WARNING: modelled all-to-all completion has the wrong shape");
+        std::process::exit(2);
+    }
+}

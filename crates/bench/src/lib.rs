@@ -100,6 +100,109 @@ pub fn algo_bandwidth_gbps(bytes: usize, elapsed: Duration) -> f64 {
     bytes as f64 / elapsed.as_secs_f64() / 1e9
 }
 
+/// End index (exclusive) of the JSON value starting at `start` in `doc`:
+/// bracket-matched for arrays/objects (string-aware; the emitted documents
+/// never escape quotes), up to the next delimiter for scalars.
+fn json_value_end(doc: &str, start: usize) -> usize {
+    let bytes = doc.as_bytes();
+    match bytes[start] {
+        b'[' | b'{' => {
+            let mut depth = 0usize;
+            let mut in_str = false;
+            for (i, &b) in bytes[start..].iter().enumerate() {
+                match b {
+                    b'"' => in_str = !in_str,
+                    b'[' | b'{' if !in_str => depth += 1,
+                    b']' | b'}' if !in_str => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return start + i + 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            doc.len()
+        }
+        b'"' => {
+            let close = doc[start + 1..].find('"').map(|i| start + i + 2);
+            close.unwrap_or(doc.len())
+        }
+        _ => {
+            let mut i = start;
+            while i < bytes.len() && !matches!(bytes[i], b',' | b'\n' | b'}' | b']') {
+                i += 1;
+            }
+            i
+        }
+    }
+}
+
+/// Start offset of the value of top-level `key` in `doc`, if present. Only
+/// keys at object depth 1 match — an identically named key nested inside a
+/// value (e.g. `"gpus"` inside a panel row) is never spliced.
+fn json_value_start(doc: &str, key: &str) -> Option<usize> {
+    let needle = format!("\"{key}\"");
+    let bytes = doc.as_bytes();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' if depth == 1 && !in_str => {
+                // A string at top level is a key (our documents are objects of
+                // key/value pairs); match it against the needle.
+                if doc[i..].starts_with(&needle) {
+                    let after = i + needle.len();
+                    let colon = after + doc[after..].find(':')?;
+                    let vstart = colon
+                        + 1
+                        + doc[colon + 1..]
+                            .bytes()
+                            .take_while(|b| b.is_ascii_whitespace())
+                            .count();
+                    return (vstart < doc.len()).then_some(vstart);
+                }
+                // Not our key: skip the whole string, then its value.
+                let key_end = i + 1 + doc[i + 1..].find('"')? + 1;
+                let colon = key_end + doc[key_end..].find(':')?;
+                let vstart = colon
+                    + 1
+                    + doc[colon + 1..]
+                        .bytes()
+                        .take_while(|b| b.is_ascii_whitespace())
+                        .count();
+                i = json_value_end(doc, vstart);
+                continue;
+            }
+            b'"' => in_str = !in_str,
+            b'{' | b'[' if !in_str => depth += 1,
+            b'}' | b']' if !in_str => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Insert or replace top-level `key` in a benchmark JSON document with the
+/// pre-rendered `value`. Lets several harness binaries share one output file,
+/// each owning its panel without clobbering the others'. An empty or
+/// truncated document (no closing brace — e.g. an interrupted earlier run) is
+/// rebuilt as a fresh object instead of panicking.
+pub fn upsert_json_key(doc: &str, key: &str, value: &str) -> String {
+    if let Some(start) = json_value_start(doc, key) {
+        let end = json_value_end(doc, start);
+        return format!("{}{}{}", &doc[..start], value, &doc[end..]);
+    }
+    let Some(close) = doc.rfind('}') else {
+        return format!("{{\n  \"{key}\": {value}\n}}\n");
+    };
+    let before = doc[..close].trim_end();
+    let comma = if before.ends_with('{') { "" } else { "," };
+    format!("{before}{comma}\n  \"{key}\": {value}\n}}\n")
+}
+
 /// Print a row of right-aligned columns.
 pub fn print_row(cols: &[String], widths: &[usize]) {
     let line: Vec<String> = cols
@@ -140,5 +243,77 @@ mod tests {
     #[test]
     fn arg_num_falls_back_to_default() {
         assert_eq!(arg_num("--definitely-not-passed", 42usize), 42);
+    }
+
+    #[test]
+    fn json_upsert_inserts_into_empty_and_nonempty_objects() {
+        let doc = upsert_json_key("{\n}\n", "panel", "[1, 2]");
+        assert_eq!(doc, "{\n  \"panel\": [1, 2]\n}\n");
+        let doc = upsert_json_key(&doc, "flag", "true");
+        assert!(doc.contains("\"panel\": [1, 2],"));
+        assert!(doc.contains("\"flag\": true"));
+        assert!(doc.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn json_upsert_replaces_an_existing_key_in_place() {
+        let doc = "{\n  \"a\": [{\"x\": 1}, {\"x\": 2}],\n  \"b\": 3\n}\n";
+        let out = upsert_json_key(doc, "a", "[]");
+        assert_eq!(out, "{\n  \"a\": [],\n  \"b\": 3\n}\n");
+        let out = upsert_json_key(doc, "b", "7");
+        assert!(out.contains("\"b\": 7"));
+        assert!(out.contains("{\"x\": 2}"));
+    }
+
+    #[test]
+    fn json_upsert_replaces_values_with_brackets_inside_strings() {
+        let doc = "{\n  \"a\": [{\"x\": \"s]\"}, 2],\n  \"b\": \"str\",\n  \"c\": 1.5\n}\n";
+        let out = upsert_json_key(doc, "a", "[]");
+        assert_eq!(out, "{\n  \"a\": [],\n  \"b\": \"str\",\n  \"c\": 1.5\n}\n");
+        let out = upsert_json_key(doc, "b", "\"other\"");
+        assert!(out.contains("\"b\": \"other\""));
+        assert!(out.contains("{\"x\": \"s]\"}"), "bracket in string spliced");
+        let out = upsert_json_key(doc, "c", "2.5");
+        assert!(out.contains("\"c\": 2.5"));
+    }
+
+    #[test]
+    fn json_upsert_ignores_keys_nested_inside_values() {
+        // "gpus" appears inside the panel rows; only a top-level "gpus" key
+        // may be replaced.
+        let doc = "{\n  \"panel\": [{\"gpus\": 4, \"x\": 1}],\n  \"gpus\": 8\n}\n";
+        let out = upsert_json_key(doc, "gpus", "16");
+        assert!(
+            out.contains("{\"gpus\": 4, \"x\": 1}"),
+            "nested value spliced"
+        );
+        assert!(out.contains("\"gpus\": 16"));
+        assert!(!out.contains("\"gpus\": 8"));
+        // With no top-level occurrence, upsert appends instead of corrupting
+        // the nested one.
+        let doc = "{\n  \"panel\": [{\"gpus\": 4}]\n}\n";
+        let out = upsert_json_key(doc, "gpus", "2");
+        assert!(out.contains("{\"gpus\": 4}"));
+        assert!(out.contains("\n  \"gpus\": 2\n"));
+    }
+
+    #[test]
+    fn json_upsert_rebuilds_empty_or_truncated_documents() {
+        // An interrupted earlier run can leave a zero-byte or truncated file;
+        // the merge must produce a fresh object, not panic.
+        for broken in ["", "   ", "{\n  \"a\": [1, 2"] {
+            let out = upsert_json_key(broken, "panel", "[3]");
+            assert!(out.contains("\"panel\": [3]"), "input {broken:?}");
+            assert!(out.trim_end().ends_with('}'), "input {broken:?}");
+        }
+    }
+
+    #[test]
+    fn upserting_into_an_existing_document_preserves_foreign_panels() {
+        let original = upsert_json_key("{\n}\n", "alltoall_per_size", "[{\"bytes\": 4}]");
+        // Another binary later upserts its own keys into the same file.
+        let merged = upsert_json_key(&original, "bench", "\"algorithms\"");
+        assert!(merged.contains("\"bench\": \"algorithms\""));
+        assert!(merged.contains("\"alltoall_per_size\": [{\"bytes\": 4}]"));
     }
 }

@@ -1,0 +1,316 @@
+//! Pairwise-exchange schedules: all-to-all and point-to-point send/recv over
+//! the dense connector mesh.
+//!
+//! All-to-all is the canonical dense-mesh collective — the backbone of MoE
+//! expert parallelism — and the one schedule family that uses the *full*
+//! directed `(src, dst)` pair space the peer-addressed transport exists for
+//! (a ring touches `n` edges, a tree `n-1`; an all-to-all touches `n(n-1)`).
+//!
+//! The schedule is the classic **linear shift**: at shift `s ∈ 1..n`, rank
+//! `r` sends its slice `(r+s) mod n` to rank `(r+s) mod n` and receives slice
+//! `(r-s) mod n` from rank `(r-s) mod n`; the rank's own slice is a local
+//! copy at shift 0. Every directed edge carries exactly one macro step's
+//! worth of data, so per-edge FIFO pairing is trivially consistent.
+//!
+//! ## Ordering and deadlock freedom
+//!
+//! Within a shift, the send half is emitted at step `2s-1` and the recv half
+//! at step `2s`, and the final plan is sorted chunk-major like every other
+//! family. With 1-slot connectors this is deadlock-free by the usual lattice
+//! argument: a blocked send at `(chunk k+1, step 2s-1)` waits for its peer to
+//! pass `(k, 2s)` (strictly smaller chunk), and a blocked recv at `(k, 2s)`
+//! waits for its peer to pass `(k, 2s-1)` (same chunk, smaller step) — every
+//! wait-for edge points to a strictly earlier position in the shared
+//! `(chunk, step)` order, so no cycle can form. Crucially the send half
+//! *precedes* the recv half of the same shift: the reverse order would have
+//! every rank waiting for a chunk nobody has published yet.
+//!
+//! Point-to-point send/recv is the degenerate two-rank case: rank 0 emits
+//! chunked `Send` primitives, rank 1 the matching `Recv`s.
+//!
+//! Like every plan IR schedule, these primitives are single-chunk and
+//! non-blocking, so the daemon kernel preempts dense-mesh plans at every
+//! chunk boundary without any executor changes — preemption safety is a
+//! property of the primitive contract, not of the schedule's shape
+//! (asserted end-to-end by the preemption-storm test in
+//! `tests/algorithms.rs`).
+
+use crate::chunk::ElemRange;
+use crate::collective::{CollectiveDescriptor, CollectiveKind};
+use crate::plan::{
+    check_builder_inputs, push_chunked, sort_chunk_major, Algorithm, AlgorithmKind, Plan,
+};
+use crate::primitive::{PrimitiveKind, SrcBuf};
+use crate::CollectiveError;
+use dfccl_transport::Topology;
+
+/// The pairwise-exchange schedule generator (all-to-all, send/recv).
+pub struct PairwiseAlgorithm;
+
+impl Algorithm for PairwiseAlgorithm {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::Pairwise
+    }
+
+    fn supports(&self, desc: &CollectiveDescriptor, _topology: &Topology) -> bool {
+        matches!(
+            desc.kind,
+            CollectiveKind::AllToAll | CollectiveKind::SendRecv
+        )
+    }
+
+    fn build_plan(
+        &self,
+        desc: &CollectiveDescriptor,
+        rank: usize,
+        max_chunk_elems: usize,
+        _topology: &Topology,
+    ) -> Result<Plan, CollectiveError> {
+        check_builder_inputs(desc, rank, max_chunk_elems)?;
+        match desc.kind {
+            CollectiveKind::AllToAll => Ok(all_to_all_plan(
+                desc.count,
+                desc.num_ranks(),
+                rank,
+                max_chunk_elems,
+            )),
+            CollectiveKind::SendRecv => Ok(send_recv_plan(desc.count, rank, max_chunk_elems)),
+            other => Err(CollectiveError::UnsupportedAlgorithm {
+                algorithm: AlgorithmKind::Pairwise,
+                kind: other,
+            }),
+        }
+    }
+}
+
+/// Linear-shift all-to-all: `count` elements per (rank, peer) pair, `n - 1`
+/// pairwise exchanges plus the local copy of the rank's own slice.
+fn all_to_all_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Plan {
+    let slice = |idx: usize| ElemRange::new((idx % n) * count, count);
+    let mut steps = Vec::new();
+
+    // Shift 0: the rank's own slice never crosses the wire.
+    push_chunked(
+        &mut steps,
+        PrimitiveKind::Copy,
+        Some(slice(rank)),
+        SrcBuf::Send,
+        Some(slice(rank)),
+        None,
+        None,
+        0,
+        max_chunk,
+    );
+    for s in 1..n {
+        let to = (rank + s) % n;
+        let from = (rank + n - s) % n;
+        // Send before recv within the shift (see the module docs).
+        push_chunked(
+            &mut steps,
+            PrimitiveKind::Send,
+            Some(slice(to)),
+            SrcBuf::Send,
+            None,
+            Some(to),
+            None,
+            (2 * s - 1) as u32,
+            max_chunk,
+        );
+        push_chunked(
+            &mut steps,
+            PrimitiveKind::Recv,
+            None,
+            SrcBuf::Send,
+            Some(slice(from)),
+            None,
+            Some(from),
+            (2 * s) as u32,
+            max_chunk,
+        );
+    }
+    sort_chunk_major(&mut steps);
+    Plan::new(AlgorithmKind::Pairwise, steps)
+}
+
+/// Point-to-point transfer of `count` elements from rank 0 to rank 1.
+fn send_recv_plan(count: usize, rank: usize, max_chunk: usize) -> Plan {
+    let whole = ElemRange::new(0, count);
+    let mut steps = Vec::new();
+    if rank == 0 {
+        push_chunked(
+            &mut steps,
+            PrimitiveKind::Send,
+            Some(whole),
+            SrcBuf::Send,
+            None,
+            Some(1),
+            None,
+            0,
+            max_chunk,
+        );
+    } else {
+        push_chunked(
+            &mut steps,
+            PrimitiveKind::Recv,
+            None,
+            SrcBuf::Send,
+            Some(whole),
+            None,
+            Some(0),
+            0,
+            max_chunk,
+        );
+    }
+    sort_chunk_major(&mut steps);
+    Plan::new(AlgorithmKind::Pairwise, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use gpu_sim::GpuId;
+
+    fn gpus(n: usize) -> Vec<GpuId> {
+        (0..n).map(GpuId).collect()
+    }
+
+    fn a2a(count: usize, n: usize) -> CollectiveDescriptor {
+        CollectiveDescriptor::all_to_all(count, DataType::F32, gpus(n))
+    }
+
+    #[test]
+    fn supports_all_to_all_and_send_recv_only() {
+        let a = PairwiseAlgorithm;
+        let topo = Topology::flat(4);
+        assert!(a.supports(&a2a(8, 4), &topo));
+        let p2p = CollectiveDescriptor::send_recv(8, DataType::F32, GpuId(0), GpuId(1));
+        assert!(a.supports(&p2p, &topo));
+        let ag = CollectiveDescriptor::all_gather(8, DataType::F32, gpus(4));
+        assert!(!a.supports(&ag, &topo));
+        assert!(matches!(
+            a.build_plan(&ag, 0, 64, &topo),
+            Err(CollectiveError::UnsupportedAlgorithm { .. })
+        ));
+    }
+
+    #[test]
+    fn all_to_all_addresses_every_peer_in_both_directions() {
+        let n = 5;
+        let topo = Topology::flat(n);
+        for rank in 0..n {
+            let plan = PairwiseAlgorithm
+                .build_plan(&a2a(6, n), rank, 1024, &topo)
+                .unwrap();
+            plan.validate(rank, n).unwrap();
+            let others: Vec<usize> = (0..n).filter(|&p| p != rank).collect();
+            assert_eq!(plan.send_peers(), others, "rank {rank} send peers");
+            assert_eq!(plan.recv_peers(), others, "rank {rank} recv peers");
+        }
+    }
+
+    #[test]
+    fn all_to_all_moves_slice_j_to_rank_j() {
+        let n = 4;
+        let count = 3;
+        let topo = Topology::flat(n);
+        for rank in 0..n {
+            let plan = PairwiseAlgorithm
+                .build_plan(&a2a(count, n), rank, 1024, &topo)
+                .unwrap();
+            for step in &plan.steps {
+                if let Some(to) = step.send_to {
+                    // The slice sent to peer `to` is read from block `to`.
+                    let src = step.src.expect("send reads a slice");
+                    assert_eq!(src.offset / count, to, "rank {rank}");
+                }
+                if let Some(from) = step.recv_from {
+                    // The slice received from peer `from` lands in block `from`.
+                    let dst = step.dst.expect("recv writes a slice");
+                    assert_eq!(dst.offset / count, from, "rank {rank}");
+                }
+            }
+            // The local copy covers the rank's own block.
+            let copy = plan
+                .steps
+                .iter()
+                .find(|s| s.kind == PrimitiveKind::Copy)
+                .expect("own slice is copied locally");
+            assert_eq!(copy.src.unwrap().offset / count, rank);
+        }
+    }
+
+    #[test]
+    fn all_to_all_plans_are_chunk_major_with_send_before_recv_per_shift() {
+        let n = 4;
+        let topo = Topology::flat(n);
+        for rank in 0..n {
+            let plan = PairwiseAlgorithm
+                .build_plan(&a2a(40, n), rank, 8, &topo)
+                .unwrap();
+            let order: Vec<(u32, u32)> =
+                plan.steps.iter().map(|p| (p.chunk_index, p.step)).collect();
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(order, sorted, "rank {rank} plan is not chunk-major");
+            // Odd steps send, even non-zero steps receive: the send half of a
+            // shift always sorts before its recv half.
+            for p in &plan.steps {
+                if p.step == 0 {
+                    assert_eq!(p.kind, PrimitiveKind::Copy);
+                } else if p.step % 2 == 1 {
+                    assert_eq!(p.kind, PrimitiveKind::Send);
+                } else {
+                    assert_eq!(p.kind, PrimitiveKind::Recv);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn send_recv_plan_roles_are_asymmetric() {
+        let topo = Topology::flat(2);
+        let desc = CollectiveDescriptor::send_recv(10, DataType::F32, GpuId(0), GpuId(1));
+        let sender = PairwiseAlgorithm.build_plan(&desc, 0, 4, &topo).unwrap();
+        assert!(sender.steps.iter().all(|s| s.kind == PrimitiveKind::Send));
+        assert_eq!(sender.send_peers(), vec![1]);
+        assert!(sender.recv_peers().is_empty());
+        let receiver = PairwiseAlgorithm.build_plan(&desc, 1, 4, &topo).unwrap();
+        assert!(receiver.steps.iter().all(|s| s.kind == PrimitiveKind::Recv));
+        assert_eq!(receiver.recv_peers(), vec![0]);
+        assert!(receiver.send_peers().is_empty());
+        // 10 elements at chunk 4 = 3 chunks on each side.
+        assert_eq!(sender.len(), 3);
+        assert_eq!(receiver.len(), 3);
+    }
+
+    #[test]
+    fn two_rank_all_to_all_degenerates_to_one_exchange() {
+        let topo = Topology::flat(2);
+        let plan = PairwiseAlgorithm
+            .build_plan(&a2a(4, 2), 0, 1024, &topo)
+            .unwrap();
+        let kinds: Vec<PrimitiveKind> = plan.steps.iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PrimitiveKind::Copy,
+                PrimitiveKind::Send,
+                PrimitiveKind::Recv
+            ]
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let topo = Topology::flat(4);
+        assert!(matches!(
+            PairwiseAlgorithm.build_plan(&a2a(8, 4), 9, 64, &topo),
+            Err(CollectiveError::InvalidRank { rank: 9, size: 4 })
+        ));
+        assert!(matches!(
+            PairwiseAlgorithm.build_plan(&a2a(8, 4), 0, 0, &topo),
+            Err(CollectiveError::InvalidChunkSize(0))
+        ));
+    }
+}

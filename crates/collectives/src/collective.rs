@@ -8,7 +8,10 @@ use crate::plan::AlgorithmKind;
 use crate::redop::ReduceOp;
 use crate::CollectiveError;
 
-/// The five common GPU collectives the paper targets (Sec. 4.1).
+/// The five common GPU collectives the paper targets (Sec. 4.1), plus the
+/// dense-mesh operations the peer-addressed transport enables: all-to-all
+/// (the backbone of MoE expert parallelism) and plain point-to-point
+/// send/recv.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CollectiveKind {
     /// Every rank contributes `count` elements; every rank receives the
@@ -24,6 +27,14 @@ pub enum CollectiveKind {
     Reduce,
     /// The root contributes `count` elements; every rank receives a copy.
     Broadcast,
+    /// Every rank contributes `count * n` elements, slice `j` destined for
+    /// rank `j`; every rank receives `count * n` elements, slice `i` coming
+    /// from rank `i`. Uses the full dense `(src, dst)` pair space of the
+    /// connector mesh.
+    AllToAll,
+    /// Point-to-point transfer: rank 0 (`devices[0]`) sends `count` elements,
+    /// rank 1 (`devices[1]`) receives them. Always exactly two devices.
+    SendRecv,
 }
 
 impl CollectiveKind {
@@ -40,13 +51,21 @@ impl CollectiveKind {
         matches!(self, CollectiveKind::Reduce | CollectiveKind::Broadcast)
     }
 
+    /// Whether this collective is a point-to-point operation over exactly two
+    /// ranks with asymmetric roles (sender and receiver).
+    pub fn is_point_to_point(&self) -> bool {
+        matches!(self, CollectiveKind::SendRecv)
+    }
+
     /// All collective kinds.
-    pub const ALL: [CollectiveKind; 5] = [
+    pub const ALL: [CollectiveKind; 7] = [
         CollectiveKind::AllReduce,
         CollectiveKind::AllGather,
         CollectiveKind::ReduceScatter,
         CollectiveKind::Reduce,
         CollectiveKind::Broadcast,
+        CollectiveKind::AllToAll,
+        CollectiveKind::SendRecv,
     ];
 }
 
@@ -58,6 +77,8 @@ impl std::fmt::Display for CollectiveKind {
             CollectiveKind::ReduceScatter => "reduce-scatter",
             CollectiveKind::Reduce => "reduce",
             CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::AllToAll => "all-to-all",
+            CollectiveKind::SendRecv => "send-recv",
         };
         write!(f, "{s}")
     }
@@ -170,6 +191,37 @@ impl CollectiveDescriptor {
         }
     }
 
+    /// Convenience constructor for an all-to-all. `count` is the number of
+    /// elements each rank sends to (and receives from) each peer, so the send
+    /// and recv buffers both hold `count * n` elements.
+    pub fn all_to_all(count: usize, dtype: DataType, devices: Vec<GpuId>) -> Self {
+        CollectiveDescriptor {
+            kind: CollectiveKind::AllToAll,
+            count,
+            dtype,
+            op: None,
+            root: None,
+            devices,
+            priority: 0,
+            algorithm: None,
+        }
+    }
+
+    /// Convenience constructor for a point-to-point transfer: `src` sends
+    /// `count` elements to `dst`.
+    pub fn send_recv(count: usize, dtype: DataType, src: GpuId, dst: GpuId) -> Self {
+        CollectiveDescriptor {
+            kind: CollectiveKind::SendRecv,
+            count,
+            dtype,
+            op: None,
+            root: None,
+            devices: vec![src, dst],
+            priority: 0,
+            algorithm: None,
+        }
+    }
+
     /// Set the scheduling priority.
     pub fn with_priority(mut self, priority: i32) -> Self {
         self.priority = priority;
@@ -204,17 +256,31 @@ impl CollectiveDescriptor {
                 other => return Err(CollectiveError::InvalidRoot(other)),
             }
         }
+        if self.kind.is_point_to_point()
+            && (self.devices.len() != 2 || self.devices[0] == self.devices[1])
+        {
+            return Err(CollectiveError::InvalidPointToPoint(self.devices.len()));
+        }
         Ok(())
     }
 
     /// Required size of the send buffer for `rank`, in elements.
-    pub fn send_elems(&self, _rank: usize) -> usize {
+    pub fn send_elems(&self, rank: usize) -> usize {
         match self.kind {
             CollectiveKind::AllReduce
             | CollectiveKind::AllGather
             | CollectiveKind::Reduce
             | CollectiveKind::Broadcast => self.count,
-            CollectiveKind::ReduceScatter => self.count * self.num_ranks(),
+            CollectiveKind::ReduceScatter | CollectiveKind::AllToAll => {
+                self.count * self.num_ranks()
+            }
+            CollectiveKind::SendRecv => {
+                if rank == 0 {
+                    self.count
+                } else {
+                    0
+                }
+            }
         }
     }
 
@@ -222,10 +288,17 @@ impl CollectiveDescriptor {
     pub fn recv_elems(&self, rank: usize) -> usize {
         match self.kind {
             CollectiveKind::AllReduce | CollectiveKind::Broadcast => self.count,
-            CollectiveKind::AllGather => self.count * self.num_ranks(),
+            CollectiveKind::AllGather | CollectiveKind::AllToAll => self.count * self.num_ranks(),
             CollectiveKind::ReduceScatter => self.count,
             CollectiveKind::Reduce => {
                 if Some(rank) == self.root {
+                    self.count
+                } else {
+                    0
+                }
+            }
+            CollectiveKind::SendRecv => {
+                if rank == 1 {
                     self.count
                 } else {
                     0
@@ -251,10 +324,12 @@ impl CollectiveDescriptor {
         let elem = self.dtype.size_bytes();
         match self.kind {
             CollectiveKind::AllReduce => 2 * (n - 1) * (self.count / n.max(1)) * elem,
-            CollectiveKind::AllGather | CollectiveKind::ReduceScatter => {
-                (n - 1) * self.count * elem
+            CollectiveKind::AllGather
+            | CollectiveKind::ReduceScatter
+            | CollectiveKind::AllToAll => (n - 1) * self.count * elem,
+            CollectiveKind::Reduce | CollectiveKind::Broadcast | CollectiveKind::SendRecv => {
+                self.count * elem
             }
-            CollectiveKind::Reduce | CollectiveKind::Broadcast => self.count * elem,
         }
     }
 }
@@ -274,7 +349,11 @@ mod tests {
         assert!(CollectiveKind::Reduce.is_rooted());
         assert!(CollectiveKind::Broadcast.is_rooted());
         assert!(!CollectiveKind::AllReduce.is_rooted());
-        assert_eq!(CollectiveKind::ALL.len(), 5);
+        assert!(!CollectiveKind::AllToAll.is_reducing());
+        assert!(!CollectiveKind::AllToAll.is_rooted());
+        assert!(CollectiveKind::SendRecv.is_point_to_point());
+        assert!(!CollectiveKind::AllToAll.is_point_to_point());
+        assert_eq!(CollectiveKind::ALL.len(), 7);
     }
 
     #[test]
@@ -331,6 +410,35 @@ mod tests {
         let bc = CollectiveDescriptor::broadcast(100, DataType::U8, 0, gpus(n));
         assert_eq!(bc.send_bytes(0), 100);
         assert_eq!(bc.recv_bytes(3), 100);
+
+        // All-to-all: both buffers hold n slices of `count` elements.
+        let a2a = CollectiveDescriptor::all_to_all(100, DataType::F32, gpus(n));
+        assert_eq!(a2a.send_elems(0), 400);
+        assert_eq!(a2a.recv_elems(3), 400);
+
+        // Point-to-point: only the sender reads, only the receiver writes.
+        let p2p = CollectiveDescriptor::send_recv(100, DataType::F32, GpuId(0), GpuId(1));
+        assert_eq!(p2p.send_elems(0), 100);
+        assert_eq!(p2p.send_elems(1), 0);
+        assert_eq!(p2p.recv_elems(0), 0);
+        assert_eq!(p2p.recv_elems(1), 100);
+    }
+
+    #[test]
+    fn point_to_point_validation_needs_two_distinct_devices() {
+        let good = CollectiveDescriptor::send_recv(8, DataType::F32, GpuId(0), GpuId(3));
+        assert!(good.validate().is_ok());
+        let same = CollectiveDescriptor::send_recv(8, DataType::F32, GpuId(2), GpuId(2));
+        assert!(matches!(
+            same.validate(),
+            Err(CollectiveError::InvalidPointToPoint(2))
+        ));
+        let mut three = CollectiveDescriptor::send_recv(8, DataType::F32, GpuId(0), GpuId(1));
+        three.devices.push(GpuId(2));
+        assert!(matches!(
+            three.validate(),
+            Err(CollectiveError::InvalidPointToPoint(3))
+        ));
     }
 
     #[test]

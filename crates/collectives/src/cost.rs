@@ -166,6 +166,28 @@ mod tests {
     }
 
     #[test]
+    fn pairwise_all_to_all_estimate_scales_with_peer_count_and_payload() {
+        // The pairwise all-to-all moves (n-1) * count elements per rank over
+        // n(n-1) mesh edges; the modelled completion must grow with both the
+        // per-peer payload and the rank count.
+        let link = LinkModel::table2_testbed();
+        let t = |n: usize, count: usize| {
+            let topo = Topology::flat(n);
+            let desc = CollectiveDescriptor::all_to_all(count, DataType::F32, gpus(n));
+            estimate_completion_ns(
+                &plans_for(&desc, AlgorithmKind::Pairwise, &topo, 1024),
+                &gpus(n),
+                &topo,
+                &link,
+                DataType::F32,
+            )
+            .unwrap()
+        };
+        assert!(t(4, 1 << 16) > 4.0 * t(4, 1 << 12));
+        assert!(t(8, 1 << 12) > 1.5 * t(4, 1 << 12));
+    }
+
+    #[test]
     fn stalled_plans_are_reported_not_looped() {
         // A single plan that receives a message nobody sends.
         use crate::chunk::ElemRange;

@@ -936,7 +936,8 @@ mod tests {
     #[test]
     fn collective_kinds_all_run_with_odd_chunk_sizes() {
         // Smoke test: every kind completes with a chunk size that does not
-        // divide the slice size evenly.
+        // divide the slice size evenly. Dense-mesh kinds run their pairwise
+        // schedule; everything else runs the ring.
         for kind in CollectiveKind::ALL {
             let n = 3;
             let count = 7;
@@ -960,11 +961,49 @@ mod tests {
                 CollectiveKind::Broadcast => {
                     CollectiveDescriptor::broadcast(count, DataType::F32, 0, devices)
                 }
+                CollectiveKind::AllToAll => {
+                    CollectiveDescriptor::all_to_all(count, DataType::F32, devices)
+                }
+                CollectiveKind::SendRecv => {
+                    CollectiveDescriptor::send_recv(count, DataType::F32, GpuId(0), GpuId(1))
+                }
             };
-            let inputs: Vec<Vec<f32>> = (0..n)
+            let algo = match kind {
+                CollectiveKind::AllToAll | CollectiveKind::SendRecv => AlgorithmKind::Pairwise,
+                _ => AlgorithmKind::Ring,
+            };
+            let inputs: Vec<Vec<f32>> = (0..desc.num_ranks())
                 .map(|r| (0..desc.send_elems(r)).map(|i| (r + i) as f32).collect())
                 .collect();
-            let _ = run_collective(&desc, inputs, 3);
+            let _ = run_collective_with(&desc, inputs, 3, algo);
         }
+    }
+
+    #[test]
+    fn all_to_all_transposes_slices_across_ranks() {
+        // Each rank sends slice j to rank j; rank r ends up with everyone's
+        // slice r, concatenated in source order.
+        let n = 4;
+        let count = 5;
+        let desc =
+            CollectiveDescriptor::all_to_all(count, DataType::F32, (0..n).map(GpuId).collect());
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|r| (0..count * n).map(|i| (100 * r + i) as f32).collect())
+            .collect();
+        let outputs = run_collective_with(&desc, inputs.clone(), 2, AlgorithmKind::Pairwise);
+        for (rank, out) in outputs.iter().enumerate() {
+            let expected: Vec<f32> = (0..n)
+                .flat_map(|src| inputs[src][rank * count..(rank + 1) * count].to_vec())
+                .collect();
+            assert_eq!(out, &expected, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn send_recv_delivers_the_payload_to_the_receiver() {
+        let desc = CollectiveDescriptor::send_recv(9, DataType::F32, GpuId(0), GpuId(1));
+        let inputs = vec![(0..9).map(|i| i as f32 * 1.5).collect::<Vec<f32>>(), vec![]];
+        let outputs = run_collective_with(&desc, inputs.clone(), 4, AlgorithmKind::Pairwise);
+        assert_eq!(outputs[1], inputs[0]);
     }
 }

@@ -12,9 +12,11 @@
 //! * chunking helpers ([`chunk::chunk_ranges`], [`chunk::slice_ranges`]).
 //! * [`PrimitiveStep`] — one peer-addressed primitive of a rank's schedule.
 //! * [`Plan`] / [`Algorithm`] — the plan IR and the trait schedule
-//!   generators implement. Three families are built in: [`ring`] (bandwidth-
+//!   generators implement. Four families are built in: [`ring`] (bandwidth-
 //!   optimal), [`tree`] (double binary tree, latency-optimal for small
-//!   payloads) and [`hierarchical`] (two-level, for multi-node topologies).
+//!   payloads), [`hierarchical`] (two-level, for multi-node topologies) and
+//!   [`alltoall`] (pairwise exchange for dense-mesh all-to-all and plain
+//!   point-to-point send/recv).
 //! * [`AlgorithmSelector`] — topology- and payload-aware selection among the
 //!   families, overridable per collective and globally.
 //! * [`executor`] — executes one primitive against the rank's connectors.
@@ -25,6 +27,7 @@
 //!   Because every plan is a sequence of single-chunk, non-blocking
 //!   primitives, preemption safety is independent of the algorithm family.
 
+pub mod alltoall;
 pub mod buffer;
 pub mod chunk;
 pub mod collective;
@@ -39,6 +42,7 @@ pub mod ring;
 pub mod selector;
 pub mod tree;
 
+pub use alltoall::PairwiseAlgorithm;
 pub use buffer::DeviceBuffer;
 pub use chunk::{chunk_ranges, slice_ranges, ElemRange};
 pub use collective::{CollectiveDescriptor, CollectiveKind};
@@ -78,6 +82,9 @@ pub enum CollectiveError {
     InvalidRank { rank: usize, size: usize },
     /// The configured chunk size is unusable (zero elements).
     InvalidChunkSize(usize),
+    /// A point-to-point collective needs exactly two distinct devices; the
+    /// descriptor carried this many (or a repeated device).
+    InvalidPointToPoint(usize),
     /// The requested algorithm cannot schedule this collective kind.
     UnsupportedAlgorithm {
         algorithm: plan::AlgorithmKind,
@@ -121,6 +128,22 @@ impl std::fmt::Display for CollectiveError {
             }
             CollectiveError::InvalidChunkSize(n) => {
                 write!(f, "chunk size must be positive, got {n}")
+            }
+            CollectiveError::InvalidPointToPoint(n) => {
+                // A device count of 2 can only fail the distinctness half of
+                // the check; any other count fails the count half.
+                if *n == 2 {
+                    write!(
+                        f,
+                        "point-to-point collective needs 2 distinct devices, \
+                         got the same device twice"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "point-to-point collective needs exactly 2 devices, got {n}"
+                    )
+                }
             }
             CollectiveError::UnsupportedAlgorithm { algorithm, kind } => {
                 write!(f, "the {algorithm} algorithm cannot schedule {kind}")
@@ -167,6 +190,12 @@ mod tests {
         assert!(CollectiveError::InvalidChunkSize(0)
             .to_string()
             .contains("positive"));
+        assert!(CollectiveError::InvalidPointToPoint(3)
+            .to_string()
+            .contains("got 3"));
+        assert!(CollectiveError::InvalidPointToPoint(2)
+            .to_string()
+            .contains("same device twice"));
         assert!(CollectiveError::UnsupportedAlgorithm {
             algorithm: plan::AlgorithmKind::DoubleBinaryTree,
             kind: CollectiveKind::AllGather,

@@ -42,14 +42,19 @@ pub enum AlgorithmKind {
     /// reduce-scatter, inter-node exchange among the per-slice node leaders,
     /// intra-node all-gather.
     Hierarchical,
+    /// Linear-shift pairwise exchange over the dense connector mesh: at shift
+    /// `s`, rank `r` sends to `r+s` and receives from `r-s`. Schedules
+    /// all-to-all and plain point-to-point send/recv.
+    Pairwise,
 }
 
 impl AlgorithmKind {
     /// All selectable algorithm kinds.
-    pub const ALL: [AlgorithmKind; 3] = [
+    pub const ALL: [AlgorithmKind; 4] = [
         AlgorithmKind::Ring,
         AlgorithmKind::DoubleBinaryTree,
         AlgorithmKind::Hierarchical,
+        AlgorithmKind::Pairwise,
     ];
 }
 
@@ -59,6 +64,7 @@ impl std::fmt::Display for AlgorithmKind {
             AlgorithmKind::Ring => "ring",
             AlgorithmKind::DoubleBinaryTree => "tree",
             AlgorithmKind::Hierarchical => "hierarchical",
+            AlgorithmKind::Pairwise => "pairwise",
         };
         write!(f, "{s}")
     }
@@ -148,6 +154,7 @@ pub fn algorithm(kind: AlgorithmKind) -> &'static dyn Algorithm {
         AlgorithmKind::Ring => &crate::ring::RingAlgorithm,
         AlgorithmKind::DoubleBinaryTree => &crate::tree::DoubleBinaryTreeAlgorithm,
         AlgorithmKind::Hierarchical => &crate::hierarchical::HierarchicalAlgorithm,
+        AlgorithmKind::Pairwise => &crate::alltoall::PairwiseAlgorithm,
     }
 }
 
@@ -273,7 +280,8 @@ mod tests {
         assert_eq!(AlgorithmKind::Ring.to_string(), "ring");
         assert_eq!(AlgorithmKind::DoubleBinaryTree.to_string(), "tree");
         assert_eq!(AlgorithmKind::Hierarchical.to_string(), "hierarchical");
-        assert_eq!(AlgorithmKind::ALL.len(), 3);
+        assert_eq!(AlgorithmKind::Pairwise.to_string(), "pairwise");
+        assert_eq!(AlgorithmKind::ALL.len(), 4);
         for kind in AlgorithmKind::ALL {
             assert_eq!(algorithm(kind).kind(), kind);
         }

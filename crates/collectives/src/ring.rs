@@ -40,8 +40,13 @@ impl Algorithm for RingAlgorithm {
         AlgorithmKind::Ring
     }
 
-    fn supports(&self, _desc: &CollectiveDescriptor, _topology: &Topology) -> bool {
-        true
+    fn supports(&self, desc: &CollectiveDescriptor, _topology: &Topology) -> bool {
+        // All-to-all and point-to-point are dense-mesh operations scheduled
+        // by the pairwise family; a ring has no sensible schedule for them.
+        !matches!(
+            desc.kind,
+            CollectiveKind::AllToAll | CollectiveKind::SendRecv
+        )
     }
 
     fn build_plan(
@@ -151,6 +156,12 @@ pub fn build_plan(
             desc.root.expect("validated root"),
             max_chunk_elems,
         ),
+        CollectiveKind::AllToAll | CollectiveKind::SendRecv => {
+            return Err(CollectiveError::UnsupportedAlgorithm {
+                algorithm: AlgorithmKind::Ring,
+                kind: desc.kind,
+            })
+        }
     };
     Ok(plan)
 }

@@ -66,6 +66,11 @@ impl AlgorithmSelector {
                 return kind;
             }
         }
+        // Dense-mesh kinds (all-to-all, send/recv) have exactly one schedule
+        // family; no payload/topology policy applies.
+        if algorithm(AlgorithmKind::Pairwise).supports(desc, topology) {
+            return AlgorithmKind::Pairwise;
+        }
         let payload = desc.count * desc.dtype.size_bytes();
         let tree = algorithm(AlgorithmKind::DoubleBinaryTree);
         if payload <= self.tree_threshold_bytes && tree.supports(desc, topology) {
@@ -133,6 +138,30 @@ mod tests {
             sel.select(&all_reduce(256, 16), &topo),
             AlgorithmKind::DoubleBinaryTree
         );
+    }
+
+    #[test]
+    fn dense_mesh_kinds_always_select_pairwise() {
+        let sel = AlgorithmSelector::default();
+        let topo = Topology::flat(4);
+        // Tiny or huge, flat or multi-node: all-to-all has one family.
+        for count in [4usize, 1 << 20] {
+            let a2a = CollectiveDescriptor::all_to_all(count, DataType::F32, gpus(4));
+            assert_eq!(sel.select(&a2a, &topo), AlgorithmKind::Pairwise);
+        }
+        let p2p = CollectiveDescriptor::send_recv(64, DataType::F32, GpuId(0), GpuId(1));
+        assert_eq!(sel.select(&p2p, &topo), AlgorithmKind::Pairwise);
+        // A global ring override cannot apply (ring does not schedule them).
+        let forced = AlgorithmSelector::forced(AlgorithmKind::Ring);
+        let a2a = CollectiveDescriptor::all_to_all(64, DataType::F32, gpus(4));
+        assert_eq!(forced.select(&a2a, &topo), AlgorithmKind::Pairwise);
+        // A strict per-collective ring override is a build-time error.
+        let bad = CollectiveDescriptor::all_to_all(64, DataType::F32, gpus(4))
+            .with_algorithm(AlgorithmKind::Ring);
+        assert!(matches!(
+            sel.build_plan(&bad, 0, 16, &topo),
+            Err(CollectiveError::UnsupportedAlgorithm { .. })
+        ));
     }
 
     #[test]

@@ -411,6 +411,40 @@ impl RankCtx {
         )
     }
 
+    /// Register an all-to-all (`count` elements per rank pair): the dense-mesh
+    /// collective behind MoE expert parallelism.
+    pub fn register_all_to_all(
+        &self,
+        coll_id: u64,
+        count: usize,
+        dtype: DataType,
+        devices: Vec<GpuId>,
+        priority: i32,
+    ) -> Result<(), DfcclError> {
+        self.register(
+            coll_id,
+            CollectiveDescriptor::all_to_all(count, dtype, devices).with_priority(priority),
+        )
+    }
+
+    /// Register a point-to-point transfer of `count` elements from `src` to
+    /// `dst`. Both endpoints register the same id; the daemon schedules it
+    /// like any other collective (preemptible, priority-ordered).
+    pub fn register_send_recv(
+        &self,
+        coll_id: u64,
+        count: usize,
+        dtype: DataType,
+        src: GpuId,
+        dst: GpuId,
+        priority: i32,
+    ) -> Result<(), DfcclError> {
+        self.register(
+            coll_id,
+            CollectiveDescriptor::send_recv(count, dtype, src, dst).with_priority(priority),
+        )
+    }
+
     /// Invoke a registered collective (`dfcclRun*`). The callback runs on the
     /// poller thread once the collective completes on this rank.
     pub fn run(
@@ -429,7 +463,7 @@ impl RankCtx {
             .cloned()
             .ok_or(DfcclError::NotRegistered(coll_id))?;
         validate_buffers(&reg.desc, reg.rank, &send, &recv)?;
-        self.callbacks.bind(coll_id, callback);
+        let bind_token = self.callbacks.bind(coll_id, callback);
         self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let sqe = Sqe {
@@ -441,8 +475,10 @@ impl RankCtx {
         };
         if self.sq.try_push(sqe).is_err() {
             self.shared.outstanding.fetch_sub(1, Ordering::AcqRel);
-            // Drop the callback we just bound so it does not fire spuriously.
-            let _ = self.callbacks.take(coll_id);
+            // Drop exactly the callback we just bound so it does not fire
+            // spuriously; other in-flight invocations of the same collective
+            // (from this or any other thread) keep theirs.
+            let _ = self.callbacks.unbind(coll_id, bind_token);
             return Err(DfcclError::SubmissionQueueFull);
         }
         self.controller.ensure_running();
@@ -589,6 +625,18 @@ pub fn dfccl_run_all_reduce(
     ctx.run(coll_id, send, recv, callback)
 }
 
+/// `dfcclRegisterAllToAll`: register an all-to-all and prepare its data structures.
+pub fn dfccl_register_all_to_all(
+    ctx: &RankCtx,
+    count: usize,
+    dtype: DataType,
+    coll_id: u64,
+    devices: Vec<GpuId>,
+    priority: i32,
+) -> Result<(), DfcclError> {
+    ctx.register_all_to_all(coll_id, count, dtype, devices, priority)
+}
+
 /// `dfcclDestroy`: destroy the rank context and release its resources.
 pub fn dfccl_destroy(ctx: RankCtx) {
     ctx.destroy();
@@ -714,6 +762,81 @@ mod tests {
         for ctx in ranks {
             ctx.destroy();
         }
+    }
+
+    #[test]
+    fn four_rank_all_to_all_end_to_end() {
+        // The dense-mesh collective through the full daemon stack: every rank
+        // submits once, every rank ends up with the transposed slices, and the
+        // selector picked the pairwise family without any override.
+        let domain = DfcclDomain::flat_for_testing(4);
+        let n = 4;
+        let count = 8; // elements per (rank, peer) pair
+        let ranks: Vec<_> = (0..n)
+            .map(|g| domain.init_rank(GpuId(g)).unwrap())
+            .collect();
+        for ctx in &ranks {
+            ctx.register_all_to_all(1, count, DataType::F32, gpus(n), 0)
+                .unwrap();
+            assert_eq!(
+                ctx.algorithm_of(1),
+                Some(AlgorithmKind::Pairwise),
+                "selector must route all-to-all to the pairwise family"
+            );
+        }
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|r| (0..count * n).map(|i| (1000 * r + i) as f32).collect())
+            .collect();
+        let mut handles = Vec::new();
+        let mut recvs = Vec::new();
+        for (g, ctx) in ranks.iter().enumerate() {
+            let send = DeviceBuffer::from_f32(&inputs[g]);
+            let recv = DeviceBuffer::zeroed(count * n * 4);
+            recvs.push(recv.clone());
+            handles.push(ctx.run_awaitable(1, send, recv).unwrap());
+        }
+        for h in &handles {
+            assert!(
+                h.wait_for_timeout(1, Duration::from_secs(30)),
+                "all-to-all timed out"
+            );
+        }
+        for (rank, recv) in recvs.iter().enumerate() {
+            let expected: Vec<f32> = (0..n)
+                .flat_map(|src| inputs[src][rank * count..(rank + 1) * count].to_vec())
+                .collect();
+            assert_eq!(recv.to_f32_vec(), expected, "rank {rank}");
+        }
+        for ctx in ranks {
+            assert!(ctx.collective_errors().is_empty());
+            ctx.destroy();
+        }
+    }
+
+    #[test]
+    fn point_to_point_send_recv_end_to_end() {
+        let domain = DfcclDomain::flat_for_testing(2);
+        let count = 16;
+        let sender = domain.init_rank(GpuId(0)).unwrap();
+        let receiver = domain.init_rank(GpuId(1)).unwrap();
+        for ctx in [&sender, &receiver] {
+            ctx.register_send_recv(1, count, DataType::F32, GpuId(0), GpuId(1), 0)
+                .unwrap();
+            assert_eq!(ctx.algorithm_of(1), Some(AlgorithmKind::Pairwise));
+        }
+        let payload: Vec<f32> = (0..count).map(|i| i as f32 * 0.5).collect();
+        let out = DeviceBuffer::zeroed(count * 4);
+        let hs = sender
+            .run_awaitable(1, DeviceBuffer::from_f32(&payload), DeviceBuffer::zeroed(4))
+            .unwrap();
+        let hr = receiver
+            .run_awaitable(1, DeviceBuffer::zeroed(4), out.clone())
+            .unwrap();
+        assert!(hs.wait_for_timeout(1, Duration::from_secs(20)));
+        assert!(hr.wait_for_timeout(1, Duration::from_secs(20)));
+        assert_eq!(out.to_f32_vec(), payload);
+        sender.destroy();
+        receiver.destroy();
     }
 
     #[test]

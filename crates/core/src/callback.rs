@@ -8,6 +8,7 @@
 //! per collective in FIFO order.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -16,10 +17,15 @@ use parking_lot::{Condvar, Mutex};
 /// A user-supplied completion callback.
 pub type Callback = Box<dyn FnOnce() + Send + 'static>;
 
+/// Token identifying one bound callback, for targeted rollback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BindToken(u64);
+
 /// FIFO map from collective id to pending completion callbacks.
 #[derive(Default)]
 pub struct CallbackMap {
-    inner: Mutex<HashMap<u64, VecDeque<Callback>>>,
+    inner: Mutex<HashMap<u64, VecDeque<(u64, Callback)>>>,
+    next_token: AtomicU64,
 }
 
 impl CallbackMap {
@@ -28,16 +34,39 @@ impl CallbackMap {
         Arc::new(CallbackMap::default())
     }
 
-    /// Bind a callback to the next completion of `coll_id`.
-    pub fn bind(&self, coll_id: u64, cb: Callback) {
-        self.inner.lock().entry(coll_id).or_default().push_back(cb);
+    /// Bind a callback to the next completion of `coll_id`. The returned
+    /// token identifies this binding for [`CallbackMap::unbind`].
+    pub fn bind(&self, coll_id: u64, cb: Callback) -> BindToken {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .lock()
+            .entry(coll_id)
+            .or_default()
+            .push_back((token, cb));
+        BindToken(token)
     }
 
     /// Take the oldest pending callback for `coll_id`, if any.
     pub fn take(&self, coll_id: u64) -> Option<Callback> {
         let mut map = self.inner.lock();
         let queue = map.get_mut(&coll_id)?;
-        let cb = queue.pop_front();
+        let cb = queue.pop_front().map(|(_, cb)| cb);
+        if queue.is_empty() {
+            map.remove(&coll_id);
+        }
+        cb
+    }
+
+    /// Unbind exactly the callback `token` identifies — the rollback for a
+    /// submission that failed right after binding. Targeting by token keeps
+    /// concurrent submitters of the same collective id paired with their own
+    /// callbacks: popping either end of the queue instead could steal another
+    /// in-flight invocation's callback and mis-pair every later completion.
+    pub fn unbind(&self, coll_id: u64, token: BindToken) -> Option<Callback> {
+        let mut map = self.inner.lock();
+        let queue = map.get_mut(&coll_id)?;
+        let pos = queue.iter().position(|(t, _)| *t == token.0)?;
+        let cb = queue.remove(pos).map(|(_, cb)| cb);
         if queue.is_empty() {
             map.remove(&coll_id);
         }
@@ -121,6 +150,30 @@ mod tests {
         }
         assert!(map.take(7).is_none());
         assert_eq!(*order.lock(), vec![0, 1, 2]);
+        assert_eq!(map.pending(), 0);
+    }
+
+    #[test]
+    fn unbind_removes_exactly_the_tokened_callback() {
+        // The submission-rollback path: invocations 0 and 2 are in flight
+        // when invocation 1 fails to submit. The rollback must remove
+        // invocation 1's callback only, whatever its queue position, so the
+        // surviving invocations stay paired with their own callbacks.
+        let map = CallbackMap::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut tokens = Vec::new();
+        for i in 0..3 {
+            let order = Arc::clone(&order);
+            tokens.push(map.bind(7, Box::new(move || order.lock().push(i))));
+        }
+        (map.unbind(7, tokens[1]).unwrap())();
+        assert_eq!(*order.lock(), vec![1], "rollback must pop its own bind");
+        // A second rollback with the same token finds nothing.
+        assert!(map.unbind(7, tokens[1]).is_none());
+        (map.take(7).unwrap())();
+        (map.take(7).unwrap())();
+        assert_eq!(*order.lock(), vec![1, 0, 2]);
+        assert!(map.unbind(7, tokens[0]).is_none(), "already consumed");
         assert_eq!(map.pending(), 0);
     }
 

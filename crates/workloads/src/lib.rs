@@ -9,16 +9,21 @@
 //!   gradient buckets, relative compute cost);
 //! * [`parallelism`] — DP / TP / 3D-hybrid plans: which collectives exist,
 //!   over which GPU groups, and in which order each GPU makes them ready;
+//! * [`moe`] — the MoE expert-parallel workload: dispatch all-to-all →
+//!   expert compute → combine all-to-all per layer, overlapped with
+//!   data-parallel gradient all-reduces on the same devices;
 //! * [`trainer`] — a training-loop driver that runs a plan for N iterations
 //!   against DFCCL or against NCCL-like kernels coordinated by one of the
 //!   Sec. 2.5 orchestration strategies, reporting per-iteration times,
 //!   throughput and its coefficient of variation.
 
 pub mod model;
+pub mod moe;
 pub mod parallelism;
 pub mod trainer;
 
 pub use model::DnnModel;
+pub use moe::{train_moe, MoeConfig};
 pub use parallelism::{
     data_parallel_plan, tensor_parallel_plan, three_d_hybrid_plan, ParallelismKind,
     PlannedCollective, TrainingPlan,

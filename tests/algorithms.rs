@@ -88,6 +88,10 @@ fn descriptor_for(kind: CollectiveKind, count: usize, n: usize) -> CollectiveDes
         CollectiveKind::Broadcast => {
             CollectiveDescriptor::broadcast(count, DataType::F32, n - 1, gpus(n))
         }
+        CollectiveKind::AllToAll => CollectiveDescriptor::all_to_all(count, DataType::F32, gpus(n)),
+        CollectiveKind::SendRecv => {
+            CollectiveDescriptor::send_recv(count, DataType::F32, GpuId(0), GpuId(1))
+        }
     }
 }
 
@@ -121,13 +125,18 @@ fn every_algorithm_is_deadlock_free_with_one_slot_connectors() {
     let count = 17; // odd: uneven slices, partial chunks
     for n in 2..=8usize {
         for chunk_elems in [1usize, 3, 1024] {
-            // Ring schedules every kind.
+            // Ring schedules every classic kind; pairwise schedules the
+            // dense-mesh kinds (all-to-all, send/recv).
             for kind in CollectiveKind::ALL {
                 let desc = descriptor_for(kind, count, n);
-                let topo = Topology::flat(n);
+                let algo = match kind {
+                    CollectiveKind::AllToAll | CollectiveKind::SendRecv => AlgorithmKind::Pairwise,
+                    _ => AlgorithmKind::Ring,
+                };
+                let topo = Topology::flat(desc.num_ranks());
                 run(
                     &desc,
-                    AlgorithmKind::Ring,
+                    algo,
                     &topo,
                     &link,
                     &inputs_for(&desc),
@@ -261,6 +270,146 @@ fn tree_beats_ring_on_small_payloads_and_ring_wins_large() {
         ring_large < tree_large,
         "ring must win large payloads: ring {ring_large}us vs tree {tree_large}us"
     );
+}
+
+/// The sequential oracle for an all-to-all: rank `r` receives everyone's
+/// slice `r`, concatenated in source-rank order. Pure data movement, so the
+/// mesh schedule must match it bit for bit.
+fn alltoall_oracle(inputs: &[Vec<f32>], count: usize, rank: usize) -> Vec<f32> {
+    inputs
+        .iter()
+        .flat_map(|input| input[rank * count..(rank + 1) * count].to_vec())
+        .collect()
+}
+
+#[test]
+fn all_to_all_completes_at_capacity_one_and_matches_the_oracle() {
+    // The dense-mesh property test: every rank count (including non-powers of
+    // two) x chunk size completes with *1-slot* connectors — n(n-1) directed
+    // edges live at once, so any pairing or ordering mistake wedges
+    // immediately — and the result is bit-identical to the sequential oracle.
+    let link = LinkModel::zero_cost();
+    let count = 13; // odd: partial chunks at every sweep size
+    for n in 2..=8usize {
+        for chunk_elems in [1usize, 3, 1024] {
+            let desc = descriptor_for(CollectiveKind::AllToAll, count, n);
+            let inputs = inputs_for(&desc);
+            let topo = Topology::flat(n);
+            let outputs = run(
+                &desc,
+                AlgorithmKind::Pairwise,
+                &topo,
+                &link,
+                &inputs,
+                chunk_elems,
+                1,
+            );
+            for (rank, out) in outputs.iter().enumerate() {
+                assert_eq!(
+                    out,
+                    &alltoall_oracle(&inputs, count, rank),
+                    "n={n} chunk={chunk_elems} rank={rank}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn send_recv_completes_at_capacity_one_and_delivers_exactly() {
+    let link = LinkModel::zero_cost();
+    for chunk_elems in [1usize, 4, 64] {
+        let desc = descriptor_for(CollectiveKind::SendRecv, 23, 2);
+        let inputs = inputs_for(&desc);
+        let topo = Topology::flat(2);
+        let outputs = run(
+            &desc,
+            AlgorithmKind::Pairwise,
+            &topo,
+            &link,
+            &inputs,
+            chunk_elems,
+            1,
+        );
+        assert_eq!(outputs[1], inputs[0], "chunk={chunk_elems}");
+    }
+}
+
+#[test]
+fn preemption_storm_suspends_and_resumes_dense_mesh_plans_mid_flight() {
+    // The tentpole's contract assertion: the daemon needed *no executor or
+    // scheduler changes* for all-to-all, because preemption safety is a
+    // property of the single-chunk non-blocking primitive contract, not of
+    // the schedule's shape. A tiny fixed spin threshold (4 polls) plus 1-slot
+    // connectors forces constant mid-plan suspend/resume of the dense-mesh
+    // plans; the transposition must still be exact and preemptions must
+    // actually have happened.
+    use dfccl::{DfcclConfig, DfcclDomain};
+    use dfccl_transport::LinkModel as TLinkModel;
+    use gpu_sim::GpuSpec;
+    use std::time::Duration as StdDuration;
+
+    let n = 4;
+    let count = 64; // per-peer slice; chunk 8 -> 8 chunks per slice
+    let config = DfcclConfig {
+        chunk_elems: 8,
+        connector_capacity: 1,
+        ..DfcclConfig::preemption_stress()
+    };
+    let domain = DfcclDomain::new(
+        Topology::flat(n),
+        TLinkModel::zero_cost(),
+        GpuSpec::rtx_3090(),
+        config,
+    );
+    let ranks: Vec<_> = (0..n)
+        .map(|g| domain.init_rank(GpuId(g)).unwrap())
+        .collect();
+    for ctx in &ranks {
+        ctx.register_all_to_all(1, count, DataType::F32, gpus(n), 0)
+            .unwrap();
+        assert_eq!(ctx.algorithm_of(1), Some(AlgorithmKind::Pairwise));
+    }
+    let inputs: Vec<Vec<f32>> = (0..n)
+        .map(|r| {
+            (0..count * n)
+                .map(|i| ((r * 53 + i * 11) % 251) as f32)
+                .collect()
+        })
+        .collect();
+    let invocations = 3u64;
+    let mut handles = Vec::new();
+    let mut recvs = Vec::new();
+    for _ in 0..invocations {
+        for (g, ctx) in ranks.iter().enumerate() {
+            let send = DeviceBuffer::from_f32(&inputs[g]);
+            let recv = DeviceBuffer::zeroed(count * n * 4);
+            recvs.push((g, recv.clone()));
+            handles.push(ctx.run_awaitable(1, send, recv).unwrap());
+        }
+    }
+    for h in &handles {
+        assert!(
+            h.wait_for_timeout(1, StdDuration::from_secs(60)),
+            "preemption storm wedged an all-to-all"
+        );
+    }
+    for (rank, recv) in &recvs {
+        assert_eq!(
+            recv.to_f32_vec(),
+            alltoall_oracle(&inputs, count, *rank),
+            "rank {rank}"
+        );
+    }
+    let preemptions: u64 = ranks.iter().map(|c| c.stats().preemptions).sum();
+    assert!(
+        preemptions > 0,
+        "the storm configuration must actually preempt mid-plan"
+    );
+    for ctx in ranks {
+        assert!(ctx.collective_errors().is_empty());
+        ctx.destroy();
+    }
 }
 
 #[test]
