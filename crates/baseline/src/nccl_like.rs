@@ -141,6 +141,18 @@ impl NcclDomain {
         self.engines.values().cloned().collect()
     }
 
+    /// Monotone progress counter: total chunks ever published across every
+    /// communicator of this domain. The watchdog samples it to distinguish a
+    /// slow-but-progressing round (modelled link delays larger than its
+    /// stall deadline) from a genuinely wedged one.
+    pub fn progress_counter(&self) -> u64 {
+        self.communicators
+            .lock()
+            .values()
+            .map(|c| c.transferred_chunks())
+            .sum()
+    }
+
     /// Create a rank context for `gpu`.
     pub fn init_rank(self: &Arc<Self>, gpu: GpuId) -> Result<NcclRank, NcclError> {
         let engine = self.engine(gpu).ok_or(NcclError::UnknownGpu(gpu))?;
@@ -217,7 +229,7 @@ impl NcclRank {
             self.domain.chunk_elems,
             self.domain.pool.topology(),
         )?;
-        let channels = comm.channels(rank, &plan.send_peers(), &plan.recv_peers())?;
+        let channels = comm.channels(rank, &plan.send_edges(), &plan.recv_edges())?;
         self.registered.lock().insert(
             coll_id,
             Arc::new(Registered {

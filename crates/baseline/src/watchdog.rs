@@ -6,10 +6,18 @@
 //! launched collective kernels do not all complete within a deadline, the
 //! scenario is declared deadlocked and every engine is torn down via the
 //! cooperative abort flag.
+//!
+//! The deadline is a **stall** deadline, not a wall-clock budget: a wedged
+//! round makes *no* progress, whereas a slow round (e.g. a modelled
+//! [`dfccl_transport::LinkModel`] whose per-chunk delay exceeds the deadline)
+//! keeps moving chunks. Callers that can observe progress pass a monotone
+//! counter probe ([`wait_all_or_deadlock_with_progress`], typically
+//! `NcclDomain::progress_counter`); every advance of the counter resets the
+//! deadline, so only a genuine stall is reported as a deadlock.
 
 use std::time::{Duration, Instant};
 
-use gpu_sim::{DeviceEngine, KernelHandle, KernelStatus};
+use gpu_sim::{DeviceEngine, KernelHandle};
 use std::sync::Arc;
 
 /// Result of supervising a set of collective kernels.
@@ -32,15 +40,35 @@ impl DeadlockOutcome {
     }
 }
 
-/// Wait for every handle to finish within `deadline`. On timeout, abort all
-/// work on the given engines (so their kernel threads exit) and report which
-/// kernels were unfinished.
+/// Wait for every handle to finish, declaring a deadlock after `deadline`
+/// without any observed progress. On timeout, abort all work on the given
+/// engines (so their kernel threads exit) and report which kernels were
+/// unfinished. Without a progress probe this is equivalent to a fixed
+/// deadline — use [`wait_all_or_deadlock_with_progress`] when modelled link
+/// delays can legitimately exceed it.
 pub fn wait_all_or_deadlock(
     handles: &[KernelHandle],
     engines: &[Arc<DeviceEngine>],
     deadline: Duration,
 ) -> DeadlockOutcome {
-    let end = Instant::now() + deadline;
+    wait_all_or_deadlock_with_progress(handles, engines, deadline, &|| 0)
+}
+
+/// Wait for every handle to finish, declaring a deadlock only after
+/// `stall_deadline` passes with the `progress` counter unchanged. `progress`
+/// must be monotone (e.g. total chunks published across the domain's
+/// communicators); each observed advance resets the deadline, so a
+/// slow-but-progressing collective — one whose modelled per-chunk link delay
+/// exceeds the deadline — is never misreported as wedged, while a genuine
+/// stall is still detected within one deadline of its onset.
+pub fn wait_all_or_deadlock_with_progress(
+    handles: &[KernelHandle],
+    engines: &[Arc<DeviceEngine>],
+    stall_deadline: Duration,
+    progress: &dyn Fn() -> u64,
+) -> DeadlockOutcome {
+    let mut last_progress = progress();
+    let mut end = Instant::now() + stall_deadline;
     loop {
         let unfinished: Vec<String> = handles
             .iter()
@@ -48,15 +76,15 @@ pub fn wait_all_or_deadlock(
             .map(|h| h.name().to_string())
             .collect();
         if unfinished.is_empty() {
-            // Every kernel terminated; any non-Completed status still counts
-            // as "no deadlock" (e.g. an explicit failure).
-            let all_completed = handles
-                .iter()
-                .all(|h| h.status() == KernelStatus::Completed);
-            if all_completed {
-                return DeadlockOutcome::AllCompleted;
-            }
+            // Every kernel terminated; a non-Completed terminal status (an
+            // explicit failure or abort) is the launcher's problem to
+            // surface, not a deadlock.
             return DeadlockOutcome::AllCompleted;
+        }
+        let now = progress();
+        if now != last_progress {
+            last_progress = now;
+            end = Instant::now() + stall_deadline;
         }
         if Instant::now() >= end {
             for e in engines {
@@ -76,7 +104,9 @@ pub fn wait_all_or_deadlock(
 mod tests {
     use super::*;
     use gpu_sim::kernel::Kernel;
-    use gpu_sim::{FnKernel, GpuDevice, GpuId, GpuSpec, KernelCtx, KernelOutcome, StreamId};
+    use gpu_sim::{
+        FnKernel, GpuDevice, GpuId, GpuSpec, KernelCtx, KernelOutcome, KernelStatus, StreamId,
+    };
 
     fn engine() -> Arc<DeviceEngine> {
         DeviceEngine::new(GpuDevice::new(GpuId(0), GpuSpec::tiny(2)))
@@ -133,5 +163,90 @@ mod tests {
     fn empty_handle_set_completes_immediately() {
         let outcome = wait_all_or_deadlock(&[], &[], Duration::from_millis(10));
         assert_eq!(outcome, DeadlockOutcome::AllCompleted);
+    }
+
+    #[test]
+    fn slow_link_with_progress_probe_is_not_a_false_positive() {
+        // Regression test for the stall-vs-slow confusion: a 2-rank ring
+        // all-reduce over a link whose modelled per-chunk delay (~25 ms)
+        // multiplies out well beyond the 120 ms stall deadline. With the
+        // domain's chunk counter as the probe, every transferred chunk resets
+        // the deadline and the round must complete — the old fixed deadline
+        // reported this exact scenario as wedged.
+        use crate::nccl_like::NcclDomain;
+        use dfccl_collectives::{CollectiveDescriptor, DataType, DeviceBuffer, ReduceOp};
+        use dfccl_transport::{LinkClass, LinkModel, LinkParams, Topology};
+        use std::collections::HashMap;
+
+        let mut params = HashMap::new();
+        params.insert(
+            LinkClass::Local,
+            LinkParams {
+                latency_ns: 25_000_000.0, // 25 ms per chunk
+                bandwidth_gbps: f64::INFINITY,
+            },
+        );
+        let link = LinkModel::new(params, gpu_sim::TimeScale::default());
+        let domain = NcclDomain::new(Topology::flat(2), link, GpuSpec::tiny(2), 8);
+        let ranks: Vec<_> = (0..2)
+            .map(|g| domain.init_rank(GpuId(g)).unwrap())
+            .collect();
+        let count = 64; // 32 elems per slice = 4 chunks of 8 -> >= 8 slow sends per rank
+        for r in &ranks {
+            r.register(
+                0,
+                CollectiveDescriptor::all_reduce(
+                    count,
+                    DataType::F32,
+                    ReduceOp::Sum,
+                    vec![GpuId(0), GpuId(1)],
+                ),
+            )
+            .unwrap();
+        }
+        let mut handles = Vec::new();
+        let mut recvs = Vec::new();
+        for (g, r) in ranks.iter().enumerate() {
+            let send = DeviceBuffer::from_f32(&vec![(g + 1) as f32; count]);
+            let recv = DeviceBuffer::zeroed(count * 4);
+            recvs.push(recv.clone());
+            handles.push(r.launch_collective(0, StreamId(1), send, recv).unwrap());
+        }
+        let stall_deadline = Duration::from_millis(120);
+        let outcome = wait_all_or_deadlock_with_progress(
+            &handles,
+            &domain.engines(),
+            stall_deadline,
+            &|| domain.progress_counter(),
+        );
+        assert_eq!(
+            outcome,
+            DeadlockOutcome::AllCompleted,
+            "slow-but-progressing round misreported as wedged"
+        );
+        for recv in recvs {
+            assert_eq!(recv.to_f32_vec(), vec![3.0f32; count]);
+        }
+        domain.shutdown();
+    }
+
+    #[test]
+    fn progress_probe_does_not_mask_a_genuine_stall() {
+        // A counter that never advances must still trip the stall deadline.
+        let e = engine();
+        let h = e.launch(StreamId(1), spin_forever_kernel()).unwrap();
+        let start = Instant::now();
+        let outcome = wait_all_or_deadlock_with_progress(
+            std::slice::from_ref(&h),
+            &[Arc::clone(&e)],
+            Duration::from_millis(100),
+            &|| 42, // constant: no progress
+        );
+        assert!(outcome.is_deadlock());
+        assert!(
+            start.elapsed() < Duration::from_secs(6),
+            "stall detection must fire within one deadline plus teardown"
+        );
+        e.shutdown();
     }
 }

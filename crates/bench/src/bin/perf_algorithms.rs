@@ -1,6 +1,6 @@
 //! `perf_algorithms` — the collective-algorithm trajectory benchmark.
 //!
-//! Two measurements, written to `BENCH_algorithms.json`:
+//! Three measurements, written to `BENCH_algorithms.json`:
 //!
 //! 1. **Scheduling throughput per algorithm** — domain-wide collectives/sec
 //!    through the full DFCCL hot path with the algorithm forced to ring,
@@ -11,6 +11,10 @@
 //!    across payload sizes: the Fig. 8-style shape with the tree winning the
 //!    latency-bound small end and ring/hierarchical the bandwidth-bound
 //!    large end, independent of how many cores the host has.
+//! 3. **Channel-striping sweep** — the modelled large-payload ring
+//!    all-reduce at K ∈ {1, 2, 4} channels per edge (4 and 8 GPUs): each
+//!    channel is an independent modelled lane, so K = 4 must deliver at
+//!    least the K = 1 throughput (the panel's shape gate).
 //!
 //! Usage:
 //! ```text
@@ -21,13 +25,17 @@ use std::fmt::Write as _;
 
 use dfccl_bench::hotpath::{batched_config, best_of_over, HotpathWorkload};
 use dfccl_bench::{
-    arg_num, arg_value, byte_sweep, fmt_bytes, modelled_completion_us, print_row, upsert_json_key,
+    arg_num, arg_value, byte_sweep, fmt_bytes, modelled_completion_us,
+    modelled_completion_us_striped, print_row, upsert_json_key,
 };
 use dfccl_collectives::{AlgorithmKind, CollectiveDescriptor, DataType, ReduceOp};
 use dfccl_transport::Topology;
 use gpu_sim::GpuId;
 
 const GPU_COUNTS: [usize; 2] = [4, 8];
+const CHANNEL_COUNTS: [usize; 3] = [1, 2, 4];
+/// Payload of the channels sweep: large enough to be bandwidth-bound.
+const CHANNELS_SWEEP_BYTES: usize = 1 << 20;
 
 fn estimate_us(desc: &CollectiveDescriptor, algo: AlgorithmKind, topo: &Topology) -> f64 {
     modelled_completion_us(desc, algo, topo).expect("algorithm supports the sweep descriptor")
@@ -130,6 +138,50 @@ fn main() {
         "tree wins small payloads: {tree_wins_small}; ring wins large payloads: {ring_wins_large}"
     );
 
+    // Channel-striping sweep: modelled large ring all-reduce at K channels.
+    println!();
+    println!(
+        "# modelled {} ring all-reduce striped across K channels (µs / GB/s)",
+        fmt_bytes(CHANNELS_SWEEP_BYTES)
+    );
+    let ch_widths = [6, 4, 12, 12];
+    print_row(&["gpus", "K", "µs", "GB/s"].map(String::from), &ch_widths);
+    let mut channels_sweep: Vec<(usize, usize, f64, f64)> = Vec::new();
+    let mut channels_scaling_ok = true;
+    for gpus in GPU_COUNTS {
+        let topo = Topology::flat(gpus);
+        let desc = CollectiveDescriptor::all_reduce(
+            CHANNELS_SWEEP_BYTES / 4,
+            DataType::F32,
+            ReduceOp::Sum,
+            (0..gpus).map(GpuId).collect(),
+        );
+        let mut by_k = Vec::new();
+        for k in CHANNEL_COUNTS {
+            let us = modelled_completion_us_striped(&desc, AlgorithmKind::Ring, &topo, k)
+                .expect("ring schedules all-reduce");
+            let gbps = CHANNELS_SWEEP_BYTES as f64 / (us * 1e3); // bytes/ns = GB/s
+            print_row(
+                &[
+                    format!("{gpus}"),
+                    format!("{k}"),
+                    format!("{us:.1}"),
+                    format!("{gbps:.2}"),
+                ],
+                &ch_widths,
+            );
+            channels_sweep.push((gpus, k, us, gbps));
+            by_k.push((k, gbps));
+        }
+        let k1 = by_k.iter().find(|(k, _)| *k == 1).expect("K=1 in sweep").1;
+        let k4 = by_k.iter().find(|(k, _)| *k == 4).expect("K=4 in sweep").1;
+        if k4 < k1 {
+            channels_scaling_ok = false;
+        }
+    }
+    println!();
+    println!("K=4 >= K=1 modelled throughput on large payloads: {channels_scaling_ok}");
+
     // Hand-rolled JSON (no serialization dependency in this environment).
     // Each panel is upserted into the existing document by key, so panels
     // owned by other harness binaries (e.g. perf_alltoall's
@@ -157,6 +209,19 @@ fn main() {
         sweep_panel.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
     }
     sweep_panel.push_str("  ]");
+    let mut channels_panel = String::from("[\n");
+    for (i, (gpus, k, us, gbps)) in channels_sweep.iter().enumerate() {
+        let _ = write!(
+            channels_panel,
+            "    {{\"gpus\": {gpus}, \"channels\": {k}, \"bytes\": {CHANNELS_SWEEP_BYTES}, \"modelled_us\": {us:.2}, \"modelled_gbps\": {gbps:.3}}}"
+        );
+        channels_panel.push_str(if i + 1 < channels_sweep.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    channels_panel.push_str("  ]");
 
     let mut json = std::fs::read_to_string(&out_path).unwrap_or_else(|_| "{\n}\n".to_string());
     for (key, value) in [
@@ -169,8 +234,13 @@ fn main() {
         ),
         ("throughput", throughput_panel),
         ("modelled_sweep_us", sweep_panel),
+        ("channels_sweep", channels_panel),
         ("tree_wins_small_payloads", tree_wins_small.to_string()),
         ("ring_wins_large_payloads", ring_wins_large.to_string()),
+        (
+            "channels_k4_at_least_k1",
+            channels_scaling_ok.to_string(),
+        ),
     ] {
         json = upsert_json_key(&json, key, &value);
     }
@@ -180,6 +250,10 @@ fn main() {
 
     if !tree_wins_small || !ring_wins_large {
         eprintln!("WARNING: modelled ring/tree crossover has the wrong shape");
+        std::process::exit(2);
+    }
+    if !channels_scaling_ok {
+        eprintln!("WARNING: channel striping lost modelled throughput at K=4");
         std::process::exit(2);
     }
 }

@@ -25,6 +25,19 @@ pub fn modelled_completion_us(
     algo: AlgorithmKind,
     topo: &Topology,
 ) -> Option<f64> {
+    modelled_completion_us_striped(desc, algo, topo, 1)
+}
+
+/// [`modelled_completion_us`] with the plans striped across `channels`
+/// parallel connectors per edge — the quantity the `channels_sweep` panel
+/// tracks. Each channel is an independent modelled lane, so K > 1 raises the
+/// aggregate bandwidth of bandwidth-bound schedules.
+pub fn modelled_completion_us_striped(
+    desc: &CollectiveDescriptor,
+    algo: AlgorithmKind,
+    topo: &Topology,
+    channels: usize,
+) -> Option<f64> {
     let generator = algorithm(algo);
     if !generator.supports(desc, topo) {
         return None;
@@ -32,7 +45,7 @@ pub fn modelled_completion_us(
     let plans: Vec<_> = (0..desc.num_ranks())
         .map(|r| {
             generator
-                .build_plan(desc, r, MODELLED_SWEEP_CHUNK_ELEMS, topo)
+                .build_plan_striped(desc, r, MODELLED_SWEEP_CHUNK_ELEMS, channels, topo)
                 .expect("supported algorithm builds")
         })
         .collect();
@@ -295,6 +308,53 @@ mod tests {
         let out = upsert_json_key(doc, "gpus", "2");
         assert!(out.contains("{\"gpus\": 4}"));
         assert!(out.contains("\n  \"gpus\": 2\n"));
+    }
+
+    #[test]
+    fn json_upsert_never_splices_a_prefix_colliding_panel() {
+        // Regression: key matching must anchor on the whole quoted key, so a
+        // panel whose name is a prefix of another ("alltoall" vs
+        // "alltoall_per_size") can never splice the longer panel.
+        let doc = upsert_json_key("{\n}\n", "alltoall_per_size", "[{\"bytes\": 4}]");
+        let out = upsert_json_key(&doc, "alltoall", "\"short\"");
+        assert!(
+            out.contains("\"alltoall_per_size\": [{\"bytes\": 4}]"),
+            "longer panel spliced by its prefix: {out}"
+        );
+        assert!(out.contains("\"alltoall\": \"short\""));
+        // Updating the shorter key again touches only it, wherever it sits.
+        let out2 = upsert_json_key(&out, "alltoall", "\"updated\"");
+        assert!(out2.contains("\"alltoall_per_size\": [{\"bytes\": 4}]"));
+        assert!(out2.contains("\"alltoall\": \"updated\""));
+        assert!(!out2.contains("\"short\""));
+        // And updating the longer key touches only the longer one.
+        let out3 = upsert_json_key(&out2, "alltoall_per_size", "[]");
+        assert!(out3.contains("\"alltoall_per_size\": []"));
+        assert!(out3.contains("\"alltoall\": \"updated\""));
+    }
+
+    #[test]
+    fn json_upsert_never_splices_a_suffix_colliding_panel() {
+        // "size" is a suffix of "alltoall_per_size"; "sweep" is a substring
+        // of "channels_sweep". Neither may match inside the longer key.
+        let mut doc = upsert_json_key("{\n}\n", "alltoall_per_size", "[1]");
+        doc = upsert_json_key(&doc, "channels_sweep", "[2]");
+        let out = upsert_json_key(&doc, "size", "9");
+        assert!(out.contains("\"alltoall_per_size\": [1]"), "{out}");
+        assert!(out.contains("\n  \"size\": 9\n"), "{out}");
+        let out = upsert_json_key(&out, "sweep", "8");
+        assert!(out.contains("\"channels_sweep\": [2]"), "{out}");
+        assert!(out.contains("\n  \"sweep\": 8\n"), "{out}");
+    }
+
+    #[test]
+    fn json_upsert_ignores_key_lookalikes_inside_string_values() {
+        // A value string that contains a key lookalike must not be treated
+        // as a key position: value strings are jumped over wholesale.
+        let doc = "{\n  \"note\": \"the panel: key\",\n  \"panel\": [1]\n}\n";
+        let out = upsert_json_key(doc, "panel", "[2]");
+        assert!(out.contains("\"panel\": [2]"));
+        assert!(out.contains("\"note\": \"the panel: key\""));
     }
 
     #[test]

@@ -59,22 +59,26 @@ impl Algorithm for PairwiseAlgorithm {
         )
     }
 
-    fn build_plan(
+    fn build_plan_striped(
         &self,
         desc: &CollectiveDescriptor,
         rank: usize,
         max_chunk_elems: usize,
+        channels: usize,
         _topology: &Topology,
     ) -> Result<Plan, CollectiveError> {
-        check_builder_inputs(desc, rank, max_chunk_elems)?;
+        check_builder_inputs(desc, rank, max_chunk_elems, channels)?;
         match desc.kind {
             CollectiveKind::AllToAll => Ok(all_to_all_plan(
                 desc.count,
                 desc.num_ranks(),
                 rank,
                 max_chunk_elems,
+                channels,
             )),
-            CollectiveKind::SendRecv => Ok(send_recv_plan(desc.count, rank, max_chunk_elems)),
+            CollectiveKind::SendRecv => {
+                Ok(send_recv_plan(desc.count, rank, max_chunk_elems, channels))
+            }
             other => Err(CollectiveError::UnsupportedAlgorithm {
                 algorithm: AlgorithmKind::Pairwise,
                 kind: other,
@@ -85,7 +89,7 @@ impl Algorithm for PairwiseAlgorithm {
 
 /// Linear-shift all-to-all: `count` elements per (rank, peer) pair, `n - 1`
 /// pairwise exchanges plus the local copy of the rank's own slice.
-fn all_to_all_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Plan {
+fn all_to_all_plan(count: usize, n: usize, rank: usize, max_chunk: usize, channels: usize) -> Plan {
     let slice = |idx: usize| ElemRange::new((idx % n) * count, count);
     let mut steps = Vec::new();
 
@@ -100,6 +104,7 @@ fn all_to_all_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Pla
         None,
         0,
         max_chunk,
+        channels,
     );
     for s in 1..n {
         let to = (rank + s) % n;
@@ -115,6 +120,7 @@ fn all_to_all_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Pla
             None,
             (2 * s - 1) as u32,
             max_chunk,
+            channels,
         );
         push_chunked(
             &mut steps,
@@ -126,6 +132,7 @@ fn all_to_all_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Pla
             Some(from),
             (2 * s) as u32,
             max_chunk,
+            channels,
         );
     }
     sort_chunk_major(&mut steps);
@@ -133,7 +140,7 @@ fn all_to_all_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Pla
 }
 
 /// Point-to-point transfer of `count` elements from rank 0 to rank 1.
-fn send_recv_plan(count: usize, rank: usize, max_chunk: usize) -> Plan {
+fn send_recv_plan(count: usize, rank: usize, max_chunk: usize, channels: usize) -> Plan {
     let whole = ElemRange::new(0, count);
     let mut steps = Vec::new();
     if rank == 0 {
@@ -147,6 +154,7 @@ fn send_recv_plan(count: usize, rank: usize, max_chunk: usize) -> Plan {
             None,
             0,
             max_chunk,
+            channels,
         );
     } else {
         push_chunked(
@@ -159,6 +167,7 @@ fn send_recv_plan(count: usize, rank: usize, max_chunk: usize) -> Plan {
             Some(0),
             0,
             max_chunk,
+            channels,
         );
     }
     sort_chunk_major(&mut steps);

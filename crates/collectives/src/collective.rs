@@ -107,6 +107,10 @@ pub struct CollectiveDescriptor {
     /// payload size and topology; `Some` is honoured strictly (an unsupported
     /// choice fails registration).
     pub algorithm: Option<AlgorithmKind>,
+    /// Per-collective channel-count override: stripe this collective across
+    /// `K` parallel connectors per `(src, dst)` edge. `None` uses the
+    /// runtime-wide setting (`DfcclConfig::channels`).
+    pub channels: Option<usize>,
 }
 
 impl CollectiveDescriptor {
@@ -121,6 +125,7 @@ impl CollectiveDescriptor {
             devices,
             priority: 0,
             algorithm: None,
+            channels: None,
         }
     }
 
@@ -135,6 +140,7 @@ impl CollectiveDescriptor {
             devices,
             priority: 0,
             algorithm: None,
+            channels: None,
         }
     }
 
@@ -154,6 +160,7 @@ impl CollectiveDescriptor {
             devices,
             priority: 0,
             algorithm: None,
+            channels: None,
         }
     }
 
@@ -174,6 +181,7 @@ impl CollectiveDescriptor {
             devices,
             priority: 0,
             algorithm: None,
+            channels: None,
         }
     }
 
@@ -188,6 +196,7 @@ impl CollectiveDescriptor {
             devices,
             priority: 0,
             algorithm: None,
+            channels: None,
         }
     }
 
@@ -204,6 +213,7 @@ impl CollectiveDescriptor {
             devices,
             priority: 0,
             algorithm: None,
+            channels: None,
         }
     }
 
@@ -219,6 +229,7 @@ impl CollectiveDescriptor {
             devices: vec![src, dst],
             priority: 0,
             algorithm: None,
+            channels: None,
         }
     }
 
@@ -234,6 +245,13 @@ impl CollectiveDescriptor {
         self
     }
 
+    /// Stripe this collective across `channels` parallel connectors per
+    /// `(src, dst)` edge, overriding the runtime-wide setting.
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.channels = Some(channels);
+        self
+    }
+
     /// Number of participating ranks.
     pub fn num_ranks(&self) -> usize {
         self.devices.len()
@@ -244,8 +262,20 @@ impl CollectiveDescriptor {
         if self.devices.len() < 2 {
             return Err(CollectiveError::DeviceSetTooSmall(self.devices.len()));
         }
+        // A repeated GpuId corrupts rank addressing: `rank_of` resolves both
+        // occurrences to the first, and any plan over the set schedules
+        // self-edges. This also covers SendRecv with src == dst.
+        let mut seen = std::collections::BTreeSet::new();
+        for &d in &self.devices {
+            if !seen.insert(d) {
+                return Err(CollectiveError::DuplicateDevice(d));
+            }
+        }
         if self.count == 0 {
             return Err(CollectiveError::EmptyCollective);
+        }
+        if self.channels == Some(0) {
+            return Err(CollectiveError::InvalidChannelCount(0));
         }
         if self.kind.is_reducing() && self.op.is_none() {
             return Err(CollectiveError::MissingReduceOp);
@@ -256,9 +286,7 @@ impl CollectiveDescriptor {
                 other => return Err(CollectiveError::InvalidRoot(other)),
             }
         }
-        if self.kind.is_point_to_point()
-            && (self.devices.len() != 2 || self.devices[0] == self.devices[1])
-        {
+        if self.kind.is_point_to_point() && self.devices.len() != 2 {
             return Err(CollectiveError::InvalidPointToPoint(self.devices.len()));
         }
         Ok(())
@@ -428,16 +456,85 @@ mod tests {
     fn point_to_point_validation_needs_two_distinct_devices() {
         let good = CollectiveDescriptor::send_recv(8, DataType::F32, GpuId(0), GpuId(3));
         assert!(good.validate().is_ok());
+        // src == dst is a duplicated device, caught by the duplicate check.
         let same = CollectiveDescriptor::send_recv(8, DataType::F32, GpuId(2), GpuId(2));
         assert!(matches!(
             same.validate(),
-            Err(CollectiveError::InvalidPointToPoint(2))
+            Err(CollectiveError::DuplicateDevice(GpuId(2)))
         ));
         let mut three = CollectiveDescriptor::send_recv(8, DataType::F32, GpuId(0), GpuId(1));
         three.devices.push(GpuId(2));
         assert!(matches!(
             three.validate(),
             Err(CollectiveError::InvalidPointToPoint(3))
+        ));
+    }
+
+    #[test]
+    fn duplicate_devices_are_rejected_for_every_kind() {
+        // A duplicated rank would build a plan with self-edges and corrupt
+        // rank addressing (`rank_of` resolves both occurrences to the first),
+        // so registration must refuse it outright — for every collective
+        // kind, wherever the duplicate sits in the device set.
+        let dup = vec![GpuId(0), GpuId(1), GpuId(2), GpuId(1)];
+        for kind in CollectiveKind::ALL {
+            let desc = match kind {
+                CollectiveKind::AllReduce => {
+                    CollectiveDescriptor::all_reduce(8, DataType::F32, ReduceOp::Sum, dup.clone())
+                }
+                CollectiveKind::AllGather => {
+                    CollectiveDescriptor::all_gather(8, DataType::F32, dup.clone())
+                }
+                CollectiveKind::ReduceScatter => CollectiveDescriptor::reduce_scatter(
+                    8,
+                    DataType::F32,
+                    ReduceOp::Sum,
+                    dup.clone(),
+                ),
+                CollectiveKind::Reduce => {
+                    CollectiveDescriptor::reduce(8, DataType::F32, ReduceOp::Sum, 0, dup.clone())
+                }
+                CollectiveKind::Broadcast => {
+                    CollectiveDescriptor::broadcast(8, DataType::F32, 0, dup.clone())
+                }
+                CollectiveKind::AllToAll => {
+                    CollectiveDescriptor::all_to_all(8, DataType::F32, dup.clone())
+                }
+                CollectiveKind::SendRecv => {
+                    CollectiveDescriptor::send_recv(8, DataType::F32, GpuId(3), GpuId(3))
+                }
+            };
+            match desc.validate() {
+                Err(CollectiveError::DuplicateDevice(d)) => {
+                    let expected = if kind == CollectiveKind::SendRecv {
+                        GpuId(3)
+                    } else {
+                        GpuId(1)
+                    };
+                    assert_eq!(d, expected, "{kind}");
+                }
+                other => panic!("{kind}: expected DuplicateDevice, got {other:?}"),
+            }
+        }
+        // An adjacent duplicate at the front is caught too.
+        let desc = CollectiveDescriptor::all_gather(8, DataType::F32, vec![GpuId(5), GpuId(5)]);
+        assert!(matches!(
+            desc.validate(),
+            Err(CollectiveError::DuplicateDevice(GpuId(5)))
+        ));
+    }
+
+    #[test]
+    fn channel_overrides_are_validated_and_carried() {
+        let d = CollectiveDescriptor::all_gather(4, DataType::F32, gpus(2));
+        assert_eq!(d.channels, None);
+        let d = d.with_channels(4);
+        assert_eq!(d.channels, Some(4));
+        assert!(d.validate().is_ok());
+        let zero = CollectiveDescriptor::all_gather(4, DataType::F32, gpus(2)).with_channels(0);
+        assert!(matches!(
+            zero.validate(),
+            Err(CollectiveError::InvalidChannelCount(0))
         ));
     }
 

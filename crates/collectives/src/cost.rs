@@ -14,14 +14,27 @@
 //!
 //! Connector capacity is not modelled (plans are chunk-major, so the
 //! in-flight window is O(1) and capacity shifts all algorithms equally).
+//!
+//! ## Channels
+//!
+//! A striped plan's channels are modelled as parallel *lanes*: each rank's
+//! plan is split into its per-channel subsequences and every `(rank,
+//! channel)` lane advances its own clock, the way NCCL drives each channel
+//! from its own thread block (and each channel's connector carries only its
+//! own chunks). A single channel cannot saturate a fat link — the per-chunk
+//! `alpha + bytes/beta` charge serialises on one lane — so striping across K
+//! lanes raises modelled aggregate bandwidth and moves the latency/bandwidth
+//! crossover, which is exactly the effect `perf_algorithms`' `channels_sweep`
+//! panel tracks.
 
 use std::collections::{HashMap, VecDeque};
 
-use dfccl_transport::{LinkModel, Topology, TransportError};
+use dfccl_transport::{ChannelId, LinkModel, Topology, TransportError};
 use gpu_sim::GpuId;
 
 use crate::datatype::DataType;
 use crate::plan::Plan;
+use crate::primitive::PrimitiveStep;
 use crate::CollectiveError;
 
 /// Errors from cost estimation.
@@ -44,6 +57,9 @@ impl From<TransportError> for CostError {
 
 /// Modelled completion time, in (unscaled) nanoseconds, of running `plans`
 /// (one per rank, in rank order over `devices`) with `dtype` elements.
+/// Channels are independent lanes (see the module docs): a `(rank, channel)`
+/// lane advances its own clock, and each directed `(src, dst, channel)` edge
+/// carries its own message FIFO.
 pub fn estimate_completion_ns(
     plans: &[Plan],
     devices: &[GpuId],
@@ -51,40 +67,58 @@ pub fn estimate_completion_ns(
     link: &LinkModel,
     dtype: DataType,
 ) -> Result<f64, CostError> {
-    let n = plans.len();
     let elem = dtype.size_bytes();
-    // Per-rank clocks and cursors.
-    let mut clock = vec![0.0f64; n];
-    let mut cursor = vec![0usize; n];
-    // Per directed edge: FIFO of message-visible times.
-    let mut edges: HashMap<(usize, usize), VecDeque<f64>> = HashMap::new();
+    // One lane per (rank, channel): the channel's subsequence of the rank's
+    // plan, in plan order.
+    let mut lanes: Vec<(usize, Vec<&PrimitiveStep>)> = Vec::new();
+    for (r, plan) in plans.iter().enumerate() {
+        let mut by_channel: HashMap<ChannelId, Vec<&PrimitiveStep>> = HashMap::new();
+        for step in &plan.steps {
+            by_channel.entry(step.channel).or_default().push(step);
+        }
+        let mut channels: Vec<ChannelId> = by_channel.keys().copied().collect();
+        channels.sort_unstable();
+        for c in channels {
+            lanes.push((r, by_channel.remove(&c).expect("channel collected")));
+        }
+    }
+
+    let mut clock = vec![0.0f64; lanes.len()];
+    let mut cursor = vec![0usize; lanes.len()];
+    // Per directed (src, dst, channel) edge: FIFO of message-visible times.
+    let mut edges: HashMap<(usize, usize, ChannelId), VecDeque<f64>> = HashMap::new();
 
     loop {
         let mut progressed = false;
         let mut remaining = 0usize;
-        for r in 0..n {
-            // Drain as many of rank r's steps as are currently executable.
-            while cursor[r] < plans[r].steps.len() {
-                let step = &plans[r].steps[cursor[r]];
-                let mut t = clock[r];
+        for (l, (r, steps)) in lanes.iter().enumerate() {
+            let r = *r;
+            // Drain as many of this lane's steps as are currently executable.
+            while cursor[l] < steps.len() {
+                let step = steps[cursor[l]];
+                let mut t = clock[l];
                 if let Some(src) = step.recv_from {
-                    match edges.get_mut(&(src, r)).and_then(|q| q.front().copied()) {
+                    let key = (src, r, step.channel);
+                    match edges.get_mut(&key).and_then(|q| q.front().copied()) {
                         Some(avail) => t = t.max(avail),
                         None => break, // input not produced yet
                     }
-                    edges.get_mut(&(src, r)).unwrap().pop_front();
+                    edges.get_mut(&key).unwrap().pop_front();
                 }
                 if let Some(dst) = step.send_to {
                     let bytes = step.elems() * elem;
                     let class = topology.link_between(devices[r], devices[dst])?;
                     t += link.params(class).transfer_nanos(bytes);
-                    edges.entry((r, dst)).or_default().push_back(t);
+                    edges
+                        .entry((r, dst, step.channel))
+                        .or_default()
+                        .push_back(t);
                 }
-                clock[r] = t;
-                cursor[r] += 1;
+                clock[l] = t;
+                cursor[l] += 1;
                 progressed = true;
             }
-            if cursor[r] < plans[r].steps.len() {
+            if cursor[l] < steps.len() {
                 remaining += 1;
             }
         }
@@ -188,6 +222,43 @@ mod tests {
     }
 
     #[test]
+    fn striping_raises_modelled_bandwidth_on_large_payloads() {
+        // Each channel is an independent lane, so a bandwidth-bound ring
+        // all-reduce striped over 4 channels must finish well ahead of the
+        // single-channel schedule, while K = 1 reproduces the unstriped
+        // estimate bit for bit.
+        let n = 4;
+        let topo = Topology::flat(n);
+        let link = LinkModel::table2_testbed();
+        let desc = CollectiveDescriptor::all_reduce(1 << 18, DataType::F32, ReduceOp::Sum, gpus(n));
+        let t = |k: usize| {
+            let plans: Vec<Plan> = (0..n)
+                .map(|r| {
+                    algorithm(AlgorithmKind::Ring)
+                        .build_plan_striped(&desc, r, 4 * 1024, k, &topo)
+                        .unwrap()
+                })
+                .collect();
+            estimate_completion_ns(&plans, &gpus(n), &topo, &link, DataType::F32).unwrap()
+        };
+        let unstriped = estimate_completion_ns(
+            &plans_for(&desc, AlgorithmKind::Ring, &topo, 4 * 1024),
+            &gpus(n),
+            &topo,
+            &link,
+            DataType::F32,
+        )
+        .unwrap();
+        assert_eq!(t(1), unstriped, "K = 1 must match the unstriped estimate");
+        assert!(
+            t(4) < 0.5 * t(1),
+            "4 lanes must cut the bandwidth-bound completion: {} vs {}",
+            t(4),
+            t(1)
+        );
+    }
+
+    #[test]
     fn stalled_plans_are_reported_not_looped() {
         // A single plan that receives a message nobody sends.
         use crate::chunk::ElemRange;
@@ -203,6 +274,7 @@ mod tests {
                 recv_from: Some(1),
                 chunk_index: 0,
                 step: 0,
+                channel: ChannelId(0),
             }],
         );
         let idle = Plan::new(AlgorithmKind::Ring, Vec::new());

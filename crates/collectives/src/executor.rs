@@ -18,7 +18,7 @@
 //! Peers are explicit on each step, and the channels are a per-peer connector
 //! map, so the same executor drives ring, tree and hierarchical schedules.
 //!
-//! ## The staging slot
+//! ## The staging slots
 //!
 //! A fused primitive (`RecvReduceSend` and friends) consumes a chunk *and*
 //! publishes one. If its readiness required both a waiting chunk and a free
@@ -26,15 +26,20 @@
 //! immediately: every rank's fused step waits for a send slot that only its
 //! successor's fused step can free. The executor therefore gates fused
 //! primitives on their *recv* condition only and stages the outbound chunk in
-//! a per-collective [`PendingSend`] slot when the connector is full — the
-//! moral equivalent of NCCL's sender-side intermediate buffer. The staged
-//! chunk must be flushed before the next primitive runs, which preserves
-//! per-edge FIFO order, bounds the extra memory at one chunk per in-flight
-//! collective, and keeps every primitive single-chunk and non-blocking. The
-//! slot is part of the dynamic context, so preemption remains safe at every
-//! primitive boundary.
+//! a [`PendingSend`] slot when the connector is full — the moral equivalent
+//! of NCCL's sender-side intermediate buffer.
+//!
+//! Staging (and the flow control it implements) is **per channel**
+//! ([`PendingSends`] holds at most one staged chunk per [`ChannelId`]): a
+//! chunk staged on channel `c` must be flushed before the next channel-`c`
+//! primitive runs — which preserves FIFO order on every channel-`c` edge —
+//! but it never gates a primitive riding a different channel, so one stalled
+//! channel cannot head-of-line-block another. The slots are part of the
+//! dynamic context, so preemption remains safe at every primitive boundary
+//! and a suspended collective resumes with all of its channels' staged
+//! chunks intact.
 
-use dfccl_transport::{ChunkMsg, Connector, RankChannels, SendError};
+use dfccl_transport::{ChannelId, ChunkMsg, Connector, RankChannels, SendError};
 
 use crate::buffer::DeviceBuffer;
 use crate::collective::CollectiveDescriptor;
@@ -108,63 +113,135 @@ impl From<CollectiveError> for ExecError {
 }
 
 /// A chunk a fused primitive produced while its send connector was full,
-/// staged until the connector drains. At most one exists per in-flight
-/// collective invocation; it is part of the preemption context.
+/// staged until the connector drains. At most one exists per channel of an
+/// in-flight collective invocation; it is part of the preemption context.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PendingSend {
     /// Destination rank.
     pub peer: usize,
+    /// The channel whose connector towards `peer` was full.
+    pub channel: ChannelId,
     /// The staged chunk.
     pub msg: ChunkMsg,
 }
 
-/// Try to publish a staged chunk. Returns `true` when the slot is clear
-/// (nothing was staged, or the flush succeeded).
-pub fn flush_pending(
+/// The per-channel staging slots of one in-flight collective invocation: at
+/// most one staged chunk per channel, so a stalled channel holds back only
+/// its own primitives. Part of the dynamic context saved across preemptions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PendingSends {
+    slots: Vec<PendingSend>,
+}
+
+impl PendingSends {
+    /// Whether no chunk is staged on any channel.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of channels with a staged chunk.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The chunk staged on `channel`, if any.
+    pub fn on(&self, channel: ChannelId) -> Option<&PendingSend> {
+        self.slots.iter().find(|p| p.channel == channel)
+    }
+
+    /// Stage a chunk on its channel. The executor flushes a channel's slot
+    /// before running another primitive on that channel, so at most one chunk
+    /// is ever staged per channel.
+    pub fn stage(&mut self, pending: PendingSend) {
+        debug_assert!(
+            self.on(pending.channel).is_none(),
+            "channel {} already has a staged chunk",
+            pending.channel
+        );
+        self.slots.push(pending);
+    }
+
+    /// Remove and return the chunk staged on `channel`, if any.
+    pub fn take(&mut self, channel: ChannelId) -> Option<PendingSend> {
+        let idx = self.slots.iter().position(|p| p.channel == channel)?;
+        Some(self.slots.remove(idx))
+    }
+
+    /// The channels that currently hold a staged chunk.
+    pub fn channels(&self) -> Vec<ChannelId> {
+        self.slots.iter().map(|p| p.channel).collect()
+    }
+}
+
+/// Try to publish the chunk staged on one channel. Returns `true` when that
+/// channel's slot is clear (nothing was staged, or the flush succeeded).
+pub fn flush_pending_channel(
     channels: &RankChannels,
-    pending: &mut Option<PendingSend>,
+    pending: &mut PendingSends,
+    channel: ChannelId,
 ) -> Result<bool, ExecError> {
-    let Some(p) = pending.take() else {
+    let Some(p) = pending.take(channel) else {
         return Ok(true);
     };
     let conn = channels
-        .send_to(p.peer)
+        .send_on(p.peer, p.channel)
         .ok_or(ExecError::MissingPeerConnector { peer: p.peer })?;
     match conn.try_send(p.msg) {
         Ok(()) => Ok(true),
         Err(SendError::Full(msg)) => {
-            *pending = Some(PendingSend { peer: p.peer, msg });
+            pending.stage(PendingSend {
+                peer: p.peer,
+                channel: p.channel,
+                msg,
+            });
             Ok(false)
         }
     }
 }
 
-/// Whether the conditions required to make progress currently hold: a staged
-/// chunk needs its connector to drain; otherwise `step` needs its connector
-/// conditions. A fused primitive is gated on its *recv* condition only — its
-/// send half can always be staged (see the module docs on the staging slot).
+/// Try to publish every staged chunk, one attempt per channel. Returns `true`
+/// when all slots are clear.
+pub fn flush_pending(
+    channels: &RankChannels,
+    pending: &mut PendingSends,
+) -> Result<bool, ExecError> {
+    let mut all_clear = true;
+    for channel in pending.channels() {
+        all_clear &= flush_pending_channel(channels, pending, channel)?;
+    }
+    Ok(all_clear)
+}
+
+/// Whether the conditions required to make progress on `step` currently hold:
+/// a chunk staged on the step's channel needs its connector to drain;
+/// otherwise `step` needs its own connector conditions. A fused primitive is
+/// gated on its *recv* condition only — its send half can always be staged
+/// (see the module docs on the staging slots). Chunks staged on *other*
+/// channels never gate this step: flow control is per channel.
 ///
 /// A peer the channels were not built for counts as "ready": executing the
 /// step then surfaces [`ExecError::MissingPeerConnector`] instead of spinning
 /// on a condition that can never change.
-pub fn step_ready(
-    step: &PrimitiveStep,
-    channels: &RankChannels,
-    pending: &Option<PendingSend>,
-) -> bool {
-    if let Some(p) = pending {
-        return channels.send_to(p.peer).is_none_or(|c| c.send_ready());
+pub fn step_ready(step: &PrimitiveStep, channels: &RankChannels, pending: &PendingSends) -> bool {
+    if let Some(p) = pending.on(step.channel) {
+        return channels
+            .send_on(p.peer, p.channel)
+            .is_none_or(|c| c.send_ready());
     }
     let recv_ok = match step.recv_from {
         None => true,
-        Some(p) => channels.recv_from(p).is_none_or(|c| c.recv_ready()),
+        Some(p) => channels
+            .recv_on(p, step.channel)
+            .is_none_or(|c| c.recv_ready()),
     };
     // A pure Send has nothing to stage behind: gate it on the free slot. A
     // fused primitive is recv-gated; its output is staged if the slot is full.
     let send_ok = step.kind.has_recv()
         || match step.send_to {
             None => true,
-            Some(p) => channels.send_to(p).is_none_or(|c| c.send_ready()),
+            Some(p) => channels
+                .send_on(p, step.channel)
+                .is_none_or(|c| c.send_ready()),
         };
     send_ok && recv_ok
 }
@@ -180,7 +257,7 @@ fn resolve_send<'c>(
         "send primitive without a send peer",
     ))?;
     channels
-        .send_to(peer)
+        .send_on(peer, step.channel)
         .map(|c| Some(c.as_ref()))
         .ok_or(ExecError::MissingPeerConnector { peer })
 }
@@ -196,20 +273,22 @@ fn resolve_recv<'c>(
         "recv primitive without a recv peer",
     ))?;
     channels
-        .recv_from(peer)
+        .recv_on(peer, step.channel)
         .map(|c| Some(c.as_ref()))
         .ok_or(ExecError::MissingPeerConnector { peer })
 }
 
 /// Execute `step`, assuming [`step_ready`] was just observed to be true.
 ///
-/// Any chunk staged by a previous primitive is flushed first; if it cannot be
+/// A chunk staged on the step's own channel is flushed first; if it cannot be
 /// flushed the call returns [`StepOutcome::NotReady`] (per-edge FIFO order
-/// requires the staged chunk to leave before this step's output). If the
-/// step's own conditions no longer hold (e.g. the caller skipped the
-/// readiness check), the call returns [`StepOutcome::NotReady`] without
-/// consuming anything. A fused primitive whose send connector is full
-/// completes by staging its output chunk in `pending`.
+/// requires the staged chunk to leave before this step's output rides the
+/// same channel). Chunks staged on other channels are flushed
+/// opportunistically and never block this step. If the step's own conditions
+/// no longer hold (e.g. the caller skipped the readiness check), the call
+/// returns [`StepOutcome::NotReady`] without consuming anything. A fused
+/// primitive whose send connector is full completes by staging its output
+/// chunk in `pending`.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_ready_step(
     coll_id: u64,
@@ -219,9 +298,11 @@ pub fn execute_ready_step(
     op: Option<ReduceOp>,
     send_buf: &DeviceBuffer,
     recv_buf: &DeviceBuffer,
-    pending: &mut Option<PendingSend>,
+    pending: &mut PendingSends,
 ) -> Result<StepOutcome, ExecError> {
-    if !flush_pending(channels, pending)? {
+    // Opportunistic: drain whatever other channels can flush right now.
+    flush_pending(channels, pending)?;
+    if pending.on(step.channel).is_some() {
         return Ok(StepOutcome::NotReady);
     }
     let elem = dtype.size_bytes();
@@ -314,8 +395,9 @@ pub fn execute_ready_step(
             data,
         };
         if let Err(SendError::Full(msg)) = conn.try_send(msg) {
-            *pending = Some(PendingSend {
+            pending.stage(PendingSend {
                 peer: step.send_to.expect("send primitive carries a peer"),
+                channel: step.channel,
                 msg,
             });
         }
@@ -338,7 +420,7 @@ pub fn run_plan_blocking(
     recv_buf: &DeviceBuffer,
     should_abort: &dyn Fn() -> bool,
 ) -> Result<bool, ExecError> {
-    let mut pending: Option<PendingSend> = None;
+    let mut pending = PendingSends::default();
     for step in plan {
         loop {
             if should_abort() {
@@ -365,8 +447,8 @@ pub fn run_plan_blocking(
             std::thread::yield_now();
         }
     }
-    // The last primitive may have staged its output; the collective is only
-    // complete once the chunk is on the wire.
+    // The last primitives may have staged output chunks; the collective is
+    // only complete once every channel's chunk is on the wire.
     while !flush_pending(channels, &mut pending)? {
         if should_abort() {
             return Ok(false);
@@ -438,6 +520,7 @@ mod tests {
             recv_from: None,
             chunk_index: 0,
             step: 0,
+            channel: ChannelId(0),
         }
     }
 
@@ -451,6 +534,7 @@ mod tests {
             recv_from: Some(from),
             chunk_index: 0,
             step: 0,
+            channel: ChannelId(0),
         }
     }
 
@@ -472,7 +556,7 @@ mod tests {
                 .build_plan(&desc, rank, chunk, &topo)
                 .unwrap();
             let channels = comm
-                .channels(rank, &plan.send_peers(), &plan.recv_peers())
+                .channels(rank, &plan.send_edges(), &plan.recv_edges())
                 .unwrap();
             joins.push(std::thread::spawn(move || {
                 let send = DeviceBuffer::from_f32(&input);
@@ -684,8 +768,8 @@ mod tests {
         let ch0 = pair_channels(&comm, 0);
         let send_step = send_step();
         let recv_from_1 = recv_step(1);
-        assert!(step_ready(&send_step, &ch0, &None));
-        assert!(!step_ready(&recv_from_1, &ch0, &None));
+        assert!(step_ready(&send_step, &ch0, &PendingSends::default()));
+        assert!(!step_ready(&recv_from_1, &ch0, &PendingSends::default()));
         // Fill the send connector completely: send becomes not-ready.
         let send = DeviceBuffer::from_f32(&[1.0]);
         let recv = DeviceBuffer::zeroed(4);
@@ -699,14 +783,14 @@ mod tests {
                 None,
                 &send,
                 &recv,
-                &mut None,
+                &mut PendingSends::default(),
             )
             .unwrap();
         }
-        assert!(!step_ready(&send_step, &ch0, &None));
+        assert!(!step_ready(&send_step, &ch0, &PendingSends::default()));
         // And the peer now has data to receive.
         let ch1 = pair_channels(&comm, 1);
-        assert!(step_ready(&recv_step(0), &ch1, &None));
+        assert!(step_ready(&recv_step(0), &ch1, &PendingSends::default()));
     }
 
     #[test]
@@ -723,7 +807,7 @@ mod tests {
             None,
             &send,
             &recv,
-            &mut None,
+            &mut PendingSends::default(),
         )
         .unwrap();
         assert_eq!(out, StepOutcome::NotReady);
@@ -733,11 +817,13 @@ mod tests {
     fn missing_peer_connector_is_an_error_not_a_hang() {
         let comm = make_comm(3);
         // Channels only cover peer 1, but the step addresses peer 2.
-        let ch0 = comm.channels(0, &[1], &[1]).unwrap();
+        let ch0 = comm
+            .channels(0, &[(1, ChannelId(0))], &[(1, ChannelId(0))])
+            .unwrap();
         let mut stray = send_step();
         stray.send_to = Some(2);
         // step_ready must not spin on a connector that can never appear.
-        assert!(step_ready(&stray, &ch0, &None));
+        assert!(step_ready(&stray, &ch0, &PendingSends::default()));
         let send = DeviceBuffer::from_f32(&[1.0]);
         let recv = DeviceBuffer::zeroed(4);
         let err = execute_ready_step(
@@ -748,7 +834,7 @@ mod tests {
             None,
             &send,
             &recv,
-            &mut None,
+            &mut PendingSends::default(),
         )
         .unwrap_err();
         assert_eq!(err, ExecError::MissingPeerConnector { peer: 2 });
@@ -762,8 +848,17 @@ mod tests {
         bad.send_to = None;
         let send = DeviceBuffer::from_f32(&[1.0]);
         let recv = DeviceBuffer::zeroed(4);
-        let err = execute_ready_step(1, &bad, &ch0, DataType::F32, None, &send, &recv, &mut None)
-            .unwrap_err();
+        let err = execute_ready_step(
+            1,
+            &bad,
+            &ch0,
+            DataType::F32,
+            None,
+            &send,
+            &recv,
+            &mut PendingSends::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, ExecError::MalformedStep(_)));
     }
 
@@ -778,7 +873,17 @@ mod tests {
         let recv = DeviceBuffer::from_f32(&[42.0]);
         let mut step = send_step();
         step.src_buf = SrcBuf::Recv;
-        execute_ready_step(1, &step, &ch0, DataType::F32, None, &send, &recv, &mut None).unwrap();
+        execute_ready_step(
+            1,
+            &step,
+            &ch0,
+            DataType::F32,
+            None,
+            &send,
+            &recv,
+            &mut PendingSends::default(),
+        )
+        .unwrap();
         let out = DeviceBuffer::zeroed(4);
         execute_ready_step(
             1,
@@ -788,7 +893,7 @@ mod tests {
             None,
             &DeviceBuffer::zeroed(4),
             &out,
-            &mut None,
+            &mut PendingSends::default(),
         )
         .unwrap();
         assert_eq!(out.to_f32_vec(), vec![42.0]);
@@ -819,7 +924,7 @@ mod tests {
             None,
             &send,
             &recv,
-            &mut None,
+            &mut PendingSends::default(),
         )
         .unwrap_err();
         assert!(matches!(
@@ -848,8 +953,17 @@ mod tests {
         let step = recv_step(0); // expects 4 bytes
         let send = DeviceBuffer::zeroed(4);
         let recv = DeviceBuffer::zeroed(4);
-        let err = execute_ready_step(1, &step, &ch1, DataType::F32, None, &send, &recv, &mut None)
-            .unwrap_err();
+        let err = execute_ready_step(
+            1,
+            &step,
+            &ch1,
+            DataType::F32,
+            None,
+            &send,
+            &recv,
+            &mut PendingSends::default(),
+        )
+        .unwrap_err();
         assert!(matches!(
             err,
             ExecError::PayloadSizeMismatch {
@@ -882,11 +996,21 @@ mod tests {
             recv_from: Some(0),
             chunk_index: 0,
             step: 0,
+            channel: ChannelId(0),
         };
         let send = DeviceBuffer::zeroed(4);
         let recv = DeviceBuffer::zeroed(4);
-        let err = execute_ready_step(1, &step, &ch1, DataType::F32, None, &send, &recv, &mut None)
-            .unwrap_err();
+        let err = execute_ready_step(
+            1,
+            &step,
+            &ch1,
+            DataType::F32,
+            None,
+            &send,
+            &recv,
+            &mut PendingSends::default(),
+        )
+        .unwrap_err();
         assert_eq!(err, ExecError::MissingReduceOp);
     }
 

@@ -52,6 +52,7 @@ fn emit_phase_step(
     prev: usize,
     step: &mut u32,
     max_chunk: usize,
+    channels: usize,
 ) {
     push_chunked(
         phase,
@@ -63,6 +64,7 @@ fn emit_phase_step(
         kind.has_recv().then_some(prev),
         *step,
         max_chunk,
+        channels,
     );
     *step += 1;
 }
@@ -96,14 +98,15 @@ impl Algorithm for HierarchicalAlgorithm {
         desc.kind == CollectiveKind::AllReduce && node_groups(desc, topology).is_some()
     }
 
-    fn build_plan(
+    fn build_plan_striped(
         &self,
         desc: &CollectiveDescriptor,
         rank: usize,
         max_chunk_elems: usize,
+        channels: usize,
         topology: &Topology,
     ) -> Result<Plan, CollectiveError> {
-        check_builder_inputs(desc, rank, max_chunk_elems)?;
+        check_builder_inputs(desc, rank, max_chunk_elems, channels)?;
         if desc.kind != CollectiveKind::AllReduce {
             return Err(CollectiveError::UnsupportedAlgorithm {
                 algorithm: AlgorithmKind::Hierarchical,
@@ -151,6 +154,7 @@ impl Algorithm for HierarchicalAlgorithm {
                     prev,
                     &mut step,
                     max_chunk_elems,
+                    channels,
                 )
             };
             emit(
@@ -205,6 +209,7 @@ impl Algorithm for HierarchicalAlgorithm {
                     prev,
                     &mut step,
                     max_chunk_elems,
+                    channels,
                 )
             };
             emit(PrimitiveKind::Send, Some(sub(g)), operand, None);
@@ -252,6 +257,7 @@ impl Algorithm for HierarchicalAlgorithm {
                     prev,
                     &mut step,
                     max_chunk_elems,
+                    channels,
                 )
             };
             // Slice j is already in place in this rank's recv buffer.

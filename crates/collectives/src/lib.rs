@@ -49,14 +49,14 @@ pub use collective::{CollectiveDescriptor, CollectiveKind};
 pub use cost::{estimate_completion_ns, CostError};
 pub use datatype::DataType;
 pub use executor::{
-    execute_ready_step, flush_pending, run_plan_blocking, step_ready, validate_buffers, ExecError,
-    PendingSend, StepOutcome,
+    execute_ready_step, flush_pending, flush_pending_channel, run_plan_blocking, step_ready,
+    validate_buffers, ExecError, PendingSend, PendingSends, StepOutcome,
 };
 pub use hierarchical::HierarchicalAlgorithm;
 pub use plan::{algorithm, Algorithm, AlgorithmKind, Plan};
 pub use primitive::{PrimitiveKind, PrimitiveStep, SrcBuf};
 pub use redop::ReduceOp;
-pub use ring::{build_plan, RingAlgorithm};
+pub use ring::{build_plan, build_plan_striped, RingAlgorithm};
 pub use selector::{AlgorithmSelector, DEFAULT_TREE_THRESHOLD_BYTES};
 pub use tree::DoubleBinaryTreeAlgorithm;
 
@@ -65,6 +65,9 @@ pub use tree::DoubleBinaryTreeAlgorithm;
 pub enum CollectiveError {
     /// The device set has fewer than two GPUs.
     DeviceSetTooSmall(usize),
+    /// The device set names the same GPU more than once; a duplicated rank
+    /// would corrupt rank addressing and schedule self-edges.
+    DuplicateDevice(gpu_sim::GpuId),
     /// The element count is zero.
     EmptyCollective,
     /// The descriptor needs a reduce operator but none was given.
@@ -82,8 +85,12 @@ pub enum CollectiveError {
     InvalidRank { rank: usize, size: usize },
     /// The configured chunk size is unusable (zero elements).
     InvalidChunkSize(usize),
-    /// A point-to-point collective needs exactly two distinct devices; the
-    /// descriptor carried this many (or a repeated device).
+    /// The configured channel count is unusable (zero, or beyond the u32
+    /// channel-id space).
+    InvalidChannelCount(usize),
+    /// A point-to-point collective needs exactly two devices; the descriptor
+    /// carried this many. (A repeated device is caught earlier, as
+    /// [`CollectiveError::DuplicateDevice`].)
     InvalidPointToPoint(usize),
     /// The requested algorithm cannot schedule this collective kind.
     UnsupportedAlgorithm {
@@ -105,6 +112,9 @@ impl std::fmt::Display for CollectiveError {
         match self {
             CollectiveError::DeviceSetTooSmall(n) => {
                 write!(f, "collective needs at least 2 devices, got {n}")
+            }
+            CollectiveError::DuplicateDevice(d) => {
+                write!(f, "device set names {d} more than once")
             }
             CollectiveError::EmptyCollective => write!(f, "collective has zero elements"),
             CollectiveError::MissingReduceOp => {
@@ -129,21 +139,14 @@ impl std::fmt::Display for CollectiveError {
             CollectiveError::InvalidChunkSize(n) => {
                 write!(f, "chunk size must be positive, got {n}")
             }
+            CollectiveError::InvalidChannelCount(n) => {
+                write!(f, "channel count must be at least 1, got {n}")
+            }
             CollectiveError::InvalidPointToPoint(n) => {
-                // A device count of 2 can only fail the distinctness half of
-                // the check; any other count fails the count half.
-                if *n == 2 {
-                    write!(
-                        f,
-                        "point-to-point collective needs 2 distinct devices, \
-                         got the same device twice"
-                    )
-                } else {
-                    write!(
-                        f,
-                        "point-to-point collective needs exactly 2 devices, got {n}"
-                    )
-                }
+                write!(
+                    f,
+                    "point-to-point collective needs exactly 2 devices, got {n}"
+                )
             }
             CollectiveError::UnsupportedAlgorithm { algorithm, kind } => {
                 write!(f, "the {algorithm} algorithm cannot schedule {kind}")
@@ -190,12 +193,15 @@ mod tests {
         assert!(CollectiveError::InvalidChunkSize(0)
             .to_string()
             .contains("positive"));
+        assert!(CollectiveError::InvalidChannelCount(0)
+            .to_string()
+            .contains("at least 1"));
+        assert!(CollectiveError::DuplicateDevice(gpu_sim::GpuId(3))
+            .to_string()
+            .contains("more than once"));
         assert!(CollectiveError::InvalidPointToPoint(3)
             .to_string()
             .contains("got 3"));
-        assert!(CollectiveError::InvalidPointToPoint(2)
-            .to_string()
-            .contains("same device twice"));
         assert!(CollectiveError::UnsupportedAlgorithm {
             algorithm: plan::AlgorithmKind::DoubleBinaryTree,
             kind: CollectiveKind::AllGather,

@@ -15,12 +15,15 @@
 //!
 //! ## Ordering invariant
 //!
-//! Within a plan, the steps touching one directed peer pair must appear in
-//! chunk-major order (chunk `c` flows through the pipeline before chunk
-//! `c+1`), and matched send/recv pairs must be emitted in the same relative
-//! order on both endpoints — connectors are FIFO. The builders guarantee this
-//! by sorting on `(chunk_index, step)` within each phase; the step counter is
-//! monotone in the algorithm's logical order.
+//! Within a plan, the steps touching one directed `(peer, channel)` edge must
+//! appear in chunk-major order (chunk `c` flows through the pipeline before
+//! chunk `c+1`), and matched send/recv pairs must be emitted in the same
+//! relative order on both endpoints — connectors are FIFO. The builders
+//! guarantee this by sorting on `(chunk_index, step)` within each phase; the
+//! step counter is monotone in the algorithm's logical order. Striping
+//! assigns channels round-robin by chunk index, so each channel's
+//! subsequence of the sorted plan is itself chunk-major and the invariant
+//! holds per channel.
 
 use std::collections::BTreeSet;
 
@@ -29,7 +32,7 @@ use serde::{Deserialize, Serialize};
 use crate::collective::CollectiveDescriptor;
 use crate::primitive::PrimitiveStep;
 use crate::CollectiveError;
-use dfccl_transport::Topology;
+use dfccl_transport::{ChannelId, Topology};
 
 /// The collective algorithm families a plan can be built from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -107,6 +110,37 @@ impl Plan {
         set.into_iter().collect()
     }
 
+    /// The distinct directed `(peer, channel)` edges this plan sends over,
+    /// ascending — exactly the connectors the transport must materialise.
+    pub fn send_edges(&self) -> Vec<(usize, ChannelId)> {
+        let set: BTreeSet<(usize, ChannelId)> = self
+            .steps
+            .iter()
+            .filter_map(|s| s.send_to.map(|p| (p, s.channel)))
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// The distinct directed `(peer, channel)` edges this plan receives over,
+    /// ascending.
+    pub fn recv_edges(&self) -> Vec<(usize, ChannelId)> {
+        let set: BTreeSet<(usize, ChannelId)> = self
+            .steps
+            .iter()
+            .filter_map(|s| s.recv_from.map(|p| (p, s.channel)))
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Number of distinct channels this plan stripes across (at least 1).
+    pub fn channel_count(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| s.channel.0 as usize + 1)
+            .max()
+            .unwrap_or(1)
+    }
+
     /// Check structural consistency: every step's peer fields match its kind
     /// and stay inside a communicator of `size` ranks, and no step addresses
     /// `rank` itself.
@@ -138,14 +172,29 @@ pub trait Algorithm {
     fn supports(&self, desc: &CollectiveDescriptor, topology: &Topology) -> bool;
 
     /// Build the primitive sequence executed by `rank`, chunking transfers at
-    /// `max_chunk_elems` elements.
+    /// `max_chunk_elems` elements and striping the chunk stream of every
+    /// `(src, dst)` edge round-robin across `channels` parallel connectors.
+    /// `channels = 1` is the unstriped schedule.
+    fn build_plan_striped(
+        &self,
+        desc: &CollectiveDescriptor,
+        rank: usize,
+        max_chunk_elems: usize,
+        channels: usize,
+        topology: &Topology,
+    ) -> Result<Plan, CollectiveError>;
+
+    /// Build the unstriped (single-channel) primitive sequence executed by
+    /// `rank`, chunking transfers at `max_chunk_elems` elements.
     fn build_plan(
         &self,
         desc: &CollectiveDescriptor,
         rank: usize,
         max_chunk_elems: usize,
         topology: &Topology,
-    ) -> Result<Plan, CollectiveError>;
+    ) -> Result<Plan, CollectiveError> {
+        self.build_plan_striped(desc, rank, max_chunk_elems, 1, topology)
+    }
 }
 
 /// The generator for an algorithm kind.
@@ -158,11 +207,13 @@ pub fn algorithm(kind: AlgorithmKind) -> &'static dyn Algorithm {
     }
 }
 
-/// Validate shared plan-builder inputs (descriptor, rank bound, chunk size).
+/// Validate shared plan-builder inputs (descriptor, rank bound, chunk size,
+/// channel count).
 pub(crate) fn check_builder_inputs(
     desc: &CollectiveDescriptor,
     rank: usize,
     max_chunk_elems: usize,
+    channels: usize,
 ) -> Result<(), CollectiveError> {
     desc.validate()?;
     let n = desc.num_ranks();
@@ -172,12 +223,16 @@ pub(crate) fn check_builder_inputs(
     if max_chunk_elems == 0 {
         return Err(CollectiveError::InvalidChunkSize(max_chunk_elems));
     }
+    if channels == 0 || channels > u32::MAX as usize {
+        return Err(CollectiveError::InvalidChannelCount(channels));
+    }
     Ok(())
 }
 
-/// Shared emission helper: split a macro step into chunk-sized primitives.
-/// `src` and `dst`, when both present, are ranges of equal length chunked in
-/// lockstep.
+/// Shared emission helper: split a macro step into chunk-sized primitives,
+/// striping consecutive chunks round-robin over `channels` connectors
+/// (`channel = chunk_index % channels`). `src` and `dst`, when both present,
+/// are ranges of equal length chunked in lockstep.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn push_chunked(
     out: &mut Vec<PrimitiveStep>,
@@ -189,12 +244,14 @@ pub(crate) fn push_chunked(
     recv_from: Option<usize>,
     step: u32,
     max_chunk: usize,
+    channels: usize,
 ) {
     use crate::chunk::{chunk_ranges, ElemRange};
     let total = src_base
         .map(|r| r.len)
         .or(dst_base.map(|r| r.len))
         .unwrap_or(0);
+    let channels = channels.max(1) as u32;
     for (ci, chunk) in chunk_ranges(total, max_chunk).into_iter().enumerate() {
         let src = src_base.map(|r| ElemRange::new(r.offset + chunk.offset, chunk.len));
         let dst = dst_base.map(|r| ElemRange::new(r.offset + chunk.offset, chunk.len));
@@ -207,6 +264,7 @@ pub(crate) fn push_chunked(
             recv_from,
             chunk_index: ci as u32,
             step,
+            channel: ChannelId(ci as u32 % channels),
         });
     }
 }
@@ -216,7 +274,9 @@ pub(crate) fn push_chunked(
 /// connector O(1) regardless of the collective size (the NCCL loop
 /// structure). Matched send/recv pairs shift uniformly (`step → step+1`), so
 /// both endpoints' sorted orders stay aligned and connector FIFO order is
-/// preserved.
+/// preserved. Channels are a function of the chunk index, so every channel's
+/// subsequence of the sorted order is itself chunk-major — the invariant (and
+/// the deadlock-freedom argument it carries) holds channel-wise.
 pub(crate) fn sort_chunk_major(steps: &mut [PrimitiveStep]) {
     steps.sort_by_key(|p| (p.chunk_index, p.step));
 }
@@ -243,7 +303,25 @@ mod tests {
             recv_from,
             chunk_index: 0,
             step: 0,
+            channel: ChannelId(0),
         }
+    }
+
+    #[test]
+    fn edges_carry_channels_and_dedupe() {
+        let mut a = step(Some(1), None);
+        a.channel = ChannelId(1);
+        let plan = Plan::new(
+            AlgorithmKind::Ring,
+            vec![step(Some(1), Some(2)), a, step(Some(1), Some(2))],
+        );
+        assert_eq!(
+            plan.send_edges(),
+            vec![(1, ChannelId(0)), (1, ChannelId(1))]
+        );
+        assert_eq!(plan.recv_edges(), vec![(2, ChannelId(0))]);
+        assert_eq!(plan.channel_count(), 2);
+        assert_eq!(Plan::new(AlgorithmKind::Ring, vec![]).channel_count(), 1);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::chunk::ElemRange;
+use dfccl_transport::ChannelId;
 
 /// The fused primitive kinds shared by every collective algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -131,6 +132,12 @@ pub struct PrimitiveStep {
     /// Macro-step index this primitive belongs to (monotone in the algorithm's
     /// logical order; also the pipelining sort key together with the chunk).
     pub step: u32,
+    /// Which of the K parallel connectors per `(src, dst)` edge this
+    /// primitive's transfer rides on. Builders assign channels round-robin by
+    /// chunk index (`chunk_index % K`), so matched send/recv pairs — which
+    /// share the chunk index — always agree on the channel, and each
+    /// channel's subsequence stays independently chunk-major.
+    pub channel: ChannelId,
 }
 
 impl PrimitiveStep {
@@ -195,6 +202,7 @@ mod tests {
             recv_from: None,
             chunk_index: 0,
             step: 0,
+            channel: ChannelId(0),
         };
         assert_eq!(s.elems(), 10);
         let r = PrimitiveStep {
@@ -206,6 +214,7 @@ mod tests {
             recv_from: Some(0),
             chunk_index: 0,
             step: 1,
+            channel: ChannelId(0),
         };
         assert_eq!(r.elems(), 6);
     }
@@ -221,6 +230,7 @@ mod tests {
             recv_from: None,
             chunk_index: 0,
             step: 0,
+            channel: ChannelId(0),
         };
         assert!(s.peers_consistent(2));
         assert!(!s.peers_consistent(1), "peer out of range");

@@ -49,14 +49,15 @@ impl Algorithm for RingAlgorithm {
         )
     }
 
-    fn build_plan(
+    fn build_plan_striped(
         &self,
         desc: &CollectiveDescriptor,
         rank: usize,
         max_chunk_elems: usize,
+        channels: usize,
         _topology: &Topology,
     ) -> Result<Plan, CollectiveError> {
-        build_plan(desc, rank, max_chunk_elems)
+        build_plan_striped(desc, rank, max_chunk_elems, channels)
     }
 }
 
@@ -67,15 +68,17 @@ struct RingEmitter {
     next: usize,
     prev: usize,
     step: u32,
+    channels: usize,
 }
 
 impl RingEmitter {
-    fn new(n: usize, rank: usize) -> Self {
+    fn new(n: usize, rank: usize, channels: usize) -> Self {
         RingEmitter {
             steps: Vec::new(),
             next: (rank + 1) % n,
             prev: (rank + n - 1) % n,
             step: 0,
+            channels,
         }
     }
 
@@ -108,6 +111,7 @@ impl RingEmitter {
             kind.has_recv().then_some(self.prev),
             step,
             max_chunk,
+            self.channels,
         );
     }
 
@@ -129,25 +133,42 @@ impl RingEmitter {
     }
 }
 
-/// Build the ring primitive sequence executed by `rank` for the collective
-/// described by `desc`, chunking transfers at `max_chunk_elems` elements.
+/// Build the unstriped (single-channel) ring primitive sequence executed by
+/// `rank` for the collective described by `desc`, chunking transfers at
+/// `max_chunk_elems` elements.
 pub fn build_plan(
     desc: &CollectiveDescriptor,
     rank: usize,
     max_chunk_elems: usize,
 ) -> Result<Plan, CollectiveError> {
-    check_builder_inputs(desc, rank, max_chunk_elems)?;
+    build_plan_striped(desc, rank, max_chunk_elems, 1)
+}
+
+/// Build the ring primitive sequence executed by `rank`, chunking transfers
+/// at `max_chunk_elems` elements and striping the chunk stream round-robin
+/// across `channels` parallel connectors per ring edge.
+pub fn build_plan_striped(
+    desc: &CollectiveDescriptor,
+    rank: usize,
+    max_chunk_elems: usize,
+    channels: usize,
+) -> Result<Plan, CollectiveError> {
+    check_builder_inputs(desc, rank, max_chunk_elems, channels)?;
     let n = desc.num_ranks();
+    let k = channels;
     let plan = match desc.kind {
-        CollectiveKind::AllReduce => all_reduce_plan(desc.count, n, rank, max_chunk_elems),
-        CollectiveKind::AllGather => all_gather_plan(desc.count, n, rank, max_chunk_elems),
-        CollectiveKind::ReduceScatter => reduce_scatter_plan(desc.count, n, rank, max_chunk_elems),
+        CollectiveKind::AllReduce => all_reduce_plan(desc.count, n, rank, max_chunk_elems, k),
+        CollectiveKind::AllGather => all_gather_plan(desc.count, n, rank, max_chunk_elems, k),
+        CollectiveKind::ReduceScatter => {
+            reduce_scatter_plan(desc.count, n, rank, max_chunk_elems, k)
+        }
         CollectiveKind::Reduce => reduce_plan(
             desc.count,
             n,
             rank,
             desc.root.expect("validated root"),
             max_chunk_elems,
+            k,
         ),
         CollectiveKind::Broadcast => broadcast_plan(
             desc.count,
@@ -155,6 +176,7 @@ pub fn build_plan(
             rank,
             desc.root.expect("validated root"),
             max_chunk_elems,
+            k,
         ),
         CollectiveKind::AllToAll | CollectiveKind::SendRecv => {
             return Err(CollectiveError::UnsupportedAlgorithm {
@@ -168,10 +190,10 @@ pub fn build_plan(
 
 /// Ring all-reduce: `count` input elements, `count` output elements, `2n-1`
 /// macro steps (the first send and the final recv are half-steps).
-fn all_reduce_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Plan {
+fn all_reduce_plan(count: usize, n: usize, rank: usize, max_chunk: usize, channels: usize) -> Plan {
     let slices = slice_ranges(count, n);
     let slice = |idx: usize| slices[idx % n];
-    let mut e = RingEmitter::new(n, rank);
+    let mut e = RingEmitter::new(n, rank, channels);
 
     // Reduce-scatter phase.
     e.emit(PrimitiveKind::Send, Some(slice(rank)), None, max_chunk);
@@ -199,10 +221,10 @@ fn all_reduce_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Pla
 }
 
 /// Ring all-gather: `count` input elements per rank, `n * count` output.
-fn all_gather_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Plan {
+fn all_gather_plan(count: usize, n: usize, rank: usize, max_chunk: usize, channels: usize) -> Plan {
     let own = ElemRange::new(0, count);
     let block = |idx: usize| ElemRange::new((idx % n) * count, count);
-    let mut e = RingEmitter::new(n, rank);
+    let mut e = RingEmitter::new(n, rank, channels);
 
     // Local copy of the rank's own contribution into its output block.
     e.emit(PrimitiveKind::Copy, Some(own), Some(block(rank)), max_chunk);
@@ -218,10 +240,16 @@ fn all_gather_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Pla
 }
 
 /// Ring reduce-scatter: `n * count` input elements per rank, `count` output.
-fn reduce_scatter_plan(count: usize, n: usize, rank: usize, max_chunk: usize) -> Plan {
+fn reduce_scatter_plan(
+    count: usize,
+    n: usize,
+    rank: usize,
+    max_chunk: usize,
+    channels: usize,
+) -> Plan {
     let slice = |idx: usize| ElemRange::new((idx % n) * count, count);
     let out = ElemRange::new(0, count);
-    let mut e = RingEmitter::new(n, rank);
+    let mut e = RingEmitter::new(n, rank, channels);
 
     e.emit(
         PrimitiveKind::Send,
@@ -243,11 +271,18 @@ fn reduce_scatter_plan(count: usize, n: usize, rank: usize, max_chunk: usize) ->
 }
 
 /// Ring reduce: the reduction flows along the ring and ends at the root.
-fn reduce_plan(count: usize, n: usize, rank: usize, root: usize, max_chunk: usize) -> Plan {
+fn reduce_plan(
+    count: usize,
+    n: usize,
+    rank: usize,
+    root: usize,
+    max_chunk: usize,
+    channels: usize,
+) -> Plan {
     let whole = ElemRange::new(0, count);
     // Position in the chain that starts just after the root and ends at the root.
     let pos = (rank + n - root - 1) % n;
-    let mut e = RingEmitter::new(n, rank);
+    let mut e = RingEmitter::new(n, rank, channels);
     if pos == 0 {
         e.emit_at(PrimitiveKind::Send, Some(whole), None, 0, max_chunk);
     } else if pos < n - 1 {
@@ -272,11 +307,18 @@ fn reduce_plan(count: usize, n: usize, rank: usize, root: usize, max_chunk: usiz
 }
 
 /// Ring broadcast: data flows from the root around the ring.
-fn broadcast_plan(count: usize, n: usize, rank: usize, root: usize, max_chunk: usize) -> Plan {
+fn broadcast_plan(
+    count: usize,
+    n: usize,
+    rank: usize,
+    root: usize,
+    max_chunk: usize,
+    channels: usize,
+) -> Plan {
     let whole = ElemRange::new(0, count);
     // Position in the chain that starts at the root.
     let pos = (rank + n - root) % n;
-    let mut e = RingEmitter::new(n, rank);
+    let mut e = RingEmitter::new(n, rank, channels);
     if pos == 0 {
         // Root: make its own output available locally, then send.
         e.emit_at(PrimitiveKind::Copy, Some(whole), Some(whole), 0, max_chunk);

@@ -31,6 +31,10 @@ pub struct AlgorithmSelector {
     /// Global override: always use this algorithm when it supports the
     /// descriptor (a per-collective override still wins).
     pub force: Option<AlgorithmKind>,
+    /// Parallel channels every `(src, dst)` edge is striped across
+    /// (`1` = unstriped). A per-collective override on the descriptor
+    /// ([`CollectiveDescriptor::with_channels`]) wins.
+    pub channels: usize,
 }
 
 impl Default for AlgorithmSelector {
@@ -38,6 +42,7 @@ impl Default for AlgorithmSelector {
         AlgorithmSelector {
             tree_threshold_bytes: DEFAULT_TREE_THRESHOLD_BYTES,
             force: None,
+            channels: 1,
         }
     }
 }
@@ -83,7 +88,17 @@ impl AlgorithmSelector {
         AlgorithmKind::Ring
     }
 
-    /// Select an algorithm and compile `rank`'s plan with it.
+    /// The channel count in effect for `desc`: the per-collective override
+    /// when present, this selector's global setting otherwise. A zero count
+    /// is passed through so the plan builders reject it
+    /// (`CollectiveError::InvalidChannelCount`) — the same hard error the
+    /// descriptor-level override gets from validation.
+    pub fn channels_for(&self, desc: &CollectiveDescriptor) -> usize {
+        desc.channels.unwrap_or(self.channels)
+    }
+
+    /// Select an algorithm and compile `rank`'s plan with it, striped across
+    /// the channel count in effect ([`AlgorithmSelector::channels_for`]).
     pub fn build_plan(
         &self,
         desc: &CollectiveDescriptor,
@@ -92,7 +107,13 @@ impl AlgorithmSelector {
         topology: &Topology,
     ) -> Result<Plan, CollectiveError> {
         let kind = self.select(desc, topology);
-        algorithm(kind).build_plan(desc, rank, max_chunk_elems, topology)
+        algorithm(kind).build_plan_striped(
+            desc,
+            rank,
+            max_chunk_elems,
+            self.channels_for(desc),
+            topology,
+        )
     }
 }
 
@@ -199,6 +220,40 @@ mod tests {
         // Unsupported global override falls through to the policy.
         let ag = CollectiveDescriptor::all_gather(16, DataType::F32, gpus(4));
         assert_eq!(sel.select(&ag, &topo), AlgorithmKind::Ring);
+    }
+
+    #[test]
+    fn channel_count_resolution_prefers_the_descriptor() {
+        let sel = AlgorithmSelector {
+            channels: 2,
+            ..Default::default()
+        };
+        let topo = Topology::flat(4);
+        assert_eq!(sel.channels_for(&all_reduce(1 << 20, 4)), 2);
+        let overridden = all_reduce(1 << 20, 4).with_channels(4);
+        assert_eq!(sel.channels_for(&overridden), 4);
+        // The compiled plan actually stripes across the resolved count.
+        let plan = sel.build_plan(&overridden, 0, 1024, &topo).unwrap();
+        assert_eq!(plan.channel_count(), 4);
+        let global = sel
+            .build_plan(&all_reduce(1 << 20, 4), 0, 1024, &topo)
+            .unwrap();
+        assert_eq!(global.channel_count(), 2);
+        // The default selector stays unstriped.
+        let default = AlgorithmSelector::default()
+            .build_plan(&all_reduce(1 << 20, 4), 0, 1024, &topo)
+            .unwrap();
+        assert_eq!(default.channel_count(), 1);
+        // A zero global channel count is a hard error at build time, exactly
+        // like the descriptor-level override is at validation time.
+        let zero = AlgorithmSelector {
+            channels: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            zero.build_plan(&all_reduce(16, 4), 0, 1024, &topo),
+            Err(CollectiveError::InvalidChannelCount(0))
+        ));
     }
 
     #[test]

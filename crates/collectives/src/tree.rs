@@ -52,14 +52,15 @@ impl Algorithm for DoubleBinaryTreeAlgorithm {
         )
     }
 
-    fn build_plan(
+    fn build_plan_striped(
         &self,
         desc: &CollectiveDescriptor,
         rank: usize,
         max_chunk_elems: usize,
+        channels: usize,
         _topology: &Topology,
     ) -> Result<Plan, CollectiveError> {
-        check_builder_inputs(desc, rank, max_chunk_elems)?;
+        check_builder_inputs(desc, rank, max_chunk_elems, channels)?;
         let n = desc.num_ranks();
         let trees = match desc.kind {
             CollectiveKind::AllReduce => [
@@ -86,12 +87,22 @@ impl Algorithm for DoubleBinaryTreeAlgorithm {
         for (order, half) in trees.iter().zip(halves) {
             let node = TreeNode::locate(order, rank);
             match desc.kind {
-                CollectiveKind::AllReduce => {
-                    emit_all_reduce(&mut steps, &node, half, &mut step, max_chunk_elems)
-                }
-                CollectiveKind::Broadcast => {
-                    emit_broadcast(&mut steps, &node, half, &mut step, max_chunk_elems)
-                }
+                CollectiveKind::AllReduce => emit_all_reduce(
+                    &mut steps,
+                    &node,
+                    half,
+                    &mut step,
+                    max_chunk_elems,
+                    channels,
+                ),
+                CollectiveKind::Broadcast => emit_broadcast(
+                    &mut steps,
+                    &node,
+                    half,
+                    &mut step,
+                    max_chunk_elems,
+                    channels,
+                ),
                 _ => unreachable!("filtered above"),
             }
         }
@@ -132,10 +143,11 @@ fn emit_all_reduce(
     half: ElemRange,
     step: &mut u32,
     max_chunk: usize,
+    channels: usize,
 ) {
     let mut emit = |kind, src, src_buf, dst, send_to, recv_from| {
         push_chunked(
-            out, kind, src, src_buf, dst, send_to, recv_from, *step, max_chunk,
+            out, kind, src, src_buf, dst, send_to, recv_from, *step, max_chunk, channels,
         );
         *step += 1;
     };
@@ -221,10 +233,11 @@ fn emit_broadcast(
     half: ElemRange,
     step: &mut u32,
     max_chunk: usize,
+    channels: usize,
 ) {
     let mut emit = |kind, src, src_buf, dst, send_to, recv_from| {
         push_chunked(
-            out, kind, src, src_buf, dst, send_to, recv_from, *step, max_chunk,
+            out, kind, src, src_buf, dst, send_to, recv_from, *step, max_chunk, channels,
         );
         *step += 1;
     };

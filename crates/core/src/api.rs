@@ -315,7 +315,7 @@ impl RankCtx {
         )?;
         plan.validate(rank, desc.num_ranks())?;
         let communicator = self.domain.communicator_for(coll_id, &desc.devices)?;
-        let channels = communicator.channels(rank, &plan.send_peers(), &plan.recv_peers())?;
+        let channels = communicator.channels(rank, &plan.send_edges(), &plan.recv_edges())?;
         let reg = Arc::new(RegisteredCollective {
             coll_id,
             desc,
@@ -520,6 +520,17 @@ impl RankCtx {
             .read()
             .get(&coll_id)
             .map(|r| r.plan.algorithm)
+    }
+
+    /// The number of parallel channels a registered collective's compiled
+    /// plan actually stripes across (at most the configured K; fewer when
+    /// the payload has fewer chunks than channels).
+    pub fn channels_of(&self, coll_id: u64) -> Option<usize> {
+        self.shared
+            .registered
+            .read()
+            .get(&coll_id)
+            .map(|r| r.plan.channel_count())
     }
 
     /// Aggregate daemon statistics for this rank.
@@ -931,6 +942,91 @@ mod tests {
         for ctx in ranks {
             ctx.destroy();
         }
+    }
+
+    #[test]
+    fn striped_all_reduce_end_to_end_with_tiny_connectors() {
+        // The tentpole through the full daemon stack: a 3-channel stripe over
+        // 1-slot connectors, with far more chunks per macro step than any
+        // single connector could hold. Per-channel chunk-major order keeps it
+        // deadlock-free; the result must match the unstriped sum.
+        use dfccl_transport::{LinkModel, Topology};
+        use gpu_sim::GpuSpec;
+        let config = DfcclConfig {
+            chunk_elems: 4,
+            connector_capacity: 1,
+            channels: 3,
+            ..DfcclConfig::for_testing()
+        };
+        let domain = DfcclDomain::new(
+            Topology::flat(2),
+            LinkModel::zero_cost(),
+            GpuSpec::rtx_3090(),
+            config,
+        );
+        let count = 96; // 48 elems per slice = 12 chunks of 4 across 3 channels
+        let ranks: Vec<_> = (0..2)
+            .map(|g| domain.init_rank(GpuId(g)).unwrap())
+            .collect();
+        for ctx in &ranks {
+            ctx.register_all_reduce(1, count, DataType::F32, ReduceOp::Sum, gpus(2), 0)
+                .unwrap();
+            assert_eq!(ctx.channels_of(1), Some(3), "global K=3 must stripe");
+            // A per-collective override beats the global setting.
+            ctx.register(
+                2,
+                CollectiveDescriptor::all_reduce(count, DataType::F32, ReduceOp::Sum, gpus(2))
+                    .with_channels(2),
+            )
+            .unwrap();
+            assert_eq!(ctx.channels_of(2), Some(2), "descriptor override wins");
+        }
+        for coll in [1u64, 2] {
+            let mut handles = Vec::new();
+            let mut recvs = Vec::new();
+            for (g, ctx) in ranks.iter().enumerate() {
+                let send = DeviceBuffer::from_f32(&vec![(g + 1) as f32; count]);
+                let recv = DeviceBuffer::zeroed(count * 4);
+                recvs.push(recv.clone());
+                handles.push(ctx.run_awaitable(coll, send, recv).unwrap());
+            }
+            for h in &handles {
+                assert!(
+                    h.wait_for_timeout(1, Duration::from_secs(30)),
+                    "striped all-reduce (coll {coll}) wedged on tiny connectors"
+                );
+            }
+            for recv in &recvs {
+                assert_eq!(recv.to_f32_vec(), vec![3.0f32; count], "coll {coll}");
+            }
+        }
+        for ctx in ranks {
+            assert!(ctx.collective_errors().is_empty());
+            ctx.destroy();
+        }
+    }
+
+    #[test]
+    fn duplicate_devices_are_rejected_at_registration() {
+        // The validation bugfix surfaces through the API: a duplicated GpuId
+        // must fail registration instead of building a self-edged plan.
+        let domain = DfcclDomain::flat_for_testing(4);
+        let ctx = domain.init_rank(GpuId(0)).unwrap();
+        let err = ctx
+            .register_all_reduce(
+                1,
+                16,
+                DataType::F32,
+                ReduceOp::Sum,
+                vec![GpuId(0), GpuId(1), GpuId(1)],
+                0,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DfcclError::Collective(CollectiveError::DuplicateDevice(GpuId(1)))
+        );
+        ctx.destroy();
     }
 
     #[test]

@@ -185,6 +185,13 @@ pub struct DfcclConfig {
     /// Payloads at or below this many bytes prefer the latency-optimal tree
     /// schedule (when the collective kind supports it).
     pub tree_threshold_bytes: usize,
+    /// Parallel channels every `(src, dst)` edge is striped across: each
+    /// channel gets its own connector and its own round-robin share of the
+    /// chunk stream, so a large collective fills `K × connector_capacity`
+    /// in-flight slots per edge instead of serialising on one chunk queue.
+    /// `1` (the default) is the unstriped schedule. A per-collective override
+    /// on the descriptor (`CollectiveDescriptor::with_channels`) wins.
+    pub channels: usize,
     /// Submission-queue capacity (SQEs).
     pub sq_capacity: usize,
     /// Completion-queue capacity (CQEs).
@@ -242,6 +249,7 @@ impl Default for DfcclConfig {
             connector_capacity: 8,
             algorithm: None,
             tree_threshold_bytes: DEFAULT_TREE_THRESHOLD_BYTES,
+            channels: 1,
             sq_capacity: 1024,
             cq_capacity: 1024,
             cq_variant: CqVariant::OptimizedSlot,
@@ -303,11 +311,19 @@ impl DfcclConfig {
         self
     }
 
+    /// Stripe every registration across `channels` parallel connectors per
+    /// edge (the per-collective descriptor override still wins).
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
+        self
+    }
+
     /// The algorithm selector this configuration describes.
     pub fn algorithm_selector(&self) -> AlgorithmSelector {
         AlgorithmSelector {
             tree_threshold_bytes: self.tree_threshold_bytes,
             force: self.algorithm,
+            channels: self.channels,
         }
     }
 }
@@ -368,8 +384,11 @@ mod tests {
         assert_eq!(c.tree_threshold_bytes, DEFAULT_TREE_THRESHOLD_BYTES);
         let sel = c.algorithm_selector();
         assert_eq!(sel.force, None);
+        assert_eq!(sel.channels, 1, "unstriped by default");
         let forced = DfcclConfig::default().with_algorithm(AlgorithmKind::Ring);
         assert_eq!(forced.algorithm_selector().force, Some(AlgorithmKind::Ring));
+        let striped = DfcclConfig::default().with_channels(4);
+        assert_eq!(striped.algorithm_selector().channels, 4);
     }
 
     #[test]

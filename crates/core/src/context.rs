@@ -16,7 +16,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
-use dfccl_collectives::executor::PendingSend;
+use dfccl_collectives::executor::PendingSends;
 use dfccl_collectives::DeviceBuffer;
 use gpu_sim::busy_spin;
 use parking_lot::Mutex;
@@ -26,10 +26,11 @@ use parking_lot::Mutex;
 pub struct DynamicContext {
     /// Index of the next primitive of the plan to execute.
     pub next_step: usize,
-    /// A chunk staged by the last fused primitive while its send connector
-    /// was full; must be flushed before the next primitive (or completion).
-    /// Survives preemption like the rest of the context.
-    pub pending_send: Option<PendingSend>,
+    /// Chunks staged by fused primitives while their send connectors were
+    /// full, one slot per channel; a channel's slot must be flushed before
+    /// the next primitive on that channel (or completion). Survives
+    /// preemption like the rest of the context, covering every channel.
+    pub pending_sends: PendingSends,
     /// Submission sequence number of this invocation.
     pub run_seq: u64,
     /// Send buffer of this invocation.
@@ -46,7 +47,7 @@ impl DynamicContext {
     pub fn new(run_seq: u64, send: DeviceBuffer, recv: DeviceBuffer) -> Self {
         DynamicContext {
             next_step: 0,
-            pending_send: None,
+            pending_sends: PendingSends::default(),
             run_seq,
             send,
             recv,

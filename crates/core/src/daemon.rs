@@ -491,7 +491,7 @@ fn run_daemon(shared: Arc<DaemonShared>) {
                 // before running the step.
                 let mut polls: u64 = 0;
                 let ready = loop {
-                    if step_ready(step, &reg.channels, &ctx.pending_send) {
+                    if step_ready(step, &reg.channels, &ctx.pending_sends) {
                         break true;
                     }
                     polls += 1;
@@ -504,7 +504,7 @@ fn run_daemon(shared: Arc<DaemonShared>) {
                     preempted = true;
                     break;
                 }
-                let had_staged_chunk = ctx.pending_send.is_some();
+                let staged_before = ctx.pending_sends.len();
                 let exec_start = Instant::now();
                 match execute_ready_step(
                     coll_id,
@@ -514,7 +514,7 @@ fn run_daemon(shared: Arc<DaemonShared>) {
                     reg.desc.op,
                     &ctx.send,
                     &ctx.recv,
-                    &mut ctx.pending_send,
+                    &mut ctx.pending_sends,
                 ) {
                     Ok(StepOutcome::Completed) => {
                         shared.stats.record_primitive(exec_start.elapsed());
@@ -530,11 +530,12 @@ fn run_daemon(shared: Arc<DaemonShared>) {
                         }
                     }
                     Ok(StepOutcome::NotReady) => {
-                        // The executor may have flushed the staged chunk and
-                        // only then found the step's own conditions unmet:
-                        // that flush published data, so the pass made
-                        // progress even though this collective is preempted.
-                        if had_staged_chunk && ctx.pending_send.is_none() {
+                        // The executor may have flushed staged chunks (on any
+                        // channel) and only then found the step's own
+                        // conditions unmet: those flushes published data, so
+                        // the pass made progress even though this collective
+                        // is preempted.
+                        if ctx.pending_sends.len() < staged_before {
                             progressed_any = true;
                         }
                         preempted = true;
@@ -547,17 +548,25 @@ fn run_daemon(shared: Arc<DaemonShared>) {
                 }
             }
 
-            // The last primitive may have staged its output chunk; the
-            // collective is only complete once it is on the wire.
-            if failed.is_none() && !preempted && ctx.pending_send.is_some() {
+            // The last primitives may have staged output chunks (one per
+            // channel); the collective is only complete once every one is on
+            // the wire.
+            if failed.is_none() && !preempted && !ctx.pending_sends.is_empty() {
                 let mut polls: u64 = 0;
                 loop {
-                    match flush_pending(&reg.channels, &mut ctx.pending_send) {
+                    let staged_before = ctx.pending_sends.len();
+                    match flush_pending(&reg.channels, &mut ctx.pending_sends) {
                         Ok(true) => {
                             progressed_any = true;
                             break;
                         }
                         Ok(false) => {
+                            // A partial flush (some channels drained, others
+                            // still full) published data: that is progress
+                            // even if the collective ends up preempted here.
+                            if ctx.pending_sends.len() < staged_before {
+                                progressed_any = true;
+                            }
                             polls += 1;
                             if polls >= threshold {
                                 preempted = true;

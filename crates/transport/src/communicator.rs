@@ -9,12 +9,14 @@
 //! Sec. 4.5 relies on.
 //!
 //! A communicator no longer hard-wires a ring: it is a lazy mesh. Connectors
-//! are created on demand for exactly the directed `(src, dst)` rank pairs an
-//! algorithm's plan uses, each classified by the [`Topology`] and costed by
-//! the [`LinkModel`]. A ring plan materialises the same `n` edges the old
-//! ring-wired communicator created eagerly; a tree or hierarchical plan
-//! materialises its own edge set instead. [`Communicator::new_ring`] remains
-//! as a convenience constructor that pre-creates the ring edges.
+//! are created on demand for exactly the directed `(src, dst, channel)`
+//! triples an algorithm's plan uses, each classified by the [`Topology`] and
+//! costed by the [`LinkModel`]. A ring plan materialises the same `n` edges
+//! the old ring-wired communicator created eagerly; a tree or hierarchical
+//! plan materialises its own edge set instead; a striped plan materialises
+//! `K` parallel connectors per directed pair, one per [`ChannelId`].
+//! [`Communicator::new_ring`] remains as a convenience constructor that
+//! pre-creates the (channel-0) ring edges.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,6 +24,7 @@ use std::sync::Arc;
 
 use gpu_sim::GpuId;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 use crate::connector::Connector;
 use crate::linkmodel::LinkModel;
@@ -32,8 +35,23 @@ use crate::TransportError;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CommunicatorId(pub u64);
 
-/// The channels one rank uses inside a communicator: a per-peer map of send
-/// and recv connectors, covering exactly the peers the rank's plan addresses.
+/// One of the parallel channels a `(src, dst)` edge is striped across.
+/// Channel 0 is the only channel of an unstriped (K = 1) collective, and the
+/// one every pre-channel API defaults to.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ChannelId(pub u32);
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// The channels one rank uses inside a communicator: a map of send and recv
+/// connectors keyed by `(peer, channel)`, covering exactly the edges the
+/// rank's plan addresses.
 #[derive(Debug, Clone)]
 pub struct RankChannels {
     /// This rank's index within the communicator.
@@ -42,46 +60,81 @@ pub struct RankChannels {
     pub size: usize,
     /// GPU this rank runs on.
     pub gpu: GpuId,
-    /// Connectors this rank sends through, keyed by destination rank.
-    sends: BTreeMap<usize, Arc<Connector>>,
-    /// Connectors this rank receives from, keyed by source rank.
-    recvs: BTreeMap<usize, Arc<Connector>>,
+    /// Connectors this rank sends through, keyed by (destination rank, channel).
+    sends: BTreeMap<(usize, ChannelId), Arc<Connector>>,
+    /// Connectors this rank receives from, keyed by (source rank, channel).
+    recvs: BTreeMap<(usize, ChannelId), Arc<Connector>>,
 }
 
 impl RankChannels {
-    /// The connector carrying chunks from this rank to `peer`, if the
-    /// channels were built to cover that pair.
+    /// The channel-`channel` connector carrying chunks from this rank to
+    /// `peer`, if the channels were built to cover that edge.
+    pub fn send_on(&self, peer: usize, channel: ChannelId) -> Option<&Arc<Connector>> {
+        self.sends.get(&(peer, channel))
+    }
+
+    /// The channel-`channel` connector carrying chunks from `peer` to this
+    /// rank, if the channels were built to cover that edge.
+    pub fn recv_on(&self, peer: usize, channel: ChannelId) -> Option<&Arc<Connector>> {
+        self.recvs.get(&(peer, channel))
+    }
+
+    /// The channel-0 connector towards `peer` (the whole story for K = 1).
     pub fn send_to(&self, peer: usize) -> Option<&Arc<Connector>> {
-        self.sends.get(&peer)
+        self.send_on(peer, ChannelId(0))
     }
 
-    /// The connector carrying chunks from `peer` to this rank, if the
-    /// channels were built to cover that pair.
+    /// The channel-0 connector from `peer` (the whole story for K = 1).
     pub fn recv_from(&self, peer: usize) -> Option<&Arc<Connector>> {
-        self.recvs.get(&peer)
+        self.recv_on(peer, ChannelId(0))
     }
 
-    /// The destination ranks this rank can send to.
+    /// The distinct destination ranks this rank can send to (any channel).
     pub fn send_peers(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut last = None;
+        self.sends.keys().filter_map(move |&(p, _)| {
+            if last == Some(p) {
+                return None;
+            }
+            last = Some(p);
+            Some(p)
+        })
+    }
+
+    /// The distinct source ranks this rank can receive from (any channel).
+    pub fn recv_peers(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut last = None;
+        self.recvs.keys().filter_map(move |&(p, _)| {
+            if last == Some(p) {
+                return None;
+            }
+            last = Some(p);
+            Some(p)
+        })
+    }
+
+    /// The directed `(peer, channel)` send edges covered by these channels.
+    pub fn send_edges(&self) -> impl Iterator<Item = (usize, ChannelId)> + '_ {
         self.sends.keys().copied()
     }
 
-    /// The source ranks this rank can receive from.
-    pub fn recv_peers(&self) -> impl Iterator<Item = usize> + '_ {
+    /// The directed `(peer, channel)` recv edges covered by these channels.
+    pub fn recv_edges(&self) -> impl Iterator<Item = (usize, ChannelId)> + '_ {
         self.recvs.keys().copied()
     }
 }
 
 /// A peer-addressed communicator over an ordered set of GPUs. Connectors are
-/// created lazily for the directed rank pairs a plan actually uses.
+/// created lazily for the directed `(src, dst, channel)` edges a plan
+/// actually uses.
 pub struct Communicator {
     id: CommunicatorId,
     devices: Vec<GpuId>,
     topology: Arc<Topology>,
     link_model: Arc<LinkModel>,
     connector_capacity: usize,
-    /// `edges[(s, d)]` carries chunks from rank `s` to rank `d`.
-    edges: Mutex<HashMap<(usize, usize), Arc<Connector>>>,
+    /// `edges[(s, d, c)]` carries channel-`c` chunks from rank `s` to rank `d`.
+    edges: Mutex<HashMap<(usize, usize, ChannelId), Arc<Connector>>>,
 }
 
 impl std::fmt::Debug for Communicator {
@@ -170,13 +223,15 @@ impl Communicator {
         Ok(())
     }
 
-    /// The connector carrying chunks from rank `src` to rank `dst`, created
-    /// on first request. Both endpoints share the same connector instance, so
-    /// a chunk published by `src` is what `dst` consumes.
-    pub fn connector_between(
+    /// The channel-`channel` connector carrying chunks from rank `src` to
+    /// rank `dst`, created on first request. Both endpoints share the same
+    /// connector instance, so a chunk published by `src` is what `dst`
+    /// consumes.
+    pub fn connector_between_on(
         &self,
         src: usize,
         dst: usize,
+        channel: ChannelId,
     ) -> Result<Arc<Connector>, TransportError> {
         self.check_rank(src)?;
         self.check_rank(dst)?;
@@ -184,34 +239,44 @@ impl Communicator {
             return Err(TransportError::SelfLoop { rank: src });
         }
         let mut edges = self.edges.lock();
-        if let Some(c) = edges.get(&(src, dst)) {
+        if let Some(c) = edges.get(&(src, dst, channel)) {
             return Ok(Arc::clone(c));
         }
         let link = self
             .topology
             .link_between(self.devices[src], self.devices[dst])?;
         let c = Connector::new(self.connector_capacity, link, Arc::clone(&self.link_model));
-        edges.insert((src, dst), Arc::clone(&c));
+        edges.insert((src, dst, channel), Arc::clone(&c));
         Ok(c)
     }
 
-    /// Build the channels `rank` needs to execute a plan that sends to
-    /// `send_peers` and receives from `recv_peers` (peer lists may repeat;
-    /// duplicates are collapsed).
+    /// The channel-0 connector from rank `src` to rank `dst` (the whole story
+    /// for unstriped collectives).
+    pub fn connector_between(
+        &self,
+        src: usize,
+        dst: usize,
+    ) -> Result<Arc<Connector>, TransportError> {
+        self.connector_between_on(src, dst, ChannelId(0))
+    }
+
+    /// Build the channels `rank` needs to execute a plan that sends over the
+    /// `(peer, channel)` edges in `send_edges` and receives over those in
+    /// `recv_edges` (edge lists may repeat; duplicates are collapsed).
     pub fn channels(
         &self,
         rank: usize,
-        send_peers: &[usize],
-        recv_peers: &[usize],
+        send_edges: &[(usize, ChannelId)],
+        recv_edges: &[(usize, ChannelId)],
     ) -> Result<RankChannels, TransportError> {
         self.check_rank(rank)?;
         let mut sends = BTreeMap::new();
-        for &p in send_peers {
-            sends.insert(p, self.connector_between(rank, p)?);
+        for &(p, c) in send_edges {
+            sends.insert((p, c), self.connector_between_on(rank, p, c)?);
         }
         let mut recvs = BTreeMap::new();
-        for &p in recv_peers {
-            recvs.insert(p, self.connector_between(p, rank)?);
+        for &(p, c) in recv_edges {
+            recvs.insert((p, c), self.connector_between_on(p, rank, c)?);
         }
         Ok(RankChannels {
             rank,
@@ -223,13 +288,14 @@ impl Communicator {
     }
 
     /// The ring channels used by `rank` (send to `rank+1`, receive from
-    /// `rank-1`) — the layout every plan assumed before peer addressing.
+    /// `rank-1`, channel 0) — the layout every plan assumed before peer
+    /// addressing.
     pub fn rank_channels(&self, rank: usize) -> Result<RankChannels, TransportError> {
         let n = self.devices.len();
         self.check_rank(rank)?;
         let next = (rank + 1) % n;
         let prev = (rank + n - 1) % n;
-        self.channels(rank, &[next], &[prev])
+        self.channels(rank, &[(next, ChannelId(0))], &[(prev, ChannelId(0))])
     }
 
     /// Drop any chunks still buffered in the mesh (used when recycling).
@@ -244,9 +310,21 @@ impl Communicator {
         self.edges.lock().values().any(|e| !e.is_empty())
     }
 
-    /// Number of distinct directed edges materialised so far.
+    /// Number of distinct directed `(src, dst, channel)` edges materialised
+    /// so far.
     pub fn edge_count(&self) -> usize {
         self.edges.lock().len()
+    }
+
+    /// Total chunks ever published across every connector of this mesh — a
+    /// monotone progress counter (used by the baseline watchdog to tell a
+    /// slow-but-progressing collective from a wedged one).
+    pub fn transferred_chunks(&self) -> u64 {
+        self.edges
+            .lock()
+            .values()
+            .map(|e| e.stats().chunks_sent)
+            .sum()
     }
 }
 
@@ -394,9 +472,12 @@ mod tests {
             Communicator::new(CommunicatorId(0), gpus(&[0, 1, 2, 3]), &topo, &model, 4).unwrap();
         assert_eq!(comm.edge_count(), 0);
         // A tree-ish channel request: rank 0 talks to 1 and 2 in both directions.
-        let ch0 = comm.channels(0, &[1, 2], &[1, 2]).unwrap();
+        let c0 = ChannelId(0);
+        let ch0 = comm
+            .channels(0, &[(1, c0), (2, c0)], &[(1, c0), (2, c0)])
+            .unwrap();
         assert_eq!(comm.edge_count(), 4);
-        let ch1 = comm.channels(1, &[0], &[0]).unwrap();
+        let ch1 = comm.channels(1, &[(0, c0)], &[(0, c0)]).unwrap();
         // Rank 1's edges already existed; nothing new is created.
         assert_eq!(comm.edge_count(), 4);
         ch0.send_to(1)
@@ -420,10 +501,61 @@ mod tests {
         let model = Arc::new(LinkModel::zero_cost());
         let comm =
             Communicator::new(CommunicatorId(0), gpus(&[0, 1, 2]), &topo, &model, 4).unwrap();
-        let ch = comm.channels(0, &[1, 1, 2, 1], &[2, 2]).unwrap();
+        let c0 = ChannelId(0);
+        let ch = comm
+            .channels(
+                0,
+                &[(1, c0), (1, c0), (2, c0), (1, c0)],
+                &[(2, c0), (2, c0)],
+            )
+            .unwrap();
         assert_eq!(ch.send_peers().collect::<Vec<_>>(), vec![1, 2]);
         assert_eq!(ch.recv_peers().collect::<Vec<_>>(), vec![2]);
         assert_eq!(comm.edge_count(), 3);
+    }
+
+    #[test]
+    fn striped_edges_are_distinct_connectors_per_channel() {
+        // K parallel channels per (src, dst) pair: distinct connector
+        // instances, each with its own capacity, shared by both endpoints.
+        let topo = flat(2);
+        let model = Arc::new(LinkModel::zero_cost());
+        let comm = Communicator::new(CommunicatorId(0), gpus(&[0, 1]), &topo, &model, 1).unwrap();
+        let edges: Vec<(usize, ChannelId)> = (0..3).map(|c| (1usize, ChannelId(c))).collect();
+        let ch0 = comm.channels(0, &edges, &[]).unwrap();
+        let recv_edges: Vec<(usize, ChannelId)> = (0..3).map(|c| (0usize, ChannelId(c))).collect();
+        let ch1 = comm.channels(1, &[], &recv_edges).unwrap();
+        assert_eq!(comm.edge_count(), 3);
+        assert_eq!(ch0.send_peers().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(
+            ch0.send_edges().collect::<Vec<_>>(),
+            vec![(1, ChannelId(0)), (1, ChannelId(1)), (1, ChannelId(2))]
+        );
+        // Fill every channel (capacity 1 each): a single shared connector
+        // would reject the second send.
+        for c in 0..3u32 {
+            ch0.send_on(1, ChannelId(c))
+                .unwrap()
+                .try_send(ChunkMsg {
+                    coll_id: 1,
+                    chunk_index: c,
+                    step: 0,
+                    data: vec![c as u8],
+                })
+                .unwrap();
+        }
+        for c in 0..3u32 {
+            let got = ch1.recv_on(0, ChannelId(c)).unwrap().try_recv().unwrap();
+            assert_eq!(got.chunk_index, c);
+        }
+        // A channel the channels were not built for is absent, not aliased.
+        assert!(ch0.send_on(1, ChannelId(7)).is_none());
+        // send_to/recv_from are the channel-0 view.
+        assert!(Arc::ptr_eq(
+            ch0.send_to(1).unwrap(),
+            ch0.send_on(1, ChannelId(0)).unwrap()
+        ));
+        assert_eq!(comm.transferred_chunks(), 3);
     }
 
     #[test]
@@ -436,7 +568,7 @@ mod tests {
             Err(TransportError::SelfLoop { rank: 1 })
         ));
         assert!(matches!(
-            comm.channels(0, &[0], &[]),
+            comm.channels(0, &[(0, ChannelId(0))], &[]),
             Err(TransportError::SelfLoop { rank: 0 })
         ));
     }

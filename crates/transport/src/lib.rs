@@ -22,7 +22,7 @@ pub mod connector;
 pub mod linkmodel;
 pub mod topology;
 
-pub use communicator::{Communicator, CommunicatorId, CommunicatorPool, RankChannels};
+pub use communicator::{ChannelId, Communicator, CommunicatorId, CommunicatorPool, RankChannels};
 pub use connector::{ChunkMsg, Connector, ConnectorStats, SendError};
 pub use linkmodel::{LinkModel, LinkParams};
 pub use topology::{LinkClass, MachineSpec, Topology};

@@ -17,9 +17,11 @@ fn gpus(n: usize) -> Vec<GpuId> {
 }
 
 /// Run `desc` with `algo` over `topo`, one thread per rank, with
-/// `connector_capacity` chunk slots per connector. Panics if any rank fails
-/// or the collective does not finish within the deadline.
-fn run(
+/// `connector_capacity` chunk slots per connector, striped across `channels`
+/// parallel connectors per edge. Panics if any rank fails or the collective
+/// does not finish within the deadline.
+#[allow(clippy::too_many_arguments)]
+fn run_striped(
     desc: &CollectiveDescriptor,
     algo: AlgorithmKind,
     topo: &Topology,
@@ -27,6 +29,7 @@ fn run(
     inputs: &[Vec<f32>],
     chunk_elems: usize,
     connector_capacity: usize,
+    channels: usize,
 ) -> Vec<Vec<f32>> {
     let n = desc.num_ranks();
     let topo_arc = Arc::new(topo.clone());
@@ -44,11 +47,11 @@ fn run(
         let desc = desc.clone();
         let input = input.clone();
         let plan = algorithm(algo)
-            .build_plan(&desc, rank, chunk_elems, topo)
+            .build_plan_striped(&desc, rank, chunk_elems, channels, topo)
             .unwrap();
         plan.validate(rank, n).unwrap();
         let channels = comm
-            .channels(rank, &plan.send_peers(), &plan.recv_peers())
+            .channels(rank, &plan.send_edges(), &plan.recv_edges())
             .unwrap();
         joins.push(std::thread::spawn(move || {
             let send = DeviceBuffer::from_f32(&input);
@@ -69,6 +72,28 @@ fn run(
         }));
     }
     joins.into_iter().map(|j| j.join().unwrap()).collect()
+}
+
+/// The unstriped (single-channel) variant of [`run_striped`].
+fn run(
+    desc: &CollectiveDescriptor,
+    algo: AlgorithmKind,
+    topo: &Topology,
+    link: &LinkModel,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    connector_capacity: usize,
+) -> Vec<Vec<f32>> {
+    run_striped(
+        desc,
+        algo,
+        topo,
+        link,
+        inputs,
+        chunk_elems,
+        connector_capacity,
+        1,
+    )
 }
 
 fn descriptor_for(kind: CollectiveKind, count: usize, n: usize) -> CollectiveDescriptor {
@@ -169,6 +194,58 @@ fn every_algorithm_is_deadlock_free_with_one_slot_connectors() {
                     &inputs_for(&desc),
                     chunk_elems,
                     1,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn striped_channels_complete_at_capacity_one_and_match_the_unstriped_oracle() {
+    // The tentpole's property test: every algorithm family x collective kind
+    // x rank count 2-8 x channel count K in {1, 2, 3} completes with 1-slot
+    // connectors and produces results bit-identical to the K = 1 plan. The
+    // chunk size (3) is far below the per-slice element counts, so every
+    // schedule genuinely stripes across all K channels, and capacity 1 means
+    // any per-channel ordering or pairing mistake wedges immediately.
+    let link = LinkModel::zero_cost();
+    let count = 17; // odd: uneven slices, partial chunks
+    let chunk_elems = 3;
+    for n in 2..=8usize {
+        // (descriptor kind, algorithm, topology) jobs for this rank count.
+        let mut jobs: Vec<(CollectiveKind, AlgorithmKind, Topology)> = Vec::new();
+        for kind in CollectiveKind::ALL {
+            let algo = match kind {
+                CollectiveKind::AllToAll | CollectiveKind::SendRecv => AlgorithmKind::Pairwise,
+                _ => AlgorithmKind::Ring,
+            };
+            let ranks = if kind == CollectiveKind::SendRecv {
+                2
+            } else {
+                n
+            };
+            jobs.push((kind, algo, Topology::flat(ranks)));
+        }
+        for kind in [CollectiveKind::AllReduce, CollectiveKind::Broadcast] {
+            jobs.push((kind, AlgorithmKind::DoubleBinaryTree, Topology::flat(n)));
+        }
+        for topo in hierarchical_splits(n) {
+            jobs.push((CollectiveKind::AllReduce, AlgorithmKind::Hierarchical, topo));
+        }
+        for (kind, algo, topo) in jobs {
+            let ranks = if kind == CollectiveKind::SendRecv {
+                2
+            } else {
+                n
+            };
+            let desc = descriptor_for(kind, count, ranks);
+            let inputs = inputs_for(&desc);
+            let oracle = run_striped(&desc, algo, &topo, &link, &inputs, chunk_elems, 1, 1);
+            for k in [2usize, 3] {
+                let striped = run_striped(&desc, algo, &topo, &link, &inputs, chunk_elems, 1, k);
+                assert_eq!(
+                    striped, oracle,
+                    "{algo} {kind} n={n} K={k} diverges from the K=1 oracle"
                 );
             }
         }
@@ -400,6 +477,101 @@ fn preemption_storm_suspends_and_resumes_dense_mesh_plans_mid_flight() {
             alltoall_oracle(&inputs, count, *rank),
             "rank {rank}"
         );
+    }
+    let preemptions: u64 = ranks.iter().map(|c| c.stats().preemptions).sum();
+    assert!(
+        preemptions > 0,
+        "the storm configuration must actually preempt mid-plan"
+    );
+    for ctx in ranks {
+        assert!(ctx.collective_errors().is_empty());
+        ctx.destroy();
+    }
+}
+
+#[test]
+fn preemption_storm_with_striped_channels_saves_and_restores_every_channel() {
+    // The K > 1 preemption contract: a 4-poll spin threshold over 1-slot
+    // connectors suspends striped plans mid-flight constantly, so the
+    // per-channel staging slots must be saved and restored with the dynamic
+    // context across every preemption. Both a dense-mesh all-to-all and a
+    // ring all-reduce run striped over 3 channels; results must be exact and
+    // preemptions must actually have happened.
+    use dfccl::{DfcclConfig, DfcclDomain};
+    use dfccl_transport::LinkModel as TLinkModel;
+    use gpu_sim::GpuSpec;
+    use std::time::Duration as StdDuration;
+
+    let n = 4;
+    let count = 60; // per-peer slice; chunk 4 -> 15 chunks striped over 3 channels
+    let config = DfcclConfig {
+        chunk_elems: 4,
+        connector_capacity: 1,
+        channels: 3,
+        ..DfcclConfig::preemption_stress()
+    };
+    let domain = DfcclDomain::new(
+        Topology::flat(n),
+        TLinkModel::zero_cost(),
+        GpuSpec::rtx_3090(),
+        config,
+    );
+    let ranks: Vec<_> = (0..n)
+        .map(|g| domain.init_rank(GpuId(g)).unwrap())
+        .collect();
+    for ctx in &ranks {
+        ctx.register_all_to_all(1, count, DataType::F32, gpus(n), 0)
+            .unwrap();
+        assert_eq!(ctx.channels_of(1), Some(3), "all-to-all must stripe");
+        ctx.register_all_reduce(2, count * n, DataType::F32, ReduceOp::Sum, gpus(n), 0)
+            .unwrap();
+        assert_eq!(ctx.channels_of(2), Some(3), "all-reduce must stripe");
+    }
+    let inputs: Vec<Vec<f32>> = (0..n)
+        .map(|r| {
+            (0..count * n)
+                .map(|i| ((r * 53 + i * 11) % 251) as f32)
+                .collect()
+        })
+        .collect();
+    let invocations = 2u64;
+    let mut handles = Vec::new();
+    let mut a2a_recvs = Vec::new();
+    let mut ar_recvs = Vec::new();
+    for _ in 0..invocations {
+        for (g, ctx) in ranks.iter().enumerate() {
+            let recv = DeviceBuffer::zeroed(count * n * 4);
+            a2a_recvs.push((g, recv.clone()));
+            handles.push(
+                ctx.run_awaitable(1, DeviceBuffer::from_f32(&inputs[g]), recv)
+                    .unwrap(),
+            );
+            let recv = DeviceBuffer::zeroed(count * n * 4);
+            ar_recvs.push(recv.clone());
+            handles.push(
+                ctx.run_awaitable(2, DeviceBuffer::from_f32(&inputs[g]), recv)
+                    .unwrap(),
+            );
+        }
+    }
+    for h in &handles {
+        assert!(
+            h.wait_for_timeout(1, StdDuration::from_secs(60)),
+            "striped preemption storm wedged a collective"
+        );
+    }
+    for (rank, recv) in &a2a_recvs {
+        assert_eq!(
+            recv.to_f32_vec(),
+            alltoall_oracle(&inputs, count, *rank),
+            "all-to-all rank {rank}"
+        );
+    }
+    let expected_sum: Vec<f32> = (0..count * n)
+        .map(|i| (0..n).map(|r| inputs[r][i]).sum())
+        .collect();
+    for recv in &ar_recvs {
+        assert_eq!(recv.to_f32_vec(), expected_sum, "striped all-reduce sum");
     }
     let preemptions: u64 = ranks.iter().map(|c| c.stats().preemptions).sum();
     assert!(
