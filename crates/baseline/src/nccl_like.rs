@@ -229,7 +229,7 @@ impl NcclRank {
             self.domain.chunk_elems,
             self.domain.pool.topology(),
         )?;
-        let channels = comm.channels(rank, &plan.send_edges(), &plan.recv_edges())?;
+        let channels = comm.channels(rank, plan.send_edges(), plan.recv_edges())?;
         self.registered.lock().insert(
             coll_id,
             Arc::new(Registered {

@@ -1,11 +1,13 @@
 //! Criterion micro-benchmarks of the daemon-kernel building blocks whose
 //! costs appear in the Sec. 4.5 performance model: SQ submission, task-queue
-//! reordering, spin-policy arithmetic and context checkout/checkin.
+//! reordering, spin-policy arithmetic, context checkout/checkin and the
+//! per-step dispatch comparison (interpreted map-lookup vs compiled index).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dfccl::sq::SqCursor;
 use dfccl::{OrderingPolicy, SpinPolicy, Sqe, SubmissionQueue, TaskQueue};
-use dfccl_collectives::DeviceBuffer;
+use dfccl_bench::hotpath::{dispatch_fixture, DispatchFixture};
+use dfccl_collectives::{instr_ready, step_ready, DeviceBuffer, PendingSends};
 
 fn bench_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("daemon_components");
@@ -71,5 +73,46 @@ fn bench_components(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_components);
+/// Per-step readiness dispatch: the interpreted path re-matches peer fields
+/// and does `BTreeMap` connector lookups per poll; the compiled path indexes
+/// a flat connector table with pre-resolved instruction indices.
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    // The same dense-mesh workload the perf_hotpath registration panel
+    // measures: (n-1) × K connectors per direction, the deepest per-poll
+    // map lookups (the MoE-style shape the compiled path is for).
+    let DispatchFixture {
+        plan,
+        channels,
+        program,
+        table,
+    } = dispatch_fixture(8, 4);
+    let pending = PendingSends::default();
+
+    group.bench_function("step_ready_map_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let step = &plan.steps[i % plan.len()];
+            i += 1;
+            black_box(step_ready(step, &channels, &pending))
+        });
+    });
+
+    group.bench_function("instr_ready_index", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let idx = i % program.len() as u32;
+            i += 1;
+            black_box(instr_ready(&program, idx, &table, &pending))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_components, bench_dispatch);
 criterion_main!(benches);

@@ -16,12 +16,13 @@ use std::fmt::Write as _;
 
 use dfccl::CqVariant;
 use dfccl_bench::hotpath::{
-    batched_config, best_of, cq_push_batched_cost_us, cq_push_cost_us, unbatched_config,
-    HotpathWorkload,
+    batched_config, best_of, cq_push_batched_cost_us, cq_push_cost_us, dispatch_cost,
+    registration_throughput, unbatched_config, HotpathWorkload,
 };
 use dfccl_bench::{arg_num, arg_value, print_row};
 
 const GPU_COUNTS: [usize; 3] = [2, 4, 8];
+const REGISTRATION_GPU_COUNTS: [usize; 2] = [4, 8];
 
 struct ModeResult {
     gpus: usize,
@@ -100,6 +101,57 @@ fn main() {
         variant_costs.push((name, single, batched));
     }
 
+    // Registration panel: cold vs plan-cache-hit registrations/sec, plus the
+    // steady-state per-poll dispatch cost of the two execution paths.
+    println!();
+    println!("# registration throughput (registrations/sec) and per-poll dispatch cost (ns)");
+    let reg_widths = [6, 12, 14, 9, 13, 11];
+    print_row(
+        &[
+            "gpus",
+            "cold",
+            "cache-hit",
+            "speedup",
+            "interp ns",
+            "compiled ns",
+        ]
+        .map(String::from),
+        &reg_widths,
+    );
+    let registrations: u64 = arg_num("--registrations", 256).max(1);
+    let mut reg_results = Vec::new();
+    for gpus in REGISTRATION_GPU_COUNTS {
+        // Best-of like the throughput panels: registration is pure CPU work,
+        // but shared runners still jitter.
+        let reg = (0..repeats)
+            .map(|_| registration_throughput(gpus, registrations))
+            .max_by(|a, b| a.speedup().partial_cmp(&b.speedup()).expect("finite"))
+            .expect("at least one repeat");
+        let disp = (0..repeats)
+            .map(|_| dispatch_cost(gpus, 4))
+            .min_by(|a, b| a.compiled_ns.partial_cmp(&b.compiled_ns).expect("finite"))
+            .expect("at least one repeat");
+        print_row(
+            &[
+                format!("{gpus}"),
+                format!("{:.0}", reg.cold_per_sec),
+                format!("{:.0}", reg.hit_per_sec),
+                format!("{:.2}x", reg.speedup()),
+                format!("{:.1}", disp.interpreted_ns),
+                format!("{:.1}", disp.compiled_ns),
+            ],
+            &reg_widths,
+        );
+        reg_results.push((gpus, reg, disp));
+    }
+    let hit_speedup_ok = reg_results.iter().all(|(_, r, _)| r.speedup() >= 5.0);
+    let dispatch_ok = reg_results
+        .iter()
+        .all(|(_, _, d)| d.compiled_ns <= d.interpreted_ns);
+    println!();
+    println!("plan-cache-hit speedup >= 5x at every scale: {hit_speedup_ok}");
+    println!("compiled dispatch <= interpreted at every scale: {dispatch_ok}");
+
     let speedup_at_4 = results
         .iter()
         .find(|r| r.gpus == 4)
@@ -148,6 +200,42 @@ fn main() {
         });
     }
     json.push_str("  },\n");
+    json.push_str("  \"registration\": {\n");
+    let _ = writeln!(json, "    \"registrations\": {registrations},");
+    json.push_str("    \"throughput\": [\n");
+    for (i, (gpus, reg, _)) in reg_results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"gpus\": {}, \"cold_per_sec\": {:.1}, \"cache_hit_per_sec\": {:.1}, \"speedup\": {:.3}}}",
+            gpus,
+            reg.cold_per_sec,
+            reg.hit_per_sec,
+            reg.speedup()
+        );
+        json.push_str(if i + 1 < reg_results.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"dispatch_ns_per_poll\": [\n");
+    for (i, (gpus, _, disp)) in reg_results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"gpus\": {}, \"interpreted\": {:.2}, \"compiled\": {:.2}}}",
+            gpus, disp.interpreted_ns, disp.compiled_ns
+        );
+        json.push_str(if i + 1 < reg_results.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(json, "    \"hit_speedup_at_least_5x\": {hit_speedup_ok},");
+    let _ = writeln!(json, "    \"compiled_le_interpreted\": {dispatch_ok}");
+    json.push_str("  },\n");
     let _ = writeln!(json, "  \"fig7c_ordering_preserved\": {ordering_ok}");
     json.push_str("}\n");
 
@@ -161,5 +249,13 @@ fn main() {
     if !ordering_ok {
         eprintln!("WARNING: CQ variant cost ordering violated");
         std::process::exit(3);
+    }
+    if !hit_speedup_ok {
+        eprintln!("WARNING: plan-cache-hit registration speedup below the 5x acceptance bar");
+        std::process::exit(2);
+    }
+    if !dispatch_ok {
+        eprintln!("WARNING: compiled dispatch costs more per poll than interpreted");
+        std::process::exit(2);
     }
 }

@@ -9,12 +9,16 @@
 //! The same harness backs the `daemon_throughput` criterion benchmark and the
 //! `perf_hotpath` binary that emits `BENCH_hotpath.json`.
 
+use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dfccl::{CompletionHandle, CqVariant, DfcclConfig, DfcclDomain, DfcclError};
-use dfccl_collectives::{DataType, DeviceBuffer, ReduceOp};
-use dfccl_transport::{LinkModel, Topology};
+use dfccl_collectives::{
+    instr_ready, step_ready, AlgorithmSelector, CollectiveDescriptor, CompiledProgram, DataType,
+    DeviceBuffer, PendingSends, ReduceOp,
+};
+use dfccl_transport::{Communicator, CommunicatorId, LinkModel, Topology};
 use gpu_sim::{GpuId, GpuSpec};
 
 /// Workload shape for one throughput measurement.
@@ -225,6 +229,189 @@ pub fn best_of_over(
         .expect("at least one repeat")
 }
 
+/// Result of one registration-throughput measurement: registrations/sec with
+/// every registration a distinct shape (cold — plan built, validated and
+/// compiled each time) vs. every registration the same shape (plan-cache
+/// hit — shared `Arc<Plan>`/`Arc<CompiledProgram>`, no plan construction).
+#[derive(Debug, Clone, Copy)]
+pub struct RegistrationResult {
+    /// Registrations/sec when every registration is a new shape.
+    pub cold_per_sec: f64,
+    /// Registrations/sec when every registration hits the plan cache.
+    pub hit_per_sec: f64,
+}
+
+impl RegistrationResult {
+    /// Cache-hit speedup over cold registration.
+    pub fn speedup(&self) -> f64 {
+        self.hit_per_sec / self.cold_per_sec
+    }
+}
+
+/// Measure registration throughput on one rank of a `gpus`-wide domain:
+/// `registrations` all-reduces registered with distinct counts (every one a
+/// plan-cache miss), then `registrations` with one fixed count (every one a
+/// hit after the cold pass seeded the shape). A small chunk size keeps the
+/// plans at a realistic couple-hundred instructions so the cold arm measures
+/// genuine plan construction, not a degenerate two-step schedule.
+pub fn registration_throughput(gpus: usize, registrations: u64) -> RegistrationResult {
+    assert!(gpus >= 2 && registrations > 0);
+    let config = DfcclConfig {
+        chunk_elems: 64,
+        ..DfcclConfig::for_testing()
+    };
+    let domain = DfcclDomain::new(
+        Topology::flat(gpus),
+        LinkModel::zero_cost(),
+        GpuSpec::rtx_3090(),
+        config,
+    );
+    let devices: Vec<GpuId> = (0..gpus).map(GpuId).collect();
+    let ctx = domain.init_rank(GpuId(0)).expect("rank init");
+    let base_count = 8 * 1024;
+
+    // Cold arm: every count is distinct, so every registration misses.
+    let start = Instant::now();
+    for i in 0..registrations {
+        ctx.register_all_reduce(
+            1 + i,
+            base_count + i as usize,
+            DataType::F32,
+            ReduceOp::Sum,
+            devices.clone(),
+            0,
+        )
+        .expect("cold register");
+    }
+    let cold = registrations as f64 / start.elapsed().as_secs_f64();
+
+    // Hit arm: one fixed shape (seeded by cold registration i = 0), distinct
+    // collective ids.
+    let start = Instant::now();
+    for i in 0..registrations {
+        ctx.register_all_reduce(
+            1_000_000 + i,
+            base_count,
+            DataType::F32,
+            ReduceOp::Sum,
+            devices.clone(),
+            0,
+        )
+        .expect("hit register");
+    }
+    let hit = registrations as f64 / start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        domain.plan_cache().hits(),
+        registrations,
+        "hit arm must be served from the plan cache"
+    );
+    ctx.destroy();
+    RegistrationResult {
+        cold_per_sec: cold,
+        hit_per_sec: hit,
+    }
+}
+
+/// Per-readiness-check dispatch cost of the two execution paths, in
+/// nanoseconds: interpreted (`step_ready` — `Option<peer>` matching plus
+/// `BTreeMap` connector lookups per poll) vs. compiled (`instr_ready` —
+/// index dispatch into the flat connector table). Deterministic CPU work
+/// over a realistic striped plan, so the comparison is stable on shared CI
+/// machines.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchCost {
+    /// Mean ns per interpreted readiness check.
+    pub interpreted_ns: f64,
+    /// Mean ns per compiled readiness check.
+    pub compiled_ns: f64,
+}
+
+/// Rank 0's execution state for the dispatch comparison: the plan and its
+/// channels (the interpreted path's inputs) next to the compiled program and
+/// its bound connector table (the index-dispatch inputs). Shared between
+/// [`dispatch_cost`] and the `dispatch` criterion group in
+/// `scheduling_overhead`, so both measure the same workload.
+pub struct DispatchFixture {
+    /// The interpreted plan.
+    pub plan: dfccl_collectives::Plan,
+    /// Rank 0's `(peer, channel)`-keyed connectors.
+    pub channels: dfccl_transport::RankChannels,
+    /// The compiled program.
+    pub program: CompiledProgram,
+    /// The program's connector indices bound to `channels`.
+    pub table: dfccl_transport::ConnectorTable,
+}
+
+/// Build the dispatch workload for rank 0 of a `gpus`-rank all-to-all
+/// striped over `channels` connectors per edge — the dense-mesh shape
+/// (`(n-1) × K` connectors per direction) where per-poll map lookups are
+/// deepest, i.e. the MoE-style workload the compilation layer is for.
+pub fn dispatch_fixture(gpus: usize, channels: usize) -> DispatchFixture {
+    let devices: Vec<GpuId> = (0..gpus).map(GpuId).collect();
+    let desc = CollectiveDescriptor::all_to_all(2 * 1024, DataType::F32, devices);
+    let topo = Topology::flat(gpus);
+    let selector = AlgorithmSelector {
+        channels,
+        ..Default::default()
+    };
+    let plan = selector
+        .build_plan(&desc, 0, 256, &topo)
+        .expect("plan builds");
+    let comm = Communicator::new(
+        CommunicatorId(0),
+        desc.devices.clone(),
+        &Arc::new(topo),
+        &Arc::new(LinkModel::zero_cost()),
+        8,
+    )
+    .expect("communicator");
+    let rank_channels = comm
+        .channels(0, plan.send_edges(), plan.recv_edges())
+        .expect("channels");
+    let program = CompiledProgram::compile(&plan, desc.dtype);
+    let table = program.bind(&rank_channels).expect("bind");
+    DispatchFixture {
+        plan,
+        channels: rank_channels,
+        program,
+        table,
+    }
+}
+
+/// Measure [`DispatchCost`] over [`dispatch_fixture`]'s workload.
+pub fn dispatch_cost(gpus: usize, channels: usize) -> DispatchCost {
+    let DispatchFixture {
+        plan,
+        channels: rank_channels,
+        program,
+        table,
+    } = dispatch_fixture(gpus, channels);
+    let pending = PendingSends::default();
+
+    let rounds = 200u32;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for step in &plan.steps {
+            black_box(step_ready(step, &rank_channels, &pending));
+        }
+    }
+    let interpreted_ns = start.elapsed().as_nanos() as f64 / (rounds as usize * plan.len()) as f64;
+
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for idx in 0..program.len() as u32 {
+            black_box(instr_ready(&program, idx, &table, &pending));
+        }
+    }
+    let compiled_ns = start.elapsed().as_nanos() as f64 / (rounds as usize * program.len()) as f64;
+
+    DispatchCost {
+        interpreted_ns,
+        compiled_ns,
+    }
+}
+
 /// Mean modelled cost of a single unbatched CQE publication per CQ variant
 /// (the Fig. 7(c) comparison), in microseconds.
 pub fn cq_push_cost_us(variant: CqVariant, samples: u32) -> f64 {
@@ -286,6 +473,32 @@ mod tests {
         assert_eq!(u.sq_fetch_batch, 1);
         assert_eq!(u.cq_write_batch, 1);
         assert!(b.sq_fetch_batch > 1);
+    }
+
+    #[test]
+    fn registration_throughput_measures_both_arms() {
+        let r = registration_throughput(4, 32);
+        assert!(r.cold_per_sec > 0.0 && r.hit_per_sec > 0.0);
+        // The cache-hit arm skips plan building entirely; even on a noisy
+        // machine it must not be slower than cold registration.
+        assert!(
+            r.speedup() > 1.0,
+            "cache hits slower than cold: {:.0}/s vs {:.0}/s",
+            r.hit_per_sec,
+            r.cold_per_sec
+        );
+    }
+
+    #[test]
+    fn compiled_dispatch_is_not_more_expensive_than_interpreted() {
+        let c = dispatch_cost(4, 4);
+        assert!(c.interpreted_ns > 0.0 && c.compiled_ns > 0.0);
+        assert!(
+            c.compiled_ns <= c.interpreted_ns,
+            "index dispatch ({:.1} ns) must not cost more than map lookups ({:.1} ns)",
+            c.compiled_ns,
+            c.interpreted_ns
+        );
     }
 
     #[test]

@@ -39,12 +39,13 @@
 //! and a suspended collective resumes with all of its channels' staged
 //! chunks intact.
 
-use dfccl_transport::{ChannelId, ChunkMsg, Connector, RankChannels, SendError};
+use dfccl_transport::{ChannelId, ChunkMsg, Connector, ConnectorTable, RankChannels, SendError};
 
 use crate::buffer::DeviceBuffer;
 use crate::collective::CollectiveDescriptor;
 use crate::datatype::DataType;
 use crate::primitive::{PrimitiveKind, PrimitiveStep, SrcBuf};
+use crate::program::CompiledProgram;
 use crate::redop::{reduce_into, ReduceOp};
 use crate::CollectiveError;
 
@@ -406,6 +407,255 @@ pub fn execute_ready_step(
     Ok(StepOutcome::Completed)
 }
 
+// ---------------------------------------------------------------------------
+// Index-based dispatch: the compiled-program twins of `step_ready` /
+// `execute_ready_step`. Connectors are resolved by plain table index (no map
+// lookups); byte ranges were pre-multiplied at compile time. The interpreted
+// entry points above remain the oracle for tests and the baselines.
+// ---------------------------------------------------------------------------
+
+/// Whether the conditions required to make progress on instruction `idx` of
+/// `program` currently hold — the index-dispatch twin of [`step_ready`]. A
+/// chunk staged on the instruction's channel needs its connector to drain; a
+/// fused primitive is gated on its recv condition only (see the module docs
+/// on the staging slots).
+#[inline]
+pub fn instr_ready(
+    program: &CompiledProgram,
+    idx: u32,
+    table: &ConnectorTable,
+    pending: &PendingSends,
+) -> bool {
+    let instr = program.instr(idx);
+    if let Some(p) = pending.on(instr.channel) {
+        // Staged chunks only ever come from instructions whose send edge is
+        // in the program; a missing edge counts as "ready" so the execute
+        // path surfaces the error instead of spinning forever.
+        return match program.send_conn_for(p.peer, p.channel) {
+            Some(ci) => table.send(ci).send_ready(),
+            None => true,
+        };
+    }
+    let recv_ok = !instr.kind.has_recv() || table.recv(instr.recv_conn).recv_ready();
+    let send_ok =
+        instr.kind.has_recv() || !instr.kind.has_send() || table.send(instr.send_conn).send_ready();
+    send_ok && recv_ok
+}
+
+/// Try to publish every staged chunk through the compiled connector table,
+/// one attempt per channel. Returns `true` when all slots are clear.
+pub fn flush_pending_compiled(
+    program: &CompiledProgram,
+    table: &ConnectorTable,
+    pending: &mut PendingSends,
+) -> Result<bool, ExecError> {
+    let mut all_clear = true;
+    for channel in pending.channels() {
+        let Some(p) = pending.take(channel) else {
+            continue;
+        };
+        let ci = program
+            .send_conn_for(p.peer, p.channel)
+            .ok_or(ExecError::MissingPeerConnector { peer: p.peer })?;
+        match table.send(ci).try_send(p.msg) {
+            Ok(()) => {}
+            Err(SendError::Full(msg)) => {
+                pending.stage(PendingSend {
+                    peer: p.peer,
+                    channel: p.channel,
+                    msg,
+                });
+                all_clear = false;
+            }
+        }
+    }
+    Ok(all_clear)
+}
+
+/// Execute instruction `idx` of `program`, assuming [`instr_ready`] was just
+/// observed to be true — the index-dispatch twin of [`execute_ready_step`],
+/// with identical semantics (staged-chunk flushing, defensive readiness
+/// re-check, recv-gated fused primitives that stage their output when the
+/// send connector is full).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_ready_instr(
+    coll_id: u64,
+    program: &CompiledProgram,
+    idx: u32,
+    table: &ConnectorTable,
+    op: Option<ReduceOp>,
+    send_buf: &DeviceBuffer,
+    recv_buf: &DeviceBuffer,
+    pending: &mut PendingSends,
+) -> Result<StepOutcome, ExecError> {
+    // Opportunistic: drain whatever other channels can flush right now.
+    flush_pending_compiled(program, table, pending)?;
+    let instr = *program.instr(idx);
+    if pending.on(instr.channel).is_some() {
+        return Ok(StepOutcome::NotReady);
+    }
+
+    // Re-check readiness defensively; never consume a chunk we cannot
+    // process to completion.
+    if !instr_ready(program, idx, table, pending) {
+        return Ok(StepOutcome::NotReady);
+    }
+
+    let local_buf = match instr.src_buf {
+        SrcBuf::Send => send_buf,
+        SrcBuf::Recv => recv_buf,
+    };
+
+    // Gather the incoming chunk, if the primitive receives.
+    let incoming: Option<Vec<u8>> = if instr.kind.has_recv() {
+        match table.recv(instr.recv_conn).try_recv() {
+            Some(msg) => {
+                if msg.coll_id != coll_id {
+                    return Err(ExecError::CollectiveMismatch {
+                        expected: coll_id,
+                        actual: msg.coll_id,
+                    });
+                }
+                Some(msg.data)
+            }
+            // Lost a race we cannot lose in SPSC usage; treat as not ready.
+            None => return Ok(StepOutcome::NotReady),
+        }
+    } else {
+        None
+    };
+
+    // Compute the data this primitive produces (locally and/or over the wire).
+    let data: Vec<u8> = match instr.kind {
+        PrimitiveKind::Send | PrimitiveKind::Copy => {
+            let src = instr.src.expect("Send/Copy instructions carry a src range");
+            local_buf.read_range(src.off, src.len)
+        }
+        PrimitiveKind::Recv | PrimitiveKind::RecvCopySend => {
+            let data = incoming.expect("receiving instruction consumed a chunk");
+            let expected = instr
+                .dst
+                .expect("Recv/RecvCopySend instructions carry a dst range")
+                .len;
+            if data.len() != expected {
+                return Err(ExecError::PayloadSizeMismatch {
+                    expected,
+                    actual: data.len(),
+                });
+            }
+            data
+        }
+        PrimitiveKind::RecvReduceSend
+        | PrimitiveKind::RecvReduceCopy
+        | PrimitiveKind::RecvReduceCopySend => {
+            let src = instr.src.expect("reducing instructions carry a src range");
+            let mut local = local_buf.read_range(src.off, src.len);
+            let data = incoming.expect("receiving instruction consumed a chunk");
+            if data.len() != local.len() {
+                return Err(ExecError::PayloadSizeMismatch {
+                    expected: local.len(),
+                    actual: data.len(),
+                });
+            }
+            let op = op.ok_or(ExecError::MissingReduceOp)?;
+            reduce_into(&mut local, &data, program.dtype(), op);
+            local
+        }
+    };
+
+    // Local copy into the recv buffer.
+    if instr.kind.has_copy() {
+        let dst = instr.dst.expect("copying instructions carry a dst range");
+        recv_buf.write_range(dst.off, &data);
+    }
+
+    // Publish over the wire, staging the chunk if the connector is full.
+    if instr.kind.has_send() {
+        let msg = ChunkMsg {
+            coll_id,
+            chunk_index: instr.chunk_index,
+            step: instr.step,
+            data,
+        };
+        if let Err(SendError::Full(msg)) = table.send(instr.send_conn).try_send(msg) {
+            pending.stage(PendingSend {
+                peer: instr.send_peer as usize,
+                channel: instr.channel,
+                msg,
+            });
+        }
+    }
+
+    Ok(StepOutcome::Completed)
+}
+
+/// Run a compiled program to completion lane-wise by busy-waiting: every
+/// pass polls each lane's head instruction and executes the ready ones, so a
+/// stalled channel never blocks another lane's progress. The compiled twin
+/// of [`run_plan_blocking`]; used as the execution harness for the
+/// compiled-vs-interpreted bit-exactness tests. Returns `Ok(false)` if
+/// aborted.
+pub fn run_program_blocking(
+    coll_id: u64,
+    program: &CompiledProgram,
+    table: &ConnectorTable,
+    op: Option<ReduceOp>,
+    send_buf: &DeviceBuffer,
+    recv_buf: &DeviceBuffer,
+    should_abort: &dyn Fn() -> bool,
+) -> Result<bool, ExecError> {
+    let mut cursors = vec![0u32; program.lane_count()];
+    let mut pending = PendingSends::default();
+    loop {
+        if should_abort() {
+            return Ok(false);
+        }
+        let mut progressed = false;
+        let mut remaining = false;
+        for (li, lane) in program.lanes().iter().enumerate() {
+            let cur = cursors[li] as usize;
+            if cur >= lane.len() {
+                continue;
+            }
+            remaining = true;
+            let idx = lane.instr_ids()[cur];
+            if !program.instr_eligible(idx, &cursors) || !instr_ready(program, idx, table, &pending)
+            {
+                continue;
+            }
+            match execute_ready_instr(
+                coll_id,
+                program,
+                idx,
+                table,
+                op,
+                send_buf,
+                recv_buf,
+                &mut pending,
+            )? {
+                StepOutcome::Completed => {
+                    cursors[li] += 1;
+                    progressed = true;
+                }
+                StepOutcome::NotReady => {}
+            }
+        }
+        if !remaining {
+            // The last instructions may have staged output chunks; the
+            // program is only complete once every channel's chunk is on the
+            // wire.
+            if flush_pending_compiled(program, table, &mut pending)? {
+                return Ok(true);
+            }
+        }
+        if !progressed {
+            // Busy-wait, but let other ranks' threads run (see
+            // `run_plan_blocking`).
+            std::thread::yield_now();
+        }
+    }
+}
+
 /// Run an entire plan to completion by busy-waiting on every primitive, the
 /// way an NCCL kernel would. `should_abort` is polled while waiting so
 /// deadlocked scenarios can be torn down; returns `Ok(false)` if aborted.
@@ -556,7 +806,7 @@ mod tests {
                 .build_plan(&desc, rank, chunk, &topo)
                 .unwrap();
             let channels = comm
-                .channels(rank, &plan.send_edges(), &plan.recv_edges())
+                .channels(rank, plan.send_edges(), plan.recv_edges())
                 .unwrap();
             joins.push(std::thread::spawn(move || {
                 let send = DeviceBuffer::from_f32(&input);

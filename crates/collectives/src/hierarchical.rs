@@ -339,7 +339,7 @@ mod tests {
                 .unwrap();
             plan.validate(rank, 8).unwrap();
             let mirror = (rank + 4) % 8;
-            for peer in plan.send_peers().into_iter().chain(plan.recv_peers()) {
+            for &peer in plan.send_peers().iter().chain(plan.recv_peers()) {
                 let same_node = peer / 4 == rank / 4;
                 assert!(
                     same_node || peer == mirror,

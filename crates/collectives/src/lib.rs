@@ -37,6 +37,7 @@ pub mod executor;
 pub mod hierarchical;
 pub mod plan;
 pub mod primitive;
+pub mod program;
 pub mod redop;
 pub mod ring;
 pub mod selector;
@@ -49,12 +50,14 @@ pub use collective::{CollectiveDescriptor, CollectiveKind};
 pub use cost::{estimate_completion_ns, CostError};
 pub use datatype::DataType;
 pub use executor::{
-    execute_ready_step, flush_pending, flush_pending_channel, run_plan_blocking, step_ready,
+    execute_ready_instr, execute_ready_step, flush_pending, flush_pending_channel,
+    flush_pending_compiled, instr_ready, run_plan_blocking, run_program_blocking, step_ready,
     validate_buffers, ExecError, PendingSend, PendingSends, StepOutcome,
 };
 pub use hierarchical::HierarchicalAlgorithm;
 pub use plan::{algorithm, Algorithm, AlgorithmKind, Plan};
 pub use primitive::{PrimitiveKind, PrimitiveStep, SrcBuf};
+pub use program::{ByteRange, CachedPlan, CompiledProgram, Instr, Lane, PlanCache, PlanKey};
 pub use redop::ReduceOp;
 pub use ring::{build_plan, build_plan_striped, RingAlgorithm};
 pub use selector::{AlgorithmSelector, DEFAULT_TREE_THRESHOLD_BYTES};

@@ -73,6 +73,53 @@ impl std::fmt::Display for AlgorithmKind {
     }
 }
 
+/// Connectivity derived from a plan's steps, computed once at construction:
+/// the peer sets, the directed `(peer, channel)` edge sets (ascending — the
+/// canonical connector-table order compiled programs index into) and the
+/// channel count. Derived data only; always consistent with `steps` because
+/// [`Plan::new`] is the single construction point.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct PlanEdges {
+    send_peers: Vec<usize>,
+    recv_peers: Vec<usize>,
+    send_edges: Vec<(usize, ChannelId)>,
+    recv_edges: Vec<(usize, ChannelId)>,
+    channel_count: usize,
+}
+
+impl PlanEdges {
+    fn of(steps: &[PrimitiveStep]) -> Self {
+        let mut send_edges: BTreeSet<(usize, ChannelId)> = BTreeSet::new();
+        let mut recv_edges: BTreeSet<(usize, ChannelId)> = BTreeSet::new();
+        let mut channel_count = 1usize;
+        for s in steps {
+            if let Some(p) = s.send_to {
+                send_edges.insert((p, s.channel));
+            }
+            if let Some(p) = s.recv_from {
+                recv_edges.insert((p, s.channel));
+            }
+            channel_count = channel_count.max(s.channel.0 as usize + 1);
+        }
+        // Edge sets iterate in ascending (peer, channel) order, so equal
+        // peers are adjacent and a dedup yields the ascending peer list.
+        let dedup_peers = |edges: &BTreeSet<(usize, ChannelId)>| {
+            let mut peers: Vec<usize> = edges.iter().map(|&(p, _)| p).collect();
+            peers.dedup();
+            peers
+        };
+        let send_peers = dedup_peers(&send_edges);
+        let recv_peers = dedup_peers(&recv_edges);
+        PlanEdges {
+            send_peers,
+            recv_peers,
+            send_edges: send_edges.into_iter().collect(),
+            recv_edges: recv_edges.into_iter().collect(),
+            channel_count,
+        }
+    }
+}
+
 /// A rank's compiled schedule: the primitive sequence plus provenance.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Plan {
@@ -80,12 +127,21 @@ pub struct Plan {
     pub algorithm: AlgorithmKind,
     /// The rank's primitives, in execution order.
     pub steps: Vec<PrimitiveStep>,
+    /// Peer/edge sets derived from `steps` at construction, so the hot
+    /// registration path never recomputes them (each used to allocate a
+    /// fresh `BTreeSet` per call).
+    edges: PlanEdges,
 }
 
 impl Plan {
     /// A plan over `steps` attributed to `algorithm`.
     pub fn new(algorithm: AlgorithmKind, steps: Vec<PrimitiveStep>) -> Self {
-        Plan { algorithm, steps }
+        let edges = PlanEdges::of(&steps);
+        Plan {
+            algorithm,
+            steps,
+            edges,
+        }
     }
 
     /// Number of primitives.
@@ -99,46 +155,31 @@ impl Plan {
     }
 
     /// The distinct ranks this plan sends to, ascending.
-    pub fn send_peers(&self) -> Vec<usize> {
-        let set: BTreeSet<usize> = self.steps.iter().filter_map(|s| s.send_to).collect();
-        set.into_iter().collect()
+    pub fn send_peers(&self) -> &[usize] {
+        &self.edges.send_peers
     }
 
     /// The distinct ranks this plan receives from, ascending.
-    pub fn recv_peers(&self) -> Vec<usize> {
-        let set: BTreeSet<usize> = self.steps.iter().filter_map(|s| s.recv_from).collect();
-        set.into_iter().collect()
+    pub fn recv_peers(&self) -> &[usize] {
+        &self.edges.recv_peers
     }
 
     /// The distinct directed `(peer, channel)` edges this plan sends over,
-    /// ascending — exactly the connectors the transport must materialise.
-    pub fn send_edges(&self) -> Vec<(usize, ChannelId)> {
-        let set: BTreeSet<(usize, ChannelId)> = self
-            .steps
-            .iter()
-            .filter_map(|s| s.send_to.map(|p| (p, s.channel)))
-            .collect();
-        set.into_iter().collect()
+    /// ascending — exactly the connectors the transport must materialise,
+    /// and the canonical send-connector-table order compiled programs use.
+    pub fn send_edges(&self) -> &[(usize, ChannelId)] {
+        &self.edges.send_edges
     }
 
     /// The distinct directed `(peer, channel)` edges this plan receives over,
     /// ascending.
-    pub fn recv_edges(&self) -> Vec<(usize, ChannelId)> {
-        let set: BTreeSet<(usize, ChannelId)> = self
-            .steps
-            .iter()
-            .filter_map(|s| s.recv_from.map(|p| (p, s.channel)))
-            .collect();
-        set.into_iter().collect()
+    pub fn recv_edges(&self) -> &[(usize, ChannelId)] {
+        &self.edges.recv_edges
     }
 
     /// Number of distinct channels this plan stripes across (at least 1).
     pub fn channel_count(&self) -> usize {
-        self.steps
-            .iter()
-            .map(|s| s.channel.0 as usize + 1)
-            .max()
-            .unwrap_or(1)
+        self.edges.channel_count
     }
 
     /// Check structural consistency: every step's peer fields match its kind

@@ -19,7 +19,7 @@ use std::time::Duration;
 
 use dfccl_collectives::{
     validate_buffers, AlgorithmKind, CollectiveDescriptor, CollectiveError, DataType, DeviceBuffer,
-    ReduceOp,
+    PlanCache, ReduceOp,
 };
 use dfccl_transport::{Communicator, CommunicatorPool, LinkModel, Topology, TransportError};
 use gpu_sim::{GpuDevice, GpuId, GpuSpec, MemoryUsage, SyncKind};
@@ -101,6 +101,13 @@ pub struct DfcclDomain {
     devices: HashMap<GpuId, Arc<GpuDevice>>,
     config: DfcclConfig,
     communicators: Mutex<HashMap<u64, Arc<Communicator>>>,
+    /// Memoized plan building + compilation, keyed by collective shape.
+    /// Repeat registrations of an identical shape (per-layer collectives,
+    /// re-registration after teardown) share one `Arc<Plan>` and one
+    /// `Arc<CompiledProgram>` and skip plan construction entirely. Safe to
+    /// scope to the domain because every cache input besides the key —
+    /// topology, chunk granularity — is fixed for the domain's lifetime.
+    plan_cache: PlanCache,
 }
 
 impl DfcclDomain {
@@ -130,6 +137,7 @@ impl DfcclDomain {
             devices,
             config,
             communicators: Mutex::new(HashMap::new()),
+            plan_cache: PlanCache::new(),
         })
     }
 
@@ -167,6 +175,12 @@ impl DfcclDomain {
     /// The device model for `gpu`, if it exists in the topology.
     pub fn device(&self, gpu: GpuId) -> Option<Arc<GpuDevice>> {
         self.devices.get(&gpu).cloned()
+    }
+
+    /// The domain's plan cache (hit/miss counters are exposed for tests and
+    /// the registration benchmarks).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
     }
 
     /// Get (or create) the communicator backing collective `coll_id` over
@@ -304,25 +318,33 @@ impl RankCtx {
             },
         )?;
         // Select the algorithm (payload/topology policy, overridable per
-        // collective and globally), compile the rank's plan, and materialise
-        // exactly the connectors the plan addresses out of the mesh.
+        // collective and globally), build + validate + compile the rank's
+        // plan — all through the domain's plan cache, so a repeat
+        // registration of an identical shape reuses the shared plan and
+        // program without building anything — then materialise exactly the
+        // connectors the plan addresses out of the mesh and bind the
+        // program's connector indices to them.
         let selector = self.domain.config.algorithm_selector();
-        let plan = selector.build_plan(
+        let cached = self.domain.plan_cache.get_or_compile(
+            &selector,
             &desc,
             rank,
             self.domain.config.chunk_elems,
             self.domain.topology(),
         )?;
-        plan.validate(rank, desc.num_ranks())?;
         let communicator = self.domain.communicator_for(coll_id, &desc.devices)?;
-        let channels = communicator.channels(rank, &plan.send_edges(), &plan.recv_edges())?;
+        let channels =
+            communicator.channels(rank, cached.plan.send_edges(), cached.plan.recv_edges())?;
+        let table = cached.program.bind(&channels)?;
         let reg = Arc::new(RegisteredCollective {
             coll_id,
             desc,
             rank,
             communicator,
             channels,
-            plan,
+            plan: cached.plan,
+            program: cached.program,
+            table,
         });
         self.shared.registered.write().insert(coll_id, reg);
         // Invalidate the daemon's lock-free registry cache.

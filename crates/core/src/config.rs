@@ -240,6 +240,12 @@ pub struct DfcclConfig {
     pub context_save_ns: f64,
     /// Number of active context slots kept in shared memory (direct-mapped).
     pub active_context_slots: usize,
+    /// Whether the daemon executes registered collectives through their
+    /// compiled programs (flat per-channel instruction lanes with
+    /// pre-resolved connector indices — the default) or by interpreting the
+    /// plan IR step by step (the legacy path, kept as the baseline arm of
+    /// the dispatch-cost benchmarks and as a differential-testing oracle).
+    pub compiled_dispatch: bool,
 }
 
 impl Default for DfcclConfig {
@@ -267,6 +273,7 @@ impl Default for DfcclConfig {
             context_load_ns: 450.0,
             context_save_ns: 50.0,
             active_context_slots: 8,
+            compiled_dispatch: true,
         }
     }
 }
@@ -301,6 +308,14 @@ impl DfcclConfig {
     pub fn unbatched(mut self) -> Self {
         self.sq_fetch_batch = 1;
         self.cq_write_batch = 1;
+        self
+    }
+
+    /// Interpret the plan IR step by step instead of executing the compiled
+    /// per-channel program — the legacy dispatch, kept as the baseline arm
+    /// of the dispatch-cost benchmarks and as a differential-testing oracle.
+    pub fn interpreted(mut self) -> Self {
+        self.compiled_dispatch = false;
         self
     }
 

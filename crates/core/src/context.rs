@@ -24,8 +24,18 @@ use parking_lot::Mutex;
 /// Dynamic context of one invocation of a collective.
 #[derive(Debug, Clone)]
 pub struct DynamicContext {
-    /// Index of the next primitive of the plan to execute.
+    /// Number of primitives completed so far. Under interpreted dispatch
+    /// this doubles as the index of the next primitive of the plan to
+    /// execute; under compiled dispatch the per-lane positions live in
+    /// `lane_cursors` and this is their sum.
     pub next_step: usize,
+    /// Per-lane cursors of the compiled program: `lane_cursors[l]` is the
+    /// position of the next instruction to execute on lane `l`. Sized
+    /// lazily on first schedule (the daemon knows the program, the invoker
+    /// does not) and saved/restored across preemptions alongside the
+    /// per-channel `PendingSend`s, so a resumed collective continues every
+    /// lane exactly where it stalled.
+    pub lane_cursors: Vec<u32>,
     /// Chunks staged by fused primitives while their send connectors were
     /// full, one slot per channel; a channel's slot must be flushed before
     /// the next primitive on that channel (or completion). Survives
@@ -47,11 +57,21 @@ impl DynamicContext {
     pub fn new(run_seq: u64, send: DeviceBuffer, recv: DeviceBuffer) -> Self {
         DynamicContext {
             next_step: 0,
+            lane_cursors: Vec::new(),
             pending_sends: PendingSends::default(),
             run_seq,
             send,
             recv,
             progressed_since_save: false,
+        }
+    }
+
+    /// Size the lane cursors for a program with `lanes` lanes. A fresh
+    /// context starts every lane at 0; a context restored from a preemption
+    /// already carries its positions and is left untouched.
+    pub fn ensure_lanes(&mut self, lanes: usize) {
+        if self.lane_cursors.len() != lanes {
+            self.lane_cursors = vec![0; lanes];
         }
     }
 }
@@ -210,6 +230,26 @@ mod tests {
         assert_eq!(c.run_seq, 0, "preempted invocation stays in front");
         assert_eq!(c.next_step, 5);
         assert!(!c.progressed_since_save, "flag reset after save");
+    }
+
+    #[test]
+    fn lane_cursors_survive_checkin_and_resize_only_when_stale() {
+        let s = store();
+        s.enqueue_invocation(1, ctx(0));
+        let (mut c, _) = s.checkout_current(1).unwrap();
+        c.ensure_lanes(3);
+        assert_eq!(c.lane_cursors, vec![0, 0, 0]);
+        c.lane_cursors = vec![2, 0, 5];
+        c.progressed_since_save = true;
+        s.checkin_incomplete(1, c);
+        let (mut c, _) = s.checkout_current(1).unwrap();
+        assert_eq!(c.lane_cursors, vec![2, 0, 5], "cursors restored verbatim");
+        // Re-ensuring the same lane count must not reset progress.
+        c.ensure_lanes(3);
+        assert_eq!(c.lane_cursors, vec![2, 0, 5]);
+        // A different program shape resizes from scratch.
+        c.ensure_lanes(2);
+        assert_eq!(c.lane_cursors, vec![0, 0]);
     }
 
     #[test]

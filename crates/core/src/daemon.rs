@@ -45,9 +45,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dfccl_collectives::{
-    execute_ready_step, flush_pending, step_ready, CollectiveDescriptor, Plan, StepOutcome,
+    execute_ready_instr, execute_ready_step, flush_pending, flush_pending_compiled, instr_ready,
+    step_ready, CollectiveDescriptor, CompiledProgram, Plan, StepOutcome,
 };
-use dfccl_transport::{Communicator, RankChannels};
+use dfccl_transport::{Communicator, ConnectorTable, RankChannels};
 use gpu_sim::{GpuDevice, GpuId};
 use parking_lot::{Mutex, RwLock};
 
@@ -71,10 +72,17 @@ pub struct RegisteredCollective {
     pub rank: usize,
     /// The communicator backing the collective.
     pub communicator: Arc<Communicator>,
-    /// This rank's connectors.
+    /// This rank's connectors, keyed by `(peer, channel)` — the interpreted
+    /// dispatch path and diagnostics address connectors through this map.
     pub channels: RankChannels,
-    /// This rank's compiled schedule (primitive sequence + algorithm).
-    pub plan: Plan,
+    /// This rank's schedule in plan-IR form (shared with the plan cache).
+    pub plan: Arc<Plan>,
+    /// The plan lowered into its flat per-channel program (shared with the
+    /// plan cache): dense instructions with pre-resolved connector indices.
+    pub program: Arc<CompiledProgram>,
+    /// The program's connector indices bound to this registration's actual
+    /// connectors — what the compiled hot loop dereferences per poll.
+    pub table: ConnectorTable,
 }
 
 /// State shared between the API layer, the poller thread and the daemon-kernel
@@ -352,6 +360,262 @@ fn flush_completions(shared: &Arc<DaemonShared>, batch: &mut Vec<Cqe>) {
     shared.notify_poller();
 }
 
+/// Outcome of one scheduling slice (the time a collective holds the daemon
+/// between being scheduled and completing, failing or being preempted).
+struct SliceRun {
+    /// The collective was preempted (spin threshold exhausted mid-plan).
+    preempted: bool,
+    /// The collective failed with a protocol error.
+    failed: Option<String>,
+    /// The slice published data or completed primitives (drives the idle
+    /// accounting of the pass).
+    progressed: bool,
+    /// The spin threshold after adaptive raises, to persist in the task
+    /// queue for the collective's next slice.
+    threshold: u64,
+}
+
+/// Execute one slice of `reg` by interpreting the plan IR step by step — the
+/// legacy dispatch (`DfcclConfig::compiled_dispatch == false`): one global
+/// step cursor, per-poll `BTreeMap` connector lookups, and two-phase
+/// blocking per primitive. Kept as the baseline arm of the dispatch-cost
+/// benchmarks and as a differential-testing oracle for the compiled path.
+fn run_interpreted_slice(
+    shared: &Arc<DaemonShared>,
+    reg: &RegisteredCollective,
+    ctx: &mut DynamicContext,
+    spin: crate::config::SpinPolicy,
+    mut threshold: u64,
+) -> SliceRun {
+    let coll_id = reg.coll_id;
+    let mut progressed = false;
+    let mut preempted = false;
+    let mut failed: Option<String> = None;
+
+    while ctx.next_step < reg.plan.len() {
+        let step = &reg.plan.steps[ctx.next_step];
+        // Two-phase blocking: poll the connector conditions up to the
+        // spin threshold, then either execute or abort the primitive.
+        // A chunk staged by the previous fused primitive makes the
+        // condition "its connector drained"; the executor flushes it
+        // before running the step.
+        let mut polls: u64 = 0;
+        let ready = loop {
+            if step_ready(step, &reg.channels, &ctx.pending_sends) {
+                break true;
+            }
+            polls += 1;
+            if polls >= threshold {
+                break false;
+            }
+            std::hint::spin_loop();
+        };
+        if !ready {
+            preempted = true;
+            break;
+        }
+        let staged_before = ctx.pending_sends.len();
+        let exec_start = Instant::now();
+        match execute_ready_step(
+            coll_id,
+            step,
+            &reg.channels,
+            reg.desc.dtype,
+            reg.desc.op,
+            &ctx.send,
+            &ctx.recv,
+            &mut ctx.pending_sends,
+        ) {
+            Ok(StepOutcome::Completed) => {
+                shared.stats.record_primitive(exec_start.elapsed());
+                ctx.next_step += 1;
+                ctx.progressed_since_save = true;
+                progressed = true;
+                // Adaptive stickiness: a successful primitive raises the
+                // threshold of its successors (decentralized dynamic
+                // gang-scheduling).
+                threshold = spin.on_success(threshold);
+            }
+            Ok(StepOutcome::NotReady) => {
+                // The executor may have flushed staged chunks (on any
+                // channel) and only then found the step's own conditions
+                // unmet: those flushes published data, so the pass made
+                // progress even though this collective is preempted.
+                if ctx.pending_sends.len() < staged_before {
+                    progressed = true;
+                }
+                preempted = true;
+                break;
+            }
+            Err(e) => {
+                failed = Some(e.to_string());
+                break;
+            }
+        }
+    }
+
+    // The last primitives may have staged output chunks (one per channel);
+    // the collective is only complete once every one is on the wire.
+    if failed.is_none() && !preempted && !ctx.pending_sends.is_empty() {
+        let mut polls: u64 = 0;
+        loop {
+            let staged_before = ctx.pending_sends.len();
+            match flush_pending(&reg.channels, &mut ctx.pending_sends) {
+                Ok(true) => {
+                    progressed = true;
+                    break;
+                }
+                Ok(false) => {
+                    // A partial flush (some channels drained, others still
+                    // full) published data: that is progress even if the
+                    // collective ends up preempted here.
+                    if ctx.pending_sends.len() < staged_before {
+                        progressed = true;
+                    }
+                    polls += 1;
+                    if polls >= threshold {
+                        preempted = true;
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                Err(e) => {
+                    failed = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+    }
+
+    SliceRun {
+        preempted,
+        failed,
+        progressed,
+        threshold,
+    }
+}
+
+/// Execute one slice of `reg` through its compiled program: every pass polls
+/// each lane's head instruction (pure index dispatch into the bound
+/// connector table — no map lookups) and executes the ready ones, so a
+/// stalled channel never head-of-line-blocks a ready one. Two-phase blocking
+/// applies to the slice as a whole: a full pass over the lanes with no
+/// progress counts as one poll, and the collective is preempted once the
+/// spin threshold of fruitless passes is exhausted — with `K = 1` this
+/// degenerates to the interpreted path's per-primitive polling.
+fn run_compiled_slice(
+    shared: &Arc<DaemonShared>,
+    reg: &RegisteredCollective,
+    ctx: &mut DynamicContext,
+    spin: crate::config::SpinPolicy,
+    mut threshold: u64,
+) -> SliceRun {
+    let coll_id = reg.coll_id;
+    let program = reg.program.as_ref();
+    ctx.ensure_lanes(program.lane_count());
+    let mut progressed = false;
+    let mut polls: u64 = 0;
+    loop {
+        let mut advanced = false;
+        let mut remaining = false;
+        for (li, lane) in program.lanes().iter().enumerate() {
+            let cur = ctx.lane_cursors[li] as usize;
+            if cur >= lane.len() {
+                continue;
+            }
+            remaining = true;
+            let idx = lane.instr_ids()[cur];
+            // Phase barrier first (cross-phase local-buffer dependencies may
+            // cross lanes), then the connector conditions.
+            if !program.instr_eligible(idx, &ctx.lane_cursors)
+                || !instr_ready(program, idx, &reg.table, &ctx.pending_sends)
+            {
+                continue;
+            }
+            let staged_before = ctx.pending_sends.len();
+            let exec_start = Instant::now();
+            match execute_ready_instr(
+                coll_id,
+                program,
+                idx,
+                &reg.table,
+                reg.desc.op,
+                &ctx.send,
+                &ctx.recv,
+                &mut ctx.pending_sends,
+            ) {
+                Ok(StepOutcome::Completed) => {
+                    shared.stats.record_primitive(exec_start.elapsed());
+                    ctx.lane_cursors[li] += 1;
+                    ctx.next_step += 1;
+                    ctx.progressed_since_save = true;
+                    advanced = true;
+                    // Adaptive stickiness, as in the interpreted path.
+                    threshold = spin.on_success(threshold);
+                }
+                Ok(StepOutcome::NotReady) => {
+                    // The executor may still have flushed staged chunks on
+                    // other channels — published data is progress.
+                    if ctx.pending_sends.len() < staged_before {
+                        advanced = true;
+                    }
+                }
+                Err(e) => {
+                    return SliceRun {
+                        preempted: false,
+                        failed: Some(e.to_string()),
+                        progressed,
+                        threshold,
+                    };
+                }
+            }
+        }
+        if !remaining {
+            // Every lane is done; the collective completes once the staged
+            // chunks (at most one per channel) are on the wire.
+            let staged_before = ctx.pending_sends.len();
+            match flush_pending_compiled(program, &reg.table, &mut ctx.pending_sends) {
+                Ok(true) => {
+                    return SliceRun {
+                        preempted: false,
+                        failed: None,
+                        progressed: true,
+                        threshold,
+                    };
+                }
+                Ok(false) => {
+                    if ctx.pending_sends.len() < staged_before {
+                        advanced = true;
+                    }
+                }
+                Err(e) => {
+                    return SliceRun {
+                        preempted: false,
+                        failed: Some(e.to_string()),
+                        progressed,
+                        threshold,
+                    };
+                }
+            }
+        }
+        if advanced {
+            progressed = true;
+            polls = 0;
+            continue;
+        }
+        polls += 1;
+        if polls >= threshold {
+            return SliceRun {
+                preempted: true,
+                failed: None,
+                progressed,
+                threshold,
+            };
+        }
+        std::hint::spin_loop();
+    }
+}
+
 /// Body of one daemon-kernel incarnation (Algorithm 1).
 fn run_daemon(shared: Arc<DaemonShared>) {
     shared.stats.record_daemon_start();
@@ -475,112 +739,21 @@ fn run_daemon(shared: Arc<DaemonShared>) {
                 shared.stats.record_preparing(prep_start.elapsed());
             }
 
-            let mut threshold = task_queue
+            let threshold = task_queue
                 .entry_mut(coll_id)
                 .map(|e| e.spin_threshold)
                 .unwrap_or_else(|| spin.initial_threshold(0));
-            let mut preempted = false;
-            let mut failed: Option<String> = None;
-
-            while ctx.next_step < reg.plan.len() {
-                let step = &reg.plan.steps[ctx.next_step];
-                // Two-phase blocking: poll the connector conditions up to the
-                // spin threshold, then either execute or abort the primitive.
-                // A chunk staged by the previous fused primitive makes the
-                // condition "its connector drained"; the executor flushes it
-                // before running the step.
-                let mut polls: u64 = 0;
-                let ready = loop {
-                    if step_ready(step, &reg.channels, &ctx.pending_sends) {
-                        break true;
-                    }
-                    polls += 1;
-                    if polls >= threshold {
-                        break false;
-                    }
-                    std::hint::spin_loop();
-                };
-                if !ready {
-                    preempted = true;
-                    break;
-                }
-                let staged_before = ctx.pending_sends.len();
-                let exec_start = Instant::now();
-                match execute_ready_step(
-                    coll_id,
-                    step,
-                    &reg.channels,
-                    reg.desc.dtype,
-                    reg.desc.op,
-                    &ctx.send,
-                    &ctx.recv,
-                    &mut ctx.pending_sends,
-                ) {
-                    Ok(StepOutcome::Completed) => {
-                        shared.stats.record_primitive(exec_start.elapsed());
-                        ctx.next_step += 1;
-                        ctx.progressed_since_save = true;
-                        progressed_any = true;
-                        // Adaptive stickiness: a successful primitive raises the
-                        // threshold of its successors (decentralized dynamic
-                        // gang-scheduling).
-                        threshold = spin.on_success(threshold);
-                        if let Some(entry) = task_queue.entry_mut(coll_id) {
-                            entry.spin_threshold = threshold;
-                        }
-                    }
-                    Ok(StepOutcome::NotReady) => {
-                        // The executor may have flushed staged chunks (on any
-                        // channel) and only then found the step's own
-                        // conditions unmet: those flushes published data, so
-                        // the pass made progress even though this collective
-                        // is preempted.
-                        if ctx.pending_sends.len() < staged_before {
-                            progressed_any = true;
-                        }
-                        preempted = true;
-                        break;
-                    }
-                    Err(e) => {
-                        failed = Some(e.to_string());
-                        break;
-                    }
-                }
+            let slice = if shared.config.compiled_dispatch {
+                run_compiled_slice(&shared, &reg, &mut ctx, spin, threshold)
+            } else {
+                run_interpreted_slice(&shared, &reg, &mut ctx, spin, threshold)
+            };
+            progressed_any |= slice.progressed;
+            // Persist the adaptively raised threshold for the next slice.
+            if let Some(entry) = task_queue.entry_mut(coll_id) {
+                entry.spin_threshold = slice.threshold;
             }
-
-            // The last primitives may have staged output chunks (one per
-            // channel); the collective is only complete once every one is on
-            // the wire.
-            if failed.is_none() && !preempted && !ctx.pending_sends.is_empty() {
-                let mut polls: u64 = 0;
-                loop {
-                    let staged_before = ctx.pending_sends.len();
-                    match flush_pending(&reg.channels, &mut ctx.pending_sends) {
-                        Ok(true) => {
-                            progressed_any = true;
-                            break;
-                        }
-                        Ok(false) => {
-                            // A partial flush (some channels drained, others
-                            // still full) published data: that is progress
-                            // even if the collective ends up preempted here.
-                            if ctx.pending_sends.len() < staged_before {
-                                progressed_any = true;
-                            }
-                            polls += 1;
-                            if polls >= threshold {
-                                preempted = true;
-                                break;
-                            }
-                            std::hint::spin_loop();
-                        }
-                        Err(e) => {
-                            failed = Some(e.to_string());
-                            break;
-                        }
-                    }
-                }
-            }
+            let (preempted, failed) = (slice.preempted, slice.failed);
 
             if let Some(reason) = failed {
                 shared.errors.lock().insert(coll_id, reason);

@@ -122,6 +122,68 @@ impl RankChannels {
     pub fn recv_edges(&self) -> impl Iterator<Item = (usize, ChannelId)> + '_ {
         self.recvs.keys().copied()
     }
+
+    /// Dense, index-addressable view of these channels for the given edge
+    /// lists: position `i` of the returned table's send (recv) side is the
+    /// connector of `send_edges[i]` (`recv_edges[i]`). A compiled program
+    /// resolves its per-instruction connector *indices* against exactly this
+    /// layout, so the executor's hot loop never touches the `BTreeMap`s.
+    /// Errors if an edge was not materialised for these channels.
+    pub fn dense_view(
+        &self,
+        send_edges: &[(usize, ChannelId)],
+        recv_edges: &[(usize, ChannelId)],
+    ) -> Result<ConnectorTable, TransportError> {
+        let mut sends = Vec::with_capacity(send_edges.len());
+        for &(peer, channel) in send_edges {
+            let conn = self
+                .send_on(peer, channel)
+                .ok_or(TransportError::MissingEdge { peer, channel })?;
+            sends.push(Arc::clone(conn));
+        }
+        let mut recvs = Vec::with_capacity(recv_edges.len());
+        for &(peer, channel) in recv_edges {
+            let conn = self
+                .recv_on(peer, channel)
+                .ok_or(TransportError::MissingEdge { peer, channel })?;
+            recvs.push(Arc::clone(conn));
+        }
+        Ok(ConnectorTable { sends, recvs })
+    }
+}
+
+/// A flat, index-addressed connector table — the bound form of a compiled
+/// program's connector references. Built once per registration from
+/// [`RankChannels::dense_view`]; the daemon's poll loop dereferences plain
+/// vector indices instead of doing per-poll map lookups.
+#[derive(Debug, Clone)]
+pub struct ConnectorTable {
+    sends: Vec<Arc<Connector>>,
+    recvs: Vec<Arc<Connector>>,
+}
+
+impl ConnectorTable {
+    /// The send connector at table index `idx`.
+    #[inline]
+    pub fn send(&self, idx: u32) -> &Connector {
+        &self.sends[idx as usize]
+    }
+
+    /// The recv connector at table index `idx`.
+    #[inline]
+    pub fn recv(&self, idx: u32) -> &Connector {
+        &self.recvs[idx as usize]
+    }
+
+    /// Number of send connectors.
+    pub fn send_len(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// Number of recv connectors.
+    pub fn recv_len(&self) -> usize {
+        self.recvs.len()
+    }
 }
 
 /// A peer-addressed communicator over an ordered set of GPUs. Connectors are
@@ -129,7 +191,9 @@ impl RankChannels {
 /// actually uses.
 pub struct Communicator {
     id: CommunicatorId,
-    devices: Vec<GpuId>,
+    /// Ordered device set, shared with the pool's free-list key so recycling
+    /// a communicator never re-clones the device vector.
+    devices: Arc<[GpuId]>,
     topology: Arc<Topology>,
     link_model: Arc<LinkModel>,
     connector_capacity: usize,
@@ -168,7 +232,7 @@ impl Communicator {
         }
         Ok(Arc::new(Communicator {
             id,
-            devices,
+            devices: devices.into(),
             topology: Arc::clone(topology),
             link_model: Arc::clone(link_model),
             connector_capacity,
@@ -335,8 +399,14 @@ pub struct CommunicatorPool {
     connector_capacity: usize,
     next_id: AtomicU64,
     created: AtomicU64,
-    free: Mutex<HashMap<Vec<GpuId>, Vec<Arc<Communicator>>>>,
+    /// Idle communicators keyed by their shared device-set handle. Lookups
+    /// borrow the caller's `&[GpuId]` and releases clone the communicator's
+    /// own `Arc<[GpuId]>` — no device vector is ever copied on the pool path.
+    free: Mutex<FreeList>,
 }
+
+/// The pool's idle communicators per device set.
+type FreeList = HashMap<Arc<[GpuId]>, Vec<Arc<Communicator>>>;
 
 impl CommunicatorPool {
     /// Create a pool over a topology and link model. `connector_capacity` is
@@ -397,7 +467,7 @@ impl CommunicatorPool {
     /// Return a communicator to the pool for reuse by a later registration
     /// over the same device set.
     pub fn release(&self, comm: Arc<Communicator>) {
-        let key = comm.devices().to_vec();
+        let key = Arc::clone(&comm.devices);
         self.free.lock().entry(key).or_default().push(comm);
     }
 
@@ -556,6 +626,41 @@ mod tests {
             ch0.send_on(1, ChannelId(0)).unwrap()
         ));
         assert_eq!(comm.transferred_chunks(), 3);
+    }
+
+    #[test]
+    fn dense_view_indexes_connectors_in_edge_list_order() {
+        let topo = flat(4);
+        let model = Arc::new(LinkModel::zero_cost());
+        let comm =
+            Communicator::new(CommunicatorId(0), gpus(&[0, 1, 2, 3]), &topo, &model, 4).unwrap();
+        let c0 = ChannelId(0);
+        let c1 = ChannelId(1);
+        let send_edges = [(1usize, c0), (1, c1), (3, c0)];
+        let recv_edges = [(2usize, c0)];
+        let ch = comm.channels(0, &send_edges, &recv_edges).unwrap();
+        let table = ch.dense_view(&send_edges, &recv_edges).unwrap();
+        assert_eq!(table.send_len(), 3);
+        assert_eq!(table.recv_len(), 1);
+        // Table position i is exactly send_edges[i]'s connector.
+        for (i, &(p, c)) in send_edges.iter().enumerate() {
+            assert!(
+                std::ptr::eq(table.send(i as u32), ch.send_on(p, c).unwrap().as_ref()),
+                "send index {i} must alias edge ({p}, {c})"
+            );
+        }
+        assert!(std::ptr::eq(
+            table.recv(0),
+            ch.recv_on(2, c0).unwrap().as_ref()
+        ));
+        // An edge the channels were not built for is a hard error.
+        assert_eq!(
+            ch.dense_view(&[(2, c0)], &[]).unwrap_err(),
+            crate::TransportError::MissingEdge {
+                peer: 2,
+                channel: c0
+            }
+        );
     }
 
     #[test]

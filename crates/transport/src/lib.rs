@@ -22,7 +22,9 @@ pub mod connector;
 pub mod linkmodel;
 pub mod topology;
 
-pub use communicator::{ChannelId, Communicator, CommunicatorId, CommunicatorPool, RankChannels};
+pub use communicator::{
+    ChannelId, Communicator, CommunicatorId, CommunicatorPool, ConnectorTable, RankChannels,
+};
 pub use connector::{ChunkMsg, Connector, ConnectorStats, SendError};
 pub use linkmodel::{LinkModel, LinkParams};
 pub use topology::{LinkClass, MachineSpec, Topology};
@@ -39,6 +41,14 @@ pub enum TransportError {
     /// A connector was requested from a rank to itself; local traffic never
     /// crosses a connector.
     SelfLoop { rank: usize },
+    /// A dense connector-table view named a `(peer, channel)` edge the
+    /// channels were not built for.
+    MissingEdge {
+        /// The peer rank of the missing edge.
+        peer: usize,
+        /// The channel of the missing edge.
+        channel: communicator::ChannelId,
+    },
 }
 
 impl std::fmt::Display for TransportError {
@@ -56,6 +66,12 @@ impl std::fmt::Display for TransportError {
             }
             TransportError::SelfLoop { rank } => {
                 write!(f, "rank {rank} requested a connector to itself")
+            }
+            TransportError::MissingEdge { peer, channel } => {
+                write!(
+                    f,
+                    "channels were not built for the edge to rank {peer} on {channel}"
+                )
             }
         }
     }

@@ -51,7 +51,7 @@ fn run_striped(
             .unwrap();
         plan.validate(rank, n).unwrap();
         let channels = comm
-            .channels(rank, &plan.send_edges(), &plan.recv_edges())
+            .channels(rank, plan.send_edges(), plan.recv_edges())
             .unwrap();
         joins.push(std::thread::spawn(move || {
             let send = DeviceBuffer::from_f32(&input);

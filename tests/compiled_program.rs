@@ -1,0 +1,391 @@
+//! The compilation layer's integration contract: compiled per-channel
+//! programs execute bit-identically to the interpreted plan IR across every
+//! algorithm family × collective kind × rank count × channel count, a
+//! stalled lane never blocks a ready one, lane cursors survive preemption
+//! storms, and the plan cache serves repeat registrations end to end.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dfccl_collectives::{
+    algorithm, execute_ready_instr, instr_ready, run_plan_blocking, run_program_blocking,
+    AlgorithmKind, CollectiveDescriptor, CollectiveKind, CompiledProgram, DataType, DeviceBuffer,
+    PendingSends, ReduceOp, StepOutcome,
+};
+use dfccl_transport::{ChannelId, Communicator, CommunicatorId, LinkModel, Topology};
+use gpu_sim::GpuId;
+
+fn gpus(n: usize) -> Vec<GpuId> {
+    (0..n).map(GpuId).collect()
+}
+
+fn descriptor_for(kind: CollectiveKind, count: usize, n: usize) -> CollectiveDescriptor {
+    match kind {
+        CollectiveKind::AllReduce => {
+            CollectiveDescriptor::all_reduce(count, DataType::F32, ReduceOp::Sum, gpus(n))
+        }
+        CollectiveKind::AllGather => {
+            CollectiveDescriptor::all_gather(count, DataType::F32, gpus(n))
+        }
+        CollectiveKind::ReduceScatter => {
+            CollectiveDescriptor::reduce_scatter(count, DataType::F32, ReduceOp::Sum, gpus(n))
+        }
+        CollectiveKind::Reduce => {
+            CollectiveDescriptor::reduce(count, DataType::F32, ReduceOp::Sum, n - 1, gpus(n))
+        }
+        CollectiveKind::Broadcast => {
+            CollectiveDescriptor::broadcast(count, DataType::F32, n - 1, gpus(n))
+        }
+        CollectiveKind::AllToAll => CollectiveDescriptor::all_to_all(count, DataType::F32, gpus(n)),
+        CollectiveKind::SendRecv => {
+            CollectiveDescriptor::send_recv(count, DataType::F32, GpuId(0), GpuId(1))
+        }
+    }
+}
+
+/// Integer-valued inputs: every reduction association is exact in f32, so
+/// results must be bit-identical across execution paths.
+fn inputs_for(desc: &CollectiveDescriptor) -> Vec<Vec<f32>> {
+    (0..desc.num_ranks())
+        .map(|r| {
+            (0..desc.send_elems(r))
+                .map(|i| ((r * 31 + i * 7) % 101) as f32)
+                .collect()
+        })
+        .collect()
+}
+
+/// Run `desc` with `algo`, one thread per rank, either interpreting each
+/// rank's plan (`compiled = false`, the oracle) or executing its compiled
+/// program lane-wise (`compiled = true`). Connector capacity 1, so any
+/// per-lane ordering or pairing mistake wedges immediately.
+#[allow(clippy::too_many_arguments)]
+fn run_all_ranks(
+    desc: &CollectiveDescriptor,
+    algo: AlgorithmKind,
+    topo: &Topology,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    channels: usize,
+    compiled: bool,
+) -> Vec<Vec<f32>> {
+    let n = desc.num_ranks();
+    let topo_arc = Arc::new(topo.clone());
+    let comm = Communicator::new(
+        CommunicatorId(0),
+        desc.devices.clone(),
+        &topo_arc,
+        &Arc::new(LinkModel::zero_cost()),
+        1,
+    )
+    .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut joins = Vec::new();
+    for (rank, input) in inputs.iter().enumerate() {
+        let desc = desc.clone();
+        let input = input.clone();
+        let plan = algorithm(algo)
+            .build_plan_striped(&desc, rank, chunk_elems, channels, topo)
+            .unwrap();
+        plan.validate(rank, n).unwrap();
+        let rank_channels = comm
+            .channels(rank, plan.send_edges(), plan.recv_edges())
+            .unwrap();
+        joins.push(std::thread::spawn(move || {
+            let send = DeviceBuffer::from_f32(&input);
+            let recv = DeviceBuffer::zeroed(desc.recv_bytes(rank).max(4));
+            let done = if compiled {
+                let program = CompiledProgram::compile(&plan, desc.dtype);
+                let table = program.bind(&rank_channels).unwrap();
+                run_program_blocking(7, &program, &table, desc.op, &send, &recv, &|| {
+                    Instant::now() > deadline
+                })
+                .unwrap()
+            } else {
+                run_plan_blocking(
+                    7,
+                    &plan.steps,
+                    &rank_channels,
+                    desc.dtype,
+                    desc.op,
+                    &send,
+                    &recv,
+                    &|| Instant::now() > deadline,
+                )
+                .unwrap()
+            };
+            assert!(done, "rank {rank} hit the deadlock deadline");
+            recv.to_f32_vec()
+        }));
+    }
+    joins.into_iter().map(|j| j.join().unwrap()).collect()
+}
+
+/// The multi-node splits of `n` the hierarchical algorithm can run on.
+fn hierarchical_splits(n: usize) -> Vec<Topology> {
+    (2..=n)
+        .filter(|d| n.is_multiple_of(*d))
+        .map(|d| Topology::uniform_cluster(d, n / d))
+        .collect()
+}
+
+#[test]
+fn compiled_execution_is_bit_identical_to_interpreted_for_every_family() {
+    // The tentpole's property test: every algorithm family × collective kind
+    // × rank count 2–8 × channel count K ∈ {1, 2, 3} completes through the
+    // compiled per-channel lanes at connector capacity 1 and produces
+    // results bit-identical to the interpreted plan execution. The chunk
+    // size (3) is far below the per-slice element counts, so every schedule
+    // genuinely stripes across all K channels, and capacity 1 means any
+    // lane-ordering mistake wedges rather than merely slowing down.
+    let count = 17; // odd: uneven slices, partial chunks
+    let chunk_elems = 3;
+    for n in 2..=8usize {
+        let mut jobs: Vec<(CollectiveKind, AlgorithmKind, Topology)> = Vec::new();
+        for kind in CollectiveKind::ALL {
+            let algo = match kind {
+                CollectiveKind::AllToAll | CollectiveKind::SendRecv => AlgorithmKind::Pairwise,
+                _ => AlgorithmKind::Ring,
+            };
+            let ranks = if kind == CollectiveKind::SendRecv {
+                2
+            } else {
+                n
+            };
+            jobs.push((kind, algo, Topology::flat(ranks)));
+        }
+        for kind in [CollectiveKind::AllReduce, CollectiveKind::Broadcast] {
+            jobs.push((kind, AlgorithmKind::DoubleBinaryTree, Topology::flat(n)));
+        }
+        for topo in hierarchical_splits(n) {
+            jobs.push((CollectiveKind::AllReduce, AlgorithmKind::Hierarchical, topo));
+        }
+        for (kind, algo, topo) in jobs {
+            let ranks = if kind == CollectiveKind::SendRecv {
+                2
+            } else {
+                n
+            };
+            let desc = descriptor_for(kind, count, ranks);
+            let inputs = inputs_for(&desc);
+            for k in [1usize, 2, 3] {
+                let oracle = run_all_ranks(&desc, algo, &topo, &inputs, chunk_elems, k, false);
+                let compiled = run_all_ranks(&desc, algo, &topo, &inputs, chunk_elems, k, true);
+                assert_eq!(
+                    compiled, oracle,
+                    "{algo} {kind} n={n} K={k}: compiled diverges from interpreted"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn a_stalled_lane_never_blocks_ready_lanes() {
+    // Single-threaded lane scheduling: rank 0's striped sender program over
+    // 1-slot connectors, with the peer draining only channels 1 and 2. The
+    // channel-0 lane stalls after its first send fills the connector; the
+    // other lanes must drain to completion regardless — the head-of-line
+    // independence a single global step cursor cannot provide.
+    let n = 2;
+    let count = 12; // chunk 1 × K=3 → 4 sends per lane
+    let desc = descriptor_for(CollectiveKind::SendRecv, count, n);
+    let topo = Topology::flat(n);
+    let plan = algorithm(AlgorithmKind::Pairwise)
+        .build_plan_striped(&desc, 0, 1, 3, &topo)
+        .unwrap();
+    plan.validate(0, n).unwrap();
+    let comm = Communicator::new(
+        CommunicatorId(0),
+        desc.devices.clone(),
+        &Arc::new(topo),
+        &Arc::new(LinkModel::zero_cost()),
+        1,
+    )
+    .unwrap();
+    let channels0 = comm
+        .channels(0, plan.send_edges(), plan.recv_edges())
+        .unwrap();
+    let program = CompiledProgram::compile(&plan, desc.dtype);
+    let table = program.bind(&channels0).unwrap();
+    assert_eq!(program.lane_count(), 3, "the sender stripes over 3 lanes");
+
+    let recv_edges: Vec<(usize, ChannelId)> = (0..3).map(|c| (0usize, ChannelId(c))).collect();
+    let channels1 = comm.channels(1, &[], &recv_edges).unwrap();
+
+    let send = DeviceBuffer::from_f32(&(0..count).map(|i| i as f32).collect::<Vec<_>>());
+    let recv = DeviceBuffer::zeroed(4);
+    let mut pending = PendingSends::default();
+    let mut cursors = vec![0u32; program.lane_count()];
+    for _ in 0..100 {
+        for (li, lane) in program.lanes().iter().enumerate() {
+            let cur = cursors[li] as usize;
+            if cur >= lane.len() {
+                continue;
+            }
+            let idx = lane.instr_ids()[cur];
+            if !program.instr_eligible(idx, &cursors)
+                || !instr_ready(&program, idx, &table, &pending)
+            {
+                continue;
+            }
+            let out =
+                execute_ready_instr(7, &program, idx, &table, None, &send, &recv, &mut pending)
+                    .unwrap();
+            if out == StepOutcome::Completed {
+                cursors[li] += 1;
+            }
+        }
+        // The peer drains channels 1 and 2 only; channel 0 stays wedged.
+        for c in [1u32, 2] {
+            while channels1
+                .recv_on(0, ChannelId(c))
+                .unwrap()
+                .try_recv()
+                .is_some()
+            {}
+        }
+    }
+    for (li, lane) in program.lanes().iter().enumerate() {
+        match lane.channel() {
+            ChannelId(0) => assert_eq!(
+                cursors[li], 1,
+                "the stalled lane sits behind its full 1-slot connector"
+            ),
+            _ => assert_eq!(
+                cursors[li] as usize,
+                lane.len(),
+                "lane {} must drain despite the stalled channel-0 lane",
+                lane.channel()
+            ),
+        }
+    }
+}
+
+#[test]
+fn preemption_storm_restores_lane_cursors_identically_under_both_dispatches() {
+    // The lane-cursor save/restore contract: a 4-poll spin threshold over
+    // 1-slot connectors suspends striped collectives mid-flight constantly,
+    // so every preemption saves the per-lane cursors (and per-channel staged
+    // chunks) and every reschedule resumes them. Running the same seeded
+    // workload under compiled and interpreted dispatch must produce
+    // identical results, and both configurations must actually preempt.
+    use dfccl::{DfcclConfig, DfcclDomain};
+    use gpu_sim::GpuSpec;
+
+    let n = 4;
+    let count = 60; // chunk 4 → 15 chunks striped over 3 channels
+    let inputs: Vec<Vec<f32>> = (0..n)
+        .map(|r| {
+            (0..count * n)
+                .map(|i| ((r * 53 + i * 11) % 251) as f32)
+                .collect()
+        })
+        .collect();
+    let mut results: Vec<Vec<Vec<f32>>> = Vec::new();
+    for compiled in [true, false] {
+        let config = DfcclConfig {
+            chunk_elems: 4,
+            connector_capacity: 1,
+            channels: 3,
+            compiled_dispatch: compiled,
+            ..DfcclConfig::preemption_stress()
+        };
+        let domain = DfcclDomain::new(
+            Topology::flat(n),
+            LinkModel::zero_cost(),
+            GpuSpec::rtx_3090(),
+            config,
+        );
+        let ranks: Vec<_> = (0..n)
+            .map(|g| domain.init_rank(GpuId(g)).unwrap())
+            .collect();
+        for ctx in &ranks {
+            ctx.register_all_to_all(1, count, DataType::F32, gpus(n), 0)
+                .unwrap();
+            ctx.register_all_reduce(2, count * n, DataType::F32, ReduceOp::Sum, gpus(n), 0)
+                .unwrap();
+        }
+        let mut handles = Vec::new();
+        let mut recvs = Vec::new();
+        for _ in 0..2 {
+            for (g, ctx) in ranks.iter().enumerate() {
+                for coll in [1u64, 2] {
+                    let recv = DeviceBuffer::zeroed(count * n * 4);
+                    recvs.push(recv.clone());
+                    handles.push(
+                        ctx.run_awaitable(coll, DeviceBuffer::from_f32(&inputs[g]), recv)
+                            .unwrap(),
+                    );
+                }
+            }
+        }
+        for h in &handles {
+            assert!(
+                h.wait_for_timeout(1, Duration::from_secs(60)),
+                "storm wedged (compiled = {compiled})"
+            );
+        }
+        let preemptions: u64 = ranks.iter().map(|c| c.stats().preemptions).sum();
+        assert!(
+            preemptions > 0,
+            "the storm must actually preempt mid-plan (compiled = {compiled})"
+        );
+        for ctx in ranks {
+            assert!(ctx.collective_errors().is_empty());
+            ctx.destroy();
+        }
+        results.push(recvs.iter().map(|r| r.to_f32_vec()).collect());
+    }
+    assert_eq!(
+        results[0], results[1],
+        "compiled and interpreted dispatch must agree under the storm"
+    );
+}
+
+#[test]
+fn plan_cache_serves_repeat_registrations_through_the_full_stack() {
+    use dfccl::DfcclDomain;
+
+    let domain = DfcclDomain::flat_for_testing(2);
+    let count = 32;
+    let ranks: Vec<_> = (0..2)
+        .map(|g| domain.init_rank(GpuId(g)).unwrap())
+        .collect();
+    // Four registrations of one shape (2 collective ids × 2 ranks): the
+    // first builds, the remaining three hit the cache.
+    for ctx in &ranks {
+        for coll in [1u64, 2] {
+            ctx.register_all_reduce(coll, count, DataType::F32, ReduceOp::Sum, gpus(2), 0)
+                .unwrap();
+        }
+    }
+    assert_eq!(
+        domain.plan_cache().misses(),
+        2,
+        "one build per rank's shape"
+    );
+    assert_eq!(domain.plan_cache().hits(), 2, "repeat shapes are served");
+
+    // Cache-served registrations execute correctly end to end.
+    for coll in [1u64, 2] {
+        let mut handles = Vec::new();
+        let mut recvs = Vec::new();
+        for (g, ctx) in ranks.iter().enumerate() {
+            let send = DeviceBuffer::from_f32(&vec![(g + 1) as f32; count]);
+            let recv = DeviceBuffer::zeroed(count * 4);
+            recvs.push(recv.clone());
+            handles.push(ctx.run_awaitable(coll, send, recv).unwrap());
+        }
+        for h in &handles {
+            assert!(h.wait_for_timeout(1, Duration::from_secs(20)));
+        }
+        for recv in &recvs {
+            assert_eq!(recv.to_f32_vec(), vec![3.0f32; count], "coll {coll}");
+        }
+    }
+    for ctx in ranks {
+        assert!(ctx.collective_errors().is_empty());
+        ctx.destroy();
+    }
+}
