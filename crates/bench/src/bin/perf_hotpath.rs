@@ -9,20 +9,23 @@
 //!
 //! Usage:
 //! ```text
-//! perf_hotpath [--repeats 3] [--collectives 16] [--rounds 4] [--out BENCH_hotpath.json]
+//! perf_hotpath [--repeats 3] [--collectives 16] [--rounds 4] \
+//!              [--replay-collectives 4096] [--replay-rounds 16] [--out BENCH_hotpath.json]
 //! ```
 
 use std::fmt::Write as _;
 
 use dfccl::CqVariant;
 use dfccl_bench::hotpath::{
-    batched_config, best_of, cq_push_batched_cost_us, cq_push_cost_us, dispatch_cost,
-    registration_throughput, unbatched_config, HotpathWorkload,
+    batched_config, best_of, best_replay_of, cq_push_batched_cost_us, cq_push_cost_us,
+    dispatch_cost, registration_throughput, spmd_hit_registration_throughput, unbatched_config,
+    HotpathWorkload,
 };
 use dfccl_bench::{arg_num, arg_value, print_row};
 
 const GPU_COUNTS: [usize; 3] = [2, 4, 8];
 const REGISTRATION_GPU_COUNTS: [usize; 2] = [4, 8];
+const REPLAY_GPU_COUNTS: [usize; 2] = [4, 8];
 
 struct ModeResult {
     gpus: usize,
@@ -152,6 +155,98 @@ fn main() {
     println!("plan-cache-hit speedup >= 5x at every scale: {hit_speedup_ok}");
     println!("compiled dispatch <= interpreted at every scale: {dispatch_ok}");
 
+    // Graph-replay panel: a captured iteration of tiny all-reduces replayed as
+    // one SQE per round, compared against the domain-wide cache-hit
+    // registration rate — the fastest way to make the same collectives
+    // runnable without a graph is re-registering them on every rank, and both
+    // wall clocks then cover all ranks' work. Plus the fusion win at identical
+    // total payload.
+    println!();
+    println!("# graph replay (recorded collectives/sec, wall clock spans all ranks)");
+    let replay_collectives: u64 = arg_num("--replay-collectives", 16384).max(1);
+    let replay_count: usize = arg_num("--replay-count", 4).max(1);
+    let replay_rounds: u64 = arg_num("--replay-rounds", 16).max(1);
+    let replay_widths = [6, 8, 14, 16, 14];
+    print_row(
+        &[
+            "gpus",
+            "nodes",
+            "replayed/sec",
+            "spmd-hit reg/s",
+            "replay ratio",
+        ]
+        .map(String::from),
+        &replay_widths,
+    );
+    let mut replay_results = Vec::new();
+    for gpus in REPLAY_GPU_COUNTS {
+        let replay = best_replay_of(
+            repeats,
+            gpus,
+            replay_collectives,
+            replay_count,
+            replay_rounds,
+            true,
+        );
+        let spmd_hit = (0..repeats)
+            .map(|_| spmd_hit_registration_throughput(gpus, registrations))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let ratio = replay.replayed_per_sec / spmd_hit;
+        print_row(
+            &[
+                format!("{gpus}"),
+                format!("{}", replay.graph_nodes),
+                format!("{:.0}", replay.replayed_per_sec),
+                format!("{spmd_hit:.0}"),
+                format!("{ratio:.2}x"),
+            ],
+            &replay_widths,
+        );
+        replay_results.push((gpus, replay, spmd_hit, ratio));
+    }
+
+    // Fusion comparison: same recorded step (count × collectives), fused into
+    // one node vs. kept as one node per collective (`fusion_threshold_bytes =
+    // 0`). A smaller step than the replay arm keeps the unfused arm — which
+    // pays full per-collective scheduling — from dominating the wall-clock.
+    let fusion_collectives: u64 = arg_num("--fusion-collectives", 256).max(1);
+    let fusion_rounds: u64 = arg_num("--fusion-rounds", 4).max(1);
+    let fused = best_replay_of(
+        repeats,
+        8,
+        fusion_collectives,
+        replay_count,
+        fusion_rounds,
+        true,
+    );
+    let unfused = best_replay_of(
+        repeats,
+        8,
+        fusion_collectives,
+        replay_count,
+        fusion_rounds,
+        false,
+    );
+    let fusion_speedup = fused.replayed_per_sec / unfused.replayed_per_sec;
+    println!();
+    println!(
+        "fused {} all-reduces -> {} node(s): {:.0}/sec vs unfused {:.0}/sec = {:.2}x",
+        fusion_collectives,
+        fused.graph_nodes,
+        fused.replayed_per_sec,
+        unfused.replayed_per_sec,
+        fusion_speedup
+    );
+    let replay_ratio_at_8 = replay_results
+        .iter()
+        .find(|(g, _, _, _)| *g == 8)
+        .map(|(_, _, _, ratio)| *ratio)
+        .unwrap_or(f64::NAN);
+    let replay_ok = replay_ratio_at_8 >= 3.0;
+    let fusion_ok = fusion_speedup >= 2.0;
+    println!("replay >= 3x cache-hit registration at 8 GPUs: {replay_ok}");
+    println!("fused >= 2x unfused at same total payload: {fusion_ok}");
+
     let speedup_at_4 = results
         .iter()
         .find(|r| r.gpus == 4)
@@ -206,11 +301,14 @@ fn main() {
     for (i, (gpus, reg, _)) in reg_results.iter().enumerate() {
         let _ = write!(
             json,
-            "      {{\"gpus\": {}, \"cold_per_sec\": {:.1}, \"cache_hit_per_sec\": {:.1}, \"speedup\": {:.3}}}",
+            "      {{\"gpus\": {}, \"cold_per_sec\": {:.1}, \"cache_hit_per_sec\": {:.1}, \"speedup\": {:.3}, \"cache\": {{\"hits\": {}, \"misses\": {}, \"size\": {}}}}}",
             gpus,
             reg.cold_per_sec,
             reg.hit_per_sec,
-            reg.speedup()
+            reg.speedup(),
+            reg.cache.hits,
+            reg.cache.misses,
+            reg.cache.size
         );
         json.push_str(if i + 1 < reg_results.len() {
             ",\n"
@@ -236,6 +334,40 @@ fn main() {
     let _ = writeln!(json, "    \"hit_speedup_at_least_5x\": {hit_speedup_ok},");
     let _ = writeln!(json, "    \"compiled_le_interpreted\": {dispatch_ok}");
     json.push_str("  },\n");
+    json.push_str("  \"graph_replay\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"collectives\": {replay_collectives}, \"count\": {replay_count}, \"rounds\": {replay_rounds},"
+    );
+    json.push_str("    \"throughput\": [\n");
+    for (i, (gpus, replay, spmd_hit, ratio)) in replay_results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"gpus\": {}, \"replayed_per_sec\": {:.1}, \"graph_nodes\": {}, \"fused_nodes\": {}, \"spmd_cache_hit_per_sec\": {:.1}, \"ratio_vs_cache_hit_registration\": {:.3}}}",
+            gpus, replay.replayed_per_sec, replay.graph_nodes, replay.fused_nodes, spmd_hit, ratio
+        );
+        json.push_str(if i + 1 < replay_results.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(
+        json,
+        "    \"fusion\": {{\"collectives\": {}, \"rounds\": {}, \"fused_per_sec\": {:.1}, \"unfused_per_sec\": {:.1}, \"speedup\": {:.3}}},",
+        fusion_collectives,
+        fusion_rounds,
+        fused.replayed_per_sec,
+        unfused.replayed_per_sec,
+        fusion_speedup
+    );
+    let _ = writeln!(
+        json,
+        "    \"replay_ge_3x_cache_hit_at_8gpus\": {replay_ok},"
+    );
+    let _ = writeln!(json, "    \"fused_ge_2x_unfused\": {fusion_ok}");
+    json.push_str("  },\n");
     let _ = writeln!(json, "  \"fig7c_ordering_preserved\": {ordering_ok}");
     json.push_str("}\n");
 
@@ -256,6 +388,14 @@ fn main() {
     }
     if !dispatch_ok {
         eprintln!("WARNING: compiled dispatch costs more per poll than interpreted");
+        std::process::exit(2);
+    }
+    if !replay_ok {
+        eprintln!("WARNING: graph replay below 3x cache-hit registration at 8 GPUs");
+        std::process::exit(2);
+    }
+    if !fusion_ok {
+        eprintln!("WARNING: fused small-all-reduce throughput below 2x unfused");
         std::process::exit(2);
     }
 }

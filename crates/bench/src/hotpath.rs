@@ -13,7 +13,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dfccl::{CompletionHandle, CqVariant, DfcclConfig, DfcclDomain, DfcclError};
+use dfccl::{CompletionHandle, CqVariant, DfcclConfig, DfcclDomain, DfcclError, PlanCacheStats};
 use dfccl_collectives::{
     instr_ready, step_ready, AlgorithmSelector, CollectiveDescriptor, CompiledProgram, DataType,
     DeviceBuffer, PendingSends, ReduceOp,
@@ -239,6 +239,10 @@ pub struct RegistrationResult {
     pub cold_per_sec: f64,
     /// Registrations/sec when every registration hits the plan cache.
     pub hit_per_sec: f64,
+    /// The domain plan cache's counters after both arms, straight from
+    /// `DfcclDomain::cache_stats` — surfaced in the registration panel so the
+    /// trajectory tracks cache behaviour, not just wall-clock rates.
+    pub cache: PlanCacheStats,
 }
 
 impl RegistrationResult {
@@ -306,11 +310,260 @@ pub fn registration_throughput(gpus: usize, registrations: u64) -> RegistrationR
         registrations,
         "hit arm must be served from the plan cache"
     );
+    let cache = domain.cache_stats();
     ctx.destroy();
     RegistrationResult {
         cold_per_sec: cold,
         hit_per_sec: hit,
+        cache,
     }
+}
+
+/// Domain-wide cache-hit registration rate: every rank of the domain
+/// registers the same `registrations` collectives (one warm-up shape seeds
+/// the plan cache), and the rate counts *logical* collectives per second —
+/// `registrations / elapsed`, with the wall clock covering all `gpus` ranks'
+/// work. A collective is only runnable once every rank has registered it, so
+/// this is the number a graph replay (whose wall clock likewise covers every
+/// rank's submission and completion) is comparable against.
+pub fn spmd_hit_registration_throughput(gpus: usize, registrations: u64) -> f64 {
+    assert!(gpus >= 2 && registrations > 0);
+    let config = DfcclConfig {
+        chunk_elems: 64,
+        ..DfcclConfig::for_testing()
+    };
+    let domain = DfcclDomain::new(
+        Topology::flat(gpus),
+        LinkModel::zero_cost(),
+        GpuSpec::rtx_3090(),
+        config,
+    );
+    let devices: Vec<GpuId> = (0..gpus).map(GpuId).collect();
+    let ranks: Vec<_> = devices
+        .iter()
+        .map(|&g| domain.init_rank(g).expect("rank init"))
+        .collect();
+    let base_count = 8 * 1024;
+    // Seed the shared plan cache so every timed registration hits.
+    ranks[0]
+        .register_all_reduce(
+            1,
+            base_count,
+            DataType::F32,
+            ReduceOp::Sum,
+            devices.clone(),
+            0,
+        )
+        .expect("seed register");
+    let start = Instant::now();
+    for i in 0..registrations {
+        for ctx in &ranks {
+            ctx.register_all_reduce(
+                1_000_000 + i,
+                base_count,
+                DataType::F32,
+                ReduceOp::Sum,
+                devices.clone(),
+                0,
+            )
+            .expect("spmd hit register");
+        }
+    }
+    let rate = registrations as f64 / start.elapsed().as_secs_f64();
+    for ctx in ranks {
+        ctx.destroy();
+    }
+    rate
+}
+
+/// Result of one graph-replay throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayResult {
+    /// Recorded collectives completed per second per rank: every replay
+    /// completes the whole captured step, so one replay counts as
+    /// `collectives` operations regardless of how many the fusion pass
+    /// coalesced into fused nodes.
+    pub replayed_per_sec: f64,
+    /// Wall-clock time of the replay phase (capture excluded).
+    pub elapsed: Duration,
+    /// Nodes in each rank's captured graph after the fusion pass.
+    pub graph_nodes: usize,
+    /// How many of those nodes are fusions of several recorded collectives.
+    pub fused_nodes: usize,
+}
+
+/// Measure graph-replay throughput: every rank registers `collectives` tiny
+/// same-shape all-reduces of `count` f32 elements each, captures one iteration
+/// invoking them all, then replays the graph `rounds` times (one invoker
+/// thread per rank, each replay a single SQE with a single completion). With
+/// `fusion` enabled the capture coalesces the whole step into one fused
+/// all-reduce — the DDP-bucketing effect the panel quantifies; with it
+/// disabled (`fusion_threshold_bytes = 0`) the graph holds one node per
+/// recorded collective at the same total payload, isolating the fusion win
+/// from the replay win.
+/// How many identical captured graphs each rank keeps in flight (bounded by
+/// `rounds`). See the pipelining comment in [`replay_throughput`].
+const REPLAY_PIPELINE_DEPTH: usize = 4;
+
+pub fn replay_throughput(
+    gpus: usize,
+    collectives: u64,
+    count: usize,
+    rounds: u64,
+    fusion: bool,
+) -> ReplayResult {
+    assert!(gpus >= 2 && collectives > 0 && count > 0 && rounds > 0);
+    let config = DfcclConfig {
+        fusion_threshold_bytes: if fusion { 64 * 1024 } else { 0 },
+        // The panel isolates submission-path overhead (SQE count, expansion,
+        // per-collective scheduling), not chunk bandwidth: keep the whole
+        // fused payload in one chunk so both arms pay the same execution
+        // cost per byte and the difference is pure per-collective overhead.
+        chunk_elems: 256 * 1024,
+        ..batched_config()
+    }
+    // The double binary tree halves the all-reduce critical path vs. the
+    // ring at 8 ranks (2·log₂ n stages vs. 2(n−1) steps). On the
+    // simulator's serialized cores each sequential step costs a thread
+    // wake-up, so the shorter critical path is what keeps this panel
+    // measuring replay overhead rather than ring latency.
+    .with_algorithm(dfccl_collectives::AlgorithmKind::DoubleBinaryTree);
+    let domain = DfcclDomain::new(
+        Topology::flat(gpus),
+        LinkModel::zero_cost(),
+        GpuSpec::rtx_3090(),
+        config,
+    );
+    let devices: Vec<GpuId> = (0..gpus).map(GpuId).collect();
+    let ranks: Vec<_> = devices
+        .iter()
+        .map(|&g| Arc::new(domain.init_rank(g).expect("rank init")))
+        .collect();
+    for rank in &ranks {
+        for c in 1..=collectives {
+            rank.register_all_reduce(c, count, DataType::F32, ReduceOp::Sum, devices.clone(), 0)
+                .expect("register");
+        }
+    }
+    // Capture several identical graphs per rank so replays can pipeline: the
+    // in-flight guard serializes rounds of ONE graph, but a training loop
+    // that double-buffers iterations keeps more than one captured step in
+    // flight, and on the latency-bound single-collective path pipelining is
+    // what lets the daemons batch work per wake-up (exactly like the
+    // multi-collective submission bench). Same-id concurrency is safe: the
+    // per-collective invocation queue is FIFO and every rank expands graphs
+    // in the same order.
+    let depth = REPLAY_PIPELINE_DEPTH.min(rounds as usize).max(1);
+    let mut graphs: Vec<Vec<_>> = Vec::new();
+    for (g, rank) in ranks.iter().enumerate() {
+        let input = vec![(g + 1) as f32; count];
+        let mut rank_graphs = Vec::new();
+        for _ in 0..depth {
+            let mut rec = rank.begin_capture().expect("capture");
+            for c in 1..=collectives {
+                rec.record(
+                    c,
+                    DeviceBuffer::from_f32(&input),
+                    DeviceBuffer::zeroed(count * 4),
+                )
+                .expect("record");
+            }
+            rank_graphs.push(rec.finish().expect("finish capture"));
+        }
+        graphs.push(rank_graphs);
+    }
+    let graph_nodes = graphs[0][0].len();
+    let fused_nodes = graphs[0][0].fused_nodes();
+    if fusion {
+        assert_eq!(
+            (graph_nodes, fused_nodes),
+            (1, 1),
+            "the whole step must fuse into one node"
+        );
+    } else {
+        assert_eq!(
+            (graph_nodes as u64, fused_nodes),
+            (collectives, 0),
+            "fusion disabled must keep one node per collective"
+        );
+    }
+
+    let start = Instant::now();
+    let mut invokers = Vec::new();
+    for (g, rank) in ranks.iter().enumerate() {
+        let rank = Arc::clone(rank);
+        let rank_graphs = graphs[g].clone();
+        invokers.push(std::thread::spawn(move || {
+            // Round-robin over the captured graphs; a slot is only resubmitted
+            // once its previous replay completed (the in-flight guard demands
+            // it), so at most `depth` replays are in flight per rank. Retry on
+            // a momentarily full SQ like the submission bench.
+            let handles: Vec<CompletionHandle> = (0..rank_graphs.len())
+                .map(|_| CompletionHandle::new())
+                .collect();
+            let mut submitted = vec![0u64; rank_graphs.len()];
+            for r in 0..rounds {
+                let s = (r as usize) % rank_graphs.len();
+                if submitted[s] > 0 {
+                    assert!(
+                        handles[s].wait_for_timeout(submitted[s], Duration::from_secs(120)),
+                        "rank {g} replay slot {s} timed out"
+                    );
+                }
+                loop {
+                    match rank.replay(&rank_graphs[s], handles[s].completion_callback()) {
+                        Ok(()) => break,
+                        Err(DfcclError::SubmissionQueueFull) => std::thread::yield_now(),
+                        Err(e) => panic!("replay failed: {e}"),
+                    }
+                }
+                submitted[s] += 1;
+            }
+            for (s, handle) in handles.iter().enumerate() {
+                assert!(
+                    handle.wait_for_timeout(submitted[s], Duration::from_secs(120)),
+                    "rank {g} replay slot {s} drain timed out"
+                );
+            }
+        }));
+    }
+    for j in invokers {
+        j.join().expect("replay thread panicked");
+    }
+    let elapsed = start.elapsed();
+    for rank in &ranks {
+        assert!(
+            rank.collective_errors().is_empty(),
+            "collective errors during replay bench"
+        );
+        rank.destroy();
+    }
+    ReplayResult {
+        replayed_per_sec: (collectives * rounds) as f64 / elapsed.as_secs_f64(),
+        elapsed,
+        graph_nodes,
+        fused_nodes,
+    }
+}
+
+/// Best-of wrapper for [`replay_throughput`] (same rationale as [`best_of`]).
+pub fn best_replay_of(
+    repeats: usize,
+    gpus: usize,
+    collectives: u64,
+    count: usize,
+    rounds: u64,
+    fusion: bool,
+) -> ReplayResult {
+    assert!(repeats > 0);
+    (0..repeats)
+        .map(|_| replay_throughput(gpus, collectives, count, rounds, fusion))
+        .max_by(|a, b| {
+            a.replayed_per_sec
+                .partial_cmp(&b.replayed_per_sec)
+                .expect("throughput is finite")
+        })
+        .expect("at least one repeat")
 }
 
 /// Per-readiness-check dispatch cost of the two execution paths, in
@@ -476,9 +729,32 @@ mod tests {
     }
 
     #[test]
+    fn replay_throughput_measures_both_fusion_arms() {
+        let fused = replay_throughput(2, 6, 16, 2, true);
+        assert!(fused.replayed_per_sec > 0.0);
+        assert_eq!((fused.graph_nodes, fused.fused_nodes), (1, 1));
+        let unfused = replay_throughput(2, 6, 16, 2, false);
+        assert!(unfused.replayed_per_sec > 0.0);
+        assert_eq!((unfused.graph_nodes, unfused.fused_nodes), (6, 0));
+    }
+
+    #[test]
+    fn spmd_hit_registration_counts_logical_collectives() {
+        // 8 logical collectives registered on both ranks of a 2-GPU domain;
+        // the rate must be positive and the call must not wedge or error.
+        let rate = spmd_hit_registration_throughput(2, 8);
+        assert!(rate > 0.0);
+    }
+
+    #[test]
     fn registration_throughput_measures_both_arms() {
         let r = registration_throughput(4, 32);
         assert!(r.cold_per_sec > 0.0 && r.hit_per_sec > 0.0);
+        // The cache counters ride along for the panel: 32 hits from the hit
+        // arm, 32 distinct shapes built and retained by the cold arm.
+        assert_eq!(r.cache.hits, 32);
+        assert_eq!(r.cache.misses, 32);
+        assert_eq!(r.cache.size, 32);
         // The cache-hit arm skips plan building entirely; even on a noisy
         // machine it must not be slower than cold registration.
         assert!(

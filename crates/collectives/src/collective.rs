@@ -111,6 +111,11 @@ pub struct CollectiveDescriptor {
     /// `K` parallel connectors per `(src, dst)` edge. `None` uses the
     /// runtime-wide setting (`DfcclConfig::channels`).
     pub channels: Option<usize>,
+    /// Opt this collective out of graph-capture fusion: even when it is a
+    /// small all-reduce recorded between fusable neighbours, the fusion pass
+    /// leaves it as its own node (e.g. a gradient bucket the application
+    /// inspects between iterations).
+    pub no_fuse: bool,
 }
 
 impl CollectiveDescriptor {
@@ -126,6 +131,7 @@ impl CollectiveDescriptor {
             priority: 0,
             algorithm: None,
             channels: None,
+            no_fuse: false,
         }
     }
 
@@ -141,6 +147,7 @@ impl CollectiveDescriptor {
             priority: 0,
             algorithm: None,
             channels: None,
+            no_fuse: false,
         }
     }
 
@@ -161,6 +168,7 @@ impl CollectiveDescriptor {
             priority: 0,
             algorithm: None,
             channels: None,
+            no_fuse: false,
         }
     }
 
@@ -182,6 +190,7 @@ impl CollectiveDescriptor {
             priority: 0,
             algorithm: None,
             channels: None,
+            no_fuse: false,
         }
     }
 
@@ -197,6 +206,7 @@ impl CollectiveDescriptor {
             priority: 0,
             algorithm: None,
             channels: None,
+            no_fuse: false,
         }
     }
 
@@ -214,6 +224,7 @@ impl CollectiveDescriptor {
             priority: 0,
             algorithm: None,
             channels: None,
+            no_fuse: false,
         }
     }
 
@@ -230,6 +241,7 @@ impl CollectiveDescriptor {
             priority: 0,
             algorithm: None,
             channels: None,
+            no_fuse: false,
         }
     }
 
@@ -249,6 +261,12 @@ impl CollectiveDescriptor {
     /// `(src, dst)` edge, overriding the runtime-wide setting.
     pub fn with_channels(mut self, channels: usize) -> Self {
         self.channels = Some(channels);
+        self
+    }
+
+    /// Opt this collective out of graph-capture fusion.
+    pub fn with_no_fuse(mut self) -> Self {
+        self.no_fuse = true;
         self
     }
 
@@ -552,5 +570,12 @@ mod tests {
     fn priority_builder() {
         let d = CollectiveDescriptor::all_gather(4, DataType::F32, gpus(2)).with_priority(7);
         assert_eq!(d.priority, 7);
+    }
+
+    #[test]
+    fn no_fuse_builder() {
+        let d = CollectiveDescriptor::all_reduce(4, DataType::F32, ReduceOp::Sum, gpus(2));
+        assert!(!d.no_fuse);
+        assert!(d.with_no_fuse().no_fuse);
     }
 }

@@ -172,6 +172,12 @@ impl PendingSends {
     pub fn channels(&self) -> Vec<ChannelId> {
         self.slots.iter().map(|p| p.channel).collect()
     }
+
+    /// Drop every staged chunk but keep the slot storage, so a recycled
+    /// dynamic context re-stages without reallocating.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
 }
 
 /// Try to publish the chunk staged on one channel. Returns `true` when that

@@ -1,0 +1,401 @@
+//! Iteration-graph IR and the DDP-style small-all-reduce fusion pass.
+//!
+//! Training traffic is the same per-step collective sequence replayed
+//! millions of times. Graph capture records that sequence once — descriptor,
+//! buffers and submission order per collective — and the fusion pass rewrites
+//! it at compile time before the runtime pre-resolves plans and programs for
+//! replay:
+//!
+//! * [`RecordedCollective`] — one captured invocation (id, descriptor and the
+//!   buffers it was recorded with; replay re-executes over the *same*
+//!   buffers, the CUDA-Graph fixed-address contract).
+//! * [`GraphOp`] — one node of the rewritten graph: an unchanged single
+//!   collective, or a [`FusedAllReduce`] coalescing a bucket of consecutive
+//!   small all-reduces.
+//! * [`plan_fusion`] — the pass. It is a pure, deterministic function of the
+//!   recorded sequence and the threshold, so SPMD ranks that capture the
+//!   same iteration independently produce the same bucketization and the
+//!   same synthesized fused collective ids — a requirement, because ranks
+//!   resolve communicators by collective id.
+//!
+//! ## Fusion legality
+//!
+//! Two adjacent recorded collectives may share a bucket iff both are
+//! all-reduces over the same ordered device set with the same element type,
+//! operator, priority and per-collective algorithm/channel overrides, each at
+//! most `fusion_threshold_bytes` of payload, and neither opted out via
+//! [`CollectiveDescriptor::with_no_fuse`]. Under those conditions the fused
+//! all-reduce — element count the sum of the bucket, payload the
+//! concatenation of the members' byte ranges — computes exactly the
+//! element-wise reduction each member would have computed: all-reduce is
+//! element-wise, so concatenating inputs concatenates outputs, and every rank
+//! slices its own segments back out at fixed offsets. No cross-element
+//! reassociation is introduced; only the *schedule* of the elements changes,
+//! which the per-collective bit-exactness argument already covers.
+
+use crate::buffer::DeviceBuffer;
+use crate::collective::{CollectiveDescriptor, CollectiveKind};
+
+/// High bit reserved in the collective-id space for fused collectives the
+/// fusion pass synthesizes. Applications must not register ids at or above
+/// this base (the bit above it is reserved for graph replay ids); the
+/// runtime's registration path enforces this.
+pub const FUSED_COLL_ID_BASE: u64 = 1 << 62;
+
+/// The deterministic id of the fused all-reduce replacing a bucket whose
+/// first member is `first`: every rank records the same sequence, so every
+/// rank derives the same id and the fused collectives resolve to one shared
+/// communicator, exactly like an application-registered collective.
+pub fn fused_coll_id(first: u64) -> u64 {
+    FUSED_COLL_ID_BASE | first
+}
+
+/// One collective invocation recorded during graph capture.
+#[derive(Debug, Clone)]
+pub struct RecordedCollective {
+    /// The registered collective id.
+    pub coll_id: u64,
+    /// Its registration-time descriptor.
+    pub desc: CollectiveDescriptor,
+    /// The send buffer recorded for replay (fixed address across replays).
+    pub send: DeviceBuffer,
+    /// The recv buffer recorded for replay.
+    pub recv: DeviceBuffer,
+}
+
+/// One member of a fused all-reduce: which recorded collective it came from
+/// and where its payload sits in the fused staging buffers.
+#[derive(Debug, Clone)]
+pub struct FusedSegment {
+    /// The original collective id (for error attribution).
+    pub coll_id: u64,
+    /// The member's recorded send buffer (read by [`FusedAllReduce::gather`]).
+    pub send: DeviceBuffer,
+    /// The member's recorded recv buffer (written by
+    /// [`FusedAllReduce::scatter`]).
+    pub recv: DeviceBuffer,
+    /// Byte offset of this member's payload in the staging buffers.
+    pub byte_off: usize,
+    /// Byte length of this member's payload.
+    pub byte_len: usize,
+}
+
+/// A bucket of consecutive small same-shape all-reduces coalesced into one
+/// striped all-reduce over concatenated byte ranges.
+#[derive(Debug, Clone)]
+pub struct FusedAllReduce {
+    /// The synthesized collective id ([`fused_coll_id`] of the first member).
+    pub coll_id: u64,
+    /// The fused descriptor: the members' shared shape with the summed
+    /// element count.
+    pub desc: CollectiveDescriptor,
+    /// The members, in recorded order, with their scatter offsets.
+    pub segments: Vec<FusedSegment>,
+    /// Concatenated send payload the fused collective reads.
+    pub send_stage: DeviceBuffer,
+    /// Concatenated recv payload the fused collective writes.
+    pub recv_stage: DeviceBuffer,
+}
+
+impl FusedAllReduce {
+    /// Copy every member's send payload into the staging buffer at its
+    /// segment offset. Runs on the submitting thread at replay time, before
+    /// the graph SQE is pushed, so the daemon only ever sees the staged
+    /// concatenation.
+    pub fn gather(&self) {
+        // One stage-buffer lock for the whole pass and no per-segment
+        // allocation: with thousands of fused members this copy loop is on
+        // the replay hot path, and a `read_range` round-trip per segment
+        // (temporary Vec + two extra lock acquisitions) dominates the cost
+        // of replaying a large fused bucket.
+        self.send_stage.with_write(|dst| {
+            for seg in &self.segments {
+                seg.send.with_read(|src| {
+                    dst[seg.byte_off..seg.byte_off + seg.byte_len]
+                        .copy_from_slice(&src[..seg.byte_len]);
+                });
+            }
+        });
+    }
+
+    /// Copy every member's slice of the fused result back into that member's
+    /// recorded recv buffer. Runs on the daemon after the fused collective
+    /// completes, before the graph's single completion is published.
+    pub fn scatter(&self) {
+        // Mirror of `gather`: one stage lock, no temporaries. This runs on
+        // the daemon thread right before the graph's completion is
+        // published, so every nanosecond here delays the CQE.
+        self.recv_stage.with_read(|src| {
+            for seg in &self.segments {
+                seg.recv.with_write(|dst| {
+                    dst[..seg.byte_len]
+                        .copy_from_slice(&src[seg.byte_off..seg.byte_off + seg.byte_len]);
+                });
+            }
+        });
+    }
+}
+
+/// One node of a captured iteration graph after the fusion pass.
+#[derive(Debug, Clone)]
+pub enum GraphOp {
+    /// An unchanged recorded collective.
+    Single(RecordedCollective),
+    /// A coalesced bucket of small all-reduces.
+    Fused(FusedAllReduce),
+}
+
+impl GraphOp {
+    /// The collective id this node executes under.
+    pub fn coll_id(&self) -> u64 {
+        match self {
+            GraphOp::Single(r) => r.coll_id,
+            GraphOp::Fused(f) => f.coll_id,
+        }
+    }
+
+    /// The descriptor this node executes with.
+    pub fn desc(&self) -> &CollectiveDescriptor {
+        match self {
+            GraphOp::Single(r) => &r.desc,
+            GraphOp::Fused(f) => &f.desc,
+        }
+    }
+
+    /// The send buffer the daemon executes this node over.
+    pub fn send_buffer(&self) -> &DeviceBuffer {
+        match self {
+            GraphOp::Single(r) => &r.send,
+            GraphOp::Fused(f) => &f.send_stage,
+        }
+    }
+
+    /// The recv buffer the daemon executes this node over.
+    pub fn recv_buffer(&self) -> &DeviceBuffer {
+        match self {
+            GraphOp::Single(r) => &r.recv,
+            GraphOp::Fused(f) => &f.recv_stage,
+        }
+    }
+}
+
+/// Whether `rec` is a candidate bucket member at all (shape compatibility
+/// with its neighbours is checked separately).
+fn fusable(rec: &RecordedCollective, threshold_bytes: usize) -> bool {
+    rec.desc.kind == CollectiveKind::AllReduce
+        && !rec.desc.no_fuse
+        && rec.desc.count * rec.desc.dtype.size_bytes() <= threshold_bytes
+}
+
+/// Whether two candidates may share a bucket: everything that shapes the
+/// fused plan — and the scheduling of the fused node — must agree.
+fn compatible(a: &CollectiveDescriptor, b: &CollectiveDescriptor) -> bool {
+    a.devices == b.devices
+        && a.dtype == b.dtype
+        && a.op == b.op
+        && a.priority == b.priority
+        && a.algorithm == b.algorithm
+        && a.channels == b.channels
+}
+
+fn fuse(bucket: Vec<RecordedCollective>) -> FusedAllReduce {
+    debug_assert!(bucket.len() >= 2);
+    let elem = bucket[0].desc.dtype.size_bytes();
+    let mut desc = bucket[0].desc.clone();
+    desc.count = bucket.iter().map(|r| r.desc.count).sum();
+    // A fused node never re-fuses (the pass runs once per capture, but the
+    // flag also documents the synthesized descriptor's provenance).
+    desc.no_fuse = true;
+    let coll_id = fused_coll_id(bucket[0].coll_id);
+    let mut segments = Vec::with_capacity(bucket.len());
+    let mut off = 0usize;
+    for r in bucket {
+        let len = r.desc.count * elem;
+        segments.push(FusedSegment {
+            coll_id: r.coll_id,
+            send: r.send,
+            recv: r.recv,
+            byte_off: off,
+            byte_len: len,
+        });
+        off += len;
+    }
+    FusedAllReduce {
+        coll_id,
+        desc,
+        segments,
+        send_stage: DeviceBuffer::zeroed(off),
+        recv_stage: DeviceBuffer::zeroed(off),
+    }
+}
+
+fn flush(ops: &mut Vec<GraphOp>, bucket: &mut Vec<RecordedCollective>) {
+    if bucket.len() >= 2 {
+        flush_always(ops, bucket);
+    } else {
+        ops.extend(bucket.drain(..).map(GraphOp::Single));
+    }
+}
+
+fn flush_always(ops: &mut Vec<GraphOp>, bucket: &mut Vec<RecordedCollective>) {
+    ops.push(GraphOp::Fused(fuse(std::mem::take(bucket))));
+}
+
+/// The fusion pass: rewrite a recorded sequence into graph nodes, coalescing
+/// every maximal run of ≥ 2 consecutive compatible small all-reduces (see the
+/// module docs for the legality rule) into one [`FusedAllReduce`]. A
+/// `threshold_bytes` of 0 disables fusion entirely. Deterministic, so SPMD
+/// ranks agree on the bucketization and the synthesized ids.
+pub fn plan_fusion(records: Vec<RecordedCollective>, threshold_bytes: usize) -> Vec<GraphOp> {
+    let mut ops = Vec::with_capacity(records.len());
+    let mut bucket: Vec<RecordedCollective> = Vec::new();
+    for rec in records {
+        if fusable(&rec, threshold_bytes) {
+            if let Some(last) = bucket.last() {
+                if !compatible(&last.desc, &rec.desc) {
+                    flush(&mut ops, &mut bucket);
+                }
+            }
+            bucket.push(rec);
+        } else {
+            flush(&mut ops, &mut bucket);
+            ops.push(GraphOp::Single(rec));
+        }
+    }
+    flush(&mut ops, &mut bucket);
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::redop::ReduceOp;
+    use gpu_sim::GpuId;
+
+    fn gpus(n: usize) -> Vec<GpuId> {
+        (0..n).map(GpuId).collect()
+    }
+
+    fn small_ar(coll_id: u64, count: usize) -> RecordedCollective {
+        let desc = CollectiveDescriptor::all_reduce(count, DataType::F32, ReduceOp::Sum, gpus(2));
+        RecordedCollective {
+            coll_id,
+            desc,
+            send: DeviceBuffer::zeroed(count * 4),
+            recv: DeviceBuffer::zeroed(count * 4),
+        }
+    }
+
+    #[test]
+    fn consecutive_small_all_reduces_fuse_into_one_bucket() {
+        let ops = plan_fusion(vec![small_ar(1, 4), small_ar(2, 6), small_ar(3, 2)], 1024);
+        assert_eq!(ops.len(), 1);
+        let GraphOp::Fused(f) = &ops[0] else {
+            panic!("expected a fused node");
+        };
+        assert_eq!(f.coll_id, fused_coll_id(1));
+        assert_eq!(f.desc.count, 12);
+        assert!(f.desc.no_fuse);
+        assert_eq!(f.segments.len(), 3);
+        assert_eq!(
+            f.segments
+                .iter()
+                .map(|s| (s.byte_off, s.byte_len))
+                .collect::<Vec<_>>(),
+            vec![(0, 16), (16, 24), (40, 8)]
+        );
+        assert_eq!(f.send_stage.len(), 48);
+    }
+
+    #[test]
+    fn oversized_no_fuse_and_non_all_reduce_break_buckets() {
+        let big = small_ar(10, 1024); // 4096 bytes > threshold
+        let opted_out = {
+            let mut r = small_ar(11, 4);
+            r.desc.no_fuse = true;
+            r
+        };
+        let gather = RecordedCollective {
+            coll_id: 12,
+            desc: CollectiveDescriptor::all_gather(4, DataType::F32, gpus(2)),
+            send: DeviceBuffer::zeroed(16),
+            recv: DeviceBuffer::zeroed(32),
+        };
+        let ops = plan_fusion(
+            vec![
+                small_ar(1, 4),
+                big,
+                small_ar(2, 4),
+                opted_out,
+                small_ar(3, 4),
+                gather,
+                small_ar(4, 4),
+                small_ar(5, 4),
+            ],
+            64,
+        );
+        // Nothing fuses except the trailing adjacent pair.
+        assert_eq!(ops.len(), 7);
+        assert!(ops[..6].iter().all(|op| matches!(op, GraphOp::Single(_))));
+        let GraphOp::Fused(f) = &ops[6] else {
+            panic!("trailing pair fuses");
+        };
+        assert_eq!(f.coll_id, fused_coll_id(4));
+        assert_eq!(f.segments.len(), 2);
+    }
+
+    #[test]
+    fn incompatible_shapes_split_buckets() {
+        let mut other_op = small_ar(2, 4);
+        other_op.desc.op = Some(ReduceOp::Max);
+        let mut other_devices = small_ar(4, 4);
+        other_devices.desc.devices = gpus(3);
+        let ops = plan_fusion(
+            vec![
+                small_ar(1, 4),
+                other_op,
+                small_ar(3, 4),
+                other_devices,
+                small_ar(5, 4),
+            ],
+            1024,
+        );
+        assert_eq!(ops.len(), 5, "no two neighbours agree on the shape");
+        assert!(ops.iter().all(|op| matches!(op, GraphOp::Single(_))));
+    }
+
+    #[test]
+    fn zero_threshold_disables_fusion() {
+        let ops = plan_fusion(vec![small_ar(1, 1), small_ar(2, 1)], 0);
+        assert_eq!(ops.len(), 2);
+        assert!(ops.iter().all(|op| matches!(op, GraphOp::Single(_))));
+    }
+
+    #[test]
+    fn gather_and_scatter_move_segment_payloads() {
+        let a = small_ar(1, 2);
+        let b = small_ar(2, 3);
+        a.send.replace(vec![1; 8]);
+        b.send.replace(vec![2; 12]);
+        let ops = plan_fusion(vec![a.clone(), b.clone()], 1024);
+        let GraphOp::Fused(f) = &ops[0] else {
+            panic!("fused");
+        };
+        f.gather();
+        assert_eq!(
+            f.send_stage.to_vec(),
+            [vec![1u8; 8], vec![2u8; 12]].concat()
+        );
+        f.recv_stage.replace((0u8..20).collect());
+        f.scatter();
+        assert_eq!(a.recv.to_vec(), (0u8..8).collect::<Vec<_>>());
+        assert_eq!(b.recv.to_vec(), (8u8..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fused_ids_live_in_the_reserved_space_and_are_deterministic() {
+        assert_eq!(fused_coll_id(7), FUSED_COLL_ID_BASE | 7);
+        assert!(fused_coll_id(0) >= FUSED_COLL_ID_BASE);
+    }
+}

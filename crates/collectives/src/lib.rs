@@ -34,6 +34,7 @@ pub mod collective;
 pub mod cost;
 pub mod datatype;
 pub mod executor;
+pub mod graph;
 pub mod hierarchical;
 pub mod plan;
 pub mod primitive;
@@ -53,6 +54,10 @@ pub use executor::{
     execute_ready_instr, execute_ready_step, flush_pending, flush_pending_channel,
     flush_pending_compiled, instr_ready, run_plan_blocking, run_program_blocking, step_ready,
     validate_buffers, ExecError, PendingSend, PendingSends, StepOutcome,
+};
+pub use graph::{
+    fused_coll_id, plan_fusion, FusedAllReduce, FusedSegment, GraphOp, RecordedCollective,
+    FUSED_COLL_ID_BASE,
 };
 pub use hierarchical::HierarchicalAlgorithm;
 pub use plan::{algorithm, Algorithm, AlgorithmKind, Plan};

@@ -410,10 +410,15 @@ impl CompiledProgram {
 }
 
 /// The shape of a registration, i.e. everything a compiled plan depends on
-/// besides the topology (a [`PlanCache`] lives inside one domain, whose
-/// topology and chunking are fixed — callers must not share a cache across
-/// topologies or chunk configurations beyond the keyed `chunk_elems`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// besides the topology and the device set (a [`PlanCache`] lives inside one
+/// domain, whose topology and chunking are fixed — callers must not share a
+/// cache across topologies or chunk configurations beyond the keyed
+/// `chunk_elems`). The ordered device set is keyed separately, as the outer
+/// level of the cache's two-level map, so the hit path can probe it with a
+/// borrowed `&[GpuId]` instead of cloning the descriptor's `Vec<GpuId>`;
+/// everything left in this key is `Copy`, so building a probe key allocates
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// Collective kind.
     pub kind: CollectiveKind,
@@ -425,9 +430,6 @@ pub struct PlanKey {
     pub op: Option<ReduceOp>,
     /// Root rank (rooted collectives).
     pub root: Option<usize>,
-    /// Ordered device set (hierarchical plans depend on which machine each
-    /// GPU sits on, so rank count alone would under-key the plan).
-    pub devices: Vec<GpuId>,
     /// The registering rank.
     pub rank: usize,
     /// The resolved algorithm family.
@@ -467,9 +469,20 @@ pub const PLAN_CACHE_MAX_SHAPES: usize = 4096;
 /// [`PLAN_CACHE_MAX_SHAPES`].
 #[derive(Default)]
 pub struct PlanCache {
-    map: Mutex<HashMap<PlanKey, CachedPlan>>,
+    /// Two-level map: ordered device set → [`PlanKey`] → cached plan. The
+    /// outer level exists so the hit path can probe with the descriptor's
+    /// borrowed `&[GpuId]` (via `Vec<GpuId>: Borrow<[GpuId]>`) and the inner
+    /// key is all-`Copy` — a cache hit allocates nothing.
+    shapes: Mutex<Shapes>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+#[derive(Default)]
+struct Shapes {
+    by_devices: HashMap<Vec<GpuId>, HashMap<PlanKey, CachedPlan>>,
+    /// Total cached shapes across every device set (the eviction bound).
+    total: usize,
 }
 
 impl PlanCache {
@@ -498,15 +511,21 @@ impl PlanCache {
             dtype: desc.dtype,
             op: desc.op,
             root: desc.root,
-            devices: desc.devices.clone(),
             rank,
             algorithm: kind,
             chunk_elems,
             channels,
         };
-        if let Some(cached) = self.map.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(cached.clone());
+        {
+            let shapes = self.shapes.lock();
+            if let Some(cached) = shapes
+                .by_devices
+                .get(desc.devices.as_slice())
+                .and_then(|inner| inner.get(&key))
+            {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(cached.clone());
+            }
         }
         // Build outside the lock: concurrent first registrations of one
         // shape may build twice, but registration never blocks behind
@@ -519,16 +538,28 @@ impl PlanCache {
             plan: Arc::new(plan),
         };
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.lock();
-        if map.len() >= PLAN_CACHE_MAX_SHAPES {
+        let mut guard = self.shapes.lock();
+        let shapes = &mut *guard;
+        if shapes.total >= PLAN_CACHE_MAX_SHAPES {
             // Evict an arbitrary shape: correctness is unaffected (it
             // recompiles on next use) and the common steady state — a
             // bounded set of hot shapes — never reaches this.
-            if let Some(victim) = map.keys().next().cloned() {
-                map.remove(&victim);
+            if let Some(victim_devices) = shapes.by_devices.keys().next().cloned() {
+                if let Some(inner) = shapes.by_devices.get_mut(&victim_devices) {
+                    if let Some(victim) = inner.keys().next().copied() {
+                        inner.remove(&victim);
+                        shapes.total -= 1;
+                    }
+                    if inner.is_empty() {
+                        shapes.by_devices.remove(&victim_devices);
+                    }
+                }
             }
         }
-        map.insert(key, cached.clone());
+        let inner = shapes.by_devices.entry(desc.devices.clone()).or_default();
+        if inner.insert(key, cached.clone()).is_none() {
+            shapes.total += 1;
+        }
         Ok(cached)
     }
 
@@ -544,12 +575,12 @@ impl PlanCache {
 
     /// Number of distinct shapes cached.
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.shapes.lock().total
     }
 
     /// Whether the cache holds no shapes.
     pub fn is_empty(&self) -> bool {
-        self.map.lock().is_empty()
+        self.len() == 0
     }
 }
 

@@ -18,8 +18,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use dfccl_collectives::{
-    validate_buffers, AlgorithmKind, CollectiveDescriptor, CollectiveError, DataType, DeviceBuffer,
-    PlanCache, ReduceOp,
+    plan_fusion, validate_buffers, AlgorithmKind, CollectiveDescriptor, CollectiveError, DataType,
+    DeviceBuffer, GraphOp, PlanCache, RecordedCollective, ReduceOp, FUSED_COLL_ID_BASE,
 };
 use dfccl_transport::{Communicator, CommunicatorPool, LinkModel, Topology, TransportError};
 use gpu_sim::{GpuDevice, GpuId, GpuSpec, MemoryUsage, SyncKind};
@@ -28,7 +28,10 @@ use parking_lot::Mutex;
 use crate::callback::{Callback, CallbackMap, CompletionHandle};
 use crate::config::DfcclConfig;
 use crate::cq::{build_cq, CqKind};
-use crate::daemon::{run_poller, DaemonController, DaemonShared, RegisteredCollective};
+use crate::daemon::{
+    run_poller, CapturedGraph, DaemonController, DaemonShared, GraphNode, RegisteredCollective,
+    GRAPH_ID_BASE,
+};
 use crate::sq::{Sqe, SubmissionQueue};
 use crate::stats::{CollectiveStats, DaemonStatsSnapshot};
 
@@ -49,6 +52,17 @@ pub enum DfcclError {
     SubmissionQueueFull,
     /// The rank context has been destroyed.
     Destroyed,
+    /// The collective id has one of the top two bits set — that space is
+    /// reserved for graph replay ids and capture-generated fused collectives.
+    ReservedCollectiveId(u64),
+    /// A graph capture ended with no recorded collectives.
+    EmptyGraph,
+    /// The graph already has a replay in flight; its staging and recv buffers
+    /// are fixed addresses, so replays of one graph must not overlap.
+    GraphReplayInFlight(u64),
+    /// The graph was captured on a different rank; its nodes hold that rank's
+    /// connectors and cannot be replayed here.
+    GraphForeignRank { gpu: GpuId, graph_id: u64 },
     /// A collective-level validation error.
     Collective(CollectiveError),
     /// A transport-level error.
@@ -72,6 +86,16 @@ impl std::fmt::Display for DfcclError {
             }
             DfcclError::SubmissionQueueFull => write!(f, "submission queue is full"),
             DfcclError::Destroyed => write!(f, "rank context has been destroyed"),
+            DfcclError::ReservedCollectiveId(id) => {
+                write!(f, "collective id {id:#x} lies in the reserved graph space")
+            }
+            DfcclError::EmptyGraph => write!(f, "graph capture recorded no collectives"),
+            DfcclError::GraphReplayInFlight(id) => {
+                write!(f, "graph {id:#x} already has a replay in flight")
+            }
+            DfcclError::GraphForeignRank { gpu, graph_id } => {
+                write!(f, "graph {graph_id:#x} was not captured on {gpu}")
+            }
             DfcclError::Collective(e) => write!(f, "{e}"),
             DfcclError::Transport(e) => write!(f, "{e}"),
         }
@@ -90,6 +114,19 @@ impl From<TransportError> for DfcclError {
     fn from(e: TransportError) -> Self {
         DfcclError::Transport(e)
     }
+}
+
+/// Snapshot of the domain plan cache's counters, as reported by
+/// [`DfcclDomain::cache_stats`] and surfaced in the registration benchmark
+/// panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups that found an already-compiled plan.
+    pub hits: u64,
+    /// Lookups that had to build and compile a plan.
+    pub misses: u64,
+    /// Distinct (shape, rank) plans currently cached.
+    pub size: usize,
 }
 
 /// Cluster-level state shared by every rank created in this process.
@@ -183,6 +220,17 @@ impl DfcclDomain {
         &self.plan_cache
     }
 
+    /// Hit/miss/size counters of the domain plan cache, in one consistent-ish
+    /// snapshot (the counters are independent atomics, so a concurrent
+    /// registration may skew them by one — fine for benchmarks and tests).
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.plan_cache.hits(),
+            misses: self.plan_cache.misses(),
+            size: self.plan_cache.len(),
+        }
+    }
+
     /// Get (or create) the communicator backing collective `coll_id` over
     /// `devices`. All ranks registering the same id must pass the same ordered
     /// device set.
@@ -256,6 +304,7 @@ impl DfcclDomain {
             poller: Mutex::new(Some(poller)),
             poller_stop,
             next_seq: AtomicU64::new(0),
+            next_graph_id: AtomicU64::new(1),
             destroyed: AtomicBool::new(false),
             _context_buffer: context_buffer,
         })
@@ -274,6 +323,7 @@ pub struct RankCtx {
     poller: Mutex<Option<JoinHandle<()>>>,
     poller_stop: Arc<AtomicBool>,
     next_seq: AtomicU64,
+    next_graph_id: AtomicU64,
     destroyed: AtomicBool,
     _context_buffer: Option<gpu_sim::device::GlobalAllocation>,
 }
@@ -304,8 +354,26 @@ impl RankCtx {
 
     /// Register a collective described by `desc` under `coll_id`
     /// (the `dfcclRegister*` family). Registration may also happen during
-    /// runtime, after other collectives have already run.
+    /// runtime, after other collectives have already run. Ids with either of
+    /// the top two bits set are reserved for graph replays and
+    /// capture-generated fused collectives and are rejected here.
     pub fn register(&self, coll_id: u64, desc: CollectiveDescriptor) -> Result<(), DfcclError> {
+        if coll_id & (GRAPH_ID_BASE | FUSED_COLL_ID_BASE) != 0 {
+            return Err(DfcclError::ReservedCollectiveId(coll_id));
+        }
+        self.register_resolved(coll_id, desc).map(|_| ())
+    }
+
+    /// The shared registration path: validates, compiles (through the plan
+    /// cache), binds connectors and publishes the registration, returning the
+    /// resolved [`RegisteredCollective`]. Used by both [`RankCtx::register`]
+    /// and the capture path, which registers fused collectives in the
+    /// reserved id space.
+    fn register_resolved(
+        &self,
+        coll_id: u64,
+        desc: CollectiveDescriptor,
+    ) -> Result<Arc<RegisteredCollective>, DfcclError> {
         self.check_alive()?;
         desc.validate()?;
         if self.shared.registered.read().contains_key(&coll_id) {
@@ -346,10 +414,33 @@ impl RankCtx {
             program: cached.program,
             table,
         });
-        self.shared.registered.write().insert(coll_id, reg);
+        self.shared
+            .registered
+            .write()
+            .insert(coll_id, Arc::clone(&reg));
         // Invalidate the daemon's lock-free registry cache.
         self.shared.bump_registry_generation();
-        Ok(())
+        Ok(reg)
+    }
+
+    /// Resolve (registering on first use) the fused collective a capture
+    /// produced. Fused ids are deterministic functions of their first
+    /// constituent, so a later capture of the same step finds the id already
+    /// registered: reuse it when the descriptor matches, reject the capture
+    /// when it does not (same leading collective fused into a different
+    /// bucket — replaying both graphs would disagree about the wire format).
+    fn resolve_fused(
+        &self,
+        coll_id: u64,
+        desc: &CollectiveDescriptor,
+    ) -> Result<Arc<RegisteredCollective>, DfcclError> {
+        if let Some(existing) = self.shared.registered.read().get(&coll_id) {
+            if existing.desc == *desc {
+                return Ok(Arc::clone(existing));
+            }
+            return Err(DfcclError::AlreadyRegistered(coll_id));
+        }
+        self.register_resolved(coll_id, desc.clone())
     }
 
     /// Register an all-reduce (`dfcclRegisterAllReduce`).
@@ -519,6 +610,79 @@ impl RankCtx {
         Ok(handle)
     }
 
+    /// Start capturing an iteration graph: record the step's collective
+    /// invocations once with [`GraphRecorder::record`], then
+    /// [`GraphRecorder::finish`] compiles them (including the small-all-reduce
+    /// fusion pass) into an immutable [`CapturedGraph`] that
+    /// [`RankCtx::replay`] submits whole.
+    pub fn begin_capture(&self) -> Result<GraphRecorder<'_>, DfcclError> {
+        self.check_alive()?;
+        Ok(GraphRecorder {
+            ctx: self,
+            records: Vec::new(),
+        })
+    }
+
+    /// Replay a captured graph: one SQE submission, one completion callback
+    /// for the whole iteration. The buffers are the ones recorded at capture
+    /// time, so a graph admits at most one replay in flight
+    /// ([`DfcclError::GraphReplayInFlight`] otherwise).
+    pub fn replay(&self, graph: &Arc<CapturedGraph>, callback: Callback) -> Result<(), DfcclError> {
+        self.check_alive()?;
+        if graph.gpu != self.gpu {
+            return Err(DfcclError::GraphForeignRank {
+                gpu: self.gpu,
+                graph_id: graph.graph_id,
+            });
+        }
+        if graph
+            .in_flight
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(DfcclError::GraphReplayInFlight(graph.graph_id));
+        }
+        // Stage fused inputs on the invoker thread, before the SQE becomes
+        // visible: the daemon may start executing nodes the moment it drains
+        // the queue.
+        for node in &graph.nodes {
+            if let GraphOp::Fused(fused) = &node.op {
+                fused.gather();
+            }
+        }
+        let bind_token = self.callbacks.bind(graph.graph_id, callback);
+        self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
+        // `seq` doubles as the replay's run number: the daemon keys the
+        // run's countdown state by (graph_id, seq).
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let sqe = Sqe {
+            coll_id: graph.graph_id,
+            seq,
+            send: DeviceBuffer::zeroed(0),
+            recv: DeviceBuffer::zeroed(0),
+            exit: false,
+        };
+        if self.sq.try_push(sqe).is_err() {
+            self.shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+            let _ = self.callbacks.unbind(graph.graph_id, bind_token);
+            graph.in_flight.store(false, Ordering::Release);
+            return Err(DfcclError::SubmissionQueueFull);
+        }
+        self.controller.ensure_running();
+        Ok(())
+    }
+
+    /// Replay a captured graph and get a waitable handle back. The handle
+    /// completes once — when every node of the graph has completed.
+    pub fn replay_awaitable(
+        &self,
+        graph: &Arc<CapturedGraph>,
+    ) -> Result<CompletionHandle, DfcclError> {
+        let handle = CompletionHandle::new();
+        self.replay(graph, handle.completion_callback())?;
+        Ok(handle)
+    }
+
     /// Issue a `cudaDeviceSynchronize()`-style synchronization on this rank's
     /// GPU and wait for it (bounded by `timeout`). Returns whether the
     /// synchronization completed. With DFCCL the daemon kernel quits
@@ -621,6 +785,103 @@ impl RankCtx {
 impl Drop for RankCtx {
     fn drop(&mut self) {
         self.destroy();
+    }
+}
+
+/// Records one iteration's collective invocations for graph replay.
+///
+/// Created by [`RankCtx::begin_capture`]. Each [`GraphRecorder::record`] call
+/// is validated exactly like [`RankCtx::run`] (registration + buffer sizes)
+/// but submits nothing; [`GraphRecorder::finish`] runs the fusion pass over
+/// the recorded sequence, pre-resolves every node's registration and connector
+/// table, and publishes the immutable [`CapturedGraph`] to the daemon.
+pub struct GraphRecorder<'a> {
+    ctx: &'a RankCtx,
+    records: Vec<RecordedCollective>,
+}
+
+impl GraphRecorder<'_> {
+    /// Record one invocation of registered collective `coll_id` with the
+    /// buffers every replay of the graph will use.
+    pub fn record(
+        &mut self,
+        coll_id: u64,
+        send: DeviceBuffer,
+        recv: DeviceBuffer,
+    ) -> Result<(), DfcclError> {
+        self.ctx.check_alive()?;
+        let reg = self
+            .ctx
+            .shared
+            .registered
+            .read()
+            .get(&coll_id)
+            .cloned()
+            .ok_or(DfcclError::NotRegistered(coll_id))?;
+        validate_buffers(&reg.desc, reg.rank, &send, &recv)?;
+        self.records.push(RecordedCollective {
+            coll_id,
+            desc: reg.desc.clone(),
+            send,
+            recv,
+        });
+        Ok(())
+    }
+
+    /// Number of collectives recorded so far (before fusion).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Compile the recorded sequence into a replayable graph.
+    ///
+    /// Runs the fusion pass (consecutive small same-shape all-reduces fuse
+    /// into one striped collective, see
+    /// [`dfccl_collectives::plan_fusion`]), registers each fused collective
+    /// under its deterministic reserved id — every rank capturing the same
+    /// step derives the same id, so the fused communicators line up across
+    /// ranks without coordination — and resolves every node's registration so
+    /// replay touches neither the registry write lock nor the plan cache.
+    pub fn finish(self) -> Result<Arc<CapturedGraph>, DfcclError> {
+        let ctx = self.ctx;
+        ctx.check_alive()?;
+        if self.records.is_empty() {
+            return Err(DfcclError::EmptyGraph);
+        }
+        let threshold = ctx.domain.config.fusion_threshold_bytes;
+        let ops = plan_fusion(self.records, threshold);
+        let mut nodes = Vec::with_capacity(ops.len());
+        for op in ops {
+            let coll_id = op.coll_id();
+            let reg = match &op {
+                GraphOp::Single(_) => ctx
+                    .shared
+                    .registered
+                    .read()
+                    .get(&coll_id)
+                    .cloned()
+                    .ok_or(DfcclError::NotRegistered(coll_id))?,
+                GraphOp::Fused(fused) => ctx.resolve_fused(coll_id, &fused.desc)?,
+            };
+            nodes.push(GraphNode { op, reg });
+        }
+        let graph_id = GRAPH_ID_BASE | ctx.next_graph_id.fetch_add(1, Ordering::Relaxed);
+        let graph = Arc::new(CapturedGraph {
+            graph_id,
+            gpu: ctx.gpu,
+            nodes,
+            in_flight: AtomicBool::new(false),
+        });
+        ctx.shared
+            .graphs
+            .write()
+            .insert(graph_id, Arc::clone(&graph));
+        Ok(graph)
     }
 }
 
@@ -1157,6 +1418,183 @@ mod tests {
         assert_eq!(recv0.to_f32_vec(), vec![3.0f32; 16]);
         dfccl_destroy(ctx0);
         dfccl_destroy(ctx1);
+    }
+
+    #[test]
+    fn reserved_collective_ids_are_rejected() {
+        let domain = DfcclDomain::flat_for_testing(2);
+        let ctx = domain.init_rank(GpuId(0)).unwrap();
+        for id in [GRAPH_ID_BASE, FUSED_COLL_ID_BASE, GRAPH_ID_BASE | 7] {
+            assert!(matches!(
+                ctx.register_all_reduce(id, 8, DataType::F32, ReduceOp::Sum, gpus(2), 0),
+                Err(DfcclError::ReservedCollectiveId(_))
+            ));
+        }
+        ctx.destroy();
+    }
+
+    #[test]
+    fn empty_capture_is_rejected() {
+        let domain = DfcclDomain::flat_for_testing(2);
+        let ctx = domain.init_rank(GpuId(0)).unwrap();
+        let rec = ctx.begin_capture().unwrap();
+        assert!(rec.is_empty());
+        assert!(matches!(rec.finish(), Err(DfcclError::EmptyGraph)));
+        ctx.destroy();
+    }
+
+    #[test]
+    fn capture_fuses_small_all_reduces_and_replay_matches_individual_runs() {
+        // Three small same-shape all-reduces and one large one: the capture
+        // fuses the small ones into a single node, replays produce exactly the
+        // sums individual submission would, and each replay costs one
+        // completion per rank.
+        let domain = DfcclDomain::flat_for_testing(2);
+        let n = 2;
+        let counts = [8usize, 12, 4, 50_000]; // last exceeds the 64 KiB threshold
+        let ranks: Vec<_> = (0..n)
+            .map(|g| domain.init_rank(GpuId(g)).unwrap())
+            .collect();
+        for ctx in &ranks {
+            for (i, &count) in counts.iter().enumerate() {
+                ctx.register_all_reduce(
+                    i as u64 + 1,
+                    count,
+                    DataType::F32,
+                    ReduceOp::Sum,
+                    gpus(n),
+                    0,
+                )
+                .unwrap();
+            }
+        }
+        // Per-rank recorded buffers, fixed for the graph's lifetime.
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        let mut graphs = Vec::new();
+        for (r, ctx) in ranks.iter().enumerate() {
+            let mut rec = ctx.begin_capture().unwrap();
+            let mut rank_sends = Vec::new();
+            let mut rank_recvs = Vec::new();
+            for (i, &count) in counts.iter().enumerate() {
+                let data: Vec<f32> = (0..count)
+                    .map(|j| ((r * 31 + i * 7 + j) % 101) as f32)
+                    .collect();
+                let send = DeviceBuffer::from_f32(&data);
+                let recv = DeviceBuffer::zeroed(count * 4);
+                rec.record(i as u64 + 1, send.clone(), recv.clone())
+                    .unwrap();
+                rank_sends.push(data);
+                rank_recvs.push(recv);
+            }
+            assert_eq!(rec.len(), counts.len());
+            let graph = rec.finish().unwrap();
+            // 3 small all-reduces fuse into one node; the large one stays.
+            assert_eq!(graph.len(), 2);
+            assert_eq!(graph.fused_nodes(), 1);
+            sends.push(rank_sends);
+            recvs.push(rank_recvs);
+            graphs.push(graph);
+        }
+        for round in 0..3 {
+            let handles: Vec<_> = ranks
+                .iter()
+                .zip(&graphs)
+                .map(|(ctx, g)| ctx.replay_awaitable(g).unwrap())
+                .collect();
+            for h in &handles {
+                assert!(
+                    h.wait_for_timeout(1, Duration::from_secs(30)),
+                    "graph replay round {round} timed out"
+                );
+            }
+            for (r, rank_recvs) in recvs.iter().enumerate() {
+                for (i, recv) in rank_recvs.iter().enumerate() {
+                    let expected: Vec<f32> = (0..counts[i])
+                        .map(|j| (0..n).map(|src| sends[src][i][j]).sum())
+                        .collect();
+                    assert_eq!(
+                        recv.to_f32_vec(),
+                        expected,
+                        "rank {r} collective {i} round {round}"
+                    );
+                }
+            }
+        }
+        for ctx in &ranks {
+            assert!(ctx.collective_errors().is_empty());
+            assert_eq!(ctx.outstanding(), 0);
+        }
+        for ctx in ranks {
+            ctx.destroy();
+        }
+    }
+
+    #[test]
+    fn replay_guards_foreign_rank_and_overlap() {
+        let domain = DfcclDomain::flat_for_testing(2);
+        let ranks: Vec<_> = (0..2)
+            .map(|g| domain.init_rank(GpuId(g)).unwrap())
+            .collect();
+        for ctx in &ranks {
+            ctx.register_all_reduce(1, 8, DataType::F32, ReduceOp::Sum, gpus(2), 0)
+                .unwrap();
+        }
+        let mut rec = ranks[0].begin_capture().unwrap();
+        rec.record(
+            1,
+            DeviceBuffer::from_f32(&[1.0; 8]),
+            DeviceBuffer::zeroed(32),
+        )
+        .unwrap();
+        let graph = rec.finish().unwrap();
+        // A graph captured on rank 0 cannot replay on rank 1.
+        assert!(matches!(
+            ranks[1].replay_awaitable(&graph),
+            Err(DfcclError::GraphForeignRank { .. })
+        ));
+        // Simulate an in-flight replay: the second submission must bounce.
+        graph.in_flight.store(true, Ordering::Release);
+        assert!(matches!(
+            ranks[0].replay_awaitable(&graph),
+            Err(DfcclError::GraphReplayInFlight(_))
+        ));
+        graph.in_flight.store(false, Ordering::Release);
+        for ctx in ranks {
+            ctx.destroy();
+        }
+    }
+
+    #[test]
+    fn cache_stats_reflect_hits_and_misses() {
+        let domain = DfcclDomain::flat_for_testing(2);
+        let ctx0 = domain.init_rank(GpuId(0)).unwrap();
+        let ctx1 = domain.init_rank(GpuId(1)).unwrap();
+        assert_eq!(
+            domain.cache_stats(),
+            PlanCacheStats {
+                hits: 0,
+                misses: 0,
+                size: 0
+            }
+        );
+        ctx0.register_all_reduce(1, 16, DataType::F32, ReduceOp::Sum, gpus(2), 0)
+            .unwrap();
+        let after_miss = domain.cache_stats();
+        assert_eq!(
+            (after_miss.hits, after_miss.misses, after_miss.size),
+            (0, 1, 1)
+        );
+        // Same shape, different id, same rank: a pure hit.
+        ctx0.register_all_reduce(2, 16, DataType::F32, ReduceOp::Sum, gpus(2), 0)
+            .unwrap();
+        // Same shape on the peer rank: a miss (plans are per-rank).
+        ctx1.register_all_reduce(1, 16, DataType::F32, ReduceOp::Sum, gpus(2), 0)
+            .unwrap();
+        let stats = domain.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.size), (1, 2, 2));
+        ctx0.destroy();
+        ctx1.destroy();
     }
 
     #[test]

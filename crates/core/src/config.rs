@@ -246,6 +246,14 @@ pub struct DfcclConfig {
     /// plan IR step by step (the legacy path, kept as the baseline arm of
     /// the dispatch-cost benchmarks and as a differential-testing oracle).
     pub compiled_dispatch: bool,
+    /// Graph-capture fusion threshold: consecutive captured all-reduces of
+    /// the same (device set, dtype, operator) shape whose payloads are each
+    /// at most this many bytes are coalesced into one fused all-reduce when
+    /// the recorded graph is finalized (the DDP gradient-bucketing idiom).
+    /// `0` disables fusion;
+    /// [`CollectiveDescriptor::with_no_fuse`](dfccl_collectives::CollectiveDescriptor::with_no_fuse)
+    /// opts a single collective out.
+    pub fusion_threshold_bytes: usize,
 }
 
 impl Default for DfcclConfig {
@@ -274,6 +282,7 @@ impl Default for DfcclConfig {
             context_save_ns: 50.0,
             active_context_slots: 8,
             compiled_dispatch: true,
+            fusion_threshold_bytes: 64 * 1024,
         }
     }
 }
@@ -404,6 +413,17 @@ mod tests {
         assert_eq!(forced.algorithm_selector().force, Some(AlgorithmKind::Ring));
         let striped = DfcclConfig::default().with_channels(4);
         assert_eq!(striped.algorithm_selector().channels, 4);
+    }
+
+    #[test]
+    fn fusion_threshold_defaults_to_ddp_scale_buckets() {
+        let c = DfcclConfig::default();
+        assert_eq!(c.fusion_threshold_bytes, 64 * 1024);
+        let off = DfcclConfig {
+            fusion_threshold_bytes: 0,
+            ..DfcclConfig::default()
+        };
+        assert_eq!(off.fusion_threshold_bytes, 0);
     }
 
     #[test]

@@ -21,6 +21,20 @@ use dfccl_collectives::DeviceBuffer;
 use gpu_sim::busy_spin;
 use parking_lot::Mutex;
 
+/// Which graph replay an invocation belongs to, if any. Carried in the
+/// dynamic context so the daemon can route the constituent's completion to
+/// the graph's single completion accounting instead of emitting a per-node
+/// CQE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphTag {
+    /// The graph's replay id (`GRAPH_ID_BASE | counter`).
+    pub graph_id: u64,
+    /// Which replay of the graph (its submission sequence number).
+    pub run: u64,
+    /// This invocation's node index within the graph.
+    pub node: u32,
+}
+
 /// Dynamic context of one invocation of a collective.
 #[derive(Debug, Clone)]
 pub struct DynamicContext {
@@ -50,6 +64,9 @@ pub struct DynamicContext {
     /// Whether the collective progressed since its context was last saved
     /// (drives the lazy-saving optimisation).
     pub progressed_since_save: bool,
+    /// The graph replay this invocation belongs to, if it was expanded from
+    /// a graph SQE rather than submitted individually.
+    pub graph: Option<GraphTag>,
 }
 
 impl DynamicContext {
@@ -63,15 +80,19 @@ impl DynamicContext {
             send,
             recv,
             progressed_since_save: false,
+            graph: None,
         }
     }
 
     /// Size the lane cursors for a program with `lanes` lanes. A fresh
     /// context starts every lane at 0; a context restored from a preemption
-    /// already carries its positions and is left untouched.
+    /// already carries its positions and is left untouched. Resizing clears
+    /// and refills in place, so a recycled context's cursor storage keeps
+    /// its capacity instead of reallocating.
     pub fn ensure_lanes(&mut self, lanes: usize) {
         if self.lane_cursors.len() != lanes {
-            self.lane_cursors = vec![0; lanes];
+            self.lane_cursors.clear();
+            self.lane_cursors.resize(lanes, 0);
         }
     }
 }
@@ -91,6 +112,10 @@ struct PerCollective {
     /// Pending invocations in FIFO order; the front is the one currently
     /// being executed or next to execute.
     pending: VecDeque<DynamicContext>,
+    /// Cleared lane-cursor and pending-send storage recycled from the last
+    /// completed invocation: the next invocation of this collective refills
+    /// it instead of allocating (the shapes recur, so the capacity fits).
+    spare: Option<(Vec<u32>, PendingSends)>,
 }
 
 /// The context store shared between daemon-kernel incarnations. It lives in
@@ -117,10 +142,21 @@ impl ContextStore {
     }
 
     /// Queue a new invocation of `coll_id`. Returns the number of invocations
-    /// now pending for that collective (including this one).
-    pub fn enqueue_invocation(&self, coll_id: u64, ctx: DynamicContext) -> usize {
+    /// now pending for that collective (including this one). A fresh context
+    /// adopts the storage recycled from the collective's last completed
+    /// invocation, so steady-state invocations allocate no cursor or
+    /// staging-slot storage.
+    pub fn enqueue_invocation(&self, coll_id: u64, mut ctx: DynamicContext) -> usize {
         let mut map = self.per_coll.lock();
         let entry = map.entry(coll_id).or_default();
+        if let Some((cursors, pending_sends)) = entry.spare.take() {
+            if ctx.lane_cursors.capacity() == 0 {
+                ctx.lane_cursors = cursors;
+            }
+            if ctx.pending_sends.is_empty() {
+                ctx.pending_sends = pending_sends;
+            }
+        }
         entry.pending.push_back(ctx);
         entry.pending.len()
     }
@@ -161,6 +197,17 @@ impl ContextStore {
         let mut map = self.per_coll.lock();
         map.entry(coll_id).or_default().pending.push_front(ctx);
         saved
+    }
+
+    /// Recycle a completed invocation's context: clear its lane-cursor and
+    /// pending-send storage (capacity retained) and stash it for the next
+    /// invocation of `coll_id` to adopt in
+    /// [`ContextStore::enqueue_invocation`].
+    pub fn recycle(&self, coll_id: u64, mut ctx: DynamicContext) {
+        ctx.lane_cursors.clear();
+        ctx.pending_sends.clear();
+        let mut map = self.per_coll.lock();
+        map.entry(coll_id).or_default().spare = Some((ctx.lane_cursors, ctx.pending_sends));
     }
 
     /// Whether more invocations are pending for `coll_id`.
@@ -250,6 +297,37 @@ mod tests {
         // A different program shape resizes from scratch.
         c.ensure_lanes(2);
         assert_eq!(c.lane_cursors, vec![0, 0]);
+    }
+
+    #[test]
+    fn ensure_lanes_resizes_in_place_without_losing_capacity() {
+        let mut c = ctx(0);
+        c.ensure_lanes(8);
+        let cap = c.lane_cursors.capacity();
+        c.lane_cursors[5] = 7;
+        c.ensure_lanes(2);
+        assert_eq!(c.lane_cursors, vec![0, 0], "stale cursors reset");
+        assert!(c.lane_cursors.capacity() >= cap, "capacity retained");
+        c.ensure_lanes(8);
+        assert_eq!(c.lane_cursors, vec![0; 8], "refill starts lanes at zero");
+    }
+
+    #[test]
+    fn recycled_storage_is_adopted_by_the_next_invocation() {
+        let s = store();
+        s.enqueue_invocation(1, ctx(0));
+        let (mut c, _) = s.checkout_current(1).unwrap();
+        c.ensure_lanes(3);
+        let cap = c.lane_cursors.capacity();
+        assert!(cap >= 3);
+        s.recycle(1, c);
+        s.enqueue_invocation(1, ctx(1));
+        let (mut c, _) = s.checkout_current(1).unwrap();
+        assert!(c.lane_cursors.is_empty(), "adopted storage arrives cleared");
+        assert_eq!(c.lane_cursors.capacity(), cap, "allocation reused");
+        c.ensure_lanes(3);
+        assert_eq!(c.lane_cursors, vec![0, 0, 0]);
+        assert!(c.pending_sends.is_empty());
     }
 
     #[test]

@@ -333,13 +333,30 @@ pub struct OptimizedRingCq {
     costs: HostMemCosts,
 }
 
+/// Marker bits of the id space that must survive the 32-bit packing: bit 63
+/// flags a graph completion ([`crate::daemon::GRAPH_ID_BASE`]) and bit 62 a
+/// fusion-synthesized collective (`FUSED_COLL_ID_BASE`). They fold into bits
+/// 31–30 of the packed id field, which caps the payload part of an id at 30
+/// bits — plenty for per-rank registration counters, and checked in debug
+/// builds.
+const MARKER_SHIFT: u64 = 32;
+const MARKER_BITS: u64 = 0xC000_0000;
+const PAYLOAD_BITS: u64 = 0x3FFF_FFFF;
+
 fn pack(tail: u64, coll_id: u64) -> u64 {
-    debug_assert!(coll_id < (1 << 32), "collective id must fit in 32 bits");
-    (tail << 32) | (coll_id & 0xFFFF_FFFF)
+    debug_assert!(
+        coll_id & !((MARKER_BITS << MARKER_SHIFT) | PAYLOAD_BITS) == 0,
+        "collective id {coll_id:#x} must be a marker bit (62/63) plus 30 payload bits"
+    );
+    (tail << 32) | ((coll_id >> MARKER_SHIFT) & MARKER_BITS) | (coll_id & PAYLOAD_BITS)
 }
 
 fn unpack(word: u64) -> (u64, u64) {
-    (word >> 32, word & 0xFFFF_FFFF)
+    let id = word & 0xFFFF_FFFF;
+    (
+        word >> 32,
+        ((id & MARKER_BITS) << MARKER_SHIFT) | (id & PAYLOAD_BITS),
+    )
 }
 
 impl OptimizedRingCq {
@@ -629,6 +646,30 @@ mod tests {
         let mut got: Vec<u64> = std::iter::from_fn(|| cq.pop().map(|c| c.coll_id)).collect();
         got.sort_unstable();
         assert_eq!(got, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn reserved_marker_ids_round_trip_on_every_variant() {
+        // Graph and fused collective ids carry marker bits 63 / 62. The
+        // optimized ring packs the id into 32 bits, so the markers must fold
+        // into the packed word and unfold on pop — a graph completion dropped
+        // or truncated here wedges every replay.
+        let ids = [
+            crate::daemon::GRAPH_ID_BASE | 1,
+            dfccl_collectives::FUSED_COLL_ID_BASE | 7,
+            (1 << 30) - 1,
+        ];
+        for v in ALL_VARIANTS {
+            let cq = build_cq(v, 8, HostMemCosts::free());
+            for &id in &ids {
+                assert!(cq.push(Cqe { coll_id: id }));
+                assert_eq!(
+                    cq.pop(),
+                    Some(Cqe { coll_id: id }),
+                    "{v:?} mangled id {id:#x}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ use std::time::{Duration, Instant};
 
 use dfccl_collectives::{
     execute_ready_instr, execute_ready_step, flush_pending, flush_pending_compiled, instr_ready,
-    step_ready, CollectiveDescriptor, CompiledProgram, Plan, StepOutcome,
+    step_ready, CollectiveDescriptor, CompiledProgram, GraphOp, Plan, StepOutcome,
 };
 use dfccl_transport::{Communicator, ConnectorTable, RankChannels};
 use gpu_sim::{GpuDevice, GpuId};
@@ -54,7 +54,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::callback::CallbackMap;
 use crate::config::DfcclConfig;
-use crate::context::{ContextLoad, ContextStore, DynamicContext};
+use crate::context::{ContextLoad, ContextStore, DynamicContext, GraphTag};
 use crate::cq::{CqKind, Cqe};
 use crate::park::Parker;
 use crate::sq::{SqCursor, Sqe, SubmissionQueue};
@@ -85,6 +85,76 @@ pub struct RegisteredCollective {
     pub table: ConnectorTable,
 }
 
+/// High bit reserved in the SQE collective-id space for graph replays: an SQE
+/// whose `coll_id` has this bit set (and is not the exit marker, which is
+/// checked first) names a captured graph, and the daemon expands it into the
+/// graph's pre-resolved per-node invocations instead of enqueuing a single
+/// collective. Graph ids are rank-local (`GRAPH_ID_BASE | counter`); they
+/// never cross the wire, so ranks need not agree on them.
+pub const GRAPH_ID_BASE: u64 = 1 << 63;
+
+/// Whether an SQE collective id names a graph replay.
+pub fn is_graph_id(coll_id: u64) -> bool {
+    coll_id & GRAPH_ID_BASE != 0
+}
+
+/// One node of a captured graph: the (possibly fused) recorded operation and
+/// its registration, resolved at capture time so replay touches neither the
+/// registry lock nor the plan cache.
+pub struct GraphNode {
+    /// The recorded operation (buffers fixed at capture).
+    pub op: GraphOp,
+    /// The pre-resolved static context the daemon executes the node with.
+    pub reg: Arc<RegisteredCollective>,
+}
+
+/// An immutable captured iteration graph, ready for replay. Created by
+/// `RankCtx::begin_capture` / `GraphRecorder::finish`; submitted whole by
+/// `RankCtx::replay` as one SQE carrying the graph id.
+pub struct CapturedGraph {
+    /// The replay id (`GRAPH_ID_BASE | counter`, unique per rank).
+    pub graph_id: u64,
+    /// The GPU whose rank context captured this graph (replay is only valid
+    /// on the same rank — the nodes hold that rank's connectors).
+    pub gpu: GpuId,
+    /// The nodes, in recorded submission order, after the fusion pass.
+    pub nodes: Vec<GraphNode>,
+    /// Guards against overlapping replays of one graph: the staging buffers
+    /// and recorded recv buffers are fixed addresses, so a second in-flight
+    /// replay would race the first. Set by `replay`, cleared by the daemon
+    /// after the final node's completion (and scatter).
+    pub(crate) in_flight: AtomicBool,
+}
+
+impl CapturedGraph {
+    /// Number of collectives one replay executes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// How many of the recorded collectives were coalesced into fused nodes.
+    pub fn fused_nodes(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.op, GraphOp::Fused(_)))
+            .count()
+    }
+}
+
+/// Countdown state of one in-flight graph replay: lives in [`DaemonShared`]
+/// (not the daemon thread) so it survives voluntary quits and restarts.
+struct GraphRun {
+    graph: Arc<CapturedGraph>,
+    /// Nodes not yet completed or failed. At zero the run is torn down and
+    /// the graph's single CQE is published.
+    remaining: usize,
+}
+
 /// State shared between the API layer, the poller thread and the daemon-kernel
 /// thread (and surviving daemon restarts).
 pub struct DaemonShared {
@@ -109,6 +179,11 @@ pub struct DaemonShared {
     registry_generation: AtomicU64,
     /// Dynamic contexts of pending invocations (the collective context buffer).
     pub contexts: ContextStore,
+    /// Captured graphs available for replay, keyed by graph id.
+    pub graphs: RwLock<HashMap<u64, Arc<CapturedGraph>>>,
+    /// In-flight graph replays keyed by `(graph_id, run)`; like `contexts`,
+    /// this survives daemon restarts mid-replay.
+    graph_runs: Mutex<HashMap<(u64, u64), GraphRun>>,
     /// Statistics.
     pub stats: Arc<DaemonStats>,
     /// Collectives that failed with a protocol error, and why.
@@ -154,6 +229,8 @@ impl DaemonShared {
             registered: RwLock::new(HashMap::new()),
             registry_generation: AtomicU64::new(1),
             contexts,
+            graphs: RwLock::new(HashMap::new()),
+            graph_runs: Mutex::new(HashMap::new()),
             stats: Arc::new(DaemonStats::default()),
             errors: Mutex::new(HashMap::new()),
             running: AtomicBool::new(false),
@@ -358,6 +435,97 @@ fn flush_completions(shared: &Arc<DaemonShared>, batch: &mut Vec<Cqe>) {
     }
     batch.clear();
     shared.notify_poller();
+}
+
+/// Expand a graph-replay SQE (❶): insert the run's countdown state and
+/// enqueue one pre-tagged invocation per node, in recorded order. The nodes
+/// then flow through the ordinary scheduling pass; only their completions are
+/// routed differently (see [`complete_graph_node`]).
+fn expand_graph(
+    shared: &Arc<DaemonShared>,
+    task_queue: &mut TaskQueue,
+    cqe_batch: &mut Vec<Cqe>,
+    graph_id: u64,
+    run: u64,
+) {
+    let Some(graph) = shared.graphs.read().get(&graph_id).cloned() else {
+        // Replay of a graph this rank never captured: fail it like an
+        // unregistered collective instead of hanging the submitter.
+        shared
+            .errors
+            .lock()
+            .insert(graph_id, "graph not captured on this rank".to_string());
+        enqueue_completion(shared, cqe_batch, graph_id);
+        return;
+    };
+    shared.graph_runs.lock().insert(
+        (graph_id, run),
+        GraphRun {
+            graph: Arc::clone(&graph),
+            remaining: graph.nodes.len(),
+        },
+    );
+    for (node, graph_node) in graph.nodes.iter().enumerate() {
+        let coll_id = graph_node.op.coll_id();
+        let mut ctx = DynamicContext::new(
+            run,
+            graph_node.op.send_buffer().clone(),
+            graph_node.op.recv_buffer().clone(),
+        );
+        ctx.graph = Some(GraphTag {
+            graph_id,
+            run,
+            node: node as u32,
+        });
+        shared.contexts.enqueue_invocation(coll_id, ctx);
+        if !task_queue.contains(coll_id) {
+            task_queue.push(coll_id, graph_node.reg.desc.priority);
+        }
+        shared
+            .stats
+            .record_queue_len(coll_id, task_queue.len() as u64);
+    }
+}
+
+/// Route a graph-tagged invocation's completion (❹): scatter a fused node's
+/// result back into its members' recorded recv buffers, count the node down
+/// against its run, and — when the run's last node finishes — tear the run
+/// down, clear the graph's in-flight guard and publish the graph's single
+/// CQE. A failed node records its error under the *graph* id (first failure
+/// wins) and still counts down, so the replay's completion always fires.
+fn complete_graph_node(
+    shared: &Arc<DaemonShared>,
+    cqe_batch: &mut Vec<Cqe>,
+    tag: GraphTag,
+    failed: Option<String>,
+) {
+    let ok = failed.is_none();
+    if let Some(reason) = failed {
+        shared.errors.lock().entry(tag.graph_id).or_insert(reason);
+    }
+    let finished = {
+        let mut runs = shared.graph_runs.lock();
+        let key = (tag.graph_id, tag.run);
+        let Some(state) = runs.get_mut(&key) else {
+            debug_assert!(false, "graph node completed without a matching run");
+            return;
+        };
+        if ok {
+            if let GraphOp::Fused(fused) = &state.graph.nodes[tag.node as usize].op {
+                fused.scatter();
+            }
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            Some(runs.remove(&key).expect("run present").graph)
+        } else {
+            None
+        }
+    };
+    if let Some(graph) = finished {
+        graph.in_flight.store(false, Ordering::Release);
+        enqueue_completion(shared, cqe_batch, tag.graph_id);
+    }
 }
 
 /// Outcome of one scheduling slice (the time a collective holds the daemon
@@ -691,6 +859,16 @@ fn run_daemon(shared: Arc<DaemonShared>) {
                     shared.final_exit.store(true, Ordering::Release);
                     continue;
                 }
+                if is_graph_id(sqe.coll_id) {
+                    expand_graph(
+                        &shared,
+                        &mut task_queue,
+                        &mut cqe_batch,
+                        sqe.coll_id,
+                        sqe.seq,
+                    );
+                    continue;
+                }
                 let priority = registry
                     .get(&shared, sqe.coll_id)
                     .map(|r| r.desc.priority)
@@ -718,12 +896,15 @@ fn run_daemon(shared: Arc<DaemonShared>) {
         for coll_id in task_queue.order() {
             let Some(reg) = registry.get(&shared, coll_id) else {
                 // Unregistered id: drop the invocation and surface an error.
-                if shared.contexts.checkout_current(coll_id).is_some() {
-                    shared
-                        .errors
-                        .lock()
-                        .insert(coll_id, "collective not registered".to_string());
-                    enqueue_completion(&shared, &mut cqe_batch, coll_id);
+                if let Some((ctx, _)) = shared.contexts.checkout_current(coll_id) {
+                    let reason = "collective not registered".to_string();
+                    shared.errors.lock().insert(coll_id, reason.clone());
+                    match ctx.graph {
+                        Some(tag) => {
+                            complete_graph_node(&shared, &mut cqe_batch, tag, Some(reason))
+                        }
+                        None => enqueue_completion(&shared, &mut cqe_batch, coll_id),
+                    }
                 }
                 task_queue.remove(coll_id);
                 continue;
@@ -756,8 +937,16 @@ fn run_daemon(shared: Arc<DaemonShared>) {
             let (preempted, failed) = (slice.preempted, slice.failed);
 
             if let Some(reason) = failed {
-                shared.errors.lock().insert(coll_id, reason);
-                enqueue_completion(&shared, &mut cqe_batch, coll_id);
+                match ctx.graph {
+                    Some(tag) => {
+                        shared.errors.lock().insert(coll_id, reason.clone());
+                        complete_graph_node(&shared, &mut cqe_batch, tag, Some(reason));
+                    }
+                    None => {
+                        shared.errors.lock().insert(coll_id, reason);
+                        enqueue_completion(&shared, &mut cqe_batch, coll_id);
+                    }
+                }
                 if !shared.contexts.has_pending(coll_id) {
                     task_queue.remove(coll_id);
                 }
@@ -766,8 +955,16 @@ fn run_daemon(shared: Arc<DaemonShared>) {
                 let saved = shared.contexts.checkin_incomplete(coll_id, ctx);
                 shared.stats.record_context_save(!saved);
             } else {
-                // ❹ Completed: buffer the CQE for batched publication.
-                enqueue_completion(&shared, &mut cqe_batch, coll_id);
+                // ❹ Completed: a graph-tagged invocation counts down its
+                // replay (the graph publishes one CQE when the last node
+                // finishes); an individual invocation buffers its own CQE.
+                match ctx.graph {
+                    Some(tag) => complete_graph_node(&shared, &mut cqe_batch, tag, None),
+                    None => enqueue_completion(&shared, &mut cqe_batch, coll_id),
+                }
+                // The invocation is done with its context: recycle the
+                // cursor/staging storage for the collective's next one.
+                shared.contexts.recycle(coll_id, ctx);
                 if !shared.contexts.has_pending(coll_id) {
                     task_queue.remove(coll_id);
                 }
@@ -939,6 +1136,21 @@ mod tests {
         assert_eq!(shared.outstanding(), 0);
         assert!(shared.errors.lock().contains_key(&99));
         assert_eq!(shared.cq.pop().unwrap().coll_id, 99);
+    }
+
+    #[test]
+    fn unknown_graph_replay_is_failed_not_hung() {
+        let shared = shared_for_test();
+        let controller = DaemonController::new(Arc::clone(&shared));
+        let graph_id = GRAPH_ID_BASE | 1;
+        assert!(is_graph_id(graph_id));
+        shared.outstanding.fetch_add(1, Ordering::Release);
+        shared.sq.try_push(data_sqe(graph_id)).unwrap();
+        controller.ensure_running();
+        assert!(controller.wait_idle(Duration::from_secs(5)));
+        assert_eq!(shared.outstanding(), 0, "the failed replay completes once");
+        assert!(shared.errors.lock().contains_key(&graph_id));
+        assert_eq!(shared.cq.pop().unwrap().coll_id, graph_id);
     }
 
     #[test]

@@ -62,12 +62,15 @@ pub mod task_queue;
 
 pub use api::{
     dfccl_destroy, dfccl_init, dfccl_register_all_reduce, dfccl_run_all_reduce, DfcclDomain,
-    DfcclError, RankCtx,
+    DfcclError, GraphRecorder, PlanCacheStats, RankCtx,
 };
 pub use callback::{Callback, CallbackMap, CompletionHandle};
 pub use config::{CqVariant, DfcclConfig, HostMemCosts, OrderingPolicy, SpinPolicy};
 pub use cq::{build_cq, CompletionQueue, CqKind, Cqe};
-pub use daemon::{DaemonController, DaemonShared, RegisteredCollective};
+pub use daemon::{
+    is_graph_id, CapturedGraph, DaemonController, DaemonShared, GraphNode, RegisteredCollective,
+    GRAPH_ID_BASE,
+};
 pub use park::Parker;
 pub use sq::{Sqe, SubmissionQueue};
 pub use stats::{CollectiveStats, DaemonStats, DaemonStatsSnapshot};

@@ -148,18 +148,24 @@ impl RankChannels {
                 .ok_or(TransportError::MissingEdge { peer, channel })?;
             recvs.push(Arc::clone(conn));
         }
-        Ok(ConnectorTable { sends, recvs })
+        Ok(ConnectorTable {
+            sends: sends.into(),
+            recvs: recvs.into(),
+        })
     }
 }
 
 /// A flat, index-addressed connector table — the bound form of a compiled
 /// program's connector references. Built once per registration from
 /// [`RankChannels::dense_view`]; the daemon's poll loop dereferences plain
-/// vector indices instead of doing per-poll map lookups.
+/// vector indices instead of doing per-poll map lookups. The index arrays are
+/// shared `Arc` slices, so cloning a table — e.g. every program of a captured
+/// iteration graph holding on to its registration's connectors — is two
+/// refcount bumps, not a per-connector `Arc` clone loop.
 #[derive(Debug, Clone)]
 pub struct ConnectorTable {
-    sends: Vec<Arc<Connector>>,
-    recvs: Vec<Arc<Connector>>,
+    sends: Arc<[Arc<Connector>]>,
+    recvs: Arc<[Arc<Connector>]>,
 }
 
 impl ConnectorTable {
