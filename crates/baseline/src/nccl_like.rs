@@ -153,6 +153,28 @@ impl NcclDomain {
             .sum()
     }
 
+    /// The domain-wide fault injector (shared by every communicator the pool
+    /// hands out): script per-edge link faults through it.
+    pub fn fault_injector(&self) -> Arc<dfccl_transport::FaultInjector> {
+        Arc::clone(self.pool.fault_injector())
+    }
+
+    /// Per-edge progress samples across every registered collective's
+    /// communicator, each stamped with its collective id — the probe
+    /// [`crate::watchdog::wait_all_or_stall`] consumes to classify a stall
+    /// and name the edges/collectives involved.
+    pub fn edge_samples(&self) -> Vec<dfccl_transport::EdgeSample> {
+        let mut samples = Vec::new();
+        for (&coll_id, comm) in self.communicators.lock().iter() {
+            for mut s in comm.edge_samples() {
+                s.coll_id = Some(coll_id);
+                samples.push(s);
+            }
+        }
+        samples.sort_by_key(|s| (s.coll_id, s.edge));
+        samples
+    }
+
     /// Create a rank context for `gpu`.
     pub fn init_rank(self: &Arc<Self>, gpu: GpuId) -> Result<NcclRank, NcclError> {
         let engine = self.engine(gpu).ok_or(NcclError::UnknownGpu(gpu))?;

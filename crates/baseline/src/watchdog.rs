@@ -15,9 +15,11 @@
 //! `NcclDomain::progress_counter`); every advance of the counter resets the
 //! deadline, so only a genuine stall is reported as a deadlock.
 
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-use gpu_sim::{DeviceEngine, KernelHandle};
+use dfccl_transport::fault::{supervise_with_probe, EdgeSample, StallReport, SuperviseOutcome};
+use gpu_sim::{DeviceEngine, GpuId, KernelHandle};
 use std::sync::Arc;
 
 /// Result of supervising a set of collective kernels.
@@ -87,16 +89,96 @@ pub fn wait_all_or_deadlock_with_progress(
             end = Instant::now() + stall_deadline;
         }
         if Instant::now() >= end {
-            for e in engines {
-                e.abort_all();
+            // The deadline expired against a progress value that may already
+            // be stale (the probe itself can be expensive, and the final 1 ms
+            // sleep is a window too). Re-sample once more before declaring:
+            // a round that advanced in the meantime gets its deadline back
+            // instead of being aborted as wedged.
+            let fresh = progress();
+            if fresh != last_progress {
+                last_progress = fresh;
+                end = Instant::now() + stall_deadline;
+                continue;
             }
-            // Give the aborted kernels a moment to observe the flag.
-            for h in handles {
-                let _ = h.wait_timeout(Duration::from_secs(5));
+            let stalled: Vec<&KernelHandle> = handles
+                .iter()
+                .filter(|h| !h.status().is_terminal())
+                .collect();
+            if stalled.is_empty() {
+                return DeadlockOutcome::AllCompleted;
             }
+            let unfinished = stalled.iter().map(|h| h.name().to_string()).collect();
+            teardown_stalled(&stalled, engines);
             return DeadlockOutcome::Deadlock { unfinished };
         }
         std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Abort only the engines that still own unfinished supervised kernels, and
+/// wait only on those kernels. Engines whose supervised work already
+/// completed — or that only run *other* tenants' kernels — are left alone, so
+/// one stalled tenant's timeout no longer kills bystanders sharing the
+/// domain.
+fn teardown_stalled(stalled: &[&KernelHandle], engines: &[Arc<DeviceEngine>]) {
+    let stalled_devices: HashSet<GpuId> = stalled.iter().map(|h| h.device()).collect();
+    for e in engines {
+        if stalled_devices.contains(&e.device().id()) {
+            e.abort_all();
+        }
+    }
+    // Give the aborted kernels a moment to observe the flag.
+    for h in stalled {
+        let _ = h.wait_timeout(Duration::from_secs(5));
+    }
+}
+
+/// Outcome of supervising kernels with per-edge visibility: either everything
+/// completed, or a structured [`StallReport`] naming the failed/stalled edges
+/// and collectives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StallOutcome {
+    /// Every kernel completed before a stall deadline expired.
+    AllCompleted,
+    /// A full stall deadline passed with zero progress on every edge; the
+    /// report classifies the stall (wedge vs link failure) and names the
+    /// implicated edges, collectives and unfinished kernels.
+    Stalled(StallReport),
+}
+
+impl StallOutcome {
+    /// Whether a stall was detected.
+    pub fn is_stalled(&self) -> bool {
+        matches!(self, StallOutcome::Stalled(_))
+    }
+}
+
+/// The failure-aware successor of [`wait_all_or_deadlock_with_progress`]:
+/// instead of one domain-wide scalar, the probe returns per-edge
+/// [`EdgeSample`]s (e.g. `NcclDomain::edge_samples`). Progress on *any* edge
+/// resets the stall deadline; on expiry the probe is re-sampled once (same
+/// TOCTOU guard as above) and the two snapshots are classified into a
+/// [`StallReport`] that distinguishes a scheduling wedge from a link failure
+/// and names the edges/collectives involved. Teardown is scoped to the
+/// engines owning unfinished supervised kernels.
+pub fn wait_all_or_stall(
+    handles: &[KernelHandle],
+    engines: &[Arc<DeviceEngine>],
+    stall_deadline: Duration,
+    probe: &dyn Fn() -> Vec<EdgeSample>,
+) -> StallOutcome {
+    let done = || handles.iter().all(|h| h.status().is_terminal());
+    match supervise_with_probe(&done, stall_deadline, probe) {
+        SuperviseOutcome::AllCompleted => StallOutcome::AllCompleted,
+        SuperviseOutcome::Stalled(mut report) => {
+            let stalled: Vec<&KernelHandle> = handles
+                .iter()
+                .filter(|h| !h.status().is_terminal())
+                .collect();
+            report.unfinished = stalled.iter().map(|h| h.name().to_string()).collect();
+            teardown_stalled(&stalled, engines);
+            StallOutcome::Stalled(report)
+        }
     }
 }
 
@@ -226,6 +308,161 @@ mod tests {
         );
         for recv in recvs {
             assert_eq!(recv.to_f32_vec(), vec![3.0f32; count]);
+        }
+        domain.shutdown();
+    }
+
+    #[test]
+    fn expiring_deadline_resamples_progress_before_declaring() {
+        // TOCTOU regression: the deadline expires against a progress value
+        // that went stale while the (expensive) probe slept, even though the
+        // round advanced in the meantime. The watchdog must re-sample at the
+        // expiry point instead of aborting a progressing round.
+        //
+        // Timeline (probe costs ~30 ms, deadline 40 ms): the last pre-expiry
+        // probe captures the counter at ~60 ms (still 0), the counter
+        // advances at ~75 ms, and the expiry check runs at ~90 ms. The old
+        // code declared a deadlock right there; re-sampling sees the advance
+        // and the kernel (done at ~110 ms) completes normally.
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let e = engine();
+        let h = e
+            .launch(
+                StreamId(1),
+                Box::new(FnKernel::new("slow-but-alive", |_| {
+                    std::thread::sleep(Duration::from_millis(110));
+                    KernelOutcome::Completed
+                })),
+            )
+            .unwrap();
+        let counter = Arc::new(AtomicU64::new(0));
+        let advancer = {
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(75));
+                counter.store(1, Ordering::Relaxed);
+            })
+        };
+        let probe_counter = Arc::clone(&counter);
+        let outcome = wait_all_or_deadlock_with_progress(
+            std::slice::from_ref(&h),
+            &[Arc::clone(&e)],
+            Duration::from_millis(40),
+            &move || {
+                let v = probe_counter.load(Ordering::Relaxed);
+                // An expensive domain sweep: the returned value is ~30 ms
+                // stale by the time the caller compares it.
+                std::thread::sleep(Duration::from_millis(30));
+                v
+            },
+        );
+        assert_eq!(
+            outcome,
+            DeadlockOutcome::AllCompleted,
+            "a round that advanced during the final probe was aborted as wedged"
+        );
+        advancer.join().unwrap();
+        e.shutdown();
+    }
+
+    #[test]
+    fn teardown_spares_engines_without_stalled_kernels() {
+        // Two engines share the domain: engine A runs a supervised kernel
+        // that wedges, engine B runs a bystander tenant the watchdog is not
+        // supervising. Declaring A's deadlock must not abort B's kernel.
+        let a = engine();
+        let b = DeviceEngine::new(GpuDevice::new(GpuId(1), GpuSpec::tiny(2)));
+        let stalled = a.launch(StreamId(1), spin_forever_kernel()).unwrap();
+        let bystander = b
+            .launch(
+                StreamId(1),
+                Box::new(FnKernel::new("bystander", |ctx: &KernelCtx| {
+                    let start = Instant::now();
+                    while start.elapsed() < Duration::from_millis(400) {
+                        if ctx.should_abort() {
+                            return KernelOutcome::Aborted;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    KernelOutcome::Completed
+                })),
+            )
+            .unwrap();
+        let outcome = wait_all_or_deadlock(
+            std::slice::from_ref(&stalled),
+            &[Arc::clone(&a), Arc::clone(&b)],
+            Duration::from_millis(100),
+        );
+        assert!(outcome.is_deadlock());
+        // The stalled tenant was torn down...
+        assert_eq!(
+            stalled.wait_timeout(Duration::from_secs(5)),
+            KernelStatus::Aborted
+        );
+        // ...but the bystander engine was never aborted.
+        assert_eq!(
+            bystander.wait_timeout(Duration::from_secs(5)),
+            KernelStatus::Completed,
+            "bystander tenant was killed by another tenant's deadlock teardown"
+        );
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn stall_supervision_names_a_dead_edge_and_its_collective() {
+        use crate::nccl_like::NcclDomain;
+        use dfccl_collectives::{CollectiveDescriptor, DataType, DeviceBuffer, ReduceOp};
+        use dfccl_transport::fault::{FaultSpec, StallKind};
+        use dfccl_transport::{ChannelId, EdgeId};
+
+        let domain = NcclDomain::flat_for_testing(2, 8);
+        let ranks: Vec<_> = (0..2)
+            .map(|g| domain.init_rank(GpuId(g)).unwrap())
+            .collect();
+        let count = 64;
+        for r in &ranks {
+            r.register(
+                0,
+                CollectiveDescriptor::all_reduce(
+                    count,
+                    DataType::F32,
+                    ReduceOp::Sum,
+                    vec![GpuId(0), GpuId(1)],
+                ),
+            )
+            .unwrap();
+        }
+        let dead_edge = EdgeId {
+            src: GpuId(0),
+            dst: GpuId(1),
+            channel: ChannelId(0),
+        };
+        domain.fault_injector().script(dead_edge, FaultSpec::dead());
+        let mut handles = Vec::new();
+        for (g, r) in ranks.iter().enumerate() {
+            let send = DeviceBuffer::from_f32(&vec![(g + 1) as f32; count]);
+            let recv = DeviceBuffer::zeroed(count * 4);
+            handles.push(r.launch_collective(0, StreamId(1), send, recv).unwrap());
+        }
+        let outcome = wait_all_or_stall(
+            &handles,
+            &domain.engines(),
+            Duration::from_millis(200),
+            &|| domain.edge_samples(),
+        );
+        match outcome {
+            StallOutcome::Stalled(report) => {
+                assert_eq!(report.kind, StallKind::LinkFailure, "{report}");
+                assert!(
+                    report.failed_edges.iter().any(|s| s.edge == dead_edge),
+                    "report must name the dead edge: {report}"
+                );
+                assert_eq!(report.stalled_collectives, vec![0], "{report}");
+                assert!(!report.unfinished.is_empty());
+            }
+            other => panic!("expected a link-failure stall, got {other:?}"),
         }
         domain.shutdown();
     }

@@ -247,6 +247,34 @@ fn main() {
     println!("replay >= 3x cache-hit registration at 8 GPUs: {replay_ok}");
     println!("fused >= 2x unfused at same total payload: {fusion_ok}");
 
+    // Telemetry panel: the hot path with the default event ring (counters +
+    // bounded event stream) vs. events disabled (`telemetry_events = 0`,
+    // counters only). The instrumentation is accepted if it costs at most 10%
+    // of the uninstrumented scheduling rate at 4 GPUs.
+    let telemetry_workload = HotpathWorkload {
+        gpus: 4,
+        collectives,
+        rounds,
+        count: 16,
+    };
+    let instrumented = best_of(repeats, telemetry_workload, &batched_config()).collectives_per_sec;
+    let uninstrumented = best_of(
+        repeats,
+        telemetry_workload,
+        &batched_config().with_telemetry(0),
+    )
+    .collectives_per_sec;
+    // Clamp at zero: on noisy runners the instrumented arm can win the
+    // best-of lottery outright, which is a 0% overhead, not a negative one.
+    let telemetry_overhead_pct =
+        ((uninstrumented - instrumented) / uninstrumented * 100.0).max(0.0);
+    let telemetry_ok = telemetry_overhead_pct <= 10.0;
+    println!();
+    println!("# telemetry instrumentation overhead (4 GPUs, event ring vs counters-only)");
+    println!(
+        "instrumented {instrumented:.0}/sec vs uninstrumented {uninstrumented:.0}/sec = {telemetry_overhead_pct:.1}% overhead (bar <= 10%): {telemetry_ok}"
+    );
+
     let speedup_at_4 = results
         .iter()
         .find(|r| r.gpus == 4)
@@ -368,6 +396,10 @@ fn main() {
     );
     let _ = writeln!(json, "    \"fused_ge_2x_unfused\": {fusion_ok}");
     json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"telemetry\": {{\"gpus\": 4, \"instrumented_per_sec\": {instrumented:.1}, \"uninstrumented_per_sec\": {uninstrumented:.1}, \"overhead_pct\": {telemetry_overhead_pct:.2}, \"overhead_le_10pct\": {telemetry_ok}}},"
+    );
     let _ = writeln!(json, "  \"fig7c_ordering_preserved\": {ordering_ok}");
     json.push_str("}\n");
 
@@ -396,6 +428,10 @@ fn main() {
     }
     if !fusion_ok {
         eprintln!("WARNING: fused small-all-reduce throughput below 2x unfused");
+        std::process::exit(2);
+    }
+    if !telemetry_ok {
+        eprintln!("WARNING: telemetry instrumentation overhead above the 10% acceptance bar");
         std::process::exit(2);
     }
 }

@@ -195,7 +195,11 @@ pub fn flush_pending_channel(
         .ok_or(ExecError::MissingPeerConnector { peer: p.peer })?;
     match conn.try_send(p.msg) {
         Ok(()) => Ok(true),
-        Err(SendError::Full(msg)) => {
+        Err(SendError::Full(msg)) | Err(SendError::Faulted(msg)) => {
+            // Full ring and faulted link are handled identically: the chunk
+            // stays staged and is retried once the connector reports ready
+            // again (a flaky link heals on its own; a dead one keeps the
+            // slot occupied until the watchdog names the edge).
             pending.stage(PendingSend {
                 peer: p.peer,
                 channel: p.channel,
@@ -401,7 +405,7 @@ pub fn execute_ready_step(
             step: step.step,
             data,
         };
-        if let Err(SendError::Full(msg)) = conn.try_send(msg) {
+        if let Err(SendError::Full(msg)) | Err(SendError::Faulted(msg)) = conn.try_send(msg) {
             pending.stage(PendingSend {
                 peer: step.send_to.expect("send primitive carries a peer"),
                 channel: step.channel,
@@ -465,7 +469,7 @@ pub fn flush_pending_compiled(
             .ok_or(ExecError::MissingPeerConnector { peer: p.peer })?;
         match table.send(ci).try_send(p.msg) {
             Ok(()) => {}
-            Err(SendError::Full(msg)) => {
+            Err(SendError::Full(msg)) | Err(SendError::Faulted(msg)) => {
                 pending.stage(PendingSend {
                     peer: p.peer,
                     channel: p.channel,
@@ -583,7 +587,9 @@ pub fn execute_ready_instr(
             step: instr.step,
             data,
         };
-        if let Err(SendError::Full(msg)) = table.send(instr.send_conn).try_send(msg) {
+        if let Err(SendError::Full(msg)) | Err(SendError::Faulted(msg)) =
+            table.send(instr.send_conn).try_send(msg)
+        {
             pending.stage(PendingSend {
                 peer: instr.send_peer as usize,
                 channel: instr.channel,

@@ -21,7 +21,9 @@ use dfccl_collectives::{
     plan_fusion, validate_buffers, AlgorithmKind, CollectiveDescriptor, CollectiveError, DataType,
     DeviceBuffer, GraphOp, PlanCache, RecordedCollective, ReduceOp, FUSED_COLL_ID_BASE,
 };
-use dfccl_transport::{Communicator, CommunicatorPool, LinkModel, Topology, TransportError};
+use dfccl_transport::{
+    Communicator, CommunicatorPool, EdgeSample, FaultInjector, LinkModel, Topology, TransportError,
+};
 use gpu_sim::{GpuDevice, GpuId, GpuSpec, MemoryUsage, SyncKind};
 use parking_lot::Mutex;
 
@@ -34,6 +36,7 @@ use crate::daemon::{
 };
 use crate::sq::{Sqe, SubmissionQueue};
 use crate::stats::{CollectiveStats, DaemonStatsSnapshot};
+use crate::telemetry::{TelemetryEventKind, TelemetrySnapshot};
 
 /// Errors returned by the DFCCL API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -229,6 +232,30 @@ impl DfcclDomain {
             misses: self.plan_cache.misses(),
             size: self.plan_cache.len(),
         }
+    }
+
+    /// The domain's fault injector: every connector of every communicator the
+    /// domain allocates consults it, so scripting an edge here affects all
+    /// collectives crossing that edge.
+    pub fn fault_injector(&self) -> Arc<FaultInjector> {
+        Arc::clone(self.pool.fault_injector())
+    }
+
+    /// Per-edge progress samples over every communicator the domain has
+    /// allocated, stamped with the owning collective id and sorted by
+    /// `(coll_id, edge)` — the probe fed to the failure-aware watchdog.
+    pub fn edge_samples(&self) -> Vec<EdgeSample> {
+        let comms = self.communicators.lock();
+        let mut samples = Vec::new();
+        for (&coll_id, comm) in comms.iter() {
+            for mut s in comm.edge_samples() {
+                s.coll_id = Some(coll_id);
+                samples.push(s);
+            }
+        }
+        drop(comms);
+        samples.sort_by_key(|a| (a.coll_id, a.edge));
+        samples
     }
 
     /// Get (or create) the communicator backing collective `coll_id` over
@@ -594,6 +621,9 @@ impl RankCtx {
             let _ = self.callbacks.unbind(coll_id, bind_token);
             return Err(DfcclError::SubmissionQueueFull);
         }
+        self.shared
+            .telemetry
+            .record(coll_id, TelemetryEventKind::Submit);
         self.controller.ensure_running();
         Ok(())
     }
@@ -668,6 +698,9 @@ impl RankCtx {
             graph.in_flight.store(false, Ordering::Release);
             return Err(DfcclError::SubmissionQueueFull);
         }
+        self.shared
+            .telemetry
+            .record(graph.graph_id, TelemetryEventKind::Submit);
         self.controller.ensure_running();
         Ok(())
     }
@@ -744,6 +777,21 @@ impl RankCtx {
     /// Errors recorded against collectives on this rank (empty in healthy runs).
     pub fn collective_errors(&self) -> HashMap<u64, String> {
         self.shared.errors.lock().clone()
+    }
+
+    /// Export this rank's telemetry: lifecycle counters, the retained event
+    /// ring, and per-edge link samples of every collective registered on this
+    /// rank (stamped with the collective id, sorted by `(coll_id, edge)`).
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut edges = Vec::new();
+        for (&coll_id, reg) in self.shared.registered.read().iter() {
+            for mut s in reg.communicator.edge_samples() {
+                s.coll_id = Some(coll_id);
+                edges.push(s);
+            }
+        }
+        edges.sort_by_key(|a| (a.coll_id, a.edge));
+        self.shared.telemetry.snapshot(edges)
     }
 
     /// Number of invocations submitted but not yet completed on this rank.
@@ -1595,6 +1643,59 @@ mod tests {
         assert_eq!((stats.hits, stats.misses, stats.size), (1, 2, 2));
         ctx0.destroy();
         ctx1.destroy();
+    }
+
+    #[test]
+    fn telemetry_traces_an_all_reduce_end_to_end() {
+        let domain = DfcclDomain::flat_for_testing(2);
+        let count = 64;
+        let ranks: Vec<_> = (0..2)
+            .map(|g| domain.init_rank(GpuId(g)).unwrap())
+            .collect();
+        for ctx in &ranks {
+            ctx.register_all_reduce(1, count, DataType::F32, ReduceOp::Sum, gpus(2), 0)
+                .unwrap();
+        }
+        let handles: Vec<_> = ranks
+            .iter()
+            .map(|ctx| {
+                ctx.run_awaitable(
+                    1,
+                    DeviceBuffer::from_f32(&vec![1.0; count]),
+                    DeviceBuffer::zeroed(count * 4),
+                )
+                .unwrap()
+            })
+            .collect();
+        for h in &handles {
+            assert!(h.wait_for_timeout(1, Duration::from_secs(20)));
+        }
+        for (r, ctx) in ranks.iter().enumerate() {
+            let snap = ctx.telemetry();
+            assert_eq!(snap.counters.submits, 1, "rank {r}");
+            assert_eq!(snap.counters.fetches, 1, "rank {r}");
+            assert_eq!(snap.counters.completions, 1, "rank {r}");
+            assert_eq!(snap.counters.failures, 0, "rank {r}");
+            assert!(snap.counters.chunks_moved > 0, "rank {r}");
+            // Submit precedes fetch precedes complete in the event stream.
+            let pos = |kind| snap.events.iter().position(|e| e.kind == kind);
+            let submit = pos(TelemetryEventKind::Submit).expect("submit event");
+            let fetch = pos(TelemetryEventKind::Fetch).expect("fetch event");
+            let complete = pos(TelemetryEventKind::Complete).expect("complete event");
+            assert!(submit < fetch && fetch < complete, "rank {r}");
+            // Edge samples name the collective and both directions moved data.
+            assert!(!snap.edges.is_empty(), "rank {r}");
+            assert!(snap.edges.iter().all(|e| e.coll_id == Some(1)));
+            assert!(snap.edges.iter().any(|e| e.stats.chunks_sent > 0));
+            assert_eq!(snap.dead_edges().count(), 0, "rank {r}");
+        }
+        // The domain-level probe covers the same edges without coll stamps
+        // from any particular rank's registry.
+        assert!(!domain.edge_samples().is_empty());
+        assert!(domain.fault_injector().scripted().is_empty());
+        for ctx in ranks {
+            ctx.destroy();
+        }
     }
 
     #[test]

@@ -254,6 +254,13 @@ pub struct DfcclConfig {
     /// [`CollectiveDescriptor::with_no_fuse`](dfccl_collectives::CollectiveDescriptor::with_no_fuse)
     /// opts a single collective out.
     pub fusion_threshold_bytes: usize,
+    /// Capacity of the per-daemon telemetry event ring
+    /// ([`crate::telemetry::Telemetry`]): the most recent this-many
+    /// submit/fetch/preempt/resume/complete/chunk-moved events are retained
+    /// (older ones are dropped and counted). `0` disables event recording
+    /// entirely; the per-kind counters stay on either way (they are plain
+    /// atomics and cost nanoseconds).
+    pub telemetry_events: usize,
 }
 
 impl Default for DfcclConfig {
@@ -283,6 +290,7 @@ impl Default for DfcclConfig {
             active_context_slots: 8,
             compiled_dispatch: true,
             fusion_threshold_bytes: 64 * 1024,
+            telemetry_events: 4096,
         }
     }
 }
@@ -339,6 +347,13 @@ impl DfcclConfig {
     /// edge (the per-collective descriptor override still wins).
     pub fn with_channels(mut self, channels: usize) -> Self {
         self.channels = channels;
+        self
+    }
+
+    /// Set the telemetry event-ring capacity (`0` disables event recording;
+    /// per-kind counters stay on).
+    pub fn with_telemetry(mut self, capacity: usize) -> Self {
+        self.telemetry_events = capacity;
         self
     }
 

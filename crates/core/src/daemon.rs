@@ -60,6 +60,7 @@ use crate::park::Parker;
 use crate::sq::{SqCursor, Sqe, SubmissionQueue};
 use crate::stats::DaemonStats;
 use crate::task_queue::TaskQueue;
+use crate::telemetry::{Telemetry, TelemetryEventKind};
 
 /// Static context of a registered collective on one rank: everything that is
 /// fixed at registration time (Sec. 4.2).
@@ -186,6 +187,9 @@ pub struct DaemonShared {
     graph_runs: Mutex<HashMap<(u64, u64), GraphRun>>,
     /// Statistics.
     pub stats: Arc<DaemonStats>,
+    /// Structured telemetry: lifecycle event ring + always-on counters
+    /// (capacity from [`DfcclConfig::telemetry_events`]).
+    pub telemetry: Arc<Telemetry>,
     /// Collectives that failed with a protocol error, and why.
     pub errors: Mutex<HashMap<u64, String>>,
     /// Whether a daemon thread is currently alive.
@@ -219,6 +223,7 @@ impl DaemonShared {
             config.context_load_ns,
             config.context_save_ns,
         );
+        let telemetry = Telemetry::new(config.telemetry_events);
         Arc::new(DaemonShared {
             gpu,
             device,
@@ -232,6 +237,7 @@ impl DaemonShared {
             graphs: RwLock::new(HashMap::new()),
             graph_runs: Mutex::new(HashMap::new()),
             stats: Arc::new(DaemonStats::default()),
+            telemetry,
             errors: Mutex::new(HashMap::new()),
             running: AtomicBool::new(false),
             final_exit: AtomicBool::new(false),
@@ -397,8 +403,13 @@ impl RegistryCache {
 }
 
 /// Append a completion to the pending CQE batch, flushing when the batch
-/// threshold is reached.
+/// threshold is reached. The `Complete` telemetry event means "a CQE was
+/// enqueued" — failed collectives produce a `Failed` event *and* a
+/// `Complete` (their failure is still delivered through the CQ).
 fn enqueue_completion(shared: &Arc<DaemonShared>, batch: &mut Vec<Cqe>, coll_id: u64) {
+    shared
+        .telemetry
+        .record(coll_id, TelemetryEventKind::Complete);
     batch.push(Cqe { coll_id });
     if batch.len() >= shared.config.cq_write_batch.max(1) {
         flush_completions(shared, batch);
@@ -455,6 +466,9 @@ fn expand_graph(
             .errors
             .lock()
             .insert(graph_id, "graph not captured on this rank".to_string());
+        shared
+            .telemetry
+            .record(graph_id, TelemetryEventKind::Failed);
         enqueue_completion(shared, cqe_batch, graph_id);
         return;
     };
@@ -859,6 +873,9 @@ fn run_daemon(shared: Arc<DaemonShared>) {
                     shared.final_exit.store(true, Ordering::Release);
                     continue;
                 }
+                shared
+                    .telemetry
+                    .record(sqe.coll_id, TelemetryEventKind::Fetch);
                 if is_graph_id(sqe.coll_id) {
                     expand_graph(
                         &shared,
@@ -899,6 +916,7 @@ fn run_daemon(shared: Arc<DaemonShared>) {
                 if let Some((ctx, _)) = shared.contexts.checkout_current(coll_id) {
                     let reason = "collective not registered".to_string();
                     shared.errors.lock().insert(coll_id, reason.clone());
+                    shared.telemetry.record(coll_id, TelemetryEventKind::Failed);
                     match ctx.graph {
                         Some(tag) => {
                             complete_graph_node(&shared, &mut cqe_batch, tag, Some(reason))
@@ -919,17 +937,31 @@ fn run_daemon(shared: Arc<DaemonShared>) {
             if load == ContextLoad::CacheMiss {
                 shared.stats.record_preparing(prep_start.elapsed());
             }
+            // A context checked out with primitives already behind it was
+            // preempted in an earlier slice: this checkout is a resume.
+            if ctx.next_step > 0 {
+                shared.telemetry.record(coll_id, TelemetryEventKind::Resume);
+            }
 
             let threshold = task_queue
                 .entry_mut(coll_id)
                 .map(|e| e.spin_threshold)
                 .unwrap_or_else(|| spin.initial_threshold(0));
+            let steps_before = ctx.next_step;
             let slice = if shared.config.compiled_dispatch {
                 run_compiled_slice(&shared, &reg, &mut ctx, spin, threshold)
             } else {
                 run_interpreted_slice(&shared, &reg, &mut ctx, spin, threshold)
             };
             progressed_any |= slice.progressed;
+            // One chunk-moved event summarises the slice (not one per
+            // primitive) to bound the telemetry cost of a hot slice.
+            let moved = (ctx.next_step - steps_before) as u64;
+            if moved > 0 {
+                shared
+                    .telemetry
+                    .record(coll_id, TelemetryEventKind::ChunkMoved(moved));
+            }
             // Persist the adaptively raised threshold for the next slice.
             if let Some(entry) = task_queue.entry_mut(coll_id) {
                 entry.spin_threshold = slice.threshold;
@@ -937,6 +969,7 @@ fn run_daemon(shared: Arc<DaemonShared>) {
             let (preempted, failed) = (slice.preempted, slice.failed);
 
             if let Some(reason) = failed {
+                shared.telemetry.record(coll_id, TelemetryEventKind::Failed);
                 match ctx.graph {
                     Some(tag) => {
                         shared.errors.lock().insert(coll_id, reason.clone());
@@ -952,6 +985,9 @@ fn run_daemon(shared: Arc<DaemonShared>) {
                 }
             } else if preempted {
                 shared.stats.record_preemption(coll_id);
+                shared
+                    .telemetry
+                    .record(coll_id, TelemetryEventKind::Preempt);
                 let saved = shared.contexts.checkin_incomplete(coll_id, ctx);
                 shared.stats.record_context_save(!saved);
             } else {

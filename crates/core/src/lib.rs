@@ -59,6 +59,7 @@ pub mod park;
 pub mod sq;
 pub mod stats;
 pub mod task_queue;
+pub mod telemetry;
 
 pub use api::{
     dfccl_destroy, dfccl_init, dfccl_register_all_reduce, dfccl_run_all_reduce, DfcclDomain,
@@ -75,3 +76,6 @@ pub use park::Parker;
 pub use sq::{Sqe, SubmissionQueue};
 pub use stats::{CollectiveStats, DaemonStats, DaemonStatsSnapshot};
 pub use task_queue::{TaskEntry, TaskQueue};
+pub use telemetry::{
+    Telemetry, TelemetryCounters, TelemetryEvent, TelemetryEventKind, TelemetrySnapshot,
+};

@@ -184,6 +184,7 @@ impl DeviceEngine {
             shared: Arc::clone(&shared),
             seq,
             name: Arc::clone(&name),
+            device: self.inner.device.id(),
         };
         let queued = QueuedKernel {
             seq,
@@ -354,6 +355,7 @@ impl DeviceEngine {
                         shared: Arc::clone(&queued.shared),
                         seq,
                         name: Arc::clone(&queued.name),
+                        device: inner.device.id(),
                     };
                     st.running_handles.push(handle);
                     st.busy_streams.insert(sid);

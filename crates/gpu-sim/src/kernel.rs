@@ -175,6 +175,7 @@ pub struct KernelHandle {
     pub(crate) shared: Arc<KernelShared>,
     pub(crate) seq: u64,
     pub(crate) name: Arc<str>,
+    pub(crate) device: GpuId,
 }
 
 impl std::fmt::Debug for KernelHandle {
@@ -182,6 +183,7 @@ impl std::fmt::Debug for KernelHandle {
         f.debug_struct("KernelHandle")
             .field("seq", &self.seq)
             .field("name", &self.name)
+            .field("device", &self.device)
             .field("status", &self.status())
             .finish()
     }
@@ -196,6 +198,12 @@ impl KernelHandle {
     /// Kernel name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The GPU whose engine owns this kernel — lets supervisors scope
+    /// teardown to the engines that actually hold unfinished work.
+    pub fn device(&self) -> GpuId {
+        self.device
     }
 
     /// Current status.
@@ -271,6 +279,7 @@ mod tests {
             shared: Arc::clone(&shared),
             seq: 0,
             name: "k".into(),
+            device: GpuId(0),
         };
         let ctx = KernelCtx::new(GpuId(0), 0, Arc::clone(&shared.abort));
         assert!(!ctx.should_abort());
@@ -285,6 +294,7 @@ mod tests {
             shared,
             seq: 0,
             name: "k".into(),
+            device: GpuId(0),
         };
         let st = handle.wait_timeout(Duration::from_millis(10));
         assert_eq!(st, KernelStatus::Queued);
@@ -297,6 +307,7 @@ mod tests {
             shared: Arc::clone(&shared),
             seq: 0,
             name: "k".into(),
+            device: GpuId(0),
         };
         let t = std::thread::spawn(move || handle.wait());
         std::thread::sleep(Duration::from_millis(20));

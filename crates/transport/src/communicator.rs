@@ -27,6 +27,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::connector::Connector;
+use crate::fault::{EdgeId, EdgeSample, FaultInjector};
 use crate::linkmodel::LinkModel;
 use crate::topology::Topology;
 use crate::TransportError;
@@ -203,6 +204,8 @@ pub struct Communicator {
     topology: Arc<Topology>,
     link_model: Arc<LinkModel>,
     connector_capacity: usize,
+    /// The domain-wide fault injector every connector of this mesh consults.
+    injector: Arc<FaultInjector>,
     /// `edges[(s, d, c)]` carries channel-`c` chunks from rank `s` to rank `d`.
     edges: Mutex<HashMap<(usize, usize, ChannelId), Arc<Connector>>>,
 }
@@ -228,6 +231,27 @@ impl Communicator {
         link_model: &Arc<LinkModel>,
         connector_capacity: usize,
     ) -> Result<Arc<Self>, TransportError> {
+        Communicator::with_fault_injector(
+            id,
+            devices,
+            topology,
+            link_model,
+            connector_capacity,
+            FaultInjector::new(0),
+        )
+    }
+
+    /// [`Communicator::new`] with an explicit (typically domain-shared) fault
+    /// injector; pools pass their own so one script reaches every
+    /// communicator's connectors.
+    pub fn with_fault_injector(
+        id: CommunicatorId,
+        devices: Vec<GpuId>,
+        topology: &Arc<Topology>,
+        link_model: &Arc<LinkModel>,
+        connector_capacity: usize,
+        injector: Arc<FaultInjector>,
+    ) -> Result<Arc<Self>, TransportError> {
         if devices.len() < 2 {
             return Err(TransportError::DeviceSetTooSmall(devices.len()));
         }
@@ -242,6 +266,7 @@ impl Communicator {
             topology: Arc::clone(topology),
             link_model: Arc::clone(link_model),
             connector_capacity,
+            injector,
             edges: Mutex::new(HashMap::new()),
         }))
     }
@@ -315,7 +340,18 @@ impl Communicator {
         let link = self
             .topology
             .link_between(self.devices[src], self.devices[dst])?;
-        let c = Connector::new(self.connector_capacity, link, Arc::clone(&self.link_model));
+        let edge = EdgeId {
+            src: self.devices[src],
+            dst: self.devices[dst],
+            channel,
+        };
+        let c = Connector::with_edge(
+            self.connector_capacity,
+            link,
+            Arc::clone(&self.link_model),
+            Some(edge),
+            Some(Arc::clone(&self.injector)),
+        );
         edges.insert((src, dst, channel), Arc::clone(&c));
         Ok(c)
     }
@@ -396,6 +432,32 @@ impl Communicator {
             .map(|e| e.stats().chunks_sent)
             .sum()
     }
+
+    /// The fault injector this mesh's connectors consult.
+    pub fn fault_injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
+    }
+
+    /// A per-edge progress snapshot of every materialised connector, sorted
+    /// by edge for stable output. `coll_id` is left unset — the domain layer
+    /// stamps it with the collective this communicator belongs to.
+    pub fn edge_samples(&self) -> Vec<EdgeSample> {
+        let mut samples: Vec<EdgeSample> = self
+            .edges
+            .lock()
+            .values()
+            .map(|c| EdgeSample {
+                coll_id: None,
+                edge: c.edge().expect("communicator connectors are edge-bound"),
+                link: c.link(),
+                queued: c.len(),
+                dead: c.is_dead(),
+                stats: c.stats(),
+            })
+            .collect();
+        samples.sort_by_key(|s| s.edge);
+        samples
+    }
 }
 
 /// A pool of communicators keyed by device set, transparent to the API user.
@@ -403,6 +465,9 @@ pub struct CommunicatorPool {
     topology: Arc<Topology>,
     link_model: Arc<LinkModel>,
     connector_capacity: usize,
+    /// The pool-wide fault injector, shared by every communicator it creates.
+    /// Inert (no scripted faults) unless a test or operator scripts it.
+    injector: Arc<FaultInjector>,
     next_id: AtomicU64,
     created: AtomicU64,
     /// Idle communicators keyed by their shared device-set handle. Lookups
@@ -426,6 +491,7 @@ impl CommunicatorPool {
             topology,
             link_model,
             connector_capacity,
+            injector: FaultInjector::new(0),
             next_id: AtomicU64::new(0),
             created: AtomicU64::new(0),
             free: Mutex::new(HashMap::new()),
@@ -452,6 +518,12 @@ impl CommunicatorPool {
         &self.link_model
     }
 
+    /// The pool-wide fault injector. Scripting a fault here affects every
+    /// communicator the pool has handed out or will hand out.
+    pub fn fault_injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
+    }
+
     /// Allocate a mesh communicator for `devices`, reusing a previously
     /// released one when available. Edges materialise as plans request them.
     pub fn allocate(&self, devices: &[GpuId]) -> Result<Arc<Communicator>, TransportError> {
@@ -461,12 +533,13 @@ impl CommunicatorPool {
         }
         let id = CommunicatorId(self.next_id.fetch_add(1, Ordering::Relaxed));
         self.created.fetch_add(1, Ordering::Relaxed);
-        Communicator::new(
+        Communicator::with_fault_injector(
             id,
             devices.to_vec(),
             &self.topology,
             &self.link_model,
             self.connector_capacity,
+            Arc::clone(&self.injector),
         )
     }
 
@@ -760,6 +833,42 @@ mod tests {
         let c2 = pool.allocate(&devices).unwrap();
         assert_ne!(c1.id(), c2.id());
         assert_eq!(pool.created_count(), 2);
+    }
+
+    #[test]
+    fn pool_injector_reaches_every_connector_and_edge_samples_name_edges() {
+        use crate::fault::{FaultSpec, StallKind};
+
+        let pool = CommunicatorPool::for_testing(4);
+        let comm = pool.allocate(&gpus(&[0, 1, 2, 3])).unwrap();
+        let conn = comm.connector_between(1, 2).unwrap();
+        let edge = conn.edge().unwrap();
+        assert_eq!(edge.src, GpuId(1));
+        assert_eq!(edge.dst, GpuId(2));
+        assert_eq!(edge.channel, ChannelId(0));
+
+        // Script a dead link on the pool: the already-created connector sees it.
+        pool.fault_injector().script(edge, FaultSpec::dead());
+        assert!(!conn.send_ready());
+        let before = comm.edge_samples();
+        let bounced = conn.try_send(ChunkMsg {
+            coll_id: 1,
+            chunk_index: 0,
+            step: 0,
+            data: vec![1],
+        });
+        assert!(bounced.is_err());
+        let after = comm.edge_samples();
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].edge, edge);
+        assert_eq!(after[0].stats.fault_rejections, 1);
+
+        let report = crate::fault::classify_stall(&before, &after);
+        assert_eq!(report.kind, StallKind::LinkFailure);
+        assert_eq!(report.failed_edges[0].edge, edge);
+
+        pool.fault_injector().clear();
+        assert!(conn.send_ready());
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use crossbeam::queue::ArrayQueue;
 
+use crate::fault::{EdgeId, FaultDecision, FaultInjector};
 use crate::linkmodel::LinkModel;
 use crate::topology::LinkClass;
 
@@ -50,11 +51,17 @@ impl ChunkMsg {
     }
 }
 
-/// Error returned when a connector has no free slot.
+/// Error returned when a connector cannot accept a chunk.
 #[derive(Debug, PartialEq)]
 pub enum SendError {
     /// The ring buffer is full; the message is handed back to the caller.
     Full(ChunkMsg),
+    /// The link rejected the chunk — dead or flaky (fault-injected) or
+    /// unreachable under the cost model. The message is handed back so the
+    /// sender can stage and retry it; a permanently dead link then shows up
+    /// as a preempted collective the watchdog classifies via the edge's
+    /// `fault_rejections` counter.
+    Faulted(ChunkMsg),
 }
 
 /// Counters describing connector traffic.
@@ -70,6 +77,8 @@ pub struct ConnectorStats {
     pub full_rejections: u64,
     /// `try_recv` calls that found the ring empty.
     pub empty_polls: u64,
+    /// `try_send` calls bounced by fault injection or an unreachable link.
+    pub fault_rejections: u64,
 }
 
 /// A directed, bounded, lock-free channel between two GPUs.
@@ -77,11 +86,22 @@ pub struct Connector {
     queue: ArrayQueue<ChunkMsg>,
     link: LinkClass,
     model: Arc<LinkModel>,
+    /// The physical edge this connector realises, when built by a
+    /// communicator (test-built connectors have none).
+    edge: Option<EdgeId>,
+    /// The domain's fault injector; inert injectors cost one relaxed load.
+    injector: Option<Arc<FaultInjector>>,
+    /// Whether the cost model can never complete a transfer on this link
+    /// class. Cached at construction — the model is immutable — so the
+    /// `send_ready` hot poll stays branch-cheap.
+    link_unreachable: bool,
     chunks_sent: AtomicU64,
     chunks_received: AtomicU64,
     bytes_sent: AtomicU64,
     full_rejections: AtomicU64,
     empty_polls: AtomicU64,
+    fault_rejections: AtomicU64,
+    send_attempts: AtomicU64,
 }
 
 impl std::fmt::Debug for Connector {
@@ -97,16 +117,35 @@ impl std::fmt::Debug for Connector {
 impl Connector {
     /// Create a connector with `capacity` chunk slots over the given link class.
     pub fn new(capacity: usize, link: LinkClass, model: Arc<LinkModel>) -> Arc<Self> {
+        Connector::with_edge(capacity, link, model, None, None)
+    }
+
+    /// Create a connector bound to a physical edge and a fault injector, so
+    /// every send consults the injector's script for that edge. This is the
+    /// constructor communicators use; `new` builds an uninstrumented one.
+    pub fn with_edge(
+        capacity: usize,
+        link: LinkClass,
+        model: Arc<LinkModel>,
+        edge: Option<EdgeId>,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Arc<Self> {
         assert!(capacity > 0, "connector capacity must be positive");
+        let link_unreachable = model.is_unreachable(link);
         Arc::new(Connector {
             queue: ArrayQueue::new(capacity),
             link,
             model,
+            edge,
+            injector,
+            link_unreachable,
             chunks_sent: AtomicU64::new(0),
             chunks_received: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
             full_rejections: AtomicU64::new(0),
             empty_polls: AtomicU64::new(0),
+            fault_rejections: AtomicU64::new(0),
+            send_attempts: AtomicU64::new(0),
         })
     }
 
@@ -118,6 +157,25 @@ impl Connector {
     /// The link class this connector crosses.
     pub fn link(&self) -> LinkClass {
         self.link
+    }
+
+    /// The physical edge this connector realises, if bound to one.
+    pub fn edge(&self) -> Option<EdgeId> {
+        self.edge
+    }
+
+    /// Whether the link currently cannot deliver: unreachable under the cost
+    /// model, or scripted dead by the fault injector.
+    pub fn is_dead(&self) -> bool {
+        if self.link_unreachable {
+            return true;
+        }
+        match (&self.injector, self.edge) {
+            (Some(inj), Some(edge)) => {
+                inj.edge_dead(edge, self.chunks_sent.load(Ordering::Relaxed))
+            }
+            _ => false,
+        }
     }
 
     /// Number of chunk slots.
@@ -141,9 +199,11 @@ impl Connector {
     }
 
     /// Whether a send would currently succeed. This is the condition a send
-    /// primitive busy-waits on (bounded by its spin threshold).
+    /// primitive busy-waits on (bounded by its spin threshold). A dead link
+    /// reports not-ready, so the sender's spin bound trips and the collective
+    /// is preempted instead of burning its slice on a link that cannot drain.
     pub fn send_ready(&self) -> bool {
-        !self.queue.is_full()
+        !self.queue.is_full() && !self.is_dead()
     }
 
     /// Whether a recv would currently succeed. This is the condition a recv
@@ -153,14 +213,32 @@ impl Connector {
     }
 
     /// Publish a chunk. Charges the modelled link transfer time *before* the
-    /// chunk becomes visible to the peer, then pushes it into the ring.
+    /// chunk becomes visible to the peer, then pushes it into the ring. A
+    /// fault-injected or unreachable link returns [`SendError::Faulted`]
+    /// without spinning; the sender stages and retries the chunk exactly as
+    /// it would on a full ring.
     pub fn try_send(&self, msg: ChunkMsg) -> Result<(), SendError> {
         if self.queue.is_full() {
             self.full_rejections.fetch_add(1, Ordering::Relaxed);
             return Err(SendError::Full(msg));
         }
+        let attempt = self.send_attempts.fetch_add(1, Ordering::Relaxed);
+        let mut factor = 1.0;
+        if let (Some(inj), Some(edge)) = (&self.injector, self.edge) {
+            match inj.decide(edge, self.chunks_sent.load(Ordering::Relaxed), attempt) {
+                FaultDecision::Allow => {}
+                FaultDecision::Slow(f) => factor = f,
+                FaultDecision::Reject => {
+                    self.fault_rejections.fetch_add(1, Ordering::Relaxed);
+                    return Err(SendError::Faulted(msg));
+                }
+            }
+        }
         let bytes = msg.data.len();
-        self.model.charge(self.link, bytes);
+        if !self.model.try_charge_scaled(self.link, bytes, factor) {
+            self.fault_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(SendError::Faulted(msg));
+        }
         match self.queue.push(msg) {
             Ok(()) => {
                 self.chunks_sent.fetch_add(1, Ordering::Relaxed);
@@ -202,6 +280,7 @@ impl Connector {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             full_rejections: self.full_rejections.load(Ordering::Relaxed),
             empty_polls: self.empty_polls.load(Ordering::Relaxed),
+            fault_rejections: self.fault_rejections.load(Ordering::Relaxed),
         }
     }
 }
@@ -301,6 +380,100 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_is_rejected() {
         let _ = Connector::unmodelled(0);
+    }
+
+    #[test]
+    fn unreachable_link_faults_sends_and_reports_not_ready() {
+        // A zero-bandwidth link used to deliver chunks for free; it must now
+        // bounce them with Faulted and never report send_ready.
+        let mut params = std::collections::HashMap::new();
+        params.insert(
+            LinkClass::InterNode,
+            crate::linkmodel::LinkParams {
+                latency_ns: 100.0,
+                bandwidth_gbps: 0.0,
+            },
+        );
+        let model = Arc::new(LinkModel::new(params, gpu_sim::TimeScale::default()));
+        let c = Connector::new(4, LinkClass::InterNode, model);
+        assert!(!c.send_ready());
+        match c.try_send(msg(0)) {
+            Err(SendError::Faulted(m)) => assert_eq!(m.chunk_index, 0),
+            other => panic!("expected Faulted, got {other:?}"),
+        }
+        assert!(c.is_empty());
+        assert_eq!(c.stats().fault_rejections, 1);
+        assert_eq!(c.stats().chunks_sent, 0);
+    }
+
+    #[test]
+    fn dead_scripted_edge_bounces_sends_until_healed() {
+        let edge = EdgeId {
+            src: gpu_sim::GpuId(0),
+            dst: gpu_sim::GpuId(1),
+            channel: crate::ChannelId(0),
+        };
+        let inj = FaultInjector::new(1);
+        let c = Connector::with_edge(
+            4,
+            LinkClass::Local,
+            Arc::new(LinkModel::zero_cost()),
+            Some(edge),
+            Some(Arc::clone(&inj)),
+        );
+        assert_eq!(c.edge(), Some(edge));
+        c.try_send(msg(0)).unwrap();
+
+        inj.script(edge, crate::fault::FaultSpec::dead());
+        assert!(!c.send_ready());
+        match c.try_send(msg(1)) {
+            Err(SendError::Faulted(m)) => assert_eq!(m.chunk_index, 1),
+            other => panic!("expected Faulted, got {other:?}"),
+        }
+        // Already-published chunks stay visible to the receiver.
+        assert_eq!(c.try_recv().unwrap().chunk_index, 0);
+
+        inj.clear();
+        assert!(c.send_ready());
+        c.try_send(msg(1)).unwrap();
+        let s = c.stats();
+        assert_eq!(s.chunks_sent, 2);
+        assert_eq!(s.fault_rejections, 1);
+    }
+
+    #[test]
+    fn flaky_edge_drops_some_sends_but_retries_get_through() {
+        let edge = EdgeId {
+            src: gpu_sim::GpuId(0),
+            dst: gpu_sim::GpuId(1),
+            channel: crate::ChannelId(0),
+        };
+        let inj = FaultInjector::new(99);
+        let c = Connector::with_edge(
+            64,
+            LinkClass::Local,
+            Arc::new(LinkModel::zero_cost()),
+            Some(edge),
+            Some(inj),
+        );
+        c.injector
+            .as_ref()
+            .unwrap()
+            .script(edge, crate::fault::FaultSpec::flaky(0.5));
+        let mut delivered = 0u32;
+        while delivered < 32 {
+            match c.try_send(msg(delivered)) {
+                Ok(()) => delivered += 1,
+                Err(SendError::Faulted(_)) => {} // retry with the next attempt
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.chunks_sent, 32);
+        assert!(s.fault_rejections > 0, "a 50% flaky link dropped nothing");
+        for i in 0..32 {
+            assert_eq!(c.try_recv().unwrap().chunk_index, i);
+        }
     }
 
     #[test]

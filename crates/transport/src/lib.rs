@@ -16,9 +16,14 @@
 //! * [`Communicator`] / [`CommunicatorPool`] — the per-collective ring of
 //!   connectors, and the pool that allocates communicators transparently
 //!   (Sec. 3.2).
+//! * [`FaultInjector`] / [`StallReport`] — scriptable per-edge link faults
+//!   (dead, N× slowdown, flaky) and the per-edge progress samples +
+//!   stall-classification machinery watchdogs consume to tell a wedge from a
+//!   link failure from a slow-but-progressing round.
 
 pub mod communicator;
 pub mod connector;
+pub mod fault;
 pub mod linkmodel;
 pub mod topology;
 
@@ -26,6 +31,10 @@ pub use communicator::{
     ChannelId, Communicator, CommunicatorId, CommunicatorPool, ConnectorTable, RankChannels,
 };
 pub use connector::{ChunkMsg, Connector, ConnectorStats, SendError};
+pub use fault::{
+    classify_stall, supervise_with_probe, total_progress, EdgeId, EdgeSample, FaultDecision,
+    FaultInjector, FaultKind, FaultSpec, FaultTrigger, StallKind, StallReport, SuperviseOutcome,
+};
 pub use linkmodel::{LinkModel, LinkParams};
 pub use topology::{LinkClass, MachineSpec, Topology};
 

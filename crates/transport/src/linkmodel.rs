@@ -145,19 +145,67 @@ impl LinkModel {
             })
     }
 
-    /// Scaled wall-clock cost of transferring `bytes` over `class`.
-    pub fn transfer_cost(&self, class: LinkClass, bytes: usize) -> Duration {
+    /// Scaled wall-clock cost of transferring `bytes` over `class`, or `None`
+    /// when the modelled time is non-finite — a zero-bandwidth (dead) link, or
+    /// an infinite/NaN latency. Such a link never completes a transfer.
+    pub fn transfer_cost_checked(&self, class: LinkClass, bytes: usize) -> Option<Duration> {
         let nanos = self.params(class).transfer_nanos(bytes);
         if !nanos.is_finite() {
-            return Duration::ZERO;
+            return None;
         }
-        self.scale.scale_nanos(nanos)
+        Some(self.scale.scale_nanos(nanos))
+    }
+
+    /// Scaled wall-clock cost of transferring `bytes` over `class`.
+    ///
+    /// An unreachable link (non-finite modelled time) saturates to
+    /// [`LinkModel::UNREACHABLE_COST`] rather than `Duration::MAX`, because
+    /// callers multiply this by step counts and `Duration` multiplication
+    /// panics on overflow. It used to return `Duration::ZERO` — a dead link
+    /// transferred for *free*, exactly backwards.
+    pub fn transfer_cost(&self, class: LinkClass, bytes: usize) -> Duration {
+        self.transfer_cost_checked(class, bytes)
+            .unwrap_or(Self::UNREACHABLE_COST)
+    }
+
+    /// Saturated stand-in cost for a link that can never complete a transfer:
+    /// one modelled hour, far beyond any watchdog deadline but safe to
+    /// multiply by per-collective step counts.
+    pub const UNREACHABLE_COST: Duration = Duration::from_secs(3600);
+
+    /// Whether `class` can never complete a transfer under this model
+    /// (zero bandwidth or non-finite latency).
+    pub fn is_unreachable(&self, class: LinkClass) -> bool {
+        !self.params(class).transfer_nanos(1).is_finite()
+    }
+
+    /// Charge the transfer cost if the link is reachable. Returns `false`
+    /// without spinning when the modelled time is non-finite, so senders can
+    /// reject the chunk and surface the dead link instead of stalling inline.
+    pub fn try_charge(&self, class: LinkClass, bytes: usize) -> bool {
+        self.try_charge_scaled(class, bytes, 1.0)
+    }
+
+    /// [`LinkModel::try_charge`] with the cost multiplied by `factor` (used by
+    /// fault injection to model an N× link slowdown). Returns `false` without
+    /// spinning when the scaled modelled time is non-finite.
+    pub fn try_charge_scaled(&self, class: LinkClass, bytes: usize, factor: f64) -> bool {
+        let nanos = self.params(class).transfer_nanos(bytes) * factor;
+        if !nanos.is_finite() {
+            return false;
+        }
+        busy_spin(self.scale.scale_nanos(nanos));
+        true
     }
 
     /// Busy-spin for the transfer cost, modelling the occupancy of the sending
-    /// primitive while the chunk moves across the link.
+    /// primitive while the chunk moves across the link. On an unreachable link
+    /// this blocks for the saturated [`LinkModel::UNREACHABLE_COST`]; paths
+    /// that must not block use [`LinkModel::try_charge`] instead.
     pub fn charge(&self, class: LinkClass, bytes: usize) {
-        busy_spin(self.transfer_cost(class, bytes));
+        if !self.try_charge(class, bytes) {
+            busy_spin(Self::UNREACHABLE_COST);
+        }
     }
 }
 
@@ -227,6 +275,60 @@ mod tests {
         );
         let m = LinkModel::new(params, TimeScale::default());
         assert_eq!(m.params(LinkClass::IntraPix).latency_ns, 100.0);
+    }
+
+    #[test]
+    fn dead_link_costs_saturate_instead_of_being_free() {
+        // Regression: a zero-bandwidth link used to yield a non-finite
+        // modelled time that was clamped to Duration::ZERO, so chunks crossed
+        // a dead link for free. It must saturate (block) instead.
+        let mut params = HashMap::new();
+        params.insert(
+            LinkClass::InterNode,
+            LinkParams {
+                latency_ns: 100.0,
+                bandwidth_gbps: 0.0,
+            },
+        );
+        let m = LinkModel::new(params, TimeScale::default());
+        assert!(m.is_unreachable(LinkClass::InterNode));
+        assert_eq!(m.transfer_cost_checked(LinkClass::InterNode, 64), None);
+        assert_eq!(
+            m.transfer_cost(LinkClass::InterNode, 64),
+            LinkModel::UNREACHABLE_COST
+        );
+        // try_charge refuses without spinning.
+        let start = std::time::Instant::now();
+        assert!(!m.try_charge(LinkClass::InterNode, 64));
+        assert!(start.elapsed() < Duration::from_millis(5));
+        // Multiplying by a step count (as mpi_like does) must not panic.
+        let _ = m.transfer_cost(LinkClass::InterNode, 64) * 1000u32;
+    }
+
+    #[test]
+    fn zero_cost_model_is_reachable_and_try_charge_succeeds() {
+        // bandwidth = INFINITY gives bytes/inf = 0, which is finite: the
+        // zero-cost model must stay free, only zero-bandwidth links block.
+        let m = LinkModel::zero_cost();
+        assert!(!m.is_unreachable(LinkClass::InterNode));
+        assert!(m.try_charge(LinkClass::InterNode, 1 << 20));
+        assert_eq!(
+            m.transfer_cost_checked(LinkClass::InterNode, 1 << 20),
+            Some(Duration::ZERO)
+        );
+    }
+
+    #[test]
+    fn scaled_charge_multiplies_the_modelled_time() {
+        let m = LinkModel::table2_testbed();
+        let base = m.transfer_cost(LinkClass::IntraPix, 64 * 1024);
+        let start = std::time::Instant::now();
+        assert!(m.try_charge_scaled(LinkClass::IntraPix, 64 * 1024, 20.0));
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= base * 20,
+            "20x-scaled charge took {elapsed:?}, base cost {base:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,544 @@
+//! Fault-injection suite: scripted link faults against the full DFCCL stack.
+//!
+//! Three layers of coverage:
+//!
+//! * A property sweep — a mid-collective slowdown on any single edge, across
+//!   every algorithm family × rank counts 2–8 × channel counts 1–3, must
+//!   complete bit-exact at connector capacity 1 (a degraded link slows a
+//!   collective down, it never corrupts or wedges it).
+//! * A dead edge must produce a [`StallReport`] naming exactly that
+//!   `(src, dst, channel)` edge and the collective stuck behind it.
+//! * The ISSUE acceptance scenario: a dead inter-node edge on a two-server
+//!   cluster yields a link-failure report (and the telemetry snapshot shows
+//!   the dead edge), then healing lets the collective finish bit-exact; a
+//!   100× slowdown on the same edge completes with zero watchdog false
+//!   positives.
+//!
+//! The sweep widens via `DFCCL_FAULT_SEEDS` (extra seeded edge choices per
+//! combination; default 1, so any failure reproduces by seed alone).
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use dfccl_repro::collectives::DeviceBuffer;
+use dfccl_repro::collectives::{AlgorithmKind, CollectiveDescriptor, DataType, ReduceOp};
+use dfccl_repro::dfccl::{DfcclConfig, DfcclDomain, RankCtx, SpinPolicy};
+use dfccl_repro::gpu_sim::{GpuId, GpuSpec};
+use dfccl_repro::transport::{
+    supervise_with_probe, EdgeId, FaultSpec, LinkClass, LinkModel, LinkParams, StallKind,
+    SuperviseOutcome, Topology,
+};
+
+/// Extra seeded edge choices per sweep combination (CI widens this).
+fn fault_seeds() -> u64 {
+    std::env::var("DFCCL_FAULT_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Mild non-zero link costs: enough modelled time that a 50× slowdown is a
+/// real mid-collective perturbation, small enough that sweeps stay fast.
+fn mild_links() -> LinkModel {
+    let classes = [
+        LinkClass::Local,
+        LinkClass::IntraPix,
+        LinkClass::IntraSys,
+        LinkClass::InterNode,
+    ];
+    let mut params = HashMap::new();
+    for class in classes {
+        params.insert(
+            class,
+            LinkParams {
+                latency_ns: 1_000.0,
+                bandwidth_gbps: f64::INFINITY,
+            },
+        );
+    }
+    LinkModel::new(params, Default::default())
+}
+
+/// The stress-grade config: minimal connector capacity, tiny chunks, a low
+/// fixed spin threshold so preemption is constantly exercised.
+fn fault_config(channels: usize) -> DfcclConfig {
+    DfcclConfig {
+        chunk_elems: 8,
+        connector_capacity: 1,
+        channels,
+        spin: SpinPolicy::Fixed { threshold: 16 },
+        ..DfcclConfig::for_testing()
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One sweep case: build the domain, register the collective, script a 50×
+/// slowdown (activating after the first chunk) on a seeded edge of its
+/// communicator, run it from every rank, and check the result is exactly
+/// what a fault-free run produces.
+fn slowdown_round(
+    family: AlgorithmKind,
+    topology: Topology,
+    devices: Vec<GpuId>,
+    channels: usize,
+    seed: u64,
+) {
+    let n = devices.len();
+    let domain = DfcclDomain::new(
+        topology,
+        mild_links(),
+        GpuSpec::rtx_3090(),
+        fault_config(channels),
+    );
+    let count = 16 * n; // divisible by every rank count, several chunks deep
+    let desc = if family == AlgorithmKind::Pairwise {
+        CollectiveDescriptor::all_to_all(count / n, DataType::F32, devices.clone())
+    } else {
+        CollectiveDescriptor::all_reduce(count, DataType::F32, ReduceOp::Sum, devices.clone())
+    }
+    .with_algorithm(family);
+
+    let ranks: Vec<RankCtx> = devices
+        .iter()
+        .map(|&g| domain.init_rank(g).unwrap())
+        .collect();
+    for rank in &ranks {
+        rank.register(1, desc.clone()).unwrap();
+        assert_eq!(rank.algorithm_of(1), Some(family));
+    }
+
+    // Seeded single-edge choice over the edges the plan actually uses.
+    let edges = domain.edge_samples();
+    assert!(!edges.is_empty(), "{family} n={n} K={channels}: no edges");
+    let victim = edges
+        [(splitmix(seed ^ (n as u64) << 8 ^ (channels as u64) << 16) as usize) % edges.len()]
+    .edge;
+    domain
+        .fault_injector()
+        .script(victim, FaultSpec::slowdown(50.0).after_chunks(1));
+
+    // Integer-valued inputs: every reduction order yields the same f32 bits.
+    let inputs: Vec<Vec<f32>> = (0..n)
+        .map(|r| {
+            (0..count)
+                .map(|i| ((seed as usize + r * 37 + i * 5) % 199) as f32)
+                .collect()
+        })
+        .collect();
+    let mut handles = Vec::new();
+    let mut recvs = Vec::new();
+    for (r, rank) in ranks.iter().enumerate() {
+        let send = DeviceBuffer::from_f32(&inputs[r]);
+        let recv = DeviceBuffer::zeroed(count * 4);
+        recvs.push(recv.clone());
+        handles.push(rank.run_awaitable(1, send, recv).unwrap());
+    }
+    for h in &handles {
+        assert!(
+            h.wait_for_timeout(1, Duration::from_secs(60)),
+            "{family} n={n} K={channels} seed={seed}: slowdown on {victim} wedged the collective"
+        );
+    }
+    for (r, recv) in recvs.iter().enumerate() {
+        let expected: Vec<f32> = if family == AlgorithmKind::Pairwise {
+            let per = count / n;
+            (0..n)
+                .flat_map(|src| inputs[src][r * per..(r + 1) * per].to_vec())
+                .collect()
+        } else {
+            (0..count)
+                .map(|i| (0..n).map(|src| inputs[src][i]).sum())
+                .collect()
+        };
+        assert_eq!(
+            recv.to_f32_vec(),
+            expected,
+            "{family} n={n} K={channels} seed={seed}: rank {r} result corrupted by slowdown on {victim}"
+        );
+    }
+    for rank in ranks {
+        assert!(rank.collective_errors().is_empty());
+        rank.destroy();
+    }
+}
+
+#[test]
+fn mid_collective_slowdown_is_bit_exact_for_ring_and_tree() {
+    for family in [AlgorithmKind::Ring, AlgorithmKind::DoubleBinaryTree] {
+        for n in 2..=8usize {
+            for channels in 1..=3usize {
+                for seed in 0..fault_seeds() {
+                    let devices: Vec<GpuId> = (0..n).map(GpuId).collect();
+                    slowdown_round(family, Topology::flat(n), devices, channels, seed);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_collective_slowdown_is_bit_exact_for_pairwise() {
+    for n in 2..=8usize {
+        for channels in 1..=3usize {
+            for seed in 0..fault_seeds() {
+                let devices: Vec<GpuId> = (0..n).map(GpuId).collect();
+                slowdown_round(
+                    AlgorithmKind::Pairwise,
+                    Topology::flat(n),
+                    devices,
+                    channels,
+                    seed,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_collective_slowdown_is_bit_exact_for_hierarchical() {
+    // Hierarchical needs a multi-node shape with equal node groups: two
+    // nodes of n/2 GPUs each, so n ∈ {4, 6, 8}.
+    for n in [4usize, 6, 8] {
+        for channels in 1..=3usize {
+            for seed in 0..fault_seeds() {
+                let devices: Vec<GpuId> = (0..n).map(GpuId).collect();
+                slowdown_round(
+                    AlgorithmKind::Hierarchical,
+                    Topology::uniform_cluster(2, n / 2),
+                    devices,
+                    channels,
+                    seed,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dead_edge_yields_a_stall_report_naming_it_then_healing_completes() {
+    let domain = DfcclDomain::new(
+        Topology::flat(2),
+        mild_links(),
+        GpuSpec::rtx_3090(),
+        fault_config(1),
+    );
+    let devices = vec![GpuId(0), GpuId(1)];
+    let count = 64;
+    let ranks: Vec<RankCtx> = devices
+        .iter()
+        .map(|&g| domain.init_rank(g).unwrap())
+        .collect();
+    for rank in &ranks {
+        rank.register_all_reduce(1, count, DataType::F32, ReduceOp::Sum, devices.clone(), 0)
+            .unwrap();
+    }
+    let victim = EdgeId {
+        src: GpuId(0),
+        dst: GpuId(1),
+        channel: dfccl_repro::transport::ChannelId(0),
+    };
+    assert!(
+        domain.edge_samples().iter().any(|s| s.edge == victim),
+        "the ring plan must use the chosen victim edge"
+    );
+    let injector = domain.fault_injector();
+    injector.script(victim, FaultSpec::dead());
+
+    let handles: Vec<_> = ranks
+        .iter()
+        .enumerate()
+        .map(|(r, rank)| {
+            rank.run_awaitable(
+                1,
+                DeviceBuffer::from_f32(&vec![(r + 1) as f32; count]),
+                DeviceBuffer::zeroed(count * 4),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    let done = || {
+        handles
+            .iter()
+            .all(|h| h.wait_for_timeout(1, Duration::ZERO))
+    };
+    let probe = || domain.edge_samples();
+    let outcome = supervise_with_probe(&done, Duration::from_millis(300), &probe);
+    let SuperviseOutcome::Stalled(report) = outcome else {
+        panic!("a dead edge must stall the collective, got {outcome:?}");
+    };
+    assert_eq!(report.kind, StallKind::LinkFailure, "{report}");
+    assert!(
+        report.failed_edges.iter().any(|s| s.edge == victim),
+        "report must name the dead edge: {report}"
+    );
+    assert_eq!(report.stalled_collectives, vec![1], "{report}");
+
+    // Heal the link: the preempted collective resumes and finishes exact.
+    injector.clear();
+    for h in &handles {
+        assert!(
+            h.wait_for_timeout(1, Duration::from_secs(60)),
+            "healing the edge must un-stall the collective"
+        );
+    }
+    for rank in ranks {
+        assert!(rank.collective_errors().is_empty());
+        rank.destroy();
+    }
+}
+
+/// The acceptance scenario from the issue, phase A: a seeded stress run with
+/// an injected dead inter-node edge yields a `StallReport` identifying the
+/// failed `(src, dst, channel)` edge and the stalled collectives — and the
+/// rank telemetry shows the same edge dead.
+#[test]
+fn dead_inter_node_edge_is_identified_and_healable_on_two_servers() {
+    let devices = vec![GpuId(0), GpuId(1), GpuId(8), GpuId(9)];
+    let domain = DfcclDomain::new(
+        Topology::two_servers(),
+        LinkModel::table2_testbed(),
+        GpuSpec::rtx_3090(),
+        fault_config(1),
+    );
+    let count = 64;
+    let ranks: Vec<RankCtx> = devices
+        .iter()
+        .map(|&g| domain.init_rank(g).unwrap())
+        .collect();
+    for rank in &ranks {
+        rank.register_all_reduce(1, count, DataType::F32, ReduceOp::Sum, devices.clone(), 0)
+            .unwrap();
+    }
+    // Discover an inter-node edge the plan actually crosses.
+    let victim = domain
+        .edge_samples()
+        .iter()
+        .find(|s| s.link == LinkClass::InterNode)
+        .expect("a 2×2-rank collective over two servers crosses the fabric")
+        .edge;
+    let injector = domain.fault_injector();
+    injector.script(victim, FaultSpec::dead());
+
+    let inputs: Vec<Vec<f32>> = (0..devices.len())
+        .map(|r| (0..count).map(|i| ((r * 31 + i * 7) % 97) as f32).collect())
+        .collect();
+    let mut handles = Vec::new();
+    let mut recvs = Vec::new();
+    for (r, rank) in ranks.iter().enumerate() {
+        let recv = DeviceBuffer::zeroed(count * 4);
+        recvs.push(recv.clone());
+        handles.push(
+            rank.run_awaitable(1, DeviceBuffer::from_f32(&inputs[r]), recv)
+                .unwrap(),
+        );
+    }
+
+    let done = || {
+        handles
+            .iter()
+            .all(|h| h.wait_for_timeout(1, Duration::ZERO))
+    };
+    let probe = || domain.edge_samples();
+    let outcome = supervise_with_probe(&done, Duration::from_millis(400), &probe);
+    let SuperviseOutcome::Stalled(report) = outcome else {
+        panic!("dead inter-node edge must stall the all-reduce, got {outcome:?}");
+    };
+    assert_eq!(report.kind, StallKind::LinkFailure, "{report}");
+    assert!(
+        report.failed_edges.iter().any(|s| s.edge == victim),
+        "report must identify the failed inter-node edge: {report}"
+    );
+    assert_eq!(report.stalled_collectives, vec![1], "{report}");
+
+    // The telemetry snapshot of any rank names the same dead edge and shows
+    // the daemon preempting the stuck collective rather than busy-hanging.
+    let snap = ranks[0].telemetry();
+    assert!(
+        snap.dead_edges().any(|s| s.edge == victim),
+        "telemetry must show the dead edge:\n{snap}"
+    );
+    assert!(snap.counters.preemptions > 0, "stuck work must preempt");
+    assert_eq!(snap.counters.completions, 0);
+
+    // Heal, drain, verify bit-exactness end to end.
+    injector.clear();
+    for h in &handles {
+        assert!(
+            h.wait_for_timeout(1, Duration::from_secs(120)),
+            "healed inter-node edge must let the all-reduce finish"
+        );
+    }
+    let expected: Vec<f32> = (0..count)
+        .map(|i| (0..devices.len()).map(|r| inputs[r][i]).sum())
+        .collect();
+    for (r, recv) in recvs.iter().enumerate() {
+        assert_eq!(recv.to_f32_vec(), expected, "rank {r} result after healing");
+    }
+    let snap = ranks[0].telemetry();
+    assert_eq!(
+        snap.counters.completions, 1,
+        "telemetry sees the completion"
+    );
+    for rank in ranks {
+        assert!(rank.collective_errors().is_empty());
+        rank.destroy();
+    }
+}
+
+/// The acceptance scenario, phase B: a 100× slowdown on the same inter-node
+/// edge completes with zero watchdog false positives — the supervisor must
+/// return `AllCompleted`, never a stall report.
+#[test]
+fn slow_inter_node_edge_completes_with_zero_watchdog_false_positives() {
+    let devices = vec![GpuId(0), GpuId(1), GpuId(8), GpuId(9)];
+    let domain = DfcclDomain::new(
+        Topology::two_servers(),
+        LinkModel::table2_testbed(),
+        GpuSpec::rtx_3090(),
+        fault_config(1),
+    );
+    let count = 64;
+    let ranks: Vec<RankCtx> = devices
+        .iter()
+        .map(|&g| domain.init_rank(g).unwrap())
+        .collect();
+    for rank in &ranks {
+        rank.register_all_reduce(1, count, DataType::F32, ReduceOp::Sum, devices.clone(), 0)
+            .unwrap();
+    }
+    let victim = domain
+        .edge_samples()
+        .iter()
+        .find(|s| s.link == LinkClass::InterNode)
+        .expect("inter-node edge present")
+        .edge;
+    domain
+        .fault_injector()
+        .script(victim, FaultSpec::slowdown(100.0));
+
+    let inputs: Vec<Vec<f32>> = (0..devices.len())
+        .map(|r| (0..count).map(|i| ((r * 13 + i * 3) % 89) as f32).collect())
+        .collect();
+    let mut handles = Vec::new();
+    let mut recvs = Vec::new();
+    for (r, rank) in ranks.iter().enumerate() {
+        let recv = DeviceBuffer::zeroed(count * 4);
+        recvs.push(recv.clone());
+        handles.push(
+            rank.run_awaitable(1, DeviceBuffer::from_f32(&inputs[r]), recv)
+                .unwrap(),
+        );
+    }
+
+    // A tight 150 ms no-progress deadline: 100× on a 4.5 µs-latency link is
+    // ~0.5 ms per chunk, so progress ticks well inside every window. Any
+    // false positive fails the test.
+    let done = || {
+        handles
+            .iter()
+            .all(|h| h.wait_for_timeout(1, Duration::ZERO))
+    };
+    let probe = || domain.edge_samples();
+    let outcome = supervise_with_probe(&done, Duration::from_millis(150), &probe);
+    assert_eq!(
+        outcome,
+        SuperviseOutcome::AllCompleted,
+        "a slow-but-progressing edge must never be reported as a stall"
+    );
+    let expected: Vec<f32> = (0..count)
+        .map(|i| (0..devices.len()).map(|r| inputs[r][i]).sum())
+        .collect();
+    for (r, recv) in recvs.iter().enumerate() {
+        assert_eq!(recv.to_f32_vec(), expected, "rank {r} under 100× slowdown");
+    }
+    for (r, rank) in ranks.iter().enumerate() {
+        let snap = rank.telemetry();
+        assert_eq!(snap.counters.completions, 1, "rank {r}");
+        assert_eq!(snap.counters.failures, 0, "rank {r}");
+    }
+    for rank in ranks {
+        assert!(rank.collective_errors().is_empty());
+        rank.destroy();
+    }
+}
+
+/// A flaky edge (intermittent drops) never corrupts data: every dropped send
+/// is retried until it lands, so the result stays bit-exact.
+#[test]
+fn flaky_edge_retries_to_a_bit_exact_result() {
+    for seed in 0..fault_seeds().max(2) {
+        let domain = DfcclDomain::new(
+            Topology::flat(4),
+            mild_links(),
+            GpuSpec::rtx_3090(),
+            fault_config(2),
+        );
+        let devices: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let count = 64;
+        let ranks: Vec<RankCtx> = devices
+            .iter()
+            .map(|&g| domain.init_rank(g).unwrap())
+            .collect();
+        for rank in &ranks {
+            rank.register_all_reduce(1, count, DataType::F32, ReduceOp::Sum, devices.clone(), 0)
+                .unwrap();
+        }
+        let injector = domain.fault_injector();
+        injector.set_seed(seed);
+        // Every edge of the collective drops 30% of send attempts.
+        for s in domain.edge_samples() {
+            injector.script(s.edge, FaultSpec::flaky(0.3));
+        }
+        let inputs: Vec<Vec<f32>> = (0..4)
+            .map(|r| {
+                (0..count)
+                    .map(|i| ((seed as usize + r * 11 + i) % 127) as f32)
+                    .collect()
+            })
+            .collect();
+        let mut handles = Vec::new();
+        let mut recvs = Vec::new();
+        for (r, rank) in ranks.iter().enumerate() {
+            let recv = DeviceBuffer::zeroed(count * 4);
+            recvs.push(recv.clone());
+            handles.push(
+                rank.run_awaitable(1, DeviceBuffer::from_f32(&inputs[r]), recv)
+                    .unwrap(),
+            );
+        }
+        for h in &handles {
+            assert!(
+                h.wait_for_timeout(1, Duration::from_secs(60)),
+                "seed {seed}: flaky edges wedged the collective"
+            );
+        }
+        let expected: Vec<f32> = (0..count)
+            .map(|i| (0..4).map(|r| inputs[r][i]).sum())
+            .collect();
+        for (r, recv) in recvs.iter().enumerate() {
+            assert_eq!(
+                recv.to_f32_vec(),
+                expected,
+                "seed {seed}: rank {r} corrupted by flaky drops"
+            );
+        }
+        // The drops actually happened (the fault path was exercised).
+        let rejections: u64 = domain
+            .edge_samples()
+            .iter()
+            .map(|s| s.stats.fault_rejections)
+            .sum();
+        assert!(rejections > 0, "seed {seed}: no drop was ever injected");
+        for rank in ranks {
+            assert!(rank.collective_errors().is_empty());
+            rank.destroy();
+        }
+    }
+}
