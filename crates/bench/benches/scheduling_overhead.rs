@@ -34,7 +34,7 @@ fn bench_components(c: &mut Criterion) {
     group.bench_function("task_queue_reorder_64", |b| {
         let mut q = TaskQueue::new();
         for i in 0..64u64 {
-            q.push(i, (i % 7) as i32);
+            q.push(i, (i % 7) as i32, 0);
         }
         b.iter(|| {
             q.reorder(OrderingPolicy::PriorityBased);

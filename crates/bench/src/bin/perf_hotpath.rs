@@ -17,9 +17,9 @@ use std::fmt::Write as _;
 
 use dfccl::CqVariant;
 use dfccl_bench::hotpath::{
-    batched_config, best_of, best_replay_of, cq_push_batched_cost_us, cq_push_cost_us,
-    dispatch_cost, registration_throughput, spmd_hit_registration_throughput, unbatched_config,
-    HotpathWorkload,
+    batched_config, best_multi_tenant_of, best_of, best_replay_of, cq_push_batched_cost_us,
+    cq_push_cost_us, dispatch_cost, registration_throughput, spmd_hit_registration_throughput,
+    unbatched_config, HotpathWorkload,
 };
 use dfccl_bench::{arg_num, arg_value, print_row};
 
@@ -275,6 +275,42 @@ fn main() {
         "instrumented {instrumented:.0}/sec vs uninstrumented {uninstrumented:.0}/sec = {telemetry_overhead_pct:.1}% overhead (bar <= 10%): {telemetry_ok}"
     );
 
+    // Tenancy panel: the staged service-mode scheduler must not tax the
+    // single-tenant hot path. Three arms at 4 GPUs: the pre-refactor flat
+    // scheduling path (`legacy_flat_scheduling`), the staged pipeline with
+    // one (default) tenant — which takes the single-active-lane passthrough —
+    // and a 4-tenant weighted-fair mix of the same total workload. Gate:
+    // staged single-tenant throughput within 5% of the flat path.
+    let tenancy_workload = HotpathWorkload {
+        gpus: 4,
+        collectives,
+        rounds,
+        count: 16,
+    };
+    let tenancy_tenants = 4usize;
+    let flat_path = best_of(
+        repeats,
+        tenancy_workload,
+        &batched_config().legacy_flat_scheduling(),
+    )
+    .collectives_per_sec;
+    let staged_path = best_of(repeats, tenancy_workload, &batched_config()).collectives_per_sec;
+    let multi_tenant = best_multi_tenant_of(
+        repeats,
+        tenancy_workload,
+        &batched_config(),
+        tenancy_tenants,
+    )
+    .collectives_per_sec;
+    let staged_over_flat = staged_path / flat_path;
+    let tenancy_ok = staged_over_flat >= 0.95;
+    println!();
+    println!("# tenancy panel (4 GPUs): staged service-mode daemon vs pre-refactor flat path");
+    println!(
+        "flat {flat_path:.0}/sec vs staged {staged_path:.0}/sec = {staged_over_flat:.3}x \
+         (bar >= 0.95): {tenancy_ok}; {tenancy_tenants}-tenant weighted-fair {multi_tenant:.0}/sec"
+    );
+
     let speedup_at_4 = results
         .iter()
         .find(|r| r.gpus == 4)
@@ -400,6 +436,10 @@ fn main() {
         json,
         "  \"telemetry\": {{\"gpus\": 4, \"instrumented_per_sec\": {instrumented:.1}, \"uninstrumented_per_sec\": {uninstrumented:.1}, \"overhead_pct\": {telemetry_overhead_pct:.2}, \"overhead_le_10pct\": {telemetry_ok}}},"
     );
+    let _ = writeln!(
+        json,
+        "  \"tenancy\": {{\"panel\": \"tenancy\", \"gpus\": 4, \"tenants\": {tenancy_tenants}, \"flat_per_sec\": {flat_path:.1}, \"staged_per_sec\": {staged_path:.1}, \"staged_over_flat\": {staged_over_flat:.3}, \"multi_tenant_per_sec\": {multi_tenant:.1}, \"staged_within_5pct\": {tenancy_ok}}},"
+    );
     let _ = writeln!(json, "  \"fig7c_ordering_preserved\": {ordering_ok}");
     json.push_str("}\n");
 
@@ -432,6 +472,10 @@ fn main() {
     }
     if !telemetry_ok {
         eprintln!("WARNING: telemetry instrumentation overhead above the 10% acceptance bar");
+        std::process::exit(2);
+    }
+    if !tenancy_ok {
+        eprintln!("WARNING: staged service-mode daemon regresses single-tenant throughput past 5%");
         std::process::exit(2);
     }
 }

@@ -13,7 +13,10 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dfccl::{CompletionHandle, CqVariant, DfcclConfig, DfcclDomain, DfcclError, PlanCacheStats};
+use dfccl::{
+    CompletionHandle, CqVariant, DfcclConfig, DfcclDomain, DfcclError, PlanCacheStats,
+    TenantHandle, TenantQuota,
+};
 use dfccl_collectives::{
     instr_ready, step_ready, AlgorithmSelector, CollectiveDescriptor, CompiledProgram, DataType,
     DeviceBuffer, PendingSends, ReduceOp,
@@ -198,6 +201,112 @@ pub fn scheduling_throughput_over(
         elapsed,
         completed: per_rank,
     }
+}
+
+/// [`scheduling_throughput`]'s workload spread across `tenants` service-mode
+/// tenants: collective `c` is registered under tenant `c % tenants` (weights
+/// alternating 1 and 2 so weighted-fair arbitration actually engages), and
+/// every rank submits the same mixed stream. The completion rate is the
+/// domain-wide figure of merit for the multi-tenant arm of the tenancy panel.
+pub fn multi_tenant_throughput(
+    workload: HotpathWorkload,
+    config: DfcclConfig,
+    tenants: usize,
+) -> ThroughputResult {
+    assert!(workload.gpus >= 2 && tenants >= 1);
+    let domain = DfcclDomain::new(
+        Topology::flat(workload.gpus),
+        LinkModel::zero_cost(),
+        GpuSpec::rtx_3090(),
+        config,
+    );
+    let handles: Vec<TenantHandle> = (0..tenants)
+        .map(|t| domain.tenant(TenantQuota::default().with_weight(1 + (t % 2) as u32)))
+        .collect();
+    let devices: Vec<GpuId> = (0..workload.gpus).map(GpuId).collect();
+    let ranks: Vec<_> = devices
+        .iter()
+        .map(|&g| Arc::new(domain.init_rank(g).expect("rank init")))
+        .collect();
+    for rank in &ranks {
+        for c in 1..=workload.collectives {
+            rank.register_all_reduce_for(
+                &handles[(c as usize - 1) % tenants],
+                c,
+                workload.count,
+                DataType::F32,
+                ReduceOp::Sum,
+                devices.clone(),
+                0,
+            )
+            .expect("register");
+        }
+    }
+    let per_rank = workload.total_collectives();
+    let start = Instant::now();
+    let mut invokers = Vec::new();
+    for (g, rank) in ranks.iter().enumerate() {
+        let rank = Arc::clone(rank);
+        let wl = workload;
+        invokers.push(std::thread::spawn(move || {
+            let handle = CompletionHandle::new();
+            let input = vec![(g + 1) as f32; wl.count];
+            for _ in 0..wl.rounds {
+                for c in 1..=wl.collectives {
+                    let send = DeviceBuffer::from_f32(&input);
+                    let recv = DeviceBuffer::zeroed(wl.count * 4);
+                    loop {
+                        match rank.run(c, send.clone(), recv.clone(), handle.completion_callback())
+                        {
+                            Ok(()) => break,
+                            Err(DfcclError::SubmissionQueueFull) => std::thread::yield_now(),
+                            Err(e) => panic!("submission failed: {e}"),
+                        }
+                    }
+                }
+            }
+            assert!(
+                handle.wait_for_timeout(per_rank, Duration::from_secs(120)),
+                "rank {g} timed out: {}/{} completions",
+                handle.completions(),
+                per_rank,
+            );
+        }));
+    }
+    for j in invokers {
+        j.join().expect("invoker thread panicked");
+    }
+    let elapsed = start.elapsed();
+    for rank in &ranks {
+        assert!(
+            rank.collective_errors().is_empty(),
+            "collective errors during bench"
+        );
+        rank.destroy();
+    }
+    ThroughputResult {
+        collectives_per_sec: per_rank as f64 / elapsed.as_secs_f64(),
+        elapsed,
+        completed: per_rank,
+    }
+}
+
+/// Best-of wrapper for [`multi_tenant_throughput`].
+pub fn best_multi_tenant_of(
+    repeats: usize,
+    workload: HotpathWorkload,
+    config: &DfcclConfig,
+    tenants: usize,
+) -> ThroughputResult {
+    assert!(repeats > 0);
+    (0..repeats)
+        .map(|_| multi_tenant_throughput(workload, config.clone(), tenants))
+        .max_by(|a, b| {
+            a.collectives_per_sec
+                .partial_cmp(&b.collectives_per_sec)
+                .expect("throughput is finite")
+        })
+        .expect("at least one repeat")
 }
 
 /// Run `repeats` measurements and keep the best (max throughput): scheduling

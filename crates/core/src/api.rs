@@ -35,8 +35,9 @@ use crate::daemon::{
     GRAPH_ID_BASE,
 };
 use crate::sq::{Sqe, SubmissionQueue};
-use crate::stats::{CollectiveStats, DaemonStatsSnapshot};
+use crate::stats::{CollectiveStats, DaemonStatsSnapshot, TenantStats};
 use crate::telemetry::{TelemetryEventKind, TelemetrySnapshot};
+use crate::tenant::{AdmissionError, TenantHandle, TenantId, TenantQuota};
 
 /// Errors returned by the DFCCL API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +54,12 @@ pub enum DfcclError {
     DeviceSetMismatch(u64),
     /// The submission queue is full.
     SubmissionQueueFull,
+    /// Typed per-tenant admission backpressure (service mode): the tenant is
+    /// at a quota. [`AdmissionError::is_retryable`] distinguishes
+    /// backpressure that clears as completions drain (`AtQuota`) from states
+    /// needing operator action. Distinct from
+    /// [`DfcclError::SubmissionQueueFull`], the rank-wide SQ signal.
+    Admission(AdmissionError),
     /// The rank context has been destroyed.
     Destroyed,
     /// The collective id has one of the top two bits set — that space is
@@ -88,6 +95,7 @@ impl std::fmt::Display for DfcclError {
                 )
             }
             DfcclError::SubmissionQueueFull => write!(f, "submission queue is full"),
+            DfcclError::Admission(e) => write!(f, "{e}"),
             DfcclError::Destroyed => write!(f, "rank context has been destroyed"),
             DfcclError::ReservedCollectiveId(id) => {
                 write!(f, "collective id {id:#x} lies in the reserved graph space")
@@ -116,6 +124,12 @@ impl From<CollectiveError> for DfcclError {
 impl From<TransportError> for DfcclError {
     fn from(e: TransportError) -> Self {
         DfcclError::Transport(e)
+    }
+}
+
+impl From<AdmissionError> for DfcclError {
+    fn from(e: AdmissionError) -> Self {
+        DfcclError::Admission(e)
     }
 }
 
@@ -148,6 +162,12 @@ pub struct DfcclDomain {
     /// scope to the domain because every cache input besides the key —
     /// topology, chunk granularity — is fixed for the domain's lifetime.
     plan_cache: PlanCache,
+    /// Tenant handles minted by this domain: id → quota. Consulted when a
+    /// handle is presented at registration time, so a handle forged for (or
+    /// minted by) another domain is rejected with `UnknownTenant` instead of
+    /// silently creating accounting state.
+    tenants: Mutex<HashMap<TenantId, TenantQuota>>,
+    next_tenant_id: AtomicU64,
 }
 
 impl DfcclDomain {
@@ -178,6 +198,8 @@ impl DfcclDomain {
             config,
             communicators: Mutex::new(HashMap::new()),
             plan_cache: PlanCache::new(),
+            tenants: Mutex::new(HashMap::new()),
+            next_tenant_id: AtomicU64::new(1),
         })
     }
 
@@ -232,6 +254,34 @@ impl DfcclDomain {
             misses: self.plan_cache.misses(),
             size: self.plan_cache.len(),
         }
+    }
+
+    /// Mint a tenant handle with `quota`. Collectives registered through
+    /// [`RankCtx::register_for`] with this handle are admitted, scheduled and
+    /// accounted under it on every rank of the domain. Ids are unique within
+    /// the domain; the implicit default tenant (`TenantId::DEFAULT`) carries
+    /// the domain-wide `DfcclConfig::tenant_quota` and is what plain
+    /// [`RankCtx::register`] uses.
+    pub fn tenant(&self, quota: TenantQuota) -> TenantHandle {
+        let id = TenantId(self.next_tenant_id.fetch_add(1, Ordering::Relaxed) as u32);
+        self.tenants.lock().insert(id, quota);
+        TenantHandle { id, quota }
+    }
+
+    /// The implicit tenant that un-tenanted registrations run under, carrying
+    /// the domain-wide quota from the config.
+    pub fn default_tenant(&self) -> TenantHandle {
+        TenantHandle {
+            id: TenantId::DEFAULT,
+            quota: self.config.tenant_quota,
+        }
+    }
+
+    fn tenant_quota(&self, id: TenantId) -> Option<TenantQuota> {
+        if id == TenantId::DEFAULT {
+            return Some(self.config.tenant_quota);
+        }
+        self.tenants.lock().get(&id).copied()
     }
 
     /// The domain's fault injector: every connector of every communicator the
@@ -388,7 +438,38 @@ impl RankCtx {
         if coll_id & (GRAPH_ID_BASE | FUSED_COLL_ID_BASE) != 0 {
             return Err(DfcclError::ReservedCollectiveId(coll_id));
         }
-        self.register_resolved(coll_id, desc).map(|_| ())
+        self.register_resolved(coll_id, desc, TenantId::DEFAULT)
+            .map(|_| ())
+    }
+
+    /// Register a collective under a tenant minted by
+    /// [`DfcclDomain::tenant`]. The collective counts against the tenant's
+    /// residency budget now and against its outstanding quota on every
+    /// [`RankCtx::run`], and is scheduled in the tenant's own lane by the
+    /// service-mode arbiter. A handle not minted by this domain is rejected
+    /// with [`AdmissionError::UnknownTenant`].
+    pub fn register_for(
+        &self,
+        tenant: &TenantHandle,
+        coll_id: u64,
+        desc: CollectiveDescriptor,
+    ) -> Result<(), DfcclError> {
+        if coll_id & (GRAPH_ID_BASE | FUSED_COLL_ID_BASE) != 0 {
+            return Err(DfcclError::ReservedCollectiveId(coll_id));
+        }
+        match self.domain.tenant_quota(tenant.id()) {
+            Some(quota) if quota == tenant.quota() => {}
+            _ => {
+                return Err(DfcclError::Admission(AdmissionError::UnknownTenant(
+                    tenant.id(),
+                )))
+            }
+        }
+        // Materialise the rank-side accounting state with the handle's quota
+        // before admission, so the first registration is checked against it.
+        self.shared.tenants.state_for(tenant);
+        self.register_resolved(coll_id, desc, tenant.id())
+            .map(|_| ())
     }
 
     /// The shared registration path: validates, compiles (through the plan
@@ -400,6 +481,7 @@ impl RankCtx {
         &self,
         coll_id: u64,
         desc: CollectiveDescriptor,
+        tenant: TenantId,
     ) -> Result<Arc<RegisteredCollective>, DfcclError> {
         self.check_alive()?;
         desc.validate()?;
@@ -431,10 +513,17 @@ impl RankCtx {
         let channels =
             communicator.channels(rank, cached.plan.send_edges(), cached.plan.recv_edges())?;
         let table = cached.program.bind(&channels)?;
+        // Admission: the residency check is the last fallible step, so a
+        // rejected registration leaves no partial state behind (connectors
+        // bound above are shared, communicator allocation is idempotent).
+        if !self.domain.config.flat_scheduling {
+            self.shared.tenants.state(tenant).try_admit_register()?;
+        }
         let reg = Arc::new(RegisteredCollective {
             coll_id,
             desc,
             rank,
+            tenant,
             communicator,
             channels,
             plan: cached.plan,
@@ -460,6 +549,7 @@ impl RankCtx {
         &self,
         coll_id: u64,
         desc: &CollectiveDescriptor,
+        tenant: TenantId,
     ) -> Result<Arc<RegisteredCollective>, DfcclError> {
         if let Some(existing) = self.shared.registered.read().get(&coll_id) {
             if existing.desc == *desc {
@@ -467,7 +557,7 @@ impl RankCtx {
             }
             return Err(DfcclError::AlreadyRegistered(coll_id));
         }
-        self.register_resolved(coll_id, desc.clone())
+        self.register_resolved(coll_id, desc.clone(), tenant)
     }
 
     /// Register an all-reduce (`dfcclRegisterAllReduce`).
@@ -481,6 +571,25 @@ impl RankCtx {
         priority: i32,
     ) -> Result<(), DfcclError> {
         self.register(
+            coll_id,
+            CollectiveDescriptor::all_reduce(count, dtype, op, devices).with_priority(priority),
+        )
+    }
+
+    /// Register an all-reduce under a tenant handle (service mode).
+    #[allow(clippy::too_many_arguments)]
+    pub fn register_all_reduce_for(
+        &self,
+        tenant: &TenantHandle,
+        coll_id: u64,
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+        devices: Vec<GpuId>,
+        priority: i32,
+    ) -> Result<(), DfcclError> {
+        self.register_for(
+            tenant,
             coll_id,
             CollectiveDescriptor::all_reduce(count, dtype, op, devices).with_priority(priority),
         )
@@ -603,6 +712,17 @@ impl RankCtx {
             .cloned()
             .ok_or(DfcclError::NotRegistered(coll_id))?;
         validate_buffers(&reg.desc, reg.rank, &send, &recv)?;
+        // Admission stage (service mode): charge the invocation against the
+        // owning tenant's outstanding quota before anything observable
+        // happens. At quota the caller gets typed, retryable backpressure —
+        // nothing was bound or queued, so a later retry starts clean.
+        let admitted = if self.domain.config.flat_scheduling {
+            None
+        } else {
+            let state = self.shared.tenants.state(reg.tenant);
+            state.try_admit_run()?;
+            Some(state)
+        };
         let bind_token = self.callbacks.bind(coll_id, callback);
         self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
@@ -619,6 +739,9 @@ impl RankCtx {
             // spuriously; other in-flight invocations of the same collective
             // (from this or any other thread) keep theirs.
             let _ = self.callbacks.unbind(coll_id, bind_token);
+            if let Some(state) = &admitted {
+                state.cancel_run();
+            }
             return Err(DfcclError::SubmissionQueueFull);
         }
         self.shared
@@ -672,6 +795,24 @@ impl RankCtx {
         {
             return Err(DfcclError::GraphReplayInFlight(graph.graph_id));
         }
+        // Admission stage: a replay counts as one outstanding invocation of
+        // the tenant that captured the graph (attributed to its first node,
+        // matching how the daemon routes the graph's completion).
+        let tenant = graph
+            .nodes
+            .first()
+            .map(|n| n.reg.tenant)
+            .unwrap_or(TenantId::DEFAULT);
+        let admitted = if self.domain.config.flat_scheduling {
+            None
+        } else {
+            let state = self.shared.tenants.state(tenant);
+            if let Err(e) = state.try_admit_run() {
+                graph.in_flight.store(false, Ordering::Release);
+                return Err(e.into());
+            }
+            Some(state)
+        };
         // Stage fused inputs on the invoker thread, before the SQE becomes
         // visible: the daemon may start executing nodes the moment it drains
         // the queue.
@@ -696,6 +837,9 @@ impl RankCtx {
             self.shared.outstanding.fetch_sub(1, Ordering::AcqRel);
             let _ = self.callbacks.unbind(graph.graph_id, bind_token);
             graph.in_flight.store(false, Ordering::Release);
+            if let Some(state) = &admitted {
+                state.cancel_run();
+            }
             return Err(DfcclError::SubmissionQueueFull);
         }
         self.shared
@@ -791,7 +935,18 @@ impl RankCtx {
             }
         }
         edges.sort_by_key(|a| (a.coll_id, a.edge));
-        self.shared.telemetry.snapshot(edges)
+        self.shared
+            .telemetry
+            .snapshot(edges, self.shared.tenants.snapshot())
+    }
+
+    /// Per-tenant accounting on this rank — the service-mode analogue of
+    /// [`DfcclDomain::cache_stats`]: task-queue depth (current and
+    /// high-water), outstanding invocations, registered collectives and
+    /// lifecycle counters, sorted by tenant id. Also embedded in
+    /// [`RankCtx::telemetry`] snapshots.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        self.shared.tenants.snapshot()
     }
 
     /// Number of invocations submitted but not yet completed on this rank.
@@ -914,7 +1069,23 @@ impl GraphRecorder<'_> {
                     .get(&coll_id)
                     .cloned()
                     .ok_or(DfcclError::NotRegistered(coll_id))?,
-                GraphOp::Fused(fused) => ctx.resolve_fused(coll_id, &fused.desc)?,
+                GraphOp::Fused(fused) => {
+                    // A fused bucket inherits the tenant of its first member:
+                    // fusion only groups consecutive same-shape collectives,
+                    // and a tenant's iteration step is captured as one graph.
+                    let tenant = fused
+                        .segments
+                        .first()
+                        .and_then(|seg| {
+                            ctx.shared
+                                .registered
+                                .read()
+                                .get(&seg.coll_id)
+                                .map(|r| r.tenant)
+                        })
+                        .unwrap_or(TenantId::DEFAULT);
+                    ctx.resolve_fused(coll_id, &fused.desc, tenant)?
+                }
             };
             nodes.push(GraphNode { op, reg });
         }

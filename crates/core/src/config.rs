@@ -10,6 +10,8 @@ use std::time::Duration;
 
 use dfccl_collectives::{AlgorithmKind, AlgorithmSelector, DEFAULT_TREE_THRESHOLD_BYTES};
 
+use crate::tenant::TenantQuota;
+
 /// Charge a modelled host-memory cost by busy-spinning for `ns` nanoseconds
 /// (no-op for non-positive costs). The single entry point of the cost model:
 /// both the SQ reader and the CQ writers charge through here, so the
@@ -43,6 +45,23 @@ pub enum OrderingPolicy {
     /// Check the SQ more frequently and keep the task queue sorted by the
     /// user-specified priority.
     PriorityBased,
+}
+
+/// How the daemon arbitrates between per-tenant task-queue lanes in service
+/// mode. Within a lane the paper's semantics ([`OrderingPolicy`]) are
+/// untouched; arbitration only decides how lanes interleave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantArbitration {
+    /// Deficit-round-robin over lanes: per scheduling pass each contending
+    /// tenant is granted up to `weight × tenant_quantum` slices, selected by
+    /// a rotating cursor over the lane so every queued collective is still
+    /// polled within a bounded number of passes (the rotation is what keeps
+    /// the capacity-1 deadlock-freedom argument intact — see DESIGN.md §8).
+    WeightedFair,
+    /// Lanes are ordered by descending weight and fully scheduled each pass.
+    /// Pure ordering, no slice caps: a heavy tenant is polled first but can
+    /// never exclude a light tenant from the pass.
+    StrictPriority,
 }
 
 /// How spin thresholds are assigned and adjusted (Sec. 4.3).
@@ -254,6 +273,24 @@ pub struct DfcclConfig {
     /// [`CollectiveDescriptor::with_no_fuse`](dfccl_collectives::CollectiveDescriptor::with_no_fuse)
     /// opts a single collective out.
     pub fusion_threshold_bytes: usize,
+    /// Default quota for tenants that never received an explicit one — the
+    /// implicit tenant 0 of handle-less registrations, and any tenant whose
+    /// handle this rank has not seen. Unlimited by default, so single-job use
+    /// is unaffected by service mode.
+    pub tenant_quota: TenantQuota,
+    /// How per-tenant task-queue lanes are interleaved when more than one
+    /// tenant has queued work.
+    pub tenant_arbitration: TenantArbitration,
+    /// Base scheduling quantum under [`TenantArbitration::WeightedFair`]: a
+    /// contending tenant is granted up to `weight × tenant_quantum` slices
+    /// per pass. Larger quanta amortize lane switching; `1` gives the
+    /// tightest interleaving (used by the fairness tests).
+    pub tenant_quantum: u32,
+    /// Bypass the staged per-tenant scheduler and run every collective from
+    /// one flat task queue with no admission accounting — the pre-service
+    /// scheduling path, kept as the baseline arm of the tenancy benchmarks
+    /// (like [`DfcclConfig::unbatched`] and [`DfcclConfig::interpreted`]).
+    pub flat_scheduling: bool,
     /// Capacity of the per-daemon telemetry event ring
     /// ([`crate::telemetry::Telemetry`]): the most recent this-many
     /// submit/fetch/preempt/resume/complete/chunk-moved events are retained
@@ -290,6 +327,10 @@ impl Default for DfcclConfig {
             active_context_slots: 8,
             compiled_dispatch: true,
             fusion_threshold_bytes: 64 * 1024,
+            tenant_quota: TenantQuota::default(),
+            tenant_arbitration: TenantArbitration::WeightedFair,
+            tenant_quantum: 4,
+            flat_scheduling: false,
             telemetry_events: 4096,
         }
     }
@@ -354,6 +395,31 @@ impl DfcclConfig {
     /// per-kind counters stay on).
     pub fn with_telemetry(mut self, capacity: usize) -> Self {
         self.telemetry_events = capacity;
+        self
+    }
+
+    /// Set the default quota for tenants without an explicit handle.
+    pub fn with_tenant_quota(mut self, quota: TenantQuota) -> Self {
+        self.tenant_quota = quota;
+        self
+    }
+
+    /// Select the lane-arbitration policy for service mode.
+    pub fn with_tenant_arbitration(mut self, arbitration: TenantArbitration) -> Self {
+        self.tenant_arbitration = arbitration;
+        self
+    }
+
+    /// Set the weighted-fair base quantum (slices per weight unit per pass).
+    pub fn with_tenant_quantum(mut self, quantum: u32) -> Self {
+        self.tenant_quantum = quantum.max(1);
+        self
+    }
+
+    /// Run the pre-service flat scheduling path (single task queue, no
+    /// admission accounting) — the baseline arm of the tenancy benchmarks.
+    pub fn legacy_flat_scheduling(mut self) -> Self {
+        self.flat_scheduling = true;
         self
     }
 
@@ -451,6 +517,21 @@ mod tests {
         let u = c.unbatched();
         assert_eq!(u.sq_fetch_batch, 1);
         assert_eq!(u.cq_write_batch, 1);
+    }
+
+    #[test]
+    fn tenancy_defaults_leave_single_job_use_unconstrained() {
+        let c = DfcclConfig::default();
+        assert_eq!(c.tenant_quota, TenantQuota::default());
+        assert_eq!(c.tenant_arbitration, TenantArbitration::WeightedFair);
+        assert_eq!(c.tenant_quantum, 4);
+        assert!(!c.flat_scheduling);
+        let flat = DfcclConfig::default().legacy_flat_scheduling();
+        assert!(flat.flat_scheduling);
+        assert_eq!(
+            DfcclConfig::default().with_tenant_quantum(0).tenant_quantum,
+            1
+        );
     }
 
     #[test]

@@ -37,6 +37,26 @@
 //! registered collectives are cached in a daemon-local map stamped with the
 //! registry generation, and the `RwLock` registry is only consulted when the
 //! generation moves (i.e. someone registered a new collective).
+//!
+//! ## The service-mode pipeline
+//!
+//! A scheduling pass is four explicit stages (DESIGN.md §8):
+//!
+//! * **admission** ([`admission_stage`]) — fetch SQE batches, expand graph
+//!   replays, and enqueue invocations on their tenant's scheduling lane
+//!   (per-tenant quota checks happen API-side at submit time, where the
+//!   typed [`crate::tenant::AdmissionError`] backpressure can be returned);
+//! * **schedule** ([`schedule_stage`]) — one weighted-fair / strict-priority
+//!   arbitration pass over the per-tenant lanes
+//!   ([`crate::task_queue::TenantScheduler`]), preserving FIFO/priority
+//!   semantics within each tenant;
+//! * **execute** ([`execute_stage`]) — unchanged compiled-lane (or
+//!   interpreted) dispatch with two-phase blocking per slice;
+//! * **complete** ([`complete_stage`]) — batched CQE publication with
+//!   per-tenant completion routing and accounting.
+//!
+//! With one tenant (or `DfcclConfig::flat_scheduling`) the pipeline reduces
+//! to the pre-service flat schedule.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -59,8 +79,9 @@ use crate::cq::{CqKind, Cqe};
 use crate::park::Parker;
 use crate::sq::{SqCursor, Sqe, SubmissionQueue};
 use crate::stats::DaemonStats;
-use crate::task_queue::TaskQueue;
+use crate::task_queue::TenantScheduler;
 use crate::telemetry::{Telemetry, TelemetryEventKind};
+use crate::tenant::{TenantId, TenantState, TenantTable};
 
 /// Static context of a registered collective on one rank: everything that is
 /// fixed at registration time (Sec. 4.2).
@@ -71,6 +92,9 @@ pub struct RegisteredCollective {
     pub desc: CollectiveDescriptor,
     /// This GPU's rank within the collective's device set.
     pub rank: usize,
+    /// The tenant that registered the collective (service mode); tenant 0
+    /// for handle-less registrations.
+    pub tenant: TenantId,
     /// The communicator backing the collective.
     pub communicator: Arc<Communicator>,
     /// This rank's connectors, keyed by `(peer, channel)` — the interpreted
@@ -190,6 +214,10 @@ pub struct DaemonShared {
     /// Structured telemetry: lifecycle event ring + always-on counters
     /// (capacity from [`DfcclConfig::telemetry_events`]).
     pub telemetry: Arc<Telemetry>,
+    /// Per-tenant admission counters and lifecycle accounting (service
+    /// mode). Tenants without an explicit handle get
+    /// [`DfcclConfig::tenant_quota`].
+    pub tenants: Arc<TenantTable>,
     /// Collectives that failed with a protocol error, and why.
     pub errors: Mutex<HashMap<u64, String>>,
     /// Whether a daemon thread is currently alive.
@@ -224,6 +252,7 @@ impl DaemonShared {
             config.context_save_ns,
         );
         let telemetry = Telemetry::new(config.telemetry_events);
+        let tenants = TenantTable::new(config.tenant_quota);
         Arc::new(DaemonShared {
             gpu,
             device,
@@ -238,6 +267,7 @@ impl DaemonShared {
             graph_runs: Mutex::new(HashMap::new()),
             stats: Arc::new(DaemonStats::default()),
             telemetry,
+            tenants,
             errors: Mutex::new(HashMap::new()),
             running: AtomicBool::new(false),
             final_exit: AtomicBool::new(false),
@@ -402,31 +432,77 @@ impl RegistryCache {
     }
 }
 
+/// Daemon-local cache of [`TenantState`] handles, so per-slice accounting
+/// (preemptions, failures) costs a `HashMap` hit instead of the table's
+/// `RwLock`. States are immutable per tenant, so entries never go stale.
+struct TenantCache {
+    map: HashMap<TenantId, Arc<TenantState>>,
+}
+
+impl TenantCache {
+    fn new() -> Self {
+        TenantCache {
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, shared: &DaemonShared, tenant: TenantId) -> Arc<TenantState> {
+        Arc::clone(
+            self.map
+                .entry(tenant)
+                .or_insert_with(|| shared.tenants.state(tenant)),
+        )
+    }
+}
+
+/// Pending CQEs with their owning tenants (parallel vectors — the `Cqe` wire
+/// format is unchanged; tenant routing is daemon-side bookkeeping).
+struct CompletionBatch {
+    cqes: Vec<Cqe>,
+    tenants: Vec<TenantId>,
+}
+
+impl CompletionBatch {
+    fn with_capacity(n: usize) -> Self {
+        CompletionBatch {
+            cqes: Vec::with_capacity(n),
+            tenants: Vec::with_capacity(n),
+        }
+    }
+}
+
 /// Append a completion to the pending CQE batch, flushing when the batch
 /// threshold is reached. The `Complete` telemetry event means "a CQE was
 /// enqueued" — failed collectives produce a `Failed` event *and* a
 /// `Complete` (their failure is still delivered through the CQ).
-fn enqueue_completion(shared: &Arc<DaemonShared>, batch: &mut Vec<Cqe>, coll_id: u64) {
+fn enqueue_completion(
+    shared: &Arc<DaemonShared>,
+    batch: &mut CompletionBatch,
+    coll_id: u64,
+    tenant: TenantId,
+) {
     shared
         .telemetry
         .record(coll_id, TelemetryEventKind::Complete);
-    batch.push(Cqe { coll_id });
-    if batch.len() >= shared.config.cq_write_batch.max(1) {
+    batch.cqes.push(Cqe { coll_id });
+    batch.tenants.push(tenant);
+    if batch.cqes.len() >= shared.config.cq_write_batch.max(1) {
         flush_completions(shared, batch);
     }
 }
 
-/// Publish the pending CQE batch with batched CQ rounds, update accounting
-/// and wake the poller. With `cq_write_batch == 1` this degenerates to the
-/// legacy per-entry publication (identical modelled cost).
-fn flush_completions(shared: &Arc<DaemonShared>, batch: &mut Vec<Cqe>) {
-    if batch.is_empty() {
+/// The **complete** stage: publish the pending CQE batch with batched CQ
+/// rounds, route each completion to its tenant's accounting, update rank-wide
+/// accounting and wake the poller. With `cq_write_batch == 1` this
+/// degenerates to the legacy per-entry publication (identical modelled cost).
+fn flush_completions(shared: &Arc<DaemonShared>, batch: &mut CompletionBatch) {
+    if batch.cqes.is_empty() {
         return;
     }
     let write_start = Instant::now();
     let mut offset = 0;
-    while offset < batch.len() {
-        let pushed = shared.cq.push_n(&batch[offset..]);
+    while offset < batch.cqes.len() {
+        let pushed = shared.cq.push_n(&batch.cqes[offset..]);
         offset += pushed;
         if pushed == 0 {
             // CQ full: the poller owns previously published entries, so wake
@@ -438,24 +514,47 @@ fn flush_completions(shared: &Arc<DaemonShared>, batch: &mut Vec<Cqe>) {
     }
     shared
         .stats
-        .record_cqe_write_batch(write_start.elapsed(), batch.len() as u64);
-    for cqe in batch.iter() {
+        .record_cqe_write_batch(write_start.elapsed(), batch.cqes.len() as u64);
+    let flat = shared.config.flat_scheduling;
+    for (cqe, tenant) in batch.cqes.iter().zip(batch.tenants.iter()) {
         shared.stats.record_completion(cqe.coll_id);
         let previous = shared.outstanding.fetch_sub(1, Ordering::AcqRel);
         debug_assert!(previous > 0, "completion without a matching submission");
+        if !flat {
+            shared.tenants.state(*tenant).on_complete();
+        }
     }
-    batch.clear();
+    batch.cqes.clear();
+    batch.tenants.clear();
     shared.notify_poller();
 }
 
-/// Expand a graph-replay SQE (❶): insert the run's countdown state and
-/// enqueue one pre-tagged invocation per node, in recorded order. The nodes
-/// then flow through the ordinary scheduling pass; only their completions are
-/// routed differently (see [`complete_graph_node`]).
+/// Enqueue `coll_id` on its tenant's scheduling lane with the configured
+/// initial spin threshold for its arrival position (satellite: the threshold
+/// comes from [`DfcclConfig::spin`] at push time, not a silent 0).
+fn enqueue_task(
+    shared: &Arc<DaemonShared>,
+    scheduler: &mut TenantScheduler,
+    tenant_cache: &mut TenantCache,
+    coll_id: u64,
+    priority: i32,
+    tenant: TenantId,
+) {
+    let state = tenant_cache.get(shared, tenant);
+    let initial_spin = shared.config.spin.initial_threshold(scheduler.len());
+    scheduler.push(coll_id, &state, priority, initial_spin);
+}
+
+/// Expand a graph-replay SQE (admission): insert the run's countdown state
+/// and enqueue one pre-tagged invocation per node, in recorded order, on the
+/// registering tenant's lane. The nodes then flow through the ordinary
+/// scheduling pass; only their completions are routed differently (see
+/// [`complete_graph_node`]).
 fn expand_graph(
     shared: &Arc<DaemonShared>,
-    task_queue: &mut TaskQueue,
-    cqe_batch: &mut Vec<Cqe>,
+    scheduler: &mut TenantScheduler,
+    tenant_cache: &mut TenantCache,
+    completions: &mut CompletionBatch,
     graph_id: u64,
     run: u64,
 ) {
@@ -469,7 +568,7 @@ fn expand_graph(
         shared
             .telemetry
             .record(graph_id, TelemetryEventKind::Failed);
-        enqueue_completion(shared, cqe_batch, graph_id);
+        enqueue_completion(shared, completions, graph_id, TenantId::DEFAULT);
         return;
     };
     shared.graph_runs.lock().insert(
@@ -492,12 +591,19 @@ fn expand_graph(
             node: node as u32,
         });
         shared.contexts.enqueue_invocation(coll_id, ctx);
-        if !task_queue.contains(coll_id) {
-            task_queue.push(coll_id, graph_node.reg.desc.priority);
+        if !scheduler.contains(coll_id) {
+            enqueue_task(
+                shared,
+                scheduler,
+                tenant_cache,
+                coll_id,
+                graph_node.reg.desc.priority,
+                graph_node.reg.tenant,
+            );
         }
         shared
             .stats
-            .record_queue_len(coll_id, task_queue.len() as u64);
+            .record_queue_len(coll_id, scheduler.len() as u64);
     }
 }
 
@@ -509,7 +615,7 @@ fn expand_graph(
 /// wins) and still counts down, so the replay's completion always fires.
 fn complete_graph_node(
     shared: &Arc<DaemonShared>,
-    cqe_batch: &mut Vec<Cqe>,
+    completions: &mut CompletionBatch,
     tag: GraphTag,
     failed: Option<String>,
 ) {
@@ -538,7 +644,15 @@ fn complete_graph_node(
     };
     if let Some(graph) = finished {
         graph.in_flight.store(false, Ordering::Release);
-        enqueue_completion(shared, cqe_batch, tag.graph_id);
+        // The replay's single CQE is accounted to the tenant that captured
+        // the graph (the first node's registering tenant — capture is
+        // rank-local, so all nodes share it in practice).
+        let tenant = graph
+            .nodes
+            .first()
+            .map(|n| n.reg.tenant)
+            .unwrap_or(TenantId::DEFAULT);
+        enqueue_completion(shared, completions, tag.graph_id, tenant);
     }
 }
 
@@ -798,7 +912,232 @@ fn run_compiled_slice(
     }
 }
 
-/// Body of one daemon-kernel incarnation (Algorithm 1).
+/// Daemon-local state threaded through the pipeline stages of one
+/// incarnation.
+struct PipelineState {
+    registry: RegistryCache,
+    scheduler: TenantScheduler,
+    tenant_cache: TenantCache,
+    completions: CompletionBatch,
+    sqe_batch: Vec<Sqe>,
+}
+
+/// The **admission** stage: fetch and parse SQEs, a batch per cursor-lock
+/// acquisition; expand graph replays; enqueue each invocation on its
+/// tenant's scheduling lane. Returns whether anything was fetched.
+fn admission_stage(shared: &Arc<DaemonShared>, st: &mut PipelineState) -> bool {
+    let PipelineState {
+        registry,
+        scheduler,
+        tenant_cache,
+        completions,
+        sqe_batch,
+    } = st;
+    let sq_fetch_batch = shared.config.sq_fetch_batch.max(1);
+    let mut fetched_any = false;
+    loop {
+        let read_start = Instant::now();
+        sqe_batch.clear();
+        let fetched = {
+            let mut cursor = shared.sq_cursor.lock();
+            shared
+                .sq
+                .fetch_batch(&mut cursor, sq_fetch_batch, sqe_batch)
+        };
+        if fetched == 0 {
+            break;
+        }
+        shared
+            .stats
+            .record_sqe_fetch_batch(read_start.elapsed(), fetched as u64);
+        fetched_any = true;
+        let prep_start = Instant::now();
+        for sqe in sqe_batch.drain(..) {
+            if sqe.exit {
+                shared.final_exit.store(true, Ordering::Release);
+                continue;
+            }
+            shared
+                .telemetry
+                .record(sqe.coll_id, TelemetryEventKind::Fetch);
+            if is_graph_id(sqe.coll_id) {
+                expand_graph(
+                    shared,
+                    scheduler,
+                    tenant_cache,
+                    completions,
+                    sqe.coll_id,
+                    sqe.seq,
+                );
+                continue;
+            }
+            let (priority, tenant) = registry
+                .get(shared, sqe.coll_id)
+                .map(|r| (r.desc.priority, r.tenant))
+                .unwrap_or((0, TenantId::DEFAULT));
+            shared.contexts.enqueue_invocation(
+                sqe.coll_id,
+                DynamicContext::new(sqe.seq, sqe.send, sqe.recv),
+            );
+            if !scheduler.contains(sqe.coll_id) {
+                enqueue_task(
+                    shared,
+                    scheduler,
+                    tenant_cache,
+                    sqe.coll_id,
+                    priority,
+                    tenant,
+                );
+            }
+            shared
+                .stats
+                .record_queue_len(sqe.coll_id, scheduler.len() as u64);
+        }
+        shared.stats.record_preparing(prep_start.elapsed());
+    }
+    fetched_any
+}
+
+/// The **schedule** stage: one arbitration pass over the per-tenant lanes —
+/// reorder each lane by the ordering policy, grant slices by weighted-fair /
+/// strict-priority arbitration, assign position-based initial spin
+/// thresholds. Returns the collective ids to execute, in order.
+fn schedule_stage(shared: &Arc<DaemonShared>, st: &mut PipelineState) -> Vec<u64> {
+    st.scheduler.schedule(
+        shared.config.ordering,
+        shared.config.tenant_arbitration,
+        shared.config.tenant_quantum,
+        shared.config.spin,
+    )
+}
+
+/// The **execute** stage: run one two-phase-blocking slice per scheduled
+/// collective (unchanged compiled-lane or interpreted dispatch), with
+/// per-tenant preemption/failure accounting. Returns whether any slice
+/// progressed.
+fn execute_stage(shared: &Arc<DaemonShared>, st: &mut PipelineState, order: &[u64]) -> bool {
+    let PipelineState {
+        registry,
+        scheduler,
+        tenant_cache,
+        completions,
+        ..
+    } = st;
+    let flat = shared.config.flat_scheduling;
+    let spin = shared.config.spin;
+    let mut progressed_any = false;
+    for &coll_id in order {
+        let Some(reg) = registry.get(shared, coll_id) else {
+            // Unregistered id: drop the invocation and surface an error.
+            if let Some((ctx, _)) = shared.contexts.checkout_current(coll_id) {
+                let reason = "collective not registered".to_string();
+                shared.errors.lock().insert(coll_id, reason.clone());
+                shared.telemetry.record(coll_id, TelemetryEventKind::Failed);
+                match ctx.graph {
+                    Some(tag) => complete_graph_node(shared, completions, tag, Some(reason)),
+                    None => enqueue_completion(shared, completions, coll_id, TenantId::DEFAULT),
+                }
+            }
+            scheduler.remove(coll_id);
+            continue;
+        };
+        let prep_start = Instant::now();
+        let Some((mut ctx, load)) = shared.contexts.checkout_current(coll_id) else {
+            // Nothing pending for this entry (stale); drop it.
+            scheduler.remove(coll_id);
+            continue;
+        };
+        shared.stats.record_context_load();
+        if load == ContextLoad::CacheMiss {
+            shared.stats.record_preparing(prep_start.elapsed());
+        }
+        // A context checked out with primitives already behind it was
+        // preempted in an earlier slice: this checkout is a resume.
+        if ctx.next_step > 0 {
+            shared.telemetry.record(coll_id, TelemetryEventKind::Resume);
+        }
+
+        let threshold = scheduler
+            .entry_mut(coll_id)
+            .map(|e| e.spin_threshold)
+            .unwrap_or_else(|| spin.initial_threshold(0));
+        let steps_before = ctx.next_step;
+        let slice = if shared.config.compiled_dispatch {
+            run_compiled_slice(shared, &reg, &mut ctx, spin, threshold)
+        } else {
+            run_interpreted_slice(shared, &reg, &mut ctx, spin, threshold)
+        };
+        progressed_any |= slice.progressed;
+        // One chunk-moved event summarises the slice (not one per
+        // primitive) to bound the telemetry cost of a hot slice.
+        let moved = (ctx.next_step - steps_before) as u64;
+        if moved > 0 {
+            shared
+                .telemetry
+                .record(coll_id, TelemetryEventKind::ChunkMoved(moved));
+        }
+        // Persist the adaptively raised threshold for the next slice.
+        if let Some(entry) = scheduler.entry_mut(coll_id) {
+            entry.spin_threshold = slice.threshold;
+        }
+        let (preempted, failed) = (slice.preempted, slice.failed);
+
+        if let Some(reason) = failed {
+            shared.telemetry.record(coll_id, TelemetryEventKind::Failed);
+            if !flat {
+                tenant_cache.get(shared, reg.tenant).on_failed();
+            }
+            match ctx.graph {
+                Some(tag) => {
+                    shared.errors.lock().insert(coll_id, reason.clone());
+                    complete_graph_node(shared, completions, tag, Some(reason));
+                }
+                None => {
+                    shared.errors.lock().insert(coll_id, reason);
+                    enqueue_completion(shared, completions, coll_id, reg.tenant);
+                }
+            }
+            if !shared.contexts.has_pending(coll_id) {
+                scheduler.remove(coll_id);
+            }
+        } else if preempted {
+            shared.stats.record_preemption(coll_id);
+            shared
+                .telemetry
+                .record(coll_id, TelemetryEventKind::Preempt);
+            if !flat {
+                tenant_cache.get(shared, reg.tenant).on_preempt();
+            }
+            let saved = shared.contexts.checkin_incomplete(coll_id, ctx);
+            shared.stats.record_context_save(!saved);
+        } else {
+            // Completed: a graph-tagged invocation counts down its
+            // replay (the graph publishes one CQE when the last node
+            // finishes); an individual invocation buffers its own CQE.
+            match ctx.graph {
+                Some(tag) => complete_graph_node(shared, completions, tag, None),
+                None => enqueue_completion(shared, completions, coll_id, reg.tenant),
+            }
+            // The invocation is done with its context: recycle the
+            // cursor/staging storage for the collective's next one.
+            shared.contexts.recycle(coll_id, ctx);
+            if !shared.contexts.has_pending(coll_id) {
+                scheduler.remove(coll_id);
+            }
+            progressed_any = true;
+        }
+    }
+    progressed_any
+}
+
+/// The **complete** stage: publish whatever completions the pass produced
+/// (per-tenant routing happens in [`flush_completions`]).
+fn complete_stage(shared: &Arc<DaemonShared>, st: &mut PipelineState) {
+    flush_completions(shared, &mut st.completions);
+}
+
+/// Body of one daemon-kernel incarnation (Algorithm 1), staged as
+/// admission → schedule → execute → complete per pass.
 fn run_daemon(shared: Arc<DaemonShared>) {
     shared.stats.record_daemon_start();
 
@@ -825,195 +1164,48 @@ fn run_daemon(shared: Arc<DaemonShared>) {
         }
     };
 
-    let mut registry = RegistryCache::new();
+    let mut st = PipelineState {
+        registry: RegistryCache::new(),
+        scheduler: TenantScheduler::new(shared.config.flat_scheduling),
+        tenant_cache: TenantCache::new(),
+        completions: CompletionBatch::with_capacity(shared.config.cq_write_batch.max(1)),
+        sqe_batch: Vec::with_capacity(shared.config.sq_fetch_batch.max(1)),
+    };
 
-    // Rebuild the task queue from contexts that survived the previous
+    // Rebuild the scheduling lanes from contexts that survived the previous
     // incarnation (preempted or never-started invocations).
-    let mut task_queue = TaskQueue::new();
     for coll_id in shared.contexts.incomplete_ids() {
-        let priority = registry
+        let (priority, tenant) = st
+            .registry
             .get(&shared, coll_id)
-            .map(|r| r.desc.priority)
-            .unwrap_or(0);
-        task_queue.push(coll_id, priority);
+            .map(|r| (r.desc.priority, r.tenant))
+            .unwrap_or((0, TenantId::DEFAULT));
+        enqueue_task(
+            &shared,
+            &mut st.scheduler,
+            &mut st.tenant_cache,
+            coll_id,
+            priority,
+            tenant,
+        );
     }
-
-    let sq_fetch_batch = shared.config.sq_fetch_batch.max(1);
-    let mut sqe_batch: Vec<Sqe> = Vec::with_capacity(sq_fetch_batch);
-    let mut cqe_batch: Vec<Cqe> = Vec::with_capacity(shared.config.cq_write_batch.max(1));
 
     let mut idle_passes: u32 = 0;
     loop {
         // Sample the wake-up generation *before* scanning for work: a signal
         // racing the scan then prevents the end-of-pass park.
         let wake_seen = shared.daemon_wake.generation();
-        let mut fetched_any = false;
-        let mut progressed_any = false;
 
-        // ❶ Fetch and parse SQEs, a batch per cursor-lock acquisition.
-        loop {
-            let read_start = Instant::now();
-            sqe_batch.clear();
-            let fetched = {
-                let mut cursor = shared.sq_cursor.lock();
-                shared
-                    .sq
-                    .fetch_batch(&mut cursor, sq_fetch_batch, &mut sqe_batch)
-            };
-            if fetched == 0 {
-                break;
-            }
-            shared
-                .stats
-                .record_sqe_fetch_batch(read_start.elapsed(), fetched as u64);
-            fetched_any = true;
-            let prep_start = Instant::now();
-            for sqe in sqe_batch.drain(..) {
-                if sqe.exit {
-                    shared.final_exit.store(true, Ordering::Release);
-                    continue;
-                }
-                shared
-                    .telemetry
-                    .record(sqe.coll_id, TelemetryEventKind::Fetch);
-                if is_graph_id(sqe.coll_id) {
-                    expand_graph(
-                        &shared,
-                        &mut task_queue,
-                        &mut cqe_batch,
-                        sqe.coll_id,
-                        sqe.seq,
-                    );
-                    continue;
-                }
-                let priority = registry
-                    .get(&shared, sqe.coll_id)
-                    .map(|r| r.desc.priority)
-                    .unwrap_or(0);
-                shared.contexts.enqueue_invocation(
-                    sqe.coll_id,
-                    DynamicContext::new(sqe.seq, sqe.send, sqe.recv),
-                );
-                if !task_queue.contains(sqe.coll_id) {
-                    task_queue.push(sqe.coll_id, priority);
-                }
-                shared
-                    .stats
-                    .record_queue_len(sqe.coll_id, task_queue.len() as u64);
-            }
-            shared.stats.record_preparing(prep_start.elapsed());
-        }
+        // The pipeline: admission → schedule → execute → complete. The
+        // completions are published before any idle handling — the poller
+        // (and destroy) key off `outstanding`, which only moves at flush
+        // time.
+        let fetched_any = admission_stage(&shared, &mut st);
+        let order = schedule_stage(&shared, &mut st);
+        let progressed_any = execute_stage(&shared, &mut st, &order);
+        complete_stage(&shared, &mut st);
 
-        // ❷ Order the task queue and assign initial spin thresholds.
-        task_queue.reorder(shared.config.ordering);
-        let spin = shared.config.spin;
-        task_queue.assign_initial_thresholds(|pos| spin.initial_threshold(pos));
-
-        // ❸ One scheduling pass over the task queue.
-        for coll_id in task_queue.order() {
-            let Some(reg) = registry.get(&shared, coll_id) else {
-                // Unregistered id: drop the invocation and surface an error.
-                if let Some((ctx, _)) = shared.contexts.checkout_current(coll_id) {
-                    let reason = "collective not registered".to_string();
-                    shared.errors.lock().insert(coll_id, reason.clone());
-                    shared.telemetry.record(coll_id, TelemetryEventKind::Failed);
-                    match ctx.graph {
-                        Some(tag) => {
-                            complete_graph_node(&shared, &mut cqe_batch, tag, Some(reason))
-                        }
-                        None => enqueue_completion(&shared, &mut cqe_batch, coll_id),
-                    }
-                }
-                task_queue.remove(coll_id);
-                continue;
-            };
-            let prep_start = Instant::now();
-            let Some((mut ctx, load)) = shared.contexts.checkout_current(coll_id) else {
-                // Nothing pending for this entry (stale); drop it.
-                task_queue.remove(coll_id);
-                continue;
-            };
-            shared.stats.record_context_load();
-            if load == ContextLoad::CacheMiss {
-                shared.stats.record_preparing(prep_start.elapsed());
-            }
-            // A context checked out with primitives already behind it was
-            // preempted in an earlier slice: this checkout is a resume.
-            if ctx.next_step > 0 {
-                shared.telemetry.record(coll_id, TelemetryEventKind::Resume);
-            }
-
-            let threshold = task_queue
-                .entry_mut(coll_id)
-                .map(|e| e.spin_threshold)
-                .unwrap_or_else(|| spin.initial_threshold(0));
-            let steps_before = ctx.next_step;
-            let slice = if shared.config.compiled_dispatch {
-                run_compiled_slice(&shared, &reg, &mut ctx, spin, threshold)
-            } else {
-                run_interpreted_slice(&shared, &reg, &mut ctx, spin, threshold)
-            };
-            progressed_any |= slice.progressed;
-            // One chunk-moved event summarises the slice (not one per
-            // primitive) to bound the telemetry cost of a hot slice.
-            let moved = (ctx.next_step - steps_before) as u64;
-            if moved > 0 {
-                shared
-                    .telemetry
-                    .record(coll_id, TelemetryEventKind::ChunkMoved(moved));
-            }
-            // Persist the adaptively raised threshold for the next slice.
-            if let Some(entry) = task_queue.entry_mut(coll_id) {
-                entry.spin_threshold = slice.threshold;
-            }
-            let (preempted, failed) = (slice.preempted, slice.failed);
-
-            if let Some(reason) = failed {
-                shared.telemetry.record(coll_id, TelemetryEventKind::Failed);
-                match ctx.graph {
-                    Some(tag) => {
-                        shared.errors.lock().insert(coll_id, reason.clone());
-                        complete_graph_node(&shared, &mut cqe_batch, tag, Some(reason));
-                    }
-                    None => {
-                        shared.errors.lock().insert(coll_id, reason);
-                        enqueue_completion(&shared, &mut cqe_batch, coll_id);
-                    }
-                }
-                if !shared.contexts.has_pending(coll_id) {
-                    task_queue.remove(coll_id);
-                }
-            } else if preempted {
-                shared.stats.record_preemption(coll_id);
-                shared
-                    .telemetry
-                    .record(coll_id, TelemetryEventKind::Preempt);
-                let saved = shared.contexts.checkin_incomplete(coll_id, ctx);
-                shared.stats.record_context_save(!saved);
-            } else {
-                // ❹ Completed: a graph-tagged invocation counts down its
-                // replay (the graph publishes one CQE when the last node
-                // finishes); an individual invocation buffers its own CQE.
-                match ctx.graph {
-                    Some(tag) => complete_graph_node(&shared, &mut cqe_batch, tag, None),
-                    None => enqueue_completion(&shared, &mut cqe_batch, coll_id),
-                }
-                // The invocation is done with its context: recycle the
-                // cursor/staging storage for the collective's next one.
-                shared.contexts.recycle(coll_id, ctx);
-                if !shared.contexts.has_pending(coll_id) {
-                    task_queue.remove(coll_id);
-                }
-                progressed_any = true;
-            }
-        }
-
-        // Publish whatever completions the pass produced before going idle:
-        // the poller (and destroy) key off `outstanding`, which only moves at
-        // flush time.
-        flush_completions(&shared, &mut cqe_batch);
-
-        // ❺ Idle handling: voluntary quitting and final exit.
+        // Idle handling: voluntary quitting and final exit.
         if fetched_any || progressed_any {
             idle_passes = 0;
             continue;
@@ -1024,7 +1216,7 @@ fn run_daemon(shared: Arc<DaemonShared>) {
             let cursor = shared.sq_cursor.lock();
             shared.sq.has_pending(&cursor)
         };
-        if shared.final_exit_requested() && task_queue.is_empty() && !sq_has_pending {
+        if shared.final_exit_requested() && st.scheduler.is_empty() && !sq_has_pending {
             drop(residency);
             shared.mark_not_running();
             return;

@@ -60,13 +60,16 @@ pub mod sq;
 pub mod stats;
 pub mod task_queue;
 pub mod telemetry;
+pub mod tenant;
 
 pub use api::{
     dfccl_destroy, dfccl_init, dfccl_register_all_reduce, dfccl_run_all_reduce, DfcclDomain,
     DfcclError, GraphRecorder, PlanCacheStats, RankCtx,
 };
 pub use callback::{Callback, CallbackMap, CompletionHandle};
-pub use config::{CqVariant, DfcclConfig, HostMemCosts, OrderingPolicy, SpinPolicy};
+pub use config::{
+    CqVariant, DfcclConfig, HostMemCosts, OrderingPolicy, SpinPolicy, TenantArbitration,
+};
 pub use cq::{build_cq, CompletionQueue, CqKind, Cqe};
 pub use daemon::{
     is_graph_id, CapturedGraph, DaemonController, DaemonShared, GraphNode, RegisteredCollective,
@@ -74,8 +77,9 @@ pub use daemon::{
 };
 pub use park::Parker;
 pub use sq::{Sqe, SubmissionQueue};
-pub use stats::{CollectiveStats, DaemonStats, DaemonStatsSnapshot};
-pub use task_queue::{TaskEntry, TaskQueue};
+pub use stats::{CollectiveStats, DaemonStats, DaemonStatsSnapshot, TenantStats};
+pub use task_queue::{TaskEntry, TaskQueue, TenantScheduler};
 pub use telemetry::{
     Telemetry, TelemetryCounters, TelemetryEvent, TelemetryEventKind, TelemetrySnapshot,
 };
+pub use tenant::{AdmissionError, TenantHandle, TenantId, TenantQuota};

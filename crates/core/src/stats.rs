@@ -12,6 +12,37 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use crate::tenant::TenantId;
+
+/// Point-in-time accounting for one tenant on one rank (service mode):
+/// admission state (outstanding, registered), the scheduling-lane depth
+/// gauge, and lifecycle counters. Produced by
+/// [`crate::tenant::TenantTable::snapshot`], surfaced through
+/// `RankCtx::tenant_stats` and [`crate::telemetry::TelemetrySnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant these counters belong to.
+    pub tenant: TenantId,
+    /// Effective arbitration weight.
+    pub weight: u32,
+    /// Invocations in flight (admitted, CQE not yet published).
+    pub outstanding: u64,
+    /// Collectives registered on this rank.
+    pub registered: u64,
+    /// Task-queue lane depth at the last scheduling pass.
+    pub queue_depth: u64,
+    /// High-water mark of the lane depth.
+    pub max_queue_depth: u64,
+    /// Invocations admitted (successful `run`/`replay` submissions).
+    pub submitted: u64,
+    /// CQEs published for the tenant (failures included).
+    pub completed: u64,
+    /// Collectives that failed.
+    pub failed: u64,
+    /// Preemptions of the tenant's collectives.
+    pub preempted: u64,
+}
+
 /// A mean accumulated from a sum and a count, stored in nanoseconds.
 #[derive(Debug, Default)]
 struct NanoMean {

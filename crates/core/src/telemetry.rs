@@ -23,6 +23,8 @@ use std::time::{Duration, Instant};
 use dfccl_transport::EdgeSample;
 use parking_lot::Mutex;
 
+use crate::stats::TenantStats;
+
 /// What happened to a collective at one point of its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TelemetryEventKind {
@@ -210,13 +212,15 @@ impl Telemetry {
         }
     }
 
-    /// Export counters + events joined with the caller's per-edge samples.
-    pub fn snapshot(&self, edges: Vec<EdgeSample>) -> TelemetrySnapshot {
+    /// Export counters + events joined with the caller's per-edge samples
+    /// and per-tenant accounting.
+    pub fn snapshot(&self, edges: Vec<EdgeSample>, tenants: Vec<TenantStats>) -> TelemetrySnapshot {
         TelemetrySnapshot {
             counters: self.counters(),
             events: self.events(),
             dropped: self.dropped(),
             edges,
+            tenants,
         }
     }
 }
@@ -234,6 +238,9 @@ pub struct TelemetrySnapshot {
     /// Per-edge progress samples (queued chunks, dead flags, traffic and
     /// rejection counters), stamped with collective ids.
     pub edges: Vec<EdgeSample>,
+    /// Per-tenant accounting (service mode), sorted by tenant id. Contains
+    /// only tenant 0 for single-job use; empty under flat scheduling.
+    pub tenants: Vec<TenantStats>,
 }
 
 impl TelemetrySnapshot {
@@ -269,6 +276,22 @@ impl std::fmt::Display for TelemetrySnapshot {
             self.events.len(),
             self.dropped
         )?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "{} (w{}): queue {} (max {}), outstanding {}, {} submitted, \
+                 {} completed, {} failed, {} preempted",
+                t.tenant,
+                t.weight,
+                t.queue_depth,
+                t.max_queue_depth,
+                t.outstanding,
+                t.submitted,
+                t.completed,
+                t.failed,
+                t.preempted
+            )?;
+        }
         for e in &self.edges {
             write!(
                 f,
@@ -352,25 +375,37 @@ mod tests {
 
         let t = Telemetry::new(8);
         t.record(4, TelemetryEventKind::Submit);
-        let snap = t.snapshot(vec![EdgeSample {
-            coll_id: Some(4),
-            edge: EdgeId {
-                src: GpuId(0),
-                dst: GpuId(8),
-                channel: ChannelId(1),
-            },
-            link: LinkClass::InterNode,
-            queued: 2,
-            dead: true,
-            stats: ConnectorStats {
-                fault_rejections: 5,
-                ..ConnectorStats::default()
-            },
-        }]);
+        let tenants = {
+            let table = crate::tenant::TenantTable::new(crate::tenant::TenantQuota::default());
+            table
+                .state(crate::tenant::TenantId(2))
+                .record_queue_depth(3);
+            table.snapshot()
+        };
+        let snap = t.snapshot(
+            vec![EdgeSample {
+                coll_id: Some(4),
+                edge: EdgeId {
+                    src: GpuId(0),
+                    dst: GpuId(8),
+                    channel: ChannelId(1),
+                },
+                link: LinkClass::InterNode,
+                queued: 2,
+                dead: true,
+                stats: ConnectorStats {
+                    fault_rejections: 5,
+                    ..ConnectorStats::default()
+                },
+            }],
+            tenants,
+        );
         assert_eq!(snap.dead_edges().count(), 1);
         assert_eq!(snap.faulted_edges().count(), 1);
+        assert_eq!(snap.tenants.len(), 1);
         let s = snap.to_string();
         assert!(s.contains("1 submits"), "{s}");
+        assert!(s.contains("tenant2 (w1): queue 3"), "{s}");
         assert!(s.contains("gpu0->gpu8/ch1"), "{s}");
         assert!(s.contains("DEAD"), "{s}");
         assert!(s.contains("faulted 5"), "{s}");

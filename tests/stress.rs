@@ -14,7 +14,7 @@ use dfccl_repro::baseline::{wait_all_or_deadlock, NcclDomain};
 use dfccl_repro::collectives::{
     AlgorithmKind, CollectiveDescriptor, DataType, DeviceBuffer, ReduceOp,
 };
-use dfccl_repro::dfccl::{DfcclConfig, DfcclDomain, SpinPolicy};
+use dfccl_repro::dfccl::{DfcclConfig, DfcclDomain, DfcclError, SpinPolicy, TenantQuota};
 use dfccl_repro::gpu_sim::{GpuId, GpuSpec, StreamId};
 use dfccl_repro::transport::{LinkModel, Topology};
 use rand::rngs::StdRng;
@@ -173,6 +173,145 @@ fn dfccl_round(seed: u64) {
 fn dfccl_completes_every_seeded_disordered_mix() {
     for seed in 0..seed_count() {
         dfccl_round(seed);
+    }
+}
+
+/// The eight overlapping device groups the multi-tenant round cycles through:
+/// every GPU appears in five groups, so communicators from different tenants
+/// constantly contend for the same links.
+fn tenant_device_groups() -> Vec<Vec<GpuId>> {
+    vec![
+        gpus(&[0, 1]),
+        gpus(&[1, 2]),
+        gpus(&[2, 3]),
+        gpus(&[0, 3]),
+        gpus(&[0, 2]),
+        gpus(&[1, 3]),
+        gpus(&[0, 1, 2]),
+        gpus(&[0, 1, 2, 3]),
+    ]
+}
+
+/// One multi-tenant service-mode round: 8 tenants × 26 all-reduces = 208
+/// communicators over the overlapping groups, mixed priorities, every GPU
+/// submitting its share in seed-disordered order. Every tenant must complete
+/// and every tenant's per-rank ledger must balance.
+fn multi_tenant_round(seed: u64) {
+    const TENANTS: u64 = 8;
+    const COLLS_PER_TENANT: u64 = 26;
+    let config = DfcclConfig {
+        chunk_elems: 8,
+        connector_capacity: 1,
+        spin: SpinPolicy::Fixed { threshold: 16 },
+        tenant_quantum: 1,
+        ..DfcclConfig::for_testing()
+    };
+    let domain = DfcclDomain::new(
+        Topology::flat(4),
+        LinkModel::zero_cost(),
+        GpuSpec::rtx_3090(),
+        config,
+    );
+    let handles: Vec<_> = (0..TENANTS)
+        .map(|t| domain.tenant(TenantQuota::default().with_weight((t % 3 + 1) as u32)))
+        .collect();
+    let groups = tenant_device_groups();
+    // coll id → (tenant index, descriptor); ids are dense so the disorder
+    // shuffle can reuse `disordered_order`.
+    let mix: Vec<(u64, CollectiveDescriptor)> = (0..TENANTS * COLLS_PER_TENANT)
+        .map(|i| {
+            let devices = groups[((i / TENANTS) % groups.len() as u64) as usize].clone();
+            let count = 8 * (1 + (i % 3) as usize);
+            let priority = (i % 5) as i32 - 2;
+            let desc =
+                CollectiveDescriptor::all_reduce(count, DataType::F32, ReduceOp::Sum, devices)
+                    .with_priority(priority);
+            (1000 + i, desc)
+        })
+        .collect();
+    let ranks: Vec<_> = (0..4)
+        .map(|g| Arc::new(domain.init_rank(GpuId(g)).unwrap()))
+        .collect();
+    for rank in &ranks {
+        for (id, desc) in &mix {
+            if desc.devices.contains(&rank.gpu()) {
+                let tenant = &handles[((id - 1000) % TENANTS) as usize];
+                rank.register_for(tenant, *id, desc.clone()).unwrap();
+            }
+        }
+    }
+    let mix = Arc::new(mix);
+    let mut joins = Vec::new();
+    for rank in &ranks {
+        let rank = Arc::clone(rank);
+        let mix = Arc::clone(&mix);
+        joins.push(std::thread::spawn(move || {
+            let gpu = rank.gpu();
+            let mut waits = Vec::new();
+            for id in disordered_order(&mix, gpu, seed) {
+                let desc = &mix.iter().find(|(i, _)| *i == id).unwrap().1;
+                let rank_idx = desc.devices.iter().position(|&d| d == gpu).unwrap();
+                loop {
+                    match rank.run_awaitable(
+                        id,
+                        DeviceBuffer::zeroed(desc.send_bytes(rank_idx)),
+                        DeviceBuffer::zeroed(desc.recv_bytes(rank_idx).max(4)),
+                    ) {
+                        Ok(h) => {
+                            waits.push(h);
+                            break;
+                        }
+                        Err(DfcclError::SubmissionQueueFull) => {
+                            std::thread::sleep(Duration::from_micros(100));
+                        }
+                        Err(e) => panic!("seed {seed}: gpu {gpu} submit failed: {e:?}"),
+                    }
+                }
+            }
+            for h in waits {
+                assert!(
+                    h.wait_for_timeout(1, Duration::from_secs(120)),
+                    "seed {seed}: gpu {gpu} wedged in the multi-tenant round"
+                );
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    for rank in &ranks {
+        assert!(
+            rank.collective_errors().is_empty(),
+            "seed {seed}: collective errors"
+        );
+        let stats = rank.tenant_stats();
+        for handle in &handles {
+            let s = stats
+                .iter()
+                .find(|s| s.tenant == handle.id())
+                .unwrap_or_else(|| panic!("seed {seed}: {} missing from stats", handle.id()));
+            assert_eq!(
+                s.submitted,
+                s.completed,
+                "seed {seed}: {} ledger unbalanced on {:?}",
+                handle.id(),
+                rank.gpu()
+            );
+            assert_eq!(s.outstanding, 0);
+            assert_eq!(s.failed, 0);
+            assert!(s.completed > 0, "seed {seed}: {} ran nothing", handle.id());
+        }
+        rank.destroy();
+    }
+}
+
+#[test]
+fn multi_tenant_mixes_complete_with_balanced_ledgers() {
+    // A full sweep is the soak job's business (`DFCCL_STRESS_SEEDS`); the
+    // default run keeps the round count small because each round carries 208
+    // communicators.
+    for seed in 0..seed_count().min(3) {
+        multi_tenant_round(seed);
     }
 }
 
