@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use dfccl::{
     CompletionHandle, CqVariant, DfcclConfig, DfcclDomain, DfcclError, PlanCacheStats,
-    TenantHandle, TenantQuota,
+    RecoveryCoordinator, RetryPolicy, TenantHandle, TenantQuota,
 };
 use dfccl_collectives::{
     instr_ready, step_ready, AlgorithmSelector, CollectiveDescriptor, CompiledProgram, DataType,
@@ -201,6 +201,123 @@ pub fn scheduling_throughput_over(
         elapsed,
         completed: per_rank,
     }
+}
+
+/// [`scheduling_throughput`]'s workload executed fault-free, either plain or
+/// with a [`RecoveryCoordinator`] supervising the run. Supervision wraps the
+/// transport watchdog around the workload — a progress probe over
+/// `edge_samples()` plus stall-deadline bookkeeping — so the delta between
+/// the two arms is the price of standing recovery coverage on a healthy
+/// domain (the recovery panel gates it at ≤ 5%).
+///
+/// Submission runs on the calling thread (round-robin across ranks, retrying
+/// a momentarily full SQ) in **both** arms, so the only difference between
+/// them is the supervisor: the supervised arm sits in
+/// [`RecoveryCoordinator::supervise`] until every completion has fired, the
+/// plain arm in a completion-handle wait.
+pub fn recovery_supervised_throughput(
+    workload: HotpathWorkload,
+    config: DfcclConfig,
+    supervised: bool,
+) -> ThroughputResult {
+    assert!(workload.gpus >= 2, "an all-reduce needs at least two ranks");
+    let domain = DfcclDomain::new(
+        Topology::flat(workload.gpus),
+        LinkModel::zero_cost(),
+        GpuSpec::rtx_3090(),
+        config,
+    );
+    let devices: Vec<GpuId> = (0..workload.gpus).map(GpuId).collect();
+    let ranks: Vec<_> = devices
+        .iter()
+        .map(|&g| domain.init_rank(g).expect("rank init"))
+        .collect();
+    for rank in &ranks {
+        for c in 1..=workload.collectives {
+            rank.register_all_reduce(
+                c,
+                workload.count,
+                DataType::F32,
+                ReduceOp::Sum,
+                devices.clone(),
+                0,
+            )
+            .expect("register");
+        }
+    }
+
+    let per_rank = workload.total_collectives();
+    let handles: Vec<CompletionHandle> = ranks.iter().map(|_| CompletionHandle::new()).collect();
+    let start = Instant::now();
+    for _ in 0..workload.rounds {
+        for c in 1..=workload.collectives {
+            for (g, rank) in ranks.iter().enumerate() {
+                let send = DeviceBuffer::from_f32(&vec![(g + 1) as f32; workload.count]);
+                let recv = DeviceBuffer::zeroed(workload.count * 4);
+                loop {
+                    match rank.run(
+                        c,
+                        send.clone(),
+                        recv.clone(),
+                        handles[g].completion_callback(),
+                    ) {
+                        Ok(()) => break,
+                        Err(DfcclError::SubmissionQueueFull) => std::thread::yield_now(),
+                        Err(e) => panic!("submission failed: {e}"),
+                    }
+                }
+            }
+        }
+    }
+    if supervised {
+        let coordinator = RecoveryCoordinator::new(RetryPolicy::default());
+        let rank_refs: Vec<&dfccl::RankCtx> = ranks.iter().collect();
+        let done = || handles.iter().all(|h| h.completions() >= per_rank);
+        let recoveries = coordinator
+            .supervise(&rank_refs, &done, Duration::from_secs(1))
+            .expect("fault-free supervision");
+        assert_eq!(recoveries, 0, "a fault-free run must not trigger recovery");
+    } else {
+        for (g, handle) in handles.iter().enumerate() {
+            assert!(
+                handle.wait_for_timeout(per_rank, Duration::from_secs(120)),
+                "rank {g} timed out: {}/{} completions",
+                handle.completions(),
+                per_rank,
+            );
+        }
+    }
+    let elapsed = start.elapsed();
+    for rank in &ranks {
+        assert!(
+            rank.collective_errors().is_empty(),
+            "collective errors during bench"
+        );
+        rank.destroy();
+    }
+    ThroughputResult {
+        collectives_per_sec: per_rank as f64 / elapsed.as_secs_f64(),
+        elapsed,
+        completed: per_rank,
+    }
+}
+
+/// Best-of wrapper for [`recovery_supervised_throughput`].
+pub fn best_recovery_of(
+    repeats: usize,
+    workload: HotpathWorkload,
+    config: &DfcclConfig,
+    supervised: bool,
+) -> ThroughputResult {
+    assert!(repeats > 0);
+    (0..repeats)
+        .map(|_| recovery_supervised_throughput(workload, config.clone(), supervised))
+        .max_by(|a, b| {
+            a.collectives_per_sec
+                .partial_cmp(&b.collectives_per_sec)
+                .expect("throughput is finite")
+        })
+        .expect("at least one repeat")
 }
 
 /// [`scheduling_throughput`]'s workload spread across `tenants` service-mode
@@ -825,6 +942,24 @@ mod tests {
         let result = scheduling_throughput(wl, DfcclConfig::for_testing());
         assert_eq!(result.completed, 6);
         assert!(result.collectives_per_sec > 0.0);
+    }
+
+    #[test]
+    fn recovery_supervised_harness_completes_both_arms() {
+        let wl = HotpathWorkload {
+            gpus: 2,
+            collectives: 3,
+            rounds: 2,
+            count: 8,
+        };
+        let plain = recovery_supervised_throughput(wl, DfcclConfig::for_testing(), false);
+        assert_eq!(plain.completed, 6);
+        assert!(plain.collectives_per_sec > 0.0);
+        // The supervised arm must complete the same workload without a single
+        // recovery (asserted inside the harness) — it is fault-free.
+        let supervised = recovery_supervised_throughput(wl, DfcclConfig::for_testing(), true);
+        assert_eq!(supervised.completed, 6);
+        assert!(supervised.collectives_per_sec > 0.0);
     }
 
     #[test]

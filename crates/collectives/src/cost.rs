@@ -29,7 +29,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use dfccl_transport::{ChannelId, LinkModel, Topology, TransportError};
+use dfccl_transport::{ChannelId, EdgeId, LinkHealth, LinkModel, Topology, TransportError};
 use gpu_sim::GpuId;
 
 use crate::datatype::DataType;
@@ -67,7 +67,26 @@ pub fn estimate_completion_ns(
     link: &LinkModel,
     dtype: DataType,
 ) -> Result<f64, CostError> {
+    estimate_completion_ns_with_health(plans, devices, topology, link, dtype, None)
+}
+
+/// [`estimate_completion_ns`] constrained by a link-health map: a send over a
+/// quarantined `(src, dst, channel)` edge can never complete, so its lane —
+/// and every lane waiting on it — stalls, and the estimate reports
+/// [`CostError::Stalled`] instead of a finite time. This is what lets the
+/// recovery layer *prove* a candidate re-plan avoids the dead edges before
+/// resubmitting it: a plan that estimates finite under the current health map
+/// touches no quarantined edge.
+pub fn estimate_completion_ns_with_health(
+    plans: &[Plan],
+    devices: &[GpuId],
+    topology: &Topology,
+    link: &LinkModel,
+    dtype: DataType,
+    health: Option<&LinkHealth>,
+) -> Result<f64, CostError> {
     let elem = dtype.size_bytes();
+    let health = health.filter(|h| !h.is_clean());
     // One lane per (rank, channel): the channel's subsequence of the rank's
     // plan, in plan order.
     let mut lanes: Vec<(usize, Vec<&PrimitiveStep>)> = Vec::new();
@@ -106,6 +125,15 @@ pub fn estimate_completion_ns(
                     edges.get_mut(&key).unwrap().pop_front();
                 }
                 if let Some(dst) = step.send_to {
+                    if health.is_some_and(|h| {
+                        h.is_dead(EdgeId {
+                            src: devices[r],
+                            dst: devices[dst],
+                            channel: step.channel,
+                        })
+                    }) {
+                        break; // the edge can never deliver: the lane stalls
+                    }
                     let bytes = step.elems() * elem;
                     let class = topology.link_between(devices[r], devices[dst])?;
                     t += link.params(class).transfer_nanos(bytes);
@@ -256,6 +284,57 @@ mod tests {
             t(4),
             t(1)
         );
+    }
+
+    #[test]
+    fn dead_edges_stall_the_estimate_until_avoided() {
+        use dfccl_transport::LinkHealth;
+
+        let n = 4;
+        let topo = Topology::flat(n);
+        let link = LinkModel::table2_testbed();
+        let desc = CollectiveDescriptor::all_reduce(64, DataType::F32, ReduceOp::Sum, gpus(n));
+        let ring = plans_for(&desc, AlgorithmKind::Ring, &topo, 1024);
+        let health = LinkHealth::new();
+        // Clean health reproduces the unconstrained estimate bit for bit.
+        let base = estimate_completion_ns(&ring, &gpus(n), &topo, &link, DataType::F32).unwrap();
+        let clean = estimate_completion_ns_with_health(
+            &ring,
+            &gpus(n),
+            &topo,
+            &link,
+            DataType::F32,
+            Some(&health),
+        )
+        .unwrap();
+        assert_eq!(base, clean);
+        // Quarantine a ring edge: the ring schedule can no longer complete.
+        health.quarantine(EdgeId {
+            src: GpuId(1),
+            dst: GpuId(2),
+            channel: ChannelId(0),
+        });
+        let err = estimate_completion_ns_with_health(
+            &ring,
+            &gpus(n),
+            &topo,
+            &link,
+            DataType::F32,
+            Some(&health),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CostError::Stalled { .. }), "{err:?}");
+        // The tree family avoids the quarantined edge and stays finite.
+        let tree = plans_for(&desc, AlgorithmKind::DoubleBinaryTree, &topo, 1024);
+        estimate_completion_ns_with_health(
+            &tree,
+            &gpus(n),
+            &topo,
+            &link,
+            DataType::F32,
+            Some(&health),
+        )
+        .unwrap();
     }
 
     #[test]

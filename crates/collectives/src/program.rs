@@ -62,7 +62,9 @@ use crate::primitive::{PrimitiveKind, SrcBuf};
 use crate::redop::ReduceOp;
 use crate::selector::AlgorithmSelector;
 use crate::CollectiveError;
-use dfccl_transport::{ChannelId, ConnectorTable, RankChannels, Topology, TransportError};
+use dfccl_transport::{
+    ChannelId, ConnectorTable, LinkHealth, RankChannels, Topology, TransportError,
+};
 use gpu_sim::GpuId;
 
 /// A byte range in a local device buffer, pre-resolved from an element range
@@ -438,6 +440,11 @@ pub struct PlanKey {
     pub chunk_elems: usize,
     /// The resolved channel count (striping factor).
     pub channels: usize,
+    /// The domain's [`dfccl_transport::LinkHealth`] generation the plan was
+    /// selected under. A quarantine or heal bumps the generation, so plans
+    /// chosen against a stale health view miss instead of riding a dead edge
+    /// (0 forever in a domain that never sees a failure).
+    pub health_epoch: u64,
 }
 
 /// A cached, validated plan together with its compiled program. Cloning is
@@ -448,6 +455,9 @@ pub struct CachedPlan {
     pub plan: Arc<Plan>,
     /// Its connector-free compiled program.
     pub program: Arc<CompiledProgram>,
+    /// Whether selection had to avoid a quarantined edge (family fallback or
+    /// mesh reroute) — surfaced as the `plans_degraded` telemetry counter.
+    pub degraded: bool,
 }
 
 /// Upper bound on distinct shapes a [`PlanCache`] retains. Far above the
@@ -462,11 +472,14 @@ pub const PLAN_CACHE_MAX_SHAPES: usize = 4096;
 /// for per-layer collectives — return the shared `Arc`s without building,
 /// validating or lowering anything.
 ///
-/// Invalidation: entries never go stale within a domain, because every input
-/// a plan depends on is either in the key or fixed for the domain's lifetime
-/// (topology). A cache must therefore not outlive or be shared across
-/// domains with different topologies. Size is bounded by
-/// [`PLAN_CACHE_MAX_SHAPES`].
+/// Invalidation: a plan depends on its key, the domain's fixed topology, and
+/// the domain's link-health view — the latter enters the key as
+/// [`PlanKey::health_epoch`], so a quarantine or heal retires stale entries
+/// by construction (they miss and eventually evict). Elastic membership
+/// removes a device from the domain instead; that is the one event that
+/// *deletes* entries, via [`PlanCache::invalidate_device`]. A cache must not
+/// outlive or be shared across domains with different topologies. Size is
+/// bounded by [`PLAN_CACHE_MAX_SHAPES`].
 #[derive(Default)]
 pub struct PlanCache {
     /// Two-level map: ordered device set → [`PlanKey`] → cached plan. The
@@ -493,8 +506,8 @@ impl PlanCache {
 
     /// The cached plan+program for `desc` as registered by `rank`, building,
     /// validating and compiling on the first request of a shape. Selection
-    /// runs on every call (it is a pure function of the descriptor and
-    /// topology and is part of the key).
+    /// runs on every call (it is a pure function of the descriptor, topology
+    /// and health view, and is part of the key).
     pub fn get_or_compile(
         &self,
         selector: &AlgorithmSelector,
@@ -502,8 +515,9 @@ impl PlanCache {
         rank: usize,
         chunk_elems: usize,
         topology: &Topology,
+        health: &LinkHealth,
     ) -> Result<CachedPlan, CollectiveError> {
-        let kind = selector.select(desc, topology);
+        let (kind, degraded) = selector.select_with_health(desc, topology, health);
         let channels = selector.channels_for(desc);
         let key = PlanKey {
             kind: desc.kind,
@@ -515,6 +529,7 @@ impl PlanCache {
             algorithm: kind,
             chunk_elems,
             channels,
+            health_epoch: health.generation(),
         };
         {
             let shapes = self.shapes.lock();
@@ -536,6 +551,7 @@ impl PlanCache {
         let cached = CachedPlan {
             program: Arc::new(CompiledProgram::compile(&plan, desc.dtype)),
             plan: Arc::new(plan),
+            degraded,
         };
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut guard = self.shapes.lock();
@@ -561,6 +577,26 @@ impl PlanCache {
             shapes.total += 1;
         }
         Ok(cached)
+    }
+
+    /// Drop every cached shape whose device set contains `gpu` — the elastic
+    /// membership path: a removed rank's plans must never be served again,
+    /// even if the rank later rejoins (its mesh is rebuilt lazily). Returns
+    /// the number of shapes dropped.
+    pub fn invalidate_device(&self, gpu: GpuId) -> usize {
+        let mut guard = self.shapes.lock();
+        let shapes = &mut *guard;
+        let mut dropped = 0;
+        shapes.by_devices.retain(|devices, inner| {
+            if devices.contains(&gpu) {
+                dropped += inner.len();
+                false
+            } else {
+                true
+            }
+        });
+        shapes.total -= dropped;
+        dropped
     }
 
     /// Requests served from the cache.
@@ -715,12 +751,14 @@ mod tests {
         let cache = PlanCache::new();
         let topo = Topology::flat(4);
         let sel = AlgorithmSelector::default();
+        let health = LinkHealth::new();
         let a = cache
-            .get_or_compile(&sel, &all_reduce(1 << 20, 4), 0, 1024, &topo)
+            .get_or_compile(&sel, &all_reduce(1 << 20, 4), 0, 1024, &topo, &health)
             .unwrap();
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        assert!(!a.degraded);
         let b = cache
-            .get_or_compile(&sel, &all_reduce(1 << 20, 4), 0, 1024, &topo)
+            .get_or_compile(&sel, &all_reduce(1 << 20, 4), 0, 1024, &topo, &health)
             .unwrap();
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert!(Arc::ptr_eq(&a.plan, &b.plan), "hits share the plan");
@@ -730,10 +768,10 @@ mod tests {
         );
         // A different rank, count or channel count is a different shape.
         cache
-            .get_or_compile(&sel, &all_reduce(1 << 20, 4), 1, 1024, &topo)
+            .get_or_compile(&sel, &all_reduce(1 << 20, 4), 1, 1024, &topo, &health)
             .unwrap();
         cache
-            .get_or_compile(&sel, &all_reduce(1 << 19, 4), 0, 1024, &topo)
+            .get_or_compile(&sel, &all_reduce(1 << 19, 4), 0, 1024, &topo, &health)
             .unwrap();
         cache
             .get_or_compile(
@@ -742,6 +780,7 @@ mod tests {
                 0,
                 1024,
                 &topo,
+                &health,
             )
             .unwrap();
         assert_eq!((cache.hits(), cache.misses()), (1, 4));
@@ -749,15 +788,83 @@ mod tests {
     }
 
     #[test]
+    fn plan_cache_misses_across_health_epochs_and_marks_degraded_plans() {
+        use dfccl_transport::EdgeId;
+
+        let cache = PlanCache::new();
+        let topo = Topology::flat(4);
+        let sel = AlgorithmSelector::default();
+        let health = LinkHealth::new();
+        let desc = all_reduce(1 << 20, 4); // bandwidth-bound -> ring
+        let healthy = cache
+            .get_or_compile(&sel, &desc, 0, 1024, &topo, &health)
+            .unwrap();
+        assert_eq!(healthy.plan.algorithm, AlgorithmKind::Ring);
+        // Quarantine a ring edge: the next request is a *miss* (new epoch)
+        // and selection degrades to the tree family.
+        health.quarantine(EdgeId {
+            src: GpuId(1),
+            dst: GpuId(2),
+            channel: ChannelId(0),
+        });
+        let degraded = cache
+            .get_or_compile(&sel, &desc, 0, 1024, &topo, &health)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert!(degraded.degraded);
+        assert_eq!(degraded.plan.algorithm, AlgorithmKind::DoubleBinaryTree);
+        // Same epoch, same shape: served from cache, still marked degraded.
+        let again = cache
+            .get_or_compile(&sel, &desc, 0, 1024, &topo, &health)
+            .unwrap();
+        assert!(again.degraded);
+        assert!(Arc::ptr_eq(&degraded.plan, &again.plan));
+    }
+
+    #[test]
+    fn plan_cache_invalidate_device_drops_only_intersecting_shapes() {
+        let cache = PlanCache::new();
+        let topo = Topology::flat(6);
+        let sel = AlgorithmSelector::default();
+        let health = LinkHealth::new();
+        cache
+            .get_or_compile(&sel, &all_reduce(1 << 20, 4), 0, 1024, &topo, &health)
+            .unwrap();
+        cache
+            .get_or_compile(&sel, &all_reduce(1 << 20, 4), 1, 1024, &topo, &health)
+            .unwrap();
+        let other = CollectiveDescriptor::all_reduce(
+            1 << 20,
+            DataType::F32,
+            ReduceOp::Sum,
+            vec![GpuId(4), GpuId(5)],
+        );
+        cache
+            .get_or_compile(&sel, &other, 0, 1024, &topo, &health)
+            .unwrap();
+        assert_eq!(cache.len(), 3);
+        // Removing GPU 2 drops both shapes over [0, 1, 2, 3], not the [4, 5] one.
+        assert_eq!(cache.invalidate_device(GpuId(2)), 2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.invalidate_device(GpuId(2)), 0);
+        let hit = cache
+            .get_or_compile(&sel, &other, 0, 1024, &topo, &health)
+            .unwrap();
+        assert!(!hit.degraded);
+        assert_eq!(cache.hits(), 1, "surviving shape still serves hits");
+    }
+
+    #[test]
     fn plan_cache_surfaces_build_errors() {
         let cache = PlanCache::new();
         let topo = Topology::flat(4);
         let sel = AlgorithmSelector::default();
+        let health = LinkHealth::new();
         // A strict per-collective override that cannot schedule the kind.
         let bad = CollectiveDescriptor::all_gather(16, DataType::F32, gpus(4))
             .with_algorithm(AlgorithmKind::DoubleBinaryTree);
         assert!(matches!(
-            cache.get_or_compile(&sel, &bad, 0, 16, &topo),
+            cache.get_or_compile(&sel, &bad, 0, 16, &topo, &health),
             Err(CollectiveError::UnsupportedAlgorithm { .. })
         ));
         assert!(cache.is_empty(), "errors are not cached");

@@ -12,7 +12,7 @@
 use crate::collective::CollectiveDescriptor;
 use crate::plan::{algorithm, AlgorithmKind, Plan};
 use crate::CollectiveError;
-use dfccl_transport::Topology;
+use dfccl_transport::{LinkHealth, Topology};
 
 /// Default payload threshold at or below which latency dominates and the
 /// tree schedule is preferred (bytes). Matches the modelled crossover of the
@@ -86,6 +86,38 @@ impl AlgorithmSelector {
             return AlgorithmKind::Hierarchical;
         }
         AlgorithmKind::Ring
+    }
+
+    /// [`AlgorithmSelector::select`] constrained by the domain's link-health
+    /// map: when a quarantined edge lies inside `desc`'s device set, the
+    /// preferred family may have to change. Returns the chosen kind plus a
+    /// `degraded` flag (true when the plan had to avoid a dead edge).
+    ///
+    /// Policy: a healthy device set selects exactly as before (and is the
+    /// zero-cost fast path). A degraded ring falls back to the double binary
+    /// tree when the kind supports it — the tree's edge set differs from the
+    /// ring's, giving re-planning a chance to route around the failure
+    /// outright. Any other degraded family keeps its schedule and relies on
+    /// the mesh rerouting quarantined lanes onto spares
+    /// ([`dfccl_transport::LinkHealth::reroute`]). A strict per-collective
+    /// override is never second-guessed.
+    pub fn select_with_health(
+        &self,
+        desc: &CollectiveDescriptor,
+        topology: &Topology,
+        health: &LinkHealth,
+    ) -> (AlgorithmKind, bool) {
+        let kind = self.select(desc, topology);
+        if !topology.degraded_for(&desc.devices, health) {
+            return (kind, false);
+        }
+        if kind == AlgorithmKind::Ring && desc.algorithm.is_none() {
+            let tree = algorithm(AlgorithmKind::DoubleBinaryTree);
+            if tree.supports(desc, topology) {
+                return (AlgorithmKind::DoubleBinaryTree, true);
+            }
+        }
+        (kind, true)
     }
 
     /// The channel count in effect for `desc`: the per-collective override
@@ -220,6 +252,49 @@ mod tests {
         // Unsupported global override falls through to the policy.
         let ag = CollectiveDescriptor::all_gather(16, DataType::F32, gpus(4));
         assert_eq!(sel.select(&ag, &topo), AlgorithmKind::Ring);
+    }
+
+    #[test]
+    fn health_fallback_swaps_ring_for_tree_only_when_degraded() {
+        use dfccl_transport::{ChannelId, EdgeId, LinkHealth};
+
+        let sel = AlgorithmSelector::default();
+        let topo = Topology::flat(8);
+        let health = LinkHealth::new();
+        let desc = all_reduce(1 << 20, 8); // bandwidth-bound -> ring
+        assert_eq!(
+            sel.select_with_health(&desc, &topo, &health),
+            (AlgorithmKind::Ring, false)
+        );
+        // Quarantine a ring edge: selection degrades to the tree family.
+        health.quarantine(EdgeId {
+            src: GpuId(2),
+            dst: GpuId(3),
+            channel: ChannelId(0),
+        });
+        assert_eq!(
+            sel.select_with_health(&desc, &topo, &health),
+            (AlgorithmKind::DoubleBinaryTree, true)
+        );
+        // A device set avoiding the dead edge is unaffected.
+        let small = all_reduce(1 << 20, 2);
+        assert_eq!(
+            sel.select_with_health(&small, &topo, &health),
+            (AlgorithmKind::Ring, false)
+        );
+        // A strict per-collective override stays put but is flagged degraded
+        // (the mesh reroute covers it).
+        let forced = all_reduce(1 << 20, 8).with_algorithm(AlgorithmKind::Ring);
+        assert_eq!(
+            sel.select_with_health(&forced, &topo, &health),
+            (AlgorithmKind::Ring, true)
+        );
+        // A family without a fallback keeps its schedule, flagged degraded.
+        let a2a = CollectiveDescriptor::all_to_all(64, DataType::F32, gpus(8));
+        assert_eq!(
+            sel.select_with_health(&a2a, &topo, &health),
+            (AlgorithmKind::Pairwise, true)
+        );
     }
 
     #[test]

@@ -11,9 +11,9 @@
 //!   [`dfccl_run_all_reduce`]-style functions invoke it repeatedly, each time
 //!   with a callback that is run by the poller when the collective completes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -22,7 +22,8 @@ use dfccl_collectives::{
     DeviceBuffer, GraphOp, PlanCache, RecordedCollective, ReduceOp, FUSED_COLL_ID_BASE,
 };
 use dfccl_transport::{
-    Communicator, CommunicatorPool, EdgeSample, FaultInjector, LinkModel, Topology, TransportError,
+    Communicator, CommunicatorPool, EdgeSample, FaultInjector, LinkHealth, LinkModel, Topology,
+    TransportError,
 };
 use gpu_sim::{GpuDevice, GpuId, GpuSpec, MemoryUsage, SyncKind};
 use parking_lot::Mutex;
@@ -34,6 +35,7 @@ use crate::daemon::{
     run_poller, CapturedGraph, DaemonController, DaemonShared, GraphNode, RegisteredCollective,
     GRAPH_ID_BASE,
 };
+use crate::recovery::RetryPolicy;
 use crate::sq::{Sqe, SubmissionQueue};
 use crate::stats::{CollectiveStats, DaemonStatsSnapshot, TenantStats};
 use crate::telemetry::{TelemetryEventKind, TelemetrySnapshot};
@@ -77,6 +79,21 @@ pub enum DfcclError {
     Collective(CollectiveError),
     /// A transport-level error.
     Transport(TransportError),
+    /// The GPU was removed from the domain's elastic membership
+    /// ([`DfcclDomain::remove_rank`]); ranks cannot be initialised on it and
+    /// device sets cannot include it until [`DfcclDomain::add_rank`].
+    NotMember(GpuId),
+    /// The GPU is already a member of the domain.
+    AlreadyMember(GpuId),
+    /// The GPU cannot be removed while `coll_id` (a collective or an
+    /// in-flight graph replay touching it) still has work pending; quiesce
+    /// the domain between iterations and retry.
+    MembershipBusy {
+        /// The GPU whose removal was refused.
+        gpu: GpuId,
+        /// The collective or graph with in-flight work.
+        coll_id: u64,
+    },
 }
 
 impl std::fmt::Display for DfcclError {
@@ -109,6 +126,32 @@ impl std::fmt::Display for DfcclError {
             }
             DfcclError::Collective(e) => write!(f, "{e}"),
             DfcclError::Transport(e) => write!(f, "{e}"),
+            DfcclError::NotMember(gpu) => {
+                write!(f, "{gpu} was removed from the domain membership")
+            }
+            DfcclError::AlreadyMember(gpu) => {
+                write!(f, "{gpu} is already a member of the domain")
+            }
+            DfcclError::MembershipBusy { gpu, coll_id } => {
+                write!(
+                    f,
+                    "{gpu} cannot be removed: collective {coll_id} has work in flight"
+                )
+            }
+        }
+    }
+}
+
+impl DfcclError {
+    /// Whether retrying the same call later can succeed without operator
+    /// action: rank-wide SQ backpressure and per-tenant
+    /// [`AdmissionError::AtQuota`] both clear as completions drain.
+    /// [`RankCtx::run_with_retry`] keys off this.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            DfcclError::SubmissionQueueFull => true,
+            DfcclError::Admission(e) => e.is_retryable(),
+            _ => false,
         }
     }
 }
@@ -168,6 +211,16 @@ pub struct DfcclDomain {
     /// silently creating accounting state.
     tenants: Mutex<HashMap<TenantId, TenantQuota>>,
     next_tenant_id: AtomicU64,
+    /// Elastic membership: the GPUs ranks may currently be initialised on
+    /// and device sets may currently include. Starts as the full topology;
+    /// [`DfcclDomain::remove_rank`] / [`DfcclDomain::add_rank`] shrink and
+    /// grow it between iterations (the topology itself never changes — a
+    /// removed GPU's links stay modelled, they are just not planned over).
+    membership: Mutex<HashSet<GpuId>>,
+    /// Weak handles to every rank's daemon-shared state, so membership
+    /// changes can sweep registrations and captured graphs across live
+    /// ranks without the domain keeping dead ranks alive.
+    rank_shareds: Mutex<Vec<(GpuId, Weak<DaemonShared>)>>,
 }
 
 impl DfcclDomain {
@@ -190,6 +243,7 @@ impl DfcclDomain {
             .into_iter()
             .map(|g| (g, GpuDevice::new(g, gpu_spec.clone())))
             .collect();
+        let membership = topology.gpus().into_iter().collect();
         Arc::new(DfcclDomain {
             topology,
             link_model,
@@ -200,6 +254,8 @@ impl DfcclDomain {
             plan_cache: PlanCache::new(),
             tenants: Mutex::new(HashMap::new()),
             next_tenant_id: AtomicU64::new(1),
+            membership: Mutex::new(membership),
+            rank_shareds: Mutex::new(Vec::new()),
         })
     }
 
@@ -291,6 +347,127 @@ impl DfcclDomain {
         Arc::clone(self.pool.fault_injector())
     }
 
+    /// The domain's link-health map: edges quarantined here are avoided by
+    /// the algorithm selector and the cost model, force plan-cache misses
+    /// (the health generation is part of the plan key) and are rerouted in
+    /// the connector mesh. Healthy domains never mutate it, so the fast
+    /// paths stay branch-predictable.
+    pub fn link_health(&self) -> Arc<LinkHealth> {
+        Arc::clone(self.pool.link_health())
+    }
+
+    /// The GPUs currently in the elastic membership, sorted.
+    pub fn members(&self) -> Vec<GpuId> {
+        let mut members: Vec<GpuId> = self.membership.lock().iter().copied().collect();
+        members.sort();
+        members
+    }
+
+    /// Reject device sets that reach outside the current membership.
+    fn require_members(&self, devices: &[GpuId]) -> Result<(), DfcclError> {
+        let membership = self.membership.lock();
+        match devices.iter().find(|d| !membership.contains(d)) {
+            Some(&gone) => Err(DfcclError::NotMember(gone)),
+            None => Ok(()),
+        }
+    }
+
+    /// Shrink the elastic membership: remove `gpu` from the domain between
+    /// iterations. Refused with [`DfcclError::MembershipBusy`] while any
+    /// collective or in-flight graph replay touching the GPU still has work
+    /// pending (quiesce first). On success, every registration and captured
+    /// graph whose device set includes the GPU is dropped on every live rank
+    /// (their tenants' residency is released), intersecting plan-cache
+    /// shapes are invalidated, and idle pooled communicators touching the
+    /// GPU are evicted. Returns the number of registrations dropped.
+    pub fn remove_rank(&self, gpu: GpuId) -> Result<usize, DfcclError> {
+        if !self.topology.contains(gpu) {
+            return Err(DfcclError::UnknownGpu(gpu));
+        }
+        if !self.membership.lock().contains(&gpu) {
+            return Err(DfcclError::NotMember(gpu));
+        }
+        let shareds: Vec<Arc<DaemonShared>> = {
+            let mut ranks = self.rank_shareds.lock();
+            ranks.retain(|(_, weak)| weak.strong_count() > 0);
+            ranks
+                .iter()
+                .filter_map(|(_, weak)| weak.upgrade())
+                .collect()
+        };
+        // Validate quiescence first so a refused removal leaves no partial
+        // state behind.
+        for shared in &shareds {
+            for (&coll_id, reg) in shared.registered.read().iter() {
+                let busy =
+                    shared.contexts.has_pending(coll_id) || shared.contexts.in_slice(coll_id);
+                if reg.desc.devices.contains(&gpu) && busy {
+                    return Err(DfcclError::MembershipBusy { gpu, coll_id });
+                }
+            }
+            for graph in shared.graphs.read().values() {
+                let touches = graph
+                    .nodes
+                    .iter()
+                    .any(|n| n.reg.desc.devices.contains(&gpu));
+                if touches && graph.in_flight.load(Ordering::Acquire) {
+                    return Err(DfcclError::MembershipBusy {
+                        gpu,
+                        coll_id: graph.graph_id,
+                    });
+                }
+            }
+        }
+        let mut removed = 0;
+        for shared in &shareds {
+            let mut dropped: Vec<TenantId> = Vec::new();
+            shared.registered.write().retain(|_, reg| {
+                if reg.desc.devices.contains(&gpu) {
+                    dropped.push(reg.tenant);
+                    false
+                } else {
+                    true
+                }
+            });
+            if !dropped.is_empty() {
+                if !self.config.flat_scheduling {
+                    for tenant in &dropped {
+                        shared.tenants.state(*tenant).on_unregister();
+                    }
+                }
+                shared.bump_registry_generation();
+                removed += dropped.len();
+            }
+            // Captured graphs whose device sets intersect the change hold
+            // pre-resolved registrations; drop them so a later capture
+            // rebuilds against the shrunk domain.
+            shared
+                .graphs
+                .write()
+                .retain(|_, g| !g.nodes.iter().any(|n| n.reg.desc.devices.contains(&gpu)));
+        }
+        self.plan_cache.invalidate_device(gpu);
+        self.pool.evict_device(gpu);
+        self.communicators
+            .lock()
+            .retain(|_, comm| !comm.devices().contains(&gpu));
+        self.membership.lock().remove(&gpu);
+        Ok(removed)
+    }
+
+    /// Grow the elastic membership back: re-admit `gpu` (which must be part
+    /// of the topology). Communicator meshes and plans over the restored
+    /// GPU are rebuilt lazily at the next registration.
+    pub fn add_rank(&self, gpu: GpuId) -> Result<(), DfcclError> {
+        if !self.topology.contains(gpu) {
+            return Err(DfcclError::UnknownGpu(gpu));
+        }
+        if !self.membership.lock().insert(gpu) {
+            return Err(DfcclError::AlreadyMember(gpu));
+        }
+        Ok(())
+    }
+
     /// Per-edge progress samples over every communicator the domain has
     /// allocated, stamped with the owning collective id and sorted by
     /// `(coll_id, edge)` — the probe fed to the failure-aware watchdog.
@@ -331,6 +508,9 @@ impl DfcclDomain {
     /// Initialise a rank context for `gpu` (the `dfcclInit` call).
     pub fn init_rank(self: &Arc<Self>, gpu: GpuId) -> Result<RankCtx, DfcclError> {
         let device = self.device(gpu).ok_or(DfcclError::UnknownGpu(gpu))?;
+        if !self.membership.lock().contains(&gpu) {
+            return Err(DfcclError::NotMember(gpu));
+        }
         let config = self.config.clone();
         let sq = Arc::new(SubmissionQueue::with_costs(
             config.sq_capacity,
@@ -359,6 +539,13 @@ impl DfcclDomain {
                 config.context_buffer_per_block * config.daemon_blocks as usize + 11 * 1024,
             )
             .ok();
+        // Track the rank for elastic-membership sweeps (pruning entries
+        // whose shared state is gone keeps the registry bounded).
+        {
+            let mut ranks = self.rank_shareds.lock();
+            ranks.retain(|(_, weak)| weak.strong_count() > 0);
+            ranks.push((gpu, Arc::downgrade(&shared)));
+        }
         let controller = DaemonController::new(Arc::clone(&shared));
         let poller_stop = Arc::new(AtomicBool::new(false));
         let poller = {
@@ -485,6 +672,7 @@ impl RankCtx {
     ) -> Result<Arc<RegisteredCollective>, DfcclError> {
         self.check_alive()?;
         desc.validate()?;
+        self.domain.require_members(&desc.devices)?;
         if self.shared.registered.read().contains_key(&coll_id) {
             return Err(DfcclError::AlreadyRegistered(coll_id));
         }
@@ -508,7 +696,11 @@ impl RankCtx {
             rank,
             self.domain.config.chunk_elems,
             self.domain.topology(),
+            self.domain.pool.link_health(),
         )?;
+        if cached.degraded {
+            self.shared.telemetry.record_plan_degraded();
+        }
         let communicator = self.domain.communicator_for(coll_id, &desc.devices)?;
         let channels =
             communicator.channels(rank, cached.plan.send_edges(), cached.plan.recv_edges())?;
@@ -761,6 +953,94 @@ impl RankCtx {
         let handle = CompletionHandle::new();
         self.run(coll_id, send, recv, handle.completion_callback())?;
         Ok(handle)
+    }
+
+    /// Invoke a registered collective, retrying typed backpressure under
+    /// `policy`: rank-wide [`DfcclError::SubmissionQueueFull`] and retryable
+    /// per-tenant admission errors ([`AdmissionError::AtQuota`]) are retried
+    /// with decorrelated-jitter backoff; every other error fails fast.
+    /// Returns the completion handle of the admitted invocation.
+    pub fn run_with_retry(
+        &self,
+        policy: &RetryPolicy,
+        coll_id: u64,
+        send: &DeviceBuffer,
+        recv: &DeviceBuffer,
+    ) -> Result<CompletionHandle, DfcclError> {
+        policy.run(
+            || {
+                let handle = CompletionHandle::new();
+                self.run(
+                    coll_id,
+                    send.clone(),
+                    recv.clone(),
+                    handle.completion_callback(),
+                )?;
+                Ok(handle)
+            },
+            DfcclError::is_retryable,
+        )
+    }
+
+    /// The rank's daemon-shared state (recovery-coordinator plumbing).
+    pub(crate) fn shared_state(&self) -> &Arc<DaemonShared> {
+        &self.shared
+    }
+
+    /// The rank's daemon controller (recovery-coordinator plumbing).
+    pub(crate) fn daemon_controller(&self) -> &Arc<DaemonController> {
+        &self.controller
+    }
+
+    /// Recovery-path re-registration: re-plan a registered collective under
+    /// the current link-health generation and swap the registration in
+    /// place. Same collective id, same tenant, no residency re-charge — the
+    /// caller's handle to the collective is untouched. Returns whether the
+    /// re-planned schedule is degraded (selected around a quarantined edge).
+    pub(crate) fn reregister_for_recovery(&self, coll_id: u64) -> Result<bool, DfcclError> {
+        let old = self
+            .shared
+            .registered
+            .read()
+            .get(&coll_id)
+            .cloned()
+            .ok_or(DfcclError::NotRegistered(coll_id))?;
+        let selector = self.domain.config.algorithm_selector();
+        let cached = self.domain.plan_cache.get_or_compile(
+            &selector,
+            &old.desc,
+            old.rank,
+            self.domain.config.chunk_elems,
+            self.domain.topology(),
+            self.domain.pool.link_health(),
+        )?;
+        let degraded = cached.degraded;
+        if degraded {
+            self.shared.telemetry.record_plan_degraded();
+        }
+        // Rebinding materialises exactly the connectors the new plan
+        // addresses; labels quarantined since the original registration were
+        // purged by the coordinator, so these come back rerouted.
+        let channels = old.communicator.channels(
+            old.rank,
+            cached.plan.send_edges(),
+            cached.plan.recv_edges(),
+        )?;
+        let table = cached.program.bind(&channels)?;
+        let reg = Arc::new(RegisteredCollective {
+            coll_id,
+            desc: old.desc.clone(),
+            rank: old.rank,
+            tenant: old.tenant,
+            communicator: Arc::clone(&old.communicator),
+            channels,
+            plan: cached.plan,
+            program: cached.program,
+            table,
+        });
+        self.shared.registered.write().insert(coll_id, reg);
+        self.shared.bump_registry_generation();
+        Ok(degraded)
     }
 
     /// Start capturing an iteration graph: record the step's collective

@@ -67,6 +67,12 @@ pub struct DynamicContext {
     /// The graph replay this invocation belongs to, if it was expanded from
     /// a graph SQE rather than submitted individually.
     pub graph: Option<GraphTag>,
+    /// Recovery-only ghost replay: this invocation re-executes a round that
+    /// already completed on this rank (its CQE was published) so that ranks
+    /// which had not finished the round can make progress. Completion of a
+    /// silent replay publishes no CQE, runs no callback and releases no
+    /// outstanding slot — it only moves data.
+    pub silent_replay: bool,
 }
 
 impl DynamicContext {
@@ -81,6 +87,7 @@ impl DynamicContext {
             recv,
             progressed_since_save: false,
             graph: None,
+            silent_replay: false,
         }
     }
 
@@ -116,6 +123,22 @@ struct PerCollective {
     /// completed invocation: the next invocation of this collective refills
     /// it instead of allocating (the shapes recur, so the capacity fits).
     spare: Option<(Vec<u32>, PendingSends)>,
+    /// The recovery coordinator has quarantined this collective: checkouts
+    /// return `None` (the daemon sees an empty queue and drops the task)
+    /// until [`ContextStore::end_recovery`] reinstalls the rolled-back
+    /// invocations.
+    recovering: bool,
+    /// The front invocation is currently checked out into an execution
+    /// slice. Recovery must wait for this to clear before it owns every
+    /// pending context.
+    in_slice: bool,
+    /// Invocations of this collective completed on this rank (silent
+    /// replays excluded). Ranks compare these counts during recovery to
+    /// find who ran ahead.
+    completed: u64,
+    /// Buffers and identity of the last completed (non-silent) round, kept
+    /// so a rank that ran ahead can ghost-replay it for stragglers.
+    last_completed: Option<(u64, DeviceBuffer, DeviceBuffer, Option<GraphTag>)>,
 }
 
 /// The context store shared between daemon-kernel incarnations. It lives in
@@ -163,11 +186,18 @@ impl ContextStore {
 
     /// Take the current (front) invocation of `coll_id` for execution.
     /// Charges the load cost unless the collective is in an active slot.
+    /// Returns `None` while the collective is under recovery, so the daemon
+    /// parks it until the coordinator reinstalls its contexts.
     pub fn checkout_current(&self, coll_id: u64) -> Option<(DynamicContext, ContextLoad)> {
         let ctx = {
             let mut map = self.per_coll.lock();
             let entry = map.get_mut(&coll_id)?;
-            entry.pending.pop_front()?
+            if entry.recovering {
+                return None;
+            }
+            let ctx = entry.pending.pop_front()?;
+            entry.in_slice = true;
+            ctx
         };
         let load = {
             let mut slots = self.active_slots.lock();
@@ -195,7 +225,9 @@ impl ContextStore {
             ctx.progressed_since_save = false;
         }
         let mut map = self.per_coll.lock();
-        map.entry(coll_id).or_default().pending.push_front(ctx);
+        let entry = map.entry(coll_id).or_default();
+        entry.pending.push_front(ctx);
+        entry.in_slice = false;
         saved
     }
 
@@ -207,7 +239,14 @@ impl ContextStore {
         ctx.lane_cursors.clear();
         ctx.pending_sends.clear();
         let mut map = self.per_coll.lock();
-        map.entry(coll_id).or_default().spare = Some((ctx.lane_cursors, ctx.pending_sends));
+        let entry = map.entry(coll_id).or_default();
+        entry.in_slice = false;
+        if !ctx.silent_replay {
+            entry.completed += 1;
+            entry.last_completed =
+                Some((ctx.run_seq, ctx.send.clone(), ctx.recv.clone(), ctx.graph));
+        }
+        entry.spare = Some((ctx.lane_cursors, ctx.pending_sends));
     }
 
     /// Whether more invocations are pending for `coll_id`.
@@ -235,6 +274,81 @@ impl ContextStore {
     /// Total pending invocations across all collectives.
     pub fn total_pending(&self) -> usize {
         self.per_coll.lock().values().map(|e| e.pending.len()).sum()
+    }
+
+    // --- Recovery protocol -------------------------------------------------
+    //
+    // The coordinator quarantines a stalled collective (`begin_recovery`),
+    // waits for any in-flight execution slice to check its context back in,
+    // drains what arrived meanwhile (`take_recovered`), rebuilds fresh
+    // contexts (partially-reduced chunks cannot be resumed — they are
+    // re-executed from the source buffers), and reinstalls them
+    // (`end_recovery`). While `recovering` is set, `checkout_current`
+    // returns `None`, so the daemon cannot race the rollback.
+
+    /// Quarantine `coll_id` and drain its pending invocations. Subsequent
+    /// checkouts return `None` until [`ContextStore::end_recovery`]. An
+    /// invocation currently out in an execution slice is *not* included —
+    /// poll [`ContextStore::in_slice`] and then [`ContextStore::take_recovered`]
+    /// to collect it once the slice ends.
+    pub fn begin_recovery(&self, coll_id: u64) -> Vec<DynamicContext> {
+        let mut map = self.per_coll.lock();
+        let entry = map.entry(coll_id).or_default();
+        entry.recovering = true;
+        entry.pending.drain(..).collect()
+    }
+
+    /// Whether `coll_id`'s front invocation is currently checked out into an
+    /// execution slice (recovery must wait for it to return).
+    pub fn in_slice(&self, coll_id: u64) -> bool {
+        self.per_coll
+            .lock()
+            .get(&coll_id)
+            .map(|e| e.in_slice)
+            .unwrap_or(false)
+    }
+
+    /// Second drain during recovery: collects the context a mid-slice
+    /// execution checked back in after [`ContextStore::begin_recovery`], plus
+    /// any new invocations submitted meanwhile.
+    pub fn take_recovered(&self, coll_id: u64) -> Vec<DynamicContext> {
+        let mut map = self.per_coll.lock();
+        match map.get_mut(&coll_id) {
+            Some(entry) => entry.pending.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Reinstall `contexts` (in order: front first) as `coll_id`'s pending
+    /// queue and lift the quarantine. Invocations submitted after the last
+    /// drain keep their place behind the reinstalled ones.
+    pub fn end_recovery(&self, coll_id: u64, contexts: Vec<DynamicContext>) {
+        let mut map = self.per_coll.lock();
+        let entry = map.entry(coll_id).or_default();
+        for ctx in contexts.into_iter().rev() {
+            entry.pending.push_front(ctx);
+        }
+        entry.recovering = false;
+    }
+
+    /// Invocations of `coll_id` completed on this rank (silent replays
+    /// excluded). Recovery compares these across ranks to find who ran
+    /// ahead.
+    pub fn completed_count(&self, coll_id: u64) -> u64 {
+        self.per_coll
+            .lock()
+            .get(&coll_id)
+            .map(|e| e.completed)
+            .unwrap_or(0)
+    }
+
+    /// Identity and buffers of the last completed (non-silent) round of
+    /// `coll_id`, for ghost replay on ranks that ran ahead.
+    pub fn last_completed(
+        &self,
+        coll_id: u64,
+    ) -> Option<(u64, DeviceBuffer, DeviceBuffer, Option<GraphTag>)> {
+        self.per_coll.lock().get(&coll_id)?.last_completed.clone()
     }
 }
 
@@ -363,6 +477,53 @@ mod tests {
         s.checkin_incomplete(2, c2);
         let (_, l0_again) = s.checkout_current(0).unwrap();
         assert_eq!(l0_again, ContextLoad::CacheMiss, "evicted id misses again");
+    }
+
+    #[test]
+    fn recovery_quarantines_drains_and_reinstalls() {
+        let s = store();
+        s.enqueue_invocation(1, ctx(0));
+        s.enqueue_invocation(1, ctx(1));
+        // One invocation is mid-slice when recovery begins.
+        let (mid, _) = s.checkout_current(1).unwrap();
+        assert!(s.in_slice(1));
+        let drained = s.begin_recovery(1);
+        assert_eq!(drained.len(), 1, "mid-slice context is not drained");
+        assert_eq!(drained[0].run_seq, 1);
+        // Quarantined: nothing can be checked out, but check-ins still land.
+        assert!(s.checkout_current(1).is_none());
+        s.checkin_incomplete(1, mid);
+        assert!(!s.in_slice(1));
+        let late = s.take_recovered(1);
+        assert_eq!(late.len(), 1);
+        assert_eq!(late[0].run_seq, 0);
+        // Reinstall in submission order; quarantine lifts.
+        s.end_recovery(1, vec![ctx(0), ctx(1)]);
+        let (c, _) = s.checkout_current(1).unwrap();
+        assert_eq!(c.run_seq, 0);
+        let (c, _) = s.checkout_current(1).unwrap();
+        assert_eq!(c.run_seq, 1);
+    }
+
+    #[test]
+    fn completed_counts_skip_silent_replays() {
+        let s = store();
+        s.enqueue_invocation(1, ctx(7));
+        let (c, _) = s.checkout_current(1).unwrap();
+        s.recycle(1, c);
+        assert_eq!(s.completed_count(1), 1);
+        let (seq, _, _, graph) = s.last_completed(1).unwrap();
+        assert_eq!(seq, 7);
+        assert!(graph.is_none());
+        // A ghost replay completes without advancing the count.
+        let mut ghost = ctx(7);
+        ghost.silent_replay = true;
+        s.enqueue_invocation(1, ghost);
+        let (c, _) = s.checkout_current(1).unwrap();
+        assert!(c.silent_replay);
+        s.recycle(1, c);
+        assert_eq!(s.completed_count(1), 1, "silent replay not counted");
+        assert!(!s.in_slice(1));
     }
 
     #[test]

@@ -228,6 +228,11 @@ pub struct DaemonShared {
     sq_cursor: Mutex<SqCursor>,
     /// Invocations submitted but not yet completed.
     pub outstanding: AtomicU64,
+    /// Bumped by the recovery coordinator after it reinstalls rolled-back
+    /// contexts: reinstalled invocations arrive without an SQE, so a running
+    /// daemon must re-scan the context store to pick them up (an idle daemon
+    /// finds them in its restart rebuild instead).
+    rescan: AtomicU64,
     /// Wake-up signal for the daemon thread (new SQE, exit request).
     daemon_wake: Parker,
     /// Wake-up signal for the poller thread (CQE batch published, stop).
@@ -273,6 +278,7 @@ impl DaemonShared {
             final_exit: AtomicBool::new(false),
             sq_cursor: Mutex::new(SqCursor::default()),
             outstanding: AtomicU64::new(0),
+            rescan: AtomicU64::new(0),
             daemon_wake: Parker::new(),
             cq_ready: Parker::new(),
             idle_signal: Parker::new(),
@@ -307,6 +313,19 @@ impl DaemonShared {
     /// Wake the daemon thread: a new SQE is visible or an exit was requested.
     pub fn notify_daemon(&self) {
         self.daemon_wake.signal();
+    }
+
+    /// Ask a running daemon to re-scan the context store for pending
+    /// invocations it is not tracking (recovery reinstalls rolled-back
+    /// contexts without an SQE). A daemon between incarnations picks them up
+    /// through its restart rebuild instead.
+    pub fn request_rescan(&self) {
+        self.rescan.fetch_add(1, Ordering::Release);
+        self.daemon_wake.signal();
+    }
+
+    fn rescan_generation(&self) -> u64 {
+        self.rescan.load(Ordering::Acquire)
     }
 
     /// Wake the poller thread: CQEs are visible (or a stop was requested).
@@ -998,6 +1017,31 @@ fn admission_stage(shared: &Arc<DaemonShared>, st: &mut PipelineState) -> bool {
     fetched_any
 }
 
+/// (Re)build the scheduling lanes from the context store: every collective
+/// with pending invocations that the scheduler is not already tracking is
+/// enqueued on its tenant's lane. Runs at incarnation start and after a
+/// recovery rescan request ([`DaemonShared::request_rescan`]).
+fn rebuild_lanes(shared: &Arc<DaemonShared>, st: &mut PipelineState) {
+    for coll_id in shared.contexts.incomplete_ids() {
+        if st.scheduler.contains(coll_id) {
+            continue;
+        }
+        let (priority, tenant) = st
+            .registry
+            .get(shared, coll_id)
+            .map(|r| (r.desc.priority, r.tenant))
+            .unwrap_or((0, TenantId::DEFAULT));
+        enqueue_task(
+            shared,
+            &mut st.scheduler,
+            &mut st.tenant_cache,
+            coll_id,
+            priority,
+            tenant,
+        );
+    }
+}
+
 /// The **schedule** stage: one arbitration pass over the per-tenant lanes —
 /// reorder each lane by the ordering policy, grant slices by weighted-fair /
 /// strict-priority arbitration, assign position-based initial spin
@@ -1113,10 +1157,14 @@ fn execute_stage(shared: &Arc<DaemonShared>, st: &mut PipelineState, order: &[u6
         } else {
             // Completed: a graph-tagged invocation counts down its
             // replay (the graph publishes one CQE when the last node
-            // finishes); an individual invocation buffers its own CQE.
-            match ctx.graph {
-                Some(tag) => complete_graph_node(shared, completions, tag, None),
-                None => enqueue_completion(shared, completions, coll_id, reg.tenant),
+            // finishes); an individual invocation buffers its own CQE. A
+            // recovery ghost replay already published its CQE before the
+            // failure — it only moves data, so it completes silently.
+            if !ctx.silent_replay {
+                match ctx.graph {
+                    Some(tag) => complete_graph_node(shared, completions, tag, None),
+                    None => enqueue_completion(shared, completions, coll_id, reg.tenant),
+                }
             }
             // The invocation is done with its context: recycle the
             // cursor/staging storage for the collective's next one.
@@ -1173,28 +1221,26 @@ fn run_daemon(shared: Arc<DaemonShared>) {
     };
 
     // Rebuild the scheduling lanes from contexts that survived the previous
-    // incarnation (preempted or never-started invocations).
-    for coll_id in shared.contexts.incomplete_ids() {
-        let (priority, tenant) = st
-            .registry
-            .get(&shared, coll_id)
-            .map(|r| (r.desc.priority, r.tenant))
-            .unwrap_or((0, TenantId::DEFAULT));
-        enqueue_task(
-            &shared,
-            &mut st.scheduler,
-            &mut st.tenant_cache,
-            coll_id,
-            priority,
-            tenant,
-        );
-    }
+    // incarnation (preempted or never-started invocations). Sample the
+    // rescan generation first, so a recovery reinstall racing the rebuild is
+    // re-observed on the first pass instead of lost.
+    let mut rescan_seen = shared.rescan_generation();
+    rebuild_lanes(&shared, &mut st);
 
     let mut idle_passes: u32 = 0;
     loop {
         // Sample the wake-up generation *before* scanning for work: a signal
         // racing the scan then prevents the end-of-pass park.
         let wake_seen = shared.daemon_wake.generation();
+
+        // Recovery reinstalled contexts without SQEs: re-scan the context
+        // store for collectives the scheduler is not tracking.
+        let rescan_now = shared.rescan_generation();
+        let rescanned = rescan_now != rescan_seen;
+        if rescanned {
+            rescan_seen = rescan_now;
+            rebuild_lanes(&shared, &mut st);
+        }
 
         // The pipeline: admission → schedule → execute → complete. The
         // completions are published before any idle handling — the poller
@@ -1206,7 +1252,7 @@ fn run_daemon(shared: Arc<DaemonShared>) {
         complete_stage(&shared, &mut st);
 
         // Idle handling: voluntary quitting and final exit.
-        if fetched_any || progressed_any {
+        if fetched_any || progressed_any || rescanned {
             idle_passes = 0;
             continue;
         }

@@ -56,6 +56,7 @@ pub mod context;
 pub mod cq;
 pub mod daemon;
 pub mod park;
+pub mod recovery;
 pub mod sq;
 pub mod stats;
 pub mod task_queue;
@@ -76,6 +77,7 @@ pub use daemon::{
     GRAPH_ID_BASE,
 };
 pub use park::Parker;
+pub use recovery::{Backoff, RecoveryCoordinator, RecoveryError, RecoveryOutcome, RetryPolicy};
 pub use sq::{Sqe, SubmissionQueue};
 pub use stats::{CollectiveStats, DaemonStats, DaemonStatsSnapshot, TenantStats};
 pub use task_queue::{TaskEntry, TaskQueue, TenantScheduler};

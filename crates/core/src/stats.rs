@@ -41,6 +41,9 @@ pub struct TenantStats {
     pub failed: u64,
     /// Preemptions of the tenant's collectives.
     pub preempted: u64,
+    /// Invocations of the tenant's collectives re-executed to completion by
+    /// the recovery coordinator after a link failure.
+    pub recovered: u64,
 }
 
 /// A mean accumulated from a sum and a count, stored in nanoseconds.

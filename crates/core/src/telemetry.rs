@@ -107,6 +107,12 @@ pub struct TelemetryCounters {
     pub failures: u64,
     /// Chunks moved across all scheduling slices.
     pub chunks_moved: u64,
+    /// Recovery passes started for collectives on this rank.
+    pub recoveries_attempted: u64,
+    /// Recovery passes that rolled back, re-planned and resubmitted.
+    pub recoveries_succeeded: u64,
+    /// Registrations served a plan that had to avoid a quarantined edge.
+    pub plans_degraded: u64,
 }
 
 /// Bounded event ring + counters for one daemon.
@@ -123,6 +129,9 @@ pub struct Telemetry {
     completions: AtomicU64,
     failures: AtomicU64,
     chunks_moved: AtomicU64,
+    recoveries_attempted: AtomicU64,
+    recoveries_succeeded: AtomicU64,
+    plans_degraded: AtomicU64,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -152,7 +161,25 @@ impl Telemetry {
             completions: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             chunks_moved: AtomicU64::new(0),
+            recoveries_attempted: AtomicU64::new(0),
+            recoveries_succeeded: AtomicU64::new(0),
+            plans_degraded: AtomicU64::new(0),
         })
+    }
+
+    /// Count a recovery pass starting on a collective of this rank.
+    pub fn record_recovery_attempt(&self) {
+        self.recoveries_attempted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a recovery pass that re-planned and resubmitted successfully.
+    pub fn record_recovery_success(&self) {
+        self.recoveries_succeeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a registration served a degraded (edge-avoiding) plan.
+    pub fn record_plan_degraded(&self) {
+        self.plans_degraded.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Whether the event ring is recording.
@@ -209,6 +236,9 @@ impl Telemetry {
             completions: self.completions.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
             chunks_moved: self.chunks_moved.load(Ordering::Relaxed),
+            recoveries_attempted: self.recoveries_attempted.load(Ordering::Relaxed),
+            recoveries_succeeded: self.recoveries_succeeded.load(Ordering::Relaxed),
+            plans_degraded: self.plans_degraded.load(Ordering::Relaxed),
         }
     }
 
@@ -272,6 +302,11 @@ impl std::fmt::Display for TelemetrySnapshot {
         )?;
         writeln!(
             f,
+            "recovery: {} attempted, {} succeeded, {} degraded plans",
+            c.recoveries_attempted, c.recoveries_succeeded, c.plans_degraded
+        )?;
+        writeln!(
+            f,
             "events: {} retained, {} dropped",
             self.events.len(),
             self.dropped
@@ -291,6 +326,9 @@ impl std::fmt::Display for TelemetrySnapshot {
                 t.failed,
                 t.preempted
             )?;
+            if t.recovered > 0 {
+                writeln!(f, "  {} recovered", t.recovered)?;
+            }
         }
         for e in &self.edges {
             write!(
@@ -336,6 +374,24 @@ mod tests {
         assert_eq!(c.failures, 1);
         assert_eq!(c.chunks_moved, 7);
         assert_eq!(t.events().len(), 7);
+    }
+
+    #[test]
+    fn recovery_counters_accumulate_and_render() {
+        let t = Telemetry::new(4);
+        t.record_recovery_attempt();
+        t.record_recovery_attempt();
+        t.record_recovery_success();
+        t.record_plan_degraded();
+        let c = t.counters();
+        assert_eq!(c.recoveries_attempted, 2);
+        assert_eq!(c.recoveries_succeeded, 1);
+        assert_eq!(c.plans_degraded, 1);
+        let snap = t.snapshot(Vec::new(), Vec::new());
+        let s = snap.to_string();
+        assert!(s.contains("2 attempted"), "{s}");
+        assert!(s.contains("1 succeeded"), "{s}");
+        assert!(s.contains("1 degraded plans"), "{s}");
     }
 
     #[test]

@@ -212,6 +212,7 @@ pub struct TenantState {
     completed: AtomicU64,
     failed: AtomicU64,
     preempted: AtomicU64,
+    recovered: AtomicU64,
 }
 
 impl TenantState {
@@ -227,6 +228,7 @@ impl TenantState {
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             preempted: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
         })
     }
 
@@ -337,6 +339,23 @@ impl TenantState {
         self.preempted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One of the tenant's invocations was rolled back and re-executed to
+    /// completion by the recovery coordinator.
+    pub fn on_recovered(&self) {
+        self.recovered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A registration was removed (elastic membership shrink). Saturating so
+    /// removals synthesized for never-admitted registrations cannot
+    /// underflow.
+    pub fn on_unregister(&self) {
+        let _ = self
+            .registered
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
     /// Update the scheduling-lane depth gauge (daemon, once per pass).
     pub fn record_queue_depth(&self, depth: u64) {
         self.queue_depth.store(depth, Ordering::Relaxed);
@@ -356,6 +375,7 @@ impl TenantState {
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             preempted: self.preempted.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
         }
     }
 }

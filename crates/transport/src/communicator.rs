@@ -28,6 +28,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::connector::Connector;
 use crate::fault::{EdgeId, EdgeSample, FaultInjector};
+use crate::health::LinkHealth;
 use crate::linkmodel::LinkModel;
 use crate::topology::Topology;
 use crate::TransportError;
@@ -206,6 +207,9 @@ pub struct Communicator {
     connector_capacity: usize,
     /// The domain-wide fault injector every connector of this mesh consults.
     injector: Arc<FaultInjector>,
+    /// The domain-wide link-health map; a quarantined edge is relabelled onto
+    /// a spare lane when its connector is (re)created.
+    health: Arc<LinkHealth>,
     /// `edges[(s, d, c)]` carries channel-`c` chunks from rank `s` to rank `d`.
     edges: Mutex<HashMap<(usize, usize, ChannelId), Arc<Connector>>>,
 }
@@ -252,6 +256,30 @@ impl Communicator {
         connector_capacity: usize,
         injector: Arc<FaultInjector>,
     ) -> Result<Arc<Self>, TransportError> {
+        Communicator::with_links(
+            id,
+            devices,
+            topology,
+            link_model,
+            connector_capacity,
+            injector,
+            LinkHealth::new(),
+        )
+    }
+
+    /// [`Communicator::with_fault_injector`] with an explicit (typically
+    /// domain-shared) link-health map; pools pass their own so one quarantine
+    /// decision reroutes every communicator's connectors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_links(
+        id: CommunicatorId,
+        devices: Vec<GpuId>,
+        topology: &Arc<Topology>,
+        link_model: &Arc<LinkModel>,
+        connector_capacity: usize,
+        injector: Arc<FaultInjector>,
+        health: Arc<LinkHealth>,
+    ) -> Result<Arc<Self>, TransportError> {
         if devices.len() < 2 {
             return Err(TransportError::DeviceSetTooSmall(devices.len()));
         }
@@ -267,6 +295,7 @@ impl Communicator {
             link_model: Arc::clone(link_model),
             connector_capacity,
             injector,
+            health,
             edges: Mutex::new(HashMap::new()),
         }))
     }
@@ -340,10 +369,15 @@ impl Communicator {
         let link = self
             .topology
             .link_between(self.devices[src], self.devices[dst])?;
+        // The connector keeps its *logical* (src, dst, channel) key; only the
+        // physical edge label is rerouted when the health map quarantined the
+        // lane, so plans and compiled bindings are oblivious to the failover.
         let edge = EdgeId {
             src: self.devices[src],
             dst: self.devices[dst],
-            channel,
+            channel: self
+                .health
+                .reroute(self.devices[src], self.devices[dst], channel),
         };
         let c = Connector::with_edge(
             self.connector_capacity,
@@ -411,6 +445,24 @@ impl Communicator {
         }
     }
 
+    /// Drop every connector whose physical edge is quarantined in the health
+    /// map, so the next [`Communicator::channels`] call recreates it with a
+    /// rerouted label. Returns the number of connectors dropped.
+    pub fn purge_dead(&self) -> usize {
+        if self.health.is_clean() {
+            return 0;
+        }
+        let mut edges = self.edges.lock();
+        let before = edges.len();
+        edges.retain(|_, c| c.edge().is_none_or(|e| !self.health.is_dead(e)));
+        before - edges.len()
+    }
+
+    /// The link-health map this mesh's wiring consults.
+    pub fn link_health(&self) -> &Arc<LinkHealth> {
+        &self.health
+    }
+
     /// Whether any connector still holds chunks.
     pub fn has_in_flight_data(&self) -> bool {
         self.edges.lock().values().any(|e| !e.is_empty())
@@ -468,6 +520,9 @@ pub struct CommunicatorPool {
     /// The pool-wide fault injector, shared by every communicator it creates.
     /// Inert (no scripted faults) unless a test or operator scripts it.
     injector: Arc<FaultInjector>,
+    /// The pool-wide link-health map, shared by every communicator it
+    /// creates. Inert until a recovery pass quarantines an edge.
+    health: Arc<LinkHealth>,
     next_id: AtomicU64,
     created: AtomicU64,
     /// Idle communicators keyed by their shared device-set handle. Lookups
@@ -492,6 +547,7 @@ impl CommunicatorPool {
             link_model,
             connector_capacity,
             injector: FaultInjector::new(0),
+            health: LinkHealth::new(),
             next_id: AtomicU64::new(0),
             created: AtomicU64::new(0),
             free: Mutex::new(HashMap::new()),
@@ -524,6 +580,12 @@ impl CommunicatorPool {
         &self.injector
     }
 
+    /// The pool-wide link-health map. Quarantining an edge here reroutes
+    /// every communicator the pool has handed out or will hand out.
+    pub fn link_health(&self) -> &Arc<LinkHealth> {
+        &self.health
+    }
+
     /// Allocate a mesh communicator for `devices`, reusing a previously
     /// released one when available. Edges materialise as plans request them.
     pub fn allocate(&self, devices: &[GpuId]) -> Result<Arc<Communicator>, TransportError> {
@@ -533,14 +595,25 @@ impl CommunicatorPool {
         }
         let id = CommunicatorId(self.next_id.fetch_add(1, Ordering::Relaxed));
         self.created.fetch_add(1, Ordering::Relaxed);
-        Communicator::with_fault_injector(
+        Communicator::with_links(
             id,
             devices.to_vec(),
             &self.topology,
             &self.link_model,
             self.connector_capacity,
             Arc::clone(&self.injector),
+            Arc::clone(&self.health),
         )
+    }
+
+    /// Drop idle communicators whose device set contains `gpu` — elastic
+    /// membership removes a rank, so pooled meshes touching it must not be
+    /// recycled. Returns the number of communicators dropped.
+    pub fn evict_device(&self, gpu: GpuId) -> usize {
+        let mut free = self.free.lock();
+        let before: usize = free.values().map(Vec::len).sum();
+        free.retain(|devices, _| !devices.contains(&gpu));
+        before - free.values().map(Vec::len).sum::<usize>()
     }
 
     /// Return a communicator to the pool for reuse by a later registration
@@ -869,6 +942,66 @@ mod tests {
 
         pool.fault_injector().clear();
         assert!(conn.send_ready());
+    }
+
+    #[test]
+    fn quarantined_edges_are_rerouted_after_a_purge() {
+        use crate::fault::FaultSpec;
+
+        let pool = CommunicatorPool::for_testing(2);
+        let comm = pool.allocate(&gpus(&[0, 1])).unwrap();
+        let conn = comm.connector_between(0, 1).unwrap();
+        let edge = conn.edge().unwrap();
+        // Kill the physical lane and quarantine it, as recovery would.
+        pool.fault_injector().script(edge, FaultSpec::dead());
+        pool.link_health().quarantine(edge);
+        assert!(!conn.send_ready());
+        // The cached connector still carries the dead label until purged.
+        assert_eq!(comm.purge_dead(), 1);
+        let rerouted = comm.connector_between(0, 1).unwrap();
+        let new_edge = rerouted.edge().unwrap();
+        assert_ne!(new_edge, edge);
+        assert!(new_edge.channel.0 >= crate::health::REROUTE_CHANNEL_BASE);
+        // The rerouted lane is live: the dead script keys on the old label.
+        assert!(rerouted.send_ready());
+        rerouted
+            .try_send(ChunkMsg {
+                coll_id: 3,
+                chunk_index: 0,
+                step: 0,
+                data: vec![9],
+            })
+            .unwrap();
+        assert_eq!(rerouted.try_recv().unwrap().coll_id, 3);
+        // Both endpoints resolve to the same rerouted connector instance.
+        let ch0 = comm.channels(0, &[(1, ChannelId(0))], &[]).unwrap();
+        let ch1 = comm.channels(1, &[], &[(0, ChannelId(0))]).unwrap();
+        assert!(Arc::ptr_eq(
+            ch0.send_to(1).unwrap(),
+            ch1.recv_from(0).unwrap()
+        ));
+        // The healthy reverse direction is untouched.
+        assert_eq!(
+            comm.connector_between(1, 0)
+                .unwrap()
+                .edge()
+                .unwrap()
+                .channel,
+            ChannelId(0)
+        );
+    }
+
+    #[test]
+    fn pool_evicts_idle_communicators_touching_a_removed_device() {
+        let pool = CommunicatorPool::for_testing(4);
+        let a = pool.allocate(&gpus(&[0, 1, 2, 3])).unwrap();
+        let b = pool.allocate(&gpus(&[0, 1])).unwrap();
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.idle_count(), 2);
+        assert_eq!(pool.evict_device(GpuId(3)), 1);
+        assert_eq!(pool.idle_count(), 1);
+        assert_eq!(pool.evict_device(GpuId(3)), 0);
     }
 
     #[test]

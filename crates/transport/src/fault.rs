@@ -194,6 +194,13 @@ impl FaultInjector {
         }
     }
 
+    /// Heal exactly one edge, leaving every other scripted fault active —
+    /// the per-edge counterpart of [`FaultInjector::clear`] recovery tests
+    /// use to repair a single link mid-chaos.
+    pub fn clear_edge(&self, edge: EdgeId) {
+        self.unscript(edge);
+    }
+
     /// Remove every script, healing all links.
     pub fn clear(&self) {
         self.scripts.lock().clear();
@@ -527,6 +534,27 @@ mod tests {
         assert_eq!(inj.decide(edge(1, 0, 0), 0, 0), FaultDecision::Allow);
         inj.clear();
         assert_eq!(inj.decide(edge(0, 1, 0), 0, 0), FaultDecision::Allow);
+        assert!(!inj.is_active());
+    }
+
+    #[test]
+    fn clear_edge_heals_one_edge_and_keeps_other_scripts_active() {
+        let inj = FaultInjector::new(7);
+        inj.script(edge(0, 1, 0), FaultSpec::dead());
+        inj.script(edge(1, 2, 0), FaultSpec::dead());
+        inj.script(edge(0, 1, 1), FaultSpec::slowdown(4.0));
+        inj.clear_edge(edge(0, 1, 0));
+        // The healed edge allows traffic again...
+        assert_eq!(inj.decide(edge(0, 1, 0), 0, 0), FaultDecision::Allow);
+        assert!(!inj.edge_dead(edge(0, 1, 0), 0));
+        // ...while the other scripted faults stay in force.
+        assert!(inj.is_active());
+        assert_eq!(inj.decide(edge(1, 2, 0), 0, 0), FaultDecision::Reject);
+        assert_eq!(inj.decide(edge(0, 1, 1), 0, 0), FaultDecision::Slow(4.0));
+        assert_eq!(inj.scripted().len(), 2);
+        // Healing the rest deactivates the injector entirely.
+        inj.clear_edge(edge(1, 2, 0));
+        inj.clear_edge(edge(0, 1, 1));
         assert!(!inj.is_active());
     }
 

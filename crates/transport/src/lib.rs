@@ -24,6 +24,7 @@
 pub mod communicator;
 pub mod connector;
 pub mod fault;
+pub mod health;
 pub mod linkmodel;
 pub mod topology;
 
@@ -35,6 +36,7 @@ pub use fault::{
     classify_stall, supervise_with_probe, total_progress, EdgeId, EdgeSample, FaultDecision,
     FaultInjector, FaultKind, FaultSpec, FaultTrigger, StallKind, StallReport, SuperviseOutcome,
 };
+pub use health::{LinkHealth, REROUTE_CHANNEL_BASE};
 pub use linkmodel::{LinkModel, LinkParams};
 pub use topology::{LinkClass, MachineSpec, Topology};
 

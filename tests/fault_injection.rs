@@ -22,7 +22,9 @@ use std::time::Duration;
 
 use dfccl_repro::collectives::DeviceBuffer;
 use dfccl_repro::collectives::{AlgorithmKind, CollectiveDescriptor, DataType, ReduceOp};
-use dfccl_repro::dfccl::{DfcclConfig, DfcclDomain, RankCtx, SpinPolicy};
+use dfccl_repro::dfccl::{
+    DfcclConfig, DfcclDomain, RankCtx, RecoveryCoordinator, RetryPolicy, SpinPolicy,
+};
 use dfccl_repro::gpu_sim::{GpuId, GpuSpec};
 use dfccl_repro::transport::{
     supervise_with_probe, EdgeId, FaultSpec, LinkClass, LinkModel, LinkParams, StallKind,
@@ -538,6 +540,487 @@ fn flaky_edge_retries_to_a_bit_exact_result() {
         assert!(rejections > 0, "seed {seed}: no drop was ever injected");
         for rank in ranks {
             assert!(rank.collective_errors().is_empty());
+            rank.destroy();
+        }
+    }
+}
+
+/// A tight retry policy for recovery tests: fast backoff, a few attempts.
+fn test_recovery() -> RecoveryCoordinator {
+    RecoveryCoordinator::new(
+        RetryPolicy::default()
+            .with_max_attempts(4)
+            .with_backoff(Duration::from_micros(50), Duration::from_millis(2)),
+    )
+}
+
+/// One auto-recovery sweep case: register the collective, kill a seeded edge
+/// of its communicator after the first chunk — and never heal it. The
+/// [`RecoveryCoordinator`] must detect the stall, quarantine the edge,
+/// re-plan around it, roll the stalled invocations back and resubmit them,
+/// and the final result must match a fault-free run bit for bit.
+fn recovery_round(
+    family: AlgorithmKind,
+    topology: Topology,
+    devices: Vec<GpuId>,
+    channels: usize,
+    seed: u64,
+) {
+    let n = devices.len();
+    let domain = DfcclDomain::new(
+        topology,
+        mild_links(),
+        GpuSpec::rtx_3090(),
+        fault_config(channels),
+    );
+    let count = 16 * n;
+    let desc = if family == AlgorithmKind::Pairwise {
+        CollectiveDescriptor::all_to_all(count / n, DataType::F32, devices.clone())
+    } else {
+        CollectiveDescriptor::all_reduce(count, DataType::F32, ReduceOp::Sum, devices.clone())
+    }
+    .with_algorithm(family);
+
+    let ranks: Vec<RankCtx> = devices
+        .iter()
+        .map(|&g| domain.init_rank(g).unwrap())
+        .collect();
+    for rank in &ranks {
+        rank.register(1, desc.clone()).unwrap();
+    }
+    let inputs: Vec<Vec<f32>> = (0..n)
+        .map(|r| {
+            (0..count)
+                .map(|i| ((seed as usize + r * 37 + i * 5) % 199) as f32)
+                .collect()
+        })
+        .collect();
+
+    // Warm-up round: a fault-free invocation reveals which edges the plan
+    // actually routes chunks over (a mesh edge can stay idle for a given
+    // chunk/channel split) and how many chunks each carries per round.
+    let warm: Vec<_> = ranks
+        .iter()
+        .enumerate()
+        .map(|(r, rank)| {
+            rank.run_awaitable(
+                1,
+                DeviceBuffer::from_f32(&inputs[r]),
+                DeviceBuffer::zeroed(count * 4),
+            )
+            .unwrap()
+        })
+        .collect();
+    for h in &warm {
+        assert!(h.wait_for_timeout(1, Duration::from_secs(60)));
+    }
+    let busy: Vec<_> = domain
+        .edge_samples()
+        .into_iter()
+        .filter(|s| s.stats.chunks_sent > 0)
+        .collect();
+    assert!(!busy.is_empty(), "{family} n={n} K={channels}: no traffic");
+    let sample =
+        &busy[(splitmix(seed ^ (n as u64) << 8 ^ (channels as u64) << 16) as usize) % busy.len()];
+    let victim = sample.edge;
+    // An edge carrying several chunks per round is killed mid-round-two
+    // (one more chunk crosses, then it dies); one carrying a single chunk
+    // is dead for the whole second round.
+    let spec = if sample.stats.chunks_sent > 1 {
+        FaultSpec::dead().after_chunks(sample.stats.chunks_sent + 1)
+    } else {
+        FaultSpec::dead()
+    };
+    domain.fault_injector().script(victim, spec);
+
+    let mut handles = Vec::new();
+    let mut recvs = Vec::new();
+    for (r, rank) in ranks.iter().enumerate() {
+        let send = DeviceBuffer::from_f32(&inputs[r]);
+        let recv = DeviceBuffer::zeroed(count * 4);
+        recvs.push(recv.clone());
+        handles.push(rank.run_awaitable(1, send, recv).unwrap());
+    }
+
+    let done = || {
+        handles
+            .iter()
+            .all(|h| h.wait_for_timeout(1, Duration::ZERO))
+    };
+    let rank_refs: Vec<&RankCtx> = ranks.iter().collect();
+    let recoveries = test_recovery()
+        .supervise(&rank_refs, &done, Duration::from_millis(200))
+        .unwrap_or_else(|e| {
+            panic!("{family} n={n} K={channels} seed={seed}: recovery failed: {e}")
+        });
+    assert!(
+        recoveries >= 1,
+        "{family} n={n} K={channels} seed={seed}: dead edge {victim} must trigger recovery"
+    );
+    assert!(
+        domain.link_health().dead_edges().contains(&victim),
+        "{family} n={n} K={channels} seed={seed}: {victim} must stay quarantined"
+    );
+
+    for (r, recv) in recvs.iter().enumerate() {
+        let expected: Vec<f32> = if family == AlgorithmKind::Pairwise {
+            let per = count / n;
+            (0..n)
+                .flat_map(|src| inputs[src][r * per..(r + 1) * per].to_vec())
+                .collect()
+        } else {
+            (0..count)
+                .map(|i| (0..n).map(|src| inputs[src][i]).sum())
+                .collect()
+        };
+        assert_eq!(
+            recv.to_f32_vec(),
+            expected,
+            "{family} n={n} K={channels} seed={seed}: rank {r} corrupted by recovery from {victim}"
+        );
+    }
+    for rank in &ranks {
+        let snap = rank.telemetry();
+        assert!(snap.counters.recoveries_attempted >= 1, "{snap}");
+        assert!(snap.counters.recoveries_succeeded >= 1, "{snap}");
+    }
+    for rank in ranks {
+        assert!(rank.collective_errors().is_empty());
+        rank.destroy();
+    }
+}
+
+#[test]
+fn kill_edge_auto_recovers_bit_exact_for_ring_and_tree() {
+    for family in [AlgorithmKind::Ring, AlgorithmKind::DoubleBinaryTree] {
+        for n in 2..=8usize {
+            for channels in 1..=3usize {
+                for seed in 0..fault_seeds() {
+                    let devices: Vec<GpuId> = (0..n).map(GpuId).collect();
+                    recovery_round(family, Topology::flat(n), devices, channels, seed);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kill_edge_auto_recovers_bit_exact_for_pairwise() {
+    for n in 2..=8usize {
+        for channels in 1..=3usize {
+            for seed in 0..fault_seeds() {
+                let devices: Vec<GpuId> = (0..n).map(GpuId).collect();
+                recovery_round(
+                    AlgorithmKind::Pairwise,
+                    Topology::flat(n),
+                    devices,
+                    channels,
+                    seed,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kill_edge_auto_recovers_bit_exact_for_hierarchical() {
+    for n in [4usize, 6, 8] {
+        for channels in 1..=3usize {
+            for seed in 0..fault_seeds() {
+                let devices: Vec<GpuId> = (0..n).map(GpuId).collect();
+                recovery_round(
+                    AlgorithmKind::Hierarchical,
+                    Topology::uniform_cluster(2, n / 2),
+                    devices,
+                    channels,
+                    seed,
+                );
+            }
+        }
+    }
+}
+
+/// The ISSUE acceptance scenario, self-healing edition: a dead inter-node
+/// edge on a two-server cluster is **never healed**. The coordinator's
+/// supervise loop must quarantine it, re-plan around it, and finish the
+/// collective bit-exact against the fault-free oracle — and a collective
+/// registered afterwards must be planned without the quarantined edge.
+#[test]
+fn dead_inter_node_edge_auto_recovers_without_manual_heal() {
+    let devices = vec![GpuId(0), GpuId(1), GpuId(8), GpuId(9)];
+    let domain = DfcclDomain::new(
+        Topology::two_servers(),
+        LinkModel::table2_testbed(),
+        GpuSpec::rtx_3090(),
+        fault_config(1),
+    );
+    let count = 64;
+    let ranks: Vec<RankCtx> = devices
+        .iter()
+        .map(|&g| domain.init_rank(g).unwrap())
+        .collect();
+    for rank in &ranks {
+        rank.register_all_reduce(1, count, DataType::F32, ReduceOp::Sum, devices.clone(), 0)
+            .unwrap();
+    }
+    let victim = domain
+        .edge_samples()
+        .iter()
+        .find(|s| s.link == LinkClass::InterNode)
+        .expect("a 2×2-rank collective over two servers crosses the fabric")
+        .edge;
+    // Killed mid-flight, never cleared: recovery is the only way out.
+    domain
+        .fault_injector()
+        .script(victim, FaultSpec::dead().after_chunks(1));
+
+    let inputs: Vec<Vec<f32>> = (0..devices.len())
+        .map(|r| (0..count).map(|i| ((r * 31 + i * 7) % 97) as f32).collect())
+        .collect();
+    let mut handles = Vec::new();
+    let mut recvs = Vec::new();
+    for (r, rank) in ranks.iter().enumerate() {
+        let recv = DeviceBuffer::zeroed(count * 4);
+        recvs.push(recv.clone());
+        handles.push(
+            rank.run_awaitable(1, DeviceBuffer::from_f32(&inputs[r]), recv)
+                .unwrap(),
+        );
+    }
+    let done = || {
+        handles
+            .iter()
+            .all(|h| h.wait_for_timeout(1, Duration::ZERO))
+    };
+    let rank_refs: Vec<&RankCtx> = ranks.iter().collect();
+    let recoveries = test_recovery()
+        .supervise(&rank_refs, &done, Duration::from_millis(300))
+        .expect("supervised run must recover, not exhaust");
+    assert!(
+        recoveries >= 1,
+        "the dead fabric edge must force a recovery"
+    );
+
+    let expected: Vec<f32> = (0..count)
+        .map(|i| (0..devices.len()).map(|r| inputs[r][i]).sum())
+        .collect();
+    for (r, recv) in recvs.iter().enumerate() {
+        assert_eq!(
+            recv.to_f32_vec(),
+            expected,
+            "rank {r} after automatic recovery"
+        );
+    }
+    assert!(
+        domain.link_health().dead_edges().contains(&victim),
+        "the failed edge must stay quarantined"
+    );
+    for rank in &ranks {
+        let snap = rank.telemetry();
+        assert!(snap.counters.recoveries_attempted >= 1, "{snap}");
+        assert!(snap.counters.recoveries_succeeded >= 1, "{snap}");
+    }
+
+    // The quarantine outlives the incident: a collective registered *after*
+    // the failure must be planned without the dead edge.
+    for rank in &ranks {
+        rank.register_all_reduce(2, count, DataType::F32, ReduceOp::Sum, devices.clone(), 0)
+            .unwrap();
+    }
+    assert!(
+        !domain
+            .edge_samples()
+            .iter()
+            .any(|s| s.coll_id == Some(2) && s.edge == victim),
+        "a post-failure plan must not be laid over the quarantined edge"
+    );
+    let mut handles2 = Vec::new();
+    let mut recvs2 = Vec::new();
+    for (r, rank) in ranks.iter().enumerate() {
+        let recv = DeviceBuffer::zeroed(count * 4);
+        recvs2.push(recv.clone());
+        handles2.push(
+            rank.run_awaitable(2, DeviceBuffer::from_f32(&inputs[r]), recv)
+                .unwrap(),
+        );
+    }
+    for h in &handles2 {
+        assert!(
+            h.wait_for_timeout(1, Duration::from_secs(60)),
+            "the degraded plan must complete without recovery"
+        );
+    }
+    for (r, recv) in recvs2.iter().enumerate() {
+        assert_eq!(recv.to_f32_vec(), expected, "rank {r} on the degraded plan");
+    }
+    for rank in ranks {
+        assert!(rank.collective_errors().is_empty());
+        rank.destroy();
+    }
+}
+
+/// Recovery in the middle of a preemption storm: four collectives over
+/// overlapping device groups at connector capacity 1 and a tiny spin
+/// threshold, the dense all-reduce invoked twice, and a dead edge injected
+/// under all of it. Everything — stalled and innocent alike — must drain
+/// bit-exact through the automatic recovery.
+#[test]
+fn recovery_survives_a_preemption_storm() {
+    for seed in 0..fault_seeds() {
+        let domain = DfcclDomain::new(
+            Topology::flat(4),
+            mild_links(),
+            GpuSpec::rtx_3090(),
+            fault_config(1),
+        );
+        let devices: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let a2a_per = 24usize;
+        let ar_count = 96usize;
+        let pair_count = 64usize;
+        let mix: Vec<(u64, CollectiveDescriptor)> = vec![
+            (
+                1,
+                CollectiveDescriptor::all_to_all(a2a_per, DataType::F32, devices.clone()),
+            ),
+            (
+                2,
+                CollectiveDescriptor::all_reduce(
+                    ar_count,
+                    DataType::F32,
+                    ReduceOp::Sum,
+                    devices.clone(),
+                ),
+            ),
+            (
+                3,
+                CollectiveDescriptor::all_reduce(
+                    pair_count,
+                    DataType::F32,
+                    ReduceOp::Sum,
+                    vec![GpuId(0), GpuId(1)],
+                ),
+            ),
+            (
+                4,
+                CollectiveDescriptor::all_reduce(
+                    pair_count,
+                    DataType::F32,
+                    ReduceOp::Sum,
+                    vec![GpuId(2), GpuId(3)],
+                ),
+            ),
+        ];
+        let ranks: Vec<RankCtx> = devices
+            .iter()
+            .map(|&g| domain.init_rank(g).unwrap())
+            .collect();
+        for rank in &ranks {
+            for (id, desc) in &mix {
+                if desc.devices.contains(&rank.gpu()) {
+                    rank.register(*id, desc.clone()).unwrap();
+                }
+            }
+        }
+        // Kill a seeded edge of the dense all-reduce mid-storm.
+        let ar_edges: Vec<_> = domain
+            .edge_samples()
+            .into_iter()
+            .filter(|s| s.coll_id == Some(2))
+            .collect();
+        let victim = ar_edges[(splitmix(seed ^ 0xdead) as usize) % ar_edges.len()].edge;
+        domain
+            .fault_injector()
+            .script(victim, FaultSpec::dead().after_chunks(2));
+
+        // Integer-valued inputs per (collective, invocation, rank).
+        let input = |coll: u64, invocation: usize, r: usize, len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| {
+                    ((seed as usize + coll as usize * 53 + invocation * 17 + r * 37 + i * 5) % 199)
+                        as f32
+                })
+                .collect()
+        };
+        // Each rank submits its collectives in a rotated order, so the storm
+        // arrives disordered. Invocations of the *same* collective must keep
+        // a consistent per-rank issue order (they gang-match by issue
+        // index), so the dense all-reduce's two invocations stay adjacent.
+        let mut handles = Vec::new();
+        let mut checks: Vec<(usize, Vec<f32>, DeviceBuffer)> = Vec::new();
+        for (r, rank) in ranks.iter().enumerate() {
+            let mut coll_order: Vec<u64> = vec![1, 2, if r < 2 { 3 } else { 4 }];
+            let rot = r % coll_order.len();
+            coll_order.rotate_left(rot);
+            let order: Vec<(u64, usize)> = coll_order
+                .into_iter()
+                .flat_map(|id| {
+                    if id == 2 {
+                        vec![(2, 0), (2, 1)]
+                    } else {
+                        vec![(id, 0)]
+                    }
+                })
+                .collect();
+            for (id, invocation) in order {
+                let desc = &mix.iter().find(|(i, _)| *i == id).unwrap().1;
+                let rank_idx = desc.devices.iter().position(|&d| d == rank.gpu()).unwrap();
+                let send_len = desc.send_bytes(rank_idx) / 4;
+                let send = input(id, invocation, r, send_len);
+                let recv = DeviceBuffer::zeroed(desc.recv_bytes(rank_idx));
+                let expected: Vec<f32> = match id {
+                    1 => (0..4)
+                        .flat_map(|src| {
+                            input(1, invocation, src, 4 * a2a_per)[r * a2a_per..(r + 1) * a2a_per]
+                                .to_vec()
+                        })
+                        .collect(),
+                    2 => (0..ar_count)
+                        .map(|i| {
+                            (0..4)
+                                .map(|src| input(2, invocation, src, ar_count)[i])
+                                .sum()
+                        })
+                        .collect(),
+                    _ => {
+                        let group = if id == 3 { [0usize, 1] } else { [2, 3] };
+                        (0..pair_count)
+                            .map(|i| {
+                                group
+                                    .iter()
+                                    .map(|&src| input(id, invocation, src, pair_count)[i])
+                                    .sum()
+                            })
+                            .collect()
+                    }
+                };
+                checks.push((r, expected, recv.clone()));
+                handles.push(
+                    rank.run_awaitable(id, DeviceBuffer::from_f32(&send), recv)
+                        .unwrap(),
+                );
+            }
+        }
+
+        let done = || {
+            handles
+                .iter()
+                .all(|h| h.wait_for_timeout(1, Duration::ZERO))
+        };
+        let rank_refs: Vec<&RankCtx> = ranks.iter().collect();
+        let recoveries = test_recovery()
+            .supervise(&rank_refs, &done, Duration::from_millis(200))
+            .unwrap_or_else(|e| panic!("seed {seed}: storm recovery failed: {e}"));
+        assert!(recoveries >= 1, "seed {seed}: {victim} must force recovery");
+        assert!(domain.link_health().dead_edges().contains(&victim));
+        for (r, expected, recv) in &checks {
+            assert_eq!(
+                &recv.to_f32_vec(),
+                expected,
+                "seed {seed}: rank {r} corrupted in the storm"
+            );
+        }
+        for rank in ranks {
+            assert!(rank.collective_errors().is_empty(), "seed {seed}");
             rank.destroy();
         }
     }

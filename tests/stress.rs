@@ -16,7 +16,7 @@ use dfccl_repro::collectives::{
 };
 use dfccl_repro::dfccl::{DfcclConfig, DfcclDomain, DfcclError, SpinPolicy, TenantQuota};
 use dfccl_repro::gpu_sim::{GpuId, GpuSpec, StreamId};
-use dfccl_repro::transport::{LinkModel, Topology};
+use dfccl_repro::transport::{FaultSpec, LinkModel, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -369,6 +369,176 @@ fn nccl_like_baseline_wedges_on_the_disordered_mix_and_the_watchdog_catches_it()
         "the disordered all-to-all + all-reduce mix must wedge the baseline"
     );
     domain.shutdown();
+}
+
+/// Run one all-reduce over `devices` on the given ranks and assert it is
+/// bit-exact. `base` seeds the integer-valued inputs so rounds differ.
+fn exact_all_reduce(ranks: &[&dfccl_repro::dfccl::RankCtx], coll: u64, count: usize, base: usize) {
+    let n = ranks.len();
+    let inputs: Vec<Vec<f32>> = (0..n)
+        .map(|r| {
+            (0..count)
+                .map(|i| ((base + r * 41 + i * 3) % 151) as f32)
+                .collect()
+        })
+        .collect();
+    let mut handles = Vec::new();
+    let mut recvs = Vec::new();
+    for (r, rank) in ranks.iter().enumerate() {
+        let recv = DeviceBuffer::zeroed(count * 4);
+        recvs.push(recv.clone());
+        handles.push(
+            rank.run_awaitable(coll, DeviceBuffer::from_f32(&inputs[r]), recv)
+                .unwrap(),
+        );
+    }
+    for h in &handles {
+        assert!(
+            h.wait_for_timeout(1, Duration::from_secs(60)),
+            "collective {coll} wedged"
+        );
+    }
+    let expected: Vec<f32> = (0..count)
+        .map(|i| (0..n).map(|r| inputs[r][i]).sum())
+        .collect();
+    for (r, recv) in recvs.iter().enumerate() {
+        assert_eq!(recv.to_f32_vec(), expected, "collective {coll}, rank {r}");
+    }
+}
+
+/// Elastic membership round: shrink the domain by one GPU between
+/// iterations, run bit-exact on the survivors, then grow it back and run
+/// bit-exact on the restored set. A removal attempted while work is still
+/// in flight must be refused with `MembershipBusy`, leaving no partial
+/// state behind.
+#[test]
+fn elastic_membership_shrinks_and_grows_bit_exact() {
+    let config = DfcclConfig {
+        chunk_elems: 8,
+        connector_capacity: 1,
+        spin: SpinPolicy::Fixed { threshold: 16 },
+        ..DfcclConfig::for_testing()
+    };
+    let domain = DfcclDomain::new(
+        Topology::flat(4),
+        LinkModel::zero_cost(),
+        GpuSpec::rtx_3090(),
+        config,
+    );
+    let devices = gpus(&[0, 1, 2, 3]);
+    let count = 64usize;
+    let ranks: Vec<_> = (0..4)
+        .map(|g| domain.init_rank(GpuId(g)).unwrap())
+        .collect();
+    for rank in &ranks {
+        rank.register_all_reduce(1, count, DataType::F32, ReduceOp::Sum, devices.clone(), 0)
+            .unwrap();
+    }
+
+    // Phase 1: a removal mid-collective must be refused. A dead edge holds
+    // the all-reduce in flight deterministically.
+    let victim = domain
+        .edge_samples()
+        .iter()
+        .find(|s| s.coll_id == Some(1))
+        .expect("registered collective has edges")
+        .edge;
+    let injector = domain.fault_injector();
+    injector.script(victim, FaultSpec::dead());
+    let inputs: Vec<Vec<f32>> = (0..4)
+        .map(|r| {
+            (0..count)
+                .map(|i| ((r * 19 + i * 7) % 113) as f32)
+                .collect()
+        })
+        .collect();
+    let mut handles = Vec::new();
+    let mut recvs = Vec::new();
+    for (r, rank) in ranks.iter().enumerate() {
+        let recv = DeviceBuffer::zeroed(count * 4);
+        recvs.push(recv.clone());
+        handles.push(
+            rank.run_awaitable(1, DeviceBuffer::from_f32(&inputs[r]), recv)
+                .unwrap(),
+        );
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    assert!(
+        matches!(
+            domain.remove_rank(GpuId(3)),
+            Err(DfcclError::MembershipBusy { .. })
+        ),
+        "removal with work in flight must be refused"
+    );
+    // Heal only the victim edge and let the round drain bit-exact.
+    injector.clear_edge(victim);
+    for h in &handles {
+        assert!(h.wait_for_timeout(1, Duration::from_secs(60)));
+    }
+    let expected: Vec<f32> = (0..count)
+        .map(|i| (0..4).map(|r| inputs[r][i]).sum())
+        .collect();
+    for recv in &recvs {
+        assert_eq!(recv.to_f32_vec(), expected);
+    }
+
+    // Phase 2: shrink. Every registration touching GPU 3 is dropped on
+    // every rank, and the GPU leaves the membership.
+    assert_eq!(domain.remove_rank(GpuId(3)).unwrap(), 4);
+    assert_eq!(domain.members(), gpus(&[0, 1, 2]));
+    assert!(matches!(
+        domain.init_rank(GpuId(3)),
+        Err(DfcclError::NotMember(GpuId(3)))
+    ));
+    assert!(matches!(
+        ranks[0].register_all_reduce(9, count, DataType::F32, ReduceOp::Sum, devices.clone(), 0),
+        Err(DfcclError::NotMember(GpuId(3)))
+    ));
+    assert!(
+        ranks[0]
+            .run_awaitable(
+                1,
+                DeviceBuffer::zeroed(count * 4),
+                DeviceBuffer::zeroed(count * 4)
+            )
+            .is_err(),
+        "the dropped registration must not be invokable"
+    );
+    // The shrunk domain runs bit-exact on the survivors.
+    let survivors = gpus(&[0, 1, 2]);
+    for rank in &ranks[..3] {
+        rank.register_all_reduce(
+            10,
+            count,
+            DataType::F32,
+            ReduceOp::Sum,
+            survivors.clone(),
+            0,
+        )
+        .unwrap();
+    }
+    let survivor_refs: Vec<_> = ranks[..3].iter().collect();
+    exact_all_reduce(&survivor_refs, 10, count, 500);
+
+    // Phase 3: grow back. Plans and meshes over the restored GPU rebuild
+    // lazily at the next registration; the restored set runs bit-exact.
+    domain.add_rank(GpuId(3)).unwrap();
+    assert!(matches!(
+        domain.add_rank(GpuId(3)),
+        Err(DfcclError::AlreadyMember(GpuId(3)))
+    ));
+    assert_eq!(domain.members(), devices);
+    for rank in &ranks {
+        rank.register_all_reduce(20, count, DataType::F32, ReduceOp::Sum, devices.clone(), 0)
+            .unwrap();
+    }
+    let all_refs: Vec<_> = ranks.iter().collect();
+    exact_all_reduce(&all_refs, 20, count, 900);
+
+    for rank in &ranks {
+        assert!(rank.collective_errors().is_empty());
+        rank.destroy();
+    }
 }
 
 #[test]
